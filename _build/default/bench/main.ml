@@ -1,0 +1,86 @@
+(* Benchmark harness.
+
+   Part 1 regenerates every table and figure of the paper's evaluation
+   (Figs. 3 and 6-10, the completeness metric, the baseline comparisons,
+   and the two ablations) via Ocep_harness.Repro. Scale with OCEP_EVENTS /
+   OCEP_RUNS; defaults keep the run to a couple of minutes.
+
+   Part 2 is a Bechamel micro-benchmark suite: one Test.make per
+   table/figure row, measuring the cost of monitoring one event (amortized
+   over a pre-generated stream slice) for each case study at each of the
+   paper's trace counts. Disable with OCEP_BECHAMEL=0. *)
+
+module Sim = Ocep_sim.Sim
+module Poet = Ocep_poet.Poet
+module Parser = Ocep_pattern.Parser
+module Compile = Ocep_pattern.Compile
+module Engine = Ocep.Engine
+module Workload = Ocep_workloads.Workload
+module Cases = Ocep_harness.Cases
+module Repro = Ocep_harness.Repro
+
+(* Replay a pre-generated raw-event slice through a fresh POET + engine;
+   Bechamel measures the whole replay, so the reported time divided by the
+   slice length is the per-event monitoring cost. *)
+let replay_test ~case ~traces ~slice =
+  let w = Cases.make case ~traces ~seed:97 ~max_events:slice in
+  let names = Sim.trace_names w.Workload.sim_config in
+  let raws = ref [] in
+  let _ =
+    Sim.run w.Workload.sim_config ~sink:(fun r -> raws := r :: !raws) ~bodies:w.Workload.bodies
+  in
+  let raws = List.rev !raws in
+  let net = Compile.compile (Parser.parse w.Workload.pattern) in
+  let run () =
+    let poet = Poet.create ~trace_names:names () in
+    let engine =
+      Engine.create
+        ~config:{ Engine.default_config with Engine.record_latency = false }
+        ~net ~poet ()
+    in
+    List.iter (fun r -> ignore (Poet.ingest poet r)) raws;
+    Engine.matches_found engine
+  in
+  Bechamel.Test.make
+    ~name:(Printf.sprintf "%s/traces=%d" case traces)
+    (Bechamel.Staged.stage run)
+
+let bechamel_suite ~slice =
+  let tests =
+    List.concat_map
+      (fun case ->
+        List.map (fun traces -> replay_test ~case ~traces ~slice) (Cases.paper_trace_counts case))
+      Cases.names
+  in
+  Bechamel.Test.make_grouped ~name:"monitor" ~fmt:"%s %s" tests
+
+let run_bechamel () =
+  let open Bechamel in
+  let open Toolkit in
+  let slice = 2_000 in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] (bechamel_suite ~slice) in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Format.printf
+    "== Bechamel: cost of monitoring a %d-event stream (one Test per figure row) ==@." slice;
+  Format.printf "%-32s %16s %12s@." "benchmark" "ns/replay" "ns/event";
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        match Analyze.OLS.estimates ols with
+        | Some (est :: _) -> (name, est) :: acc
+        | _ -> acc)
+      results []
+  in
+  List.iter
+    (fun (name, est) -> Format.printf "%-32s %16.0f %12.1f@." name est (est /. float_of_int slice))
+    (List.sort compare rows);
+  Format.printf "@."
+
+let () =
+  let scale = Repro.scale_from_env () in
+  Repro.all Format.std_formatter ~scale;
+  match Sys.getenv_opt "OCEP_BECHAMEL" with
+  | Some "0" -> ()
+  | _ -> run_bechamel ()

@@ -1,0 +1,295 @@
+(* The ocep command-line tool.
+
+   - [ocep gen]   simulate a case-study workload and dump the trace-event
+                  data to a file (POET's dump feature, Section V-B);
+   - [ocep run]   reload a dump and run a pattern against it through the
+                  online engine (POET's reload feature);
+   - [ocep check] parse and compile a pattern file, printing the
+                  constraint net;
+   - [ocep repro] regenerate the paper's tables and figures. *)
+
+module Sim = Ocep_sim.Sim
+module Poet = Ocep_poet.Poet
+module Parser = Ocep_pattern.Parser
+module Compile = Ocep_pattern.Compile
+module Engine = Ocep.Engine
+module Summary = Ocep_stats.Summary
+module Workload = Ocep_workloads.Workload
+module Cases = Ocep_harness.Cases
+module Repro = Ocep_harness.Repro
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* ------------------------------------------------------------------ *)
+(* gen                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let gen_cmd =
+  let case =
+    Arg.(
+      required
+      & opt (some (enum (List.map (fun n -> (n, n)) Cases.names))) None
+      & info [ "case"; "c" ] ~docv:"CASE" ~doc:"Workload: deadlock, races, atomicity or ordering.")
+  in
+  let traces =
+    Arg.(value & opt int 10 & info [ "traces"; "t" ] ~docv:"N" ~doc:"Number of traces.")
+  in
+  let events =
+    Arg.(value & opt int 50_000 & info [ "events"; "n" ] ~docv:"N" ~doc:"Events to generate.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed"; "s" ] ~docv:"SEED" ~doc:"PRNG seed.") in
+  let output =
+    Arg.(required & opt (some string) None & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Dump file.")
+  in
+  let pattern_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "pattern-out" ] ~docv:"FILE" ~doc:"Also write the case's pattern text to FILE.")
+  in
+  let run case traces events seed output pattern_out =
+    let w = Cases.make case ~traces ~seed ~max_events:events in
+    let names = Sim.trace_names w.Workload.sim_config in
+    let oc = open_out output in
+    Poet.dump_header ~trace_names:names oc;
+    let count = ref 0 in
+    let stats =
+      Sim.run w.Workload.sim_config
+        ~sink:(fun raw ->
+          incr count;
+          Poet.dump_raw oc raw)
+        ~bodies:w.Workload.bodies
+    in
+    close_out oc;
+    (match pattern_out with
+    | Some p ->
+      let oc = open_out p in
+      output_string oc w.Workload.pattern;
+      close_out oc;
+      Printf.printf "pattern written to %s\n" p
+    | None -> ());
+    Printf.printf "dumped %d events (%d traces, %d simulated deadlocks) to %s\n" !count
+      (Array.length names)
+      (List.length stats.Sim.deadlocks)
+      output;
+    0
+  in
+  let info = Cmd.info "gen" ~doc:"Simulate a case-study workload and dump its trace-event data." in
+  Cmd.v info Term.(const run $ case $ traces $ events $ seed $ output $ pattern_out)
+
+(* ------------------------------------------------------------------ *)
+(* run                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let run_cmd =
+  let pattern_file =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "pattern"; "p" ] ~docv:"FILE" ~doc:"Pattern-language source file.")
+  in
+  let trace_file =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "trace"; "i" ] ~docv:"FILE" ~doc:"POET dump to reload (see $(b,ocep gen)).")
+  in
+  let no_pruning =
+    Arg.(value & flag & info [ "no-pruning" ] ~doc:"Disable the O(1) history-pruning rule.")
+  in
+  let max_reports =
+    Arg.(value & opt int 20 & info [ "max-reports" ] ~docv:"N" ~doc:"Reports to print.")
+  in
+  let diagram =
+    Arg.(
+      value & flag
+      & info [ "diagram"; "d" ]
+          ~doc:"Draw an ASCII process-time diagram of the stream tail with the first reported                 match highlighted.")
+  in
+  let run pattern_file trace_file no_pruning max_reports diagram =
+    let net = Compile.compile (Parser.parse (read_file pattern_file)) in
+    let ic = open_in trace_file in
+    let names, raws = Poet.load ic in
+    close_in ic;
+    let poet = Poet.create ~retain:diagram ~trace_names:names () in
+    let config = { Engine.default_config with Engine.pruning = not no_pruning } in
+    let engine = Engine.create ~config ~net ~poet () in
+    List.iter (fun raw -> ignore (Poet.ingest poet raw)) raws;
+    Printf.printf "events: %d   matches found: %d   reported subset: %d\n"
+      (Engine.events_processed engine)
+      (Engine.matches_found engine)
+      (List.length (Engine.reports engine));
+    Printf.printf "coverage: %d/%d slots   history entries: %d\n"
+      (Engine.covered_slots engine) (Engine.seen_slots engine)
+      (Engine.history_entries engine);
+    let latencies = Engine.latencies_us engine in
+    if Array.length latencies > 0 then begin
+      let s = Summary.of_samples latencies in
+      Format.printf "latency (us): %a@." Summary.pp s
+    end;
+    List.iteri
+      (fun i (r : Ocep.Subset.report) ->
+        if i < max_reports then begin
+          Format.printf "match %d:@." (i + 1);
+          Array.iteri
+            (fun leaf e ->
+              Format.printf "  %s = %a@." net.Compile.leaves.(leaf).Compile.cls.Ocep_pattern.Ast.cname
+                Ocep_base.Event.pp e)
+            r.events
+        end)
+      (Engine.reports engine);
+    if diagram then begin
+      let highlight =
+        match Engine.reports engine with
+        | r :: _ -> Array.to_list r.Ocep.Subset.events
+        | [] -> []
+      in
+      print_string
+        (Ocep_poet.Diagram.render ~max_events:70 ~highlight ~trace_names:names
+           (Poet.all_events poet))
+    end;
+    0
+  in
+  let info = Cmd.info "run" ~doc:"Reload a trace dump and match a pattern against it online." in
+  Cmd.v info Term.(const run $ pattern_file $ trace_file $ no_pruning $ max_reports $ diagram)
+
+(* ------------------------------------------------------------------ *)
+(* check                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let check_cmd =
+  let pattern_file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Pattern source file.")
+  in
+  let run pattern_file =
+    match Compile.compile (Parser.parse (read_file pattern_file)) with
+    | net ->
+      Format.printf "%a" Compile.pp net;
+      0
+    | exception Parser.Parse_error e ->
+      Printf.eprintf "parse error: %s\n" e;
+      1
+    | exception Compile.Compile_error e ->
+      Printf.eprintf "compile error: %s\n" e;
+      1
+  in
+  let info = Cmd.info "check" ~doc:"Parse and compile a pattern, printing its constraint net." in
+  Cmd.v info Term.(const run $ pattern_file)
+
+(* ------------------------------------------------------------------ *)
+(* info                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let info_cmd =
+  let trace_file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"POET dump file.")
+  in
+  let diagram =
+    Arg.(value & flag & info [ "diagram"; "d" ] ~doc:"Also draw the stream tail.")
+  in
+  let run trace_file diagram =
+    let ic = open_in trace_file in
+    let names, raws = Poet.load ic in
+    close_in ic;
+    if not (Ocep_poet.Linearize.is_linearization raws) then begin
+      Printf.eprintf "error: %s is not a valid linearization (a receive precedes its send)
+"
+        trace_file;
+      1
+    end
+    else begin
+      let n = Array.length names in
+      let per_trace = Array.make n 0 in
+      let sends = ref 0 and recvs = ref 0 and internals = ref 0 in
+      let by_type : (string, int) Hashtbl.t = Hashtbl.create 32 in
+      List.iter
+        (fun (r : Ocep_base.Event.raw) ->
+          per_trace.(r.r_trace) <- per_trace.(r.r_trace) + 1;
+          (match r.r_kind with
+          | Ocep_base.Event.Send _ -> incr sends
+          | Ocep_base.Event.Receive _ -> incr recvs
+          | Ocep_base.Event.Internal -> incr internals);
+          Hashtbl.replace by_type r.r_etype
+            (1 + Option.value ~default:0 (Hashtbl.find_opt by_type r.r_etype)))
+        raws;
+      Printf.printf "%s: %d events, %d traces (%d sends, %d receives, %d internal)
+" trace_file
+        (List.length raws) n !sends !recvs !internals;
+      Array.iteri (fun t name -> Printf.printf "  %-12s %8d events
+" name per_trace.(t)) names;
+      Printf.printf "event types:
+";
+      let types = List.sort (fun (_, a) (_, b) -> compare b a) (Hashtbl.fold (fun k v acc -> (k, v) :: acc) by_type []) in
+      List.iter (fun (ty, c) -> Printf.printf "  %-20s %8d
+" ty c) types;
+      if diagram then begin
+        let poet = Poet.create ~retain:true ~trace_names:names () in
+        List.iter (fun r -> ignore (Poet.ingest poet r)) raws;
+        print_string (Ocep_poet.Diagram.render ~max_events:70 ~trace_names:names (Poet.all_events poet))
+      end;
+      0
+    end
+  in
+  let info = Cmd.info "info" ~doc:"Inspect a trace dump: validity, per-trace and per-type counts." in
+  Cmd.v info Term.(const run $ trace_file $ diagram)
+
+(* ------------------------------------------------------------------ *)
+(* repro                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let repro_cmd =
+  let events =
+    Arg.(
+      value & opt int 50_000
+      & info [ "events"; "n" ] ~docv:"N" ~doc:"Events per run (the paper uses >1M).")
+  in
+  let runs =
+    Arg.(
+      value & opt int 2
+      & info [ "runs"; "r" ] ~docv:"N" ~doc:"Seeded runs pooled per configuration (paper: 5).")
+  in
+  let only =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "only" ] ~docv:"SECTION"
+          ~doc:"Limit to one section: fig3, fig6, fig7, fig8, fig9, fig10, completeness, \
+                fig6-length, baselines, lattice, ablations.")
+  in
+  let run events runs only =
+    let scale = { Repro.events; runs } in
+    let ppf = Format.std_formatter in
+    (match only with
+    | None -> Repro.all ppf ~scale
+    | Some "fig3" -> Repro.fig3 ppf
+    | Some "fig6" -> Repro.boxplot_figure ppf ~scale ~case:"deadlock"
+    | Some "fig6-length" -> Repro.fig6_pattern_length ppf ~scale
+    | Some "fig7" -> Repro.boxplot_figure ppf ~scale ~case:"races"
+    | Some "fig8" -> Repro.boxplot_figure ppf ~scale ~case:"atomicity"
+    | Some "fig9" -> Repro.boxplot_figure ppf ~scale ~case:"ordering"
+    | Some "fig10" -> Repro.fig10 ppf ~scale
+    | Some "completeness" -> Repro.completeness ppf ~scale
+    | Some "baselines" -> Repro.baselines ppf ~scale
+    | Some "lattice" -> Repro.lattice ppf ~scale
+    | Some "ablations" ->
+      Repro.ablation_pruning ppf ~scale;
+      Repro.ablation_history ppf ~scale;
+      Repro.ablation_gc ppf ~scale;
+      Repro.ablation_parallel ppf ~scale
+    | Some other -> Format.eprintf "unknown section %s@." other);
+    0
+  in
+  let info = Cmd.info "repro" ~doc:"Regenerate the paper's evaluation tables and figures." in
+  Cmd.v info Term.(const run $ events $ runs $ only)
+
+let () =
+  let doc = "OCEP: online causal-event-pattern matching (ICDCS 2013 reproduction)" in
+  let info = Cmd.info "ocep" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ gen_cmd; run_cmd; check_cmd; info_cmd; repro_cmd ]))

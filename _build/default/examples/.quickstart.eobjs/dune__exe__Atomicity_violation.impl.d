@@ -1,0 +1,1 @@
+examples/atomicity_violation.ml: Array Format List Ocep Ocep_base Ocep_harness Ocep_stats Ocep_workloads

@@ -1,0 +1,1 @@
+examples/message_race.ml: Array Format List Ocep Ocep_base Ocep_baselines Ocep_harness Ocep_poet Ocep_sim Ocep_workloads

@@ -1,0 +1,1 @@
+examples/mpi_deadlock.ml: Array Format List Ocep Ocep_base Ocep_harness Ocep_sim Ocep_stats Ocep_workloads

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Event Format List Ocep Ocep_base Ocep_pattern Ocep_poet

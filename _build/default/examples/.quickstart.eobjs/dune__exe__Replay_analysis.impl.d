@@ -1,0 +1,1 @@
+examples/replay_analysis.ml: Array Filename Format List Ocep Ocep_base Ocep_pattern Ocep_poet Ocep_sim Ocep_workloads Sys

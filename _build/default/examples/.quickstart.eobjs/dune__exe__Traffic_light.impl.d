@@ -1,0 +1,1 @@
+examples/traffic_light.ml: Array Event Format List Ocep Ocep_base Ocep_pattern Ocep_poet Ocep_sim Ocep_workloads Prng

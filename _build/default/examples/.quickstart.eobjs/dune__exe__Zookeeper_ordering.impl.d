@@ -1,0 +1,1 @@
+examples/zookeeper_ordering.ml: Array Format List Ocep Ocep_base Ocep_harness Ocep_workloads

@@ -1,0 +1,31 @@
+(* The atomicity-violation case study (paper Section V-C3).
+
+   Workers execute a semaphore-protected method; the semaphore is its own
+   trace (as in the muC++ POET plugin), so correctly protected entries are
+   always causally ordered through the grant chain. A worker that skips the
+   acquire (1% of attempts) produces a CS_Enter event concurrent with other
+   entries - matched by
+
+     Enter1 := [_, CS_Enter, _]; Enter2 := [_, CS_Enter, _];
+     pattern := Enter1 || Enter2;
+
+   Run with: dune exec examples/atomicity_violation.exe *)
+
+module Runner = Ocep_harness.Runner
+
+let () =
+  let w = Ocep_workloads.Atomicity.make ~traces:10 ~seed:5 ~max_events:30_000 () in
+  Format.printf "Atomicity pattern:@.%s@." w.Ocep_workloads.Workload.pattern;
+  let o = Runner.run w in
+  Format.printf "%a@." Runner.pp_outcome o;
+  List.iteri
+    (fun i (r : Ocep.Subset.report) ->
+      if i < 4 then
+        Format.printf "violation: %s and %s inside the critical section concurrently@."
+          r.events.(0).Ocep_base.Event.trace_name r.events.(1).Ocep_base.Event.trace_name)
+    o.Runner.reports;
+  match o.Runner.summary with
+  | Some s ->
+    Format.printf "Median detection latency: %.0f us (paper's Fig. 8 is ~45 us on 2008 hardware).@."
+      s.Ocep_stats.Summary.median
+  | None -> ()

@@ -1,0 +1,37 @@
+(* The deadlock case study (paper Section V-C1).
+
+   A parallel random walk exchanges walkers around a ring with eager MPI
+   sends. A latent bug occasionally makes four processes send bulk batches
+   around a cycle before receiving - each send exceeds the rendezvous
+   threshold, every member blocks, and the application deadlocks. OCEP
+   detects the cycle online from the pairwise-concurrent Blocked_Send
+   events, chained by process/text variables.
+
+   Run with: dune exec examples/mpi_deadlock.exe *)
+
+module Sim = Ocep_sim.Sim
+module Runner = Ocep_harness.Runner
+
+let () =
+  let w = Ocep_workloads.Random_walk.make ~traces:12 ~seed:7 ~max_events:30_000 () in
+  Format.printf "Deadlock pattern (cycle of %d):@.%s@." Ocep_workloads.Random_walk.cycle_len
+    w.Ocep_workloads.Workload.pattern;
+  let o = Runner.run w in
+  Format.printf "%a@." Runner.pp_outcome o;
+  Format.printf "Simulator ground truth: %d deadlock recoveries.@."
+    (List.length o.Runner.sim.Sim.deadlocks);
+  List.iteri
+    (fun i (r : Ocep.Subset.report) ->
+      if i < 3 then begin
+        Format.printf "reported cycle:";
+        Array.iter
+          (fun (e : Ocep_base.Event.t) -> Format.printf " %s->%s" e.trace_name e.text)
+          r.events;
+        Format.printf "@."
+      end)
+    o.Runner.reports;
+  match o.Runner.summary with
+  | Some s ->
+    Format.printf "Per-event detection latency: median %.0f us, max %.0f us.@."
+      s.Ocep_stats.Summary.median s.Ocep_stats.Summary.max
+  | None -> ()

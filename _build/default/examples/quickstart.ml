@@ -1,0 +1,66 @@
+(* Quickstart: the smallest end-to-end use of OCEP.
+
+   We hand-feed a tiny distributed computation (the process-time diagram of
+   the paper's Fig. 3) into the POET substrate and ask the online engine to
+   match the causal pattern [A -> B]. It reports a representative subset:
+   one match per (pattern event, trace) pair that can be covered, even when
+   a bounded sliding window would have lost some of them.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Ocep_base
+module Poet = Ocep_poet.Poet
+module Parser = Ocep_pattern.Parser
+module Compile = Ocep_pattern.Compile
+module Engine = Ocep.Engine
+
+let () =
+  (* 1. Define the pattern: an event of class A causally before one of B. *)
+  let pattern = "A := [_, A, _]; B := [_, B, _]; pattern := A -> B;" in
+  let net = Compile.compile (Parser.parse pattern) in
+  Format.printf "Pattern:@.%s@.Compiled %d-leaf constraint net.@.@." pattern (Compile.size net);
+
+  (* 2. Create the POET store and attach the online engine to it. *)
+  let poet = Poet.create ~trace_names:[| "P0"; "P1"; "P2" |] () in
+  let engine = Engine.create ~net ~poet () in
+
+  (* 3. Feed events. Normally they come from the simulator; here we write
+     the little execution out by hand: an A on P1 (old), an A on P0
+     (recent), and a B on P2 that causally follows both. *)
+  let msg = ref 0 in
+  let ingest raw = ignore (Poet.ingest poet raw) in
+  let internal tr etype =
+    ingest { Event.r_trace = tr; r_etype = etype; r_text = ""; r_kind = Event.Internal }
+  in
+  let send tr =
+    incr msg;
+    ingest { Event.r_trace = tr; r_etype = "msg"; r_text = ""; r_kind = Event.Send { msg = !msg } };
+    !msg
+  in
+  let recv tr m =
+    ingest { Event.r_trace = tr; r_etype = "msg"; r_text = ""; r_kind = Event.Receive { msg = m } }
+  in
+  internal 1 "A";
+  let m1 = send 1 in
+  internal 0 "A";
+  internal 0 "A";
+  let m0 = send 0 in
+  recv 2 m0;
+  recv 2 m1;
+  internal 2 "B";
+
+  (* 4. The engine matched online as events arrived. *)
+  Format.printf "Events processed: %d@." (Engine.events_processed engine);
+  Format.printf "Complete matches found: %d@." (Engine.matches_found engine);
+  Format.printf "Representative subset (%d reports):@." (List.length (Engine.reports engine));
+  List.iter
+    (fun (r : Ocep.Subset.report) ->
+      Format.printf "  match:";
+      Array.iter (fun e -> Format.printf " [%a]" Event.pp e) r.events;
+      Format.printf "@.")
+    (Engine.reports engine);
+  Format.printf "@.Coverage: %d/%d (pattern event, trace) slots covered.@."
+    (Engine.covered_slots engine) (Engine.seen_slots engine);
+  Format.printf
+    "Note the two reports: one match per trace that hosts an A taking part@.\
+     in a match - the representative subset of Section IV-B.@."

@@ -1,0 +1,71 @@
+(* The introduction's motivating example: a traffic-light system where
+   lights in only one direction may be green at a time.
+
+   Each intersection direction is a simulated process; a token message
+   grants the right to turn green. A deliberate bug skips the token wait
+   with small probability, and the causal pattern
+
+     G1 := [$a, Turn_Green, _]; G2 := [$b, Turn_Green, _];
+     pattern := G1 || G2;
+
+   (two concurrent green events) catches every unsafe state online -
+   without ever constructing the global state.
+
+   Run with: dune exec examples/traffic_light.exe *)
+
+open Ocep_base
+module Sim = Ocep_sim.Sim
+module Poet = Ocep_poet.Poet
+module Parser = Ocep_pattern.Parser
+module Compile = Ocep_pattern.Compile
+module Engine = Ocep.Engine
+
+let n_lights = 4
+let rounds = 400
+let bug_rate = 0.02
+
+let light_body prng me =
+  let next = (me + 1) mod n_lights in
+  let prev = (me + n_lights - 1) mod n_lights in
+  (* light 0 starts with the token *)
+  if me = 0 then begin
+    Sim.emit ~etype:"Turn_Green" ~text:"";
+    Sim.emit ~etype:"Turn_Red" ~text:"";
+    Sim.send ~dst:next ~etype:"Pass_Token" ~tag:"tok" ()
+  end;
+  for _ = 1 to rounds do
+    if Prng.bernoulli prng bug_rate then begin
+      (* the bug: turn green without holding the token *)
+      Sim.emit ~etype:"Turn_Green" ~text:"rogue";
+      Sim.emit ~etype:"Turn_Red" ~text:"rogue"
+    end;
+    ignore (Sim.recv ~src:prev ~tag:"tok" ~etype:"Token_Recv" ());
+    Sim.emit ~etype:"Turn_Green" ~text:"";
+    Sim.emit ~etype:"Turn_Red" ~text:"";
+    Sim.send ~dst:next ~etype:"Pass_Token" ~tag:"tok" ()
+  done
+
+let () =
+  let pattern = Ocep_workloads.Patterns.traffic_light in
+  Format.printf "Safety pattern:@.%s@." pattern;
+  let net = Compile.compile (Parser.parse pattern) in
+  let cfg =
+    { (Sim.default_config ~n_procs:n_lights ~seed:2024) with Sim.max_events = 50_000 }
+  in
+  let poet = Poet.create ~trace_names:(Sim.trace_names cfg) () in
+  let engine = Engine.create ~net ~poet () in
+  let bodies =
+    Array.init n_lights (fun i -> fun me -> light_body (Prng.create (1000 + i)) me)
+  in
+  let stats = Sim.run cfg ~sink:(fun raw -> ignore (Poet.ingest poet raw)) ~bodies in
+  Format.printf "Simulated %d light-controller events.@." stats.Sim.events_emitted;
+  Format.printf "Concurrent-green violations matched: %d (reported subset: %d)@."
+    (Engine.matches_found engine)
+    (List.length (Engine.reports engine));
+  List.iter
+    (fun (r : Ocep.Subset.report) ->
+      Format.printf "  unsafe: %s green concurrently with %s@." r.events.(0).Event.trace_name
+        r.events.(1).Event.trace_name)
+    (Engine.reports engine);
+  if Engine.matches_found engine = 0 then
+    Format.printf "No violations this run - raise bug_rate or change the seed.@."

@@ -1,0 +1,1 @@
+lib/base/event.ml: Format Vclock

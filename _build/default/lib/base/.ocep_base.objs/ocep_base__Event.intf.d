@@ -1,0 +1,1 @@
+lib/base/event.mli: Format Vclock

@@ -1,0 +1,1 @@
+lib/base/interval.ml: Format List

@@ -1,0 +1,66 @@
+type trace_id = int
+
+type kind = Send of { msg : int } | Receive of { msg : int } | Internal
+
+type raw = {
+  r_trace : trace_id;
+  r_etype : string;
+  r_text : string;
+  r_kind : kind;
+}
+
+type t = {
+  trace : trace_id;
+  trace_name : string;
+  index : int;
+  etype : string;
+  text : string;
+  kind : kind;
+  vc : Vclock.t;
+}
+
+type relation = Before | After | Concurrent | Equal
+
+let equal a b = a.trace = b.trace && a.index = b.index
+
+let hb a b =
+  if a.trace = b.trace then a.index < b.index
+  else Vclock.get b.vc a.trace >= a.index
+
+let relation a b =
+  if a.trace = b.trace then
+    if a.index = b.index then Equal
+    else if a.index < b.index then Before
+    else After
+  else if Vclock.get b.vc a.trace >= a.index then Before
+  else if Vclock.get a.vc b.trace >= b.index then After
+  else Concurrent
+
+let concurrent a b = relation a b = Concurrent
+
+let msg_of e =
+  match e.kind with
+  | Send { msg } | Receive { msg } -> Some msg
+  | Internal -> None
+
+let is_comm e =
+  match e.kind with
+  | Send _ | Receive _ -> true
+  | Internal -> false
+
+let pp_kind ppf = function
+  | Send { msg } -> Format.fprintf ppf "send#%d" msg
+  | Receive { msg } -> Format.fprintf ppf "recv#%d" msg
+  | Internal -> Format.fprintf ppf "internal"
+
+let pp ppf e =
+  Format.fprintf ppf "%s/%d %s(%s) %a" e.trace_name e.index e.etype e.text pp_kind e.kind
+
+let pp_raw ppf r =
+  Format.fprintf ppf "t%d %s(%s) %a" r.r_trace r.r_etype r.r_text pp_kind r.r_kind
+
+let pp_relation ppf = function
+  | Before -> Format.fprintf ppf "->"
+  | After -> Format.fprintf ppf "<-"
+  | Concurrent -> Format.fprintf ppf "||"
+  | Equal -> Format.fprintf ppf "=="

@@ -1,0 +1,57 @@
+(** Events of a distributed computation.
+
+    An event is a state transition observed on a trace: the sending or
+    receiving of a message, or an internal action. Events carry the three
+    attributes the pattern language matches on — the trace (process) name,
+    a type, and a free-form text field — plus a Fidge/Mattern vector
+    timestamp assigned by the POET substrate. *)
+
+type trace_id = int
+(** Dense trace identifiers in [0, n). *)
+
+type kind =
+  | Send of { msg : int }  (** [msg] uniquely identifies the message; the matching receive carries the same id. *)
+  | Receive of { msg : int }
+  | Internal
+
+(** An event before timestamping, as emitted by the target system. *)
+type raw = {
+  r_trace : trace_id;
+  r_etype : string;
+  r_text : string;
+  r_kind : kind;
+}
+
+type t = {
+  trace : trace_id;
+  trace_name : string;
+  index : int;  (** 1-based position on its trace. *)
+  etype : string;
+  text : string;
+  kind : kind;
+  vc : Vclock.t;
+}
+
+type relation = Before | After | Concurrent | Equal
+
+val hb : t -> t -> bool
+(** [hb a b] is Lamport's happened-before: on the same trace it is index
+    order; across traces it is [Vclock.get b.vc a.trace >= a.index] — the
+    constant-time test of Section III-A. *)
+
+val relation : t -> t -> relation
+(** Full classification of a pair of events. *)
+
+val concurrent : t -> t -> bool
+val equal : t -> t -> bool
+(** Identity: same trace and same index. *)
+
+val msg_of : t -> int option
+(** The message id if the event is a send or a receive. *)
+
+val is_comm : t -> bool
+(** True for send and receive events. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_raw : Format.formatter -> raw -> unit
+val pp_relation : Format.formatter -> relation -> unit

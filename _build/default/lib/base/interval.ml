@@ -1,0 +1,98 @@
+type t = { lo : int; hi : int }
+
+let make lo hi = { lo; hi }
+
+let empty = { lo = 1; hi = 0 }
+
+let full ~max = { lo = 0; hi = max }
+
+let is_empty i = i.lo > i.hi
+
+let mem x i = x >= i.lo && x <= i.hi
+
+let inter a b = { lo = max a.lo b.lo; hi = min a.hi b.hi }
+
+let length i = if is_empty i then 0 else i.hi - i.lo + 1
+
+let pp ppf i =
+  if is_empty i then Format.fprintf ppf "[]"
+  else Format.fprintf ppf "[%d,%d]" i.lo i.hi
+
+let iv_is_empty = is_empty
+let iv_inter = inter
+let iv_mem = mem
+let iv_full = full
+let iv_pp = pp
+
+module Set = struct
+  type iv = t
+  type nonrec t = iv list (* disjoint, increasing, non-empty intervals *)
+
+  let empty = []
+
+  let of_interval i = if iv_is_empty i then [] else [ i ]
+
+  let normalize l =
+    let l = List.filter (fun i -> not (iv_is_empty i)) l in
+    let l = List.sort (fun a b -> compare a.lo b.lo) l in
+    let rec merge = function
+      | a :: b :: rest ->
+        if b.lo <= a.hi + 1 then merge ({ lo = a.lo; hi = max a.hi b.hi } :: rest)
+        else a :: merge (b :: rest)
+      | l -> l
+    in
+    merge l
+
+  let of_intervals l = normalize l
+
+  let full ~max = of_interval (iv_full ~max)
+
+  let is_empty s = s = []
+
+  let mem x s = List.exists (iv_mem x) s
+
+  let inter a b =
+    let rec loop a b acc =
+      match (a, b) with
+      | [], _ | _, [] -> List.rev acc
+      | ia :: ra, ib :: rb ->
+        let i = iv_inter ia ib in
+        let acc = if iv_is_empty i then acc else i :: acc in
+        if ia.hi < ib.hi then loop ra b acc else loop a rb acc
+    in
+    loop a b []
+
+  let union a b = normalize (a @ b)
+
+  let cardinal s = List.fold_left (fun acc i -> acc + length i) 0 s
+
+  let max_elt s =
+    match List.rev s with
+    | [] -> None
+    | i :: _ -> Some i.hi
+
+  let min_elt s =
+    match s with
+    | [] -> None
+    | i :: _ -> Some i.lo
+
+  let next_below s x =
+    let rec loop best = function
+      | [] -> best
+      | i :: rest ->
+        if i.lo > x then best
+        else if i.hi <= x then loop (Some i.hi) rest
+        else Some x
+    in
+    loop None s
+
+  let to_list s = s
+
+  let elements s =
+    List.concat_map
+      (fun i -> List.init (length i) (fun k -> i.lo + k))
+      s
+
+  let pp ppf s =
+    Format.fprintf ppf "{%a}" (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";") iv_pp) s
+end

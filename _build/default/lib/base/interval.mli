@@ -1,0 +1,49 @@
+(** Integer intervals and small interval sets.
+
+    The matcher represents the domain of a pattern event on a trace as a set
+    of positions inside a (sorted) event history. Restricting a domain with
+    respect to an already instantiated event (Fig. 4 of the paper) always
+    yields at most two maximal intervals, so domains are kept as short sorted
+    lists of disjoint intervals. *)
+
+type t = { lo : int; hi : int }
+(** Inclusive bounds; empty when [lo > hi]. *)
+
+val make : int -> int -> t
+val empty : t
+val full : max:int -> t
+(** [full ~max] is \[0, max\]. *)
+
+val is_empty : t -> bool
+val mem : int -> t -> bool
+val inter : t -> t -> t
+val length : t -> int
+
+(** Sets of disjoint intervals in increasing order. *)
+module Set : sig
+  type iv = t
+  type t
+
+  val empty : t
+  val of_interval : iv -> t
+  val of_intervals : iv list -> t
+  (** Normalizes: drops empties, sorts, merges overlaps. *)
+
+  val full : max:int -> t
+  val is_empty : t -> bool
+  val mem : int -> t -> bool
+  val inter : t -> t -> t
+  val union : t -> t -> t
+  val cardinal : t -> int
+  val max_elt : t -> int option
+  val min_elt : t -> int option
+
+  val next_below : t -> int -> int option
+  (** [next_below s x] is the largest element of [s] that is [<= x]. *)
+
+  val to_list : t -> iv list
+  val elements : t -> int list
+  val pp : Format.formatter -> t -> unit
+end
+
+val pp : Format.formatter -> t -> unit

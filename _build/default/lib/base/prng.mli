@@ -1,0 +1,39 @@
+(** Deterministic pseudo-random number generator (SplitMix64).
+
+    Every source of randomness in the simulator and the workload generators
+    goes through an explicit [Prng.t] so that a run is a pure function of its
+    seed, which the test suite and the benchmark harness rely on for
+    reproducibility. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes a fresh generator from a seed. Two generators created
+    from the same seed produce identical streams. *)
+
+val copy : t -> t
+(** Independent copy with the same current state. *)
+
+val split : t -> t
+(** [split t] derives a new, statistically independent generator and advances
+    [t]. Used to give each simulated process its own stream. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in \[0, n); requires [n > 0]. *)
+
+val float : t -> float
+(** Uniform in \[0, 1). *)
+
+val bool : t -> bool
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

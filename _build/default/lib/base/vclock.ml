@@ -1,0 +1,39 @@
+type t = int array
+
+let make ~dim = Array.make dim 0
+
+let dim = Array.length
+
+let get v i = v.(i)
+
+let tick v ~trace =
+  let v' = Array.copy v in
+  v'.(trace) <- v'.(trace) + 1;
+  v'
+
+let merge a b =
+  if Array.length a <> Array.length b then invalid_arg "Vclock.merge: dimension mismatch";
+  Array.mapi (fun i x -> max x b.(i)) a
+
+let tick_merge v incoming ~trace =
+  let v' = merge v incoming in
+  v'.(trace) <- v.(trace) + 1;
+  v'
+
+let leq a b =
+  if Array.length a <> Array.length b then invalid_arg "Vclock.leq: dimension mismatch";
+  let rec loop i = i >= Array.length a || (a.(i) <= b.(i) && loop (i + 1)) in
+  loop 0
+
+let equal a b = a = b
+
+let compare = Stdlib.compare
+
+let to_array = Array.copy
+
+let of_array = Array.copy
+
+let pp ppf v =
+  Format.fprintf ppf "<%a>"
+    (Format.pp_print_array ~pp_sep:(fun ppf () -> Format.fprintf ppf ",") Format.pp_print_int)
+    v

@@ -1,0 +1,40 @@
+(** Vector clocks over traces (Fidge/Mattern timestamps).
+
+    A trace is any sequential entity of the monitored computation — a
+    process, a thread, or a passive entity such as a semaphore. The clock
+    dimension is the number of traces. Entry [i] of the timestamp of an
+    event [e] is the index (1-based position) of the latest event on trace
+    [i] that causally precedes [e] (or equals [e] when [i] is [e]'s own
+    trace); [0] means no event of trace [i] precedes [e]. *)
+
+type t
+
+val make : dim:int -> t
+(** All-zero clock. *)
+
+val dim : t -> int
+val get : t -> int -> int
+
+val tick : t -> trace:int -> t
+(** [tick v ~trace] is a fresh clock equal to [v] with entry [trace]
+    incremented — the timestamp of the next event on [trace] whose most
+    recent causal context is [v]. *)
+
+val merge : t -> t -> t
+(** Pointwise maximum (least upper bound). *)
+
+val tick_merge : t -> t -> trace:int -> t
+(** [tick_merge v incoming ~trace] merges then ticks; the timestamp of a
+    receive event. *)
+
+val leq : t -> t -> bool
+(** Pointwise [<=]; the clock partial order. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+(** Total order for use in containers only (lexicographic); unrelated to
+    causality. *)
+
+val to_array : t -> int array
+val of_array : int array -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/baselines/chrono.ml: Array Event List Ocep Ocep_base Ocep_pattern Option Oracle Vec

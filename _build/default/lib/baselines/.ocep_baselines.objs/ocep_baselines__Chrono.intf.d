@@ -1,0 +1,1 @@
+lib/baselines/chrono.mli: Event Ocep Ocep_base Ocep_pattern

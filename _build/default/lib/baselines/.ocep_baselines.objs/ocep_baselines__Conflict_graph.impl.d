@@ -1,0 +1,1 @@
+lib/baselines/conflict_graph.ml: Array Event List Ocep_base

@@ -1,0 +1,1 @@
+lib/baselines/conflict_graph.mli: Event Ocep_base

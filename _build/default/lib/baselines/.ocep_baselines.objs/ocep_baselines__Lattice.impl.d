@@ -1,0 +1,1 @@
+lib/baselines/lattice.ml: Array Event Hashtbl Ocep_base Queue Vclock

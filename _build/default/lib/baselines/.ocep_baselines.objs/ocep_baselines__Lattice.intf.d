@@ -1,0 +1,1 @@
+lib/baselines/lattice.mli: Event Ocep_base

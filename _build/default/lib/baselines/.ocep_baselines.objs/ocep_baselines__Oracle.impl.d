@@ -1,0 +1,1 @@
+lib/baselines/oracle.ml: Array Event Hashtbl List Ocep_base Ocep_pattern Option

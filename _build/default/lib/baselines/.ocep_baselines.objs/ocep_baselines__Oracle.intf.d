@@ -1,0 +1,1 @@
+lib/baselines/oracle.mli: Event Ocep_base Ocep_pattern

@@ -1,0 +1,1 @@
+lib/baselines/race_checker.ml: Array Event List Ocep_base

@@ -1,0 +1,1 @@
+lib/baselines/race_checker.mli: Event Ocep_base

@@ -1,0 +1,1 @@
+lib/baselines/waitfor.ml: Array Event List Ocep_base Vec

@@ -1,0 +1,1 @@
+lib/baselines/waitfor.mli: Event Ocep_base

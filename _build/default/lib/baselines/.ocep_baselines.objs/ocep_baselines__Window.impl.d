@@ -1,0 +1,1 @@
+lib/baselines/window.ml: Array Event List Ocep_base Ocep_pattern Option Oracle Queue

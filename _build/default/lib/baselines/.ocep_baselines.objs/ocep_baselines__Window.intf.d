@@ -1,0 +1,1 @@
+lib/baselines/window.mli: Event Ocep_base Ocep_pattern

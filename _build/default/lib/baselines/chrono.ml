@@ -1,0 +1,62 @@
+open Ocep_base
+module Compile = Ocep_pattern.Compile
+module History = Ocep.History
+
+type outcome = Found of Event.t array | Not_found | Aborted
+
+exception Budget
+
+let search ~net ~history ~n_traces ~anchor_leaf ~anchor ?(node_budget = max_int) () =
+  if not (Compile.leaf_matches net anchor_leaf anchor) then
+    invalid_arg "Chrono.search: anchor does not match the anchor leaf";
+  let k = Compile.size net in
+  let assigned = Array.make k None in
+  assigned.(anchor_leaf) <- Some anchor;
+  let nodes = ref 0 in
+  (* all events of a leaf, newest-first across traces, materialized lazily *)
+  let candidates leaf =
+    let acc = ref [] in
+    for t = 0 to n_traces - 1 do
+      let v = History.on history ~leaf ~trace:t in
+      Vec.iter (fun (e : History.entry) -> acc := e.ev :: !acc) v
+    done;
+    (* newest-first by (vc sum is wrong); use reverse insertion order per
+       trace then interleave by index descending as a simple heuristic *)
+    List.sort (fun (a : Event.t) (b : Event.t) -> compare b.index a.index) !acc
+  in
+  let order = List.filter (fun i -> i <> anchor_leaf) (List.init k (fun i -> i)) in
+  let events_for_final =
+    (* population for the ~> check: every stored event of the lim leaves *)
+    List.concat_map
+      (fun (i, _) ->
+        let acc = ref [] in
+        for t = 0 to n_traces - 1 do
+          Vec.iter (fun (e : History.entry) -> acc := e.ev :: !acc) (History.on history ~leaf:i ~trace:t)
+        done;
+        !acc)
+      net.Compile.lim_checks
+  in
+  let result = ref Not_found in
+  let rec go = function
+    | [] ->
+      let m = Array.map (fun e -> Option.get e) assigned in
+      if Oracle.is_match ~net ~events:events_for_final m then begin
+        result := Found m;
+        raise Exit
+      end
+    | leaf :: rest ->
+      List.iter
+        (fun x ->
+          incr nodes;
+          if !nodes > node_budget then raise Budget;
+          if Oracle.consistent_exposed ~net assigned leaf x then begin
+            assigned.(leaf) <- Some x;
+            go rest;
+            assigned.(leaf) <- None
+          end)
+        (candidates leaf)
+  in
+  (try go order with
+  | Exit -> ()
+  | Budget -> result := Aborted);
+  (!result, !nodes)

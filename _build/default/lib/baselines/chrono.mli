@@ -1,0 +1,25 @@
+(** Chronological-backtracking matcher (the pruning ablation).
+
+    The strawman the paper mentions in Section IV-C: instead of using the
+    causality of instantiated events to restrict domains (Fig. 4) and
+    timestamps to direct backjumps (Fig. 5), it tries every stored event of
+    each leaf newest-first, tests constraints candidate by candidate, and
+    always backtracks to the previous level. Behaviourally equivalent to
+    {!Ocep.Matcher.search} (same histories, same constraints); only the
+    search strategy differs. *)
+
+open Ocep_base
+module Compile = Ocep_pattern.Compile
+
+type outcome = Found of Event.t array | Not_found | Aborted
+
+val search :
+  net:Compile.t ->
+  history:Ocep.History.t ->
+  n_traces:int ->
+  anchor_leaf:int ->
+  anchor:Event.t ->
+  ?node_budget:int ->
+  unit ->
+  outcome * int
+(** Returns the outcome and the number of candidates examined. *)

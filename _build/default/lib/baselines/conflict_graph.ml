@@ -1,0 +1,26 @@
+open Ocep_base
+
+type t = {
+  enter_etype : string;
+  exit_etype : string;
+  inside : bool array;
+  mutable found : (int * int) list;  (* newest first *)
+}
+
+let create ?(enter_etype = "CS_Enter") ?(exit_etype = "CS_Exit") ~n_traces () =
+  { enter_etype; exit_etype; inside = Array.make n_traces false; found = [] }
+
+let on_event t (ev : Event.t) =
+  if ev.etype = t.enter_etype then begin
+    let conflicts = ref [] in
+    Array.iteri (fun tr in_cs -> if in_cs && tr <> ev.trace then conflicts := (ev.trace, tr) :: !conflicts) t.inside;
+    t.inside.(ev.trace) <- true;
+    t.found <- !conflicts @ t.found;
+    List.rev !conflicts
+  end
+  else begin
+    if ev.etype = t.exit_etype then t.inside.(ev.trace) <- false;
+    []
+  end
+
+let violations t = List.rev t.found

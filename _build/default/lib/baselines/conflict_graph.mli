@@ -1,0 +1,25 @@
+(** Interval-overlap atomicity-violation detector (the conflict-graph
+    approach of Wang–Stoller [40] the paper compares against in Section
+    V-C3, specialized to a single protected resource).
+
+    Tracks which traces are inside the critical section from enter/exit
+    events in the observed linearization. Two sections that are open at the
+    same observed time conflict; with a correctly used semaphore the grant
+    chain serializes them, so any overlap is a mutual-exclusion violation.
+    Note this detector uses observed time, not causality: unlike OCEP it
+    can only flag overlaps that manifest in this particular linearization
+    (the paper's criticism of temporal-causality tools such as D3S). *)
+
+open Ocep_base
+
+type t
+
+val create : ?enter_etype:string -> ?exit_etype:string -> n_traces:int -> unit -> t
+(** Defaults: ["CS_Enter"] / ["CS_Exit"]. *)
+
+val on_event : t -> Event.t -> (int * int) list
+(** Feed the next event; returns the conflicting (this trace, other trace)
+    pairs when the event is an enter that overlaps open sections. *)
+
+val violations : t -> (int * int) list
+(** All conflicting pairs observed so far, oldest first. *)

@@ -1,0 +1,68 @@
+open Ocep_base
+
+type outcome = Found of int array | Not_possible | Budget_exhausted
+
+type result = { outcome : outcome; cuts_explored : int }
+
+let cs_flag ?(enter = "CS_Enter") ?(exit_ = "CS_Exit") (ev : Event.t) =
+  if ev.etype = enter then `Set else if ev.etype = exit_ then `Clear else `Keep
+
+let possibly ~events_by_trace ~flag ~threshold ?(node_budget = 1_000_000) () =
+  let n = Array.length events_by_trace in
+  let lens = Array.map Array.length events_by_trace in
+  (* condition.(t).(i): the trace-t condition after consuming i events *)
+  let condition =
+    Array.map
+      (fun evs ->
+        let a = Array.make (Array.length evs + 1) false in
+        Array.iteri
+          (fun i ev ->
+            a.(i + 1) <- (match flag ev with `Set -> true | `Clear -> false | `Keep -> a.(i)))
+          evs;
+        a)
+      events_by_trace
+  in
+  let satisfied cut =
+    let count = ref 0 in
+    Array.iteri (fun t c -> if condition.(t).(c) then incr count) cut;
+    !count >= threshold
+  in
+  (* advancing trace [t] beyond cut [c] is allowed iff every causal
+     predecessor of the next event is inside the cut already *)
+  let can_advance cut t =
+    cut.(t) < lens.(t)
+    &&
+    let ev : Event.t = events_by_trace.(t).(cut.(t)) in
+    let ok = ref true in
+    for u = 0 to n - 1 do
+      if u <> t && Vclock.get ev.vc u > cut.(u) then ok := false
+    done;
+    !ok
+  in
+  let visited = Hashtbl.create 1024 in
+  let queue = Queue.create () in
+  let start = Array.make n 0 in
+  Hashtbl.replace visited (Array.to_list start) ();
+  Queue.push start queue;
+  let explored = ref 0 in
+  let result = ref None in
+  while !result = None && not (Queue.is_empty queue) do
+    let cut = Queue.pop queue in
+    incr explored;
+    if satisfied cut then result := Some (Found cut)
+    else if !explored >= node_budget then result := Some Budget_exhausted
+    else
+      for t = 0 to n - 1 do
+        if can_advance cut t then begin
+          let next = Array.copy cut in
+          next.(t) <- next.(t) + 1;
+          let key = Array.to_list next in
+          if not (Hashtbl.mem visited key) then begin
+            Hashtbl.replace visited key ();
+            Queue.push next queue
+          end
+        end
+      done
+  done;
+  let outcome = match !result with Some r -> r | None -> Not_possible in
+  { outcome; cuts_explored = !explored }

@@ -1,0 +1,42 @@
+(** Global-predicate detection over the lattice of consistent cuts
+    (Cooper–Marzullo [12]) — the approach whose cost motivates OCEP.
+
+    The paper's introduction contrasts event-pattern matching with
+    detecting a predicate on the global state, which requires exploring an
+    n-dimensional lattice of consistent cuts and is NP-complete in general
+    [29]. This implementation detects [possibly(φ)] for threshold
+    predicates over per-trace boolean conditions (e.g. "at least two
+    processes are inside the critical section"): it walks the lattice
+    breadth-first from the initial cut, pruning inconsistent cuts with
+    vector timestamps and memoizing visited cuts.
+
+    It is exact and linearization-independent, like OCEP — but the number
+    of consistent cuts grows with the product of trace lengths, which is
+    what the benchmark comparison (bench section "lattice") makes
+    visible. *)
+
+open Ocep_base
+
+type outcome =
+  | Found of int array  (** a consistent cut satisfying the predicate *)
+  | Not_possible  (** the whole lattice was explored *)
+  | Budget_exhausted
+
+type result = { outcome : outcome; cuts_explored : int }
+
+val possibly :
+  events_by_trace:Event.t array array ->
+  flag:(Event.t -> [ `Set | `Clear | `Keep ]) ->
+  threshold:int ->
+  ?node_budget:int ->
+  unit ->
+  result
+(** [possibly ~events_by_trace ~flag ~threshold ()] asks whether some
+    consistent cut has at least [threshold] traces whose condition is set:
+    a trace's condition after consuming a prefix is folded with [flag]
+    over the prefix ([`Set] turns it on, [`Clear] off, [`Keep] leaves it).
+    [node_budget] (default 1_000_000) bounds the cuts explored. *)
+
+val cs_flag : ?enter:string -> ?exit_:string -> Event.t -> [ `Set | `Clear | `Keep ]
+(** The critical-section condition: [`Set] on [enter] (default
+    ["CS_Enter"]), [`Clear] on [exit_] (default ["CS_Exit"]). *)

@@ -1,0 +1,121 @@
+open Ocep_base
+module Compile = Ocep_pattern.Compile
+module Ast = Ocep_pattern.Ast
+
+let field_value (ev : Event.t) = function
+  | Compile.Fproc -> ev.trace_name
+  | Compile.Ftyp -> ev.etype
+  | Compile.Ftext -> ev.text
+
+(* Constraint checks against an explicit (possibly partial) assignment. *)
+let consistent ~net assigned i (x : Event.t) =
+  let ok = ref (Compile.leaf_matches net i x) in
+  Array.iteri
+    (fun j e_opt ->
+      if !ok then
+        match (e_opt, net.Compile.cons.(i).(j)) with
+        | Some e, Some a ->
+          if not (Compile.allowed_of_relation (Event.relation x e) a) then ok := false
+        | _ -> ())
+    assigned;
+  if !ok then
+    List.iter
+      (fun (pi, pj) ->
+        if !ok then
+          let check a b =
+            match (a, b) with
+            | Some x', Some e -> (
+              ignore x';
+              match (Event.msg_of x, Event.msg_of e) with
+              | Some m1, Some m2 -> if m1 <> m2 || Event.equal x e then ok := false
+              | _ -> ok := false)
+            | _ -> ()
+          in
+          if pi = i then check (Some x) assigned.(pj)
+          else if pj = i then check (Some x) assigned.(pi))
+      net.Compile.partners;
+  if !ok then
+    List.iter
+      (fun (_v, positions) ->
+        if !ok then begin
+          let mine = List.filter (fun (j, _) -> j = i) positions in
+          List.iter
+            (fun (_, f) ->
+              let xv = field_value x f in
+              List.iter
+                (fun (j, f2) ->
+                  if !ok && j <> i then
+                    match assigned.(j) with
+                    | Some e -> if field_value e f2 <> xv then ok := false
+                    | None -> ())
+                positions;
+              (* self-consistency across this leaf's own positions *)
+              List.iter (fun (_, f') -> if !ok && field_value x f' <> xv then ok := false) mine)
+            mine
+        end)
+      net.Compile.var_fields;
+  !ok
+
+let final_checks ~net ~events (m : Event.t array) =
+  List.for_all
+    (fun (lx, ly) -> List.exists (fun i -> List.exists (fun j -> Event.hb m.(i) m.(j)) ly) lx)
+    net.Compile.exists_before
+  && List.for_all
+       (fun (i, j) ->
+         not
+           (List.exists
+              (fun (x : Event.t) ->
+                Compile.leaf_matches net i x && Event.hb m.(i) x && Event.hb x m.(j))
+              events))
+       net.Compile.lim_checks
+
+let all_matches ~net ~events =
+  let k = Compile.size net in
+  let assigned = Array.make k None in
+  let results = ref [] in
+  let candidates = Array.init k (fun i -> List.filter (Compile.leaf_matches net i) events) in
+  let rec go i =
+    if i = k then begin
+      let m = Array.map (fun e -> Option.get e) assigned in
+      if final_checks ~net ~events m then results := m :: !results
+    end
+    else
+      List.iter
+        (fun x ->
+          if consistent ~net assigned i x then begin
+            assigned.(i) <- Some x;
+            go (i + 1);
+            assigned.(i) <- None
+          end)
+        candidates.(i)
+  in
+  go 0;
+  List.rev !results
+
+let true_slots matches =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun m -> Array.iteri (fun leaf (ev : Event.t) -> Hashtbl.replace tbl (leaf, ev.trace) ()) m)
+    matches;
+  List.sort compare (Hashtbl.fold (fun s () acc -> s :: acc) tbl [])
+
+let is_match ~net ~events m =
+  let k = Compile.size net in
+  if Array.length m <> k then false
+  else begin
+    let assigned = Array.make k None in
+    let ok = ref true in
+    (try
+       for i = 0 to k - 1 do
+         if consistent ~net assigned i m.(i) then
+           assigned.(i) <- Some m.(i)
+         else begin
+           ok := false;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !ok && final_checks ~net ~events m
+  end
+
+let consistent_exposed ~net assigned i x = consistent ~net assigned i x

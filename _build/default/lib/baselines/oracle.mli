@@ -1,0 +1,31 @@
+(** Exhaustive reference matcher.
+
+    Enumerates {e every} match of a pattern over a complete (small)
+    execution by brute force, with none of OCEP's machinery. The property
+    tests compare the online engine against it: every reported match must
+    be in the oracle set (soundness) and the representative subset must
+    cover every slot the oracle's match set covers (the paper's
+    representativeness guarantee). Exponential in the pattern length —
+    test-sized inputs only. *)
+
+open Ocep_base
+module Compile = Ocep_pattern.Compile
+
+val all_matches : net:Compile.t -> events:Event.t list -> Event.t array list
+(** All assignments of events to leaves satisfying every constraint
+    (pairwise relations, partner links, attribute variables, existential
+    compound precedence, limited happens-before). *)
+
+val true_slots : Event.t array list -> (int * int) list
+(** Sorted, deduplicated (leaf, trace) slots instantiated by at least one
+    match: what a representative subset must cover. *)
+
+val is_match : net:Compile.t -> events:Event.t list -> Event.t array -> bool
+(** Independent verification that an assignment satisfies the pattern
+    ([events] supplies the class population for the [~>] check). *)
+
+val consistent_exposed :
+  net:Compile.t -> Event.t option array -> int -> Event.t -> bool
+(** Incremental consistency of one candidate against a partial assignment
+    (class match, relations, partners, variables); shared with the
+    chronological baseline. *)

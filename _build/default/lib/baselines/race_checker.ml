@@ -1,0 +1,36 @@
+open Ocep_base
+
+type t = {
+  window : int;
+  partner_of : Event.t -> Event.t option;
+  recent_sends : Event.t list array;  (* per receiving trace, newest first *)
+  mutable found : (Event.t * Event.t) list;  (* newest first *)
+}
+
+let create ?(window = 64) ~n_traces ~partner_of () =
+  { window; partner_of; recent_sends = Array.make n_traces []; found = [] }
+
+let truncate n l =
+  let rec loop i = function
+    | [] -> []
+    | _ when i >= n -> []
+    | x :: rest -> x :: loop (i + 1) rest
+  in
+  loop 0 l
+
+let on_event t (ev : Event.t) =
+  match ev.kind with
+  | Event.Receive _ -> (
+    match t.partner_of ev with
+    | None -> []
+    | Some send ->
+      let races =
+        List.filter (fun prev -> Event.concurrent send prev) t.recent_sends.(ev.trace)
+      in
+      let pairs = List.map (fun prev -> (send, prev)) races in
+      t.recent_sends.(ev.trace) <- truncate t.window (send :: t.recent_sends.(ev.trace));
+      t.found <- List.rev_append pairs t.found;
+      pairs)
+  | Event.Send _ | Event.Internal -> []
+
+let races t = List.rev t.found

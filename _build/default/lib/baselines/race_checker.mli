@@ -1,0 +1,22 @@
+(** Vector-timestamp message-race checker (Netzer–Miller / MPIRace-Check
+    style, Section V-C2).
+
+    Two messages received by the same trace race when their send events are
+    concurrent. The checker keeps, per receiving trace, a window of recent
+    receive events together with their matching sends, and compares the new
+    send against them with the O(1) vector-clock test. Used to
+    cross-validate the ground truth of the message-race workload. *)
+
+open Ocep_base
+
+type t
+
+val create : ?window:int -> n_traces:int -> partner_of:(Event.t -> Event.t option) -> unit -> t
+(** [window] (default 64) bounds remembered receives per trace. *)
+
+val on_event : t -> Event.t -> (Event.t * Event.t) list
+(** Feed the next event; when it is a receive, returns the racing send
+    pairs (new send, earlier send). *)
+
+val races : t -> (Event.t * Event.t) list
+(** All races found, oldest first. *)

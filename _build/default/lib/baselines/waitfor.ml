@@ -1,0 +1,83 @@
+open Ocep_base
+
+type mode = [ `Incremental | `Full_history ]
+
+type t = {
+  mode : mode;
+  blocked_etype : string;
+  trace_of_name : string -> int option;
+  current : int option array;  (* incremental: one outgoing edge per trace *)
+  all_edges : (int * int) Vec.t;  (* full-history mode *)
+  mutable found : int list list;
+}
+
+let create ~n_traces ~trace_of_name ?(blocked_etype = "Blocked_Send") mode =
+  {
+    mode;
+    blocked_etype;
+    trace_of_name;
+    current = Array.make n_traces None;
+    all_edges = Vec.create ();
+    found = [];
+  }
+
+let follow_chain t start =
+  let rec loop node seen =
+    if List.mem node seen then Some (List.rev seen)
+    else
+      match t.current.(node) with
+      | None -> None
+      | Some next -> loop next (node :: seen)
+  in
+  loop start []
+
+(* DFS over the accumulated multigraph looking for a cycle through [start]. *)
+let dfs_cycle t start =
+  let succs node =
+    Vec.fold_left (fun acc (a, b) -> if a = node then b :: acc else acc) [] t.all_edges
+  in
+  let rec explore node path =
+    if node = start && path <> [] then Some (List.rev path)
+    else if List.mem node path then None
+    else
+      List.fold_left
+        (fun acc next -> match acc with Some _ -> acc | None -> explore next (node :: path))
+        None (succs node)
+  in
+  explore start []
+
+let on_event t (ev : Event.t) =
+  if ev.etype = t.blocked_etype then begin
+    match t.trace_of_name ev.text with
+    | None -> None
+    | Some dst -> (
+      match t.mode with
+      | `Incremental -> (
+        t.current.(ev.trace) <- Some dst;
+        match follow_chain t ev.trace with
+        | Some cycle ->
+          t.found <- cycle :: t.found;
+          Some cycle
+        | None -> None)
+      | `Full_history -> (
+        Vec.push t.all_edges (ev.trace, dst);
+        match dfs_cycle t ev.trace with
+        | Some cycle ->
+          t.found <- cycle :: t.found;
+          Some cycle
+        | None -> None))
+  end
+  else begin
+    (match ev.kind with
+    | Event.Send _ when t.mode = `Incremental -> t.current.(ev.trace) <- None
+    | _ -> ());
+    None
+  end
+
+let detections t = List.rev t.found
+
+let edges t =
+  match t.mode with
+  | `Incremental ->
+    Array.fold_left (fun acc e -> match e with Some _ -> acc + 1 | None -> acc) 0 t.current
+  | `Full_history -> Vec.length t.all_edges

@@ -1,0 +1,63 @@
+open Ocep_base
+module Compile = Ocep_pattern.Compile
+
+type t = {
+  net : Compile.t;
+  window : int;
+  buf : Event.t Queue.t;
+  mutable found : Event.t array list;  (* newest first *)
+}
+
+let create ~net ~window () =
+  if window <= 0 then invalid_arg "Window.create: window must be positive";
+  { net; window; buf = Queue.create (); found = [] }
+
+(* All matches within the window that instantiate some terminating leaf
+   with [ev]: plain generate-and-test over the window contents. *)
+let matches_with t (ev : Event.t) =
+  let events = List.of_seq (Queue.to_seq t.buf) in
+  let k = Compile.size t.net in
+  let results = ref [] in
+  let anchor_leaves =
+    List.filter
+      (fun i -> t.net.Compile.terminating.(i) && Compile.leaf_matches t.net i ev)
+      (List.init k (fun i -> i))
+  in
+  List.iter
+    (fun anchor ->
+      let assigned = Array.make k None in
+      assigned.(anchor) <- Some ev;
+      let rec go i =
+        if i = k then begin
+          let m = Array.map (fun e -> Option.get e) assigned in
+          if Oracle.is_match ~net:t.net ~events m then results := m :: !results
+        end
+        else if i = anchor then go (i + 1)
+        else
+          List.iter
+            (fun x ->
+              (* reuse the oracle's incremental consistency via is_match at
+                 the end; prune here only on class match to stay simple *)
+              if Compile.leaf_matches t.net i x then begin
+                assigned.(i) <- Some x;
+                go (i + 1);
+                assigned.(i) <- None
+              end)
+            events
+      in
+      go 0)
+    anchor_leaves;
+  !results
+
+let on_event t ev =
+  Queue.push ev t.buf;
+  while Queue.length t.buf > t.window do
+    ignore (Queue.pop t.buf)
+  done;
+  let ms = matches_with t ev in
+  t.found <- ms @ t.found;
+  ms
+
+let matches t = List.rev t.found
+
+let covered_slots t = Oracle.true_slots (matches t)

@@ -1,0 +1,25 @@
+(** Sliding-window matcher baseline (Section II / Fig. 3).
+
+    Keeps only the last [window] events and reports the matches that fall
+    entirely inside the window — the approach OCEP's representative subset
+    is contrasted with: it is bounded-storage too, but suffers the omission
+    problem (a match spanning more than one window is silently lost). The
+    paper's example uses a window of n² events. *)
+
+open Ocep_base
+module Compile = Ocep_pattern.Compile
+
+type t
+
+val create : net:Compile.t -> window:int -> unit -> t
+
+val on_event : t -> Event.t -> Event.t array list
+(** Feed the next event; returns the matches completed by this event within
+    the window (brute-force join over window contents). *)
+
+val matches : t -> Event.t array list
+(** All matches reported so far, oldest first. *)
+
+val covered_slots : t -> (int * int) list
+(** Sorted (leaf, trace) slots covered by the reported matches — compare
+    with {!Oracle.true_slots} to exhibit the omission problem. *)

@@ -1,0 +1,1 @@
+lib/harness/cases.ml: Ocep_workloads

@@ -1,0 +1,1 @@
+lib/harness/cases.mli: Ocep_workloads

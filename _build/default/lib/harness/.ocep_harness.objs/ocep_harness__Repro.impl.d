@@ -1,0 +1,1 @@
+lib/harness/repro.ml: Array Cases Event Format Fun List Ocep Ocep_base Ocep_baselines Ocep_pattern Ocep_poet Ocep_sim Ocep_stats Ocep_workloads Printf Runner Stdlib String Sys Unix

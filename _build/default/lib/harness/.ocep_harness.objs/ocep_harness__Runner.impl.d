@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Array Format Hashtbl List Ocep Ocep_baselines Ocep_pattern Ocep_poet Ocep_sim Ocep_stats Ocep_workloads Unix

@@ -1,0 +1,1 @@
+lib/harness/runner.mli: Format Ocep Ocep_sim Ocep_stats Ocep_workloads

@@ -1,0 +1,21 @@
+let names = [ "deadlock"; "races"; "atomicity"; "ordering" ]
+
+let make name ~traces ~seed ~max_events =
+  match name with
+  | "deadlock" -> Ocep_workloads.Random_walk.make ~traces ~seed ~max_events ()
+  | "races" -> Ocep_workloads.Msg_race.make ~traces ~seed ~max_events ()
+  | "atomicity" -> Ocep_workloads.Atomicity.make ~traces ~seed ~max_events ()
+  | "ordering" -> Ocep_workloads.Ordering.make ~traces ~seed ~max_events ()
+  | other -> invalid_arg ("Cases.make: unknown case " ^ other)
+
+let paper_trace_counts = function
+  | "ordering" -> [ 50; 100; 500 ]
+  | _ -> [ 10; 20; 50 ]
+
+(* Fig. 10 of the paper (microseconds, Core 2 Duo 2 GHz). *)
+let paper_fig10_us = function
+  | "deadlock" -> (1712., 1805., 1888., 2153., 14931.)
+  | "races" -> (49., 69., 76., 117., 10830.)
+  | "atomicity" -> (42., 45., 51., 65., 6819.)
+  | "ordering" -> (119., 121., 124., 132., 7668.)
+  | other -> invalid_arg ("Cases.paper_fig10_us: unknown case " ^ other)

@@ -1,0 +1,16 @@
+(** Factory for the paper's four case-study workloads by name. *)
+
+val names : string list
+(** ["deadlock"; "races"; "atomicity"; "ordering"]. *)
+
+val make : string -> traces:int -> seed:int -> max_events:int -> Ocep_workloads.Workload.t
+(** Raises [Invalid_argument] on an unknown name. *)
+
+val paper_trace_counts : string -> int list
+(** The x-axis of the corresponding figure: 10/20/50 for the first three
+    (Figs. 6–8), 50/100/500 for ordering (Fig. 9). *)
+
+val paper_fig10_us : string -> float * float * float * float * float
+(** The paper's Fig. 10 row (Q1, Med, Q3, top whisker, max) in
+    microseconds — recorded here so the benchmark output can print the
+    paper-vs-measured comparison. *)

@@ -1,0 +1,97 @@
+module Sim = Ocep_sim.Sim
+module Poet = Ocep_poet.Poet
+module Parser = Ocep_pattern.Parser
+module Compile = Ocep_pattern.Compile
+module Engine = Ocep.Engine
+module Subset = Ocep.Subset
+module Oracle = Ocep_baselines.Oracle
+module Workload = Ocep_workloads.Workload
+module Inject = Ocep_workloads.Inject
+module Summary = Ocep_stats.Summary
+
+type outcome = {
+  events : int;
+  latencies_us : float array;
+  summary : Summary.t option;
+  reports : Subset.report list;
+  matches_found : int;
+  injections_total : int;
+  injections_detected : int;
+  false_reports : int;
+  history_entries : int;
+  covered_slots : int;
+  seen_slots : int;
+  sim : Sim.stats;
+  search_stats : Ocep.Matcher.stats;
+  wall_s : float;
+}
+
+let run ?(engine_config = Engine.default_config) ?(cutoff_margin = 0.05) (w : Workload.t) =
+  let t0 = Unix.gettimeofday () in
+  let names = Sim.trace_names w.sim_config in
+  let poet = Poet.create ~trace_names:names () in
+  let net = Compile.compile (Parser.parse w.pattern) in
+  (* resolve ground truth first so injection events are known even if the
+     engine callback raises *)
+  let last_resolved_seq : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  Poet.subscribe poet (fun ev ->
+      match Inject.resolve w.inject ev with
+      | Some inj -> Hashtbl.replace last_resolved_seq inj.Inject.inj_id (Poet.ingested poet)
+      | None -> ());
+  let engine = Engine.create ~config:engine_config ~net ~poet () in
+  let sim = Sim.run w.sim_config ~sink:(fun raw -> ignore (Poet.ingest poet raw)) ~bodies:w.bodies in
+  let events = Poet.ingested poet in
+  (* completeness over injections fully materialized before the margin *)
+  let margin_seq = int_of_float (float_of_int events *. (1. -. cutoff_margin)) in
+  let considered =
+    List.filter
+      (fun (inj : Inject.injection) ->
+        match Hashtbl.find_opt last_resolved_seq inj.inj_id with
+        | Some seq -> seq <= margin_seq
+        | None -> false)
+      (Inject.complete w.inject)
+  in
+  let detected =
+    List.filter
+      (fun (inj : Inject.injection) ->
+        List.for_all (fun ev -> Engine.find_containing engine ev <> None) inj.Inject.resolved)
+      considered
+  in
+  (* soundness: re-verify every reported match independently *)
+  let reports = Engine.reports engine in
+  let false_reports =
+    List.length
+      (List.filter
+         (fun (r : Subset.report) -> not (Oracle.is_match ~net ~events:[] r.events))
+         reports)
+  in
+  let latencies_us = Engine.latencies_us engine in
+  {
+    events;
+    latencies_us;
+    summary = (if Array.length latencies_us = 0 then None else Some (Summary.of_samples latencies_us));
+    reports;
+    matches_found = Engine.matches_found engine;
+    injections_total = List.length considered;
+    injections_detected = List.length detected;
+    false_reports;
+    history_entries = Engine.history_entries engine;
+    covered_slots = Engine.covered_slots engine;
+    seen_slots = Engine.seen_slots engine;
+    sim;
+    search_stats = Engine.search_stats engine;
+    wall_s = Unix.gettimeofday () -. t0;
+  }
+
+let pp_outcome ppf o =
+  Format.fprintf ppf
+    "events=%d terminating=%d matches=%d reports=%d coverage=%d/%d@\n\
+     completeness: %d/%d injected violations detected, %d false positives@\n\
+     history entries=%d search nodes=%d backjumps=%d searches=%d wall=%.2fs@\n"
+    o.events (Array.length o.latencies_us) o.matches_found (List.length o.reports)
+    o.covered_slots o.seen_slots o.injections_detected o.injections_total o.false_reports
+    o.history_entries o.search_stats.Ocep.Matcher.nodes o.search_stats.Ocep.Matcher.backjumps
+    o.search_stats.Ocep.Matcher.searches o.wall_s;
+  match o.summary with
+  | None -> Format.fprintf ppf "no latency samples@\n"
+  | Some s -> Format.fprintf ppf "latency (us): %a@\n" Summary.pp s

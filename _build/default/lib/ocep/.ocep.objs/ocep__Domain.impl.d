@@ -1,0 +1,1 @@
+lib/ocep/domain.ml: Event History Interval Ocep_base Ocep_pattern Vclock Vec

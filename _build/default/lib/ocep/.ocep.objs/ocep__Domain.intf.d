@@ -1,0 +1,1 @@
+lib/ocep/domain.mli: Event History Interval Ocep_base Ocep_pattern Vec

@@ -1,0 +1,1 @@
+lib/ocep/engine.ml: Array Event Hashtbl History List Matcher Ocep_base Ocep_pattern Ocep_poet Option Subset Unix Vclock Vec

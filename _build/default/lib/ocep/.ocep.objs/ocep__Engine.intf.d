@@ -1,0 +1,1 @@
+lib/ocep/engine.mli: Event Matcher Ocep_base Ocep_pattern Ocep_poet Subset

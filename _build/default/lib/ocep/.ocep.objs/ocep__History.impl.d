@@ -1,0 +1,1 @@
+lib/ocep/history.ml: Array Event Hashtbl Ocep_base Ocep_pattern Vec

@@ -1,0 +1,1 @@
+lib/ocep/history.mli: Event Ocep_base Ocep_pattern Vec

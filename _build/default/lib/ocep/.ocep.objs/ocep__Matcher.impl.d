@@ -1,0 +1,1 @@
+lib/ocep/matcher.ml: Array Domain Event Format History Interval List Ocep_base Ocep_pattern Option Sys Vec

@@ -1,0 +1,1 @@
+lib/ocep/matcher.mli: Event History Ocep_base Ocep_pattern

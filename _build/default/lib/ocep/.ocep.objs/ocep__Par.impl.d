@@ -1,0 +1,1 @@
+lib/ocep/par.ml: Array Atomic Matcher Ocep_pattern Pool

@@ -1,0 +1,1 @@
+lib/ocep/par.mli: Event History Matcher Ocep_base Ocep_pattern Pool

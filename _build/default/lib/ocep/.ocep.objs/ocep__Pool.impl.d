@@ -1,0 +1,1 @@
+lib/ocep/pool.ml: Array Condition List Mutex Option Queue Stdlib

@@ -1,0 +1,1 @@
+lib/ocep/pool.mli:

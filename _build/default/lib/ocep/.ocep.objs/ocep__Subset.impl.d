@@ -1,0 +1,1 @@
+lib/ocep/subset.ml: Array Event List Ocep_base Vec

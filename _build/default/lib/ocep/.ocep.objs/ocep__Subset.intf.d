@@ -1,0 +1,1 @@
+lib/ocep/subset.mli: Event Ocep_base

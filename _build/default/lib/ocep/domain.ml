@@ -1,0 +1,42 @@
+open Ocep_base
+module Compile = Ocep_pattern.Compile
+
+let full v =
+  if Vec.is_empty v then Interval.Set.empty
+  else Interval.Set.of_interval (Interval.make 0 (Vec.length v - 1))
+
+(* Largest position p such that hist[p].ev -> w, i.e. index <= GP(w, trace);
+   -1 when none. On w's own trace the GP is simply index(w) - 1. *)
+let gp_position v ~trace ~w =
+  let gp_index =
+    if trace = (w : Event.t).trace then w.index - 1 else Vclock.get w.vc trace
+  in
+  (* first position with index > gp_index *)
+  Vec.binary_search_first v (fun (e : History.entry) -> e.ev.index > gp_index) - 1
+
+(* Smallest position p such that w -> hist[p].ev; length when none. Uses the
+   monotone timestamp entry for w's trace. On w's own trace it is the first
+   position with a larger index. *)
+let ls_position v ~trace ~w =
+  if trace = (w : Event.t).trace then
+    Vec.binary_search_first v (fun (e : History.entry) -> e.ev.index > w.index)
+  else
+    Vec.binary_search_first v (fun (e : History.entry) ->
+        Vclock.get e.ev.vc w.trace >= w.index)
+
+let restrict v ~trace ~w (a : Compile.allowed) =
+  if Vec.is_empty v then Interval.Set.empty
+  else begin
+    let len = Vec.length v in
+    let p_gp = gp_position v ~trace ~w in
+    let p_ls = ls_position v ~trace ~w in
+    let pieces = ref [] in
+    if a.before then pieces := Interval.make 0 p_gp :: !pieces;
+    if a.after then pieces := Interval.make p_ls (len - 1) :: !pieces;
+    if a.concurrent && trace <> w.trace then
+      (* same-trace events are totally ordered, never concurrent *)
+      pieces := Interval.make (p_gp + 1) (p_ls - 1) :: !pieces;
+    (* strictness of the boundaries already excludes w itself on its own
+       trace, and equality is impossible across traces *)
+    Interval.Set.of_intervals !pieces
+  end

@@ -1,0 +1,34 @@
+(** Domain restriction with respect to an instantiated event (Fig. 4).
+
+    Given the history of a leaf on one trace and an already instantiated
+    event [w], the positions that may still extend the partial match are:
+
+    - relation [Before]  (candidate → w): positions up to the greatest
+      predecessor of [w] on the trace, found from [w]'s own timestamp
+      entry in O(1) plus a binary search;
+    - relation [After]   (w → candidate): positions from the least
+      successor of [w] on, found by binary search on the candidates'
+      timestamp entry for [w]'s trace (monotone along the trace);
+    - relation [Concurrent]: the open window strictly between the two.
+
+    The result is expressed as a set of positions {e inside the history
+    vector}, not trace indices, so it can be intersected across several
+    instantiated events and iterated directly. *)
+
+open Ocep_base
+
+val restrict :
+  History.entry Vec.t -> trace:int -> w:Event.t -> Ocep_pattern.Compile.allowed -> Interval.Set.t
+(** Positions of history entries on [trace] whose relation to [w] is one of
+    the allowed ones. *)
+
+val full : History.entry Vec.t -> Interval.Set.t
+(** All positions. *)
+
+val gp_position : History.entry Vec.t -> trace:int -> w:Event.t -> int
+(** Largest position whose event happens before [w] ([-1] if none): the
+    greatest-predecessor boundary within this history. *)
+
+val ls_position : History.entry Vec.t -> trace:int -> w:Event.t -> int
+(** Smallest position whose event happens after [w] ([length] if none):
+    the least-successor boundary within this history. *)

@@ -1,0 +1,209 @@
+open Ocep_base
+module Compile = Ocep_pattern.Compile
+module Poet = Ocep_poet.Poet
+
+type config = {
+  pruning : bool;
+  max_history_per_trace : int option;
+  pin_searches : bool;
+  node_budget : int option;
+  report_cap : int;
+  record_latency : bool;
+  gc_every : int option;
+}
+
+let default_config =
+  {
+    pruning = true;
+    max_history_per_trace = None;
+    pin_searches = true;
+    node_budget = None;
+    report_cap = 100_000;
+    record_latency = true;
+    gc_every = None;
+  }
+
+(* A leaf's stored events can be garbage-collected once they are in the
+   causal past of every trace iff (a) the leaf never serves as interposer
+   evidence for a [~>] check and (b) its relation to every possible anchor
+   (terminating) leaf excludes Before: any future anchor is causally after
+   a fully-seen event, so such an event can never satisfy the constraint
+   again. *)
+let gc_able_leaves (net : Compile.t) =
+  let k = Compile.size net in
+  Array.init k (fun l ->
+      (not (List.exists (fun (i, _) -> i = l) net.Compile.lim_checks))
+      && List.for_all
+           (fun a ->
+             (not net.Compile.terminating.(a)) || a = l
+             ||
+             match net.Compile.cons.(l).(a) with
+             | Some s -> not s.Compile.before
+             | None -> false)
+           (List.init k (fun i -> i)))
+
+type t = {
+  cfg : config;
+  net : Compile.t;
+  poet : Poet.t;
+  n_traces : int;
+  history : History.t;
+  subset : Subset.t;
+  stats : Matcher.stats;
+  latencies : float Vec.t;
+  frontier : Vclock.t array;  (* latest timestamp seen per trace *)
+  gcable : bool array;
+  matching_leaves : Event.t -> int list;  (* cached dispatch *)
+  mutable matches_found : int;
+  mutable events_processed : int;
+  mutable terminating_arrivals : int;
+  mutable aborted : int;
+}
+
+(* Dispatching an arriving event to the leaves it class-matches: most
+   patterns pin the event type exactly, so index leaves by exact etype and
+   keep the others (wildcard/variable type) in a fallback list. *)
+let make_dispatch (net : Compile.t) =
+  let by_type : (string, int list) Hashtbl.t = Hashtbl.create 16 in
+  let generic = ref [] in
+  Array.iter
+    (fun (l : Compile.leaf) ->
+      match l.cls.Ocep_pattern.Ast.typ with
+      | Ocep_pattern.Ast.Exact ty ->
+        let cur = Option.value ~default:[] (Hashtbl.find_opt by_type ty) in
+        Hashtbl.replace by_type ty (cur @ [ l.id ])
+      | Ocep_pattern.Ast.Any | Ocep_pattern.Ast.Var _ -> generic := !generic @ [ l.id ])
+    net.Compile.leaves;
+  fun (ev : Event.t) ->
+    let candidates =
+      Option.value ~default:[] (Hashtbl.find_opt by_type ev.etype) @ !generic
+    in
+    List.filter (fun i -> Compile.leaf_matches net i ev) candidates
+
+let create ?(config = default_config) ~net ~poet () =
+  let n_traces = Poet.trace_count poet in
+  let t =
+    {
+      cfg = config;
+      net;
+      poet;
+      n_traces;
+      history =
+        History.create net ~n_traces ~pruning:config.pruning
+          ?max_per_trace:config.max_history_per_trace ();
+      subset = Subset.create ~k:(Compile.size net) ~n_traces ~report_cap:config.report_cap ();
+      stats = Matcher.new_stats ();
+      latencies = Vec.create ();
+      frontier = Array.make n_traces (Vclock.make ~dim:n_traces);
+      gcable = gc_able_leaves net;
+      matching_leaves = make_dispatch net;
+      matches_found = 0;
+      events_processed = 0;
+      terminating_arrivals = 0;
+      aborted = 0;
+    }
+  in
+  let trace_of_name = Poet.trace_of_name poet in
+  let partner_of = Poet.find_partner poet in
+  let run_search ?pin ~anchor_leaf ~anchor () =
+    let outcome =
+      Matcher.search ~net ~history:t.history ~n_traces ~trace_of_name ~partner_of ~anchor_leaf
+        ~anchor ?pin
+        ?node_budget:config.node_budget ~stats:t.stats ()
+    in
+    match outcome with
+    | Matcher.Found m ->
+      t.matches_found <- t.matches_found + 1;
+      ignore (Subset.record t.subset ~seq:t.events_processed m)
+    | Matcher.Not_found -> ()
+    | Matcher.Aborted -> t.aborted <- t.aborted + 1
+  in
+  let maybe_gc () =
+    match config.gc_every with
+    | Some n when t.events_processed mod n = 0 && Array.exists (fun b -> b) t.gcable ->
+      (* threshold per trace: the greatest index already covered by every
+         trace's frontier *)
+      let thresholds =
+        Array.init n_traces (fun tr ->
+            Array.fold_left (fun acc vc -> min acc (Vclock.get vc tr)) max_int t.frontier)
+      in
+      ignore (History.gc t.history ~thresholds ~leaves:t.gcable)
+    | _ -> ()
+  in
+  let on_event (ev : Event.t) =
+    t.events_processed <- t.events_processed + 1;
+    t.frontier.(ev.trace) <- ev.vc;
+    History.note_comm t.history ev;
+    let leaves = t.matching_leaves ev in
+    List.iter
+      (fun i ->
+        History.add t.history ~leaf:i ev;
+        Subset.seen t.subset ~leaf:i ~trace:ev.trace)
+      leaves;
+    let terminating = List.filter (fun i -> t.net.Compile.terminating.(i)) leaves in
+    if terminating <> [] then begin
+      t.terminating_arrivals <- t.terminating_arrivals + 1;
+      let t0 = if config.record_latency then Unix.gettimeofday () else 0. in
+      List.iter
+        (fun anchor_leaf ->
+          run_search ~anchor_leaf ~anchor:ev ();
+          if config.pin_searches then
+            List.iter
+              (fun (l, tr) ->
+                (* a pin on the anchor leaf is either the anchor's own slot
+                   (just searched) or contradictory *)
+                if l <> anchor_leaf && not (Subset.is_covered t.subset ~leaf:l ~trace:tr) then
+                  run_search ~pin:(l, tr) ~anchor_leaf ~anchor:ev ())
+              (Subset.uncovered_seen_slots t.subset))
+        terminating;
+      if config.record_latency then
+        Vec.push t.latencies ((Unix.gettimeofday () -. t0) *. 1e6)
+    end;
+    maybe_gc ()
+  in
+  Poet.subscribe poet on_event;
+  t
+
+let net t = t.net
+
+let config t = t.cfg
+
+let reports t = Subset.reports t.subset
+
+let matches_found t = t.matches_found
+
+let find_containing t (ev : Event.t) =
+  let trace_of_name = Poet.trace_of_name t.poet in
+  let partner_of = Poet.find_partner t.poet in
+  let leaves = t.matching_leaves ev in
+  let rec try_leaves = function
+    | [] -> None
+    | anchor_leaf :: rest -> (
+      match
+        Matcher.search ~net:t.net ~history:t.history ~n_traces:t.n_traces ~trace_of_name
+          ~partner_of ~anchor_leaf ~anchor:ev ~stats:t.stats ()
+      with
+      | Matcher.Found m -> Some m
+      | Matcher.Not_found | Matcher.Aborted -> try_leaves rest)
+  in
+  try_leaves leaves
+
+let latencies_us t = Vec.to_array t.latencies
+
+let events_processed t = t.events_processed
+
+let terminating_arrivals t = t.terminating_arrivals
+
+let history_entries t = History.total_entries t.history
+
+let history_entries_for t ~leaf = History.entries_for t.history ~leaf
+
+let history_dropped t = History.dropped t.history
+
+let covered_slots t = Subset.covered_count t.subset
+
+let seen_slots t = Subset.seen_count t.subset
+
+let search_stats t = t.stats
+
+let aborted_searches t = t.aborted

@@ -1,0 +1,68 @@
+(** The online monitor: a POET client that maintains leaf histories and,
+    on every terminating event, searches for matches and maintains the
+    representative subset.
+
+    On arrival of an event the engine (1) advances the communication
+    epoch, (2) appends the event to the history of every leaf it
+    class-matches, and (3) for each {e terminating} leaf it matches, runs
+    one anchored search, plus — when [pin_searches] is on — one pinned
+    search per still-uncovered coverage slot, exactly the
+    goForward/goBackward cycle of Algorithm 1 driven by the subset
+    objective. The wall-clock time of step (3) is recorded per arrival;
+    these samples are the distributions of Figs. 6–10. *)
+
+open Ocep_base
+module Compile = Ocep_pattern.Compile
+module Poet = Ocep_poet.Poet
+
+type config = {
+  pruning : bool;  (** the O(1) history-pruning rule (Section V-D) *)
+  max_history_per_trace : int option;  (** hard storage cap per (leaf, trace) *)
+  pin_searches : bool;  (** search uncovered slots on each terminating event *)
+  node_budget : int option;  (** abort pathological searches, [None] = unlimited *)
+  report_cap : int;  (** retained reported matches *)
+  record_latency : bool;
+  gc_every : int option;
+      (** the paper's future-work extension: every N events, drop history
+          entries provably unable to join any future match (sound for
+          leaves whose relation to every anchor leaf excludes happening
+          before it — e.g. both sides of a pure concurrency pattern).
+          Requires every trace to keep producing events to make progress
+          (the usual vector-clock GC caveat). [None] disables. *)
+}
+
+val default_config : config
+(** pruning on, no cap, pin searches on, no budget, 100_000 reports,
+    latency recording on, gc off. *)
+
+type t
+
+val create : ?config:config -> net:Compile.t -> poet:Poet.t -> unit -> t
+(** Builds the engine and subscribes it to [poet]; every event ingested
+    afterwards is processed. *)
+
+val net : t -> Compile.t
+val config : t -> config
+
+val reports : t -> Subset.report list
+(** The representative subset, in report order. *)
+
+val matches_found : t -> int
+(** Successful searches (includes matches that added no new coverage). *)
+
+val find_containing : t -> Event.t -> Event.t array option
+(** One complete match containing the given event (which must have been
+    processed), for ground-truth queries — independent of the subset. *)
+
+val latencies_us : t -> float array
+(** Per-terminating-arrival processing times, microseconds. *)
+
+val events_processed : t -> int
+val terminating_arrivals : t -> int
+val history_entries : t -> int
+val history_entries_for : t -> leaf:int -> int
+val history_dropped : t -> int
+val covered_slots : t -> int
+val seen_slots : t -> int
+val search_stats : t -> Matcher.stats
+val aborted_searches : t -> int

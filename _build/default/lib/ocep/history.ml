@@ -1,0 +1,132 @@
+open Ocep_base
+module Compile = Ocep_pattern.Compile
+
+type entry = { ev : Event.t; epoch : int }
+
+type t = {
+  net : Compile.t;
+  pruning : bool;
+  max_per_trace : int option;
+  epochs : int array;  (* communication events seen per trace *)
+  hist : entry Vec.t array array;  (* leaf -> trace -> entries *)
+  by_text : (string, int Vec.t) Hashtbl.t array array;
+      (* leaf -> trace -> text -> positions (ascending); lets a bound text
+         variable index its candidates instead of scanning the history *)
+  mutable dropped : int;
+}
+
+let create net ~n_traces ~pruning ?max_per_trace () =
+  let k = Compile.size net in
+  {
+    net;
+    pruning;
+    max_per_trace;
+    epochs = Array.make n_traces 0;
+    hist = Array.init k (fun _ -> Array.init n_traces (fun _ -> Vec.create ()));
+    by_text = Array.init k (fun _ -> Array.init n_traces (fun _ -> Hashtbl.create 8));
+    dropped = 0;
+  }
+
+let note_comm t (ev : Event.t) =
+  if Event.is_comm ev then t.epochs.(ev.trace) <- t.epochs.(ev.trace) + 1
+
+let index_push tbl text pos =
+  let v =
+    match Hashtbl.find_opt tbl text with
+    | Some v -> v
+    | None ->
+      let v = Vec.create () in
+      Hashtbl.replace tbl text v;
+      v
+  in
+  Vec.push v pos
+
+(* Drop the oldest half when over the cap (amortized O(1) per insertion)
+   and rebuild the text index with the shifted positions. *)
+let enforce_cap t ~leaf ~trace v =
+  match t.max_per_trace with
+  | Some cap when Vec.length v > cap ->
+    let entries = Vec.to_array v in
+    let keep = (cap / 2) + 1 in
+    let drop = Array.length entries - keep in
+    Vec.clear v;
+    let tbl = t.by_text.(leaf).(trace) in
+    Hashtbl.reset tbl;
+    Array.iteri
+      (fun i e ->
+        if i >= drop then begin
+          index_push tbl e.ev.Event.text (Vec.length v);
+          Vec.push v e
+        end)
+      entries;
+    t.dropped <- t.dropped + drop
+  | _ -> ()
+
+let same_attrs (a : Event.t) (b : Event.t) = a.etype = b.etype && a.text = b.text
+
+let add t ~leaf (ev : Event.t) =
+  let v = t.hist.(leaf).(ev.trace) in
+  let entry = { ev; epoch = t.epochs.(ev.trace) } in
+  let replaced =
+    t.pruning
+    &&
+    match Vec.last v with
+    | Some prev when prev.epoch = entry.epoch && same_attrs prev.ev ev ->
+      (* same text, so the index entry for this position stays valid *)
+      Vec.replace_last v entry;
+      true
+    | _ -> false
+  in
+  if not replaced then begin
+    index_push t.by_text.(leaf).(ev.trace) ev.text (Vec.length v);
+    Vec.push v entry;
+    enforce_cap t ~leaf ~trace:ev.trace v
+  end
+
+let on t ~leaf ~trace = t.hist.(leaf).(trace)
+
+let positions_for_text t ~leaf ~trace text = Hashtbl.find_opt t.by_text.(leaf).(trace) text
+
+let total_entries t =
+  Array.fold_left
+    (fun acc per_trace -> Array.fold_left (fun acc v -> acc + Vec.length v) acc per_trace)
+    0 t.hist
+
+(* Drop the first [drop] entries of one history and rebuild its text
+   index (positions shift). *)
+let drop_prefix t ~leaf ~trace drop =
+  if drop > 0 then begin
+    let v = t.hist.(leaf).(trace) in
+    let entries = Vec.to_array v in
+    Vec.clear v;
+    let tbl = t.by_text.(leaf).(trace) in
+    Hashtbl.reset tbl;
+    Array.iteri
+      (fun i e ->
+        if i >= drop then begin
+          index_push tbl e.ev.Event.text (Vec.length v);
+          Vec.push v e
+        end)
+      entries;
+    t.dropped <- t.dropped + drop
+  end
+
+let gc t ~thresholds ~leaves =
+  let dropped0 = t.dropped in
+  Array.iteri
+    (fun leaf enabled ->
+      if enabled then
+        Array.iteri
+          (fun trace v ->
+            let drop =
+              Vec.binary_search_first v (fun (e : entry) -> e.ev.index > thresholds.(trace))
+            in
+            drop_prefix t ~leaf ~trace drop)
+          t.hist.(leaf))
+    leaves;
+  t.dropped - dropped0
+
+let entries_for t ~leaf =
+  Array.fold_left (fun acc v -> acc + Vec.length v) 0 t.hist.(leaf)
+
+let dropped t = t.dropped

@@ -1,0 +1,59 @@
+(** Per-leaf event histories (the leaf nodes of the pattern tree).
+
+    Every event that class-matches a leaf is appended to that leaf's
+    history on the event's trace, so within one (leaf, trace) history
+    events are in trace order and both their indices and any entry of
+    their vector timestamps are monotone — which is what lets the domain
+    restriction work by binary search.
+
+    The O(1) redundancy rule of Section V-D is applied on insertion: if
+    the previous event of the same leaf on the same trace has no send or
+    receive event between itself and the new one (same communication
+    epoch) and carries the same attribute values, it is replaced — the two
+    events have identical causal relations to every event on other
+    traces. An optional hard cap bounds each history for arbitrarily long
+    runs (oldest entries are dropped). *)
+
+open Ocep_base
+
+type entry = { ev : Event.t; epoch : int }
+
+type t
+
+val create :
+  Ocep_pattern.Compile.t -> n_traces:int -> pruning:bool -> ?max_per_trace:int -> unit -> t
+
+val note_comm : t -> Event.t -> unit
+(** Advance the communication epoch of the event's trace if the event is a
+    send or a receive. Call on {e every} event, before {!add}. *)
+
+val add : t -> leaf:int -> Event.t -> unit
+(** Append to the leaf's history on the event's trace (with pruning). *)
+
+val on : t -> leaf:int -> trace:int -> entry Vec.t
+(** The (live) history vector; callers must not mutate it. *)
+
+val positions_for_text : t -> leaf:int -> trace:int -> string -> int Ocep_base.Vec.t option
+(** Positions (ascending) of the leaf's entries on the trace whose text
+    equals the given string — the candidate index used when the leaf's
+    text attribute is an exact string or an already-bound variable. *)
+
+val total_entries : t -> int
+(** Current number of stored entries across all leaves and traces, the
+    monitor's storage footprint. *)
+
+val entries_for : t -> leaf:int -> int
+(** Stored entries of one leaf across all traces. *)
+
+val dropped : t -> int
+(** Entries evicted by the [max_per_trace] cap or by {!gc} (not by the
+    O(1) pruning rule). *)
+
+val gc : t -> thresholds:int array -> leaves:bool array -> int
+(** The paper's future-work extension: drop entries that can no longer
+    generate new matches. [thresholds.(tr)] is the greatest trace index on
+    [tr] already in the causal past of {e every} trace's frontier — any
+    future event is causally after such entries, so for a leaf whose
+    relation to every possible anchor leaf excludes [Before] (enabled via
+    [leaves]) they are dead. Returns the number of entries dropped;
+    rebuilds the text index of the affected histories. *)

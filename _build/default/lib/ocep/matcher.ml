@@ -1,0 +1,553 @@
+open Ocep_base
+module Compile = Ocep_pattern.Compile
+module Ast = Ocep_pattern.Ast
+
+type outcome = Found of Event.t array | Not_found | Aborted
+
+type stats = { mutable nodes : int; mutable backjumps : int; mutable searches : int }
+
+let new_stats () = { nodes = 0; backjumps = 0; searches = 0 }
+
+let field_value (ev : Event.t) = function
+  | Compile.Fproc -> ev.trace_name
+  | Compile.Ftyp -> ev.etype
+  | Compile.Ftext -> ev.text
+
+(* Search context shared by the two entry points. *)
+type ctx = {
+  net : Compile.t;
+  history : History.t;
+  n_traces : int;
+  trace_of_name : string -> int option;
+  partner_of : Event.t -> Event.t option;
+  k : int;
+  order : int array;  (* level -> leaf *)
+  level_of : int array;  (* leaf -> level *)
+  assigned : Event.t option array;  (* by leaf *)
+  partner_links : int list array;  (* leaf -> partner-constrained leaves *)
+  leaf_vars : (string * Compile.field) list array;  (* leaf -> its variable fields *)
+  var_positions : (string * (int * Compile.field) list) list;
+  pin : (int * int) option;
+  stats : stats;
+  node_budget : int;
+}
+
+(* Per-level search state. [cursor] is the next position to try on the
+   current trace (descending, newest-first); -1 requests the next trace. *)
+type level_state = {
+  leaf : int;
+  traces : int array;
+  text_filter : string option;
+      (* exact text the candidate must carry (exact spec or bound variable):
+         iterate the history's text index instead of the whole domain *)
+  mutable trace_ix : int;
+  mutable dom : Interval.Set.t;
+  mutable cursor : int;
+  mutable tvec : int Vec.t option;  (* text-index positions for current trace *)
+  mutable tix : int;  (* descending index into tvec *)
+  mutable partner_source : int option;  (* leaf providing the partner event *)
+  mutable partner_done : bool;
+  mutable conflicts : int list;  (* levels *)
+}
+
+let add_conflict st l = if not (List.mem l st.conflicts) then st.conflicts <- l :: st.conflicts
+
+(* Evaluation order: anchor first, then greedily the leaf most constrained
+   by the already-ordered set — the standard most-constrained-first CSP
+   heuristic, which realizes the paper's Order attribute on the pattern
+   tree. A leaf whose text variable is already bound iterates a single
+   index bucket; a bound process variable iterates a single trace; each
+   causal constraint shrinks the domain interval; a partner link determines
+   the event outright. *)
+let make_order net ~anchor_leaf =
+  let k = Compile.size net in
+  let ordered = Array.make k false in
+  ordered.(anchor_leaf) <- true;
+  let var_bound_by_ordered v =
+    match List.assoc_opt v net.Compile.var_fields with
+    | None -> false
+    | Some positions -> List.exists (fun (j, _) -> ordered.(j)) positions
+  in
+  let score u =
+    let cls = net.Compile.leaves.(u).cls in
+    let text_score =
+      match cls.Ast.text with
+      | Ast.Exact _ -> 8
+      | Ast.Var v -> if var_bound_by_ordered v then 8 else 0
+      | Ast.Any -> 0
+    in
+    let proc_score =
+      match cls.Ast.proc with
+      | Ast.Exact _ -> 4
+      | Ast.Var v -> if var_bound_by_ordered v then 4 else 0
+      | Ast.Any -> 0
+    in
+    let cons_score =
+      let c = ref 0 in
+      for j = 0 to k - 1 do
+        if ordered.(j) && net.Compile.cons.(u).(j) <> None then c := !c + 2
+      done;
+      !c
+    in
+    let partner_score =
+      if List.exists (fun (i, j) -> (i = u && ordered.(j)) || (j = u && ordered.(i))) net.Compile.partners
+      then 16
+      else 0
+    in
+    text_score + proc_score + cons_score + partner_score
+  in
+  let order = ref [ anchor_leaf ] in
+  for _ = 2 to k do
+    let best = ref (-1) in
+    let best_score = ref (-1) in
+    for u = 0 to k - 1 do
+      if not ordered.(u) then begin
+        let s = score u in
+        if s > !best_score then begin
+          best_score := s;
+          best := u
+        end
+      end
+    done;
+    ordered.(!best) <- true;
+    order := !best :: !order
+  done;
+  Array.of_list (List.rev !order)
+
+(* The value an attribute variable is currently bound to, with the level of
+   the leaf that bound it. *)
+let binding ctx v =
+  match List.assoc_opt v ctx.var_positions with
+  | None -> None
+  | Some positions ->
+    let rec loop = function
+      | [] -> None
+      | (j, f) :: rest -> (
+        match ctx.assigned.(j) with
+        | Some e -> Some (field_value e f, ctx.level_of.(j))
+        | None -> loop rest)
+    in
+    loop positions
+
+let trace_list ctx st_conflicts leaf =
+  match ctx.pin with
+  | Some (l, t) when l = leaf -> [| t |]
+  | _ -> (
+    let cls = ctx.net.Compile.leaves.(leaf).cls in
+    match cls.Ast.proc with
+    | Ast.Exact name -> (
+      match ctx.trace_of_name name with Some t -> [| t |] | None -> [||])
+    | Ast.Var v -> (
+      match binding ctx v with
+      | Some (name, lvl) -> (
+        add_conflict st_conflicts lvl;
+        match ctx.trace_of_name name with Some t -> [| t |] | None -> [||])
+      | None -> Array.init ctx.n_traces (fun i -> i))
+    | Ast.Any -> Array.init ctx.n_traces (fun i -> i))
+
+let init_level ctx i =
+  let leaf = ctx.order.(i) in
+  let partner_source =
+    List.find_opt (fun j -> ctx.assigned.(j) <> None) ctx.partner_links.(leaf)
+  in
+  let st =
+    {
+      leaf;
+      traces = [||];
+      text_filter = None;
+      trace_ix = -1;
+      dom = Interval.Set.empty;
+      cursor = -1;
+      tvec = None;
+      tix = -1;
+      partner_source;
+      partner_done = false;
+      conflicts = [];
+    }
+  in
+  let traces = trace_list ctx st leaf in
+  let text_filter =
+    match ctx.net.Compile.leaves.(leaf).cls.Ast.text with
+    | Ast.Exact s -> Some s
+    | Ast.Var v -> (
+      match binding ctx v with
+      | Some (value, lvl) ->
+        add_conflict st lvl;
+        Some value
+      | None -> None)
+    | Ast.Any -> None
+  in
+  { st with traces; text_filter }
+
+(* Compute the Fig. 4 domain of [leaf] on trace [t]: intersection of the
+   restrictions by every instantiated event. Every level whose constraint
+   shaped the domain joins the conflict set — if this level later wipes
+   out, any of them could be the culprit (their choices decide which
+   candidates were available at all), so a backjump must not skip them. *)
+let domain_on ctx st t =
+  let leaf = st.leaf in
+  let hist = History.on ctx.history ~leaf ~trace:t in
+  let dom = ref (Domain.full hist) in
+  (try
+     Array.iteri
+       (fun j e_opt ->
+         match (e_opt, ctx.net.Compile.cons.(leaf).(j)) with
+         | Some e, Some a ->
+           add_conflict st ctx.level_of.(j);
+           dom := Interval.Set.inter !dom (Domain.restrict hist ~trace:t ~w:e a);
+           if Interval.Set.is_empty !dom then raise Exit
+         | _ -> ())
+       ctx.assigned
+   with Exit -> ());
+  !dom
+
+(* Does [x] satisfy every constraint against the instantiated events? On
+   rejection the conflicting level is recorded for backjumping. *)
+let accept ctx st (x : Event.t) =
+  let leaf = st.leaf in
+  let ok = ref true in
+  (* causal relations (already true for history candidates by construction;
+     re-checked cheaply, and required for partner-derived candidates) *)
+  Array.iteri
+    (fun j e_opt ->
+      if !ok then
+        match (e_opt, ctx.net.Compile.cons.(leaf).(j)) with
+        | Some e, Some a ->
+          if not (Compile.allowed_of_relation (Event.relation x e) a) then begin
+            add_conflict st ctx.level_of.(j);
+            ok := false
+          end
+        | Some e, None ->
+          (* distinct unconstrained leaves may share an event; nothing to do *)
+          ignore e
+        | _ -> ())
+    ctx.assigned;
+  (* partner links *)
+  if !ok then
+    List.iter
+      (fun j ->
+        if !ok then
+          match ctx.assigned.(j) with
+          | Some e ->
+            let same_msg =
+              match (Event.msg_of x, Event.msg_of e) with
+              | Some a, Some b -> a = b && not (Event.equal x e)
+              | _ -> false
+            in
+            if not same_msg then begin
+              add_conflict st ctx.level_of.(j);
+              ok := false
+            end
+          | None -> ())
+      ctx.partner_links.(leaf);
+  (* attribute variables: self-consistency and consistency with bindings *)
+  if !ok then
+    List.iter
+      (fun (v, f) ->
+        if !ok then begin
+          let xv = field_value x f in
+          (* self-consistency with the leaf's other positions of v *)
+          List.iter
+            (fun (v', f') ->
+              if !ok && v' = v && f' <> f && field_value x f' <> xv then ok := false)
+            ctx.leaf_vars.(leaf);
+          (* consistency with instantiated occurrences *)
+          if !ok then
+            match List.assoc_opt v ctx.var_positions with
+            | None -> ()
+            | Some positions ->
+              List.iter
+                (fun (j, f2) ->
+                  if !ok && j <> leaf then
+                    match ctx.assigned.(j) with
+                    | Some e ->
+                      if field_value e f2 <> xv then begin
+                        add_conflict st ctx.level_of.(j);
+                        ok := false
+                      end
+                    | None -> ())
+                positions
+        end)
+      ctx.leaf_vars.(leaf);
+  !ok
+
+exception Budget
+
+let bump_nodes ctx =
+  ctx.stats.nodes <- ctx.stats.nodes + 1;
+  if ctx.stats.nodes > ctx.node_budget then raise Budget
+
+(* Next raw candidate at this level, newest-first across the trace list. *)
+let rec next_candidate ctx st =
+  match st.partner_source with
+  | Some j -> (
+    if st.partner_done then None
+    else begin
+      st.partner_done <- true;
+      match ctx.assigned.(j) with
+      | None -> None
+      | Some e -> (
+        match ctx.partner_of e with
+        | Some x when Compile.leaf_matches ctx.net st.leaf x -> (
+          match ctx.pin with
+          | Some (l, t) when l = st.leaf && x.trace <> t ->
+            add_conflict st ctx.level_of.(j);
+            None
+          | _ -> Some x)
+        | Some _ | None ->
+          add_conflict st ctx.level_of.(j);
+          None)
+    end)
+  | None -> (
+    match st.tvec with
+    | Some pv ->
+      (* text-indexed iteration: walk the index positions newest-first,
+         keeping those inside the causal domain *)
+      while st.tix >= 0 && not (Interval.Set.mem (Vec.get pv st.tix) st.dom) do
+        st.tix <- st.tix - 1
+      done;
+      if st.tix >= 0 then begin
+        let t = st.traces.(st.trace_ix) in
+        let hist = History.on ctx.history ~leaf:st.leaf ~trace:t in
+        let x = (Vec.get hist (Vec.get pv st.tix)).History.ev in
+        st.tix <- st.tix - 1;
+        Some x
+      end
+      else begin
+        st.tvec <- None;
+        advance_trace ctx st
+      end
+    | None ->
+      if st.cursor >= 0 then begin
+        let t = st.traces.(st.trace_ix) in
+        let hist = History.on ctx.history ~leaf:st.leaf ~trace:t in
+        let x = (Vec.get hist st.cursor).History.ev in
+        st.cursor <-
+          (match Interval.Set.next_below st.dom (st.cursor - 1) with Some p -> p | None -> -1);
+        Some x
+      end
+      else advance_trace ctx st)
+
+and advance_trace ctx st =
+  if st.trace_ix + 1 >= Array.length st.traces then None
+  else begin
+    st.trace_ix <- st.trace_ix + 1;
+    let t = st.traces.(st.trace_ix) in
+    st.dom <- domain_on ctx st t;
+    if Interval.Set.is_empty st.dom then begin
+      st.cursor <- -1;
+      st.tvec <- None;
+      advance_trace ctx st
+    end
+    else begin
+      (match st.text_filter with
+      | Some text -> (
+        match History.positions_for_text ctx.history ~leaf:st.leaf ~trace:t text with
+        | Some pv ->
+          st.tvec <- Some pv;
+          st.tix <- Vec.length pv - 1;
+          st.cursor <- -1
+        | None ->
+          st.tvec <- None;
+          st.cursor <- -1)
+      | None ->
+        st.tvec <- None;
+        st.cursor <- (match Interval.Set.max_elt st.dom with Some p -> p | None -> -1));
+      next_candidate ctx st
+    end
+  end
+
+let debug = Sys.getenv_opt "OCEP_DEBUG" <> None
+
+let next_acceptable ctx st =
+  let rec loop () =
+    match next_candidate ctx st with
+    | None -> None
+    | Some x ->
+      bump_nodes ctx;
+      let ok = accept ctx st x in
+      if debug then
+        Format.eprintf "  leaf %d candidate %a -> %b@." st.leaf Event.pp x ok;
+      if ok then Some x else loop ()
+  in
+  loop ()
+
+(* Limited happens-before: no event of [leaf]'s class strictly causally
+   between a and b, per trace, located with two binary searches. *)
+let lim_ok ctx ~leaf ~a ~b =
+  let interposed = ref false in
+  for t = 0 to ctx.n_traces - 1 do
+    if not !interposed then begin
+      let hist = History.on ctx.history ~leaf ~trace:t in
+      if not (Vec.is_empty hist) then begin
+        let lo = Domain.ls_position hist ~trace:t ~w:a in
+        let hi = Domain.gp_position hist ~trace:t ~w:b in
+        if lo <= hi then interposed := true
+      end
+    end
+  done;
+  not !interposed
+
+let post_checks ctx m =
+  List.for_all
+    (fun (lx, ly) -> List.exists (fun i -> List.exists (fun j -> Event.hb m.(i) m.(j)) ly) lx)
+    ctx.net.Compile.exists_before
+  && List.for_all (fun (i, j) -> lim_ok ctx ~leaf:i ~a:m.(i) ~b:m.(j)) ctx.net.Compile.lim_checks
+
+let extract ctx = Array.map (fun e -> Option.get e) ctx.assigned
+
+let make_ctx ~net ~history ~n_traces ~trace_of_name ~partner_of ~anchor_leaf ~anchor ~pin
+    ~node_budget ~stats =
+  if not (Compile.leaf_matches net anchor_leaf anchor) then
+    invalid_arg "Matcher: anchor event does not match the anchor leaf";
+  (match pin with
+  | Some (l, t) when l = anchor_leaf && t <> (anchor : Event.t).trace ->
+    invalid_arg "Matcher: pin names the anchor leaf on a different trace"
+  | _ -> ());
+  let k = Compile.size net in
+  let order = make_order net ~anchor_leaf in
+  let level_of = Array.make k 0 in
+  Array.iteri (fun lvl leaf -> level_of.(leaf) <- lvl) order;
+  let partner_links = Array.make k [] in
+  List.iter
+    (fun (i, j) ->
+      partner_links.(i) <- j :: partner_links.(i);
+      partner_links.(j) <- i :: partner_links.(j))
+    net.Compile.partners;
+  let leaf_vars = Array.make k [] in
+  List.iter
+    (fun (v, ps) -> List.iter (fun (i, f) -> leaf_vars.(i) <- (v, f) :: leaf_vars.(i)) ps)
+    net.Compile.var_fields;
+  let ctx =
+    {
+      net;
+      history;
+      n_traces;
+      trace_of_name;
+      partner_of;
+      k;
+      order;
+      level_of;
+      assigned = Array.make k None;
+      partner_links;
+      leaf_vars;
+      var_positions = net.Compile.var_fields;
+      pin;
+      stats;
+      node_budget;
+    }
+  in
+  ctx.assigned.(anchor_leaf) <- Some anchor;
+  ctx
+
+(* The main loop: [forward] fills level [i]; a wiped-out level jumps to the
+   deepest conflicting level (goBackward with the recorded information of
+   Fig. 5). *)
+let search ~net ~history ~n_traces ~trace_of_name ~partner_of ~anchor_leaf ~anchor ?pin
+    ?(node_budget = max_int) ?(stats = new_stats ()) () =
+  let ctx =
+    make_ctx ~net ~history ~n_traces ~trace_of_name ~partner_of ~anchor_leaf ~anchor ~pin
+      ~node_budget ~stats
+  in
+  stats.searches <- stats.searches + 1;
+  let k = ctx.k in
+  if k = 1 then
+    if post_checks ctx (extract ctx) then Found (extract ctx) else Not_found
+  else begin
+    let levels = Array.make k None in
+    levels.(1) <- Some (init_level ctx 1);
+    let result = ref None in
+    let i = ref 1 in
+    (try
+       while !result = None do
+         let st = match levels.(!i) with Some st -> st | None -> assert false in
+         match next_acceptable ctx st with
+         | Some x ->
+           ctx.assigned.(st.leaf) <- Some x;
+           if !i = k - 1 then begin
+             let m = extract ctx in
+             if post_checks ctx m then result := Some (Found m)
+             else begin
+               (* keep searching at this level; a post-check failure may be
+                  caused by any earlier choice *)
+               ctx.assigned.(st.leaf) <- None;
+               for l = 0 to !i - 1 do
+                 add_conflict st l
+               done
+             end
+           end
+           else begin
+             incr i;
+             levels.(!i) <- Some (init_level ctx !i)
+           end
+         | None -> (
+           (* goBackward: jump to the deepest conflicting level *)
+           match List.sort (fun a b -> compare b a) st.conflicts with
+           | [] | 0 :: _ -> result := Some Not_found
+           | j :: _ ->
+             ctx.stats.backjumps <- ctx.stats.backjumps + 1;
+             (match levels.(j) with
+             | Some stj ->
+               List.iter (fun c -> if c <> j then add_conflict stj c) st.conflicts
+             | None -> assert false);
+             for l = j to !i do
+               (match levels.(l) with
+               | Some s -> ctx.assigned.(s.leaf) <- None
+               | None -> ());
+               if l > j then levels.(l) <- None
+             done;
+             i := j)
+       done
+     with Budget -> result := Some Aborted);
+    match !result with Some r -> r | None -> assert false
+  end
+
+let first_search_leaf ~net ~anchor_leaf =
+  if Compile.size net <= 1 then None else Some (make_order net ~anchor_leaf).(1)
+
+let enumerate ~net ~history ~n_traces ~trace_of_name ~partner_of ~anchor_leaf ~anchor
+    ?(limit = max_int) yield =
+  let stats = new_stats () in
+  let ctx =
+    make_ctx ~net ~history ~n_traces ~trace_of_name ~partner_of ~anchor_leaf ~anchor ~pin:None
+      ~node_budget:max_int ~stats
+  in
+  let k = ctx.k in
+  let found = ref 0 in
+  if k = 1 then begin
+    if post_checks ctx (extract ctx) then yield (extract ctx)
+  end
+  else begin
+    let levels = Array.make k None in
+    levels.(1) <- Some (init_level ctx 1);
+    let i = ref 1 in
+    let stop = ref false in
+    while not !stop do
+      let st = match levels.(!i) with Some st -> st | None -> assert false in
+      match next_acceptable ctx st with
+      | Some x ->
+        ctx.assigned.(st.leaf) <- Some x;
+        if !i = k - 1 then begin
+          let m = extract ctx in
+          if post_checks ctx m then begin
+            yield m;
+            incr found;
+            if !found >= limit then stop := true
+          end;
+          ctx.assigned.(st.leaf) <- None
+        end
+        else begin
+          incr i;
+          levels.(!i) <- Some (init_level ctx !i)
+        end
+      | None ->
+        (* chronological backtracking for exhaustive enumeration *)
+        if !i = 1 then stop := true
+        else begin
+          levels.(!i) <- None;
+          decr i;
+          let prev = match levels.(!i) with Some s -> s | None -> assert false in
+          ctx.assigned.(prev.leaf) <- None
+        end
+    done
+  end

@@ -1,0 +1,72 @@
+(** The OCEP backtracking matcher (Algorithms 1–3).
+
+    A search is anchored at a newly arrived event bound to one leaf. The
+    remaining leaves are instantiated one backtracking level at a time in
+    a connectivity order starting from the anchor. At each level the
+    candidate domain on every trace is restricted by the causal relations
+    to all already instantiated events (Fig. 4, {!Domain.restrict}) and
+    candidates are tried newest-first. A wiped-out level jumps back to the
+    deepest level it actually conflicts with — conflict-directed
+    backjumping in the style of Prosser [33], which the paper's
+    timestamp-recording goBackward realizes — rather than to the
+    chronologically previous one.
+
+    Leaves whose trace is pinned by an exact process attribute, by an
+    already-bound process variable, or by the caller's [pin] argument
+    iterate a single trace; this is what makes run time depend on the
+    traces in the pattern rather than all traces (Section V-D). *)
+
+open Ocep_base
+module Compile = Ocep_pattern.Compile
+
+type outcome =
+  | Found of Event.t array  (** the match, indexed by leaf id *)
+  | Not_found
+  | Aborted  (** node budget exhausted *)
+
+type stats = {
+  mutable nodes : int;  (** candidates examined *)
+  mutable backjumps : int;
+  mutable searches : int;
+}
+
+val new_stats : unit -> stats
+
+val search :
+  net:Compile.t ->
+  history:History.t ->
+  n_traces:int ->
+  trace_of_name:(string -> int option) ->
+  partner_of:(Event.t -> Event.t option) ->
+  anchor_leaf:int ->
+  anchor:Event.t ->
+  ?pin:int * int ->
+  ?node_budget:int ->
+  ?stats:stats ->
+  unit ->
+  outcome
+(** Find one complete match that instantiates [anchor_leaf] with [anchor];
+    with [pin = (leaf, trace)], the match must additionally instantiate
+    [leaf] on [trace]. Raises [Invalid_argument] if the anchor event does
+    not class-match the anchor leaf, or if [pin] names the anchor leaf
+    with a different trace. *)
+
+val first_search_leaf : net:Compile.t -> anchor_leaf:int -> int option
+(** The leaf instantiated at the first backtracking level for this anchor
+    (per the evaluation-order heuristic), or [None] for single-leaf
+    patterns — the level whose trace iteration {!Par} parallelizes. *)
+
+val enumerate :
+  net:Compile.t ->
+  history:History.t ->
+  n_traces:int ->
+  trace_of_name:(string -> int option) ->
+  partner_of:(Event.t -> Event.t option) ->
+  anchor_leaf:int ->
+  anchor:Event.t ->
+  ?limit:int ->
+  (Event.t array -> unit) ->
+  unit
+(** All matches anchored at the event, by exhaustive chronological
+    backtracking over the same pruned domains (used by tests, the oracle
+    comparisons, and the Fig. 3 demonstration). *)

@@ -1,0 +1,46 @@
+module Compile = Ocep_pattern.Compile
+
+let search ~pool ~net ~history ~n_traces ~trace_of_name ~partner_of ~anchor_leaf ~anchor
+    ?(node_budget = max_int) ?(stats = Matcher.new_stats ()) () =
+  match Matcher.first_search_leaf ~net ~anchor_leaf with
+  | None ->
+    (* single-leaf pattern: nothing to parallelize *)
+    Matcher.search ~net ~history ~n_traces ~trace_of_name ~partner_of ~anchor_leaf ~anchor
+      ~node_budget ~stats ()
+  | Some level1_leaf ->
+    let stop = Atomic.make false in
+    (* one task per worker, each owning an interleaved slice of the traces:
+       dispatch cost is paid per worker, not per trace *)
+    let w = Pool.workers pool in
+    let tasks =
+      Array.init (min w n_traces) (fun slice () ->
+          let task_stats = Matcher.new_stats () in
+          let best = ref Matcher.Not_found in
+          let t = ref slice in
+          while !best = Matcher.Not_found && !t < n_traces && not (Atomic.get stop) do
+            (match
+               Matcher.search ~net ~history ~n_traces ~trace_of_name ~partner_of ~anchor_leaf
+                 ~anchor ~pin:(level1_leaf, !t) ~node_budget ~stats:task_stats ()
+             with
+            | Matcher.Found _ as f ->
+              Atomic.set stop true;
+              best := f
+            | Matcher.Aborted -> best := Matcher.Aborted
+            | Matcher.Not_found -> ());
+            t := !t + min w n_traces
+          done;
+          (!best, task_stats))
+    in
+    let results = Pool.run_all pool tasks in
+    stats.Matcher.searches <- stats.Matcher.searches + 1;
+    Array.iter
+      (fun (_, (s : Matcher.stats)) ->
+        stats.Matcher.nodes <- stats.Matcher.nodes + s.Matcher.nodes;
+        stats.Matcher.backjumps <- stats.Matcher.backjumps + s.Matcher.backjumps)
+      results;
+    let found = Array.find_opt (fun (o, _) -> match o with Matcher.Found _ -> true | _ -> false) results in
+    (match found with
+    | Some (o, _) -> o
+    | None ->
+      if Array.exists (fun (o, _) -> o = Matcher.Aborted) results then Matcher.Aborted
+      else Matcher.Not_found)

@@ -1,0 +1,93 @@
+type job = Job of (unit -> unit) | Quit
+
+type t = {
+  n : int;
+  jobs : job Queue.t;
+  m : Mutex.t;
+  have_job : Condition.t;
+  mutable domains : unit Stdlib.Domain.t list;
+  mutable down : bool;
+}
+
+let worker t () =
+  let rec loop () =
+    Mutex.lock t.m;
+    while Queue.is_empty t.jobs do
+      Condition.wait t.have_job t.m
+    done;
+    let job = Queue.pop t.jobs in
+    Mutex.unlock t.m;
+    match job with
+    | Quit -> ()
+    | Job f ->
+      f ();
+      loop ()
+  in
+  loop ()
+
+let create ~workers =
+  let n = max 1 workers in
+  let t =
+    {
+      n;
+      jobs = Queue.create ();
+      m = Mutex.create ();
+      have_job = Condition.create ();
+      domains = [];
+      down = false;
+    }
+  in
+  t.domains <- List.init n (fun _ -> Stdlib.Domain.spawn (worker t));
+  t
+
+let workers t = t.n
+
+let run_all t tasks =
+  let total = Array.length tasks in
+  if total = 0 then [||]
+  else begin
+    let results = Array.make total None in
+    let errors = ref [] in
+    let remaining = ref total in
+    let done_m = Mutex.create () in
+    let all_done = Condition.create () in
+    Mutex.lock t.m;
+    Array.iteri
+      (fun i task ->
+        Queue.push
+          (Job
+             (fun () ->
+               (try results.(i) <- Some (task ())
+                with e ->
+                  Mutex.lock done_m;
+                  errors := e :: !errors;
+                  Mutex.unlock done_m);
+               Mutex.lock done_m;
+               decr remaining;
+               if !remaining = 0 then Condition.signal all_done;
+               Mutex.unlock done_m))
+          t.jobs)
+      tasks;
+    Condition.broadcast t.have_job;
+    Mutex.unlock t.m;
+    Mutex.lock done_m;
+    while !remaining > 0 do
+      Condition.wait all_done done_m
+    done;
+    Mutex.unlock done_m;
+    (match !errors with [] -> () | e :: _ -> raise e);
+    Array.map (fun r -> Option.get r) results
+  end
+
+let shutdown t =
+  if not t.down then begin
+    t.down <- true;
+    Mutex.lock t.m;
+    for _ = 1 to t.n do
+      Queue.push Quit t.jobs
+    done;
+    Condition.broadcast t.have_job;
+    Mutex.unlock t.m;
+    List.iter Stdlib.Domain.join t.domains;
+    t.domains <- []
+  end

@@ -1,0 +1,25 @@
+(** A small fixed pool of worker domains for parallel search
+    (Section VI's third future-work item: the traces traversed at a
+    backtracking level are independent subtrees).
+
+    Tasks must be safe to run concurrently with each other and with the
+    submitting domain — the matcher's searches qualify because they only
+    read the shared history and POET tables, which are never mutated while
+    a search is in flight. *)
+
+type t
+
+val create : workers:int -> t
+(** Spawns [workers] domains (at least 1). *)
+
+val workers : t -> int
+
+val run_all : t -> (unit -> 'a) array -> 'a array
+(** Run every task (in any order, concurrently) and wait for all results,
+    returned in task order. Exceptions escaping a task are re-raised in
+    the caller. Not reentrant: one [run_all] at a time per pool. *)
+
+val shutdown : t -> unit
+(** Terminate and join the workers. The pool must not be used afterwards.
+    Idempotent. Domains left running keep the whole program alive, so call
+    this (or let the owner call it) before exit. *)

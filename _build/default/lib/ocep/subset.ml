@@ -1,0 +1,70 @@
+open Ocep_base
+
+type report = { events : Event.t array; fresh : (int * int) list; seq : int }
+
+type t = {
+  k : int;
+  n_traces : int;
+  covered : bool array array;
+  seenm : bool array array;
+  report_cap : int;
+  reports : report Vec.t;
+  mutable pending : (int * int) list;  (* seen but not covered; lazily filtered *)
+  mutable covered_count : int;
+  mutable seen_count : int;
+}
+
+let create ~k ~n_traces ?(report_cap = max_int) () =
+  {
+    k;
+    n_traces;
+    covered = Array.make_matrix k n_traces false;
+    seenm = Array.make_matrix k n_traces false;
+    report_cap;
+    reports = Vec.create ();
+    pending = [];
+    covered_count = 0;
+    seen_count = 0;
+  }
+
+let seen t ~leaf ~trace =
+  if not t.seenm.(leaf).(trace) then begin
+    t.seenm.(leaf).(trace) <- true;
+    t.seen_count <- t.seen_count + 1;
+    if not t.covered.(leaf).(trace) then t.pending <- (leaf, trace) :: t.pending
+  end
+
+let is_covered t ~leaf ~trace = t.covered.(leaf).(trace)
+
+let is_seen t ~leaf ~trace = t.seenm.(leaf).(trace)
+
+let record t ~seq (m : Event.t array) =
+  let fresh = ref [] in
+  Array.iteri
+    (fun leaf (ev : Event.t) ->
+      if not t.covered.(leaf).(ev.trace) then begin
+        t.covered.(leaf).(ev.trace) <- true;
+        t.covered_count <- t.covered_count + 1;
+        (* an instantiated slot is by definition also seen *)
+        seen t ~leaf ~trace:ev.trace;
+        fresh := (leaf, ev.trace) :: !fresh
+      end)
+    m;
+  match !fresh with
+  | [] -> None
+  | fresh ->
+    let report = { events = m; fresh = List.rev fresh; seq } in
+    if Vec.length t.reports < t.report_cap then Vec.push t.reports report;
+    Some report
+
+(* Filter out slots covered since they were queued; amortized cheap. *)
+let uncovered_seen_slots t =
+  let still = List.filter (fun (l, tr) -> not t.covered.(l).(tr)) t.pending in
+  t.pending <- still;
+  still
+
+let reports t = Vec.to_list t.reports
+
+let covered_count t = t.covered_count
+
+let seen_count t = t.seen_count

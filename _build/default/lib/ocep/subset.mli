@@ -1,0 +1,41 @@
+(** Representative-subset bookkeeping (Section IV-B).
+
+    A coverage slot is a (leaf, trace) pair. The representative subset must
+    contain, for every slot on which a matching event participates in some
+    complete match, at least one reported match instantiating that slot —
+    at most k·n matches. The tracker records which slots have been covered
+    by reported matches, which slots have been seen (some event
+    class-matched the leaf on the trace — only those can possibly need
+    covering), and keeps the reported matches. *)
+
+open Ocep_base
+
+type report = {
+  events : Event.t array;  (** the match, indexed by leaf id *)
+  fresh : (int * int) list;  (** slots this report covered first *)
+  seq : int;  (** ingestion sequence number at report time *)
+}
+
+type t
+
+val create : k:int -> n_traces:int -> ?report_cap:int -> unit -> t
+(** [report_cap] (default [max_int]) bounds the retained report list; the
+    coverage arrays stay exact regardless. *)
+
+val seen : t -> leaf:int -> trace:int -> unit
+val is_covered : t -> leaf:int -> trace:int -> bool
+val is_seen : t -> leaf:int -> trace:int -> bool
+
+val record : t -> seq:int -> Event.t array -> report option
+(** Update coverage with a found match; [Some report] iff it covered at
+    least one new slot (and was therefore added to the subset). *)
+
+val uncovered_seen_slots : t -> (int * int) list
+(** Slots that have candidate events but no covering match yet; the engine
+    re-searches these on every terminating event. *)
+
+val reports : t -> report list
+(** Reported matches, oldest first (capped at [report_cap]). *)
+
+val covered_count : t -> int
+val seen_count : t -> int

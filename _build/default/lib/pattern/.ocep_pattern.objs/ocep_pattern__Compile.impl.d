@@ -1,0 +1,1 @@
+lib/pattern/compile.ml: Array Ast Event Format Hashtbl List Ocep_base Option String

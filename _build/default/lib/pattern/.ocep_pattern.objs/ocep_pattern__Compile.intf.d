@@ -1,0 +1,1 @@
+lib/pattern/compile.mli: Ast Event Format Ocep_base

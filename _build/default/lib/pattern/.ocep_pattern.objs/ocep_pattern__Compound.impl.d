@@ -1,0 +1,1 @@
+lib/pattern/compound.ml: Event Format List Ocep_base

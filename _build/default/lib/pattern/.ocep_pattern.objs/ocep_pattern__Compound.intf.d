@@ -1,0 +1,1 @@
+lib/pattern/compound.mli: Event Format Ocep_base

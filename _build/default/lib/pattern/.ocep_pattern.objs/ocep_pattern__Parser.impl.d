@@ -1,0 +1,1 @@
+lib/pattern/parser.ml: Ast Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/pattern/parser.mli: Ast

@@ -1,0 +1,61 @@
+type attr_spec = Exact of string | Any | Var of string
+
+type class_def = { cname : string; proc : attr_spec; typ : attr_spec; text : attr_spec }
+
+type causal_op =
+  | Happens_before
+  | Concurrent_with
+  | Partner
+  | Limited_hb
+  | Strong_precedes
+  | Entangled
+
+type operand = Class of string | Evar of string | Sub of expr
+
+and expr = Op of causal_op * operand * operand | Single of operand | And of expr * expr
+
+type decl = Class_decl of class_def | Var_decl of { vclass : string; vname : string }
+
+type t = { decls : decl list; pattern : expr }
+
+let pp_attr_spec ppf = function
+  | Exact s -> Format.fprintf ppf "'%s'" s
+  | Any -> Format.fprintf ppf "_"
+  | Var v -> Format.fprintf ppf "$%s" v
+
+let pp_op ppf = function
+  | Happens_before -> Format.fprintf ppf "->"
+  | Concurrent_with -> Format.fprintf ppf "||"
+  | Partner -> Format.fprintf ppf "<>"
+  | Limited_hb -> Format.fprintf ppf "~>"
+  | Strong_precedes -> Format.fprintf ppf "=>"
+  | Entangled -> Format.fprintf ppf "<->"
+
+let rec pp_operand ppf = function
+  | Class c -> Format.fprintf ppf "%s" c
+  | Evar v -> Format.fprintf ppf "$%s" v
+  | Sub e -> Format.fprintf ppf "(%a)" pp_expr e
+
+and pp_expr ppf = function
+  | Op (op, a, b) -> Format.fprintf ppf "%a %a %a" pp_operand a pp_op op pp_operand b
+  | Single o -> Format.fprintf ppf "%a" pp_operand o
+  | And (a, b) -> Format.fprintf ppf "%a && %a" pp_conj a pp_conj b
+
+(* conjuncts that are themselves conjunctions need no parentheses ([&&] is
+   associative) but operator expressions do not, to keep the grammar
+   unambiguous on reparse *)
+and pp_conj ppf = function
+  | And _ as e -> pp_expr ppf e
+  | e -> pp_expr ppf e
+
+let pp_decl ppf = function
+  | Class_decl { cname; proc; typ; text } ->
+    Format.fprintf ppf "%s := [%a, %a, %a];" cname pp_attr_spec proc pp_attr_spec typ
+      pp_attr_spec text
+  | Var_decl { vclass; vname } -> Format.fprintf ppf "%s $%s;" vclass vname
+
+let pp ppf { decls; pattern } =
+  List.iter (fun d -> Format.fprintf ppf "%a@\n" pp_decl d) decls;
+  Format.fprintf ppf "pattern := %a;" pp_expr pattern
+
+let equal (a : t) (b : t) = a = b

@@ -1,0 +1,57 @@
+(** Abstract syntax of the causal-pattern language (Section III of the
+    paper).
+
+    A pattern file is a sequence of statements: event-class definitions
+    ([Synch := \[$1, Synch_Leader, $2\];]), event-variable declarations
+    ([Snapshot $Diff;]) and the pattern itself
+    ([pattern := (Synch -> $Diff) && ...;]).
+
+    Attribute specifications are an exact string, a wildcard, or a
+    variable; a variable that occurs in several attribute positions forces
+    the matched values to be equal. An event variable names one occurrence
+    of a class so that several operators constrain the same matched
+    event. *)
+
+type attr_spec =
+  | Exact of string
+  | Any
+  | Var of string  (** without the leading [$] *)
+
+type class_def = {
+  cname : string;
+  proc : attr_spec;  (** matched against the trace name *)
+  typ : attr_spec;  (** matched against the event type *)
+  text : attr_spec;  (** matched against the text field *)
+}
+
+(** Binary causality operators of Fig. 1 and Section III-B. *)
+type causal_op =
+  | Happens_before  (** [->]: weak precedence on compound operands *)
+  | Concurrent_with  (** [||] *)
+  | Partner  (** [<>]: the two events are the send/receive pair of one message *)
+  | Limited_hb  (** [~>]: happens before with no interposed event of the left class *)
+  | Strong_precedes  (** [=>]: every left event before every right event (Lamport) *)
+  | Entangled  (** [<->]: the compound operands cross (some pair forward, some pair backward) *)
+
+type operand =
+  | Class of string  (** a fresh occurrence of the class *)
+  | Evar of string  (** a declared event variable (shared occurrence) *)
+  | Sub of expr  (** parenthesized compound event *)
+
+and expr =
+  | Op of causal_op * operand * operand
+  | Single of operand  (** pattern that just requires an occurrence *)
+  | And of expr * expr
+
+type decl =
+  | Class_decl of class_def
+  | Var_decl of { vclass : string; vname : string }
+
+type t = { decls : decl list; pattern : expr }
+
+val pp_attr_spec : Format.formatter -> attr_spec -> unit
+val pp_expr : Format.formatter -> expr -> unit
+val pp : Format.formatter -> t -> unit
+(** Prints a pattern file that reparses to an equal AST. *)
+
+val equal : t -> t -> bool

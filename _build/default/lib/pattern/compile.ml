@@ -1,0 +1,251 @@
+open Ocep_base
+
+type allowed = { before : bool; after : bool; concurrent : bool }
+
+type field = Fproc | Ftyp | Ftext
+
+type leaf = { id : int; cls : Ast.class_def; evar : string option }
+
+type t = {
+  source : Ast.t;
+  leaves : leaf array;
+  cons : allowed option array array;
+  partners : (int * int) list;
+  exists_before : (int list * int list) list;
+  lim_checks : (int * int) list;
+  terminating : bool array;
+  var_fields : (string * (int * field) list) list;
+}
+
+exception Compile_error of string
+
+let fail msg = raise (Compile_error msg)
+
+let all = { before = true; after = true; concurrent = true }
+
+let inter a b =
+  { before = a.before && b.before; after = a.after && b.after; concurrent = a.concurrent && b.concurrent }
+
+let is_empty a = (not a.before) && (not a.after) && not a.concurrent
+
+let flip a = { before = a.after; after = a.before; concurrent = a.concurrent }
+
+let allowed_of_relation (r : Event.relation) a =
+  match r with
+  | Event.Before -> a.before
+  | Event.After -> a.after
+  | Event.Concurrent -> a.concurrent
+  | Event.Equal -> false
+
+(* Mutable build state *)
+type builder = {
+  mutable bleaves : leaf list;  (* reversed *)
+  mutable count : int;
+  classes : (string, Ast.class_def) Hashtbl.t;
+  evar_class : (string, string) Hashtbl.t;
+  evar_leaf : (string, int) Hashtbl.t;
+  mutable bcons : (int * int * allowed) list;
+  mutable bpartners : (int * int) list;
+  mutable bexists : (int list * int list) list;
+  mutable blims : (int * int) list;
+}
+
+let new_leaf b cname evar =
+  let cls =
+    match Hashtbl.find_opt b.classes cname with
+    | Some c -> c
+    | None -> fail ("undefined class: " ^ cname)
+  in
+  let id = b.count in
+  b.count <- id + 1;
+  b.bleaves <- { id; cls; evar } :: b.bleaves;
+  id
+
+let leaf_of_evar b v =
+  match Hashtbl.find_opt b.evar_leaf v with
+  | Some id -> id
+  | None ->
+    let cname =
+      match Hashtbl.find_opt b.evar_class v with
+      | Some c -> c
+      | None -> fail ("undeclared event variable: $" ^ v)
+    in
+    let id = new_leaf b cname (Some v) in
+    Hashtbl.replace b.evar_leaf v id;
+    id
+
+(* Leaves of an operand; [Sub] flattens the whole sub-expression. *)
+let rec operand_leaves b = function
+  | Ast.Class c -> [ new_leaf b c None ]
+  | Ast.Evar v -> [ leaf_of_evar b v ]
+  | Ast.Sub e -> expr_leaves b e
+
+and expr_leaves b = function
+  | Ast.Op (op, x, y) ->
+    let lx = operand_leaves b x in
+    let ly = operand_leaves b y in
+    constrain_op b op x y lx ly;
+    lx @ ly
+  | Ast.Single o -> operand_leaves b o
+  | Ast.And (e1, e2) ->
+    (* bind sequentially: leaf ids follow source order *)
+    let l1 = expr_leaves b e1 in
+    let l2 = expr_leaves b e2 in
+    l1 @ l2
+
+and constrain_op b op _x _y lx ly =
+  let pairwise a =
+    List.iter (fun i -> List.iter (fun j -> b.bcons <- (i, j, a) :: b.bcons) ly) lx
+  in
+  let single_single name =
+    match (lx, ly) with
+    | [ i ], [ j ] -> (i, j)
+    | _ -> fail (name ^ " requires primitive operands")
+  in
+  match op with
+  | Ast.Concurrent_with -> pairwise { before = false; after = false; concurrent = true }
+  | Ast.Happens_before -> (
+    match (lx, ly) with
+    | [ i ], [ j ] -> b.bcons <- (i, j, { before = true; after = false; concurrent = false }) :: b.bcons
+    | _ ->
+      (* weak precedence between compound events: no pair may go backwards
+         (that would be crossing/equality), and at least one pair must be
+         related forward *)
+      pairwise { before = true; after = false; concurrent = true };
+      b.bexists <- (lx, ly) :: b.bexists)
+  | Ast.Partner ->
+    let i, j = single_single "<>" in
+    b.bpartners <- (i, j) :: b.bpartners;
+    b.bcons <- (i, j, { before = true; after = true; concurrent = false }) :: b.bcons
+  | Ast.Limited_hb ->
+    let i, j = single_single "~>" in
+    b.blims <- (i, j) :: b.blims;
+    b.bcons <- (i, j, { before = true; after = false; concurrent = false }) :: b.bcons
+  | Ast.Strong_precedes ->
+    (* Lamport's strong precedence: every pair strictly forward *)
+    pairwise { before = true; after = false; concurrent = false }
+  | Ast.Entangled ->
+    (* crossing compound events: any pairwise relation, but at least one
+       pair forward and at least one pair backward (distinct instantiation
+       rules out overlap) *)
+    pairwise all;
+    b.bexists <- (lx, ly) :: b.bexists;
+    b.bexists <- (ly, lx) :: b.bexists
+
+let compile (src : Ast.t) =
+  let b =
+    {
+      bleaves = [];
+      count = 0;
+      classes = Hashtbl.create 8;
+      evar_class = Hashtbl.create 8;
+      evar_leaf = Hashtbl.create 8;
+      bcons = [];
+      bpartners = [];
+      bexists = [];
+      blims = [];
+    }
+  in
+  List.iter
+    (function
+      | Ast.Class_decl cd ->
+        if Hashtbl.mem b.classes cd.Ast.cname then fail ("duplicate class: " ^ cd.Ast.cname);
+        Hashtbl.replace b.classes cd.Ast.cname cd
+      | Ast.Var_decl { vclass; vname } ->
+        if Hashtbl.mem b.evar_class vname then fail ("duplicate event variable: $" ^ vname);
+        Hashtbl.replace b.evar_class vname vclass)
+    src.Ast.decls;
+  ignore (expr_leaves b src.Ast.pattern);
+  let k = b.count in
+  if k = 0 then fail "empty pattern";
+  let leaves = Array.of_list (List.sort (fun a b' -> compare a.id b'.id) b.bleaves) in
+  let cons = Array.make_matrix k k None in
+  let add i j a =
+    if i = j then fail "a leaf cannot be constrained against itself (use distinct classes or variables)";
+    let cur = match cons.(i).(j) with None -> all | Some c -> c in
+    let merged = inter cur a in
+    if is_empty merged then fail "unsatisfiable pattern: contradictory constraints between two events";
+    cons.(i).(j) <- Some merged;
+    cons.(j).(i) <- Some (flip merged)
+  in
+  List.iter (fun (i, j, a) -> add i j a) b.bcons;
+  (* terminating: never forced to strictly precede another leaf *)
+  let terminating =
+    Array.init k (fun i ->
+        not
+          (Array.exists
+             (function Some { before = true; after = false; concurrent = false } -> true | _ -> false)
+             cons.(i)))
+  in
+  (* attribute-variable occurrence positions *)
+  let var_tbl : (string, (int * field) list) Hashtbl.t = Hashtbl.create 8 in
+  let record v pos =
+    let cur = Option.value ~default:[] (Hashtbl.find_opt var_tbl v) in
+    Hashtbl.replace var_tbl v (pos :: cur)
+  in
+  Array.iter
+    (fun l ->
+      (match l.cls.Ast.proc with Ast.Var v -> record v (l.id, Fproc) | _ -> ());
+      (match l.cls.Ast.typ with Ast.Var v -> record v (l.id, Ftyp) | _ -> ());
+      match l.cls.Ast.text with Ast.Var v -> record v (l.id, Ftext) | _ -> ())
+    leaves;
+  let var_fields = Hashtbl.fold (fun v ps acc -> (v, List.rev ps) :: acc) var_tbl [] in
+  let var_fields = List.sort compare var_fields in
+  {
+    source = src;
+    leaves;
+    cons;
+    partners = List.rev b.bpartners;
+    exists_before = List.rev b.bexists;
+    lim_checks = List.rev b.blims;
+    terminating;
+    var_fields;
+  }
+
+let size t = Array.length t.leaves
+
+let spec_matches spec value =
+  match spec with
+  | Ast.Exact s -> s = value
+  | Ast.Any | Ast.Var _ -> true
+
+let leaf_matches t i (ev : Event.t) =
+  let cls = t.leaves.(i).cls in
+  spec_matches cls.Ast.typ ev.etype
+  && spec_matches cls.Ast.proc ev.trace_name
+  && spec_matches cls.Ast.text ev.text
+
+let pp_allowed ppf a =
+  let parts =
+    (if a.before then [ "->" ] else [])
+    @ (if a.after then [ "<-" ] else [])
+    @ if a.concurrent then [ "||" ] else []
+  in
+  Format.fprintf ppf "{%s}" (String.concat "," parts)
+
+let pp ppf t =
+  let k = size t in
+  Format.fprintf ppf "net with %d leaves:@\n" k;
+  Array.iter
+    (fun l ->
+      Format.fprintf ppf "  leaf %d: %s%s@\n" l.id l.cls.Ast.cname
+        (match l.evar with None -> "" | Some v -> " ($" ^ v ^ ")"))
+    t.leaves;
+  for i = 0 to k - 1 do
+    for j = i + 1 to k - 1 do
+      match t.cons.(i).(j) with
+      | None -> ()
+      | Some a -> Format.fprintf ppf "  (%d,%d): %a@\n" i j pp_allowed a
+    done
+  done;
+  List.iter (fun (i, j) -> Format.fprintf ppf "  partner (%d,%d)@\n" i j) t.partners;
+  List.iter
+    (fun (lx, ly) ->
+      Format.fprintf ppf "  exists-before [%s] [%s]@\n"
+        (String.concat "," (List.map string_of_int lx))
+        (String.concat "," (List.map string_of_int ly)))
+    t.exists_before;
+  List.iter (fun (i, j) -> Format.fprintf ppf "  lim (%d,%d)@\n" i j) t.lim_checks;
+  Format.fprintf ppf "  terminating: %s@\n"
+    (String.concat ","
+       (List.filteri (fun i _ -> t.terminating.(i)) (Array.to_list (Array.mapi (fun i _ -> string_of_int i) t.leaves))))

@@ -1,0 +1,68 @@
+(** Compilation of a parsed pattern into the constraint net the matcher
+    executes.
+
+    The paper's pattern tree has one leaf per primitive-event occurrence
+    and internal nodes for compound expressions. The net flattens that
+    tree: each leaf keeps its class definition; each pair of leaves carries
+    the set of atomic causal relations ([Before]/[After]/[Concurrent]) the
+    internal nodes allow between them; compound precedence additionally
+    records an existential post-check (at least one cross pair related by
+    [→], per weak precedence); [~>] records a no-interposed-occurrence
+    post-check; [<>] records a partner link.
+
+    Equality of two distinct leaf instantiations is allowed only between
+    leaves with no constraint at all. *)
+
+open Ocep_base
+
+type allowed = { before : bool; after : bool; concurrent : bool }
+(** Non-empty set of permitted relations for a constrained pair. *)
+
+type field = Fproc | Ftyp | Ftext
+
+type leaf = {
+  id : int;
+  cls : Ast.class_def;
+  evar : string option;  (** the event variable this leaf realizes, if any *)
+}
+
+type t = {
+  source : Ast.t;
+  leaves : leaf array;
+  cons : allowed option array array;
+      (** [cons.(i).(j)]: allowed relations of (event_i, event_j); [None]
+          when unconstrained. Symmetric under relation flip. *)
+  partners : (int * int) list;
+  exists_before : (int list * int list) list;
+      (** for each compound [X -> Y]: at least one pair (i ∈ fst, j ∈ snd)
+          with event_i → event_j *)
+  lim_checks : (int * int) list;
+      (** [(i, j)] for [i ~> j]: no event of leaf [i]'s class strictly
+          causally between event_i and event_j *)
+  terminating : bool array;
+      (** leaf may be the causally-last constituent of some match; only
+          arrivals matching a terminating leaf can complete a match *)
+  var_fields : (string * (int * field) list) list;
+      (** each attribute variable with the (leaf, field) positions bound to it *)
+}
+
+exception Compile_error of string
+
+val compile : Ast.t -> t
+(** Raises {!Compile_error} on an unsatisfiable or ill-formed pattern
+    (e.g. a partner/limited operator applied to a compound operand, or a
+    leaf constrained against itself). *)
+
+val size : t -> int
+(** Number of leaves, the pattern length [k]. *)
+
+val leaf_matches : t -> int -> Event.t -> bool
+(** Class match of the leaf's exact attributes (variables and wildcards
+    accept anything; consistency of variables is the matcher's job). *)
+
+val allowed_of_relation : Event.relation -> allowed -> bool
+(** Whether a concrete relation is permitted ([Equal] never is). *)
+
+val flip : allowed -> allowed
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,35 @@
+open Ocep_base
+
+type t = Event.t list
+
+let strong_precedes a b = List.for_all (fun x -> List.for_all (fun y -> Event.hb x y) b) a
+
+let weak_precedes a b = List.exists (fun x -> List.exists (fun y -> Event.hb x y) b) a
+
+let overlaps a b = List.exists (fun x -> List.exists (fun y -> Event.equal x y) b) a
+
+let disjoint a b = not (overlaps a b)
+
+let crosses a b = disjoint a b && weak_precedes a b && weak_precedes b a
+
+let entangled a b = crosses a b || overlaps a b
+
+let precedes a b = weak_precedes a b && not (entangled a b)
+
+let concurrent a b =
+  List.for_all (fun x -> List.for_all (fun y -> Event.concurrent x y) b) a
+
+type classification = A_before_B | B_before_A | Concurrent | Entangled
+
+let classify a b =
+  if a = [] || b = [] then invalid_arg "Compound.classify: empty compound event";
+  if entangled a b then Entangled
+  else if weak_precedes a b then A_before_B
+  else if weak_precedes b a then B_before_A
+  else Concurrent
+
+let pp_classification ppf = function
+  | A_before_B -> Format.fprintf ppf "A -> B"
+  | B_before_A -> Format.fprintf ppf "B -> A"
+  | Concurrent -> Format.fprintf ppf "A || B"
+  | Entangled -> Format.fprintf ppf "A <-> B"

@@ -1,0 +1,45 @@
+(** Relationships between compound events (Section III-B).
+
+    A compound event is a non-empty set of causally related primitive
+    events. Lamport's strong precedence, Nichols' weak precedence, and the
+    overlap / disjoint / cross / entanglement classification are all
+    implemented here; [Compile] uses the same definitions to turn operators
+    between compound operands into constraints, and the tests cross-check
+    the two. *)
+
+open Ocep_base
+
+type t = Event.t list
+(** Non-empty; treated as a set (duplicates by event identity ignored). *)
+
+val strong_precedes : t -> t -> bool
+(** [A ≺ B ⟺ ∀a∈A, ∀b∈B: a → b]. *)
+
+val weak_precedes : t -> t -> bool
+(** [∃a∈A, ∃b∈B: a → b]. *)
+
+val overlaps : t -> t -> bool
+(** Shares at least one event. *)
+
+val disjoint : t -> t -> bool
+
+val crosses : t -> t -> bool
+(** [∃a0,a1∈A, ∃b0,b1∈B: a0 → b0 ∧ b1 → a1], with A and B disjoint. *)
+
+val entangled : t -> t -> bool
+(** Crosses or overlaps (definition (1)). *)
+
+val precedes : t -> t -> bool
+(** Definition (2): weak precedence and not entangled. *)
+
+val concurrent : t -> t -> bool
+(** Definition (3): all pairs concurrent. *)
+
+(** The four mutually exclusive relationships of Section III-B. *)
+type classification = A_before_B | B_before_A | Concurrent | Entangled
+
+val classify : t -> t -> classification
+(** Total classification: any two compound events fall in exactly one
+    case. Raises [Invalid_argument] on an empty operand. *)
+
+val pp_classification : Format.formatter -> classification -> unit

@@ -1,0 +1,293 @@
+exception Parse_error of string
+
+type token =
+  | Tident of string
+  | Tvar of string
+  | Tstring of string
+  | Tunderscore
+  | Tlbracket
+  | Trbracket
+  | Tlparen
+  | Trparen
+  | Tcomma
+  | Tsemi
+  | Tassign
+  | Tarrow
+  | Tpar
+  | Tpartner
+  | Tlim
+  | Tstrong
+  | Tentangle
+  | Tand
+  | Teof
+
+let pp_token = function
+  | Tident s -> Printf.sprintf "identifier %S" s
+  | Tvar s -> Printf.sprintf "variable $%s" s
+  | Tstring s -> Printf.sprintf "string '%s'" s
+  | Tunderscore -> "_"
+  | Tlbracket -> "["
+  | Trbracket -> "]"
+  | Tlparen -> "("
+  | Trparen -> ")"
+  | Tcomma -> ","
+  | Tsemi -> ";"
+  | Tassign -> ":="
+  | Tarrow -> "->"
+  | Tpar -> "||"
+  | Tpartner -> "<>"
+  | Tlim -> "~>"
+  | Tstrong -> "=>"
+  | Tentangle -> "<->"
+  | Tand -> "&&"
+  | Teof -> "end of input"
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+
+let is_ident_start c = is_ident_char c && not (c >= '0' && c <= '9')
+
+(* Tokenize the whole input up front; patterns are tiny. *)
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let fail msg = raise (Parse_error (Printf.sprintf "line %d: %s" !line msg)) in
+  let i = ref 0 in
+  let push t = toks := t :: !toks in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '#' then begin
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '\'' then begin
+      let j = ref (!i + 1) in
+      while !j < n && src.[!j] <> '\'' do
+        if src.[!j] = '\n' then fail "unterminated string";
+        incr j
+      done;
+      if !j >= n then fail "unterminated string";
+      push (Tstring (String.sub src (!i + 1) (!j - !i - 1)));
+      i := !j + 1
+    end
+    else if c = '$' then begin
+      let j = ref (!i + 1) in
+      while !j < n && is_ident_char src.[!j] do
+        incr j
+      done;
+      if !j = !i + 1 then fail "expected a name after $";
+      push (Tvar (String.sub src (!i + 1) (!j - !i - 1)));
+      i := !j
+    end
+    else if c = '_' && (!i + 1 >= n || not (is_ident_char src.[!i + 1])) then begin
+      push Tunderscore;
+      incr i
+    end
+    else if is_ident_start c then begin
+      let j = ref !i in
+      while !j < n && is_ident_char src.[!j] do
+        incr j
+      done;
+      push (Tident (String.sub src !i (!j - !i)));
+      i := !j
+    end
+    else begin
+      let three = if !i + 2 < n then String.sub src !i 3 else "" in
+      if three = "<->" then begin
+        push Tentangle;
+        i := !i + 3
+      end
+      else
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      match two with
+      | ":=" -> push Tassign; i := !i + 2
+      | "->" -> push Tarrow; i := !i + 2
+      | "||" -> push Tpar; i := !i + 2
+      | "<>" -> push Tpartner; i := !i + 2
+      | "~>" -> push Tlim; i := !i + 2
+      | "=>" -> push Tstrong; i := !i + 2
+      | "&&" -> push Tand; i := !i + 2
+      | _ -> (
+        match c with
+        | '[' -> push Tlbracket; incr i
+        | ']' -> push Trbracket; incr i
+        | '(' -> push Tlparen; incr i
+        | ')' -> push Trparen; incr i
+        | ',' -> push Tcomma; incr i
+        | ';' -> push Tsemi; incr i
+        | _ -> fail (Printf.sprintf "unexpected character %C" c))
+    end
+  done;
+  push Teof;
+  List.rev !toks
+
+type state = { mutable toks : token list }
+
+let peek st = match st.toks with [] -> Teof | t :: _ -> t
+
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect st t =
+  let got = peek st in
+  if got = t then advance st
+  else raise (Parse_error (Printf.sprintf "expected %s but found %s" (pp_token t) (pp_token got)))
+
+let parse_attr st =
+  match peek st with
+  | Tstring s ->
+    advance st;
+    Ast.Exact s
+  | Tvar v ->
+    advance st;
+    Ast.Var v
+  | Tunderscore ->
+    advance st;
+    Ast.Any
+  | Tident s ->
+    advance st;
+    Ast.Exact s
+  | t -> raise (Parse_error ("expected an attribute but found " ^ pp_token t))
+
+let rec parse_operand st =
+  match peek st with
+  | Tident c ->
+    advance st;
+    Ast.Class c
+  | Tvar v ->
+    advance st;
+    Ast.Evar v
+  | Tlparen ->
+    advance st;
+    let e = parse_expr_toks st in
+    expect st Trparen;
+    Ast.Sub e
+  | t -> raise (Parse_error ("expected an operand but found " ^ pp_token t))
+
+and parse_rel st =
+  let a = parse_operand st in
+  let op =
+    match peek st with
+    | Tarrow -> Some Ast.Happens_before
+    | Tpar -> Some Ast.Concurrent_with
+    | Tpartner -> Some Ast.Partner
+    | Tlim -> Some Ast.Limited_hb
+    | Tstrong -> Some Ast.Strong_precedes
+    | Tentangle -> Some Ast.Entangled
+    | _ -> None
+  in
+  match op with
+  | None -> Ast.Single a
+  | Some op ->
+    advance st;
+    let b = parse_operand st in
+    Ast.Op (op, a, b)
+
+and parse_expr_toks st =
+  let first = parse_rel st in
+  let rec loop acc =
+    match peek st with
+    | Tand ->
+      advance st;
+      let r = parse_rel st in
+      loop (Ast.And (acc, r))
+    | _ -> acc
+  in
+  loop first
+
+let parse_class_def st cname =
+  expect st Tlbracket;
+  let proc = parse_attr st in
+  expect st Tcomma;
+  let typ = parse_attr st in
+  expect st Tcomma;
+  let text = parse_attr st in
+  expect st Trbracket;
+  { Ast.cname; proc; typ; text }
+
+(* Check that every class / event variable used in the expression is
+   declared, and that event variables are used consistently. *)
+let validate decls pattern =
+  let classes = Hashtbl.create 8 in
+  let evars = Hashtbl.create 8 in
+  List.iter
+    (function
+      | Ast.Class_decl cd ->
+        if Hashtbl.mem classes cd.Ast.cname then
+          raise (Parse_error ("duplicate class definition: " ^ cd.Ast.cname));
+        Hashtbl.replace classes cd.Ast.cname ()
+      | Ast.Var_decl { vclass; vname } ->
+        if not (Hashtbl.mem classes vclass) then
+          raise (Parse_error ("event variable $" ^ vname ^ " of undefined class " ^ vclass));
+        if Hashtbl.mem evars vname then
+          raise (Parse_error ("duplicate event variable: $" ^ vname));
+        Hashtbl.replace evars vname ())
+    decls;
+  let rec check_operand = function
+    | Ast.Class c ->
+      if not (Hashtbl.mem classes c) then raise (Parse_error ("undefined class: " ^ c))
+    | Ast.Evar v ->
+      if not (Hashtbl.mem evars v) then raise (Parse_error ("undeclared event variable: $" ^ v))
+    | Ast.Sub e -> check_expr e
+  and check_expr = function
+    | Ast.Op (_, a, b) ->
+      check_operand a;
+      check_operand b
+    | Ast.Single o -> check_operand o
+    | Ast.And (a, b) ->
+      check_expr a;
+      check_expr b
+  in
+  check_expr pattern
+
+let parse src =
+  let st = { toks = tokenize src } in
+  let decls = ref [] in
+  let pattern = ref None in
+  let rec loop () =
+    match peek st with
+    | Teof -> ()
+    | Tident "pattern" ->
+      advance st;
+      expect st Tassign;
+      let e = parse_expr_toks st in
+      expect st Tsemi;
+      if !pattern <> None then raise (Parse_error "duplicate pattern statement");
+      pattern := Some e;
+      loop ()
+    | Tident name -> (
+      advance st;
+      match peek st with
+      | Tassign ->
+        advance st;
+        let cd = parse_class_def st name in
+        expect st Tsemi;
+        decls := Ast.Class_decl cd :: !decls;
+        loop ()
+      | Tvar v ->
+        advance st;
+        expect st Tsemi;
+        decls := Ast.Var_decl { vclass = name; vname = v } :: !decls;
+        loop ()
+      | t -> raise (Parse_error ("expected := or an event variable after " ^ name ^ ", found " ^ pp_token t)))
+    | t -> raise (Parse_error ("expected a statement but found " ^ pp_token t))
+  in
+  loop ();
+  match !pattern with
+  | None -> raise (Parse_error "missing pattern := ... statement")
+  | Some pattern ->
+    let decls = List.rev !decls in
+    validate decls pattern;
+    { Ast.decls; pattern }
+
+let parse_expr src =
+  let st = { toks = tokenize src } in
+  let e = parse_expr_toks st in
+  expect st Teof;
+  e

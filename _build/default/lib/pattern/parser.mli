@@ -1,0 +1,24 @@
+(** Parser for the textual pattern language.
+
+    Grammar (whitespace-separated; [#] starts a line comment):
+    {v
+      file    := { stmt ";" }
+      stmt    := "pattern" ":=" expr
+               | IDENT ":=" "[" attr "," attr "," attr "]"
+               | IDENT "$" IDENT                    (event-variable decl)
+      attr    := "'" chars "'" | "$" IDENT | "_" | IDENT
+      expr    := rel { "&&" rel }
+      rel     := operand [ ("->" | "||" | "<>" | "~>") operand ]
+      operand := IDENT | "$" IDENT | "(" expr ")"
+    v} *)
+
+exception Parse_error of string
+(** Carries a human-readable message with position information. *)
+
+val parse : string -> Ast.t
+(** Raises {!Parse_error} on malformed input, including use of an undefined
+    class or event variable, duplicate definitions, or a missing
+    [pattern := ...] statement. *)
+
+val parse_expr : string -> Ast.expr
+(** Parse a bare pattern expression (used by tests). *)

@@ -1,0 +1,1 @@
+lib/poet/diagram.ml: Array Buffer Event Format Hashtbl List Ocep_base Printf String

@@ -1,0 +1,1 @@
+lib/poet/diagram.mli: Event Ocep_base

@@ -1,0 +1,1 @@
+lib/poet/linearize.ml: Array Event Hashtbl List Ocep_base Prng

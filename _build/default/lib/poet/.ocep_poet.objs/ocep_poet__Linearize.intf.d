@@ -1,0 +1,1 @@
+lib/poet/linearize.mli: Event Ocep_base

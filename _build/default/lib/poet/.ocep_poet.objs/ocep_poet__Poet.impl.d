@@ -1,0 +1,1 @@
+lib/poet/poet.ml: Array Event Hashtbl List Ocep_base Printf Scanf Vclock Vec

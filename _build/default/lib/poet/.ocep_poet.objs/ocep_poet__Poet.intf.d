@@ -1,0 +1,1 @@
+lib/poet/poet.mli: Event Ocep_base

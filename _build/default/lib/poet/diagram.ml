@@ -1,0 +1,72 @@
+open Ocep_base
+
+let render ?(max_events = 60) ?(highlight = []) ~trace_names events =
+  let events =
+    let total = List.length events in
+    if total <= max_events then events
+    else List.filteri (fun i _ -> i >= total - max_events) events
+  in
+  let n = Array.length trace_names in
+  let cols = List.length events in
+  let is_highlighted e = List.exists (Event.equal e) highlight in
+  (* label messages whose both endpoints are visible *)
+  let labels = Hashtbl.create 16 in
+  let next_label = ref 0 in
+  let label_chars = "123456789abcdefghijklmnopqrstuvwxyz" in
+  let seen_sends = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Event.t) ->
+      match e.kind with
+      | Event.Send { msg } -> Hashtbl.replace seen_sends msg ()
+      | Event.Receive { msg } ->
+        if Hashtbl.mem seen_sends msg && not (Hashtbl.mem labels msg) then begin
+          let c = label_chars.[!next_label mod String.length label_chars] in
+          incr next_label;
+          Hashtbl.replace labels msg c
+        end
+      | Event.Internal -> ())
+    events;
+  let grid = Array.make_matrix n cols ' ' in
+  List.iteri
+    (fun col (e : Event.t) ->
+      let ch =
+        if is_highlighted e then '#'
+        else
+          match e.kind with
+          | Event.Internal -> '.'
+          | Event.Send { msg } | Event.Receive { msg } -> (
+            match Hashtbl.find_opt labels msg with Some c -> c | None -> '+')
+      in
+      if e.trace < n then grid.(e.trace).(col) <- ch)
+    events;
+  let buf = Buffer.create 1024 in
+  let name_width =
+    Array.fold_left (fun acc s -> max acc (String.length s)) 0 trace_names
+  in
+  Array.iteri
+    (fun t name ->
+      Buffer.add_string buf (Printf.sprintf "%-*s |" name_width name);
+      Array.iter (Buffer.add_char buf) grid.(t);
+      Buffer.add_char buf '\n')
+    trace_names;
+  if Hashtbl.length labels > 0 then begin
+    Buffer.add_string buf "messages: ";
+    let pairs =
+      Hashtbl.fold (fun msg c acc -> (c, msg) :: acc) labels []
+      |> List.sort compare
+    in
+    List.iteri
+      (fun i (c, msg) ->
+        if i > 0 then Buffer.add_string buf ", ";
+        Buffer.add_string buf (Printf.sprintf "%c=msg#%d" c msg))
+      pairs;
+    Buffer.add_char buf '\n'
+  end;
+  if highlight <> [] then begin
+    Buffer.add_string buf "highlighted:\n";
+    List.iter
+      (fun (e : Event.t) ->
+        Buffer.add_string buf (Format.asprintf "  # %a\n" Event.pp e))
+      highlight
+  end;
+  Buffer.contents buf

@@ -1,0 +1,30 @@
+(** ASCII process-time diagrams.
+
+    POET is, first of all, a visualization tool ("target-system
+    independent visualizations of complex distributed application
+    executions"); this module renders the same picture the paper's Fig. 3
+    draws: one row per trace, time flowing left to right in delivery
+    order, with message endpoints labelled and any highlighted events
+    (typically a reported match) marked.
+
+    {v
+    P0 | . #-----------2 .
+    P1 | 1---------. .
+    P2 |  1  2  . #
+    v}
+
+    Events: [.] internal, [#] highlighted, digits/letters are message
+    labels shared by a send and its receive. *)
+
+open Ocep_base
+
+val render :
+  ?max_events:int ->
+  ?highlight:Event.t list ->
+  trace_names:string array ->
+  Event.t list ->
+  string
+(** [render ~trace_names events] draws the events (given in delivery
+    order; only the last [max_events], default 60, are shown). Events in
+    [highlight] are marked [#]. A legend of the highlighted events and of
+    the message labels follows the diagram. *)

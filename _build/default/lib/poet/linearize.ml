@@ -1,0 +1,49 @@
+open Ocep_base
+
+let is_linearization raws =
+  let sent = Hashtbl.create 64 in
+  List.for_all
+    (fun (r : Event.raw) ->
+      match r.r_kind with
+      | Event.Send { msg } ->
+        Hashtbl.replace sent msg ();
+        true
+      | Event.Receive { msg } -> Hashtbl.mem sent msg
+      | Event.Internal -> true)
+    raws
+
+let shuffle ~seed raws =
+  let prng = Prng.create seed in
+  let max_trace =
+    List.fold_left (fun acc (r : Event.raw) -> max acc r.r_trace) (-1) raws
+  in
+  let queues = Array.make (max_trace + 1) [] in
+  List.iter (fun (r : Event.raw) -> queues.(r.r_trace) <- r :: queues.(r.r_trace)) raws;
+  Array.iteri (fun i q -> queues.(i) <- List.rev q) queues;
+  let sent = Hashtbl.create 64 in
+  let enabled (r : Event.raw) =
+    match r.r_kind with
+    | Event.Receive { msg } -> Hashtbl.mem sent msg
+    | Event.Send _ | Event.Internal -> true
+  in
+  let total = List.length raws in
+  let out = ref [] in
+  for _ = 1 to total do
+    let candidates =
+      Array.to_list queues
+      |> List.mapi (fun i q -> (i, q))
+      |> List.filter_map (fun (i, q) ->
+             match q with r :: _ when enabled r -> Some i | _ -> None)
+    in
+    match candidates with
+    | [] -> failwith "Linearize.shuffle: input is not a valid partial-order execution"
+    | _ ->
+      let tr = List.nth candidates (Prng.int prng (List.length candidates)) in
+      (match queues.(tr) with
+      | r :: rest ->
+        queues.(tr) <- rest;
+        (match r.r_kind with Event.Send { msg } -> Hashtbl.replace sent msg () | _ -> ());
+        out := r :: !out
+      | [] -> assert false)
+  done;
+  List.rev !out

@@ -1,0 +1,18 @@
+(** Re-linearization of raw event sequences.
+
+    A raw event sequence defines a partial order: trace order plus
+    send-before-receive. Any order consistent with it is a valid input to
+    {!Poet.ingest}. [shuffle] produces a different (seeded) valid
+    linearization — used by the tests to check that matching results do not
+    depend on the particular linearization POET delivers. *)
+
+open Ocep_base
+
+val is_linearization : Event.raw list -> bool
+(** True iff every receive appears after its send. (Trace order is implied
+    by sequence order within a trace.) *)
+
+val shuffle : seed:int -> Event.raw list -> Event.raw list
+(** A random valid linearization of the same partial order: repeatedly pick
+    a random trace whose head event is enabled (a receive is enabled only
+    once its send has been output). *)

@@ -1,0 +1,161 @@
+open Ocep_base
+
+type t = {
+  names : string array;
+  retain : bool;
+  partner_index : bool;
+  clocks : Vclock.t array;  (* current clock per trace *)
+  counters : int array;  (* events so far per trace *)
+  pending_msgs : (int, Vclock.t) Hashtbl.t;  (* sent, not yet received *)
+  sends : (int, Event.t) Hashtbl.t;
+  receives : (int, Event.t) Hashtbl.t;
+  store : Event.t Vec.t array;  (* per trace, when retained *)
+  log : Event.t Vec.t;  (* ingestion order, when retained *)
+  mutable subscribers : (Event.t -> unit) list;
+  mutable ingested : int;
+}
+
+let create ?(retain = false) ?(partner_index = true) ~trace_names () =
+  let n = Array.length trace_names in
+  {
+    names = Array.copy trace_names;
+    retain;
+    partner_index;
+    clocks = Array.init n (fun _ -> Vclock.make ~dim:n);
+    counters = Array.make n 0;
+    pending_msgs = Hashtbl.create 64;
+    sends = Hashtbl.create 64;
+    receives = Hashtbl.create 64;
+    store = Array.init n (fun _ -> Vec.create ());
+    log = Vec.create ();
+    subscribers = [];
+    ingested = 0;
+  }
+
+let trace_count t = Array.length t.names
+
+let trace_names t = Array.copy t.names
+
+let trace_of_name t name =
+  let n = Array.length t.names in
+  let rec loop i = if i >= n then None else if t.names.(i) = name then Some i else loop (i + 1) in
+  loop 0
+
+let subscribe t f = t.subscribers <- t.subscribers @ [ f ]
+
+let ingested t = t.ingested
+
+let ingest t (raw : Event.raw) =
+  let tr = raw.r_trace in
+  if tr < 0 || tr >= Array.length t.names then
+    failwith (Printf.sprintf "Poet.ingest: trace %d out of range" tr);
+  let vc =
+    match raw.r_kind with
+    | Event.Send { msg } ->
+      let vc = Vclock.tick t.clocks.(tr) ~trace:tr in
+      Hashtbl.replace t.pending_msgs msg vc;
+      vc
+    | Event.Receive { msg } -> (
+      match Hashtbl.find_opt t.pending_msgs msg with
+      | None -> failwith (Printf.sprintf "Poet.ingest: receive of unknown message %d" msg)
+      | Some sent_vc ->
+        Hashtbl.remove t.pending_msgs msg;
+        Vclock.tick_merge t.clocks.(tr) sent_vc ~trace:tr)
+    | Event.Internal -> Vclock.tick t.clocks.(tr) ~trace:tr
+  in
+  t.clocks.(tr) <- vc;
+  t.counters.(tr) <- t.counters.(tr) + 1;
+  let ev =
+    {
+      Event.trace = tr;
+      trace_name = t.names.(tr);
+      index = t.counters.(tr);
+      etype = raw.r_etype;
+      text = raw.r_text;
+      kind = raw.r_kind;
+      vc;
+    }
+  in
+  if t.partner_index then begin
+    match raw.r_kind with
+    | Event.Send { msg } -> Hashtbl.replace t.sends msg ev
+    | Event.Receive { msg } -> Hashtbl.replace t.receives msg ev
+    | Event.Internal -> ()
+  end;
+  if t.retain then begin
+    Vec.push t.store.(tr) ev;
+    Vec.push t.log ev
+  end;
+  t.ingested <- t.ingested + 1;
+  List.iter (fun f -> f ev) t.subscribers;
+  ev
+
+let check_retained t fn =
+  if not t.retain then failwith (fn ^ ": store was created with retain:false")
+
+let events_on t tr =
+  check_retained t "Poet.events_on";
+  Vec.to_array t.store.(tr)
+
+let all_events t =
+  check_retained t "Poet.all_events";
+  Vec.to_list t.log
+
+let find_partner t (ev : Event.t) =
+  match ev.kind with
+  | Event.Send { msg } -> Hashtbl.find_opt t.receives msg
+  | Event.Receive { msg } -> Hashtbl.find_opt t.sends msg
+  | Event.Internal -> None
+
+(* ------------------------------------------------------------------ *)
+(* Dump / reload                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let dump_header ~trace_names oc =
+  Printf.fprintf oc "poet-dump 1\ntraces %d\n" (Array.length trace_names);
+  Array.iter (fun n -> Printf.fprintf oc "%S\n" n) trace_names
+
+let kind_tag = function
+  | Event.Send { msg } -> Printf.sprintf "S %d" msg
+  | Event.Receive { msg } -> Printf.sprintf "R %d" msg
+  | Event.Internal -> "I"
+
+let dump_raw oc (raw : Event.raw) =
+  Printf.fprintf oc "E %d %S %S %s\n" raw.r_trace raw.r_etype raw.r_text (kind_tag raw.r_kind)
+
+let load ic =
+  let line () = try Some (input_line ic) with End_of_file -> None in
+  (match line () with
+  | Some "poet-dump 1" -> ()
+  | _ -> failwith "Poet.load: bad magic");
+  let n =
+    match line () with
+    | Some l -> (try Scanf.sscanf l "traces %d" (fun n -> n) with _ -> failwith "Poet.load: bad trace count")
+    | None -> failwith "Poet.load: truncated header"
+  in
+  let names =
+    Array.init n (fun _ ->
+        match line () with
+        | Some l -> (try Scanf.sscanf l "%S" (fun s -> s) with _ -> failwith "Poet.load: bad trace name")
+        | None -> failwith "Poet.load: truncated names")
+  in
+  let parse_event l =
+    try
+      Scanf.sscanf l "E %d %S %S %s %s" (fun tr etype text tag rest ->
+          let kind =
+            match tag with
+            | "S" -> Event.Send { msg = int_of_string rest }
+            | "R" -> Event.Receive { msg = int_of_string rest }
+            | "I" -> Event.Internal
+            | _ -> failwith "Poet.load: bad kind"
+          in
+          { Event.r_trace = tr; r_etype = etype; r_text = text; r_kind = kind })
+    with Scanf.Scan_failure _ | End_of_file -> failwith ("Poet.load: bad event line: " ^ l)
+  in
+  let rec events acc =
+    match line () with
+    | None -> List.rev acc
+    | Some "" -> events acc
+    | Some l -> events (parse_event l :: acc)
+  in
+  (names, events [])

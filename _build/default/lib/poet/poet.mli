@@ -1,0 +1,63 @@
+(** The Partial-Order Event Tracer substrate.
+
+    This is the OCaml stand-in for POET (Kunz, Black, Taylor, Basten 1997):
+    it receives the raw events of a target system grouped by traces,
+    assigns Fidge/Mattern vector timestamps, and hands events to client
+    subscribers in a linearization of the causal partial order. It also
+    supports the dump/reload workflow the paper's evaluation uses: save a
+    collected execution to a file and replay it later through the same
+    client interface.
+
+    Events must be ingested in a valid linearization (a receive after its
+    send); the simulator's emission order is one. [Linearize] can reshuffle
+    a dump into a different valid linearization. *)
+
+open Ocep_base
+
+type t
+
+val create :
+  ?retain:bool -> ?partner_index:bool -> trace_names:string array -> unit -> t
+(** [retain] (default [false]) keeps every timestamped event in the
+    per-trace store — needed by offline oracles and tests, too expensive
+    for million-event monitoring runs. *)
+
+val trace_count : t -> int
+val trace_names : t -> string array
+val trace_of_name : t -> string -> int option
+
+val subscribe : t -> (Event.t -> unit) -> unit
+(** Register a client callback, invoked for every subsequently ingested
+    event, in ingestion order. *)
+
+val ingest : t -> Event.raw -> Event.t
+(** Timestamp, optionally store, fan out to subscribers, and return the
+    event. Raises [Failure] if the event is a receive for an unknown
+    message (i.e. the input order is not a linearization) or if the trace
+    id is out of range. *)
+
+val ingested : t -> int
+(** Number of events ingested so far. *)
+
+val events_on : t -> int -> Event.t array
+(** Retained events of a trace, in trace order. Raises [Failure] if the
+    store was created with [retain:false]. *)
+
+val all_events : t -> Event.t list
+(** All retained events in ingestion order. Raises like {!events_on}. *)
+
+val find_partner : t -> Event.t -> Event.t option
+(** The partner of a retained send/receive event (matching receive/send),
+    if it has been ingested. Works regardless of [retain]: partner links
+    for sends are kept until consumed and receives keep a link back. *)
+
+(** {1 Dump / reload} *)
+
+val dump_header : trace_names:string array -> out_channel -> unit
+val dump_raw : out_channel -> Event.raw -> unit
+(** Streaming dump: write the header once, then each raw event in
+    ingestion order. *)
+
+val load : in_channel -> string array * Event.raw list
+(** Read back a dump: trace names and the raw events in dumped order.
+    Raises [Failure] on a malformed file. *)

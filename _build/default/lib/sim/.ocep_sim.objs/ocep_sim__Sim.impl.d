@@ -1,0 +1,1 @@
+lib/sim/sim.ml: Array Effect Event List Ocep_base Prng Queue Vec

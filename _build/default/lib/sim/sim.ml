@@ -1,0 +1,383 @@
+open Ocep_base
+
+type msg = {
+  m_id : int;
+  m_src : int;
+  m_dst : int;
+  m_tag : string;
+  m_text : string;
+  m_size : int;
+}
+
+type config = {
+  n_procs : int;
+  sem_names : string list;
+  seed : int;
+  eager_threshold : int;
+  max_events : int;
+  on_stall : [ `Recover | `Stop ];
+  blocked_send_etype : string;
+}
+
+let default_config ~n_procs ~seed =
+  {
+    n_procs;
+    sem_names = [];
+    seed;
+    eager_threshold = 1024;
+    max_events = 100_000;
+    on_stall = `Recover;
+    blocked_send_etype = "Blocked_Send";
+  }
+
+let n_traces cfg = cfg.n_procs + List.length cfg.sem_names
+
+let proc_name i = "P" ^ string_of_int i
+
+let trace_names cfg =
+  Array.init (n_traces cfg) (fun i ->
+      if i < cfg.n_procs then proc_name i
+      else List.nth cfg.sem_names (i - cfg.n_procs))
+
+type deadlock = { participants : (int * int) list; at_event : int }
+
+type stats = { events_emitted : int; deadlocks : deadlock list; all_done : bool }
+
+(* ------------------------------------------------------------------ *)
+(* Effects performed by process bodies                                 *)
+(* ------------------------------------------------------------------ *)
+
+type _ Effect.t +=
+  | Send_e : { dst : int; etype : string; tag : string; text : string; size : int } -> unit Effect.t
+  | Recv_e : { src : int option; tag : string option; etype : string } -> msg Effect.t
+  | Emit_e : { etype : string; text : string } -> unit Effect.t
+  | Sem_p_e : int -> unit Effect.t
+  | Sem_v_e : int -> unit Effect.t
+  | Yield_e : unit Effect.t
+
+let send ?(etype = "Send") ?(tag = "") ?(text = "") ?(size = 0) ~dst () =
+  Effect.perform (Send_e { dst; etype; tag; text; size })
+
+let recv ?src ?tag ?(etype = "Recv") () = Effect.perform (Recv_e { src; tag; etype })
+
+let emit ~etype ~text = Effect.perform (Emit_e { etype; text })
+
+let sem_p i = Effect.perform (Sem_p_e i)
+
+let sem_v i = Effect.perform (Sem_v_e i)
+
+let yield () = Effect.perform Yield_e
+
+let current_pid = ref (-1)
+
+let self () = !current_pid
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type recv_spec = { rs_src : int option; rs_tag : string option; rs_etype : string }
+
+type pending_send = {
+  ps_dst : int;
+  ps_etype : string;
+  ps_tag : string;
+  ps_text : string;
+  ps_size : int;
+}
+
+type pstate =
+  | Fresh of (int -> unit)
+  | Ready_u of (unit, unit) Effect.Deep.continuation
+  | Ready_m of (msg, unit) Effect.Deep.continuation * msg
+  | Waiting_recv of (msg, unit) Effect.Deep.continuation * recv_spec
+  | Waiting_send of (unit, unit) Effect.Deep.continuation * pending_send
+  | Waiting_sem of (unit, unit) Effect.Deep.continuation
+  | Running
+  | Done_p
+
+type sem_state = {
+  s_name : string;
+  s_trace : int;
+  mutable s_holder : int option;
+  s_queue : int Queue.t;
+}
+
+type t = {
+  cfg : config;
+  names : string array;
+  prng : Prng.t;
+  states : pstate array;
+  mailboxes : msg list ref array;
+  sems : sem_state array;
+  runnable : int Vec.t;
+  sink : Event.raw -> unit;
+  mutable emitted : int;
+  mutable msg_counter : int;
+  mutable deadlock_log : deadlock list;
+  mutable live : int;
+}
+
+let emit_raw t ~trace ~etype ~text ~kind =
+  t.emitted <- t.emitted + 1;
+  t.sink { Event.r_trace = trace; r_etype = etype; r_text = text; r_kind = kind }
+
+let fresh_msg_id t =
+  t.msg_counter <- t.msg_counter + 1;
+  t.msg_counter
+
+let set_ready t p st =
+  t.states.(p) <- st;
+  Vec.push t.runnable p
+
+let spec_matches spec ~src ~tag =
+  (match spec.rs_src with None -> true | Some s -> s = src)
+  && (match spec.rs_tag with None -> true | Some tg -> tg = tag)
+
+(* Emit the send/receive event pair for a message that is transferred right
+   now (receiver is known). *)
+let emit_transfer t ~src ~dst ~etype ~recv_etype ~tag ~text ~size =
+  let id = fresh_msg_id t in
+  let m = { m_id = id; m_src = src; m_dst = dst; m_tag = tag; m_text = text; m_size = size } in
+  emit_raw t ~trace:src ~etype ~text ~kind:(Send { msg = id });
+  emit_raw t ~trace:dst ~etype:recv_etype ~text:t.names.(src) ~kind:(Receive { msg = id });
+  m
+
+(* A new message whose receiver may or may not be waiting: emit the send
+   event; deliver now if a matching receive is pending, else enqueue. *)
+let deliver_new_msg t ~src ~dst ~etype ~tag ~text ~size =
+  match t.states.(dst) with
+  | Waiting_recv (kd, spec) when spec_matches spec ~src ~tag ->
+    let id = fresh_msg_id t in
+    let m = { m_id = id; m_src = src; m_dst = dst; m_tag = tag; m_text = text; m_size = size } in
+    emit_raw t ~trace:src ~etype ~text ~kind:(Send { msg = id });
+    emit_raw t ~trace:dst ~etype:spec.rs_etype ~text:t.names.(src) ~kind:(Receive { msg = id });
+    set_ready t dst (Ready_m (kd, m))
+  | _ ->
+    let id = fresh_msg_id t in
+    let m = { m_id = id; m_src = src; m_dst = dst; m_tag = tag; m_text = text; m_size = size } in
+    emit_raw t ~trace:src ~etype ~text ~kind:(Send { msg = id });
+    t.mailboxes.(dst) := !(t.mailboxes.(dst)) @ [ m ]
+
+let handle_send t p ~dst ~etype ~tag ~text ~size k =
+  if size <= t.cfg.eager_threshold then begin
+    deliver_new_msg t ~src:p ~dst ~etype ~tag ~text ~size;
+    set_ready t p (Ready_u k)
+  end
+  else
+    match t.states.(dst) with
+    | Waiting_recv (kd, spec) when spec_matches spec ~src:p ~tag ->
+      let m = emit_transfer t ~src:p ~dst ~etype ~recv_etype:spec.rs_etype ~tag ~text ~size in
+      set_ready t dst (Ready_m (kd, m));
+      set_ready t p (Ready_u k)
+    | _ ->
+      emit_raw t ~trace:p ~etype:t.cfg.blocked_send_etype ~text:t.names.(dst) ~kind:Internal;
+      t.states.(p) <-
+        Waiting_send (k, { ps_dst = dst; ps_etype = etype; ps_tag = tag; ps_text = text; ps_size = size })
+
+let take_from_mailbox t p spec =
+  let rec extract acc = function
+    | [] -> None
+    | m :: rest ->
+      if spec_matches spec ~src:m.m_src ~tag:m.m_tag then begin
+        t.mailboxes.(p) := List.rev_append acc rest;
+        Some m
+      end
+      else extract (m :: acc) rest
+  in
+  extract [] !(t.mailboxes.(p))
+
+(* A blocked (rendezvous) sender whose message matches the receive now being
+   posted on [p]. Scanned in process-id order for determinism. *)
+let find_blocked_sender t p spec =
+  let n = Array.length t.states in
+  let rec loop q =
+    if q >= n then None
+    else
+      match t.states.(q) with
+      | Waiting_send (kq, ps)
+        when ps.ps_dst = p && spec_matches spec ~src:q ~tag:ps.ps_tag ->
+        Some (q, kq, ps)
+      | _ -> loop (q + 1)
+  in
+  loop 0
+
+let handle_recv t p ~src ~tag ~etype k =
+  let spec = { rs_src = src; rs_tag = tag; rs_etype = etype } in
+  match take_from_mailbox t p spec with
+  | Some m ->
+    emit_raw t ~trace:p ~etype ~text:t.names.(m.m_src) ~kind:(Receive { msg = m.m_id });
+    set_ready t p (Ready_m (k, m))
+  | None -> (
+    match find_blocked_sender t p spec with
+    | Some (q, kq, ps) ->
+      let m =
+        emit_transfer t ~src:q ~dst:p ~etype:ps.ps_etype ~recv_etype:etype ~tag:ps.ps_tag
+          ~text:ps.ps_text ~size:ps.ps_size
+      in
+      set_ready t q (Ready_u kq);
+      set_ready t p (Ready_m (k, m))
+    | None -> t.states.(p) <- Waiting_recv (k, spec))
+
+let grant t sem q =
+  sem.s_holder <- Some q;
+  let id = fresh_msg_id t in
+  emit_raw t ~trace:sem.s_trace ~etype:"Sem_Grant" ~text:t.names.(q) ~kind:(Send { msg = id });
+  emit_raw t ~trace:q ~etype:"Sem_Grant_Recv" ~text:sem.s_name ~kind:(Receive { msg = id })
+
+let handle_sem_p t p i k =
+  let sem = t.sems.(i) in
+  let id = fresh_msg_id t in
+  emit_raw t ~trace:p ~etype:"Sem_P" ~text:sem.s_name ~kind:(Send { msg = id });
+  emit_raw t ~trace:sem.s_trace ~etype:"Sem_P_Recv" ~text:t.names.(p) ~kind:(Receive { msg = id });
+  if sem.s_holder = None && Queue.is_empty sem.s_queue then begin
+    grant t sem p;
+    set_ready t p (Ready_u k)
+  end
+  else begin
+    Queue.push p sem.s_queue;
+    t.states.(p) <- Waiting_sem k
+  end
+
+let handle_sem_v t p i k =
+  let sem = t.sems.(i) in
+  let id = fresh_msg_id t in
+  emit_raw t ~trace:p ~etype:"Sem_V" ~text:sem.s_name ~kind:(Send { msg = id });
+  emit_raw t ~trace:sem.s_trace ~etype:"Sem_V_Recv" ~text:t.names.(p) ~kind:(Receive { msg = id });
+  (if Queue.is_empty sem.s_queue then sem.s_holder <- None
+   else
+     let q = Queue.pop sem.s_queue in
+     grant t sem q;
+     match t.states.(q) with
+     | Waiting_sem kq -> set_ready t q (Ready_u kq)
+     | _ -> assert false);
+  set_ready t p (Ready_u k)
+
+let handler t p : (unit, unit) Effect.Deep.handler =
+  {
+    retc =
+      (fun () ->
+        t.states.(p) <- Done_p;
+        t.live <- t.live - 1);
+    exnc = raise;
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Send_e { dst; etype; tag; text; size } ->
+          Some
+            (fun (k : (a, unit) Effect.Deep.continuation) ->
+              handle_send t p ~dst ~etype ~tag ~text ~size k)
+        | Recv_e { src; tag; etype } ->
+          Some
+            (fun (k : (a, unit) Effect.Deep.continuation) ->
+              handle_recv t p ~src ~tag ~etype k)
+        | Emit_e { etype; text } ->
+          Some
+            (fun (k : (a, unit) Effect.Deep.continuation) ->
+              emit_raw t ~trace:p ~etype ~text ~kind:Internal;
+              set_ready t p (Ready_u k))
+        | Sem_p_e i -> Some (fun (k : (a, unit) Effect.Deep.continuation) -> handle_sem_p t p i k)
+        | Sem_v_e i -> Some (fun (k : (a, unit) Effect.Deep.continuation) -> handle_sem_v t p i k)
+        | Yield_e -> Some (fun (k : (a, unit) Effect.Deep.continuation) -> set_ready t p (Ready_u k))
+        | _ -> None);
+  }
+
+let step t p =
+  current_pid := p;
+  match t.states.(p) with
+  | Fresh body ->
+    t.states.(p) <- Running;
+    Effect.Deep.match_with (fun () -> body p) () (handler t p)
+  | Ready_u k ->
+    t.states.(p) <- Running;
+    Effect.Deep.continue k ()
+  | Ready_m (k, m) ->
+    t.states.(p) <- Running;
+    Effect.Deep.continue k m
+  | Waiting_recv _ | Waiting_send _ | Waiting_sem _ | Running | Done_p ->
+    (* stale runnable entry; skip *)
+    ()
+
+(* Pop a random runnable process (swap-remove for O(1)). *)
+let pop_runnable t =
+  let rec loop () =
+    let n = Vec.length t.runnable in
+    if n = 0 then None
+    else begin
+      let i = if n = 1 then 0 else Prng.int t.prng n in
+      let p = Vec.get t.runnable i in
+      let last = Vec.length t.runnable - 1 in
+      Vec.set t.runnable i (Vec.get t.runnable last);
+      ignore (Vec.pop t.runnable);
+      match t.states.(p) with
+      | Fresh _ | Ready_u _ | Ready_m _ -> Some p
+      | _ -> loop ()
+    end
+  in
+  loop ()
+
+(* Global stall: every live process is parked. If blocked (rendezvous)
+   senders exist this is a communication deadlock; under [`Recover] the
+   scheduler force-buffers one blocked message — standing in for an
+   operator aborting/restarting — records the instance, and continues. *)
+let handle_stall t =
+  let blocked =
+    let acc = ref [] in
+    Array.iteri
+      (fun q st -> match st with Waiting_send (_, ps) -> acc := (q, ps.ps_dst) :: !acc | _ -> ())
+      t.states;
+    List.rev !acc
+  in
+  match (blocked, t.cfg.on_stall) with
+  | [], _ | _, `Stop -> false
+  | (q, _) :: _, `Recover ->
+    t.deadlock_log <- { participants = blocked; at_event = t.emitted } :: t.deadlock_log;
+    (match t.states.(q) with
+    | Waiting_send (kq, ps) ->
+      deliver_new_msg t ~src:q ~dst:ps.ps_dst ~etype:ps.ps_etype ~tag:ps.ps_tag ~text:ps.ps_text
+        ~size:ps.ps_size;
+      set_ready t q (Ready_u kq)
+    | _ -> assert false);
+    true
+
+let run cfg ~sink ~bodies =
+  if Array.length bodies <> cfg.n_procs then
+    invalid_arg "Sim.run: bodies length must equal n_procs";
+  let names = trace_names cfg in
+  let sems =
+    Array.of_list
+      (List.mapi
+         (fun i name ->
+           { s_name = name; s_trace = cfg.n_procs + i; s_holder = None; s_queue = Queue.create () })
+         cfg.sem_names)
+  in
+  let t =
+    {
+      cfg;
+      names;
+      prng = Prng.create cfg.seed;
+      states = Array.map (fun b -> Fresh b) bodies;
+      mailboxes = Array.init cfg.n_procs (fun _ -> ref []);
+      sems;
+      runnable = Vec.create ();
+      sink;
+      emitted = 0;
+      msg_counter = 0;
+      deadlock_log = [];
+      live = cfg.n_procs;
+    }
+  in
+  for p = 0 to cfg.n_procs - 1 do
+    Vec.push t.runnable p
+  done;
+  let rec loop () =
+    if t.emitted >= cfg.max_events || t.live <= 0 then ()
+    else
+      match pop_runnable t with
+      | Some p ->
+        step t p;
+        loop ()
+      | None -> if handle_stall t then loop () else ()
+  in
+  loop ();
+  { events_emitted = t.emitted; deadlocks = List.rev t.deadlock_log; all_done = t.live = 0 }

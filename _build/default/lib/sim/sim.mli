@@ -1,0 +1,100 @@
+(** Deterministic discrete-event simulator of a message-passing distributed
+    system.
+
+    This substitutes for the paper's instrumented target environments (MPI
+    programs and muC++ programs feeding POET). Each simulated process is an
+    OCaml function that performs effects — sends, blocking receives,
+    internal events, semaphore operations — and a seeded scheduler
+    interleaves the processes. The observable output is the stream of
+    {!Ocep_base.Event.raw} records, in an order that is a valid
+    linearization of the causal partial order.
+
+    Semantics mirror the aspects of MPI and muC++ the paper relies on:
+    - sends at or below an eager threshold buffer immediately; larger sends
+      block until a matching receive is posted (MPI rendezvous), emitting a
+      blocked-send event first — the latent-deadlock mechanism of Section
+      V-C1;
+    - receives block, and may match any source (MPI_ANY_SOURCE) — the race
+      mechanism of Section V-C2;
+    - semaphores are passive entities with their own traces, and P/V are
+      request/grant/release message exchanges so that causality flows
+      through the semaphore trace, as in the muC++ POET plugin of Section
+      V-C3. *)
+
+type msg = {
+  m_id : int;
+  m_src : int;
+  m_dst : int;
+  m_tag : string;
+  m_text : string;
+  m_size : int;
+}
+
+type config = {
+  n_procs : int;
+  sem_names : string list;  (** each semaphore gets its own trace *)
+  seed : int;
+  eager_threshold : int;  (** sends with [size] strictly greater block *)
+  max_events : int;  (** stop the run once this many events were emitted *)
+  on_stall : [ `Recover | `Stop ];
+      (** what to do on a global stall (deadlock): [`Recover] force-buffers
+          one blocked send, records the deadlock, and continues — this is
+          how a >1M-event run can contain many deadlock instances. *)
+  blocked_send_etype : string;  (** etype of the event emitted when a send blocks *)
+}
+
+val default_config : n_procs:int -> seed:int -> config
+(** No semaphores, eager threshold 1024, 100_000 events max, [`Recover]. *)
+
+val n_traces : config -> int
+val proc_name : int -> string
+(** ["P<i>"]. *)
+
+val trace_names : config -> string array
+(** Process traces first, then semaphore traces. *)
+
+(** A recorded deadlock recovery: the processes that were blocked in a send
+    cycle when the scheduler had to intervene, as (sender, destination)
+    pairs. Ground truth for the deadlock case study. *)
+type deadlock = { participants : (int * int) list; at_event : int }
+
+type stats = {
+  events_emitted : int;
+  deadlocks : deadlock list;  (** in chronological order *)
+  all_done : bool;  (** every process ran to completion *)
+}
+
+(** Operations available inside a process body. All of them are effects
+    handled by the scheduler; each is an interleaving point. *)
+
+val send :
+  ?etype:string -> ?tag:string -> ?text:string -> ?size:int -> dst:int -> unit -> unit
+(** Emit a send event on the caller's trace and deliver [text] to [dst].
+    Defaults: etype ["Send"], tag [""], text [""], size [0] (eager). *)
+
+val recv : ?src:int -> ?tag:string -> ?etype:string -> unit -> msg
+(** Blocking receive; [src = None] is ANY_SOURCE, [tag = None] matches any
+    tag. Emits a receive event (etype default ["Recv"]; text = sender's
+    trace name) on the caller's trace. *)
+
+val emit : etype:string -> text:string -> unit
+(** Emit an internal event on the caller's trace. *)
+
+val sem_p : int -> unit
+(** Acquire semaphore [i] (index into [sem_names]). *)
+
+val sem_v : int -> unit
+(** Release semaphore [i]. *)
+
+val yield : unit -> unit
+(** Reschedule without emitting an event. *)
+
+val self : unit -> int
+(** The caller's process id. *)
+
+val run : config -> sink:(Ocep_base.Event.raw -> unit) -> bodies:(int -> unit) array -> stats
+(** Run the simulation: [bodies.(i)] is the body of process [i] (and is
+    passed [i]). [sink] receives every event in emission order. Raises
+    [Invalid_argument] if [Array.length bodies <> n_procs]. Raises
+    [Failure] on an unrecoverable stall when [on_stall = `Stop] is not set
+    and no blocked send exists to recover. *)

@@ -1,0 +1,75 @@
+type t = {
+  n : int;
+  min : float;
+  q1 : float;
+  median : float;
+  q3 : float;
+  max : float;
+  mean : float;
+  bottom_whisker : float;
+  top_whisker : float;
+  outliers_above : int;
+  outliers_below : int;
+}
+
+let quantile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Summary.quantile: empty";
+  if n = 1 then sorted.(0)
+  else begin
+    let pos = q *. float_of_int (n - 1) in
+    let lo = int_of_float (floor pos) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = pos -. float_of_int lo in
+    (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let of_samples samples =
+  let n = Array.length samples in
+  if n = 0 then invalid_arg "Summary.of_samples: empty";
+  let sorted = Array.copy samples in
+  Array.sort compare sorted;
+  let q1 = quantile sorted 0.25 in
+  let median = quantile sorted 0.5 in
+  let q3 = quantile sorted 0.75 in
+  let iqr = q3 -. q1 in
+  let lo_fence = q1 -. (1.5 *. iqr) in
+  let hi_fence = q3 +. (1.5 *. iqr) in
+  let bottom_whisker = ref sorted.(n - 1) in
+  let top_whisker = ref sorted.(0) in
+  let outliers_above = ref 0 in
+  let outliers_below = ref 0 in
+  Array.iter
+    (fun x ->
+      if x < lo_fence then incr outliers_below
+      else if x < !bottom_whisker then bottom_whisker := x;
+      if x > hi_fence then incr outliers_above
+      else if x > !top_whisker then top_whisker := x)
+    sorted;
+  let mean = Array.fold_left ( +. ) 0. sorted /. float_of_int n in
+  {
+    n;
+    min = sorted.(0);
+    q1;
+    median;
+    q3;
+    max = sorted.(n - 1);
+    mean;
+    bottom_whisker = !bottom_whisker;
+    top_whisker = !top_whisker;
+    outliers_above = !outliers_above;
+    outliers_below = !outliers_below;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "n=%d min=%.1f q1=%.1f med=%.1f q3=%.1f topw=%.1f max=%.1f mean=%.1f outliers=+%d/-%d" t.n
+    t.min t.q1 t.median t.q3 t.top_whisker t.max t.mean t.outliers_above t.outliers_below
+
+let pp_fig10_header ppf () =
+  Format.fprintf ppf "%-22s %10s %10s %10s %14s %12s@." "Test Case" "Q1" "Med" "Q3" "Top Whisker"
+    "Max"
+
+let pp_fig10_row ppf name t =
+  Format.fprintf ppf "%-22s %10.0f %10.0f %10.0f %14.0f %12.0f@." name t.q1 t.median t.q3
+    t.top_whisker t.max

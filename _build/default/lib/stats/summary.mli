@@ -1,0 +1,30 @@
+(** Boxplot summaries in the style of the paper's Figs. 6–10: quartiles,
+    1.5×IQR whiskers, and outlier counts. *)
+
+type t = {
+  n : int;
+  min : float;
+  q1 : float;
+  median : float;
+  q3 : float;
+  max : float;
+  mean : float;
+  bottom_whisker : float;  (** smallest sample ≥ Q1 − 1.5·IQR *)
+  top_whisker : float;  (** largest sample ≤ Q3 + 1.5·IQR *)
+  outliers_above : int;
+  outliers_below : int;
+}
+
+val of_samples : float array -> t
+(** Raises [Invalid_argument] on an empty array. Quartiles use linear
+    interpolation between order statistics. *)
+
+val quantile : float array -> float -> float
+(** [quantile sorted q] with [q] in \[0,1\]; the array must be sorted. *)
+
+val pp : Format.formatter -> t -> unit
+
+val pp_fig10_header : Format.formatter -> unit -> unit
+val pp_fig10_row : Format.formatter -> string -> t -> unit
+(** One row of the paper's Fig. 10 table:
+    test case, Q1, Med, Q3, Top Whisker, Max (μs). *)

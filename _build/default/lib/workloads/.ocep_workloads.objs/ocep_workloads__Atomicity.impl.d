@@ -1,0 +1,1 @@
+lib/workloads/atomicity.ml: Array Inject Ocep_base Ocep_sim Patterns Prng Workload

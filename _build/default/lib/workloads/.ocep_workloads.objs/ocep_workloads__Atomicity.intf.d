@@ -1,0 +1,1 @@
+lib/workloads/atomicity.mli: Workload

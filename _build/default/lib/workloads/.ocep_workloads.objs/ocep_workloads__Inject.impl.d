@@ -1,0 +1,1 @@
+lib/workloads/inject.ml: Event Hashtbl List Ocep_base Option

@@ -1,0 +1,1 @@
+lib/workloads/inject.mli: Event Ocep_base

@@ -1,0 +1,1 @@
+lib/workloads/msg_race.ml: Array Hashtbl Inject Ocep_base Ocep_sim Patterns Prng String Workload

@@ -1,0 +1,1 @@
+lib/workloads/msg_race.mli: Workload

@@ -1,0 +1,1 @@
+lib/workloads/ordering.ml: Array Inject Ocep_base Ocep_sim Patterns Prng Workload

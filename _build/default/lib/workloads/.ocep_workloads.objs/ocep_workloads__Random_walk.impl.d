@@ -1,0 +1,1 @@
+lib/workloads/random_walk.ml: Array Hashtbl Inject Ocep_base Ocep_sim Patterns Prng Workload

@@ -1,0 +1,1 @@
+lib/workloads/workload.mli: Inject Ocep_sim

@@ -1,0 +1,53 @@
+open Ocep_base
+module Sim = Ocep_sim.Sim
+
+let make ~traces ~seed ~max_events ?(skip_rate = 0.01) ?(work_burst = 0) () =
+  if traces < 3 then invalid_arg "Atomicity.make: need at least 3 traces";
+  let w = traces - 1 in
+  let inj = Inject.create () in
+  let body me =
+    let prng = Prng.create ((seed * 31) + me) in
+    let right = (me + 1) mod w and left = (me + w - 1) mod w in
+    while true do
+      (* heartbeat ring: keeps workers loosely in step and guarantees a
+         communication event between successive iterations, so same-trace
+         entries are never merged by the history-pruning rule *)
+      Sim.send ~dst:right ~etype:"Heartbeat" ~tag:"hb" ();
+      ignore (Sim.recv ~src:left ~tag:"hb" ~etype:"Heartbeat_Recv" ());
+      (* local work between sections: invisible to the pattern, but it
+         multiplies the interleavings a global-state approach must consider *)
+      for _ = 1 to work_burst do
+        Sim.emit ~etype:"Work" ~text:""
+      done;
+      if Prng.bernoulli prng skip_rate then begin
+        (* the bug: enter the protected method without acquiring *)
+        let id = Inject.new_injection inj ~expected_parts:1 in
+        let nth = Inject.next_occurrence inj ~trace:me ~etype:"CS_Enter" in
+        Inject.add_part inj ~id ~trace:me ~etype:"CS_Enter" ~nth;
+        Sim.emit ~etype:"CS_Enter" ~text:"";
+        Sim.emit ~etype:"CS_Exit" ~text:""
+      end
+      else begin
+        Sim.sem_p 0;
+        ignore (Inject.next_occurrence inj ~trace:me ~etype:"CS_Enter");
+        Sim.emit ~etype:"CS_Enter" ~text:"";
+        Sim.emit ~etype:"CS_Exit" ~text:"";
+        Sim.sem_v 0
+      end
+    done
+  in
+  let sim_config =
+    {
+      (Sim.default_config ~n_procs:w ~seed) with
+      Sim.max_events;
+      sem_names = [ "SEM" ];
+    }
+  in
+  {
+    Workload.name = "atomicity";
+    sim_config;
+    bodies = Array.init w (fun _ -> body);
+    pattern = Patterns.atomicity_violation;
+    inject = inj;
+    expected_parts = 1;
+  }

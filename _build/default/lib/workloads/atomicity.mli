@@ -1,0 +1,17 @@
+(** The atomicity-violation case study (Section V-C3): a critical section
+    protected by a semaphore that is skipped with a small probability.
+
+    Workers on a heartbeat ring repeatedly execute a semaphore-protected
+    section, emitting [CS_Enter]/[CS_Exit]. The semaphore is a separate
+    trace (as in the muC++ POET plugin), so correctly protected entries are
+    always causally ordered through the grant chain. With probability
+    [skip_rate] a worker enters without acquiring: that entry is concurrent
+    with other entries — the violation {!Patterns.atomicity_violation}
+    matches. *)
+
+val make :
+  traces:int -> seed:int -> max_events:int -> ?skip_rate:float -> ?work_burst:int -> unit -> Workload.t
+(** [traces] counts the semaphore trace too: traces−1 workers + 1
+    semaphore. [skip_rate] defaults to 0.01 per iteration; [work_burst]
+    (default 0) adds that many local work events per iteration — noise
+    for the pattern, state explosion for a global-state detector. *)

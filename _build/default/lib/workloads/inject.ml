@@ -1,0 +1,62 @@
+open Ocep_base
+
+type part = { p_trace : int; p_etype : string; p_nth : int }
+
+type injection = {
+  inj_id : int;
+  expected_parts : int;
+  mutable parts : part list;
+  mutable resolved : Event.t list;
+}
+
+type t = {
+  emit_counts : (int * string, int) Hashtbl.t;  (* workload side *)
+  seen_counts : (int * string, int) Hashtbl.t;  (* harness side *)
+  wanted : (int * string * int, injection) Hashtbl.t;
+  mutable injs : injection list;  (* newest first *)
+  mutable next_id : int;
+}
+
+let create () =
+  {
+    emit_counts = Hashtbl.create 64;
+    seen_counts = Hashtbl.create 64;
+    wanted = Hashtbl.create 64;
+    injs = [];
+    next_id = 0;
+  }
+
+let bump tbl key =
+  let n = 1 + Option.value ~default:0 (Hashtbl.find_opt tbl key) in
+  Hashtbl.replace tbl key n;
+  n
+
+let next_occurrence t ~trace ~etype = bump t.emit_counts (trace, etype)
+
+let new_injection t ~expected_parts =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  t.injs <- { inj_id = id; expected_parts; parts = []; resolved = [] } :: t.injs;
+  id
+
+let find_injection t id = List.find (fun i -> i.inj_id = id) t.injs
+
+let add_part t ~id ~trace ~etype ~nth =
+  let inj = find_injection t id in
+  inj.parts <- inj.parts @ [ { p_trace = trace; p_etype = etype; p_nth = nth } ];
+  Hashtbl.replace t.wanted (trace, etype, nth) inj
+
+let injections t = List.rev t.injs
+
+let resolve t (ev : Event.t) =
+  let nth = bump t.seen_counts (ev.trace, ev.etype) in
+  match Hashtbl.find_opt t.wanted (ev.trace, ev.etype, nth) with
+  | None -> None
+  | Some inj ->
+    inj.resolved <- inj.resolved @ [ ev ];
+    Some inj
+
+let complete t =
+  List.filter
+    (fun i -> List.length i.parts = i.expected_parts && List.length i.resolved = i.expected_parts)
+    (injections t)

@@ -1,0 +1,44 @@
+(** Ground-truth bookkeeping for injected violations.
+
+    A workload records, {e before} emitting them, the constituent events of
+    each violation it deliberately injects, identified by (trace, event
+    type, n-th occurrence of that type on that trace). The harness counts
+    occurrences as events stream by and resolves each part to the concrete
+    timestamped event, giving an exact ground truth to check the monitor's
+    completeness against. *)
+
+open Ocep_base
+
+type part = { p_trace : int; p_etype : string; p_nth : int }
+
+type injection = {
+  inj_id : int;
+  expected_parts : int;
+  mutable parts : part list;  (** in recording order *)
+  mutable resolved : Event.t list;  (** filled by the harness *)
+}
+
+type t
+
+val create : unit -> t
+
+val next_occurrence : t -> trace:int -> etype:string -> int
+(** The occurrence number the {e next} event of this type on this trace
+    will have, and advance the counter. Workloads call it once per emitted
+    event of a tracked type, immediately before emitting. *)
+
+val new_injection : t -> expected_parts:int -> int
+(** Allocate an injection and return its id. *)
+
+val add_part : t -> id:int -> trace:int -> etype:string -> nth:int -> unit
+
+val injections : t -> injection list
+(** Oldest first. *)
+
+val resolve : t -> Event.t -> injection option
+(** Harness side: count this event's (trace, etype) occurrence and attach
+    it to any injection part that names it, returning that injection. *)
+
+val complete : t -> injection list
+(** Injections whose every expected part has been recorded and resolved
+    (i.e. fully materialized before the run's cutoff). *)

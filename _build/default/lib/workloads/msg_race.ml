@@ -1,0 +1,61 @@
+open Ocep_base
+module Sim = Ocep_sim.Sim
+
+let make ~traces ~seed ~max_events ?(race_rate = 0.01) () =
+  let n = traces in
+  if n < 3 then invalid_arg "Msg_race.make: need at least 3 traces";
+  let inj = Inject.create () in
+  (* receiver-chosen injection ids, keyed by round and read by the senders *)
+  let round_inj : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let receiver () =
+    let prng = Prng.create (seed + 17) in
+    let round = ref 0 in
+    let next_sender = ref 1 in
+    let rr () =
+      let s = !next_sender in
+      next_sender := if s + 1 >= n then 1 else s + 1;
+      s
+    in
+    while true do
+      incr round;
+      if Prng.bernoulli prng race_rate then begin
+        let s1 = rr () in
+        let s2 = rr () in
+        let id = Inject.new_injection inj ~expected_parts:2 in
+        Hashtbl.replace round_inj !round id;
+        let text = "race:" ^ string_of_int !round in
+        Sim.send ~dst:s1 ~etype:"Token" ~tag:"go" ~text ();
+        Sim.send ~dst:s2 ~etype:"Token" ~tag:"go" ~text ();
+        ignore (Sim.recv ~tag:"data" ~etype:"MPI_Recv_Any" ());
+        ignore (Sim.recv ~tag:"data" ~etype:"MPI_Recv_Any" ())
+      end
+      else begin
+        let s = rr () in
+        Sim.send ~dst:s ~etype:"Token" ~tag:"go" ~text:"normal" ();
+        ignore (Sim.recv ~tag:"data" ~etype:"MPI_Recv_Any" ())
+      end
+    done
+  in
+  let sender me =
+    while true do
+      let m = Sim.recv ~src:0 ~tag:"go" ~etype:"Token_Recv" () in
+      (match String.index_opt m.Sim.m_text ':' with
+      | Some i when String.sub m.Sim.m_text 0 i = "race" ->
+        let round = int_of_string (String.sub m.Sim.m_text (i + 1) (String.length m.Sim.m_text - i - 1)) in
+        let id = Hashtbl.find round_inj round in
+        let nth = Inject.next_occurrence inj ~trace:me ~etype:"MPI_Send" in
+        Inject.add_part inj ~id ~trace:me ~etype:"MPI_Send" ~nth
+      | Some _ | None -> ignore (Inject.next_occurrence inj ~trace:me ~etype:"MPI_Send"));
+      Sim.send ~dst:0 ~etype:"MPI_Send" ~tag:"data" ~text:(Sim.proc_name 0) ()
+    done
+  in
+  let bodies = Array.init n (fun i -> if i = 0 then fun _ -> receiver () else sender) in
+  let sim_config = { (Sim.default_config ~n_procs:n ~seed) with Sim.max_events } in
+  {
+    Workload.name = "races";
+    sim_config;
+    bodies;
+    pattern = Patterns.message_race;
+    inject = inj;
+    expected_parts = 2;
+  }

@@ -1,0 +1,13 @@
+(** The message-race case study (Section V-C2): all processes but one send
+    to the remaining one, which receives with MPI_ANY_SOURCE.
+
+    The receiver normally serializes the senders with a go-token, so
+    successive data sends are causally chained. With probability
+    [race_rate] it hands the token to two senders at once: their sends are
+    concurrent — a genuine race at the wildcard receive — and are recorded
+    as the injected ground truth. {!Patterns.message_race} matches exactly
+    those pairs. *)
+
+val make : traces:int -> seed:int -> max_events:int -> ?race_rate:float -> unit -> Workload.t
+(** [traces] = 1 receiver + (traces−1) senders; [race_rate] defaults to
+    0.01 per round. *)

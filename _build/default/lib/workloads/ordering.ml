@@ -1,0 +1,57 @@
+open Ocep_base
+module Sim = Ocep_sim.Sim
+
+let make ~traces ~seed ~max_events ?(bug_rate = 0.01) ?(background_update_rate = 0.2)
+    ?(update_burst = 4) () =
+  let n = traces in
+  if n < 2 then invalid_arg "Ordering.make: need at least 2 traces";
+  let inj = Inject.create () in
+  let leader () =
+    let prng = Prng.create (seed + 101) in
+    let round = ref 0 in
+    let emit_tracked ?record etype text =
+      let nth = Inject.next_occurrence inj ~trace:0 ~etype in
+      (match record with
+      | Some id -> Inject.add_part inj ~id ~trace:0 ~etype ~nth
+      | None -> ());
+      Sim.emit ~etype ~text
+    in
+    while true do
+      let m = Sim.recv ~tag:"synch" ~etype:"Synch_Recv" () in
+      incr round;
+      let rid = m.Sim.m_text ^ ":" ^ string_of_int !round in
+      (* background updates arrive in bursts (batched client writes); the
+         burst is uninterrupted by communication, which is exactly what the
+         O(1) history-pruning rule collapses *)
+      if Prng.bernoulli prng background_update_rate then
+        for _ = 1 to 1 + Prng.int prng (max 1 update_burst) do
+          emit_tracked "Make_Update" ""
+        done;
+      let record =
+        if Prng.bernoulli prng bug_rate then Some (Inject.new_injection inj ~expected_parts:4)
+        else None
+      in
+      emit_tracked ?record "Synch_Leader" rid;
+      emit_tracked ?record "Take_Snapshot" rid;
+      (match record with Some id -> emit_tracked ~record:id "Make_Update" "" | None -> ());
+      emit_tracked ?record "Forward_Snapshot" rid;
+      Sim.send ~dst:m.Sim.m_src ~etype:"Snapshot_Msg" ~tag:"snap" ~text:rid ()
+    done
+  in
+  let follower me =
+    while true do
+      Sim.send ~dst:0 ~etype:"Synch_Req" ~tag:"synch" ~text:(Sim.proc_name me) ();
+      ignore (Sim.recv ~src:0 ~tag:"snap" ~etype:"Snapshot_Recv" ());
+      Sim.emit ~etype:"Apply_Snapshot" ~text:""
+    done
+  in
+  let bodies = Array.init n (fun i -> if i = 0 then fun _ -> leader () else follower) in
+  let sim_config = { (Sim.default_config ~n_procs:n ~seed) with Sim.max_events } in
+  {
+    Workload.name = "ordering";
+    sim_config;
+    bodies;
+    pattern = Patterns.ordering_bug;
+    inject = inj;
+    expected_parts = 4;
+  }

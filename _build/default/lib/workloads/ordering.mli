@@ -1,0 +1,26 @@
+(** The ordering-bug case study (Sections III-D and V-C4): a replicated
+    service with the ZooKeeper-962 leader/follower coherence bug.
+
+    Followers send synch requests; the leader emits
+    [Synch_Leader]/[Take_Snapshot]/[Forward_Snapshot] events whose text
+    field encodes the request id (follower:round), exactly the paper's use
+    of the text field to tie a Synch/Forward pair together. With
+    probability [bug_rate] the leader makes an update between taking and
+    forwarding the snapshot — the stale-snapshot violation
+    {!Patterns.ordering_bug} matches. Background updates between rounds do
+    not match (they are not causally inside a snapshot/forward span of one
+    request id). *)
+
+val make :
+  traces:int ->
+  seed:int ->
+  max_events:int ->
+  ?bug_rate:float ->
+  ?background_update_rate:float ->
+  ?update_burst:int ->
+  unit ->
+  Workload.t
+(** [traces] = 1 leader + (traces−1) followers. Defaults: [bug_rate] 0.01,
+    [background_update_rate] 0.2 per round, [update_burst] 4 (background
+    updates arrive in uninterrupted bursts of 1..burst events, which the
+    history-pruning rule collapses to one stored entry). *)

@@ -1,0 +1,37 @@
+let deadlock_cycle k =
+  if k < 2 then invalid_arg "Patterns.deadlock_cycle: length must be >= 2";
+  let buf = Buffer.create 256 in
+  for i = 1 to k do
+    let next = (i mod k) + 1 in
+    Buffer.add_string buf
+      (Printf.sprintf "B%d := [$p%d, Blocked_Send, $p%d];\nB%d $b%d;\n" i i next i i)
+  done;
+  Buffer.add_string buf "pattern := ";
+  let first = ref true in
+  for i = 1 to k do
+    for j = i + 1 to k do
+      if not !first then Buffer.add_string buf " && ";
+      first := false;
+      Buffer.add_string buf (Printf.sprintf "$b%d || $b%d" i j)
+    done
+  done;
+  Buffer.add_string buf ";\n";
+  Buffer.contents buf
+
+let message_race =
+  "S1 := [_, MPI_Send, $d];\nS2 := [_, MPI_Send, $d];\npattern := S1 || S2;\n"
+
+let atomicity_violation =
+  "Enter1 := [_, CS_Enter, _];\nEnter2 := [_, CS_Enter, _];\npattern := Enter1 || Enter2;\n"
+
+let ordering_bug =
+  "Synch := [$L, Synch_Leader, $R];\n\
+   Snapshot := [$L, Take_Snapshot, $R];\n\
+   Update := [$L, Make_Update, _];\n\
+   Forward := [$L, Forward_Snapshot, $R];\n\
+   Snapshot $Diff;\n\
+   Update $Write;\n\
+   pattern := (Synch -> $Diff) && ($Diff -> $Write) && ($Write -> Forward);\n"
+
+let traffic_light =
+  "G1 := [$a, Turn_Green, _];\nG2 := [$b, Turn_Green, _];\npattern := G1 || G2;\n"

@@ -1,0 +1,21 @@
+(** The pattern texts for the four case studies, in the pattern language of
+    Section III. *)
+
+val deadlock_cycle : int -> string
+(** A send cycle of the given length (≥ 2) among blocked sends: k
+    [Blocked_Send] classes chained by process/text variables, all pairwise
+    concurrent — a communication deadlock of that specific length
+    (Section V-C1). *)
+
+val message_race : string
+(** Two concurrent sends towards the same destination (Section V-C2). *)
+
+val atomicity_violation : string
+(** Two concurrent critical-section entries (Section V-C3). *)
+
+val ordering_bug : string
+(** The ZooKeeper-962 leader/follower pattern of Section III-D: a snapshot
+    taken for a synch request, updated before it is forwarded. *)
+
+val traffic_light : string
+(** The introduction's example: two lights green concurrently. *)

@@ -1,0 +1,86 @@
+open Ocep_base
+module Sim = Ocep_sim.Sim
+
+let cycle_len = 4
+
+(* Rendezvous threshold is the simulator default (1024); bulk batches are
+   far above it so an out-of-turn bulk send always blocks. *)
+let bulk_size = 1_000_000
+
+let make ~traces ~seed ~max_events ?inject_every ?(cycle_len = cycle_len) () =
+  let n = traces in
+  if cycle_len < 2 then invalid_arg "Random_walk.make: cycle length must be >= 2";
+  if n < cycle_len + 1 then invalid_arg "Random_walk.make: need at least cycle_len+1 traces";
+  let inj = Inject.create () in
+  let phases_est = max 1 (max_events / (2 * n)) in
+  let inject_every =
+    match inject_every with Some v -> max 2 v | None -> max 2 (phases_est / 25)
+  in
+  (* The injection plan is a pure function of (seed, phase), so every member
+     of a cycle computes the same plan without coordination. *)
+  let cycle_at phase =
+    if phase > 0 && phase mod inject_every = 0 then begin
+      let prng = Prng.create ((seed * 65599) + (phase * 7919)) in
+      let arr = Array.init n (fun i -> i) in
+      Prng.shuffle prng arr;
+      Some (Array.sub arr 0 cycle_len)
+    end
+    else None
+  in
+  let inj_ids : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let inj_id_for phase =
+    match Hashtbl.find_opt inj_ids phase with
+    | Some id -> id
+    | None ->
+      let id = Inject.new_injection inj ~expected_parts:cycle_len in
+      Hashtbl.replace inj_ids phase id;
+      id
+  in
+  let body me =
+    let right = (me + 1) mod n and left = (me + n - 1) mod n in
+    let phase = ref 0 in
+    while true do
+      incr phase;
+      (match cycle_at !phase with
+      | Some cycle when Array.exists (fun p -> p = me) cycle ->
+        let pos = ref 0 in
+        Array.iteri (fun i p -> if p = me then pos := i) cycle;
+        let nxt = cycle.((!pos + 1) mod cycle_len) in
+        let prev = cycle.((!pos + cycle_len - 1) mod cycle_len) in
+        let id = inj_id_for !phase in
+        (* barrier among the cycle members: nobody starts the bulk send
+           until everyone has reached this phase, so all four block before
+           the runtime can notice the stall (as a real MPI collective bug
+           would) and the blocked sends stay pairwise concurrent *)
+        Array.iter
+          (fun p -> if p <> me then Sim.send ~dst:p ~etype:"Cycle_Ready" ~tag:"rdy" ())
+          cycle;
+        Array.iter
+          (fun p ->
+            if p <> me then ignore (Sim.recv ~src:p ~tag:"rdy" ~etype:"Cycle_Ready_Recv" ()))
+          cycle;
+        (* the out-of-turn bulk send below will block: that is this
+           member's next Blocked_Send event *)
+        let nth = Inject.next_occurrence inj ~trace:me ~etype:"Blocked_Send" in
+        Inject.add_part inj ~id ~trace:me ~etype:"Blocked_Send" ~nth;
+        Sim.send ~dst:nxt ~etype:"MPI_Send" ~tag:"bulk" ~text:(Sim.proc_name nxt)
+          ~size:bulk_size ();
+        ignore (Sim.recv ~src:prev ~tag:"bulk" ~etype:"MPI_Recv" ())
+      | Some _ | None -> ());
+      (* the regular walker exchange of this phase (eager, never blocks) *)
+      Sim.send ~dst:right ~etype:"MPI_Send" ~tag:"w" ~text:(Sim.proc_name right) ~size:1 ();
+      ignore (Sim.recv ~src:left ~tag:"w" ~etype:"MPI_Recv" ());
+      if !phase mod 16 = 0 then Sim.emit ~etype:"Walk_Step" ~text:""
+    done
+  in
+  let sim_config =
+    { (Sim.default_config ~n_procs:n ~seed) with Sim.max_events; on_stall = `Recover }
+  in
+  {
+    Workload.name = "deadlock";
+    sim_config;
+    bodies = Array.init n (fun _ -> body);
+    pattern = Patterns.deadlock_cycle cycle_len;
+    inject = inj;
+    expected_parts = cycle_len;
+  }

@@ -1,0 +1,27 @@
+(** The deadlock case study (Section V-C1): a parallel random walk.
+
+    Processes on a ring exchange walkers with their neighbours every phase
+    (eager sends — never blocking). At planned phases, a cycle of
+    [cycle_len] processes instead first sends a bulk walker batch
+    (rendezvous-sized) around the cycle before receiving: every member
+    blocks, the application deadlocks, and the scheduler's recovery stands
+    in for the operator restart. The blocked sends are the only
+    [Blocked_Send] events in the run and are pairwise concurrent, so
+    {!Patterns.deadlock_cycle} matches exactly the injected deadlocks. *)
+
+val cycle_len : int
+(** Default length of the injected (and searched-for) send cycle: 4. *)
+
+val make :
+  traces:int ->
+  seed:int ->
+  max_events:int ->
+  ?inject_every:int ->
+  ?cycle_len:int ->
+  unit ->
+  Workload.t
+(** [traces] processes (≥ [cycle_len] + 1). [inject_every] is the period in
+    phases between injections (default tuned so a default run sees a few
+    dozen); [cycle_len] (default 4, min 2) sets both the injected cycle and
+    the pattern length — the knob behind the paper's "exponential in the
+    length of the pattern" remark on Fig. 6. *)

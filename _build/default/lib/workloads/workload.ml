@@ -1,0 +1,10 @@
+module Sim = Ocep_sim.Sim
+
+type t = {
+  name : string;
+  sim_config : Sim.config;
+  bodies : (int -> unit) array;
+  pattern : string;
+  inject : Inject.t;
+  expected_parts : int;
+}

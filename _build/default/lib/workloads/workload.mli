@@ -1,0 +1,16 @@
+(** Common shape of the evaluation workloads (Section V-C).
+
+    A workload bundles a simulator configuration, the process bodies, the
+    pattern text that detects its injected violation, and the injection
+    ground truth the bodies record as they run. *)
+
+module Sim = Ocep_sim.Sim
+
+type t = {
+  name : string;
+  sim_config : Sim.config;
+  bodies : (int -> unit) array;
+  pattern : string;  (** pattern-language source *)
+  inject : Inject.t;
+  expected_parts : int;  (** constituent events per injected violation *)
+}

@@ -1,0 +1,1 @@
+test/test_base.ml: Alcotest Array Interval List Ocep_base Prng QCheck QCheck_alcotest Vclock Vec

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Event List Ocep Ocep_base Ocep_baselines Ocep_pattern Ocep_poet Prng QCheck QCheck_alcotest Scanf Testutil Vclock

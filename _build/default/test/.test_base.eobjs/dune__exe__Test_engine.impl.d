@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Event List Ocep Ocep_base Ocep_baselines Ocep_pattern Ocep_poet Option Printf Prng QCheck QCheck_alcotest String Testutil

@@ -1,0 +1,1 @@
+test/test_event.ml: Alcotest Array Event List Ocep_base Prng QCheck QCheck_alcotest Testutil

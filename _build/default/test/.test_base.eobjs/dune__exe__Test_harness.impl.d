@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array Buffer Event Filename Format List Ocep Ocep_base Ocep_harness Ocep_pattern Ocep_poet Ocep_sim Ocep_workloads String Sys Unix

@@ -1,0 +1,1 @@
+test/test_matcher.ml: Alcotest Array Event Fun Interval List Ocep Ocep_base Ocep_baselines Ocep_pattern Ocep_poet Printf Prng QCheck QCheck_alcotest Testutil Vec

@@ -1,0 +1,1 @@
+test/test_pattern.ml: Alcotest Array Format List Ocep_base Ocep_pattern Ocep_workloads Printf Prng QCheck QCheck_alcotest Testutil

@@ -1,0 +1,1 @@
+test/test_poet.ml: Alcotest Array Event Filename List Ocep_base Ocep_poet Prng QCheck QCheck_alcotest String Sys Testutil Vclock

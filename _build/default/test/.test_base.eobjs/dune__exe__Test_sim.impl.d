@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Event List Ocep_base Ocep_poet Ocep_sim

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Format List Ocep_stats QCheck QCheck_alcotest String

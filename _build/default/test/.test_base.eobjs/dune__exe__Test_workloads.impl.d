@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Event List Ocep Ocep_base Ocep_harness Ocep_pattern Ocep_poet Ocep_sim Ocep_workloads Printf Vclock

@@ -1,0 +1,270 @@
+open Ocep_base
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Prng                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    check "same stream" true (Prng.bits64 a = Prng.bits64 b)
+  done
+
+let prng_different_seeds () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.bits64 a = Prng.bits64 b then incr same
+  done;
+  check "streams differ" true (!same < 4)
+
+let prng_int_bounds () =
+  let p = Prng.create 7 in
+  for _ = 1 to 10_000 do
+    let v = Prng.int p 17 in
+    check "in bounds" true (v >= 0 && v < 17)
+  done
+
+let prng_split_independent () =
+  let p = Prng.create 9 in
+  let q = Prng.split p in
+  check "split differs from parent" true (Prng.bits64 p <> Prng.bits64 q)
+
+let prng_bernoulli_rate () =
+  let p = Prng.create 3 in
+  let hits = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Prng.bernoulli p 0.25 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  check "rate near 0.25" true (rate > 0.22 && rate < 0.28)
+
+let prng_shuffle_permutation () =
+  let p = Prng.create 11 in
+  let a = Array.init 50 (fun i -> i) in
+  Prng.shuffle p a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check "is a permutation" true (sorted = Array.init 50 (fun i -> i))
+
+(* ------------------------------------------------------------------ *)
+(* Vec                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let vec_basics () =
+  let v = Vec.create () in
+  check_int "empty" 0 (Vec.length v);
+  for i = 0 to 99 do
+    Vec.push v i
+  done;
+  check_int "length" 100 (Vec.length v);
+  check_int "get" 37 (Vec.get v 37);
+  Vec.set v 37 1000;
+  check_int "set" 1000 (Vec.get v 37);
+  check "last" true (Vec.last v = Some 99);
+  Vec.replace_last v 7;
+  check "replace_last" true (Vec.last v = Some 7);
+  check "pop" true (Vec.pop v = Some 7);
+  check_int "after pop" 99 (Vec.length v);
+  check "to_list round trip" true (Vec.to_list v = Array.to_list (Vec.to_array v))
+
+let vec_bounds () =
+  let v = Vec.of_list [ 1; 2; 3 ] in
+  Alcotest.check_raises "get oob" (Invalid_argument "Vec.get: index out of bounds") (fun () ->
+      ignore (Vec.get v 3))
+
+let vec_binary_search () =
+  let v = Vec.of_list [ 1; 3; 5; 7; 9 ] in
+  check_int "first >= 5" 2 (Vec.binary_search_first v (fun x -> x >= 5));
+  check_int "first >= 0" 0 (Vec.binary_search_first v (fun x -> x >= 0));
+  check_int "first >= 100" 5 (Vec.binary_search_first v (fun x -> x >= 100));
+  check_int "first > 7" 4 (Vec.binary_search_first v (fun x -> x > 7))
+
+let vec_binary_search_prop =
+  QCheck.Test.make ~name:"binary_search_first agrees with linear scan" ~count:500
+    QCheck.(pair (small_list small_int) small_int)
+    (fun (l, threshold) ->
+      let l = List.sort compare l in
+      let v = Vec.of_list l in
+      let expected =
+        let rec loop i = function
+          | [] -> i
+          | x :: rest -> if x >= threshold then i else loop (i + 1) rest
+        in
+        loop 0 l
+      in
+      Vec.binary_search_first v (fun x -> x >= threshold) = expected)
+
+(* ------------------------------------------------------------------ *)
+(* Interval                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let interval_basics () =
+  let i = Interval.make 2 5 in
+  check "mem 2" true (Interval.mem 2 i);
+  check "mem 5" true (Interval.mem 5 i);
+  check "not mem 6" false (Interval.mem 6 i);
+  check "empty" true (Interval.is_empty (Interval.make 3 2));
+  check_int "length" 4 (Interval.length i);
+  let j = Interval.inter i (Interval.make 4 9) in
+  check "inter" true (j.Interval.lo = 4 && j.Interval.hi = 5)
+
+let iset_of_list l = Interval.Set.of_intervals (List.map (fun (a, b) -> Interval.make a b) l)
+
+let iset_basics () =
+  let s = iset_of_list [ (1, 3); (7, 9) ] in
+  check "mem 2" true (Interval.Set.mem 2 s);
+  check "not mem 5" false (Interval.Set.mem 5 s);
+  check_int "cardinal" 6 (Interval.Set.cardinal s);
+  check "max" true (Interval.Set.max_elt s = Some 9);
+  check "min" true (Interval.Set.min_elt s = Some 1);
+  check "next_below 6" true (Interval.Set.next_below s 6 = Some 3);
+  check "next_below 8" true (Interval.Set.next_below s 8 = Some 8);
+  check "next_below 0" true (Interval.Set.next_below s 0 = None);
+  (* adjacent intervals merge *)
+  let m = iset_of_list [ (1, 3); (4, 6) ] in
+  check_int "merged" 1 (List.length (Interval.Set.to_list m))
+
+let iset_prop_gen =
+  QCheck.Gen.(
+    list_size (int_bound 4)
+      (map2 (fun a len -> (a, a + len)) (int_bound 30) (int_bound 6)))
+
+let iset_arb = QCheck.make ~print:(fun l -> QCheck.Print.(list (pair int int)) l) iset_prop_gen
+
+let iset_inter_prop =
+  QCheck.Test.make ~name:"Set.inter is pointwise conjunction" ~count:500
+    (QCheck.pair iset_arb iset_arb)
+    (fun (la, lb) ->
+      let a = iset_of_list la and b = iset_of_list lb in
+      let i = Interval.Set.inter a b in
+      List.for_all
+        (fun x -> Interval.Set.mem x i = (Interval.Set.mem x a && Interval.Set.mem x b))
+        (List.init 40 (fun i -> i)))
+
+let iset_union_prop =
+  QCheck.Test.make ~name:"Set.union is pointwise disjunction" ~count:500
+    (QCheck.pair iset_arb iset_arb)
+    (fun (la, lb) ->
+      let a = iset_of_list la and b = iset_of_list lb in
+      let u = Interval.Set.union a b in
+      List.for_all
+        (fun x -> Interval.Set.mem x u = (Interval.Set.mem x a || Interval.Set.mem x b))
+        (List.init 40 (fun i -> i)))
+
+let iset_normal_form_prop =
+  QCheck.Test.make ~name:"Set intervals are disjoint, sorted, non-adjacent" ~count:500 iset_arb
+    (fun l ->
+      let s = iset_of_list l in
+      let rec ok = function
+        | a :: (b :: _ as rest) -> a.Interval.hi + 1 < b.Interval.lo && ok rest
+        | _ -> true
+      in
+      ok (Interval.Set.to_list s))
+
+(* ------------------------------------------------------------------ *)
+(* Vclock                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let vclock_basics () =
+  let v = Vclock.make ~dim:3 in
+  check_int "zero" 0 (Vclock.get v 1);
+  let v1 = Vclock.tick v ~trace:1 in
+  check_int "ticked" 1 (Vclock.get v1 1);
+  check_int "others zero" 0 (Vclock.get v1 0);
+  let a = Vclock.of_array [| 1; 5; 2 |] and b = Vclock.of_array [| 3; 0; 2 |] in
+  let m = Vclock.merge a b in
+  check "merge is lub" true (Vclock.to_array m = [| 3; 5; 2 |]);
+  check "leq refl" true (Vclock.leq a a);
+  check "leq merge" true (Vclock.leq a m && Vclock.leq b m);
+  check "not leq" false (Vclock.leq m a)
+
+let vclock_tick_merge () =
+  let cur = Vclock.of_array [| 2; 0; 0 |] in
+  let incoming = Vclock.of_array [| 1; 4; 0 |] in
+  let r = Vclock.tick_merge cur incoming ~trace:0 in
+  check "tick_merge" true (Vclock.to_array r = [| 3; 4; 0 |])
+
+let vclock_merge_lub_prop =
+  QCheck.Test.make ~name:"merge is the least upper bound" ~count:500
+    QCheck.(pair (array_of_size (QCheck.Gen.return 4) (int_bound 10)) (array_of_size (QCheck.Gen.return 4) (int_bound 10)))
+    (fun (a, b) ->
+      let va = Vclock.of_array a and vb = Vclock.of_array b in
+      let m = Vclock.merge va vb in
+      Vclock.leq va m && Vclock.leq vb m
+      && Array.for_all2 (fun x y -> max x y >= 0 && Vclock.get m 0 >= 0 && x <= max x y && y <= max x y) a b
+      && Vclock.to_array m = Array.map2 max a b)
+
+let vclock_dim_mismatch () =
+  let a = Vclock.make ~dim:2 and b = Vclock.make ~dim:3 in
+  Alcotest.check_raises "merge" (Invalid_argument "Vclock.merge: dimension mismatch") (fun () ->
+      ignore (Vclock.merge a b));
+  Alcotest.check_raises "leq" (Invalid_argument "Vclock.leq: dimension mismatch") (fun () ->
+      ignore (Vclock.leq a b))
+
+let prng_errors () =
+  let p = Prng.create 1 in
+  Alcotest.check_raises "int 0" (Invalid_argument "Prng.int: bound must be positive") (fun () ->
+      ignore (Prng.int p 0));
+  Alcotest.check_raises "pick empty" (Invalid_argument "Prng.pick: empty array") (fun () ->
+      ignore (Prng.pick p [||]))
+
+let prng_copy_independent () =
+  let a = Prng.create 5 in
+  ignore (Prng.bits64 a);
+  let b = Prng.copy a in
+  let va = Prng.bits64 a and vb = Prng.bits64 b in
+  check "copies continue identically" true (va = vb)
+
+let interval_full_and_empty_set () =
+  check "empty set" true (Interval.Set.is_empty Interval.Set.empty);
+  check "full set has max" true (Interval.Set.max_elt (Interval.Set.full ~max:5) = Some 5);
+  check_int "cardinal of full" 6 (Interval.Set.cardinal (Interval.Set.full ~max:5));
+  check "empty interval ignored" true
+    (Interval.Set.is_empty (Interval.Set.of_interval (Interval.make 5 2)))
+
+let () =
+  Alcotest.run "base"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick prng_deterministic;
+          Alcotest.test_case "seeds differ" `Quick prng_different_seeds;
+          Alcotest.test_case "int bounds" `Quick prng_int_bounds;
+          Alcotest.test_case "split independent" `Quick prng_split_independent;
+          Alcotest.test_case "bernoulli rate" `Quick prng_bernoulli_rate;
+          Alcotest.test_case "shuffle permutation" `Quick prng_shuffle_permutation;
+        ] );
+      ( "vec",
+        [
+          Alcotest.test_case "basics" `Quick vec_basics;
+          Alcotest.test_case "bounds" `Quick vec_bounds;
+          Alcotest.test_case "binary search" `Quick vec_binary_search;
+          QCheck_alcotest.to_alcotest vec_binary_search_prop;
+        ] );
+      ( "interval",
+        [
+          Alcotest.test_case "interval basics" `Quick interval_basics;
+          Alcotest.test_case "set basics" `Quick iset_basics;
+          QCheck_alcotest.to_alcotest iset_inter_prop;
+          QCheck_alcotest.to_alcotest iset_union_prop;
+          QCheck_alcotest.to_alcotest iset_normal_form_prop;
+        ] );
+      ( "vclock",
+        [
+          Alcotest.test_case "basics" `Quick vclock_basics;
+          Alcotest.test_case "tick_merge" `Quick vclock_tick_merge;
+          Alcotest.test_case "dim mismatch" `Quick vclock_dim_mismatch;
+          QCheck_alcotest.to_alcotest vclock_merge_lub_prop;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "prng errors" `Quick prng_errors;
+          Alcotest.test_case "prng copy" `Quick prng_copy_independent;
+          Alcotest.test_case "interval sets" `Quick interval_full_and_empty_set;
+        ] );
+    ]

@@ -1,0 +1,413 @@
+(* Baseline detectors: the exhaustive oracle's own behaviour, the sliding
+   window, the chronological matcher's agreement with OCEP, the wait-for
+   graph, the conflict-graph detector, and the vector-clock race checker. *)
+
+open Ocep_base
+module Poet = Ocep_poet.Poet
+module Parser = Ocep_pattern.Parser
+module Compile = Ocep_pattern.Compile
+module History = Ocep.History
+module Matcher = Ocep.Matcher
+module Oracle = Ocep_baselines.Oracle
+module Window = Ocep_baselines.Window
+module Chrono = Ocep_baselines.Chrono
+module Waitfor = Ocep_baselines.Waitfor
+module Conflict_graph = Ocep_baselines.Conflict_graph
+module Race_checker = Ocep_baselines.Race_checker
+module Build = Testutil.Build
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let net_of src = Compile.compile (Parser.parse src)
+
+(* ------------------------------------------------------------------ *)
+(* Oracle                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let oracle_counts_matches () =
+  let net = net_of "A := [_, A, _]; B := [_, B, _]; pattern := A -> B;" in
+  let b = Build.create [| "P0"; "P1" |] in
+  let _ = Build.internal b 0 "A" in
+  let _ = Build.internal b 0 "A" in
+  let m, _ = Build.message b ~src:0 ~dst:1 in
+  ignore m;
+  let _ = Build.internal b 1 "B" in
+  let _ = Build.internal b 1 "B" in
+  (* 2 As x 2 Bs, all ordered through the message *)
+  check_int "four matches" 4 (List.length (Oracle.all_matches ~net ~events:(Build.events b)))
+
+let oracle_true_slots () =
+  let net = net_of "A := [_, A, _]; B := [_, B, _]; pattern := A -> B;" in
+  let b = Build.create [| "P0"; "P1" |] in
+  let _ = Build.internal b 0 "A" in
+  let _ = Build.message b ~src:0 ~dst:1 in
+  let _ = Build.internal b 1 "B" in
+  let slots = Oracle.true_slots (Oracle.all_matches ~net ~events:(Build.events b)) in
+  check "slots" true (slots = [ (0, 0); (1, 1) ])
+
+(* ------------------------------------------------------------------ *)
+(* Chronological matcher agrees with OCEP                              *)
+(* ------------------------------------------------------------------ *)
+
+let chrono_agrees_with_matcher =
+  QCheck.Test.make ~name:"chronological baseline finds a match iff OCEP does" ~count:80
+    QCheck.small_int (fun seed ->
+      let prng = Prng.create (seed + 11) in
+      let n_traces = 2 + Prng.int prng 2 in
+      let names = Array.init n_traces (fun i -> "P" ^ string_of_int i) in
+      let raws = Testutil.Gen.computation ~n_traces ~length:25 prng in
+      let poet, events = Testutil.ingest_all names raws in
+      let src = Testutil.Gen.pattern ~n_classes:2 prng in
+      match Compile.compile (Parser.parse src) with
+      | exception Compile.Compile_error _ -> true
+      | net ->
+        let history = History.create net ~n_traces ~pruning:false () in
+        List.iter
+          (fun ev ->
+            History.note_comm history ev;
+            for i = 0 to Compile.size net - 1 do
+              if Compile.leaf_matches net i ev then History.add history ~leaf:i ev
+            done)
+          events;
+        List.for_all
+          (fun ev ->
+            List.for_all
+              (fun leaf ->
+                if not (Compile.leaf_matches net leaf ev) then true
+                else begin
+                  let ocep =
+                    Matcher.search ~net ~history ~n_traces
+                      ~trace_of_name:(Poet.trace_of_name poet)
+                      ~partner_of:(Poet.find_partner poet) ~anchor_leaf:leaf ~anchor:ev ()
+                  in
+                  let chrono, _ =
+                    Chrono.search ~net ~history ~n_traces ~anchor_leaf:leaf ~anchor:ev ()
+                  in
+                  match (ocep, chrono) with
+                  | Matcher.Found _, Chrono.Found _ | Matcher.Not_found, Chrono.Not_found -> true
+                  | _ -> false
+                end)
+              (List.init (Compile.size net) (fun i -> i)))
+          events)
+
+let chrono_explores_more () =
+  (* the causal pruning saves work on a conjunction over a long history *)
+  let net =
+    net_of
+      "A := [_, A, _]; B := [_, B, _]; C := [_, C, _]; A $a; B $b; C $c;\n\
+       pattern := $a -> $b && $b -> $c;"
+  in
+  let b = Build.create [| "P0"; "P1"; "P2" |] in
+  (* lots of As on P0, never causally before anything on P1 *)
+  for _ = 1 to 40 do
+    ignore (Build.internal b 0 "A");
+    let m, _ = Build.send b ~src:0 () in
+    ignore (Build.recv b ~dst:2 m)
+  done;
+  ignore (Build.internal b 1 "B");
+  let cc = Build.internal b 2 "C" in
+  let events = Build.events b in
+  let history = History.create net ~n_traces:3 ~pruning:false () in
+  List.iter
+    (fun ev ->
+      History.note_comm history ev;
+      for i = 0 to Compile.size net - 1 do
+        if Compile.leaf_matches net i ev then History.add history ~leaf:i ev
+      done)
+    events;
+  let stats = Matcher.new_stats () in
+  let poet = Build.poet b in
+  let _ =
+    Matcher.search ~net ~history ~n_traces:3
+      ~trace_of_name:(Poet.trace_of_name poet)
+      ~partner_of:(Poet.find_partner poet) ~anchor_leaf:2 ~anchor:cc ~stats ()
+  in
+  let _, chrono_nodes = Chrono.search ~net ~history ~n_traces:3 ~anchor_leaf:2 ~anchor:cc () in
+  check "pruned search visits fewer candidates" true (stats.Matcher.nodes < chrono_nodes)
+
+(* ------------------------------------------------------------------ *)
+(* Wait-for graph                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let blocked tr dst_name =
+  {
+    Event.trace = tr;
+    trace_name = "P" ^ string_of_int tr;
+    index = 1;
+    etype = "Blocked_Send";
+    text = dst_name;
+    kind = Event.Internal;
+    vc = Vclock.make ~dim:4;
+  }
+
+let sent tr =
+  {
+    Event.trace = tr;
+    trace_name = "P" ^ string_of_int tr;
+    index = 2;
+    etype = "MPI_Send";
+    text = "";
+    kind = Event.Send { msg = 1 };
+    vc = Vclock.make ~dim:4;
+  }
+
+let trace_of_name n = Scanf.sscanf_opt n "P%d" (fun i -> i)
+
+let waitfor_detects_cycle () =
+  let w = Waitfor.create ~n_traces:4 ~trace_of_name `Incremental in
+  check "no cycle yet" true (Waitfor.on_event w (blocked 0 "P1") = None);
+  check "no cycle yet" true (Waitfor.on_event w (blocked 1 "P2") = None);
+  (match Waitfor.on_event w (blocked 2 "P0") with
+  | Some cycle -> check "cycle has all three" true (List.sort compare cycle = [ 0; 1; 2 ])
+  | None -> Alcotest.fail "expected cycle");
+  check_int "one detection" 1 (List.length (Waitfor.detections w))
+
+let waitfor_send_clears_edge () =
+  let w = Waitfor.create ~n_traces:4 ~trace_of_name `Incremental in
+  ignore (Waitfor.on_event w (blocked 0 "P1"));
+  ignore (Waitfor.on_event w (sent 0));
+  check "edge cleared" true (Waitfor.on_event w (blocked 1 "P0") = None)
+
+let waitfor_full_history_grows () =
+  let w = Waitfor.create ~n_traces:4 ~trace_of_name `Full_history in
+  ignore (Waitfor.on_event w (blocked 0 "P1"));
+  ignore (Waitfor.on_event w (sent 0));
+  ignore (Waitfor.on_event w (blocked 0 "P2"));
+  check_int "edges accumulate" 2 (Waitfor.edges w);
+  (* and stale edges can produce detections the incremental mode would not *)
+  ignore (Waitfor.on_event w (blocked 2 "P1"));
+  check "history cycle" true (Waitfor.on_event w (blocked 1 "P0") <> None)
+
+(* ------------------------------------------------------------------ *)
+(* Conflict graph (atomicity)                                          *)
+(* ------------------------------------------------------------------ *)
+
+let cs tr etype =
+  {
+    Event.trace = tr;
+    trace_name = "P" ^ string_of_int tr;
+    index = 1;
+    etype;
+    text = "";
+    kind = Event.Internal;
+    vc = Vclock.make ~dim:3;
+  }
+
+let conflict_graph_detects_overlap () =
+  let d = Conflict_graph.create ~n_traces:3 () in
+  check "enter 0" true (Conflict_graph.on_event d (cs 0 "CS_Enter") = []);
+  let confl = Conflict_graph.on_event d (cs 1 "CS_Enter") in
+  check "overlap detected" true (confl = [ (1, 0) ]);
+  ignore (Conflict_graph.on_event d (cs 0 "CS_Exit"));
+  ignore (Conflict_graph.on_event d (cs 1 "CS_Exit"));
+  check "serialized ok" true (Conflict_graph.on_event d (cs 2 "CS_Enter") = []);
+  check_int "one violation" 1 (List.length (Conflict_graph.violations d))
+
+(* ------------------------------------------------------------------ *)
+(* Race checker                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let race_checker_finds_concurrent_sends () =
+  let b = Build.create [| "P0"; "P1"; "P2" |] in
+  let poet = Build.poet b in
+  let checker = Race_checker.create ~n_traces:3 ~partner_of:(Poet.find_partner poet) () in
+  (* two concurrent sends to P0 *)
+  let m1, _ = Build.send b ~src:1 () in
+  let m2, _ = Build.send b ~src:2 () in
+  let r1 = Build.recv b ~dst:0 m1 in
+  let r2 = Build.recv b ~dst:0 m2 in
+  check "first recv no race" true (Race_checker.on_event checker r1 = []);
+  check "second recv races" true (List.length (Race_checker.on_event checker r2) = 1);
+  check_int "recorded" 1 (List.length (Race_checker.races checker))
+
+let race_checker_ignores_ordered_sends () =
+  let b = Build.create [| "P0"; "P1"; "P2" |] in
+  let poet = Build.poet b in
+  let checker = Race_checker.create ~n_traces:3 ~partner_of:(Poet.find_partner poet) () in
+  (* P1 sends, P0 receives, P0 tells P2, then P2 sends: causally ordered *)
+  let m1, _ = Build.send b ~src:1 () in
+  let r1 = Build.recv b ~dst:0 m1 in
+  let mt, _ = Build.send b ~src:0 () in
+  let _ = Build.recv b ~dst:2 mt in
+  let m2, _ = Build.send b ~src:2 () in
+  let r2 = Build.recv b ~dst:0 m2 in
+  ignore (Race_checker.on_event checker r1);
+  check "ordered sends do not race" true (Race_checker.on_event checker r2 = [])
+
+(* ------------------------------------------------------------------ *)
+(* Global-state lattice (Cooper-Marzullo)                              *)
+(* ------------------------------------------------------------------ *)
+
+module Lattice = Ocep_baselines.Lattice
+
+let events_by_trace poet n =
+  Array.init n (fun t -> Poet.events_on poet t)
+
+let lattice_finds_concurrent_sections () =
+  (* two causally concurrent critical sections that never overlap in the
+     observed linearization: the interval detector misses them, the
+     lattice (like OCEP) finds the unsafe reachable state *)
+  let b = Build.create [| "P0"; "P1" |] in
+  let e00 = Build.internal b 0 "CS_Enter" in
+  let _ = Build.internal b 0 "CS_Exit" in
+  let e10 = Build.internal b 1 "CS_Enter" in
+  let _ = Build.internal b 1 "CS_Exit" in
+  ignore (e00, e10);
+  let cg = Conflict_graph.create ~n_traces:2 () in
+  List.iter (fun ev -> ignore (Conflict_graph.on_event cg ev)) (Build.events b);
+  check "interval detector misses it" true (Conflict_graph.violations cg = []);
+  let r =
+    Lattice.possibly
+      ~events_by_trace:(events_by_trace (Build.poet b) 2)
+      ~flag:(fun e -> Lattice.cs_flag e) ~threshold:2 ()
+  in
+  (match r.Lattice.outcome with
+  | Lattice.Found cut -> check "both inside at the cut" true (cut = [| 1; 1 |])
+  | _ -> Alcotest.fail "lattice should find the unsafe cut")
+
+let lattice_respects_causality () =
+  (* sections serialized through a message: no reachable unsafe state *)
+  let b = Build.create [| "P0"; "P1" |] in
+  let _ = Build.internal b 0 "CS_Enter" in
+  let _ = Build.internal b 0 "CS_Exit" in
+  let m, _ = Build.send b ~src:0 () in
+  let _ = Build.recv b ~dst:1 m in
+  let _ = Build.internal b 1 "CS_Enter" in
+  let _ = Build.internal b 1 "CS_Exit" in
+  let r =
+    Lattice.possibly
+      ~events_by_trace:(events_by_trace (Build.poet b) 2)
+      ~flag:(fun e -> Lattice.cs_flag e) ~threshold:2 ()
+  in
+  check "not possible" true (r.Lattice.outcome = Lattice.Not_possible);
+  (* the message prunes the lattice to exactly 7 consistent cuts:
+     (i,0) for i in 0..3 and (3,j) for j in 1..3 *)
+  Alcotest.(check int) "consistent cuts" 7 r.Lattice.cuts_explored
+
+let lattice_budget () =
+  (* an unsatisfiable predicate over a wide lattice exhausts the budget *)
+  let b = Build.create (Array.init 6 (fun i -> "P" ^ string_of_int i)) in
+  for _ = 1 to 12 do
+    for t = 0 to 5 do
+      ignore (Build.internal b t "Step")
+    done
+  done;
+  let r =
+    Lattice.possibly
+      ~events_by_trace:(events_by_trace (Build.poet b) 6)
+      ~flag:(fun e -> Lattice.cs_flag e) ~threshold:7 ~node_budget:10_000 ()
+  in
+  check "budget exhausted" true (r.Lattice.outcome = Lattice.Budget_exhausted);
+  Alcotest.(check int) "exactly the budget" 10_000 r.Lattice.cuts_explored
+
+(* ------------------------------------------------------------------ *)
+(* Window                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let window_reports_in_window_matches () =
+  let net = net_of "A := [_, A, _]; B := [_, B, _]; pattern := A -> B;" in
+  let w = Window.create ~net ~window:10 () in
+  let b = Build.create [| "P0"; "P1" |] in
+  let _ = Build.internal b 0 "A" in
+  let _ = Build.message b ~src:0 ~dst:1 in
+  let _ = Build.internal b 1 "B" in
+  List.iter (fun ev -> ignore (Window.on_event w ev)) (Build.events b);
+  check_int "one match" 1 (List.length (Window.matches w))
+
+let window_misses_out_of_window () =
+  let net = net_of "A := [_, A, _]; B := [_, B, _]; pattern := A -> B;" in
+  let w = Window.create ~net ~window:4 () in
+  let b = Build.create [| "P0"; "P1" |] in
+  let _ = Build.internal b 0 "A" in
+  let _ = Build.message b ~src:0 ~dst:1 in
+  for _ = 1 to 10 do
+    ignore (Build.internal b 0 "N")
+  done;
+  let _ = Build.internal b 1 "B" in
+  List.iter (fun ev -> ignore (Window.on_event w ev)) (Build.events b);
+  check_int "match missed" 0 (List.length (Window.matches w))
+
+let window_matches_are_sound =
+  QCheck.Test.make ~name:"window matches are a subset of the oracle's" ~count:60
+    QCheck.small_int (fun seed ->
+      let prng = Prng.create (seed + 909) in
+      let n_traces = 2 + Prng.int prng 2 in
+      let names = Array.init n_traces (fun i -> "P" ^ string_of_int i) in
+      let raws = Testutil.Gen.computation ~n_traces ~length:25 prng in
+      let _, events = Testutil.ingest_all names raws in
+      let src = Testutil.Gen.pattern ~n_classes:2 prng in
+      match Compile.compile (Parser.parse src) with
+      | exception Compile.Compile_error _ -> true
+      | net ->
+        let w = Window.create ~net ~window:(n_traces * n_traces) () in
+        List.iter (fun ev -> ignore (Window.on_event w ev)) events;
+        let oracle = Oracle.all_matches ~net ~events in
+        List.for_all
+          (fun m -> List.exists (fun m' -> Array.for_all2 Event.equal m m') oracle)
+          (Window.matches w))
+
+let compound_singletons_equal_primitive_relations =
+  QCheck.Test.make ~name:"classify on singletons = primitive relation" ~count:40
+    QCheck.small_int (fun seed ->
+      let module Compound = Ocep_pattern.Compound in
+      let prng = Prng.create (seed + 515) in
+      let n_traces = 2 + Prng.int prng 2 in
+      let raws = Testutil.Gen.computation ~n_traces ~length:20 prng in
+      let _, events = Testutil.ingest_all (Array.init n_traces (fun i -> "P" ^ string_of_int i)) raws in
+      List.for_all
+        (fun a ->
+          List.for_all
+            (fun b ->
+              Event.equal a b
+              ||
+              match (Event.relation a b, Compound.classify [ a ] [ b ]) with
+              | Event.Before, Compound.A_before_B
+              | Event.After, Compound.B_before_A
+              | Event.Concurrent, Compound.Concurrent ->
+                true
+              | _ -> false)
+            events)
+        events)
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "oracle",
+        [
+          Alcotest.test_case "counts matches" `Quick oracle_counts_matches;
+          Alcotest.test_case "true slots" `Quick oracle_true_slots;
+        ] );
+      ( "chrono",
+        [
+          QCheck_alcotest.to_alcotest chrono_agrees_with_matcher;
+          Alcotest.test_case "pruning saves work" `Quick chrono_explores_more;
+        ] );
+      ( "waitfor",
+        [
+          Alcotest.test_case "detects cycle" `Quick waitfor_detects_cycle;
+          Alcotest.test_case "send clears edge" `Quick waitfor_send_clears_edge;
+          Alcotest.test_case "full history mode" `Quick waitfor_full_history_grows;
+        ] );
+      ( "conflict graph",
+        [ Alcotest.test_case "detects overlap" `Quick conflict_graph_detects_overlap ] );
+      ( "race checker",
+        [
+          Alcotest.test_case "concurrent sends race" `Quick race_checker_finds_concurrent_sends;
+          Alcotest.test_case "ordered sends do not" `Quick race_checker_ignores_ordered_sends;
+        ] );
+      ( "lattice",
+        [
+          Alcotest.test_case "finds concurrent sections" `Quick lattice_finds_concurrent_sections;
+          Alcotest.test_case "respects causality" `Quick lattice_respects_causality;
+          Alcotest.test_case "budget" `Quick lattice_budget;
+        ] );
+      ( "window",
+        [
+          Alcotest.test_case "in-window match" `Quick window_reports_in_window_matches;
+          Alcotest.test_case "out-of-window miss" `Quick window_misses_out_of_window;
+          QCheck_alcotest.to_alcotest window_matches_are_sound;
+        ] );
+      ( "compound",
+        [ QCheck_alcotest.to_alcotest compound_singletons_equal_primitive_relations ] );
+    ]

@@ -1,0 +1,322 @@
+(* The online engine: representative-subset semantics (Fig. 3), coverage
+   completeness against the oracle, history pruning, storage caps, and the
+   monitor's bookkeeping. *)
+
+open Ocep_base
+module Poet = Ocep_poet.Poet
+module Parser = Ocep_pattern.Parser
+module Compile = Ocep_pattern.Compile
+module Engine = Ocep.Engine
+module Subset = Ocep.Subset
+module Oracle = Ocep_baselines.Oracle
+module Window = Ocep_baselines.Window
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let net_of src = Compile.compile (Parser.parse src)
+
+let ab_pattern = "A := [_, A, _]; B := [_, B, _]; pattern := A -> B;"
+
+(* The process-time diagram of Fig. 3: by the time b arrives, matches with
+   an A exist on P0 and on P1; a window of n^2 events misses the P1 slot,
+   the representative subset covers both. *)
+let fig3 ~with_engine ~with_window () =
+  let names = [| "P0"; "P1"; "P2" |] in
+  let poet = Poet.create ~retain:true ~trace_names:names () in
+  let net = net_of ab_pattern in
+  let engine = if with_engine then Some (Engine.create ~net ~poet ()) else None in
+  let window = if with_window then Some (Window.create ~net ~window:(3 * 3) ()) else None in
+  (match window with
+  | Some w -> Poet.subscribe poet (fun ev -> ignore (Window.on_event w ev))
+  | None -> ());
+  let msg = ref 0 in
+  let ingest raw = ignore (Poet.ingest poet raw) in
+  let internal tr ty = ingest { Event.r_trace = tr; r_etype = ty; r_text = ""; r_kind = Event.Internal } in
+  let send tr = incr msg; ingest { Event.r_trace = tr; r_etype = "m"; r_text = ""; r_kind = Event.Send { msg = !msg } }; !msg in
+  let recv tr m = ingest { Event.r_trace = tr; r_etype = "m"; r_text = ""; r_kind = Event.Receive { msg = m } } in
+  (* old A on P1 whose causal successors reach P2 much later; then lots of
+     noise; then recent As on P0; then b on P2 *)
+  internal 1 "A";
+  let m1 = send 1 in
+  (* noise: push the P1 A far outside any n^2 window *)
+  for _ = 1 to 20 do
+    internal 0 "N"
+  done;
+  internal 0 "A";
+  internal 0 "A";
+  let m0 = send 0 in
+  recv 2 m0;
+  recv 2 m1;
+  internal 2 "B";
+  (poet, engine, window)
+
+let fig3_subset_covers_all_slots () =
+  let _, engine, _ = fig3 ~with_engine:true ~with_window:false () in
+  let engine = Option.get engine in
+  (* slots: (A,P0), (A,P1), (B,P2) all covered *)
+  check_int "covered" 3 (Engine.covered_slots engine);
+  check_int "reports at most k*n" 2 (List.length (Engine.reports engine))
+
+let fig3_window_misses_slot () =
+  let poet, _, window = fig3 ~with_engine:false ~with_window:true () in
+  let window = Option.get window in
+  let events = Poet.all_events poet in
+  let net = net_of ab_pattern in
+  let oracle_slots = Oracle.true_slots (Oracle.all_matches ~net ~events) in
+  let window_slots = Window.covered_slots window in
+  check "oracle has (A,P1)" true (List.mem (0, 1) oracle_slots);
+  check "window lost (A,P1)" false (List.mem (0, 1) window_slots);
+  check "window found (A,P0)" true (List.mem (0, 0) window_slots)
+
+(* engine coverage = oracle coverage on random computations (pruning off:
+   exact equality of slot sets) *)
+let coverage_matches_oracle =
+  QCheck.Test.make ~name:"representative subset covers exactly the oracle slots" ~count:80
+    QCheck.small_int (fun seed ->
+      let prng = Prng.create (seed + 7) in
+      let n_traces = 2 + Prng.int prng 2 in
+      let names = Array.init n_traces (fun i -> "P" ^ string_of_int i) in
+      let raws = Testutil.Gen.computation ~n_traces ~length:(15 + Prng.int prng 15) prng in
+      let src = Testutil.Gen.pattern ~n_classes:(2 + Prng.int prng 2) prng in
+      match Compile.compile (Parser.parse src) with
+      | exception Compile.Compile_error _ -> true
+      | net ->
+        let poet = Poet.create ~retain:true ~trace_names:names () in
+        let config = { Engine.default_config with Engine.pruning = false } in
+        let engine = Engine.create ~config ~net ~poet () in
+        let _ = List.map (Poet.ingest poet) raws in
+        let events = Poet.all_events poet in
+        let oracle_slots = Oracle.true_slots (Oracle.all_matches ~net ~events) in
+        (* compare the slot sets through the reported matches *)
+        let reported_slots =
+          List.sort_uniq compare
+            (List.concat_map
+               (fun (r : Subset.report) ->
+                 Array.to_list (Array.mapi (fun leaf (e : Event.t) -> (leaf, e.trace)) r.events))
+               (Engine.reports engine))
+        in
+        if reported_slots <> oracle_slots then
+          QCheck.Test.fail_reportf "slots differ on pattern:@.%s@.oracle %s@.reported %s" src
+            (String.concat "," (List.map (fun (l, t) -> Printf.sprintf "(%d,%d)" l t) oracle_slots))
+            (String.concat ","
+               (List.map (fun (l, t) -> Printf.sprintf "(%d,%d)" l t) reported_slots))
+        else true)
+
+(* every reported match is sound, even with pruning on *)
+let reports_sound_with_pruning =
+  QCheck.Test.make ~name:"reports verify independently (pruning on)" ~count:60 QCheck.small_int
+    (fun seed ->
+      let prng = Prng.create (seed + 77) in
+      let n_traces = 2 + Prng.int prng 2 in
+      let names = Array.init n_traces (fun i -> "P" ^ string_of_int i) in
+      let raws = Testutil.Gen.computation ~n_traces ~length:40 prng in
+      let src = Testutil.Gen.pattern ~n_classes:2 prng in
+      match Compile.compile (Parser.parse src) with
+      | exception Compile.Compile_error _ -> true
+      | net ->
+        let poet = Poet.create ~retain:true ~trace_names:names () in
+        let engine = Engine.create ~net ~poet () in
+        let _ = List.map (Poet.ingest poet) raws in
+        let events = Poet.all_events poet in
+        List.for_all
+          (fun (r : Subset.report) -> Oracle.is_match ~net ~events:(if net.Compile.lim_checks = [] then [] else events) r.events)
+          (Engine.reports engine))
+
+(* the analysis must not depend on which linearization POET delivers *)
+let linearization_independent =
+  QCheck.Test.make ~name:"coverage is identical across valid linearizations" ~count:60
+    QCheck.small_int (fun seed ->
+      let prng = Prng.create (seed + 321) in
+      let n_traces = 2 + Prng.int prng 2 in
+      let names = Array.init n_traces (fun i -> "P" ^ string_of_int i) in
+      let raws = Testutil.Gen.computation ~n_traces ~length:30 prng in
+      let src = Testutil.Gen.pattern ~n_classes:2 prng in
+      match Compile.compile (Parser.parse src) with
+      | exception Compile.Compile_error _ -> true
+      | net ->
+        let slots raws =
+          let poet = Poet.create ~trace_names:names () in
+          let engine = Engine.create ~net ~poet () in
+          List.iter (fun r -> ignore (Poet.ingest poet r)) raws;
+          List.sort_uniq compare
+            (List.concat_map
+               (fun (r : Subset.report) ->
+                 Array.to_list (Array.mapi (fun leaf (e : Event.t) -> (leaf, e.trace)) r.events))
+               (Engine.reports engine))
+        in
+        let shuffled = Ocep_poet.Linearize.shuffle ~seed:(seed + 77) raws in
+        slots raws = slots shuffled)
+
+let subset_cardinality_bound () =
+  (* at most k*n reports regardless of how many matches exist *)
+  let names = [| "P0"; "P1" |] in
+  let poet = Poet.create ~trace_names:names () in
+  let net = net_of "A := [_, A, _]; B := [_, B, _]; pattern := A || B;" in
+  let engine = Engine.create ~net ~poet () in
+  for _ = 1 to 50 do
+    ignore (Poet.ingest poet { Event.r_trace = 0; r_etype = "A"; r_text = ""; r_kind = Event.Internal });
+    ignore (Poet.ingest poet { Event.r_trace = 1; r_etype = "B"; r_text = ""; r_kind = Event.Internal })
+  done;
+  (* 50x50 matches exist; k*n = 4 *)
+  check "bounded reports" true (List.length (Engine.reports engine) <= 4);
+  check "many matches were found" true (Engine.matches_found engine > 50)
+
+let pruning_bounds_history () =
+  (* repeated internal events with no communication collapse to one entry *)
+  let names = [| "P0"; "P1" |] in
+  let poet = Poet.create ~trace_names:names () in
+  let net = net_of ab_pattern in
+  let engine = Engine.create ~net ~poet () in
+  for _ = 1 to 100 do
+    ignore (Poet.ingest poet { Event.r_trace = 0; r_etype = "A"; r_text = ""; r_kind = Event.Internal })
+  done;
+  check_int "one entry" 1 (Engine.history_entries engine);
+  (* a communication event separates epochs *)
+  ignore (Poet.ingest poet { Event.r_trace = 0; r_etype = "c"; r_text = ""; r_kind = Event.Send { msg = 1 } });
+  ignore (Poet.ingest poet { Event.r_trace = 0; r_etype = "A"; r_text = ""; r_kind = Event.Internal });
+  check_int "two entries" 2 (Engine.history_entries engine)
+
+let pruning_preserves_detection () =
+  (* the pruned history still detects the A->B match *)
+  let names = [| "P0"; "P1" |] in
+  let poet = Poet.create ~trace_names:names () in
+  let net = net_of ab_pattern in
+  let engine = Engine.create ~net ~poet () in
+  for _ = 1 to 50 do
+    ignore (Poet.ingest poet { Event.r_trace = 0; r_etype = "A"; r_text = ""; r_kind = Event.Internal })
+  done;
+  ignore (Poet.ingest poet { Event.r_trace = 0; r_etype = "s"; r_text = ""; r_kind = Event.Send { msg = 9 } });
+  ignore (Poet.ingest poet { Event.r_trace = 1; r_etype = "r"; r_text = ""; r_kind = Event.Receive { msg = 9 } });
+  ignore (Poet.ingest poet { Event.r_trace = 1; r_etype = "B"; r_text = ""; r_kind = Event.Internal });
+  check_int "match found" 1 (List.length (Engine.reports engine))
+
+let history_cap_drops () =
+  let names = [| "P0"; "P1" |] in
+  let poet = Poet.create ~trace_names:names () in
+  let net = net_of ab_pattern in
+  let config = { Engine.default_config with Engine.max_history_per_trace = Some 16 } in
+  let engine = Engine.create ~config ~net ~poet () in
+  for i = 1 to 200 do
+    ignore (Poet.ingest poet { Event.r_trace = 0; r_etype = "A"; r_text = ""; r_kind = Event.Send { msg = i } })
+  done;
+  check "capped" true (Engine.history_entries engine <= 17);
+  check "dropped counted" true (Engine.history_dropped engine > 0)
+
+let gc_bounds_concurrent_history () =
+  (* A || B with communication chatter: pruning never merges (epochs keep
+     changing), so without GC the histories grow without bound; with GC
+     fully-seen events are dead (a future anchor can only be After) and
+     storage stays bounded *)
+  let names = [| "P0"; "P1" |] in
+  let run gc_every =
+    let poet = Poet.create ~trace_names:names () in
+    let net = net_of "A := [_, A, _]; B := [_, B, _]; pattern := A || B;" in
+    let config = { Engine.default_config with Engine.gc_every } in
+    let engine = Engine.create ~config ~net ~poet () in
+    let msg = ref 0 in
+    for _ = 1 to 200 do
+      ignore (Poet.ingest poet { Event.r_trace = 0; r_etype = "A"; r_text = ""; r_kind = Event.Internal });
+      ignore (Poet.ingest poet { Event.r_trace = 1; r_etype = "B"; r_text = ""; r_kind = Event.Internal });
+      (* a message each way makes both frontiers cover everything *)
+      incr msg;
+      ignore (Poet.ingest poet { Event.r_trace = 0; r_etype = "c"; r_text = ""; r_kind = Event.Send { msg = !msg } });
+      ignore (Poet.ingest poet { Event.r_trace = 1; r_etype = "c"; r_text = ""; r_kind = Event.Receive { msg = !msg } });
+      incr msg;
+      ignore (Poet.ingest poet { Event.r_trace = 1; r_etype = "c"; r_text = ""; r_kind = Event.Send { msg = !msg } });
+      ignore (Poet.ingest poet { Event.r_trace = 0; r_etype = "c"; r_text = ""; r_kind = Event.Receive { msg = !msg } })
+    done;
+    engine
+  in
+  let without = run None in
+  let with_gc = run (Some 10) in
+  check "grows without gc" true (Engine.history_entries without >= 400);
+  check "bounded with gc" true (Engine.history_entries with_gc < 50);
+  check "gc counted as drops" true (Engine.history_dropped with_gc > 300);
+  (* and the same matches were reported *)
+  check_int "same reports" (List.length (Engine.reports without))
+    (List.length (Engine.reports with_gc))
+
+let gc_never_loses_coverage =
+  QCheck.Test.make ~name:"gc preserves the subset's coverage guarantee" ~count:60
+    QCheck.small_int (fun seed ->
+      let prng = Prng.create (seed + 4242) in
+      let n_traces = 2 + Prng.int prng 2 in
+      let names = Array.init n_traces (fun i -> "P" ^ string_of_int i) in
+      let raws = Testutil.Gen.computation ~n_traces ~length:40 prng in
+      let src = Testutil.Gen.pattern ~n_classes:2 prng in
+      match Compile.compile (Parser.parse src) with
+      | exception Compile.Compile_error _ -> true
+      | net ->
+        let poet = Poet.create ~retain:true ~trace_names:names () in
+        let config =
+          { Engine.default_config with Engine.pruning = false; gc_every = Some 5 }
+        in
+        let engine = Engine.create ~config ~net ~poet () in
+        let _ = List.map (Poet.ingest poet) raws in
+        let events = Poet.all_events poet in
+        let oracle_slots = Oracle.true_slots (Oracle.all_matches ~net ~events) in
+        let reported_slots =
+          List.sort_uniq compare
+            (List.concat_map
+               (fun (r : Subset.report) ->
+                 Array.to_list (Array.mapi (fun leaf (e : Event.t) -> (leaf, e.trace)) r.events))
+               (Engine.reports engine))
+        in
+        reported_slots = oracle_slots)
+
+let find_containing_works () =
+  let names = [| "P0"; "P1" |] in
+  let poet = Poet.create ~trace_names:names () in
+  let net = net_of ab_pattern in
+  let engine = Engine.create ~net ~poet () in
+  let a = Poet.ingest poet { Event.r_trace = 0; r_etype = "A"; r_text = ""; r_kind = Event.Internal } in
+  let _ = Poet.ingest poet { Event.r_trace = 0; r_etype = "s"; r_text = ""; r_kind = Event.Send { msg = 1 } } in
+  let _ = Poet.ingest poet { Event.r_trace = 1; r_etype = "r"; r_text = ""; r_kind = Event.Receive { msg = 1 } } in
+  let b = Poet.ingest poet { Event.r_trace = 1; r_etype = "B"; r_text = ""; r_kind = Event.Internal } in
+  let solo = Poet.ingest poet { Event.r_trace = 0; r_etype = "A"; r_text = ""; r_kind = Event.Internal } in
+  check "a in a match" true (Engine.find_containing engine a <> None);
+  check "b in a match" true (Engine.find_containing engine b <> None);
+  check "later concurrent A is not" true (Engine.find_containing engine solo = None)
+
+let latencies_recorded () =
+  let names = [| "P0"; "P1" |] in
+  let poet = Poet.create ~trace_names:names () in
+  let net = net_of ab_pattern in
+  let engine = Engine.create ~net ~poet () in
+  for _ = 1 to 5 do
+    ignore (Poet.ingest poet { Event.r_trace = 1; r_etype = "B"; r_text = ""; r_kind = Event.Internal })
+  done;
+  ignore (Poet.ingest poet { Event.r_trace = 0; r_etype = "A"; r_text = ""; r_kind = Event.Internal });
+  (* B is terminating: 5 terminating arrivals (the A is not terminating) *)
+  check_int "terminating arrivals" 5 (Engine.terminating_arrivals engine);
+  check_int "latency samples" 5 (Array.length (Engine.latencies_us engine))
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "fig3",
+        [
+          Alcotest.test_case "subset covers all slots" `Quick fig3_subset_covers_all_slots;
+          Alcotest.test_case "window misses a slot" `Quick fig3_window_misses_slot;
+        ] );
+      ( "subset",
+        [
+          QCheck_alcotest.to_alcotest coverage_matches_oracle;
+          QCheck_alcotest.to_alcotest reports_sound_with_pruning;
+          QCheck_alcotest.to_alcotest linearization_independent;
+          Alcotest.test_case "cardinality bound" `Quick subset_cardinality_bound;
+        ] );
+      ( "history",
+        [
+          Alcotest.test_case "pruning bounds history" `Quick pruning_bounds_history;
+          Alcotest.test_case "pruning preserves detection" `Quick pruning_preserves_detection;
+          Alcotest.test_case "cap drops oldest" `Quick history_cap_drops;
+          Alcotest.test_case "gc bounds concurrent history" `Quick gc_bounds_concurrent_history;
+          QCheck_alcotest.to_alcotest gc_never_loses_coverage;
+        ] );
+      ( "monitor",
+        [
+          Alcotest.test_case "find_containing" `Quick find_containing_works;
+          Alcotest.test_case "latencies recorded" `Quick latencies_recorded;
+        ] );
+    ]

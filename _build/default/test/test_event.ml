@@ -1,0 +1,123 @@
+(* Event relations: the O(1) vector-clock tests against an independent
+   reachability oracle, on both hand-built scenarios and random
+   computations. *)
+
+open Ocep_base
+module Build = Testutil.Build
+
+let check = Alcotest.(check bool)
+
+let rel = Alcotest.testable Event.pp_relation ( = )
+
+let diamond () =
+  (* P0: a --m1--> P1: b ; P1: c --m2--> P0: d ; e on P2 concurrent *)
+  let b = Build.create [| "P0"; "P1"; "P2" |] in
+  let a = Build.internal b 0 "A" in
+  let s1, r1 = Build.message b ~src:0 ~dst:1 in
+  let c = Build.internal b 1 "C" in
+  let s2, r2 = Build.message b ~src:1 ~dst:0 in
+  let d = Build.internal b 0 "D" in
+  let e = Build.internal b 2 "E" in
+  Alcotest.check rel "a -> d" Event.Before (Event.relation a d);
+  Alcotest.check rel "a -> c" Event.Before (Event.relation a c);
+  Alcotest.check rel "d after a" Event.After (Event.relation d a);
+  Alcotest.check rel "send -> recv" Event.Before (Event.relation s1 r1);
+  Alcotest.check rel "s2 -> d" Event.Before (Event.relation s2 d);
+  Alcotest.check rel "r2 -> d" Event.Before (Event.relation r2 d);
+  Alcotest.check rel "e concurrent a" Event.Concurrent (Event.relation e a);
+  Alcotest.check rel "e concurrent d" Event.Concurrent (Event.relation e d);
+  Alcotest.check rel "equal" Event.Equal (Event.relation a a);
+  check "hb strict" false (Event.hb a a);
+  check "concurrent sym" true (Event.concurrent a e && Event.concurrent e a)
+
+let same_trace_total_order () =
+  let b = Build.create [| "P0" |] in
+  let e1 = Build.internal b 0 "A" in
+  let e2 = Build.internal b 0 "B" in
+  let e3 = Build.internal b 0 "C" in
+  check "1<2" true (Event.hb e1 e2);
+  check "2<3" true (Event.hb e2 e3);
+  check "1<3" true (Event.hb e1 e3);
+  check "3>1" false (Event.hb e3 e1)
+
+let msg_of_kinds () =
+  let b = Build.create [| "P0"; "P1" |] in
+  let s, r = Build.message b ~src:0 ~dst:1 in
+  let i = Build.internal b 0 "X" in
+  check "send msg" true (Event.msg_of s <> None);
+  check "same msg" true (Event.msg_of s = Event.msg_of r);
+  check "internal none" true (Event.msg_of i = None);
+  check "is_comm" true (Event.is_comm s && Event.is_comm r && not (Event.is_comm i))
+
+(* relation against the reachability oracle on random computations *)
+let relation_matches_oracle =
+  QCheck.Test.make ~name:"vector-clock relation = reachability oracle" ~count:60
+    QCheck.(small_int)
+    (fun seed ->
+      let prng = Prng.create (seed + 1) in
+      let n_traces = 2 + Prng.int prng 3 in
+      let raws = Testutil.Gen.computation ~n_traces ~length:30 prng in
+      let _, events = Testutil.ingest_all (Array.init n_traces (fun i -> "P" ^ string_of_int i)) raws in
+      List.for_all
+        (fun a ->
+          List.for_all
+            (fun b ->
+              let oracle =
+                if Event.equal a b then Event.Equal
+                else if Testutil.hb_oracle events a b then Event.Before
+                else if Testutil.hb_oracle events b a then Event.After
+                else Event.Concurrent
+              in
+              Event.relation a b = oracle)
+            events)
+        events)
+
+let relation_antisymmetric =
+  QCheck.Test.make ~name:"relation (a,b) is the flip of (b,a)" ~count:60 QCheck.small_int
+    (fun seed ->
+      let prng = Prng.create (seed + 1000) in
+      let n_traces = 2 + Prng.int prng 3 in
+      let raws = Testutil.Gen.computation ~n_traces ~length:40 prng in
+      let _, events = Testutil.ingest_all (Array.init n_traces (fun i -> "P" ^ string_of_int i)) raws in
+      List.for_all
+        (fun a ->
+          List.for_all
+            (fun b ->
+              match (Event.relation a b, Event.relation b a) with
+              | Event.Before, Event.After
+              | Event.After, Event.Before
+              | Event.Concurrent, Event.Concurrent
+              | Event.Equal, Event.Equal ->
+                true
+              | _ -> false)
+            events)
+        events)
+
+let hb_transitive =
+  QCheck.Test.make ~name:"happened-before is transitive" ~count:40 QCheck.small_int (fun seed ->
+      let prng = Prng.create (seed + 2000) in
+      let n_traces = 2 + Prng.int prng 3 in
+      let raws = Testutil.Gen.computation ~n_traces ~length:30 prng in
+      let _, events = Testutil.ingest_all (Array.init n_traces (fun i -> "P" ^ string_of_int i)) raws in
+      List.for_all
+        (fun a ->
+          List.for_all
+            (fun b ->
+              (not (Event.hb a b))
+              || List.for_all (fun c -> (not (Event.hb b c)) || Event.hb a c) events)
+            events)
+        events)
+
+let () =
+  Alcotest.run "event"
+    [
+      ( "relations",
+        [
+          Alcotest.test_case "diamond" `Quick diamond;
+          Alcotest.test_case "same trace total order" `Quick same_trace_total_order;
+          Alcotest.test_case "msg kinds" `Quick msg_of_kinds;
+          QCheck_alcotest.to_alcotest relation_matches_oracle;
+          QCheck_alcotest.to_alcotest relation_antisymmetric;
+          QCheck_alcotest.to_alcotest hb_transitive;
+        ] );
+    ]

@@ -1,0 +1,183 @@
+(* Harness-level behaviour: the case factory, runner outcome invariants,
+   engine-configuration effects visible end-to-end, and the reproduction
+   helpers. *)
+
+module Sim = Ocep_sim.Sim
+module Runner = Ocep_harness.Runner
+module Cases = Ocep_harness.Cases
+module Repro = Ocep_harness.Repro
+module Engine = Ocep.Engine
+module Workload = Ocep_workloads.Workload
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec loop i = i + nn <= nh && (String.sub haystack i nn = needle || loop (i + 1)) in
+  loop 0
+
+let cases_factory () =
+  List.iter
+    (fun name ->
+      let w = Cases.make name ~traces:8 ~seed:1 ~max_events:1000 in
+      check (name ^ " has bodies") true (Array.length w.Workload.bodies > 0);
+      check (name ^ " pattern compiles") true
+        (match Ocep_pattern.Compile.compile (Ocep_pattern.Parser.parse w.Workload.pattern) with
+        | _ -> true
+        | exception _ -> false))
+    Cases.names;
+  (try
+     ignore (Cases.make "nonsense" ~traces:8 ~seed:1 ~max_events:10);
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+let paper_constants () =
+  check "ordering sweeps larger trace counts" true
+    (Cases.paper_trace_counts "ordering" = [ 50; 100; 500 ]);
+  check "others sweep 10/20/50" true (Cases.paper_trace_counts "races" = [ 10; 20; 50 ]);
+  let _, med, _, _, _ = Cases.paper_fig10_us "deadlock" in
+  check "paper deadlock median" true (med = 1805.)
+
+let outcome_invariants () =
+  let w = Cases.make "atomicity" ~traces:6 ~seed:3 ~max_events:8000 in
+  let o = Runner.run w in
+  check_int "one latency sample per terminating arrival"
+    (Array.length o.Runner.latencies_us)
+    (Array.length o.Runner.latencies_us);
+  check "events bounded by max_events + a small overshoot" true
+    (o.Runner.events >= 8000 && o.Runner.events < 8010);
+  check "detected <= injected" true (o.Runner.injections_detected <= o.Runner.injections_total);
+  check "coverage <= seen" true (o.Runner.covered_slots <= o.Runner.seen_slots);
+  check "summary present" true (o.Runner.summary <> None);
+  check "wall time recorded" true (o.Runner.wall_s > 0.)
+
+let cutoff_margin_excludes_tail () =
+  (* with a 100% margin nothing is considered *)
+  let w = Cases.make "ordering" ~traces:5 ~seed:4 ~max_events:8000 in
+  let o = Runner.run ~cutoff_margin:1.0 w in
+  check_int "nothing considered" 0 o.Runner.injections_total
+
+let pin_searches_matter () =
+  (* without pinned searches the subset can miss coverable slots *)
+  let run pin_searches =
+    let poet = Ocep_poet.Poet.create ~trace_names:[| "P0"; "P1"; "P2" |] () in
+    let net =
+      Ocep_pattern.Compile.compile
+        (Ocep_pattern.Parser.parse "A := [_, A, _]; B := [_, B, _]; pattern := A -> B;")
+    in
+    let config = { Engine.default_config with Engine.pin_searches } in
+    let engine = Engine.create ~config ~net ~poet () in
+    let ingest raw = ignore (Ocep_poet.Poet.ingest poet raw) in
+    let open Ocep_base in
+    (* two As on different traces, both before the single b *)
+    ingest { Event.r_trace = 0; r_etype = "A"; r_text = ""; r_kind = Event.Internal };
+    ingest { Event.r_trace = 1; r_etype = "A"; r_text = ""; r_kind = Event.Internal };
+    ingest { Event.r_trace = 0; r_etype = "m"; r_text = ""; r_kind = Event.Send { msg = 1 } };
+    ingest { Event.r_trace = 2; r_etype = "m"; r_text = ""; r_kind = Event.Receive { msg = 1 } };
+    ingest { Event.r_trace = 1; r_etype = "m"; r_text = ""; r_kind = Event.Send { msg = 2 } };
+    ingest { Event.r_trace = 2; r_etype = "m"; r_text = ""; r_kind = Event.Receive { msg = 2 } };
+    ingest { Event.r_trace = 2; r_etype = "B"; r_text = ""; r_kind = Event.Internal };
+    Engine.covered_slots engine
+  in
+  check_int "with pins: all three slots" 3 (run true);
+  check "without pins: fewer" true (run false < 3)
+
+let node_budget_counts_aborts () =
+  let poet = Ocep_poet.Poet.create ~trace_names:[| "P0"; "P1" |] () in
+  let net =
+    Ocep_pattern.Compile.compile
+      (Ocep_pattern.Parser.parse
+         "A := [_, A, _]; B := [_, B, _]; C := [_, C, _]; A $a; B $b; C $c;\n\
+          pattern := $a || $b && $b || $c && $a || $c;")
+  in
+  let config = { Engine.default_config with Engine.node_budget = Some 3 } in
+  let engine = Engine.create ~config ~net ~poet () in
+  let open Ocep_base in
+  let ingest raw = ignore (Ocep_poet.Poet.ingest poet raw) in
+  for _ = 1 to 10 do
+    ingest { Event.r_trace = 0; r_etype = "A"; r_text = ""; r_kind = Event.Internal };
+    ingest { Event.r_trace = 0; r_etype = "c"; r_text = ""; r_kind = Event.Send { msg = 0 } }
+  done;
+  (* C events ordered before the anchor so the search has to burn budget *)
+  ingest { Event.r_trace = 1; r_etype = "C"; r_text = ""; r_kind = Event.Internal };
+  ingest { Event.r_trace = 1; r_etype = "m"; r_text = ""; r_kind = Event.Send { msg = 99 } };
+  ignore (Ocep_poet.Poet.ingest poet { Event.r_trace = 1; r_etype = "B"; r_text = ""; r_kind = Event.Internal });
+  check "aborts counted" true (Engine.aborted_searches engine >= 0)
+
+let repro_fig3_output () =
+  let buf = Buffer.create 512 in
+  let ppf = Format.formatter_of_buffer buf in
+  Repro.fig3 ppf;
+  Format.pp_print_flush ppf ();
+  let out = Buffer.contents buf in
+  check "mentions the lost slot" true (contains out "(A,P1) lost");
+  check "window row" true (contains out "window");
+  check "subset row" true (contains out "OCEP subset")
+
+let scale_env_parsing () =
+  (* default when unset or garbage *)
+  Unix.putenv "OCEP_EVENTS" "garbage";
+  Unix.putenv "OCEP_RUNS" "-3";
+  let s = Repro.scale_from_env () in
+  check_int "events default" 50_000 s.Repro.events;
+  check_int "runs default" 2 s.Repro.runs;
+  Unix.putenv "OCEP_EVENTS" "1234";
+  Unix.putenv "OCEP_RUNS" "7";
+  let s = Repro.scale_from_env () in
+  check_int "events parsed" 1234 s.Repro.events;
+  check_int "runs parsed" 7 s.Repro.runs;
+  Unix.putenv "OCEP_EVENTS" "";
+  Unix.putenv "OCEP_RUNS" ""
+
+let dump_roundtrip_through_runner () =
+  (* gen-style dump and reload-style run must agree on match counts *)
+  let w = Cases.make "ordering" ~traces:5 ~seed:77 ~max_events:5000 in
+  let names = Sim.trace_names w.Workload.sim_config in
+  let file = Filename.temp_file "ocep" ".dump" in
+  let oc = open_out file in
+  Ocep_poet.Poet.dump_header ~trace_names:names oc;
+  let _ = Sim.run w.Workload.sim_config ~sink:(fun raw -> Ocep_poet.Poet.dump_raw oc raw) ~bodies:w.Workload.bodies in
+  close_out oc;
+  let ic = open_in file in
+  let loaded_names, raws = Ocep_poet.Poet.load ic in
+  close_in ic;
+  Sys.remove file;
+  let net = Ocep_pattern.Compile.compile (Ocep_pattern.Parser.parse w.Workload.pattern) in
+  let poet = Ocep_poet.Poet.create ~trace_names:loaded_names () in
+  let engine = Engine.create ~net ~poet () in
+  List.iter (fun r -> ignore (Ocep_poet.Poet.ingest poet r)) raws;
+  (* run the same workload live for comparison *)
+  let w2 = Cases.make "ordering" ~traces:5 ~seed:77 ~max_events:5000 in
+  let poet2 = Ocep_poet.Poet.create ~trace_names:names () in
+  let engine2 = Engine.create ~net ~poet:poet2 () in
+  let _ = Sim.run w2.Workload.sim_config ~sink:(fun raw -> ignore (Ocep_poet.Poet.ingest poet2 raw)) ~bodies:w2.Workload.bodies in
+  check_int "same matches live and reloaded" (Engine.matches_found engine2)
+    (Engine.matches_found engine);
+  check_int "same reports" (List.length (Engine.reports engine2)) (List.length (Engine.reports engine))
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "cases",
+        [
+          Alcotest.test_case "factory" `Quick cases_factory;
+          Alcotest.test_case "paper constants" `Quick paper_constants;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "outcome invariants" `Quick outcome_invariants;
+          Alcotest.test_case "cutoff margin" `Quick cutoff_margin_excludes_tail;
+          Alcotest.test_case "dump/run equals live" `Slow dump_roundtrip_through_runner;
+        ] );
+      ( "engine config",
+        [
+          Alcotest.test_case "pin searches matter" `Quick pin_searches_matter;
+          Alcotest.test_case "node budget" `Quick node_budget_counts_aborts;
+        ] );
+      ( "repro",
+        [
+          Alcotest.test_case "fig3 output" `Quick repro_fig3_output;
+          Alcotest.test_case "scale env" `Quick scale_env_parsing;
+        ] );
+    ]

@@ -1,0 +1,386 @@
+(* Pattern language: lexer/parser, pretty-printer round trips, compilation
+   to the constraint net, and the compound-event relations. *)
+
+open Ocep_base
+module Ast = Ocep_pattern.Ast
+module Parser = Ocep_pattern.Parser
+module Compile = Ocep_pattern.Compile
+module Compound = Ocep_pattern.Compound
+module Build = Testutil.Build
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let net_of src = Compile.compile (Parser.parse src)
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let parse_simple () =
+  let p = Parser.parse "A := [_, A, _]; B := [_, B, _]; pattern := A -> B;" in
+  check_int "two decls" 2 (List.length p.Ast.decls);
+  match p.Ast.pattern with
+  | Ast.Op (Ast.Happens_before, Ast.Class "A", Ast.Class "B") -> ()
+  | _ -> Alcotest.fail "unexpected AST"
+
+let parse_paper_pattern () =
+  (* the Section III-D pattern, verbatim modulo ASCII operators *)
+  let src =
+    "Synch := [$1, Synch_Leader, $2];\n\
+     Snapshot := [$2, Take_Snapshot, ''];\n\
+     Update := [$2, Make_Update, ''];\n\
+     Forward := [$2, Forward_Snapshot, $1];\n\
+     Snapshot $Diff;\n\
+     Update $Write;\n\
+     pattern := (Synch -> $Diff) && ($Diff -> $Write) && ($Write -> Forward);"
+  in
+  let p = Parser.parse src in
+  check_int "six decls" 6 (List.length p.Ast.decls);
+  let net = Compile.compile p in
+  check_int "four leaves" 4 (Compile.size net);
+  (* exactly one terminating leaf: Forward *)
+  let terms =
+    Array.to_list net.Compile.terminating
+    |> List.mapi (fun i t -> (i, t))
+    |> List.filter snd |> List.map fst
+  in
+  check_int "one terminating leaf" 1 (List.length terms);
+  check "terminating is Forward" true
+    (net.Compile.leaves.(List.hd terms).Compile.cls.Ast.cname = "Forward")
+
+let parse_operators () =
+  List.iter
+    (fun (src, expected) ->
+      match (Parser.parse_expr src, expected) with
+      | Ast.Op (op, _, _), e when op = e -> ()
+      | _ -> Alcotest.fail ("operator parse failed for " ^ src))
+    [
+      ("A -> B", Ast.Happens_before);
+      ("A || B", Ast.Concurrent_with);
+      ("A <> B", Ast.Partner);
+      ("A ~> B", Ast.Limited_hb);
+      ("A => B", Ast.Strong_precedes);
+      ("A <-> B", Ast.Entangled);
+    ]
+
+let parse_attrs () =
+  let p = Parser.parse "K := ['exact text', Some_Type, $v]; pattern := K;" in
+  match p.Ast.decls with
+  | [ Ast.Class_decl { proc = Ast.Exact "exact text"; typ = Ast.Exact "Some_Type"; text = Ast.Var "v"; _ } ] -> ()
+  | _ -> Alcotest.fail "attribute parse failed"
+
+let parse_comments_and_whitespace () =
+  let p = Parser.parse "# comment line\nA := [_, A, _];   \n\n pattern := A; # trailing" in
+  check_int "one decl" 1 (List.length p.Ast.decls)
+
+let parse_errors () =
+  let expect_error src =
+    match Parser.parse src with
+    | exception Parser.Parse_error _ -> ()
+    | _ -> Alcotest.fail ("expected parse error for: " ^ src)
+  in
+  expect_error "pattern := A -> B;";  (* undefined classes *)
+  expect_error "A := [_, A, _];";  (* no pattern *)
+  expect_error "A := [_, A, _]; pattern := A -> $X;";  (* undeclared event var *)
+  expect_error "A := [_, A]; pattern := A;";  (* wrong arity *)
+  expect_error "A := [_, A, _]; A := [_, A, _]; pattern := A;";  (* duplicate class *)
+  expect_error "A := [_, A, _]; pattern := A;; pattern := A;";  (* stray token *)
+  expect_error "A := [_, A, _]; pattern := A -> ;";  (* missing operand *)
+  expect_error "A := [_, 'unterminated, _]; pattern := A;"
+
+let lexer_edge_cases () =
+  (* <-> at end of input, <> vs <->, _ as part of identifiers *)
+  (match Parser.parse_expr "A <-> B" with
+  | Ast.Op (Ast.Entangled, _, _) -> ()
+  | _ -> Alcotest.fail "expected <->"
+  | exception _ -> Alcotest.fail "lex failed");
+  (match Parser.parse_expr "A <> B" with
+  | Ast.Op (Ast.Partner, _, _) -> ()
+  | _ -> Alcotest.fail "expected <>");
+  let p = Parser.parse "My_Class_1 := [_, Some_Type_2, _]; pattern := My_Class_1;" in
+  (match p.Ast.decls with
+  | [ Ast.Class_decl { cname = "My_Class_1"; _ } ] -> ()
+  | _ -> Alcotest.fail "underscored identifiers");
+  (* a lone < is an error *)
+  (match Parser.parse "A := [_, A, _]; pattern := A < A;" with
+  | exception Parser.Parse_error _ -> ()
+  | _ -> Alcotest.fail "expected lex error for <");
+  (* comment ending at EOF without newline *)
+  let p2 = Parser.parse "A := [_, A, _]; pattern := A; # trailing comment" in
+  Alcotest.(check int) "decl parsed" 1 (List.length p2.Ast.decls)
+
+let deadlock_cycle_sizes () =
+  List.iter
+    (fun k ->
+      let net = net_of (Ocep_workloads.Patterns.deadlock_cycle k) in
+      check_int (Printf.sprintf "cycle %d leaves" k) k (Compile.size net);
+      (* every pair constrained to pure concurrency *)
+      let pairs = ref 0 in
+      for i = 0 to k - 1 do
+        for j = i + 1 to k - 1 do
+          match net.Compile.cons.(i).(j) with
+          | Some { Compile.before = false; after = false; concurrent = true } -> incr pairs
+          | _ -> ()
+        done
+      done;
+      check_int "all pairs concurrent" (k * (k - 1) / 2) !pairs;
+      (* all leaves terminating *)
+      check "all terminating" true (Array.for_all (fun b -> b) net.Compile.terminating))
+    [ 2; 3; 4; 6 ];
+  (match Ocep_workloads.Patterns.deadlock_cycle 1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "cycle length 1 rejected")
+
+let pp_roundtrip () =
+  List.iter
+    (fun src ->
+      let p1 = Parser.parse src in
+      let printed = Format.asprintf "%a" Ast.pp p1 in
+      let p2 = Parser.parse printed in
+      if not (Ast.equal p1 p2) then
+        Alcotest.failf "round trip failed:@.%s@.vs@.%s" src printed)
+    [
+      "A := [_, A, _]; B := [_, B, _]; pattern := A -> B;";
+      "A := [$p, A, $t]; B := [$p, B, 'x']; pattern := A || B && A -> B;";
+      "A := [_, A, _]; B := [_, B, _]; C := [_, C, _]; D := [_, D, _];\n\
+       pattern := (A -> B) || (C -> D);";
+      "S := [_, S, _]; R := [_, R, _]; pattern := S <> R;";
+      "A := [_, A, _]; B := [_, B, _]; C := [_, C, _]; D := [_, D, _];\n\
+       pattern := (A -> B) => (C -> D) && (A -> B) <-> (C -> D);";
+      "A := [_, A, _]; B := [_, B, _]; A $x; pattern := $x -> B && $x ~> B;";
+      Ocep_workloads.Patterns.ordering_bug;
+      Ocep_workloads.Patterns.message_race;
+      Ocep_workloads.Patterns.deadlock_cycle 4;
+    ]
+
+let random_patterns_compile =
+  QCheck.Test.make ~name:"random generated patterns parse and compile" ~count:200
+    QCheck.small_int (fun seed ->
+      let prng = Prng.create (seed + 77) in
+      let src = Testutil.Gen.pattern ~n_classes:(2 + Prng.int prng 3) prng in
+      match Compile.compile (Parser.parse src) with
+      | _ -> true
+      | exception Compile.Compile_error _ -> true (* contradictory ops are fine *)
+      | exception Parser.Parse_error e -> QCheck.Test.fail_reportf "parse error %s on:@.%s" e src)
+
+(* ------------------------------------------------------------------ *)
+(* Compilation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let compile_fresh_leaves_per_occurrence () =
+  (* two bare uses of A are distinct leaves; event variables share *)
+  let net = net_of "A := [_, A, _]; B := [_, B, _]; C := [_, C, _];\npattern := A -> B && A -> C;" in
+  check_int "four leaves" 4 (Compile.size net);
+  let net2 =
+    net_of "A := [_, A, _]; B := [_, B, _]; C := [_, C, _]; A $a;\npattern := $a -> B && $a -> C;"
+  in
+  check_int "three leaves with event var" 3 (Compile.size net2)
+
+let compile_constraints () =
+  let net = net_of "A := [_, A, _]; B := [_, B, _]; pattern := A -> B;" in
+  (match net.Compile.cons.(0).(1) with
+  | Some { Compile.before = true; after = false; concurrent = false } -> ()
+  | _ -> Alcotest.fail "wrong A->B constraint");
+  (match net.Compile.cons.(1).(0) with
+  | Some { Compile.before = false; after = true; concurrent = false } -> ()
+  | _ -> Alcotest.fail "flip not recorded");
+  check "terminating" true
+    (net.Compile.terminating.(1) && not (net.Compile.terminating.(0)))
+
+let compile_concurrent_terminating () =
+  let net = net_of "A := [_, A, _]; B := [_, B, _]; pattern := A || B;" in
+  check "both terminating" true (net.Compile.terminating.(0) && net.Compile.terminating.(1))
+
+let compile_compound_weak_precedence () =
+  (* (A -> B) -> (C -> D): cross pairs restricted to {before, concurrent},
+     plus an existential forward pair *)
+  let net =
+    net_of
+      "A := [_, A, _]; B := [_, B, _]; C := [_, C, _]; D := [_, D, _];\n\
+       pattern := (A -> B) -> (C -> D);"
+  in
+  check_int "one existential" 1 (List.length net.Compile.exists_before);
+  (match net.Compile.cons.(0).(2) with
+  | Some { Compile.before = true; after = false; concurrent = true } -> ()
+  | _ -> Alcotest.fail "cross constraint wrong");
+  (* inner constraints stay exact *)
+  match net.Compile.cons.(0).(1) with
+  | Some { Compile.before = true; after = false; concurrent = false } -> ()
+  | _ -> Alcotest.fail "inner constraint wrong"
+
+let compile_compound_concurrency_is_pairwise () =
+  let net =
+    net_of
+      "A := [_, A, _]; B := [_, B, _]; C := [_, C, _]; D := [_, D, _];\n\
+       pattern := (A -> B) || (C -> D);"
+  in
+  check "all cross pairs concurrent" true
+    (List.for_all
+       (fun (i, j) ->
+         match net.Compile.cons.(i).(j) with
+         | Some { Compile.before = false; after = false; concurrent = true } -> true
+         | _ -> false)
+       [ (0, 2); (0, 3); (1, 2); (1, 3) ])
+
+let compile_strong_precedence_compound () =
+  (* (A -> B) => (C -> D): every cross pair strictly forward, no existential *)
+  let net =
+    net_of
+      "A := [_, A, _]; B := [_, B, _]; C := [_, C, _]; D := [_, D, _];\n\
+       pattern := (A -> B) => (C -> D);"
+  in
+  check_int "no existential" 0 (List.length net.Compile.exists_before);
+  check "all cross pairs strictly before" true
+    (List.for_all
+       (fun (i, j) ->
+         match net.Compile.cons.(i).(j) with
+         | Some { Compile.before = true; after = false; concurrent = false } -> true
+         | _ -> false)
+       [ (0, 2); (0, 3); (1, 2); (1, 3) ])
+
+let compile_entangled_compound () =
+  (* (A -> B) <-> (C -> D): existential pairs in both directions *)
+  let net =
+    net_of
+      "A := [_, A, _]; B := [_, B, _]; C := [_, C, _]; D := [_, D, _];\n\
+       pattern := (A -> B) <-> (C -> D);"
+  in
+  check_int "two existentials" 2 (List.length net.Compile.exists_before)
+
+let compile_unsatisfiable () =
+  match net_of "A := [_, A, _]; B := [_, B, _]; A $a; B $b;\npattern := $a -> $b && $b -> $a;" with
+  | exception Compile.Compile_error _ -> ()
+  | _ -> Alcotest.fail "expected unsatisfiable"
+
+let compile_self_constraint () =
+  match net_of "A := [_, A, _]; A $x; pattern := $x -> $x;" with
+  | exception Compile.Compile_error _ -> ()
+  | _ -> Alcotest.fail "expected self-constraint error"
+
+let compile_partner_requires_primitive () =
+  match
+    net_of "A := [_, A, _]; B := [_, B, _]; C := [_, C, _]; pattern := (A -> B) <> C;"
+  with
+  | exception Compile.Compile_error _ -> ()
+  | _ -> Alcotest.fail "expected partner arity error"
+
+let compile_var_fields () =
+  let net = net_of "A := [$p, A, $t]; B := [$p, B, _]; pattern := A -> B;" in
+  check_int "two variables" 2 (List.length net.Compile.var_fields);
+  match List.assoc_opt "p" net.Compile.var_fields with
+  | Some positions -> check_int "p has two positions" 2 (List.length positions)
+  | None -> Alcotest.fail "missing variable p"
+
+let leaf_matches_specs () =
+  let net = net_of "A := ['P1', A, 'x']; pattern := A;" in
+  let b = Build.create [| "P0"; "P1" |] in
+  let good = Build.internal b 1 ~text:"x" "A" in
+  let wrong_trace = Build.internal b 0 ~text:"x" "A" in
+  let wrong_text = Build.internal b 1 ~text:"y" "A" in
+  let wrong_type = Build.internal b 1 ~text:"x" "B" in
+  check "good" true (Compile.leaf_matches net 0 good);
+  check "wrong trace" false (Compile.leaf_matches net 0 wrong_trace);
+  check "wrong text" false (Compile.leaf_matches net 0 wrong_text);
+  check "wrong type" false (Compile.leaf_matches net 0 wrong_type)
+
+(* ------------------------------------------------------------------ *)
+(* Compound-event relations                                            *)
+(* ------------------------------------------------------------------ *)
+
+let compound_scenario () =
+  (* two traces; M1 = {a0, b1} crossing M2 = {b0, a1} etc. *)
+  let b = Build.create [| "P0"; "P1" |] in
+  let a0 = Build.internal b 0 "a0" in
+  let m1, _ = Build.send b ~src:0 () in
+  let b0recv = Build.recv b ~dst:1 m1 in
+  let b1 = Build.internal b 1 "b1" in
+  let a1 = Build.internal b 0 "a1" in
+  (* strong precedence: every element of [a0] precedes every of [b0recv; b1] *)
+  check "strong" true (Compound.strong_precedes [ a0 ] [ b0recv; b1 ]);
+  check "weak" true (Compound.weak_precedes [ a0; a1 ] [ b1 ]);
+  check "not strong" false (Compound.strong_precedes [ a0; a1 ] [ b1 ]);
+  check "overlap" true (Compound.overlaps [ a0; b1 ] [ b1 ]);
+  check "disjoint" true (Compound.disjoint [ a0 ] [ b1 ]);
+  (* crossing: a0 -> b0recv and ... need an event of B before an event of A:
+     b? a1 is concurrent with b1; build explicit cross *)
+  let m2, _ = Build.send b ~src:1 () in
+  let a2 = Build.recv b ~dst:0 m2 in
+  (* A = {a0, a2}, B = {b0recv, b1}: a0 -> b0recv, b1 -> a2 *)
+  check "crosses" true (Compound.crosses [ a0; a2 ] [ b0recv; b1 ]);
+  check "entangled" true (Compound.entangled [ a0; a2 ] [ b0recv; b1 ]);
+  check "classify entangled" true (Compound.classify [ a0; a2 ] [ b0recv; b1 ] = Compound.Entangled);
+  check "classify before" true (Compound.classify [ a0 ] [ b0recv ] = Compound.A_before_B);
+  check "classify after" true (Compound.classify [ b0recv ] [ a0 ] = Compound.B_before_A)
+
+let compound_concurrent () =
+  let b = Build.create [| "P0"; "P1" |] in
+  let x = Build.internal b 0 "x" in
+  let y = Build.internal b 1 "y" in
+  check "concurrent" true (Compound.concurrent [ x ] [ y ]);
+  check "classify" true (Compound.classify [ x ] [ y ] = Compound.Concurrent)
+
+let ( ==> ) = QCheck.( ==> )
+
+let compound_exclusive_classification =
+  QCheck.Test.make ~name:"classification is total and exclusive" ~count:40 QCheck.small_int
+    (fun seed ->
+      let prng = Prng.create (seed + 31) in
+      let raws = Testutil.Gen.computation ~n_traces:3 ~length:25 prng in
+      let _, events = Testutil.ingest_all [| "P0"; "P1"; "P2" |] raws in
+      let arr = Array.of_list events in
+      Array.length arr >= 4
+      ==>
+      let pick i = arr.(i mod Array.length arr) in
+      let a = [ pick (seed * 3); pick ((seed * 5) + 1) ] in
+      let b = [ pick ((seed * 7) + 2); pick ((seed * 11) + 3) ] in
+      if Compound.overlaps a b then Compound.classify a b = Compound.Entangled
+      else
+        let cls = Compound.classify a b in
+        let count =
+          (if Compound.entangled a b then 1 else 0)
+          + (if (not (Compound.entangled a b)) && Compound.weak_precedes a b then 1 else 0)
+          + (if (not (Compound.entangled a b)) && (not (Compound.weak_precedes a b)) && Compound.weak_precedes b a then 1 else 0)
+          + if Compound.concurrent a b then 1 else 0
+        in
+        ignore cls;
+        count = 1)
+
+let () =
+  Alcotest.run "pattern"
+    [
+      ( "parser",
+        [
+          Alcotest.test_case "simple" `Quick parse_simple;
+          Alcotest.test_case "paper pattern" `Quick parse_paper_pattern;
+          Alcotest.test_case "operators" `Quick parse_operators;
+          Alcotest.test_case "attributes" `Quick parse_attrs;
+          Alcotest.test_case "comments" `Quick parse_comments_and_whitespace;
+          Alcotest.test_case "errors" `Quick parse_errors;
+          Alcotest.test_case "lexer edge cases" `Quick lexer_edge_cases;
+          Alcotest.test_case "deadlock cycle sizes" `Quick deadlock_cycle_sizes;
+          Alcotest.test_case "pp roundtrip" `Quick pp_roundtrip;
+          QCheck_alcotest.to_alcotest random_patterns_compile;
+        ] );
+      ( "compile",
+        [
+          Alcotest.test_case "fresh leaves" `Quick compile_fresh_leaves_per_occurrence;
+          Alcotest.test_case "constraints" `Quick compile_constraints;
+          Alcotest.test_case "concurrent terminating" `Quick compile_concurrent_terminating;
+          Alcotest.test_case "compound weak precedence" `Quick compile_compound_weak_precedence;
+          Alcotest.test_case "compound concurrency" `Quick compile_compound_concurrency_is_pairwise;
+          Alcotest.test_case "strong precedence compound" `Quick compile_strong_precedence_compound;
+          Alcotest.test_case "entangled compound" `Quick compile_entangled_compound;
+          Alcotest.test_case "unsatisfiable" `Quick compile_unsatisfiable;
+          Alcotest.test_case "self constraint" `Quick compile_self_constraint;
+          Alcotest.test_case "partner arity" `Quick compile_partner_requires_primitive;
+          Alcotest.test_case "var fields" `Quick compile_var_fields;
+          Alcotest.test_case "leaf matches" `Quick leaf_matches_specs;
+        ] );
+      ( "compound",
+        [
+          Alcotest.test_case "scenario" `Quick compound_scenario;
+          Alcotest.test_case "concurrent" `Quick compound_concurrent;
+          QCheck_alcotest.to_alcotest compound_exclusive_classification;
+        ] );
+    ]

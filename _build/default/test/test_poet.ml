@@ -1,0 +1,246 @@
+(* POET substrate: timestamp correctness against the reachability oracle,
+   dump/reload round trips, re-linearization, partner lookup, and the
+   subscription interface. *)
+
+open Ocep_base
+module Poet = Ocep_poet.Poet
+module Linearize = Ocep_poet.Linearize
+module Build = Testutil.Build
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let names n = Array.init n (fun i -> "P" ^ string_of_int i)
+
+let timestamps_match_oracle =
+  QCheck.Test.make ~name:"vector timestamps encode exactly reachability" ~count:50
+    QCheck.small_int (fun seed ->
+      let prng = Prng.create (seed + 1) in
+      let n_traces = 2 + Prng.int prng 4 in
+      let raws = Testutil.Gen.computation ~n_traces ~length:40 prng in
+      let _, events = Testutil.ingest_all (names n_traces) raws in
+      List.for_all
+        (fun a ->
+          List.for_all
+            (fun b ->
+              Event.equal a b || Event.hb a b = Testutil.hb_oracle events a b)
+            events)
+        events)
+
+let indices_sequential () =
+  let b = Build.create (names 2) in
+  let e1 = Build.internal b 0 "A" in
+  let e2 = Build.internal b 0 "B" in
+  let f1 = Build.internal b 1 "A" in
+  check_int "first" 1 e1.Event.index;
+  check_int "second" 2 e2.Event.index;
+  check_int "other trace restarts" 1 f1.Event.index
+
+let receive_unknown_message () =
+  let poet = Poet.create ~trace_names:(names 2) () in
+  Alcotest.check_raises "unknown msg" (Failure "Poet.ingest: receive of unknown message 99")
+    (fun () ->
+      ignore
+        (Poet.ingest poet
+           { Event.r_trace = 0; r_etype = "R"; r_text = ""; r_kind = Event.Receive { msg = 99 } }))
+
+let trace_out_of_range () =
+  let poet = Poet.create ~trace_names:(names 2) () in
+  Alcotest.check_raises "bad trace" (Failure "Poet.ingest: trace 7 out of range") (fun () ->
+      ignore
+        (Poet.ingest poet { Event.r_trace = 7; r_etype = "X"; r_text = ""; r_kind = Event.Internal }))
+
+let subscription_order () =
+  let poet = Poet.create ~trace_names:(names 2) () in
+  let got = ref [] in
+  Poet.subscribe poet (fun ev -> got := ev.Event.etype :: !got);
+  List.iter
+    (fun ty ->
+      ignore (Poet.ingest poet { Event.r_trace = 0; r_etype = ty; r_text = ""; r_kind = Event.Internal }))
+    [ "A"; "B"; "C" ];
+  check "in order" true (List.rev !got = [ "A"; "B"; "C" ])
+
+let partner_lookup () =
+  let b = Build.create (names 2) in
+  let s, r = Build.message b ~src:0 ~dst:1 in
+  let i = Build.internal b 0 "X" in
+  let poet = Build.poet b in
+  check "send partner" true (match Poet.find_partner poet s with Some e -> Event.equal e r | None -> false);
+  check "recv partner" true (match Poet.find_partner poet r with Some e -> Event.equal e s | None -> false);
+  check "internal none" true (Poet.find_partner poet i = None)
+
+let retain_required () =
+  let poet = Poet.create ~retain:false ~trace_names:(names 1) () in
+  Alcotest.check_raises "events_on requires retain"
+    (Failure "Poet.events_on: store was created with retain:false") (fun () ->
+      ignore (Poet.events_on poet 0))
+
+let dump_reload_roundtrip () =
+  let prng = Prng.create 99 in
+  let raws = Testutil.Gen.computation ~n_traces:3 ~length:60 prng in
+  let file = Filename.temp_file "poet" ".dump" in
+  let oc = open_out file in
+  Poet.dump_header ~trace_names:(names 3) oc;
+  List.iter (Poet.dump_raw oc) raws;
+  close_out oc;
+  let ic = open_in file in
+  let loaded_names, loaded = Poet.load ic in
+  close_in ic;
+  Sys.remove file;
+  check "names" true (loaded_names = names 3);
+  check "events" true (loaded = raws)
+
+let dump_reload_same_timestamps () =
+  let prng = Prng.create 123 in
+  let raws = Testutil.Gen.computation ~n_traces:3 ~length:50 prng in
+  let _, ev1 = Testutil.ingest_all (names 3) raws in
+  let file = Filename.temp_file "poet" ".dump" in
+  let oc = open_out file in
+  Poet.dump_header ~trace_names:(names 3) oc;
+  List.iter (Poet.dump_raw oc) raws;
+  close_out oc;
+  let ic = open_in file in
+  let loaded_names, loaded = Poet.load ic in
+  close_in ic;
+  Sys.remove file;
+  let _, ev2 = Testutil.ingest_all loaded_names loaded in
+  check "same timestamps" true
+    (List.for_all2 (fun (a : Event.t) (b : Event.t) -> Vclock.equal a.vc b.vc) ev1 ev2)
+
+let dump_escaping () =
+  (* attribute values with spaces, quotes and newlines survive the dump *)
+  let raws =
+    [
+      { Event.r_trace = 0; r_etype = "weird type"; r_text = "a \"quoted\" text"; r_kind = Event.Internal };
+      { Event.r_trace = 0; r_etype = "nl"; r_text = "line1\nline2"; r_kind = Event.Internal };
+    ]
+  in
+  let file = Filename.temp_file "poet" ".dump" in
+  let oc = open_out file in
+  Poet.dump_header ~trace_names:[| "trace zero" |] oc;
+  List.iter (Poet.dump_raw oc) raws;
+  close_out oc;
+  let ic = open_in file in
+  let loaded_names, loaded = Poet.load ic in
+  close_in ic;
+  Sys.remove file;
+  check "names escaped" true (loaded_names = [| "trace zero" |]);
+  check "events escaped" true (loaded = raws)
+
+let load_rejects_garbage () =
+  let file = Filename.temp_file "poet" ".dump" in
+  let oc = open_out file in
+  output_string oc "not a dump\n";
+  close_out oc;
+  let ic = open_in file in
+  (try
+     ignore (Poet.load ic);
+     Alcotest.fail "expected failure"
+   with Failure _ -> ());
+  close_in ic;
+  Sys.remove file
+
+let shuffle_is_valid_linearization =
+  QCheck.Test.make ~name:"shuffle produces a valid linearization with the same timestamps"
+    ~count:40 QCheck.small_int (fun seed ->
+      let prng = Prng.create (seed + 5) in
+      let raws = Testutil.Gen.computation ~n_traces:3 ~length:40 prng in
+      let shuffled = Linearize.shuffle ~seed:(seed * 3 + 1) raws in
+      Linearize.is_linearization shuffled
+      && List.length shuffled = List.length raws
+      &&
+      (* same per-trace subsequences *)
+      let per_trace l t = List.filter (fun (r : Event.raw) -> r.r_trace = t) l in
+      List.for_all (fun t -> per_trace raws t = per_trace shuffled t) [ 0; 1; 2 ]
+      &&
+      (* identical vector timestamps for corresponding events *)
+      let _, ev1 = Testutil.ingest_all (names 3) raws in
+      let _, ev2 = Testutil.ingest_all (names 3) shuffled in
+      let key (e : Event.t) = (e.trace, e.index) in
+      let sorted l = List.sort (fun a b -> compare (key a) (key b)) l in
+      List.for_all2
+        (fun (a : Event.t) (b : Event.t) -> key a = key b && Vclock.equal a.vc b.vc)
+        (sorted ev1) (sorted ev2))
+
+let is_linearization_detects_violation () =
+  let bad =
+    [
+      { Event.r_trace = 0; r_etype = "R"; r_text = ""; r_kind = Event.Receive { msg = 1 } };
+      { Event.r_trace = 1; r_etype = "S"; r_text = ""; r_kind = Event.Send { msg = 1 } };
+    ]
+  in
+  check "detected" false (Linearize.is_linearization bad)
+
+(* ------------------------------------------------------------------ *)
+(* Diagram                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let diagram_renders () =
+  let b = Build.create [| "P0"; "P1" |] in
+  let a = Build.internal b 0 "A" in
+  let _s, _r = Build.message b ~src:0 ~dst:1 in
+  let bb = Build.internal b 1 "B" in
+  let out =
+    Ocep_poet.Diagram.render ~highlight:[ a; bb ] ~trace_names:[| "P0"; "P1" |]
+      (Build.events b)
+  in
+  let lines = String.split_on_char '\n' out in
+  (match lines with
+  | l0 :: l1 :: _ ->
+    Alcotest.(check string) "row P0" "P0 |#1  " l0;
+    Alcotest.(check string) "row P1" "P1 |  1#" l1
+  | _ -> Alcotest.fail "expected at least two lines");
+  check "legend mentions message" true
+    (let rec contains i =
+       i + 7 <= String.length out && (String.sub out i 7 = "1=msg#1" || contains (i + 1))
+     in
+     contains 0);
+  check "legend lists highlights" true
+    (let rec contains i =
+       i + 11 <= String.length out && (String.sub out i 11 = "highlighted" || contains (i + 1))
+     in
+     contains 0)
+
+let diagram_truncates () =
+  let b = Build.create [| "P0" |] in
+  for _ = 1 to 100 do
+    ignore (Build.internal b 0 "E")
+  done;
+  let out = Ocep_poet.Diagram.render ~max_events:10 ~trace_names:[| "P0" |] (Build.events b) in
+  let first_line = List.hd (String.split_on_char '\n' out) in
+  Alcotest.(check int) "width capped" (String.length "P0 |" + 10) (String.length first_line)
+
+let () =
+  Alcotest.run "poet"
+    [
+      ( "timestamps",
+        [
+          QCheck_alcotest.to_alcotest timestamps_match_oracle;
+          Alcotest.test_case "indices sequential" `Quick indices_sequential;
+          Alcotest.test_case "receive unknown" `Quick receive_unknown_message;
+          Alcotest.test_case "trace out of range" `Quick trace_out_of_range;
+        ] );
+      ( "clients",
+        [
+          Alcotest.test_case "subscription order" `Quick subscription_order;
+          Alcotest.test_case "partner lookup" `Quick partner_lookup;
+          Alcotest.test_case "retain required" `Quick retain_required;
+        ] );
+      ( "dump",
+        [
+          Alcotest.test_case "roundtrip" `Quick dump_reload_roundtrip;
+          Alcotest.test_case "same timestamps" `Quick dump_reload_same_timestamps;
+          Alcotest.test_case "escaping" `Quick dump_escaping;
+          Alcotest.test_case "rejects garbage" `Quick load_rejects_garbage;
+        ] );
+      ( "diagram",
+        [
+          Alcotest.test_case "renders" `Quick diagram_renders;
+          Alcotest.test_case "truncates" `Quick diagram_truncates;
+        ] );
+      ( "linearize",
+        [
+          QCheck_alcotest.to_alcotest shuffle_is_valid_linearization;
+          Alcotest.test_case "violation detected" `Quick is_linearization_detects_violation;
+        ] );
+    ]

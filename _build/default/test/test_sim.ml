@@ -1,0 +1,394 @@
+(* The effect-handler simulator: determinism, message semantics (eager and
+   rendezvous), ANY_SOURCE, semaphores, and deadlock recovery. *)
+
+open Ocep_base
+module Sim = Ocep_sim.Sim
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let collect cfg bodies =
+  let log = ref [] in
+  let stats = Sim.run cfg ~sink:(fun raw -> log := raw :: !log) ~bodies in
+  (stats, List.rev !log)
+
+let ping_pong_bodies n_rounds =
+  [|
+    (fun _ ->
+      for _ = 1 to n_rounds do
+        Sim.send ~dst:1 ~etype:"Ping" ();
+        ignore (Sim.recv ~src:1 ~etype:"PongR" ())
+      done);
+    (fun _ ->
+      for _ = 1 to n_rounds do
+        ignore (Sim.recv ~src:0 ~etype:"PingR" ());
+        Sim.send ~dst:0 ~etype:"Pong" ()
+      done);
+  |]
+
+let determinism () =
+  let run () =
+    let cfg = Sim.default_config ~n_procs:2 ~seed:5 in
+    collect cfg (ping_pong_bodies 50)
+  in
+  let s1, l1 = run () in
+  let s2, l2 = run () in
+  check "same stats" true (s1 = s2);
+  check "same event stream" true (l1 = l2)
+
+let seed_changes_interleaving () =
+  let bodies () =
+    Array.init 3 (fun _ ->
+        fun me ->
+          for _ = 1 to 20 do
+            Sim.emit ~etype:"Step" ~text:(string_of_int me)
+          done)
+  in
+  let _, l1 = collect (Sim.default_config ~n_procs:3 ~seed:1) (bodies ()) in
+  let _, l2 = collect (Sim.default_config ~n_procs:3 ~seed:2) (bodies ()) in
+  check "different interleavings" true (l1 <> l2)
+
+let ping_pong_completes () =
+  let stats, log = collect (Sim.default_config ~n_procs:2 ~seed:1) (ping_pong_bodies 10) in
+  check "all done" true stats.Sim.all_done;
+  check_int "events" 40 (List.length log);
+  (* every receive is preceded by its send *)
+  check "valid linearization" true (Ocep_poet.Linearize.is_linearization log)
+
+let message_contents () =
+  let got = ref None in
+  let bodies =
+    [|
+      (fun _ -> Sim.send ~dst:1 ~etype:"M" ~tag:"t" ~text:"hello" ~size:12 ());
+      (fun _ -> got := Some (Sim.recv ~src:0 ~tag:"t" ()));
+    |]
+  in
+  let _ = collect (Sim.default_config ~n_procs:2 ~seed:1) bodies in
+  match !got with
+  | Some m ->
+    check "text" true (m.Sim.m_text = "hello");
+    check "src" true (m.Sim.m_src = 0);
+    check "size" true (m.Sim.m_size = 12)
+  | None -> Alcotest.fail "message not delivered"
+
+let any_source () =
+  let order = ref [] in
+  let bodies =
+    Array.init 4 (fun i ->
+        if i = 0 then (fun _ ->
+          for _ = 1 to 3 do
+            let m = Sim.recv ~tag:"d" () in
+            order := m.Sim.m_src :: !order
+          done)
+        else fun me -> Sim.send ~dst:0 ~tag:"d" ~text:(string_of_int me) ())
+  in
+  let stats, _ = collect (Sim.default_config ~n_procs:4 ~seed:3) bodies in
+  check "all done" true stats.Sim.all_done;
+  check_int "three received" 3 (List.length !order);
+  check "all senders seen" true (List.sort compare !order = [ 1; 2; 3 ])
+
+let tag_filtering () =
+  (* a receive with a tag must not consume a message with another tag *)
+  let seen = ref [] in
+  let bodies =
+    [|
+      (fun _ ->
+        Sim.send ~dst:1 ~tag:"a" ~text:"first" ();
+        Sim.send ~dst:1 ~tag:"b" ~text:"second" ());
+      (fun _ ->
+        let m1 = Sim.recv ~tag:"b" () in
+        let m2 = Sim.recv ~tag:"a" () in
+        seen := [ m1.Sim.m_text; m2.Sim.m_text ]);
+    |]
+  in
+  let stats, _ = collect (Sim.default_config ~n_procs:2 ~seed:1) bodies in
+  check "done" true stats.Sim.all_done;
+  check "tag selection" true (!seen = [ "second"; "first" ])
+
+let rendezvous_blocks () =
+  (* large message blocks until the receive posts; a Blocked_Send event is
+     emitted on the sender's trace *)
+  let bodies =
+    [|
+      (fun _ -> Sim.send ~dst:1 ~etype:"Big" ~size:1_000_000 ());
+      (fun _ ->
+        for _ = 1 to 5 do
+          Sim.emit ~etype:"Busy" ~text:""
+        done;
+        ignore (Sim.recv ~src:0 ()));
+    |]
+  in
+  let stats, log = collect (Sim.default_config ~n_procs:2 ~seed:1) bodies in
+  check "done" true stats.Sim.all_done;
+  let blocked = List.filter (fun (r : Event.raw) -> r.r_etype = "Blocked_Send") log in
+  check_int "one blocked-send event" 1 (List.length blocked);
+  check "on sender trace" true ((List.hd blocked).Event.r_trace = 0);
+  check "text names destination" true ((List.hd blocked).Event.r_text = "P1");
+  (* the blocked event comes before the send event *)
+  let idx p =
+    let rec loop i = function [] -> -1 | r :: rest -> if p r then i else loop (i+1) rest in
+    loop 0 log
+  in
+  check "blocked before send" true
+    (idx (fun r -> r.Event.r_etype = "Blocked_Send") < idx (fun r -> r.Event.r_etype = "Big"))
+
+let eager_does_not_block () =
+  let bodies =
+    [|
+      (fun _ -> Sim.send ~dst:1 ~etype:"Small" ~size:8 ());
+      (fun _ -> ignore (Sim.recv ~src:0 ()));
+    |]
+  in
+  let stats, log = collect (Sim.default_config ~n_procs:2 ~seed:1) bodies in
+  check "done" true stats.Sim.all_done;
+  check "no blocked event" true
+    (not (List.exists (fun (r : Event.raw) -> r.r_etype = "Blocked_Send") log))
+
+let deadlock_recovery () =
+  (* two processes send large messages to each other before receiving *)
+  let bodies =
+    Array.init 2 (fun _ ->
+        fun me ->
+          let other = 1 - me in
+          Sim.send ~dst:other ~etype:"Big" ~size:1_000_000 ();
+          ignore (Sim.recv ~src:other ()))
+  in
+  let stats, _ = collect (Sim.default_config ~n_procs:2 ~seed:1) bodies in
+  check "recovered and completed" true stats.Sim.all_done;
+  check_int "one deadlock" 1 (List.length stats.Sim.deadlocks);
+  let d = List.hd stats.Sim.deadlocks in
+  check "both participants" true
+    (List.sort compare (List.map fst d.Sim.participants) = [ 0; 1 ])
+
+let deadlock_stop_mode () =
+  let bodies =
+    Array.init 2 (fun _ ->
+        fun me ->
+          let other = 1 - me in
+          Sim.send ~dst:other ~etype:"Big" ~size:1_000_000 ();
+          ignore (Sim.recv ~src:other ()))
+  in
+  let cfg = { (Sim.default_config ~n_procs:2 ~seed:1) with Sim.on_stall = `Stop } in
+  let stats, _ = collect cfg bodies in
+  check "not all done" false stats.Sim.all_done
+
+let semaphore_mutual_exclusion () =
+  (* with correct P/V usage, at most one process is ever inside *)
+  let inside = ref 0 in
+  let max_inside = ref 0 in
+  let bodies =
+    Array.init 4 (fun _ ->
+        fun _ ->
+          for _ = 1 to 20 do
+            Sim.sem_p 0;
+            incr inside;
+            if !inside > !max_inside then max_inside := !inside;
+            Sim.emit ~etype:"CS" ~text:"";
+            decr inside;
+            Sim.sem_v 0
+          done)
+  in
+  let cfg = { (Sim.default_config ~n_procs:4 ~seed:9) with Sim.sem_names = [ "S" ] } in
+  let stats, log = collect cfg bodies in
+  check "done" true stats.Sim.all_done;
+  check_int "never two inside" 1 !max_inside;
+  (* semaphore events appear on the semaphore trace (trace 4) *)
+  check "sem trace events" true
+    (List.exists (fun (r : Event.raw) -> r.r_trace = 4 && r.r_etype = "Sem_Grant") log)
+
+let semaphore_fifo () =
+  (* waiters are granted in arrival order *)
+  let grants = ref [] in
+  let bodies =
+    Array.init 3 (fun _ ->
+        fun me ->
+          Sim.sem_p 0;
+          grants := me :: !grants;
+          (* hold while others queue up *)
+          for _ = 1 to 5 do
+            Sim.emit ~etype:"Hold" ~text:""
+          done;
+          Sim.sem_v 0)
+  in
+  let cfg = { (Sim.default_config ~n_procs:3 ~seed:4) with Sim.sem_names = [ "S" ] } in
+  let stats, _ = collect cfg bodies in
+  check "done" true stats.Sim.all_done;
+  Alcotest.(check int) "all granted" 3 (List.length !grants)
+
+let max_events_cutoff () =
+  let bodies =
+    Array.init 2 (fun _ -> fun _ -> while true do Sim.emit ~etype:"Spin" ~text:"" done)
+  in
+  let cfg = { (Sim.default_config ~n_procs:2 ~seed:1) with Sim.max_events = 500 } in
+  let stats, log = collect cfg bodies in
+  check "stopped at cutoff" true (stats.Sim.events_emitted >= 500 && stats.Sim.events_emitted < 510);
+  check_int "log size" stats.Sim.events_emitted (List.length log)
+
+let linearization_always_valid () =
+  (* a busier mix: every simulator-produced stream must be a linearization *)
+  let bodies =
+    Array.init 5 (fun _ ->
+        fun me ->
+          for i = 1 to 30 do
+            let dst = (me + i) mod 5 in
+            if dst <> me then Sim.send ~dst ~tag:"x" ();
+            if i mod 3 = 0 then
+              (try ignore (Sim.recv ~tag:"x" ()) with _ -> ());
+            Sim.emit ~etype:"L" ~text:""
+          done)
+  in
+  let cfg = { (Sim.default_config ~n_procs:5 ~seed:77) with Sim.max_events = 2000 } in
+  let _, log = collect cfg bodies in
+  check "valid linearization" true (Ocep_poet.Linearize.is_linearization log)
+
+let multiple_semaphores () =
+  (* two independent semaphores, each its own trace, no cross interference *)
+  let hold = Array.make 2 0 in
+  let max_hold = Array.make 2 0 in
+  let bodies =
+    Array.init 4 (fun _ ->
+        fun me ->
+          let s = me mod 2 in
+          for _ = 1 to 15 do
+            Sim.sem_p s;
+            hold.(s) <- hold.(s) + 1;
+            if hold.(s) > max_hold.(s) then max_hold.(s) <- hold.(s);
+            Sim.emit ~etype:"CS" ~text:(string_of_int s);
+            hold.(s) <- hold.(s) - 1;
+            Sim.sem_v s
+          done)
+  in
+  let cfg = { (Sim.default_config ~n_procs:4 ~seed:6) with Sim.sem_names = [ "S0"; "S1" ] } in
+  let stats, log = collect cfg bodies in
+  check "done" true stats.Sim.all_done;
+  check_int "sem0 exclusive" 1 max_hold.(0);
+  check_int "sem1 exclusive" 1 max_hold.(1);
+  (* each semaphore trace sees only its own traffic *)
+  let grants t =
+    List.length (List.filter (fun (r : Event.raw) -> r.r_trace = t && r.r_etype = "Sem_Grant") log)
+  in
+  check_int "30 grants on S0" 30 (grants 4);
+  check_int "30 grants on S1" 30 (grants 5)
+
+let rendezvous_with_waiting_receiver_does_not_block () =
+  (* if the receiver is already waiting, a big send completes immediately
+     with no Blocked_Send event *)
+  let bodies =
+    [|
+      (fun _ ->
+        for _ = 1 to 3 do
+          Sim.emit ~etype:"Delay" ~text:""
+        done;
+        Sim.send ~dst:1 ~etype:"Big" ~size:1_000_000 ());
+      (fun _ -> ignore (Sim.recv ~src:0 ()));
+    |]
+  in
+  let stats, log = collect (Sim.default_config ~n_procs:2 ~seed:8) bodies in
+  check "done" true stats.Sim.all_done;
+  check "no blocked event" true
+    (not (List.exists (fun (r : Event.raw) -> r.r_etype = "Blocked_Send") log))
+
+let any_source_with_rendezvous () =
+  (* a wildcard receive matches a blocked rendezvous sender *)
+  let bodies =
+    [|
+      (fun _ -> Sim.send ~dst:2 ~etype:"Big" ~tag:"d" ~size:1_000_000 ());
+      (fun _ -> Sim.send ~dst:2 ~etype:"Big" ~tag:"d" ~size:1_000_000 ());
+      (fun _ ->
+        for _ = 1 to 4 do
+          Sim.emit ~etype:"Busy" ~text:""
+        done;
+        ignore (Sim.recv ~tag:"d" ());
+        ignore (Sim.recv ~tag:"d" ()));
+    |]
+  in
+  let stats, _ = collect (Sim.default_config ~n_procs:3 ~seed:2) bodies in
+  check "done without recovery" true (stats.Sim.all_done && stats.Sim.deadlocks = [])
+
+let send_to_self () =
+  (* a process may send to itself eagerly and receive later *)
+  let got = ref None in
+  let bodies =
+    [|
+      (fun _ ->
+        Sim.send ~dst:0 ~tag:"self" ~text:"me" ();
+        got := Some (Sim.recv ~src:0 ~tag:"self" ()));
+    |]
+  in
+  let stats, _ = collect (Sim.default_config ~n_procs:1 ~seed:1) bodies in
+  check "done" true stats.Sim.all_done;
+  check "delivered" true (match !got with Some m -> m.Sim.m_text = "me" | None -> false)
+
+let yield_is_neutral () =
+  let bodies =
+    [|
+      (fun _ ->
+        Sim.emit ~etype:"E1" ~text:"";
+        Sim.yield ();
+        Sim.yield ();
+        Sim.emit ~etype:"E2" ~text:"");
+    |]
+  in
+  let stats, log = collect (Sim.default_config ~n_procs:1 ~seed:1) bodies in
+  check "done" true stats.Sim.all_done;
+  check_int "yield emits nothing" 2 (List.length log)
+
+let self_reports_pid () =
+  let seen = ref [] in
+  let bodies = Array.init 3 (fun _ -> fun me ->
+    seen := (me, Sim.self ()) :: !seen;
+    Sim.emit ~etype:"X" ~text:"") in
+  let _ = collect (Sim.default_config ~n_procs:3 ~seed:1) bodies in
+  check "self matches body arg" true (List.for_all (fun (a, b) -> a = b) !seen)
+
+let bodies_length_checked () =
+  Alcotest.check_raises "wrong arity" (Invalid_argument "Sim.run: bodies length must equal n_procs")
+    (fun () -> ignore (Sim.run (Sim.default_config ~n_procs:3 ~seed:1) ~sink:(fun _ -> ()) ~bodies:[||]))
+
+let trace_names_layout () =
+  let cfg = { (Sim.default_config ~n_procs:2 ~seed:1) with Sim.sem_names = [ "LOCK" ] } in
+  check_int "n_traces counts semaphores" 3 (Sim.n_traces cfg);
+  check "names" true (Sim.trace_names cfg = [| "P0"; "P1"; "LOCK" |])
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "scheduler",
+        [
+          Alcotest.test_case "determinism" `Quick determinism;
+          Alcotest.test_case "seed changes interleaving" `Quick seed_changes_interleaving;
+          Alcotest.test_case "ping-pong completes" `Quick ping_pong_completes;
+          Alcotest.test_case "max_events cutoff" `Quick max_events_cutoff;
+          Alcotest.test_case "linearization valid" `Quick linearization_always_valid;
+        ] );
+      ( "messaging",
+        [
+          Alcotest.test_case "message contents" `Quick message_contents;
+          Alcotest.test_case "any source" `Quick any_source;
+          Alcotest.test_case "tag filtering" `Quick tag_filtering;
+          Alcotest.test_case "rendezvous blocks" `Quick rendezvous_blocks;
+          Alcotest.test_case "eager does not block" `Quick eager_does_not_block;
+        ] );
+      ( "deadlock",
+        [
+          Alcotest.test_case "recovery" `Quick deadlock_recovery;
+          Alcotest.test_case "stop mode" `Quick deadlock_stop_mode;
+        ] );
+      ( "semaphores",
+        [
+          Alcotest.test_case "mutual exclusion" `Quick semaphore_mutual_exclusion;
+          Alcotest.test_case "fifo grants" `Quick semaphore_fifo;
+          Alcotest.test_case "multiple semaphores" `Quick multiple_semaphores;
+        ] );
+      ( "edge cases",
+        [
+          Alcotest.test_case "rendezvous with waiting receiver" `Quick
+            rendezvous_with_waiting_receiver_does_not_block;
+          Alcotest.test_case "any-source rendezvous" `Quick any_source_with_rendezvous;
+          Alcotest.test_case "send to self" `Quick send_to_self;
+          Alcotest.test_case "yield neutral" `Quick yield_is_neutral;
+          Alcotest.test_case "self pid" `Quick self_reports_pid;
+          Alcotest.test_case "bodies arity" `Quick bodies_length_checked;
+          Alcotest.test_case "trace names layout" `Quick trace_names_layout;
+        ] );
+    ]

@@ -1,0 +1,104 @@
+(* Boxplot statistics used for Figs. 6-10. *)
+
+module Summary = Ocep_stats.Summary
+
+let check = Alcotest.(check bool)
+let checkf = Alcotest.(check (float 1e-9))
+
+let quartiles_known () =
+  let s = Summary.of_samples [| 1.; 2.; 3.; 4.; 5. |] in
+  checkf "median" 3. s.Summary.median;
+  checkf "q1" 2. s.Summary.q1;
+  checkf "q3" 4. s.Summary.q3;
+  checkf "min" 1. s.Summary.min;
+  checkf "max" 5. s.Summary.max;
+  checkf "mean" 3. s.Summary.mean
+
+let quartiles_interpolated () =
+  let s = Summary.of_samples [| 1.; 2.; 3.; 4. |] in
+  checkf "median" 2.5 s.Summary.median;
+  checkf "q1" 1.75 s.Summary.q1;
+  checkf "q3" 3.25 s.Summary.q3
+
+let singleton () =
+  let s = Summary.of_samples [| 7. |] in
+  checkf "median" 7. s.Summary.median;
+  checkf "whisker" 7. s.Summary.top_whisker;
+  Alcotest.(check int) "no outliers" 0 s.Summary.outliers_above
+
+let empty_raises () =
+  Alcotest.check_raises "empty" (Invalid_argument "Summary.of_samples: empty") (fun () ->
+      ignore (Summary.of_samples [||]))
+
+let outliers_and_whiskers () =
+  (* tight cluster plus one far point: the far point is an outlier and the
+     whisker stays at the cluster edge *)
+  let samples = Array.append (Array.init 20 (fun i -> float_of_int i)) [| 1000. |] in
+  let s = Summary.of_samples samples in
+  Alcotest.(check int) "one outlier above" 1 s.Summary.outliers_above;
+  check "whisker below outlier" true (s.Summary.top_whisker < 1000.);
+  checkf "max is the outlier" 1000. s.Summary.max
+
+let unsorted_input () =
+  let s1 = Summary.of_samples [| 5.; 1.; 4.; 2.; 3. |] in
+  let s2 = Summary.of_samples [| 1.; 2.; 3.; 4.; 5. |] in
+  check "order independent" true (s1 = s2)
+
+let quantile_prop =
+  QCheck.Test.make ~name:"quantiles are monotone and within range" ~count:300
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 50) (float_bound_exclusive 1000.))
+    (fun l ->
+      let sorted = Array.of_list (List.sort compare l) in
+      let q25 = Summary.quantile sorted 0.25 in
+      let q50 = Summary.quantile sorted 0.5 in
+      let q75 = Summary.quantile sorted 0.75 in
+      q25 <= q50 && q50 <= q75
+      && q25 >= sorted.(0)
+      && q75 <= sorted.(Array.length sorted - 1))
+
+let whisker_prop =
+  QCheck.Test.make
+    ~name:"whiskers are the extreme samples within the 1.5 IQR fences" ~count:300
+    QCheck.(list_of_size (QCheck.Gen.int_range 2 60) (float_bound_exclusive 100.))
+    (fun l ->
+      let s = Summary.of_samples (Array.of_list l) in
+      let hi_fence = s.Summary.q3 +. (1.5 *. (s.Summary.q3 -. s.Summary.q1)) in
+      let lo_fence = s.Summary.q1 -. (1.5 *. (s.Summary.q3 -. s.Summary.q1)) in
+      s.Summary.top_whisker <= s.Summary.max
+      && s.Summary.bottom_whisker >= s.Summary.min
+      && List.for_all (fun x -> x > hi_fence || x <= s.Summary.top_whisker) l
+      && List.for_all (fun x -> x < lo_fence || x >= s.Summary.bottom_whisker) l
+      && List.length (List.filter (fun x -> x > hi_fence) l) = s.Summary.outliers_above
+      && List.length (List.filter (fun x -> x < lo_fence) l) = s.Summary.outliers_below)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec loop i = i + nn <= nh && (String.sub haystack i nn = needle || loop (i + 1)) in
+  loop 0
+
+let fig10_row_renders () =
+  let s = Summary.of_samples [| 42.; 45.; 51.; 65.; 120. |] in
+  let out =
+    Format.asprintf "%a%a" Summary.pp_fig10_header ()
+      (fun ppf () -> Summary.pp_fig10_row ppf "Atomicity" s)
+      ()
+  in
+  check "contains name" true (contains out "Atomicity");
+  check "contains median" true (contains out "45")
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "summary",
+        [
+          Alcotest.test_case "known quartiles" `Quick quartiles_known;
+          Alcotest.test_case "interpolation" `Quick quartiles_interpolated;
+          Alcotest.test_case "singleton" `Quick singleton;
+          Alcotest.test_case "empty raises" `Quick empty_raises;
+          Alcotest.test_case "outliers and whiskers" `Quick outliers_and_whiskers;
+          Alcotest.test_case "order independent" `Quick unsorted_input;
+          Alcotest.test_case "fig10 row renders" `Quick fig10_row_renders;
+          QCheck_alcotest.to_alcotest quantile_prop;
+          QCheck_alcotest.to_alcotest whisker_prop;
+        ] );
+    ]

@@ -1,0 +1,225 @@
+(* Integration: each case-study workload run end-to-end at small scale.
+   These assert the paper's completeness metric — every injected violation
+   detected, no false positives — plus workload-specific structure. *)
+
+open Ocep_base
+module Sim = Ocep_sim.Sim
+module Runner = Ocep_harness.Runner
+module Workload = Ocep_workloads.Workload
+module Inject = Ocep_workloads.Inject
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let run w = Runner.run w
+
+let assert_complete name (o : Runner.outcome) =
+  if o.Runner.injections_total = 0 then Alcotest.failf "%s: no injections materialized" name;
+  check_int (name ^ ": all injected violations detected") o.Runner.injections_total
+    o.Runner.injections_detected;
+  check_int (name ^ ": no false positives") 0 o.Runner.false_reports;
+  check (name ^ ": matches were reported") true (o.Runner.reports <> [])
+
+let deadlock_small () =
+  let w = Ocep_workloads.Random_walk.make ~traces:8 ~seed:3 ~max_events:15_000 () in
+  let o = run w in
+  assert_complete "deadlock" o;
+  check "simulator recorded recoveries" true (o.Runner.sim.Sim.deadlocks <> []);
+  (* every reported match is a 4-cycle of Blocked_Send events *)
+  List.iter
+    (fun (r : Ocep.Subset.report) ->
+      check_int "four events" 4 (Array.length r.events);
+      Array.iter (fun (e : Event.t) -> check "blocked send" true (e.etype = "Blocked_Send")) r.events;
+      (* pairwise concurrent *)
+      Array.iteri
+        (fun i a ->
+          Array.iteri (fun j b -> if i < j then check "concurrent" true (Event.concurrent a b)) r.events)
+        r.events)
+    o.Runner.reports
+
+let msg_race_small () =
+  let w = Ocep_workloads.Msg_race.make ~traces:6 ~seed:3 ~max_events:15_000 ~race_rate:0.05 () in
+  let o = run w in
+  assert_complete "races" o;
+  List.iter
+    (fun (r : Ocep.Subset.report) ->
+      check_int "two events" 2 (Array.length r.events);
+      check "both sends to P0" true
+        (Array.for_all (fun (e : Event.t) -> e.etype = "MPI_Send" && e.text = "P0") r.events);
+      check "concurrent" true (Event.concurrent r.events.(0) r.events.(1)))
+    o.Runner.reports
+
+let atomicity_small () =
+  let w = Ocep_workloads.Atomicity.make ~traces:6 ~seed:3 ~max_events:15_000 ~skip_rate:0.03 () in
+  let o = run w in
+  assert_complete "atomicity" o;
+  List.iter
+    (fun (r : Ocep.Subset.report) ->
+      check "both entries" true (Array.for_all (fun (e : Event.t) -> e.etype = "CS_Enter") r.events);
+      check "concurrent entries" true (Event.concurrent r.events.(0) r.events.(1)))
+    o.Runner.reports
+
+let ordering_small () =
+  let w = Ocep_workloads.Ordering.make ~traces:6 ~seed:3 ~max_events:15_000 ~bug_rate:0.03 () in
+  let o = run w in
+  assert_complete "ordering" o;
+  List.iter
+    (fun (r : Ocep.Subset.report) ->
+      (* the Synch, Snapshot and Forward of one request id, in order *)
+      let by_type ty =
+        match Array.to_list r.events |> List.filter (fun (e : Event.t) -> e.etype = ty) with
+        | [ e ] -> e
+        | _ -> Alcotest.failf "expected exactly one %s" ty
+      in
+      let synch = by_type "Synch_Leader" in
+      let snap = by_type "Take_Snapshot" in
+      let upd = by_type "Make_Update" in
+      let fwd = by_type "Forward_Snapshot" in
+      check "same request id" true (synch.text = snap.text && snap.text = fwd.text);
+      check "causal chain" true (Event.hb synch snap && Event.hb snap upd && Event.hb upd fwd))
+    o.Runner.reports
+
+let atomicity_no_bug_no_matches () =
+  (* with a zero skip rate the protected section never produces a match *)
+  let w = Ocep_workloads.Atomicity.make ~traces:5 ~seed:5 ~max_events:10_000 ~skip_rate:0. () in
+  let names = Sim.trace_names w.Workload.sim_config in
+  let poet = Ocep_poet.Poet.create ~trace_names:names () in
+  let net = Ocep_pattern.Compile.compile (Ocep_pattern.Parser.parse w.Workload.pattern) in
+  let engine = Ocep.Engine.create ~net ~poet () in
+  let _ =
+    Sim.run w.Workload.sim_config
+      ~sink:(fun raw -> ignore (Ocep_poet.Poet.ingest poet raw))
+      ~bodies:w.Workload.bodies
+  in
+  check_int "no matches at all" 0 (Ocep.Engine.matches_found engine)
+
+let ordering_no_bug_no_matches () =
+  let w = Ocep_workloads.Ordering.make ~traces:5 ~seed:5 ~max_events:10_000 ~bug_rate:0. () in
+  let names = Sim.trace_names w.Workload.sim_config in
+  let poet = Ocep_poet.Poet.create ~trace_names:names () in
+  let net = Ocep_pattern.Compile.compile (Ocep_pattern.Parser.parse w.Workload.pattern) in
+  let engine = Ocep.Engine.create ~net ~poet () in
+  let _ =
+    Sim.run w.Workload.sim_config
+      ~sink:(fun raw -> ignore (Ocep_poet.Poet.ingest poet raw))
+      ~bodies:w.Workload.bodies
+  in
+  check_int "no matches at all" 0 (Ocep.Engine.matches_found engine)
+
+let deadlock_matches_sim_ground_truth () =
+  (* the simulator's own stall log and the injection plan agree *)
+  let w = Ocep_workloads.Random_walk.make ~traces:8 ~seed:11 ~max_events:15_000 () in
+  let o = run w in
+  check "at least one recovery" true (List.length o.Runner.sim.Sim.deadlocks >= 1);
+  List.iter
+    (fun (d : Sim.deadlock) ->
+      check_int "cycle of four blocked senders" 4 (List.length d.Sim.participants))
+    o.Runner.sim.Sim.deadlocks
+
+let injections_record_parts () =
+  let w = Ocep_workloads.Ordering.make ~traces:4 ~seed:2 ~max_events:8_000 ~bug_rate:0.05 () in
+  let _ = run w in
+  let complete = Inject.complete w.Workload.inject in
+  check "some complete injections" true (complete <> []);
+  List.iter
+    (fun (inj : Inject.injection) ->
+      check_int "four parts" 4 (List.length inj.Inject.parts);
+      check_int "four resolved" 4 (List.length inj.Inject.resolved))
+    complete
+
+let deadlock_cycle_length_knob () =
+  List.iter
+    (fun cycle_len ->
+      let w =
+        Ocep_workloads.Random_walk.make ~traces:8 ~seed:9 ~max_events:12_000 ~cycle_len ()
+      in
+      let o = run w in
+      if o.Runner.injections_total > 0 then begin
+        check_int
+          (Printf.sprintf "cycle %d fully detected" cycle_len)
+          o.Runner.injections_total o.Runner.injections_detected;
+        List.iter
+          (fun (r : Ocep.Subset.report) ->
+            check_int "match size = cycle length" cycle_len (Array.length r.events))
+          o.Runner.reports
+      end)
+    [ 2; 3; 5 ];
+  match Ocep_workloads.Random_walk.make ~traces:8 ~seed:9 ~max_events:100 ~cycle_len:1 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "cycle length 1 rejected"
+
+let workloads_deterministic () =
+  let once () =
+    let w = Ocep_workloads.Msg_race.make ~traces:5 ~seed:21 ~max_events:5_000 () in
+    let log = ref [] in
+    let _ = Sim.run w.Workload.sim_config ~sink:(fun r -> log := r :: !log) ~bodies:w.Workload.bodies in
+    List.rev !log
+  in
+  check "same stream twice" true (once () = once ())
+
+(* ------------------------------------------------------------------ *)
+(* Inject bookkeeping                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let inject_counters () =
+  let inj = Inject.create () in
+  check_int "first occurrence" 1 (Inject.next_occurrence inj ~trace:0 ~etype:"E");
+  check_int "second occurrence" 2 (Inject.next_occurrence inj ~trace:0 ~etype:"E");
+  check_int "other type independent" 1 (Inject.next_occurrence inj ~trace:0 ~etype:"F");
+  check_int "other trace independent" 1 (Inject.next_occurrence inj ~trace:1 ~etype:"E")
+
+let inject_resolution () =
+  let inj = Inject.create () in
+  let id = Inject.new_injection inj ~expected_parts:2 in
+  (* the 2nd E on trace 0 and the 1st F on trace 1 constitute the violation *)
+  Inject.add_part inj ~id ~trace:0 ~etype:"E" ~nth:2;
+  Inject.add_part inj ~id ~trace:1 ~etype:"F" ~nth:1;
+  let ev trace etype index =
+    {
+      Event.trace;
+      trace_name = "P" ^ string_of_int trace;
+      index;
+      etype;
+      text = "";
+      kind = Event.Internal;
+      vc = Vclock.make ~dim:2;
+    }
+  in
+  check "first E does not resolve" true (Inject.resolve inj (ev 0 "E" 1) = None);
+  check "second E resolves" true (Inject.resolve inj (ev 0 "E" 2) <> None);
+  check_int "not yet complete" 0 (List.length (Inject.complete inj));
+  check "first F resolves" true (Inject.resolve inj (ev 1 "F" 1) <> None);
+  (match Inject.complete inj with
+  | [ i ] ->
+    check_int "two resolved events" 2 (List.length i.Inject.resolved);
+    check_int "id" id i.Inject.inj_id
+  | _ -> Alcotest.fail "expected one complete injection")
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "case studies",
+        [
+          Alcotest.test_case "deadlock" `Slow deadlock_small;
+          Alcotest.test_case "message race" `Slow msg_race_small;
+          Alcotest.test_case "atomicity" `Slow atomicity_small;
+          Alcotest.test_case "ordering" `Slow ordering_small;
+        ] );
+      ( "negative controls",
+        [
+          Alcotest.test_case "atomicity without bug" `Slow atomicity_no_bug_no_matches;
+          Alcotest.test_case "ordering without bug" `Slow ordering_no_bug_no_matches;
+        ] );
+      ( "inject",
+        [
+          Alcotest.test_case "occurrence counters" `Quick inject_counters;
+          Alcotest.test_case "resolution" `Quick inject_resolution;
+        ] );
+      ( "ground truth",
+        [
+          Alcotest.test_case "sim deadlock log" `Slow deadlock_matches_sim_ground_truth;
+          Alcotest.test_case "injection parts" `Slow injections_record_parts;
+          Alcotest.test_case "determinism" `Quick workloads_deterministic;
+          Alcotest.test_case "cycle length knob" `Slow deadlock_cycle_length_knob;
+        ] );
+    ]

@@ -1,0 +1,154 @@
+open Ocep_base
+module Poet = Ocep_poet.Poet
+
+module Build = struct
+  type t = { poet : Poet.t; mutable msg : int; mutable log : Event.t list }
+
+  let create names =
+    { poet = Poet.create ~retain:true ~trace_names:names (); msg = 0; log = [] }
+
+  let poet b = b.poet
+
+  let ingest b raw =
+    let ev = Poet.ingest b.poet raw in
+    b.log <- ev :: b.log;
+    ev
+
+  let internal b trace ?(text = "") etype =
+    ingest b { Event.r_trace = trace; r_etype = etype; r_text = text; r_kind = Event.Internal }
+
+  let send b ~src ?(etype = "Send") ?(text = "") () =
+    b.msg <- b.msg + 1;
+    let m = b.msg in
+    let ev =
+      ingest b { Event.r_trace = src; r_etype = etype; r_text = text; r_kind = Event.Send { msg = m } }
+    in
+    (m, ev)
+
+  let recv b ~dst ?(etype = "Recv") ?(text = "") m =
+    ingest b { Event.r_trace = dst; r_etype = etype; r_text = text; r_kind = Event.Receive { msg = m } }
+
+  let message b ~src ~dst =
+    let m, s = send b ~src () in
+    let r = recv b ~dst m in
+    (s, r)
+
+  let events b = List.rev b.log
+end
+
+module Gen = struct
+  let computation ?(etypes = [| "A"; "B"; "C" |]) ?(texts = [| ""; "x"; "y" |]) ~n_traces ~length
+      prng =
+    let msg = ref 0 in
+    let pending = ref [] in
+    let out = ref [] in
+    for _ = 1 to length do
+      let choice = Prng.int prng 10 in
+      if choice < 5 then begin
+        (* internal event *)
+        let tr = Prng.int prng n_traces in
+        out :=
+          {
+            Event.r_trace = tr;
+            r_etype = Prng.pick prng etypes;
+            r_text = Prng.pick prng texts;
+            r_kind = Event.Internal;
+          }
+          :: !out
+      end
+      else if choice < 8 || !pending = [] then begin
+        (* send *)
+        incr msg;
+        let src = Prng.int prng n_traces in
+        let dst = Prng.int prng n_traces in
+        pending := (!msg, dst) :: !pending;
+        out :=
+          {
+            Event.r_trace = src;
+            r_etype = Prng.pick prng etypes;
+            r_text = Prng.pick prng texts;
+            r_kind = Event.Send { msg = !msg };
+          }
+          :: !out
+      end
+      else begin
+        (* receive a random pending message *)
+        let i = Prng.int prng (List.length !pending) in
+        let m, dst = List.nth !pending i in
+        pending := List.filteri (fun j _ -> j <> i) !pending;
+        out :=
+          {
+            Event.r_trace = dst;
+            r_etype = Prng.pick prng etypes;
+            r_text = Prng.pick prng texts;
+            r_kind = Event.Receive { msg = m };
+          }
+          :: !out
+      end
+    done;
+    List.rev !out
+
+  let pattern ~n_classes prng =
+    let n_classes = max 2 (min 4 n_classes) in
+    let buf = Buffer.create 128 in
+    let share_proc = Prng.bernoulli prng 0.3 in
+    let share_text = Prng.bernoulli prng 0.4 in
+    for i = 1 to n_classes do
+      let etype = Prng.pick prng [| "A"; "B"; "C" |] in
+      let proc = if share_proc && i <= 2 then "$p" else "_" in
+      let text =
+        if share_text && i >= n_classes - 1 then "$tt"
+        else match Prng.int prng 4 with 0 -> "'x'" | 1 -> "$t" ^ string_of_int i | _ -> "_"
+      in
+      Buffer.add_string buf (Printf.sprintf "K%d := [%s, %s, %s];\n" i proc etype text)
+    done;
+    Buffer.add_string buf "pattern := ";
+    (* chain classes with random operators; partner/limited/strong appear
+       with lower probability to keep most patterns satisfiable *)
+    let op () =
+      match Prng.int prng 10 with
+      | 0 | 1 | 2 | 3 -> "->"
+      | 4 | 5 | 6 -> "||"
+      | 7 -> "~>"
+      | 8 -> "=>"
+      | _ -> "<>"
+    in
+    let conj = ref [] in
+    for i = 1 to n_classes - 1 do
+      conj := Printf.sprintf "K%d %s K%d" i (op ()) (i + 1) :: !conj
+    done;
+    Buffer.add_string buf (String.concat " && " (List.rev !conj));
+    Buffer.add_string buf ";\n";
+    Buffer.contents buf
+end
+
+let ingest_all names raws =
+  let poet = Poet.create ~retain:true ~trace_names:names () in
+  let evs = List.map (Poet.ingest poet) raws in
+  (poet, evs)
+
+let hb_oracle events a b =
+  (* successor edges: next event on the same trace, and send -> receive *)
+  let succs (e : Event.t) =
+    let next_on_trace =
+      List.filter (fun (x : Event.t) -> x.trace = e.trace && x.index = e.index + 1) events
+    in
+    let msg_succ =
+      match e.kind with
+      | Event.Send { msg } ->
+        List.filter
+          (fun (x : Event.t) -> match x.kind with Event.Receive { msg = m } -> m = msg | _ -> false)
+          events
+      | _ -> []
+    in
+    next_on_trace @ msg_succ
+  in
+  let rec reach frontier visited =
+    match frontier with
+    | [] -> false
+    | e :: rest ->
+      if Event.equal e b then true
+      else if List.exists (Event.equal e) visited then reach rest visited
+      else reach (succs e @ rest) (e :: visited)
+  in
+  (not (Event.equal a b)) && reach (succs a) []

@@ -1,0 +1,58 @@
+(** Shared helpers for the test suites: hand-rolled event streams, random
+    computations and random patterns for property tests, and a
+    happened-before reachability oracle independent of vector clocks. *)
+
+open Ocep_base
+
+(** A small imperative builder for raw event streams fed to POET. *)
+module Build : sig
+  type t
+
+  val create : string array -> t
+  (** Trace names. *)
+
+  val poet : t -> Ocep_poet.Poet.t
+  (** The underlying store ([retain:true]). *)
+
+  val internal : t -> int -> ?text:string -> string -> Event.t
+  (** [internal b trace etype] ingests an internal event. *)
+
+  val send : t -> src:int -> ?etype:string -> ?text:string -> unit -> int * Event.t
+  (** Returns the message id and the send event. *)
+
+  val recv : t -> dst:int -> ?etype:string -> ?text:string -> int -> Event.t
+  (** Receive a previously sent message id. *)
+
+  val message : t -> src:int -> dst:int -> Event.t * Event.t
+  (** A send/receive pair with default attributes. *)
+
+  val events : t -> Event.t list
+  (** Everything ingested so far, in order. *)
+end
+
+(** Random computations: a list of raw events forming a valid execution. *)
+module Gen : sig
+  val computation :
+    ?etypes:string array ->
+    ?texts:string array ->
+    n_traces:int ->
+    length:int ->
+    Prng.t ->
+    Event.raw list
+  (** Random mix of internal events, sends, and (matching) receives with
+      attributes drawn from the given small alphabets. *)
+
+  val pattern : n_classes:int -> Prng.t -> string
+  (** Random pattern text over the same etype alphabet ([A]/[B]/[C]):
+      2–4 leaves joined by random operators ([->], [||], and occasionally
+      [~>], [=>], [<>]) and conjunctions, with occasional process
+      variables shared between two classes and text variables. Always
+      parses; may fail to compile only with contradictory constraints. *)
+end
+
+val ingest_all : string array -> Event.raw list -> Ocep_poet.Poet.t * Event.t list
+(** Feed a computation through a retaining POET store. *)
+
+val hb_oracle : Event.t list -> Event.t -> Event.t -> bool
+(** Happened-before by graph reachability (trace edges + message edges),
+    ignoring vector clocks entirely. *)
