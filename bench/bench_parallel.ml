@@ -1,0 +1,125 @@
+(* Sequential vs parallel pinned-search fan-out on the four case studies.
+
+   For each case the raw event stream is generated once, then replayed
+   through a fresh POET + engine twice: parallelism = 1 (the sequential
+   baseline) and parallelism = P workers.  Reported per case: wall time,
+   amortized us/event, median per-terminating-arrival latency, and
+   matches found — the two modes must agree on matches (the fan-out's
+   determinism contract), which this program asserts.
+
+   Results go to BENCH_parallel.json and a table on stdout.  Note the
+   speedup column only means something on a multi-core machine; the JSON
+   records [recommended_domain_count] so a single-core run is not
+   mistaken for a parallelism regression.  Scale with OCEP_EVENTS
+   (default 20_000). *)
+
+module Sim = Ocep_sim.Sim
+module Poet = Ocep_poet.Poet
+module Parser = Ocep_pattern.Parser
+module Compile = Ocep_pattern.Compile
+module Engine = Ocep.Engine
+module Workload = Ocep_workloads.Workload
+module Cases = Ocep_harness.Cases
+module Clock = Ocep_base.Clock
+
+(* trace counts where pinned searches dominate: the paper's mid-scale
+   points, except races where 8 traces is already search-heavy *)
+let bench_traces = function
+  | "races" -> 8
+  | "ordering" -> 50
+  | _ -> 20
+
+type run_result = {
+  wall_s : float;
+  us_per_event : float;
+  median_us : float;
+  matches : int;
+  events : int;
+}
+
+let median a =
+  if Array.length a = 0 then 0.
+  else begin
+    let a = Array.copy a in
+    Array.sort compare a;
+    let n = Array.length a in
+    if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.
+  end
+
+let replay ~parallelism ~names ~net raws =
+  let poet = Poet.create ~trace_names:names () in
+  let engine =
+    Engine.create ~config:{ Engine.default_config with Engine.parallelism } ~net ~poet ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Engine.shutdown engine)
+    (fun () ->
+      let t0 = Clock.now_s () in
+      List.iter (fun r -> ignore (Poet.ingest poet r)) raws;
+      let wall_s = Clock.now_s () -. t0 in
+      let events = Poet.ingested poet in
+      {
+        wall_s;
+        us_per_event = wall_s *. 1e6 /. float_of_int (max 1 events);
+        median_us = median (Engine.latencies_us engine);
+        matches = Engine.matches_found engine;
+        events;
+      })
+
+let bench_case ~max_events ~parallel_workers case =
+  let traces = bench_traces case in
+  let w = Cases.make case ~traces ~seed:2013 ~max_events in
+  let names = Sim.trace_names w.Workload.sim_config in
+  let raws = ref [] in
+  let _ =
+    Sim.run w.Workload.sim_config ~sink:(fun r -> raws := r :: !raws) ~bodies:w.Workload.bodies
+  in
+  let raws = List.rev !raws in
+  let net = Compile.compile (Parser.parse w.Workload.pattern) in
+  let seq = replay ~parallelism:1 ~names ~net raws in
+  let par = replay ~parallelism:parallel_workers ~names ~net raws in
+  if seq.matches <> par.matches then (
+    Printf.eprintf "FATAL: %s: sequential found %d matches, parallel found %d\n" case seq.matches
+      par.matches;
+    exit 1);
+  (case, traces, seq, par)
+
+let json_of_run r =
+  Printf.sprintf
+    {|{"wall_s": %.6f, "us_per_event": %.3f, "median_us": %.3f, "matches": %d, "events": %d}|}
+    r.wall_s r.us_per_event r.median_us r.matches r.events
+
+let () =
+  let max_events =
+    match Sys.getenv_opt "OCEP_EVENTS" with Some s -> int_of_string s | None -> 20_000
+  in
+  let cores = Domain.recommended_domain_count () in
+  let parallel_workers = max 2 (min 4 cores) in
+  Printf.printf "parallel fan-out bench: %d events/case, %d workers (%d cores)\n%!" max_events
+    parallel_workers cores;
+  let rows = List.map (bench_case ~max_events ~parallel_workers) Cases.names in
+  Printf.printf "\n%-10s %7s | %12s %12s | %12s %12s | %8s\n" "case" "traces" "seq us/ev"
+    "par us/ev" "seq med us" "par med us" "speedup";
+  List.iter
+    (fun (case, traces, seq, par) ->
+      Printf.printf "%-10s %7d | %12.3f %12.3f | %12.2f %12.2f | %7.2fx\n" case traces
+        seq.us_per_event par.us_per_event seq.median_us par.median_us
+        (seq.wall_s /. par.wall_s))
+    rows;
+  let oc = open_out "BENCH_parallel.json" in
+  Printf.fprintf oc
+    "{\n  \"events_per_case\": %d,\n  \"recommended_domain_count\": %d,\n  \
+     \"parallel_workers\": %d,\n  \"cases\": {\n"
+    max_events cores parallel_workers;
+  List.iteri
+    (fun i (case, traces, seq, par) ->
+      Printf.fprintf oc
+        "    %S: {\n      \"traces\": %d,\n      \"sequential\": %s,\n      \"parallel\": %s,\n      \
+         \"speedup\": %.3f,\n      \"equal_results\": true\n    }%s\n"
+        case traces (json_of_run seq) (json_of_run par)
+        (seq.wall_s /. par.wall_s)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  }\n}\n";
+  close_out oc;
+  Printf.printf "\nwrote BENCH_parallel.json\n"

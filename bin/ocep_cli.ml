@@ -104,6 +104,14 @@ let run_cmd =
   let no_pruning =
     Arg.(value & flag & info [ "no-pruning" ] ~doc:"Disable the O(1) history-pruning rule.")
   in
+  let parallelism =
+    Arg.(
+      value & opt int 1
+      & info [ "parallelism"; "j" ] ~docv:"N"
+          ~doc:
+            "Workers for the pinned-search fan-out on each terminating event: 1 = sequential \
+             (default), 0 = one worker per core, N > 1 = a persistent pool of N workers.")
+  in
   let max_reports =
     Arg.(value & opt int 20 & info [ "max-reports" ] ~docv:"N" ~doc:"Reports to print.")
   in
@@ -113,15 +121,22 @@ let run_cmd =
       & info [ "diagram"; "d" ]
           ~doc:"Draw an ASCII process-time diagram of the stream tail with the first reported                 match highlighted.")
   in
-  let run pattern_file trace_file no_pruning max_reports diagram =
+  let run pattern_file trace_file no_pruning parallelism max_reports diagram =
+    if parallelism < 0 then (
+      Printf.eprintf "ocep: --parallelism must be >= 0 (0 = one worker per core), got %d\n"
+        parallelism;
+      exit 2);
     let net = Compile.compile (Parser.parse (read_file pattern_file)) in
     let ic = open_in trace_file in
     let names, raws = Poet.load ic in
     close_in ic;
     let poet = Poet.create ~retain:diagram ~trace_names:names () in
-    let config = { Engine.default_config with Engine.pruning = not no_pruning } in
+    let config = { Engine.default_config with Engine.pruning = not no_pruning; parallelism } in
     let engine = Engine.create ~config ~net ~poet () in
+    Fun.protect ~finally:(fun () -> Engine.shutdown engine) @@ fun () ->
     List.iter (fun raw -> ignore (Poet.ingest poet raw)) raws;
+    if parallelism <> 1 then
+      Printf.printf "parallelism: %d workers\n" (Engine.parallelism engine);
     Printf.printf "events: %d   matches found: %d   reported subset: %d\n"
       (Engine.events_processed engine)
       (Engine.matches_found engine)
@@ -158,7 +173,8 @@ let run_cmd =
     0
   in
   let info = Cmd.info "run" ~doc:"Reload a trace dump and match a pattern against it online." in
-  Cmd.v info Term.(const run $ pattern_file $ trace_file $ no_pruning $ max_reports $ diagram)
+  Cmd.v info
+    Term.(const run $ pattern_file $ trace_file $ no_pruning $ parallelism $ max_reports $ diagram)
 
 (* ------------------------------------------------------------------ *)
 (* check                                                               *)

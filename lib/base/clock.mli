@@ -1,0 +1,16 @@
+(** Monotonic time for latency measurement.
+
+    [Unix.gettimeofday] is wall-clock time: an NTP step (or a manual
+    [date] call) in the middle of a run silently corrupts every latency
+    sample taken across it. All timing in this repository goes through
+    this module instead, which reads the OS monotonic clock
+    ([CLOCK_MONOTONIC] on Linux): meaningless as an absolute date, but
+    guaranteed never to jump. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds since an arbitrary fixed origin (e.g. boot). Only
+    differences are meaningful. *)
+
+val now_s : unit -> float
+(** [now_ns] in seconds; keeps microsecond precision for about 104 days
+    of uptime, far beyond any measured interval here. *)

@@ -197,9 +197,9 @@ let completeness ppf ~scale =
 (* ------------------------------------------------------------------ *)
 
 let time_per_event f events =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now_s () in
   List.iter f events;
-  let dt = Unix.gettimeofday () -. t0 in
+  let dt = Clock.now_s () -. t0 in
   dt /. float_of_int (max 1 (List.length events)) *. 1e6
 
 let baselines ppf ~scale =
@@ -279,7 +279,7 @@ let ablation_pruning ppf ~scale =
       events
   in
   let stats = Matcher.new_stats () in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now_s () in
   List.iter
     (fun (e : Event.t) ->
       List.iter
@@ -290,9 +290,9 @@ let ablation_pruning ppf ~scale =
                  ~partner_of:(Poet.find_partner poet) ~anchor_leaf:i ~anchor:e ~stats ()))
         (List.init (Compile.size net) (fun i -> i)))
     anchors;
-  let ocep_s = Unix.gettimeofday () -. t0 in
+  let ocep_s = Clock.now_s () -. t0 in
   let chrono_nodes = ref 0 in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now_s () in
   List.iter
     (fun (e : Event.t) ->
       List.iter
@@ -306,7 +306,7 @@ let ablation_pruning ppf ~scale =
           end)
         (List.init (Compile.size net) (fun i -> i)))
     anchors;
-  let chrono_s = Unix.gettimeofday () -. t0 in
+  let chrono_s = Clock.now_s () -. t0 in
   Format.fprintf ppf "%d anchored searches over %d events:@." (List.length anchors)
     (List.length events);
   Format.fprintf ppf "  OCEP (Fig. 4 domains + Fig. 5 backjumps): %9d candidates  %.3f s@."
@@ -368,20 +368,20 @@ let lattice ppf ~scale =
     let poet = Poet.create ~retain:true ~trace_names:names () in
     let net = Compile.compile (Parser.parse w.Workload.pattern) in
     let engine = Engine.create ~net ~poet () in
-    let t0 = Unix.gettimeofday () in
+    let t0 = Clock.now_s () in
     let _ =
       Sim.run w.Workload.sim_config
         ~sink:(fun raw -> ignore (Poet.ingest poet raw))
         ~bodies:w.Workload.bodies
     in
-    let ocep_s = Unix.gettimeofday () -. t0 in
+    let ocep_s = Clock.now_s () -. t0 in
     let events_by_trace = Array.init (Array.length names) (fun t -> Poet.events_on poet t) in
-    let t0 = Unix.gettimeofday () in
+    let t0 = Clock.now_s () in
     let r =
       Lattice.possibly ~events_by_trace ~flag:(fun e -> Lattice.cs_flag e) ~threshold:2
         ~node_budget:2_000_000 ()
     in
-    let lattice_s = Unix.gettimeofday () -. t0 in
+    let lattice_s = Clock.now_s () -. t0 in
     Format.fprintf ppf "%s (%d events, %d traces):@." label (Poet.ingested poet)
       (Array.length names);
     Format.fprintf ppf "  OCEP online matching:          %d matches in %.3f s@."
@@ -466,7 +466,7 @@ let ablation_parallel ppf ~scale =
   in
   let run_seq () =
     let found = ref 0 in
-    let t0 = Unix.gettimeofday () in
+    let t0 = Clock.now_s () in
     List.iter
       (fun (i, e) ->
         match
@@ -476,14 +476,14 @@ let ablation_parallel ppf ~scale =
         | Matcher.Found _ -> incr found
         | _ -> ())
       anchors;
-    (!found, Unix.gettimeofday () -. t0)
+    (!found, Clock.now_s () -. t0)
   in
   let run_par workers =
     let pool = Ocep.Pool.create ~workers in
     let finally () = Ocep.Pool.shutdown pool in
     Fun.protect ~finally (fun () ->
         let found = ref 0 in
-        let t0 = Unix.gettimeofday () in
+        let t0 = Clock.now_s () in
         List.iter
           (fun (i, e) ->
             match
@@ -494,7 +494,7 @@ let ablation_parallel ppf ~scale =
             | Matcher.Found _ -> incr found
             | _ -> ())
           anchors;
-        (!found, Unix.gettimeofday () -. t0))
+        (!found, Clock.now_s () -. t0))
   in
   let f0, t_seq = run_seq () in
   let f2, t2 = run_par 2 in
@@ -542,24 +542,24 @@ let ablation_parallel ppf ~scale =
   ignore (feed { Event.r_trace = n_traces - 1; r_etype = "m"; r_text = ""; r_kind = Event.Receive { msg = 1 } });
   let anchor = feed { Event.r_trace = n_traces - 1; r_etype = "B"; r_text = ""; r_kind = Event.Internal } in
   let seq_search () =
-    let t0 = Unix.gettimeofday () in
+    let t0 = Clock.now_s () in
     let o =
       Matcher.search ~net ~history ~n_traces ~trace_of_name:(Poet.trace_of_name poet)
         ~partner_of:(Poet.find_partner poet) ~anchor_leaf:1 ~anchor ()
     in
-    (o, Unix.gettimeofday () -. t0)
+    (o, Clock.now_s () -. t0)
   in
   let par_search workers =
     let pool = Ocep.Pool.create ~workers in
     let finally () = Ocep.Pool.shutdown pool in
     Fun.protect ~finally (fun () ->
-        let t0 = Unix.gettimeofday () in
+        let t0 = Clock.now_s () in
         let o =
           Ocep.Par.search ~pool ~net ~history ~n_traces
             ~trace_of_name:(Poet.trace_of_name poet)
             ~partner_of:(Poet.find_partner poet) ~anchor_leaf:1 ~anchor ()
         in
-        (o, Unix.gettimeofday () -. t0))
+        (o, Clock.now_s () -. t0))
   in
   let show name (o, dt) =
     Format.fprintf ppf "  %-11s: %-9s %.4f s@." name

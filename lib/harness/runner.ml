@@ -27,7 +27,7 @@ type outcome = {
 }
 
 let run ?(engine_config = Engine.default_config) ?(cutoff_margin = 0.05) (w : Workload.t) =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Ocep_base.Clock.now_s () in
   let names = Sim.trace_names w.sim_config in
   let poet = Poet.create ~trace_names:names () in
   let net = Compile.compile (Parser.parse w.pattern) in
@@ -39,6 +39,8 @@ let run ?(engine_config = Engine.default_config) ?(cutoff_margin = 0.05) (w : Wo
       | Some inj -> Hashtbl.replace last_resolved_seq inj.Inject.inj_id (Poet.ingested poet)
       | None -> ());
   let engine = Engine.create ~config:engine_config ~net ~poet () in
+  (* join any fan-out worker domains even if the run raises *)
+  Fun.protect ~finally:(fun () -> Engine.shutdown engine) @@ fun () ->
   let sim = Sim.run w.sim_config ~sink:(fun raw -> ignore (Poet.ingest poet raw)) ~bodies:w.bodies in
   let events = Poet.ingested poet in
   (* completeness over injections fully materialized before the margin *)
@@ -80,7 +82,7 @@ let run ?(engine_config = Engine.default_config) ?(cutoff_margin = 0.05) (w : Wo
     seen_slots = Engine.seen_slots engine;
     sim;
     search_stats = Engine.search_stats engine;
-    wall_s = Unix.gettimeofday () -. t0;
+    wall_s = Ocep_base.Clock.now_s () -. t0;
   }
 
 let pp_outcome ppf o =

@@ -10,6 +10,7 @@ type config = {
   report_cap : int;
   record_latency : bool;
   gc_every : int option;
+  parallelism : int;
 }
 
 let default_config =
@@ -21,7 +22,26 @@ let default_config =
     report_cap = 100_000;
     record_latency = true;
     gc_every = None;
+    parallelism = 1;
   }
+
+(* Reject configurations that would crash later (gc_every = Some 0 used
+   to divide by zero in the gc cadence check) or that have no sensible
+   meaning, at construction time rather than deep inside on_event. *)
+let validate_config (c : config) =
+  let fail fmt = Printf.ksprintf invalid_arg fmt in
+  (match c.gc_every with
+  | Some n when n <= 0 -> fail "Engine.create: gc_every must be positive, got %d" n
+  | _ -> ());
+  (match c.node_budget with
+  | Some n when n <= 0 -> fail "Engine.create: node_budget must be positive, got %d" n
+  | _ -> ());
+  (match c.max_history_per_trace with
+  | Some n when n <= 0 -> fail "Engine.create: max_history_per_trace must be positive, got %d" n
+  | _ -> ());
+  if c.report_cap < 0 then fail "Engine.create: report_cap must be non-negative, got %d" c.report_cap;
+  if c.parallelism < 0 then
+    fail "Engine.create: parallelism must be >= 0 (0 = one worker per core), got %d" c.parallelism
 
 (* A leaf's stored events can be garbage-collected once they are in the
    causal past of every trace iff (a) the leaf never serves as interposer
@@ -54,6 +74,8 @@ type t = {
   frontier : Vclock.t array;  (* latest timestamp seen per trace *)
   gcable : bool array;
   matching_leaves : Event.t -> int list;  (* cached dispatch *)
+  parallelism : int;  (* resolved: >= 1 *)
+  mutable pool : Search_pool.t option;  (* spawned on first fan-out *)
   mutable matches_found : int;
   mutable events_processed : int;
   mutable terminating_arrivals : int;
@@ -66,22 +88,30 @@ type t = {
 let make_dispatch (net : Compile.t) =
   let by_type : (string, int list) Hashtbl.t = Hashtbl.create 16 in
   let generic = ref [] in
+  (* accumulate reversed (cons is O(1)); flip once when the table is done *)
   Array.iter
     (fun (l : Compile.leaf) ->
       match l.cls.Ocep_pattern.Ast.typ with
       | Ocep_pattern.Ast.Exact ty ->
         let cur = Option.value ~default:[] (Hashtbl.find_opt by_type ty) in
-        Hashtbl.replace by_type ty (cur @ [ l.id ])
-      | Ocep_pattern.Ast.Any | Ocep_pattern.Ast.Var _ -> generic := !generic @ [ l.id ])
+        Hashtbl.replace by_type ty (l.id :: cur)
+      | Ocep_pattern.Ast.Any | Ocep_pattern.Ast.Var _ -> generic := l.id :: !generic)
     net.Compile.leaves;
+  Hashtbl.filter_map_inplace (fun _ ids -> Some (List.rev ids)) by_type;
+  let generic = List.rev !generic in
   fun (ev : Event.t) ->
     let candidates =
-      Option.value ~default:[] (Hashtbl.find_opt by_type ev.etype) @ !generic
+      Option.value ~default:[] (Hashtbl.find_opt by_type ev.etype) @ generic
     in
     List.filter (fun i -> Compile.leaf_matches net i ev) candidates
 
 let create ?(config = default_config) ~net ~poet () =
+  validate_config config;
   let n_traces = Poet.trace_count poet in
+  let parallelism =
+    if config.parallelism = 0 then max 1 (Stdlib.Domain.recommended_domain_count ())
+    else config.parallelism
+  in
   let t =
     {
       cfg = config;
@@ -97,6 +127,8 @@ let create ?(config = default_config) ~net ~poet () =
       frontier = Array.make n_traces (Vclock.make ~dim:n_traces);
       gcable = gc_able_leaves net;
       matching_leaves = make_dispatch net;
+      parallelism;
+      pool = None;
       matches_found = 0;
       events_processed = 0;
       terminating_arrivals = 0;
@@ -105,18 +137,59 @@ let create ?(config = default_config) ~net ~poet () =
   in
   let trace_of_name = Poet.trace_of_name poet in
   let partner_of = Poet.find_partner poet in
-  let run_search ?pin ~anchor_leaf ~anchor () =
-    let outcome =
-      Matcher.search ~net ~history:t.history ~n_traces ~trace_of_name ~partner_of ~anchor_leaf
-        ~anchor ?pin
-        ?node_budget:config.node_budget ~stats:t.stats ()
-    in
+  let consume_outcome outcome =
     match outcome with
     | Matcher.Found m ->
       t.matches_found <- t.matches_found + 1;
       ignore (Subset.record t.subset ~seq:t.events_processed m)
     | Matcher.Not_found -> ()
     | Matcher.Aborted -> t.aborted <- t.aborted + 1
+  in
+  let run_search ?pin ~anchor_leaf ~anchor () =
+    consume_outcome
+      (Matcher.search ~net ~history:t.history ~n_traces ~trace_of_name ~partner_of ~anchor_leaf
+         ~anchor ?pin
+         ?node_budget:config.node_budget ~stats:t.stats ())
+  in
+  let get_pool () =
+    match t.pool with
+    | Some p -> p
+    | None ->
+      let p = Search_pool.create ~workers:t.parallelism in
+      t.pool <- Some p;
+      p
+  in
+  (* Fan the pinned searches of one terminating arrival out across the
+     pool. Every search only reads the shared history/POET tables (no
+     event is ingested while this arrival is being processed), so the
+     workers need no locks; each gets a private Matcher.stats. The
+     results are consumed on the calling domain, deterministically in
+     slot order: a slot that an earlier-in-order match already covered
+     is dropped unconsumed — sequential execution would never have
+     searched it — which makes coverage, reports and matches_found
+     bit-identical to parallelism = 1. Only the merged node/backjump
+     counters can exceed the sequential ones (speculative work). *)
+  let fan_out_pins ~anchor_leaf ~anchor slots =
+    let slots = Array.of_list slots in
+    let results =
+      Search_pool.run (get_pool ()) ~n:(Array.length slots) (fun i ->
+          let l, tr = slots.(i) in
+          let stats = Matcher.new_stats () in
+          let outcome =
+            Matcher.search ~net ~history:t.history ~n_traces ~trace_of_name ~partner_of
+              ~anchor_leaf ~anchor ~pin:(l, tr)
+              ?node_budget:config.node_budget ~stats ()
+          in
+          (outcome, stats))
+    in
+    Array.iteri
+      (fun i (outcome, (s : Matcher.stats)) ->
+        t.stats.Matcher.nodes <- t.stats.Matcher.nodes + s.Matcher.nodes;
+        t.stats.Matcher.backjumps <- t.stats.Matcher.backjumps + s.Matcher.backjumps;
+        t.stats.Matcher.searches <- t.stats.Matcher.searches + s.Matcher.searches;
+        let l, tr = slots.(i) in
+        if not (Subset.is_covered t.subset ~leaf:l ~trace:tr) then consume_outcome outcome)
+      results
   in
   let maybe_gc () =
     match config.gc_every with
@@ -143,21 +216,27 @@ let create ?(config = default_config) ~net ~poet () =
     let terminating = List.filter (fun i -> t.net.Compile.terminating.(i)) leaves in
     if terminating <> [] then begin
       t.terminating_arrivals <- t.terminating_arrivals + 1;
-      let t0 = if config.record_latency then Unix.gettimeofday () else 0. in
+      let t0 = if config.record_latency then Clock.now_s () else 0. in
       List.iter
         (fun anchor_leaf ->
           run_search ~anchor_leaf ~anchor:ev ();
-          if config.pin_searches then
-            List.iter
-              (fun (l, tr) ->
-                (* a pin on the anchor leaf is either the anchor's own slot
-                   (just searched) or contradictory *)
-                if l <> anchor_leaf && not (Subset.is_covered t.subset ~leaf:l ~trace:tr) then
-                  run_search ~pin:(l, tr) ~anchor_leaf ~anchor:ev ())
-              (Subset.uncovered_seen_slots t.subset))
+          if config.pin_searches then begin
+            (* a pin on the anchor leaf is either the anchor's own slot
+               (just searched) or contradictory *)
+            let slots =
+              List.filter (fun (l, _) -> l <> anchor_leaf) (Subset.uncovered_seen_slots t.subset)
+            in
+            if t.parallelism = 1 || List.compare_length_with slots 2 < 0 then
+              List.iter
+                (fun (l, tr) ->
+                  if not (Subset.is_covered t.subset ~leaf:l ~trace:tr) then
+                    run_search ~pin:(l, tr) ~anchor_leaf ~anchor:ev ())
+                slots
+            else fan_out_pins ~anchor_leaf ~anchor:ev slots
+          end)
         terminating;
       if config.record_latency then
-        Vec.push t.latencies ((Unix.gettimeofday () -. t0) *. 1e6)
+        Vec.push t.latencies ((Clock.now_s () -. t0) *. 1e6)
     end;
     maybe_gc ()
   in
@@ -207,3 +286,12 @@ let seen_slots t = Subset.seen_count t.subset
 let search_stats t = t.stats
 
 let aborted_searches t = t.aborted
+
+let parallelism t = t.parallelism
+
+let shutdown t =
+  match t.pool with
+  | Some p ->
+    Search_pool.shutdown p;
+    t.pool <- None
+  | None -> ()

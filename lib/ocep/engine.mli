@@ -8,8 +8,11 @@
     one anchored search, plus — when [pin_searches] is on — one pinned
     search per still-uncovered coverage slot, exactly the
     goForward/goBackward cycle of Algorithm 1 driven by the subset
-    objective. The wall-clock time of step (3) is recorded per arrival;
-    these samples are the distributions of Figs. 6–10. *)
+    objective. With [parallelism > 1] the pinned searches of one arrival
+    run concurrently on a persistent worker pool ({!Search_pool}) and
+    are merged deterministically in slot order. The elapsed monotonic
+    time of step (3) is recorded per arrival; these samples are the
+    distributions of Figs. 6–10. *)
 
 open Ocep_base
 module Compile = Ocep_pattern.Compile
@@ -29,17 +32,31 @@ type config = {
           before it — e.g. both sides of a pure concurrency pattern).
           Requires every trace to keep producing events to make progress
           (the usual vector-clock GC caveat). [None] disables. *)
+  parallelism : int;
+      (** workers for the pinned-search fan-out on each terminating
+          arrival: [1] (the default) is the exact sequential behavior on
+          the calling domain; [0] means one worker per core
+          ([Domain.recommended_domain_count]); [n > 1] runs the pinned
+          searches of an arrival concurrently on a persistent
+          {!Search_pool} of [n] workers (the caller plus [n - 1]
+          domains), merging results deterministically so coverage,
+          reports and match counts are identical to sequential. An
+          engine that ever fanned out must be {!shutdown} before program
+          exit, or its worker domains keep the process alive. *)
 }
 
 val default_config : config
 (** pruning on, no cap, pin searches on, no budget, 100_000 reports,
-    latency recording on, gc off. *)
+    latency recording on, gc off, parallelism 1. *)
 
 type t
 
 val create : ?config:config -> net:Compile.t -> poet:Poet.t -> unit -> t
 (** Builds the engine and subscribes it to [poet]; every event ingested
-    afterwards is processed. *)
+    afterwards is processed. Raises [Invalid_argument] on a nonsensical
+    config: [gc_every], [node_budget] or [max_history_per_trace] of
+    [Some n] with [n <= 0], a negative [report_cap], or a negative
+    [parallelism]. *)
 
 val net : t -> Compile.t
 val config : t -> config
@@ -65,4 +82,21 @@ val history_dropped : t -> int
 val covered_slots : t -> int
 val seen_slots : t -> int
 val search_stats : t -> Matcher.stats
+(** Merged counters across all searches, including the workers' when
+    fanning out. With [parallelism > 1] the node/backjump/search counts
+    include speculative pinned searches whose slot an earlier match of
+    the same arrival already covered (sequential execution would have
+    skipped them); coverage, reports and {!matches_found} never include
+    them. *)
+
 val aborted_searches : t -> int
+
+val parallelism : t -> int
+(** The resolved worker count: the config's [parallelism] with [0]
+    replaced by [Domain.recommended_domain_count]. *)
+
+val shutdown : t -> unit
+(** Join the fan-out worker domains, if any were ever spawned. The
+    engine remains usable (a later fan-out re-creates the pool).
+    Idempotent; a no-op for [parallelism = 1] engines, which never spawn
+    domains. *)

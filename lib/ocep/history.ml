@@ -41,14 +41,12 @@ let index_push tbl text pos =
   in
   Vec.push v pos
 
-(* Drop the oldest half when over the cap (amortized O(1) per insertion)
-   and rebuild the text index with the shifted positions. *)
-let enforce_cap t ~leaf ~trace v =
-  match t.max_per_trace with
-  | Some cap when Vec.length v > cap ->
+(* Drop the first [drop] entries of one history and rebuild its text
+   index (positions shift). *)
+let drop_prefix t ~leaf ~trace drop =
+  if drop > 0 then begin
+    let v = t.hist.(leaf).(trace) in
     let entries = Vec.to_array v in
-    let keep = (cap / 2) + 1 in
-    let drop = Array.length entries - keep in
     Vec.clear v;
     let tbl = t.by_text.(leaf).(trace) in
     Hashtbl.reset tbl;
@@ -60,6 +58,14 @@ let enforce_cap t ~leaf ~trace v =
         end)
       entries;
     t.dropped <- t.dropped + drop
+  end
+
+(* Drop the oldest half when over the cap (amortized O(1) per insertion). *)
+let enforce_cap t ~leaf ~trace v =
+  match t.max_per_trace with
+  | Some cap when Vec.length v > cap ->
+    let keep = (cap / 2) + 1 in
+    drop_prefix t ~leaf ~trace (Vec.length v - keep)
   | _ -> ()
 
 let same_attrs (a : Event.t) (b : Event.t) = a.etype = b.etype && a.text = b.text
@@ -91,25 +97,6 @@ let total_entries t =
   Array.fold_left
     (fun acc per_trace -> Array.fold_left (fun acc v -> acc + Vec.length v) acc per_trace)
     0 t.hist
-
-(* Drop the first [drop] entries of one history and rebuild its text
-   index (positions shift). *)
-let drop_prefix t ~leaf ~trace drop =
-  if drop > 0 then begin
-    let v = t.hist.(leaf).(trace) in
-    let entries = Vec.to_array v in
-    Vec.clear v;
-    let tbl = t.by_text.(leaf).(trace) in
-    Hashtbl.reset tbl;
-    Array.iteri
-      (fun i e ->
-        if i >= drop then begin
-          index_push tbl e.ev.Event.text (Vec.length v);
-          Vec.push v e
-        end)
-      entries;
-    t.dropped <- t.dropped + drop
-  end
 
 let gc t ~thresholds ~leaves =
   let dropped0 = t.dropped in

@@ -30,6 +30,10 @@ type ctx = {
   pin : (int * int) option;
   stats : stats;
   node_budget : int;
+  start_nodes : int;
+      (* [stats.nodes] at search entry: callers share one cumulative stats
+         record across searches, so the budget must be charged against the
+         nodes expanded by THIS search only *)
 }
 
 (* Per-level search state. [cursor] is the next position to try on the
@@ -275,7 +279,7 @@ exception Budget
 
 let bump_nodes ctx =
   ctx.stats.nodes <- ctx.stats.nodes + 1;
-  if ctx.stats.nodes > ctx.node_budget then raise Budget
+  if ctx.stats.nodes - ctx.start_nodes > ctx.node_budget then raise Budget
 
 (* Next raw candidate at this level, newest-first across the trace list. *)
 let rec next_candidate ctx st =
@@ -435,6 +439,7 @@ let make_ctx ~net ~history ~n_traces ~trace_of_name ~partner_of ~anchor_leaf ~an
       pin;
       stats;
       node_budget;
+      start_nodes = stats.nodes;
     }
   in
   ctx.assigned.(anchor_leaf) <- Some anchor;

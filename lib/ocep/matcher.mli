@@ -47,9 +47,11 @@ val search :
   outcome
 (** Find one complete match that instantiates [anchor_leaf] with [anchor];
     with [pin = (leaf, trace)], the match must additionally instantiate
-    [leaf] on [trace]. Raises [Invalid_argument] if the anchor event does
-    not class-match the anchor leaf, or if [pin] names the anchor leaf
-    with a different trace. *)
+    [leaf] on [trace]. [node_budget] bounds the nodes expanded by {e this}
+    search ([Aborted] once exceeded) even when a cumulative [stats] record
+    is shared across searches. Raises [Invalid_argument] if the anchor
+    event does not class-match the anchor leaf, or if [pin] names the
+    anchor leaf with a different trace. *)
 
 val first_search_leaf : net:Compile.t -> anchor_leaf:int -> int option
 (** The leaf instantiated at the first backtracking level for this anchor

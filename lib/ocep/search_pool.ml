@@ -1,0 +1,121 @@
+(* Each [run] publishes one batch record; workers snapshot the current
+   batch under the pool mutex and then work only on that record. A slow
+   worker still draining an old batch can therefore never touch a newer
+   batch's counters: its batch's atomic cursor is exhausted, it grabs
+   nothing, contributes nothing, and goes back to waiting. *)
+
+type batch = {
+  f : int -> unit;
+  n : int;
+  next : int Atomic.t;  (* shared task cursor *)
+  mutable completed : int;  (* under the pool mutex *)
+}
+
+type t = {
+  workers : int;  (* total, including the submitting domain *)
+  m : Mutex.t;
+  work : Condition.t;  (* new batch published, or shutdown *)
+  finished : Condition.t;  (* some batch completed *)
+  mutable current : batch option;
+  mutable generation : int;
+  mutable exn : exn option;  (* first exception of the current batch *)
+  mutable down : bool;
+  mutable domains : unit Stdlib.Domain.t list;
+}
+
+(* Pull task indices until the cursor runs off the end; report the count
+   of tasks this domain ran in one mutex acquisition. *)
+let drain t (b : batch) =
+  let rec loop ran =
+    let i = Atomic.fetch_and_add b.next 1 in
+    if i >= b.n then ran
+    else begin
+      (try b.f i
+       with e ->
+         Mutex.lock t.m;
+         if t.exn = None then t.exn <- Some e;
+         Mutex.unlock t.m);
+      loop (ran + 1)
+    end
+  in
+  let ran = loop 0 in
+  Mutex.lock t.m;
+  b.completed <- b.completed + ran;
+  if b.completed >= b.n then Condition.broadcast t.finished;
+  Mutex.unlock t.m
+
+let worker t () =
+  let rec loop last_gen =
+    Mutex.lock t.m;
+    while (not t.down) && t.generation = last_gen do
+      Condition.wait t.work t.m
+    done;
+    if t.down then Mutex.unlock t.m
+    else begin
+      let gen = t.generation in
+      let b = t.current in
+      Mutex.unlock t.m;
+      (match b with Some b -> drain t b | None -> ());
+      loop gen
+    end
+  in
+  loop 0
+
+let create ~workers =
+  let workers = max 1 workers in
+  let t =
+    {
+      workers;
+      m = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      current = None;
+      generation = 0;
+      exn = None;
+      down = false;
+      domains = [];
+    }
+  in
+  t.domains <- List.init (workers - 1) (fun _ -> Stdlib.Domain.spawn (worker t));
+  t
+
+let workers t = t.workers
+
+let run t ~n f =
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n None in
+    let b = { f = (fun i -> results.(i) <- Some (f i)); n; next = Atomic.make 0; completed = 0 } in
+    Mutex.lock t.m;
+    if t.down then begin
+      Mutex.unlock t.m;
+      invalid_arg "Search_pool.run: pool is shut down"
+    end;
+    t.exn <- None;
+    t.current <- Some b;
+    t.generation <- t.generation + 1;
+    Condition.broadcast t.work;
+    Mutex.unlock t.m;
+    (* the submitting domain works the batch instead of blocking *)
+    drain t b;
+    Mutex.lock t.m;
+    while b.completed < b.n do
+      Condition.wait t.finished t.m
+    done;
+    let exn = t.exn in
+    t.current <- None;
+    Mutex.unlock t.m;
+    (match exn with Some e -> raise e | None -> ());
+    Array.map Option.get results
+  end
+
+let shutdown t =
+  Mutex.lock t.m;
+  if t.down then Mutex.unlock t.m
+  else begin
+    t.down <- true;
+    Condition.broadcast t.work;
+    Mutex.unlock t.m;
+    List.iter Stdlib.Domain.join t.domains;
+    t.domains <- []
+  end

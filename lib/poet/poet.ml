@@ -11,7 +11,10 @@ type t = {
   receives : (int, Event.t) Hashtbl.t;
   store : Event.t Vec.t array;  (* per trace, when retained *)
   log : Event.t Vec.t;  (* ingestion order, when retained *)
-  mutable subscribers : (Event.t -> unit) list;
+  mutable subscribers_rev : (Event.t -> unit) list;
+  mutable subscribers : (Event.t -> unit) array;
+      (* subscription-order cache of subscribers_rev for the ingest hot
+         path; rebuilt on (rare) subscribe instead of appending with @ *)
   mutable ingested : int;
 }
 
@@ -28,7 +31,8 @@ let create ?(retain = false) ?(partner_index = true) ~trace_names () =
     receives = Hashtbl.create 64;
     store = Array.init n (fun _ -> Vec.create ());
     log = Vec.create ();
-    subscribers = [];
+    subscribers_rev = [];
+    subscribers = [||];
     ingested = 0;
   }
 
@@ -41,7 +45,9 @@ let trace_of_name t name =
   let rec loop i = if i >= n then None else if t.names.(i) = name then Some i else loop (i + 1) in
   loop 0
 
-let subscribe t f = t.subscribers <- t.subscribers @ [ f ]
+let subscribe t f =
+  t.subscribers_rev <- f :: t.subscribers_rev;
+  t.subscribers <- Array.of_list (List.rev t.subscribers_rev)
 
 let ingested t = t.ingested
 
@@ -87,7 +93,7 @@ let ingest t (raw : Event.raw) =
     Vec.push t.log ev
   end;
   t.ingested <- t.ingested + 1;
-  List.iter (fun f -> f ev) t.subscribers;
+  Array.iter (fun f -> f ev) t.subscribers;
   ev
 
 let check_retained t fn =

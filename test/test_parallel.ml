@@ -1,0 +1,268 @@
+(* The pinned-search fan-out: Search_pool semantics, engine config
+   validation, and the determinism contract — an engine running its
+   pinned searches on 4 workers must be observably identical (matches,
+   coverage, reports) to the sequential engine; history GC must never
+   drop an event a later search needs. *)
+
+open Ocep_base
+module Poet = Ocep_poet.Poet
+module Parser = Ocep_pattern.Parser
+module Compile = Ocep_pattern.Compile
+module Engine = Ocep.Engine
+module Subset = Ocep.Subset
+module Search_pool = Ocep.Search_pool
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let net_of src = Compile.compile (Parser.parse src)
+
+(* ------------------------------------------------------------------ *)
+(* Search_pool                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let with_pool ~workers f =
+  let pool = Search_pool.create ~workers in
+  Fun.protect ~finally:(fun () -> Search_pool.shutdown pool) (fun () -> f pool)
+
+let pool_results_in_order () =
+  with_pool ~workers:4 (fun pool ->
+      let r = Search_pool.run pool ~n:100 (fun i -> i * i) in
+      check_int "length" 100 (Array.length r);
+      Array.iteri (fun i x -> check_int "in order" (i * i) x) r)
+
+let pool_runs_every_task_once () =
+  with_pool ~workers:3 (fun pool ->
+      let hits = Array.make 64 0 in
+      let m = Mutex.create () in
+      let _ =
+        Search_pool.run pool ~n:64 (fun i ->
+            Mutex.lock m;
+            hits.(i) <- hits.(i) + 1;
+            Mutex.unlock m)
+      in
+      Array.iteri (fun i c -> check_int (Printf.sprintf "task %d once" i) 1 c) hits)
+
+let pool_reusable_across_batches () =
+  with_pool ~workers:4 (fun pool ->
+      for batch = 1 to 50 do
+        let r = Search_pool.run pool ~n:batch (fun i -> i + batch) in
+        check_int "batch length" batch (Array.length r);
+        Array.iteri (fun i x -> check_int "batch value" (i + batch) x) r
+      done)
+
+let pool_single_worker_and_empty_batch () =
+  with_pool ~workers:1 (fun pool ->
+      check_int "workers floor" 1 (Search_pool.workers pool);
+      check_int "empty batch" 0 (Array.length (Search_pool.run pool ~n:0 (fun i -> i)));
+      let r = Search_pool.run pool ~n:5 (fun i -> 2 * i) in
+      check_int "sequential degenerate" 8 r.(4))
+
+exception Boom
+
+let pool_propagates_exception () =
+  with_pool ~workers:4 (fun pool ->
+      (match Search_pool.run pool ~n:16 (fun i -> if i = 7 then raise Boom else i) with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom -> ());
+      (* the barrier was not abandoned: the pool still works *)
+      let r = Search_pool.run pool ~n:4 (fun i -> i) in
+      check_int "pool survives a failed batch" 3 r.(3))
+
+let pool_shutdown_idempotent () =
+  let pool = Search_pool.create ~workers:3 in
+  Search_pool.shutdown pool;
+  Search_pool.shutdown pool;
+  match Search_pool.run pool ~n:1 (fun i -> i) with
+  | _ -> Alcotest.fail "run after shutdown should raise"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Engine config validation                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rejects config =
+  let poet = Poet.create ~trace_names:[| "P0"; "P1" |] () in
+  let net = net_of "A := [_, A, _]; B := [_, B, _]; pattern := A -> B;" in
+  match Engine.create ~config ~net ~poet () with
+  | _ -> false
+  | exception Invalid_argument _ -> true
+
+let config_validation () =
+  let d = Engine.default_config in
+  check "gc_every = Some 0" true (rejects { d with Engine.gc_every = Some 0 });
+  check "gc_every negative" true (rejects { d with Engine.gc_every = Some (-3) });
+  check "node_budget = Some 0" true (rejects { d with Engine.node_budget = Some 0 });
+  check "max_history = Some 0" true (rejects { d with Engine.max_history_per_trace = Some 0 });
+  check "report_cap negative" true (rejects { d with Engine.report_cap = -1 });
+  check "parallelism negative" true (rejects { d with Engine.parallelism = -2 });
+  check "default accepted" false (rejects d);
+  check "parallelism 0 = auto accepted" false (rejects { d with Engine.parallelism = 0 })
+
+let parallelism_resolution () =
+  let poet = Poet.create ~trace_names:[| "P0" |] () in
+  let net = net_of "A := [_, A, _]; pattern := A;" in
+  let engine =
+    Engine.create ~config:{ Engine.default_config with Engine.parallelism = 0 } ~net ~poet ()
+  in
+  check "auto resolves to >= 1" true (Engine.parallelism engine >= 1);
+  Engine.shutdown engine;
+  Engine.shutdown engine (* idempotent, and a no-op when no pool was spawned *)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel fan-out == sequential engine                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Observable state of an engine after a run, in a directly comparable
+   shape: reports are reduced to (seq, fresh slots, per-leaf (trace,
+   index)) so the comparison does not rely on deep event equality. *)
+let observe engine =
+  let reports =
+    List.map
+      (fun (r : Subset.report) ->
+        ( r.seq,
+          r.fresh,
+          Array.to_list (Array.map (fun (e : Event.t) -> (e.trace, e.index)) r.events) ))
+      (Engine.reports engine)
+  in
+  ( Engine.matches_found engine,
+    Engine.covered_slots engine,
+    Engine.seen_slots engine,
+    Engine.terminating_arrivals engine,
+    reports )
+
+let run_config ~config ~names ~net raws =
+  let poet = Poet.create ~trace_names:names () in
+  let engine = Engine.create ~config ~net ~poet () in
+  Fun.protect
+    ~finally:(fun () -> Engine.shutdown engine)
+    (fun () ->
+      List.iter (fun r -> ignore (Poet.ingest poet r)) raws;
+      observe engine)
+
+let parallel_equals_sequential =
+  QCheck.Test.make ~name:"parallelism=4 is observably identical to parallelism=1" ~count:60
+    QCheck.small_int (fun seed ->
+      let prng = Prng.create (seed + 90210) in
+      let n_traces = 2 + Prng.int prng 3 in
+      let names = Array.init n_traces (fun i -> "P" ^ string_of_int i) in
+      let raws = Testutil.Gen.computation ~n_traces ~length:(20 + Prng.int prng 30) prng in
+      let src = Testutil.Gen.pattern ~n_classes:(2 + Prng.int prng 2) prng in
+      match Compile.compile (Parser.parse src) with
+      | exception Compile.Compile_error _ -> true
+      | net ->
+        let cfg p = { Engine.default_config with Engine.parallelism = p } in
+        let seq = run_config ~config:(cfg 1) ~names ~net raws in
+        let par = run_config ~config:(cfg 4) ~names ~net raws in
+        if seq <> par then
+          QCheck.Test.fail_reportf "parallel diverges from sequential on pattern:@.%s" src
+        else true)
+
+(* same determinism when searches are budget-capped (Aborted outcomes) *)
+let parallel_equals_sequential_budget =
+  QCheck.Test.make ~name:"parallel = sequential under a node budget" ~count:40 QCheck.small_int
+    (fun seed ->
+      let prng = Prng.create (seed + 1337) in
+      let n_traces = 2 + Prng.int prng 2 in
+      let names = Array.init n_traces (fun i -> "P" ^ string_of_int i) in
+      let raws = Testutil.Gen.computation ~n_traces ~length:40 prng in
+      let src = Testutil.Gen.pattern ~n_classes:3 prng in
+      match Compile.compile (Parser.parse src) with
+      | exception Compile.Compile_error _ -> true
+      | net ->
+        let cfg p =
+          { Engine.default_config with Engine.parallelism = p; node_budget = Some 50 }
+        in
+        run_config ~config:(cfg 1) ~names ~net raws = run_config ~config:(cfg 4) ~names ~net raws)
+
+let parallel_fig3 () =
+  (* the Fig. 3 scenario through a 2-worker engine: same subset *)
+  let names = [| "P0"; "P1"; "P2" |] in
+  let net = net_of "A := [_, A, _]; B := [_, B, _]; pattern := A -> B;" in
+  let run parallelism =
+    let poet = Poet.create ~trace_names:names () in
+    let engine =
+      Engine.create ~config:{ Engine.default_config with Engine.parallelism } ~net ~poet ()
+    in
+    Fun.protect
+      ~finally:(fun () -> Engine.shutdown engine)
+      (fun () ->
+        let msg = ref 0 in
+        let ingest raw = ignore (Poet.ingest poet raw) in
+        let internal tr ty =
+          ingest { Event.r_trace = tr; r_etype = ty; r_text = ""; r_kind = Event.Internal }
+        in
+        let send tr =
+          incr msg;
+          ingest { Event.r_trace = tr; r_etype = "m"; r_text = ""; r_kind = Event.Send { msg = !msg } };
+          !msg
+        in
+        let recv tr m =
+          ingest { Event.r_trace = tr; r_etype = "m"; r_text = ""; r_kind = Event.Receive { msg = m } }
+        in
+        internal 1 "A";
+        let m1 = send 1 in
+        for _ = 1 to 20 do
+          internal 0 "N"
+        done;
+        internal 0 "A";
+        internal 0 "A";
+        let m0 = send 0 in
+        recv 2 m0;
+        recv 2 m1;
+        internal 2 "B";
+        observe engine)
+  in
+  check "fig3 identical at 2 workers" true (run 1 = run 2);
+  check "fig3 identical at auto workers" true (run 1 = run 0)
+
+(* ------------------------------------------------------------------ *)
+(* GC regression: gc never drops an event a later search needs         *)
+(* ------------------------------------------------------------------ *)
+
+(* Aggressive GC (every event) must leave every observable of the run —
+   matches found, coverage, the report set — untouched, with the
+   production config (pruning on): whenever a later (anchored or
+   pinned) search would have needed a dropped event, some observable
+   diverges. Complements test_engine's oracle-coverage property, which
+   runs with pruning off. *)
+let gc_equals_no_gc =
+  QCheck.Test.make ~name:"gc on every event changes no observable (regression)" ~count:60
+    QCheck.small_int (fun seed ->
+      let prng = Prng.create (seed + 777) in
+      let n_traces = 2 + Prng.int prng 3 in
+      let names = Array.init n_traces (fun i -> "P" ^ string_of_int i) in
+      let raws = Testutil.Gen.computation ~n_traces ~length:(30 + Prng.int prng 30) prng in
+      let src = Testutil.Gen.pattern ~n_classes:(2 + Prng.int prng 2) prng in
+      match Compile.compile (Parser.parse src) with
+      | exception Compile.Compile_error _ -> true
+      | net ->
+        let cfg gc_every = { Engine.default_config with Engine.gc_every } in
+        run_config ~config:(cfg None) ~names ~net raws
+        = run_config ~config:(cfg (Some 1)) ~names ~net raws)
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "search_pool",
+        [
+          Alcotest.test_case "results in order" `Quick pool_results_in_order;
+          Alcotest.test_case "every task exactly once" `Quick pool_runs_every_task_once;
+          Alcotest.test_case "reusable across batches" `Quick pool_reusable_across_batches;
+          Alcotest.test_case "single worker / empty batch" `Quick pool_single_worker_and_empty_batch;
+          Alcotest.test_case "exception propagation" `Quick pool_propagates_exception;
+          Alcotest.test_case "shutdown idempotent" `Quick pool_shutdown_idempotent;
+        ] );
+      ( "config",
+        [
+          Alcotest.test_case "invalid configs rejected" `Quick config_validation;
+          Alcotest.test_case "parallelism resolution" `Quick parallelism_resolution;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "fig3 parallel" `Quick parallel_fig3;
+          QCheck_alcotest.to_alcotest parallel_equals_sequential;
+          QCheck_alcotest.to_alcotest parallel_equals_sequential_budget;
+        ] );
+      ("gc", [ QCheck_alcotest.to_alcotest gc_equals_no_gc ]);
+    ]
