@@ -1,0 +1,131 @@
+(* Telemetry overhead micro-bench (off by default; run explicitly with
+   `dune exec bench/bench_obs.exe`).
+
+   The observability layer's promise is Dapper's: the *always-on*
+   telemetry — the metrics registry plus the bounded latency histogram
+   (one log10 and an array increment per terminating arrival) — must be
+   cheap enough to never turn off.  This program measures that promise
+   on the message-race case study: the same raw stream is replayed
+   through a fresh POET + engine with telemetry off (no latency
+   recording), with the always-on telemetry (histogram sink), and with
+   full span tracing on top (trace_spans, the opt-in debug facility
+   that additionally pays two clock reads and a ring write per search).
+   Each mode is best-of-R to cut scheduler noise; the run fails if the
+   always-on mode's per-event overhead exceeds the threshold (default
+   5%, OCEP_OBS_MAX_OVERHEAD to override; OCEP_EVENTS and OCEP_OBS_REPS
+   scale the measurement).  The tracing mode is reported and recorded
+   but carries no 5% claim — spans are off by default exactly because
+   one span per search cannot fit a single-digit-percent budget on a
+   ~2 us/event workload.  Results go to BENCH_obs.json. *)
+
+module Sim = Ocep_sim.Sim
+module Poet = Ocep_poet.Poet
+module Parser = Ocep_pattern.Parser
+module Compile = Ocep_pattern.Compile
+module Engine = Ocep.Engine
+module Workload = Ocep_workloads.Workload
+module Cases = Ocep_harness.Cases
+module Clock = Ocep_base.Clock
+
+let getenv_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> default)
+  | None -> default
+
+let getenv_float name default =
+  match Sys.getenv_opt name with
+  | Some s -> ( match float_of_string_opt s with Some f when f > 0. -> f | _ -> default)
+  | None -> default
+
+let replay ~config ~names ~net raws =
+  let poet = Poet.create ~trace_names:names () in
+  let engine = Engine.create ~config ~net ~poet () in
+  Fun.protect
+    ~finally:(fun () -> Engine.shutdown engine)
+    (fun () ->
+      let t0 = Clock.now_s () in
+      List.iter (fun r -> ignore (Poet.ingest poet r)) raws;
+      let wall_s = Clock.now_s () -. t0 in
+      (wall_s, Engine.matches_found engine))
+
+let () =
+  let max_events = getenv_int "OCEP_EVENTS" 20_000 in
+  let reps = getenv_int "OCEP_OBS_REPS" 5 in
+  let threshold_pct = getenv_float "OCEP_OBS_MAX_OVERHEAD" 5.0 in
+  let case = "races" in
+  let w = Cases.make case ~traces:8 ~seed:2013 ~max_events in
+  let names = Sim.trace_names w.Workload.sim_config in
+  let raws = ref [] in
+  let _ =
+    Sim.run w.Workload.sim_config ~sink:(fun r -> raws := r :: !raws) ~bodies:w.Workload.bodies
+  in
+  let raws = List.rev !raws in
+  let net = Compile.compile (Parser.parse w.Workload.pattern) in
+  let events = List.length raws in
+  let off_config = { Engine.default_config with Engine.record_latency = false } in
+  let metrics_config = { Engine.default_config with Engine.latency_sink = Engine.Histogram } in
+  let tracing_config = { metrics_config with Engine.trace_spans = true } in
+  let modes =
+    [ ("off", off_config); ("metrics", metrics_config); ("metrics+tracing", tracing_config) ]
+  in
+  Printf.printf "telemetry overhead bench: %s, %d events, best of %d reps per mode\n%!" case
+    events reps;
+  (* warm up each mode once, then interleave the reps across modes so a
+     machine-wide slowdown hits all of them alike; keep the best (min) *)
+  List.iter (fun (_, config) -> ignore (replay ~config ~names ~net raws)) modes;
+  let best = Hashtbl.create 4 and matches = Hashtbl.create 4 in
+  for _ = 1 to reps do
+    List.iter
+      (fun (mode, config) ->
+        let wall, m = replay ~config ~names ~net raws in
+        (match Hashtbl.find_opt best mode with
+        | Some w when w <= wall -> ()
+        | _ -> Hashtbl.replace best mode wall);
+        Hashtbl.replace matches mode m)
+      modes
+  done;
+  let wall mode = Hashtbl.find best mode in
+  let m_off = Hashtbl.find matches "off" in
+  List.iter
+    (fun (mode, _) ->
+      if Hashtbl.find matches mode <> m_off then (
+        Printf.eprintf "FATAL: telemetry changed the results: %d matches off, %d with %s\n" m_off
+          (Hashtbl.find matches mode) mode;
+        exit 1))
+    modes;
+  let per_event w = w *. 1e6 /. float_of_int (max 1 events) in
+  let off_us = per_event (wall "off") in
+  let overhead mode = (per_event (wall mode) -. off_us) /. off_us *. 100. in
+  let metrics_pct = overhead "metrics" and tracing_pct = overhead "metrics+tracing" in
+  let pass = metrics_pct < threshold_pct in
+  Printf.printf "  off             : %.3f us/event (best of %d)\n" off_us reps;
+  Printf.printf "  metrics         : %.3f us/event (%+.2f%%, threshold %.1f%%)\n"
+    (per_event (wall "metrics"))
+    metrics_pct threshold_pct;
+  Printf.printf "  metrics+tracing : %.3f us/event (%+.2f%%, opt-in; no threshold)\n"
+    (per_event (wall "metrics+tracing"))
+    tracing_pct;
+  let oc = open_out "BENCH_obs.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"case\": %S,\n\
+    \  \"events\": %d,\n\
+    \  \"reps\": %d,\n\
+    \  \"off_us_per_event\": %.3f,\n\
+    \  \"metrics_us_per_event\": %.3f,\n\
+    \  \"tracing_us_per_event\": %.3f,\n\
+    \  \"metrics_overhead_pct\": %.2f,\n\
+    \  \"tracing_overhead_pct\": %.2f,\n\
+    \  \"threshold_pct\": %.1f,\n\
+    \  \"pass\": %b\n\
+     }\n"
+    case events reps off_us
+    (per_event (wall "metrics"))
+    (per_event (wall "metrics+tracing"))
+    metrics_pct tracing_pct threshold_pct pass;
+  close_out oc;
+  Printf.printf "wrote BENCH_obs.json\n";
+  if not pass then (
+    Printf.eprintf "FAIL: always-on telemetry overhead %.2f%% exceeds %.1f%%\n" metrics_pct
+      threshold_pct;
+    exit 1)

@@ -21,6 +21,7 @@ module Engine = Ocep.Engine
 module Workload = Ocep_workloads.Workload
 module Cases = Ocep_harness.Cases
 module Clock = Ocep_base.Clock
+module Histogram = Ocep_stats.Histogram
 
 (* trace counts where pinned searches dominate: the paper's mid-scale
    points, except races where 8 traces is already search-heavy *)
@@ -33,6 +34,7 @@ type run_result = {
   wall_s : float;
   us_per_event : float;
   median_us : float;
+  tail : Histogram.tail option;  (* per-arrival p50/p95/p99/p999, from the bounded histogram *)
   matches : int;
   events : int;
 }
@@ -41,7 +43,7 @@ let median a =
   if Array.length a = 0 then 0.
   else begin
     let a = Array.copy a in
-    Array.sort compare a;
+    Array.sort Float.compare a;
     let n = Array.length a in
     if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.
   end
@@ -49,7 +51,10 @@ let median a =
 let replay ~parallelism ~names ~net raws =
   let poet = Poet.create ~trace_names:names () in
   let engine =
-    Engine.create ~config:{ Engine.default_config with Engine.parallelism } ~net ~poet ()
+    Engine.create
+      ~config:
+        { Engine.default_config with Engine.parallelism; latency_sink = Engine.Both }
+      ~net ~poet ()
   in
   Fun.protect
     ~finally:(fun () -> Engine.shutdown engine)
@@ -58,10 +63,12 @@ let replay ~parallelism ~names ~net raws =
       List.iter (fun r -> ignore (Poet.ingest poet r)) raws;
       let wall_s = Clock.now_s () -. t0 in
       let events = Poet.ingested poet in
+      let h = Engine.latency_histogram engine in
       {
         wall_s;
         us_per_event = wall_s *. 1e6 /. float_of_int (max 1 events);
         median_us = median (Engine.latencies_us engine);
+        tail = (if Histogram.count h = 0 then None else Some (Histogram.tail h));
         matches = Engine.matches_found engine;
         events;
       })
@@ -85,9 +92,16 @@ let bench_case ~max_events ~parallel_workers case =
   (case, traces, seq, par)
 
 let json_of_run r =
+  let tail =
+    match r.tail with
+    | None -> ""
+    | Some t ->
+      Printf.sprintf {|, "p50": %.3f, "p95": %.3f, "p99": %.3f, "p999": %.3f|} t.Histogram.p50
+        t.Histogram.p95 t.Histogram.p99 t.Histogram.p999
+  in
   Printf.sprintf
-    {|{"wall_s": %.6f, "us_per_event": %.3f, "median_us": %.3f, "matches": %d, "events": %d}|}
-    r.wall_s r.us_per_event r.median_us r.matches r.events
+    {|{"wall_s": %.6f, "us_per_event": %.3f, "median_us": %.3f%s, "matches": %d, "events": %d}|}
+    r.wall_s r.us_per_event r.median_us tail r.matches r.events
 
 let () =
   let max_events =
@@ -98,12 +112,13 @@ let () =
   Printf.printf "parallel fan-out bench: %d events/case, %d workers (%d cores)\n%!" max_events
     parallel_workers cores;
   let rows = List.map (bench_case ~max_events ~parallel_workers) Cases.names in
-  Printf.printf "\n%-10s %7s | %12s %12s | %12s %12s | %8s\n" "case" "traces" "seq us/ev"
-    "par us/ev" "seq med us" "par med us" "speedup";
+  Printf.printf "\n%-10s %7s | %12s %12s | %12s %12s | %10s %10s | %8s\n" "case" "traces"
+    "seq us/ev" "par us/ev" "seq med us" "par med us" "seq p99" "par p99" "speedup";
+  let p99 r = match r.tail with Some t -> t.Histogram.p99 | None -> 0. in
   List.iter
     (fun (case, traces, seq, par) ->
-      Printf.printf "%-10s %7d | %12.3f %12.3f | %12.2f %12.2f | %7.2fx\n" case traces
-        seq.us_per_event par.us_per_event seq.median_us par.median_us
+      Printf.printf "%-10s %7d | %12.3f %12.3f | %12.2f %12.2f | %10.2f %10.2f | %7.2fx\n" case
+        traces seq.us_per_event par.us_per_event seq.median_us par.median_us (p99 seq) (p99 par)
         (seq.wall_s /. par.wall_s))
     rows;
   let oc = open_out "BENCH_parallel.json" in

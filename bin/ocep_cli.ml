@@ -121,20 +121,105 @@ let run_cmd =
       & info [ "diagram"; "d" ]
           ~doc:"Draw an ASCII process-time diagram of the stream tail with the first reported                 match highlighted.")
   in
-  let run pattern_file trace_file no_pruning parallelism max_reports diagram =
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the engine's metrics registry to FILE after the run: one JSON object with a \
+             $(b,snapshots) array (see --metrics-every), or the Prometheus text exposition if \
+             FILE ends in .prom. Also records latencies into the bounded histogram \
+             (ocep_latency_us).")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Record a span per terminating arrival and per search into a bounded ring buffer \
+             and dump it to FILE as Chrome trace_event JSON (load in chrome://tracing or \
+             Perfetto; worker-domain searches appear as their own rows).")
+  in
+  let metrics_every =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "metrics-every" ] ~docv:"N"
+          ~doc:
+            "With --metrics-out: also snapshot the registry every N ingested events, appending \
+             each snapshot to the JSON file's $(b,snapshots) array (the final snapshot is \
+             always last).")
+  in
+  let run pattern_file trace_file no_pruning parallelism max_reports diagram metrics_out
+      trace_out metrics_every =
     if parallelism < 0 then (
       Printf.eprintf "ocep: --parallelism must be >= 0 (0 = one worker per core), got %d\n"
         parallelism;
       exit 2);
+    (match metrics_every with
+    | Some n when n <= 0 ->
+      Printf.eprintf "ocep: --metrics-every must be positive, got %d\n" n;
+      exit 2
+    | _ -> ());
     let net = Compile.compile (Parser.parse (read_file pattern_file)) in
     let ic = open_in trace_file in
     let names, raws = Poet.load ic in
     close_in ic;
     let poet = Poet.create ~retain:diagram ~trace_names:names () in
-    let config = { Engine.default_config with Engine.pruning = not no_pruning; parallelism } in
+    let config =
+      {
+        Engine.default_config with
+        Engine.pruning = not no_pruning;
+        parallelism;
+        (* keep the raw samples for the latency printout below, and feed the
+           bounded histogram too when a metrics file was asked for *)
+        latency_sink = (if metrics_out <> None then Engine.Both else Engine.Samples);
+        trace_spans = trace_out <> None;
+      }
+    in
     let engine = Engine.create ~config ~net ~poet () in
     Fun.protect ~finally:(fun () -> Engine.shutdown engine) @@ fun () ->
-    List.iter (fun raw -> ignore (Poet.ingest poet raw)) raws;
+    let snapshots = ref [] in
+    let snap () =
+      Engine.sync_metrics engine;
+      snapshots := Ocep_obs.Snapshot.json (Engine.metrics engine) :: !snapshots
+    in
+    let ingested = ref 0 in
+    List.iter
+      (fun raw ->
+        ignore (Poet.ingest poet raw);
+        incr ingested;
+        match metrics_every with
+        | Some n when metrics_out <> None && !ingested mod n = 0 -> snap ()
+        | _ -> ())
+      raws;
+    (match metrics_out with
+    | None -> ()
+    | Some path ->
+      Engine.sync_metrics engine;
+      let oc = open_out path in
+      if Filename.check_suffix path ".prom" then
+        output_string oc (Ocep_obs.Snapshot.prometheus (Engine.metrics engine))
+      else begin
+        let final = Ocep_obs.Snapshot.json (Engine.metrics engine) in
+        Printf.fprintf oc "{\"snapshots\": [%s]}\n"
+          (String.concat ", " (List.rev (final :: !snapshots)))
+      end;
+      close_out oc;
+      Printf.printf "metrics written to %s (%d snapshot%s)\n" path
+        (List.length !snapshots + 1)
+        (if !snapshots = [] then "" else "s"));
+    (match (trace_out, Engine.tracer engine) with
+    | Some path, Some tr ->
+      let oc = open_out path in
+      Ocep_obs.Tracer.dump oc tr;
+      close_out oc;
+      Printf.printf "trace: %d spans written to %s (%d overwritten by the ring)\n"
+        (Ocep_obs.Tracer.length tr) path
+        (Ocep_obs.Tracer.dropped tr)
+    | _ -> ());
     if parallelism <> 1 then
       Printf.printf "parallelism: %d workers\n" (Engine.parallelism engine);
     Printf.printf "events: %d   matches found: %d   reported subset: %d\n"
@@ -174,7 +259,9 @@ let run_cmd =
   in
   let info = Cmd.info "run" ~doc:"Reload a trace dump and match a pattern against it online." in
   Cmd.v info
-    Term.(const run $ pattern_file $ trace_file $ no_pruning $ parallelism $ max_reports $ diagram)
+    Term.(
+      const run $ pattern_file $ trace_file $ no_pruning $ parallelism $ max_reports $ diagram
+      $ metrics_out $ trace_out $ metrics_every)
 
 (* ------------------------------------------------------------------ *)
 (* check                                                               *)

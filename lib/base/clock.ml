@@ -1,3 +1,7 @@
 external now_ns : unit -> int64 = "ocep_clock_monotonic_ns"
 
+external now_us : unit -> (float[@unboxed])
+  = "ocep_clock_monotonic_us" "ocep_clock_monotonic_us_unboxed"
+[@@noalloc]
+
 let now_s () = Int64.to_float (now_ns ()) *. 1e-9

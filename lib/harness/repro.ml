@@ -25,16 +25,41 @@ let scale_from_env () =
   in
   { events = get "OCEP_EVENTS" 50_000; runs = get "OCEP_RUNS" 2 }
 
+(* OCEP_LATENCY_SINK=histogram reruns the whole evaluation in bounded
+   memory (quantiles at bucket resolution); =both validates the histogram
+   path against the exact samples. Default: the exact raw samples. *)
+let latency_sink_from_env () =
+  match Option.map String.lowercase_ascii (Sys.getenv_opt "OCEP_LATENCY_SINK") with
+  | Some "histogram" -> Engine.Histogram
+  | Some "both" -> Engine.Both
+  | _ -> Engine.Samples
+
+let repro_engine_config () =
+  { Engine.default_config with Engine.latency_sink = latency_sink_from_env () }
+
 (* Pool the per-event latencies of [runs] seeded runs of one configuration
    (the paper runs each configuration five times). *)
 let pooled_runs ~scale ~case ~traces =
+  let config = repro_engine_config () in
   let outcomes =
     List.init scale.runs (fun i ->
         let w = Cases.make case ~traces ~seed:(1009 * (i + 1)) ~max_events:scale.events in
-        Runner.run w)
+        Runner.run ~engine_config:config w)
   in
   let latencies = Array.concat (List.map (fun o -> o.Runner.latencies_us) outcomes) in
   (outcomes, latencies)
+
+(* The pooled distribution: exact when raw samples were kept, otherwise the
+   runs' bounded histograms merged bucket-wise. *)
+let pooled_summary outcomes latencies =
+  if Array.length latencies > 0 then Some (Summary.of_samples latencies)
+  else
+    match List.filter_map (fun o -> o.Runner.latency_hist) outcomes with
+    | [] -> None
+    | h :: rest ->
+      let merged = List.fold_left Ocep_stats.Histogram.merge h rest in
+      if Ocep_stats.Histogram.count merged = 0 then None
+      else Some (Summary.of_histogram merged)
 
 (* ------------------------------------------------------------------ *)
 (* Fig. 3                                                              *)
@@ -108,22 +133,23 @@ let fig6_pattern_length ppf ~scale =
     "== Fig. 6 (discussion): cost vs pattern length (deadlock cycle, 20 traces) ==@.";
   Format.fprintf ppf "%8s %8s %10s %10s %14s %10s@." "cycle" "samples" "Med" "Q3" "TopWhisker"
     "Max";
+  let config = repro_engine_config () in
   List.iter
     (fun cycle_len ->
-      let latencies =
-        Array.concat
-          (List.init scale.runs (fun i ->
-               let w =
-                 Ocep_workloads.Random_walk.make ~traces:20 ~seed:(701 * (i + 1))
-                   ~max_events:scale.events ~cycle_len ()
-               in
-               (Runner.run w).Runner.latencies_us))
+      let outcomes =
+        List.init scale.runs (fun i ->
+            let w =
+              Ocep_workloads.Random_walk.make ~traces:20 ~seed:(701 * (i + 1))
+                ~max_events:scale.events ~cycle_len ()
+            in
+            Runner.run ~engine_config:config w)
       in
-      if Array.length latencies > 0 then begin
-        let s = Summary.of_samples latencies in
+      let latencies = Array.concat (List.map (fun o -> o.Runner.latencies_us) outcomes) in
+      match pooled_summary outcomes latencies with
+      | None -> ()
+      | Some s ->
         Format.fprintf ppf "%8d %8d %10.1f %10.1f %14.1f %10.1f@." cycle_len s.Summary.n
-          s.Summary.median s.Summary.q3 s.Summary.top_whisker s.Summary.max
-      end)
+          s.Summary.median s.Summary.q3 s.Summary.top_whisker s.Summary.max)
     [ 2; 3; 4; 5; 6 ];
   Format.fprintf ppf "@."
 
@@ -134,15 +160,13 @@ let boxplot_figure ppf ~scale ~case =
     "Q3" "TopWhisker" "Max" "Outliers";
   List.iter
     (fun traces ->
-      let _, latencies = pooled_runs ~scale ~case ~traces in
-      if Array.length latencies = 0 then
-        Format.fprintf ppf "%8d (no terminating events at this scale)@." traces
-      else begin
-        let s = Summary.of_samples latencies in
+      let outcomes, latencies = pooled_runs ~scale ~case ~traces in
+      match pooled_summary outcomes latencies with
+      | None -> Format.fprintf ppf "%8d (no terminating events at this scale)@." traces
+      | Some s ->
         Format.fprintf ppf "%8d %8d %10.1f %10.1f %10.1f %14.1f %10.1f %10d@." traces
           s.Summary.n s.Summary.q1 s.Summary.median s.Summary.q3 s.Summary.top_whisker
-          s.Summary.max s.Summary.outliers_above
-      end)
+          s.Summary.max s.Summary.outliers_above)
     (Cases.paper_trace_counts case);
   Format.fprintf ppf "@."
 
@@ -160,11 +184,12 @@ let fig10 ppf ~scale =
   List.iter
     (fun case ->
       let traces = fig10_reference_traces case in
-      let _, latencies = pooled_runs ~scale ~case ~traces in
-      (if Array.length latencies > 0 then
-         let s = Summary.of_samples latencies in
-         Format.fprintf ppf "%-12s %7s | %8.0f %8.0f %8.0f %12.0f %10.0f@." case "measured"
-           s.Summary.q1 s.Summary.median s.Summary.q3 s.Summary.top_whisker s.Summary.max);
+      let outcomes, latencies = pooled_runs ~scale ~case ~traces in
+      (match pooled_summary outcomes latencies with
+      | Some s ->
+        Format.fprintf ppf "%-12s %7s | %8.0f %8.0f %8.0f %12.0f %10.0f@." case "measured"
+          s.Summary.q1 s.Summary.median s.Summary.q3 s.Summary.top_whisker s.Summary.max
+      | None -> ());
       let q1, med, q3, topw, mx = Cases.paper_fig10_us case in
       Format.fprintf ppf "%-12s %7s | %8.0f %8.0f %8.0f %12.0f %10.0f@." "" "paper" q1 med q3
         topw mx)

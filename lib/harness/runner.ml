@@ -8,10 +8,13 @@ module Oracle = Ocep_baselines.Oracle
 module Workload = Ocep_workloads.Workload
 module Inject = Ocep_workloads.Inject
 module Summary = Ocep_stats.Summary
+module Histogram = Ocep_stats.Histogram
 
 type outcome = {
   events : int;
   latencies_us : float array;
+  latency_hist : Histogram.t option;
+  tail : Histogram.tail option;
   summary : Summary.t option;
   reports : Subset.report list;
   matches_found : int;
@@ -68,10 +71,26 @@ let run ?(engine_config = Engine.default_config) ?(cutoff_margin = 0.05) (w : Wo
          reports)
   in
   let latencies_us = Engine.latencies_us engine in
+  (* the tail percentiles always come from a histogram: the engine's own
+     when the sink populated one, otherwise the raw samples re-bucketed *)
+  let latency_hist =
+    let h = Engine.latency_histogram engine in
+    if Histogram.count h > 0 then Some h
+    else if Array.length latencies_us = 0 then None
+    else begin
+      let h = Histogram.create () in
+      Array.iter (Histogram.record h) latencies_us;
+      Some h
+    end
+  in
   {
     events;
     latencies_us;
-    summary = (if Array.length latencies_us = 0 then None else Some (Summary.of_samples latencies_us));
+    latency_hist;
+    tail = Option.map Histogram.tail latency_hist;
+    summary =
+      (if Array.length latencies_us > 0 then Some (Summary.of_samples latencies_us)
+       else Option.map Summary.of_histogram latency_hist);
     reports;
     matches_found = Engine.matches_found engine;
     injections_total = List.length considered;
@@ -86,14 +105,23 @@ let run ?(engine_config = Engine.default_config) ?(cutoff_margin = 0.05) (w : Wo
   }
 
 let pp_outcome ppf o =
+  let terminating =
+    if Array.length o.latencies_us > 0 then Array.length o.latencies_us
+    else match o.latency_hist with Some h -> Histogram.count h | None -> 0
+  in
   Format.fprintf ppf
     "events=%d terminating=%d matches=%d reports=%d coverage=%d/%d@\n\
      completeness: %d/%d injected violations detected, %d false positives@\n\
      history entries=%d search nodes=%d backjumps=%d searches=%d wall=%.2fs@\n"
-    o.events (Array.length o.latencies_us) o.matches_found (List.length o.reports)
+    o.events terminating o.matches_found (List.length o.reports)
     o.covered_slots o.seen_slots o.injections_detected o.injections_total o.false_reports
     o.history_entries o.search_stats.Ocep.Matcher.nodes o.search_stats.Ocep.Matcher.backjumps
     o.search_stats.Ocep.Matcher.searches o.wall_s;
-  match o.summary with
+  (match o.summary with
   | None -> Format.fprintf ppf "no latency samples@\n"
-  | Some s -> Format.fprintf ppf "latency (us): %a@\n" Summary.pp s
+  | Some s -> Format.fprintf ppf "latency (us): %a@\n" Summary.pp s);
+  match o.tail with
+  | None -> ()
+  | Some t ->
+    Format.fprintf ppf "latency tail (us): p50=%.1f p95=%.1f p99=%.1f p999=%.1f@\n"
+      t.Histogram.p50 t.Histogram.p95 t.Histogram.p99 t.Histogram.p999

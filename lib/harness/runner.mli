@@ -6,11 +6,21 @@
 module Workload = Ocep_workloads.Workload
 module Engine = Ocep.Engine
 module Summary = Ocep_stats.Summary
+module Histogram = Ocep_stats.Histogram
 
 type outcome = {
   events : int;  (** events ingested *)
-  latencies_us : float array;  (** per terminating arrival *)
-  summary : Summary.t option;  (** boxplot of the latencies, if any *)
+  latencies_us : float array;
+      (** per terminating arrival; empty when the engine config's
+          [latency_sink] is [Histogram] *)
+  latency_hist : Histogram.t option;
+      (** the engine's bounded latency histogram when its sink populated
+          one, otherwise the raw samples re-bucketed; [None] only when
+          no latency was recorded at all *)
+  tail : Histogram.tail option;  (** p50/p95/p99/p999 of [latency_hist] *)
+  summary : Summary.t option;
+      (** boxplot of the latencies, if any: exact from the raw samples
+          when present, else at bucket resolution from [latency_hist] *)
   reports : Ocep.Subset.report list;  (** the representative subset *)
   matches_found : int;
   injections_total : int;  (** fully materialized injections (minus the cutoff margin) *)

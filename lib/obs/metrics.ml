@@ -1,0 +1,74 @@
+module Histogram = Ocep_stats.Histogram
+
+type counter = int ref
+type gauge = float ref
+
+type instrument = C of counter | G of gauge | H of Histogram.t
+
+type registered = { r_help : string; r_instr : instrument }
+
+type t = {
+  tbl : (string, registered) Hashtbl.t;
+  mutable order_rev : string list;  (* registration order, for stable exposition *)
+}
+
+let create () = { tbl = Hashtbl.create 32; order_rev = [] }
+
+let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
+
+let register t ~help name make =
+  match Hashtbl.find_opt t.tbl name with
+  | Some r -> r.r_instr
+  | None ->
+    let instr = make () in
+    Hashtbl.replace t.tbl name { r_help = help; r_instr = instr };
+    t.order_rev <- name :: t.order_rev;
+    instr
+
+let counter t ?(help = "") name =
+  match register t ~help name (fun () -> C (ref 0)) with
+  | C c -> c
+  | other ->
+    invalid_arg
+      (Printf.sprintf "Metrics.counter: %s is already a %s" name (kind_name other))
+
+let gauge t ?(help = "") name =
+  match register t ~help name (fun () -> G (ref 0.)) with
+  | G g -> g
+  | other ->
+    invalid_arg (Printf.sprintf "Metrics.gauge: %s is already a %s" name (kind_name other))
+
+let histogram t ?(help = "") name =
+  match register t ~help name (fun () -> H (Histogram.create ())) with
+  | H h -> h
+  | other ->
+    invalid_arg
+      (Printf.sprintf "Metrics.histogram: %s is already a %s" name (kind_name other))
+
+let incr c ?(by = 1) () =
+  if by < 0 then invalid_arg "Metrics.incr: negative increment";
+  c := !c + by
+
+let set_counter c v =
+  if v < 0 then invalid_arg "Metrics.set_counter: negative total";
+  c := v
+
+let counter_value c = !c
+
+let set g v = g := v
+
+let gauge_value g = !g
+
+type value = Counter of int | Gauge of float | Hist of Histogram.t
+
+type item = { name : string; help : string; value : value }
+
+let items t =
+  List.rev_map
+    (fun name ->
+      let r = Hashtbl.find t.tbl name in
+      let value =
+        match r.r_instr with C c -> Counter !c | G g -> Gauge !g | H h -> Hist h
+      in
+      { name; help = r.r_help; value })
+    t.order_rev

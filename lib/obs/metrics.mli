@@ -1,0 +1,58 @@
+(** Bounded-memory metrics registry: a fixed set of named counters,
+    gauges and log-bucketed histograms ({!Ocep_stats.Histogram}),
+    registered once and updated in O(1). Memory is O(instruments +
+    histogram buckets) regardless of run length — the always-on,
+    low-overhead regime of Dapper-style production telemetry, as opposed
+    to the engine's original unbounded per-arrival sample vector.
+
+    Names follow Prometheus conventions ([ocep_events_total], …) and may
+    carry an inline label set ([name{worker="3"}]); {!Snapshot} renders
+    both expositions. Registering an existing name returns the existing
+    instrument; re-registering it as a different kind raises.
+
+    Not thread-safe: register and update from one domain. (The engine
+    updates its registry only on the ingesting domain; worker-domain
+    activity reaches it through the pool's merged statistics.) *)
+
+type t
+
+type counter
+(** Monotone integer. *)
+
+type gauge
+(** Arbitrary float, set to the latest value. *)
+
+val create : unit -> t
+
+val counter : t -> ?help:string -> string -> counter
+val gauge : t -> ?help:string -> string -> gauge
+
+val histogram : t -> ?help:string -> string -> Ocep_stats.Histogram.t
+(** Registers (or retrieves) a histogram instrument; record samples
+    directly through the returned handle. *)
+
+val incr : counter -> ?by:int -> unit -> unit
+(** [by] defaults to 1; raises [Invalid_argument] on a negative [by]. *)
+
+val set_counter : counter -> int -> unit
+(** Overwrite the counter's cumulative total — for instruments whose
+    source of truth is an internal engine counter synced before each
+    snapshot rather than incremented in the hot path. Raises
+    [Invalid_argument] on a negative total. *)
+
+val counter_value : counter -> int
+
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+(** Snapshot view. *)
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Hist of Ocep_stats.Histogram.t
+
+type item = { name : string; help : string; value : value }
+
+val items : t -> item list
+(** All instruments in registration order, with their current values. *)

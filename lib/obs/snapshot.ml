@@ -1,0 +1,99 @@
+module Histogram = Ocep_stats.Histogram
+
+(* "name{worker=\"3\"}" -> base "name", labels "{worker=\"3\"}" *)
+let split_labels name =
+  match String.index_opt name '{' with
+  | None -> (name, "")
+  | Some i -> (String.sub name 0 i, String.sub name i (String.length name - i))
+
+let fmt_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.6g" f
+
+(* metric names with inline labels contain quotes; escape them in JSON keys *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let prometheus m =
+  let b = Buffer.create 1024 in
+  let seen_family : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let family base help kind =
+    if not (Hashtbl.mem seen_family base) then begin
+      Hashtbl.replace seen_family base ();
+      if help <> "" then Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" base help);
+      Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" base kind)
+    end
+  in
+  List.iter
+    (fun (it : Metrics.item) ->
+      let base, labels = split_labels it.Metrics.name in
+      match it.Metrics.value with
+      | Metrics.Counter v ->
+        family base it.Metrics.help "counter";
+        Buffer.add_string b (Printf.sprintf "%s%s %d\n" base labels v)
+      | Metrics.Gauge v ->
+        family base it.Metrics.help "gauge";
+        Buffer.add_string b (Printf.sprintf "%s%s %s\n" base labels (fmt_float v))
+      | Metrics.Hist h ->
+        family base it.Metrics.help "histogram";
+        let cum = ref 0 in
+        let inf_emitted = ref false in
+        Histogram.iter_nonempty h (fun ~upper ~rep:_ ~count ->
+            cum := !cum + count;
+            let le =
+              if upper = infinity then begin
+                inf_emitted := true;
+                "+Inf"
+              end
+              else fmt_float upper
+            in
+            Buffer.add_string b
+              (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" base le !cum));
+        if not !inf_emitted then
+          Buffer.add_string b
+            (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" base (Histogram.count h));
+        Buffer.add_string b
+          (Printf.sprintf "%s_sum %s\n" base (fmt_float (Histogram.sum h)));
+        Buffer.add_string b (Printf.sprintf "%s_count %d\n" base (Histogram.count h)))
+    (Metrics.items m);
+  Buffer.contents b
+
+let json m =
+  let b = Buffer.create 1024 in
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (it : Metrics.item) ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b (Printf.sprintf "\"%s\": " (json_escape it.Metrics.name));
+      match it.Metrics.value with
+      | Metrics.Counter v -> Buffer.add_string b (string_of_int v)
+      | Metrics.Gauge v -> Buffer.add_string b (fmt_float v)
+      | Metrics.Hist h ->
+        if Histogram.count h = 0 then Buffer.add_string b "{\"count\": 0}"
+        else begin
+          let t = Histogram.tail h in
+          Buffer.add_string b
+            (Printf.sprintf
+               "{\"count\": %d, \"sum\": %s, \"min\": %s, \"max\": %s, \"mean\": %s, \
+                \"p50\": %s, \"p95\": %s, \"p99\": %s, \"p999\": %s}"
+               (Histogram.count h)
+               (fmt_float (Histogram.sum h))
+               (fmt_float (Histogram.min_value h))
+               (fmt_float (Histogram.max_value h))
+               (fmt_float (Histogram.mean h))
+               (fmt_float t.Histogram.p50) (fmt_float t.Histogram.p95)
+               (fmt_float t.Histogram.p99) (fmt_float t.Histogram.p999))
+        end)
+    (Metrics.items m);
+  Buffer.add_char b '}';
+  Buffer.contents b

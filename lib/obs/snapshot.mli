@@ -1,0 +1,15 @@
+(** Exposition of a {!Metrics} registry: Prometheus text format and
+    one-line JSON, both pure functions of the registry's current values
+    so they can be rendered repeatedly {e during} a run (the
+    [--metrics-every] flag) as well as at the end. *)
+
+val prometheus : Metrics.t -> string
+(** Prometheus text exposition format ([# HELP]/[# TYPE] once per metric
+    family; histograms as cumulative [_bucket{le="…"}] lines over the
+    non-empty bucket edges plus [+Inf], [_sum] and [_count]). *)
+
+val json : Metrics.t -> string
+(** One JSON object on a single line (no trailing newline): counters and
+    gauges as numbers, histograms as
+    [{"count", "sum", "min", "max", "mean", "p50", "p95", "p99",
+    "p999"}] (only ["count"] when empty). *)

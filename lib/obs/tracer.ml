@@ -1,0 +1,90 @@
+type arg = Int of int | Float of float | Str of string
+
+type span = {
+  name : string;
+  cat : string;
+  ts_us : float;
+  dur_us : float;
+  tid : int;
+  args : (string * arg) list;
+}
+
+(* slots the ring has not written yet hold this placeholder; [spans]
+   never reads them because it only visits the first [total] slots *)
+let dummy = { name = ""; cat = ""; ts_us = 0.; dur_us = 0.; tid = 0; args = [] }
+
+type t = {
+  cap : int;
+  ring : span array;
+  m : Mutex.t;
+  mutable next : int;  (* ring slot of the next write *)
+  mutable total : int;  (* spans ever recorded *)
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Tracer.create: capacity must be positive";
+  { cap = capacity; ring = Array.make capacity dummy; m = Mutex.create (); next = 0; total = 0 }
+
+let capacity t = t.cap
+
+let record t ~name ~cat ~ts_us ~dur_us ~tid ~args =
+  let span = { name; cat; ts_us; dur_us; tid; args } in
+  Mutex.lock t.m;
+  t.ring.(t.next) <- span;
+  t.next <- (t.next + 1) mod t.cap;
+  t.total <- t.total + 1;
+  Mutex.unlock t.m
+
+let length t = min t.total t.cap
+
+let recorded t = t.total
+
+let dropped t = max 0 (t.total - t.cap)
+
+let spans t =
+  Mutex.lock t.m;
+  let n = min t.total t.cap in
+  (* oldest retained span sits at [next] once the ring has wrapped *)
+  let first = if t.total > t.cap then t.next else 0 in
+  let out = List.init n (fun i -> t.ring.((first + i) mod t.cap)) in
+  Mutex.unlock t.m;
+  out
+
+let escape_json s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let arg_json = function
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%g" f
+  | Str s -> Printf.sprintf "\"%s\"" (escape_json s)
+
+let dump oc t =
+  let all = spans t in
+  output_string oc "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [";
+  List.iteri
+    (fun i s ->
+      if i > 0 then output_string oc ",";
+      Printf.fprintf oc
+        "\n  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", \"ts\": %.3f, \"dur\": %.3f, \
+         \"pid\": 0, \"tid\": %d, \"args\": {"
+        (escape_json s.name) (escape_json s.cat) s.ts_us s.dur_us s.tid;
+      List.iteri
+        (fun j (k, v) ->
+          if j > 0 then output_string oc ", ";
+          Printf.fprintf oc "\"%s\": %s" (escape_json k) (arg_json v))
+        s.args;
+      output_string oc "}}")
+    all;
+  Printf.fprintf oc "\n], \"otherData\": {\"spans_recorded\": %d, \"spans_dropped\": %d}}\n"
+    (recorded t) (dropped t)

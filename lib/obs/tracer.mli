@@ -1,0 +1,59 @@
+(** Search-span tracing into a bounded ring buffer, dumpable as Chrome
+    [trace_event] JSON (loadable by chrome://tracing and Perfetto).
+
+    A span is one completed unit of engine work — a terminating arrival,
+    an anchored or pinned search, a worker's drain of a fan-out batch —
+    with a name, a category, a wall-clock interval and a few typed
+    arguments. Spans are recorded after the fact (one call per span, no
+    open/close pairing) into a fixed-capacity ring: memory is
+    O(capacity) and an always-on tracer over a ≥1M-event run simply
+    keeps the most recent spans, counting what it overwrote.
+
+    Recording is thread-safe (a mutex around the ring slot), so worker
+    domains of the search pool record their spans directly, tagged with
+    their own domain id as the [tid]. *)
+
+type arg = Int of int | Float of float | Str of string
+
+type span = {
+  name : string;
+  cat : string;
+  ts_us : float;  (** start, µs on the monotonic clock *)
+  dur_us : float;
+  tid : int;  (** domain id of the recording domain *)
+  args : (string * arg) list;
+}
+
+type t
+
+val create : capacity:int -> t
+(** Raises [Invalid_argument] if [capacity <= 0]. *)
+
+val capacity : t -> int
+
+val record :
+  t ->
+  name:string ->
+  cat:string ->
+  ts_us:float ->
+  dur_us:float ->
+  tid:int ->
+  args:(string * arg) list ->
+  unit
+
+val length : t -> int
+(** Spans currently held (≤ capacity). *)
+
+val recorded : t -> int
+(** Spans ever recorded. *)
+
+val dropped : t -> int
+(** Spans overwritten by the ring ([recorded − length]). *)
+
+val spans : t -> span list
+(** Retained spans, oldest first. *)
+
+val dump : out_channel -> t -> unit
+(** Write the whole ring as one Chrome [trace_event] JSON object
+    ([{"traceEvents": [...]}], complete events, [ph:"X"], one row per
+    recording domain). *)

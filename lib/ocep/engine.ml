@@ -1,6 +1,11 @@
 open Ocep_base
 module Compile = Ocep_pattern.Compile
 module Poet = Ocep_poet.Poet
+module Hist = Ocep_stats.Histogram
+module Metrics = Ocep_obs.Metrics
+module Tracer = Ocep_obs.Tracer
+
+type latency_sink = Samples | Histogram | Both
 
 type config = {
   pruning : bool;
@@ -9,8 +14,10 @@ type config = {
   node_budget : int option;
   report_cap : int;
   record_latency : bool;
+  latency_sink : latency_sink;
   gc_every : int option;
   parallelism : int;
+  trace_spans : bool;
 }
 
 let default_config =
@@ -21,9 +28,13 @@ let default_config =
     node_budget = None;
     report_cap = 100_000;
     record_latency = true;
+    latency_sink = Samples;
     gc_every = None;
     parallelism = 1;
+    trace_spans = false;
   }
+
+let default_trace_capacity = 65_536
 
 (* Reject configurations that would crash later (gc_every = Some 0 used
    to divide by zero in the gc cadence check) or that have no sensible
@@ -62,6 +73,36 @@ let gc_able_leaves (net : Compile.t) =
              | None -> false)
            (List.init k (fun i -> i)))
 
+(* Handles into the metrics registry whose values are pulled from the
+   engine's internal counters by [sync_metrics] (called before every
+   snapshot) rather than bumped in the hot path — the only always-hot
+   instrument is the latency histogram itself. *)
+type meters = {
+  m_events : Metrics.counter;
+  m_terminating : Metrics.counter;
+  m_matches : Metrics.counter;
+  m_reports : Metrics.gauge;
+  m_nodes : Metrics.counter;
+  m_backjumps : Metrics.counter;
+  m_searches : Metrics.counter;
+  m_aborts : Metrics.counter;
+  m_epochs : Metrics.counter;
+  m_hist_entries : Metrics.gauge;
+  m_hist_dropped : Metrics.counter;
+  m_hist_pruned : Metrics.counter;
+  m_hist_cap_evicted : Metrics.counter;
+  m_covered : Metrics.gauge;
+  m_seen : Metrics.gauge;
+  m_fan_outs : Metrics.counter;
+  m_fan_out_tasks : Metrics.counter;
+  m_spec_discards : Metrics.counter;
+  m_worker_busy : Metrics.gauge array;  (* by worker index *)
+  m_poet_ingested : Metrics.counter;
+  m_poet_notified : Metrics.counter;
+  m_spans : Metrics.counter;
+  m_spans_dropped : Metrics.counter;
+}
+
 type t = {
   cfg : config;
   net : Compile.t;
@@ -71,6 +112,10 @@ type t = {
   subset : Subset.t;
   stats : Matcher.stats;
   latencies : float Vec.t;
+  latency_hist : Hist.t;  (* registered as ocep_latency_us *)
+  metrics : Metrics.t;
+  meters : meters;
+  tracer : Tracer.t option;
   frontier : Vclock.t array;  (* latest timestamp seen per trace *)
   gcable : bool array;
   matching_leaves : Event.t -> int list;  (* cached dispatch *)
@@ -80,6 +125,7 @@ type t = {
   mutable events_processed : int;
   mutable terminating_arrivals : int;
   mutable aborted : int;
+  mutable speculative_discards : int;
 }
 
 (* Dispatching an arriving event to the leaves it class-matches: most
@@ -105,6 +151,79 @@ let make_dispatch (net : Compile.t) =
     in
     List.filter (fun i -> Compile.leaf_matches net i ev) candidates
 
+let make_meters metrics ~parallelism =
+  let c ?help name = Metrics.counter metrics ?help name in
+  let g ?help name = Metrics.gauge metrics ?help name in
+  (* registration order is exposition order, so bind each instrument with a
+     [let] (record-literal fields evaluate in unspecified order) *)
+  let m_events = c ~help:"Events processed by the engine" "ocep_events_total" in
+  let m_terminating =
+    c ~help:"Arrivals matching a terminating leaf" "ocep_terminating_arrivals_total"
+  in
+  let m_matches = c ~help:"Successful searches" "ocep_matches_total" in
+  let m_reports = g ~help:"Reported representative subset size" "ocep_reports" in
+  let m_nodes = c ~help:"Search-tree nodes expanded" "ocep_search_nodes_total" in
+  let m_backjumps = c ~help:"Conflict-directed backjumps" "ocep_search_backjumps_total" in
+  let m_searches = c ~help:"Searches started" "ocep_searches_total" in
+  let m_aborts = c ~help:"Searches aborted by the node budget" "ocep_search_aborts_total" in
+  let m_epochs = c ~help:"Communication-epoch advances" "ocep_epoch_advances_total" in
+  let m_hist_entries = g ~help:"Stored history entries" "ocep_history_entries" in
+  let m_hist_dropped =
+    c ~help:"History entries dropped (cap + GC)" "ocep_history_dropped_total"
+  in
+  let m_hist_pruned =
+    c ~help:"History entries merged by the O(1) pruning rule" "ocep_history_pruned_total"
+  in
+  let m_hist_cap_evicted =
+    c ~help:"History entries evicted by the per-trace cap" "ocep_history_cap_evicted_total"
+  in
+  let m_covered = g ~help:"Covered coverage slots" "ocep_covered_slots" in
+  let m_seen = g ~help:"Seen coverage slots" "ocep_seen_slots" in
+  let m_fan_outs = c ~help:"Pinned-search batches fanned out" "ocep_fan_outs_total" in
+  let m_fan_out_tasks = c ~help:"Pinned searches run by the pool" "ocep_fan_out_tasks_total" in
+  let m_spec_discards =
+    c ~help:"Speculative pinned results discarded at merge" "ocep_speculative_discards_total"
+  in
+  let m_worker_busy =
+    Array.init parallelism (fun i ->
+        g
+          ~help:"Wall-clock seconds each fan-out worker spent searching"
+          (Printf.sprintf "ocep_pool_worker_busy_seconds{worker=\"%d\"}" i))
+  in
+  let m_poet_ingested = c ~help:"Events ingested by POET" "ocep_poet_events_ingested_total" in
+  let m_poet_notified =
+    c ~help:"POET subscriber callbacks invoked" "ocep_poet_notifications_total"
+  in
+  let m_spans = c ~help:"Trace spans recorded" "ocep_trace_spans_total" in
+  let m_spans_dropped =
+    c ~help:"Trace spans overwritten by the ring buffer" "ocep_trace_spans_dropped_total"
+  in
+  {
+    m_events;
+    m_terminating;
+    m_matches;
+    m_reports;
+    m_nodes;
+    m_backjumps;
+    m_searches;
+    m_aborts;
+    m_epochs;
+    m_hist_entries;
+    m_hist_dropped;
+    m_hist_pruned;
+    m_hist_cap_evicted;
+    m_covered;
+    m_seen;
+    m_fan_outs;
+    m_fan_out_tasks;
+    m_spec_discards;
+    m_worker_busy;
+    m_poet_ingested;
+    m_poet_notified;
+    m_spans;
+    m_spans_dropped;
+  }
+
 let create ?(config = default_config) ~net ~poet () =
   validate_config config;
   let n_traces = Poet.trace_count poet in
@@ -112,6 +231,7 @@ let create ?(config = default_config) ~net ~poet () =
     if config.parallelism = 0 then max 1 (Stdlib.Domain.recommended_domain_count ())
     else config.parallelism
   in
+  let metrics = Metrics.create () in
   let t =
     {
       cfg = config;
@@ -124,6 +244,14 @@ let create ?(config = default_config) ~net ~poet () =
       subset = Subset.create ~k:(Compile.size net) ~n_traces ~report_cap:config.report_cap ();
       stats = Matcher.new_stats ();
       latencies = Vec.create ();
+      latency_hist =
+        Metrics.histogram metrics
+          ~help:"Per-terminating-arrival processing time (microseconds)" "ocep_latency_us";
+      metrics;
+      meters = make_meters metrics ~parallelism;
+      tracer =
+        (if config.trace_spans then Some (Tracer.create ~capacity:default_trace_capacity)
+         else None);
       frontier = Array.make n_traces (Vclock.make ~dim:n_traces);
       gcable = gc_able_leaves net;
       matching_leaves = make_dispatch net;
@@ -133,6 +261,7 @@ let create ?(config = default_config) ~net ~poet () =
       events_processed = 0;
       terminating_arrivals = 0;
       aborted = 0;
+      speculative_discards = 0;
     }
   in
   let trace_of_name = Poet.trace_of_name poet in
@@ -145,17 +274,49 @@ let create ?(config = default_config) ~net ~poet () =
     | Matcher.Not_found -> ()
     | Matcher.Aborted -> t.aborted <- t.aborted + 1
   in
+  let outcome_tag = function
+    | Matcher.Found _ -> "found"
+    | Matcher.Not_found -> "not_found"
+    | Matcher.Aborted -> "aborted"
+  in
+  let search_args ?pin ~anchor_leaf ~(stats : Matcher.stats) ~nodes0 ~backjumps0 outcome =
+    let base =
+      [
+        ("anchor_leaf", Tracer.Int anchor_leaf);
+        ("nodes", Tracer.Int (stats.Matcher.nodes - nodes0));
+        ("backjumps", Tracer.Int (stats.Matcher.backjumps - backjumps0));
+        ("outcome", Tracer.Str (outcome_tag outcome));
+      ]
+    in
+    match pin with
+    | None -> base
+    | Some (l, tr) -> ("pin_leaf", Tracer.Int l) :: ("pin_trace", Tracer.Int tr) :: base
+  in
   let run_search ?pin ~anchor_leaf ~anchor () =
-    consume_outcome
-      (Matcher.search ~net ~history:t.history ~n_traces ~trace_of_name ~partner_of ~anchor_leaf
-         ~anchor ?pin
-         ?node_budget:config.node_budget ~stats:t.stats ())
+    let search () =
+      Matcher.search ~net ~history:t.history ~n_traces ~trace_of_name ~partner_of ~anchor_leaf
+        ~anchor ?pin
+        ?node_budget:config.node_budget ~stats:t.stats ()
+    in
+    match t.tracer with
+    | None -> consume_outcome (search ())
+    | Some tr ->
+      let nodes0 = t.stats.Matcher.nodes and backjumps0 = t.stats.Matcher.backjumps in
+      let t0 = Clock.now_us () in
+      let outcome = search () in
+      let dt = Clock.now_us () -. t0 in
+      Tracer.record tr
+        ~name:(if pin = None then "search" else "pinned")
+        ~cat:"engine" ~ts_us:t0 ~dur_us:dt
+        ~tid:(Stdlib.Domain.self () :> int)
+        ~args:(search_args ?pin ~anchor_leaf ~stats:t.stats ~nodes0 ~backjumps0 outcome);
+      consume_outcome outcome
   in
   let get_pool () =
     match t.pool with
     | Some p -> p
     | None ->
-      let p = Search_pool.create ~workers:t.parallelism in
+      let p = Search_pool.create ?tracer:t.tracer ~workers:t.parallelism () in
       t.pool <- Some p;
       p
   in
@@ -175,10 +336,26 @@ let create ?(config = default_config) ~net ~poet () =
       Search_pool.run (get_pool ()) ~n:(Array.length slots) (fun i ->
           let l, tr = slots.(i) in
           let stats = Matcher.new_stats () in
-          let outcome =
+          let search () =
             Matcher.search ~net ~history:t.history ~n_traces ~trace_of_name ~partner_of
               ~anchor_leaf ~anchor ~pin:(l, tr)
               ?node_budget:config.node_budget ~stats ()
+          in
+          let outcome =
+            match t.tracer with
+            | None -> search ()
+            | Some trc ->
+              (* recorded on the executing domain: the span's tid is the
+                 worker's domain id, which is what puts worker rows in
+                 the Chrome trace *)
+              let t0 = Clock.now_us () in
+              let o = search () in
+              let dt = Clock.now_us () -. t0 in
+              Tracer.record trc ~name:"pinned" ~cat:"worker" ~ts_us:t0 ~dur_us:dt
+                ~tid:(Stdlib.Domain.self () :> int)
+                ~args:
+                  (search_args ~pin:(l, tr) ~anchor_leaf ~stats ~nodes0:0 ~backjumps0:0 o);
+              o
           in
           (outcome, stats))
     in
@@ -188,7 +365,8 @@ let create ?(config = default_config) ~net ~poet () =
         t.stats.Matcher.backjumps <- t.stats.Matcher.backjumps + s.Matcher.backjumps;
         t.stats.Matcher.searches <- t.stats.Matcher.searches + s.Matcher.searches;
         let l, tr = slots.(i) in
-        if not (Subset.is_covered t.subset ~leaf:l ~trace:tr) then consume_outcome outcome)
+        if not (Subset.is_covered t.subset ~leaf:l ~trace:tr) then consume_outcome outcome
+        else t.speculative_discards <- t.speculative_discards + 1)
       results
   in
   let maybe_gc () =
@@ -216,7 +394,8 @@ let create ?(config = default_config) ~net ~poet () =
     let terminating = List.filter (fun i -> t.net.Compile.terminating.(i)) leaves in
     if terminating <> [] then begin
       t.terminating_arrivals <- t.terminating_arrivals + 1;
-      let t0 = if config.record_latency then Clock.now_s () else 0. in
+      let timed = config.record_latency || t.tracer <> None in
+      let t0 = if timed then Clock.now_us () else 0. in
       List.iter
         (fun anchor_leaf ->
           run_search ~anchor_leaf ~anchor:ev ();
@@ -235,8 +414,29 @@ let create ?(config = default_config) ~net ~poet () =
             else fan_out_pins ~anchor_leaf ~anchor:ev slots
           end)
         terminating;
-      if config.record_latency then
-        Vec.push t.latencies ((Clock.now_s () -. t0) *. 1e6)
+      if timed then begin
+        let lat_us = Clock.now_us () -. t0 in
+        if config.record_latency then begin
+          (match config.latency_sink with
+          | Samples -> Vec.push t.latencies lat_us
+          | Histogram -> Hist.record t.latency_hist lat_us
+          | Both ->
+            Vec.push t.latencies lat_us;
+            Hist.record t.latency_hist lat_us)
+        end;
+        match t.tracer with
+        | Some tr ->
+          Tracer.record tr ~name:"arrival" ~cat:"engine" ~ts_us:t0 ~dur_us:lat_us
+            ~tid:(Stdlib.Domain.self () :> int)
+            ~args:
+              [
+                ("trace", Tracer.Int ev.trace);
+                ("index", Tracer.Int ev.index);
+                ("etype", Tracer.Str ev.etype);
+                ("anchors", Tracer.Int (List.length terminating));
+              ]
+        | None -> ()
+      end
     end;
     maybe_gc ()
   in
@@ -268,6 +468,50 @@ let find_containing t (ev : Event.t) =
   try_leaves leaves
 
 let latencies_us t = Vec.to_array t.latencies
+
+let latency_histogram t = t.latency_hist
+
+let metrics t = t.metrics
+
+let tracer t = t.tracer
+
+(* Pull every internal counter into the registry. Kept out of the
+   per-event hot path: called by whoever is about to render a snapshot
+   (the CLI's --metrics-every loop, tests, or a final dump). *)
+let sync_metrics t =
+  let m = t.meters in
+  Metrics.set_counter m.m_events t.events_processed;
+  Metrics.set_counter m.m_terminating t.terminating_arrivals;
+  Metrics.set_counter m.m_matches t.matches_found;
+  Metrics.set m.m_reports (float_of_int (List.length (Subset.reports t.subset)));
+  Metrics.set_counter m.m_nodes t.stats.Matcher.nodes;
+  Metrics.set_counter m.m_backjumps t.stats.Matcher.backjumps;
+  Metrics.set_counter m.m_searches t.stats.Matcher.searches;
+  Metrics.set_counter m.m_aborts t.aborted;
+  Metrics.set_counter m.m_epochs (History.epochs_total t.history);
+  Metrics.set m.m_hist_entries (float_of_int (History.total_entries t.history));
+  Metrics.set_counter m.m_hist_dropped (History.dropped t.history);
+  Metrics.set_counter m.m_hist_pruned (History.pruned t.history);
+  Metrics.set_counter m.m_hist_cap_evicted (History.cap_evicted t.history);
+  Metrics.set m.m_covered (float_of_int (Subset.covered_count t.subset));
+  Metrics.set m.m_seen (float_of_int (Subset.seen_count t.subset));
+  Metrics.set_counter m.m_spec_discards t.speculative_discards;
+  (match t.pool with
+  | Some p ->
+    let s = Search_pool.stats p in
+    Metrics.set_counter m.m_fan_outs s.Search_pool.fan_outs;
+    Metrics.set_counter m.m_fan_out_tasks s.Search_pool.tasks;
+    Array.iteri
+      (fun i busy -> if i < Array.length m.m_worker_busy then Metrics.set m.m_worker_busy.(i) busy)
+      s.Search_pool.busy_s
+  | None -> ());
+  Metrics.set_counter m.m_poet_ingested (Poet.ingested t.poet);
+  Metrics.set_counter m.m_poet_notified (Poet.notifications t.poet);
+  match t.tracer with
+  | Some tr ->
+    Metrics.set_counter m.m_spans (Tracer.recorded tr);
+    Metrics.set_counter m.m_spans_dropped (Tracer.dropped tr)
+  | None -> ()
 
 let events_processed t = t.events_processed
 

@@ -18,6 +18,14 @@ open Ocep_base
 module Compile = Ocep_pattern.Compile
 module Poet = Ocep_poet.Poet
 
+type latency_sink =
+  | Samples  (** the raw per-arrival vector — exact, but O(arrivals) memory *)
+  | Histogram
+      (** the log-bucketed {!Ocep_stats.Histogram} — O(buckets) memory
+          regardless of run length, quantiles within one bucket width;
+          the only sound choice for ≥1M-event online runs *)
+  | Both  (** record into both sinks (used to validate the histogram path) *)
+
 type config = {
   pruning : bool;  (** the O(1) history-pruning rule (Section V-D) *)
   max_history_per_trace : int option;  (** hard storage cap per (leaf, trace) *)
@@ -25,6 +33,9 @@ type config = {
   node_budget : int option;  (** abort pathological searches, [None] = unlimited *)
   report_cap : int;  (** retained reported matches *)
   record_latency : bool;
+      (** master switch for per-arrival timing; when on, [latency_sink]
+          selects where the samples go *)
+  latency_sink : latency_sink;
   gc_every : int option;
       (** the paper's future-work extension: every N events, drop history
           entries provably unable to join any future match (sound for
@@ -43,11 +54,19 @@ type config = {
           reports and match counts are identical to sequential. An
           engine that ever fanned out must be {!shutdown} before program
           exit, or its worker domains keep the process alive. *)
+  trace_spans : bool;
+      (** record a span per terminating arrival and per anchored/pinned
+          search (including the fan-out workers' searches and drains,
+          tagged with their domain ids) into a bounded ring buffer; dump
+          it with {!tracer} + {!Ocep_obs.Tracer.dump}. Off by default:
+          spans cost two clock reads and a mutex-protected ring write
+          per search. *)
 }
 
 val default_config : config
 (** pruning on, no cap, pin searches on, no budget, 100_000 reports,
-    latency recording on, gc off, parallelism 1. *)
+    latency recording on into the [Samples] sink, gc off, parallelism 1,
+    span tracing off. *)
 
 type t
 
@@ -72,7 +91,27 @@ val find_containing : t -> Event.t -> Event.t array option
     processed), for ground-truth queries — independent of the subset. *)
 
 val latencies_us : t -> float array
-(** Per-terminating-arrival processing times, microseconds. *)
+(** Per-terminating-arrival processing times, microseconds — the raw
+    samples, populated only when [record_latency] is on and
+    [latency_sink] is [Samples] or [Both]; empty under [Histogram]
+    (that is the point: no per-arrival storage). *)
+
+val latency_histogram : t -> Ocep_stats.Histogram.t
+(** The bounded latency histogram (registered as [ocep_latency_us]);
+    empty unless [latency_sink] is [Histogram] or [Both]. *)
+
+val metrics : t -> Ocep_obs.Metrics.t
+(** The engine's metrics registry. Call {!sync_metrics} first to pull
+    the current counter values in; then render with
+    {!Ocep_obs.Snapshot}. *)
+
+val sync_metrics : t -> unit
+(** Copy every internal counter (engine, matcher, history, subset, pool,
+    POET, tracer) into the registry. O(instruments); safe to call as
+    often as snapshots are wanted, including mid-run. *)
+
+val tracer : t -> Ocep_obs.Tracer.t option
+(** The span ring buffer, present when [trace_spans] was set. *)
 
 val events_processed : t -> int
 val terminating_arrivals : t -> int

@@ -13,6 +13,8 @@ type t = {
       (* leaf -> trace -> text -> positions (ascending); lets a bound text
          variable index its candidates instead of scanning the history *)
   mutable dropped : int;
+  mutable pruned : int;  (* entries merged away by the O(1) pruning rule *)
+  mutable cap_evicted : int;  (* entries evicted by the max_per_trace cap *)
 }
 
 let create net ~n_traces ~pruning ?max_per_trace () =
@@ -25,6 +27,8 @@ let create net ~n_traces ~pruning ?max_per_trace () =
     hist = Array.init k (fun _ -> Array.init n_traces (fun _ -> Vec.create ()));
     by_text = Array.init k (fun _ -> Array.init n_traces (fun _ -> Hashtbl.create 8));
     dropped = 0;
+    pruned = 0;
+    cap_evicted = 0;
   }
 
 let note_comm t (ev : Event.t) =
@@ -65,6 +69,7 @@ let enforce_cap t ~leaf ~trace v =
   match t.max_per_trace with
   | Some cap when Vec.length v > cap ->
     let keep = (cap / 2) + 1 in
+    t.cap_evicted <- t.cap_evicted + (Vec.length v - keep);
     drop_prefix t ~leaf ~trace (Vec.length v - keep)
   | _ -> ()
 
@@ -80,6 +85,7 @@ let add t ~leaf (ev : Event.t) =
     | Some prev when prev.epoch = entry.epoch && same_attrs prev.ev ev ->
       (* same text, so the index entry for this position stays valid *)
       Vec.replace_last v entry;
+      t.pruned <- t.pruned + 1;
       true
     | _ -> false
   in
@@ -117,3 +123,9 @@ let entries_for t ~leaf =
   Array.fold_left (fun acc v -> acc + Vec.length v) 0 t.hist.(leaf)
 
 let dropped t = t.dropped
+
+let pruned t = t.pruned
+
+let cap_evicted t = t.cap_evicted
+
+let epochs_total t = Array.fold_left ( + ) 0 t.epochs

@@ -49,6 +49,18 @@ val dropped : t -> int
 (** Entries evicted by the [max_per_trace] cap or by {!gc} (not by the
     O(1) pruning rule). *)
 
+val pruned : t -> int
+(** Entries merged away by the O(1) pruning rule (same epoch, same
+    attributes as the previous entry). *)
+
+val cap_evicted : t -> int
+(** Entries evicted by the [max_per_trace] cap alone, i.e. {!dropped}
+    minus GC drops. *)
+
+val epochs_total : t -> int
+(** Communication-epoch advances summed over all traces — one per
+    send/receive seen by {!note_comm}. *)
+
 val gc : t -> thresholds:int array -> leaves:bool array -> int
 (** The paper's future-work extension: drop entries that can no longer
     generate new matches. [thresholds.(tr)] is the greatest trace index on

@@ -21,11 +21,18 @@ type t = {
   mutable exn : exn option;  (* first exception of the current batch *)
   mutable down : bool;
   mutable domains : unit Stdlib.Domain.t list;
+  tracer : Ocep_obs.Tracer.t option;
+  busy_us : float array;  (* per worker index, under the pool mutex *)
+  mutable fan_outs : int;  (* batches submitted *)
+  mutable tasks_done : int;  (* tasks run across all batches *)
 }
 
 (* Pull task indices until the cursor runs off the end; report the count
-   of tasks this domain ran in one mutex acquisition. *)
-let drain t (b : batch) =
+   of tasks this domain ran in one mutex acquisition. [idx] is the
+   worker's index (0 = the submitting domain) for the busy-time
+   accounting; the drain span carries the actual domain id as its tid. *)
+let drain t ~idx (b : batch) =
+  let t0 = Ocep_base.Clock.now_us () in
   let rec loop ran =
     let i = Atomic.fetch_and_add b.next 1 in
     if i >= b.n then ran
@@ -39,12 +46,21 @@ let drain t (b : batch) =
     end
   in
   let ran = loop 0 in
+  let dt = Ocep_base.Clock.now_us () -. t0 in
   Mutex.lock t.m;
+  if ran > 0 then t.busy_us.(idx) <- t.busy_us.(idx) +. dt;
+  t.tasks_done <- t.tasks_done + ran;
   b.completed <- b.completed + ran;
   if b.completed >= b.n then Condition.broadcast t.finished;
-  Mutex.unlock t.m
+  Mutex.unlock t.m;
+  match t.tracer with
+  | Some tr when ran > 0 ->
+    Ocep_obs.Tracer.record tr ~name:"drain" ~cat:"pool" ~ts_us:t0 ~dur_us:dt
+      ~tid:(Stdlib.Domain.self () :> int)
+      ~args:[ ("worker", Ocep_obs.Tracer.Int idx); ("tasks", Ocep_obs.Tracer.Int ran) ]
+  | _ -> ()
 
-let worker t () =
+let worker t idx () =
   let rec loop last_gen =
     Mutex.lock t.m;
     while (not t.down) && t.generation = last_gen do
@@ -55,13 +71,13 @@ let worker t () =
       let gen = t.generation in
       let b = t.current in
       Mutex.unlock t.m;
-      (match b with Some b -> drain t b | None -> ());
+      (match b with Some b -> drain t ~idx b | None -> ());
       loop gen
     end
   in
   loop 0
 
-let create ~workers =
+let create ?tracer ~workers () =
   let workers = max 1 workers in
   let t =
     {
@@ -74,12 +90,30 @@ let create ~workers =
       exn = None;
       down = false;
       domains = [];
+      tracer;
+      busy_us = Array.make workers 0.;
+      fan_outs = 0;
+      tasks_done = 0;
     }
   in
-  t.domains <- List.init (workers - 1) (fun _ -> Stdlib.Domain.spawn (worker t));
+  t.domains <- List.init (workers - 1) (fun i -> Stdlib.Domain.spawn (worker t (i + 1)));
   t
 
 let workers t = t.workers
+
+type stats = { fan_outs : int; tasks : int; busy_s : float array }
+
+let stats t =
+  Mutex.lock t.m;
+  let s =
+    {
+      fan_outs = t.fan_outs;
+      tasks = t.tasks_done;
+      busy_s = Array.map (fun us -> us *. 1e-6) t.busy_us;
+    }
+  in
+  Mutex.unlock t.m;
+  s
 
 let run t ~n f =
   if n = 0 then [||]
@@ -94,10 +128,11 @@ let run t ~n f =
     t.exn <- None;
     t.current <- Some b;
     t.generation <- t.generation + 1;
+    t.fan_outs <- t.fan_outs + 1;
     Condition.broadcast t.work;
     Mutex.unlock t.m;
     (* the submitting domain works the batch instead of blocking *)
-    drain t b;
+    drain t ~idx:0 b;
     Mutex.lock t.m;
     while b.completed < b.n do
       Condition.wait t.finished t.m

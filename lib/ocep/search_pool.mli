@@ -29,12 +29,26 @@
 
 type t
 
-val create : workers:int -> t
+val create : ?tracer:Ocep_obs.Tracer.t -> workers:int -> unit -> t
 (** A pool of [max 1 workers] total workers: the caller plus
-    [workers - 1] spawned domains. *)
+    [workers - 1] spawned domains. With [tracer], every worker records a
+    ["drain"] span per batch it pulled tasks from, tagged with its
+    domain id as the span's tid — the worker-domain rows of the Chrome
+    trace. *)
 
 val workers : t -> int
 (** Total parallel workers (including the calling domain), at least 1. *)
+
+type stats = {
+  fan_outs : int;  (** batches submitted via {!run} *)
+  tasks : int;  (** tasks executed across all batches *)
+  busy_s : float array;
+      (** wall-clock seconds each worker index spent draining batches
+          (index 0 is the submitting domain); idle waits are excluded *)
+}
+
+val stats : t -> stats
+(** A consistent snapshot of the pool's activity counters. *)
 
 val run : t -> n:int -> (int -> 'a) -> 'a array
 (** [run pool ~n f] evaluates [f 0 .. f (n-1)], each exactly once, in

@@ -16,6 +16,7 @@ type t = {
       (* subscription-order cache of subscribers_rev for the ingest hot
          path; rebuilt on (rare) subscribe instead of appending with @ *)
   mutable ingested : int;
+  mutable notified : int;  (* subscriber callbacks invoked *)
 }
 
 let create ?(retain = false) ?(partner_index = true) ~trace_names () =
@@ -34,6 +35,7 @@ let create ?(retain = false) ?(partner_index = true) ~trace_names () =
     subscribers_rev = [];
     subscribers = [||];
     ingested = 0;
+    notified = 0;
   }
 
 let trace_count t = Array.length t.names
@@ -50,6 +52,8 @@ let subscribe t f =
   t.subscribers <- Array.of_list (List.rev t.subscribers_rev)
 
 let ingested t = t.ingested
+
+let notifications t = t.notified
 
 let ingest t (raw : Event.raw) =
   let tr = raw.r_trace in
@@ -93,6 +97,7 @@ let ingest t (raw : Event.raw) =
     Vec.push t.log ev
   end;
   t.ingested <- t.ingested + 1;
+  t.notified <- t.notified + Array.length t.subscribers;
   Array.iter (fun f -> f ev) t.subscribers;
   ev
 

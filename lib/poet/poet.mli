@@ -39,6 +39,11 @@ val ingest : t -> Event.raw -> Event.t
 val ingested : t -> int
 (** Number of events ingested so far. *)
 
+val notifications : t -> int
+(** Subscriber callbacks invoked so far (ingested events × subscribers
+    at the time of each ingestion) — the substrate's fan-out volume,
+    exported by the engine's telemetry. *)
+
 val events_on : t -> int -> Event.t array
 (** Retained events of a trace, in trace order. Raises [Failure] if the
     store was created with [retain:false]. *)

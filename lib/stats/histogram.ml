@@ -1,0 +1,95 @@
+let buckets = 128
+let lo = 0.1 (* µs *)
+let hi = 1e7 (* µs = 10 s *)
+let range = (lo, hi)
+let decades = log10 (hi /. lo) (* 8 *)
+let step = decades /. float_of_int buckets
+let bucket_ratio = 10. ** step
+
+type t = {
+  counts : int array;  (* buckets + 2: counts.(0) underflow, counts.(buckets+1) overflow *)
+  mutable count : int;
+  mutable sum : float;
+  mutable min : float;
+  mutable max : float;
+}
+
+let create () =
+  { counts = Array.make (buckets + 2) 0; count = 0; sum = 0.; min = infinity; max = neg_infinity }
+
+let index v =
+  if v < lo then 0
+  else if v >= hi then buckets + 1
+  else begin
+    (* guard the float edges: log10 rounding must not escape [1, buckets] *)
+    let i = 1 + int_of_float (log10 (v /. lo) /. step) in
+    if i < 1 then 1 else if i > buckets then buckets else i
+  end
+
+let record t v =
+  if Float.is_nan v then invalid_arg "Histogram.record: NaN sample";
+  t.counts.(index v) <- t.counts.(index v) + 1;
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. v;
+  if v < t.min then t.min <- v;
+  if v > t.max then t.max <- v
+
+let count t = t.count
+let sum t = t.sum
+
+let nonempty t fn = if t.count = 0 then invalid_arg ("Histogram." ^ fn ^ ": empty")
+
+let min_value t =
+  nonempty t "min_value";
+  t.min
+
+let max_value t =
+  nonempty t "max_value";
+  t.max
+
+let mean t =
+  nonempty t "mean";
+  t.sum /. float_of_int t.count
+
+let merge a b =
+  {
+    counts = Array.init (buckets + 2) (fun i -> a.counts.(i) + b.counts.(i));
+    count = a.count + b.count;
+    sum = a.sum +. b.sum;
+    min = Float.min a.min b.min;
+    max = Float.max a.max b.max;
+  }
+
+(* Upper edge and representative value of bucket [b] (0 = underflow,
+   buckets + 1 = overflow). The under/overflow representatives are the
+   exact extremes, which necessarily live there when those buckets are
+   non-empty. *)
+let upper_edge b = if b > buckets then infinity else lo *. (10. ** (float_of_int b *. step))
+
+let rep t b =
+  if b = 0 then t.min
+  else if b > buckets then t.max
+  else lo *. (10. ** ((float_of_int b -. 0.5) *. step))
+
+let quantile t q =
+  nonempty t "quantile";
+  if Float.is_nan q || q < 0. || q > 1. then invalid_arg "Histogram.quantile: q outside [0,1]";
+  (* 0-indexed target rank, as in Summary.quantile over a sorted array *)
+  let rank = q *. float_of_int (t.count - 1) in
+  let b = ref 0 in
+  let cum = ref t.counts.(0) in
+  while float_of_int !cum <= rank do
+    incr b;
+    cum := !cum + t.counts.(!b)
+  done;
+  Float.max t.min (Float.min t.max (rep t !b))
+
+type tail = { p50 : float; p95 : float; p99 : float; p999 : float }
+
+let tail t =
+  { p50 = quantile t 0.5; p95 = quantile t 0.95; p99 = quantile t 0.99; p999 = quantile t 0.999 }
+
+let iter_nonempty t f =
+  Array.iteri
+    (fun b c -> if c > 0 then f ~upper:(upper_edge b) ~rep:(rep t b) ~count:c)
+    t.counts

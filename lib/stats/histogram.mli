@@ -1,0 +1,69 @@
+(** Bounded-memory latency histogram: a fixed geometric (log-bucketed)
+    grid of {!buckets} buckets spanning {!range} (0.1 µs – 10 s, the span
+    of every latency the Figs. 6–10 evaluation can plausibly observe),
+    plus one underflow and one overflow bucket. Recording is O(1) (one
+    [log10] and an array increment), storage is O(buckets) regardless of
+    how many samples are recorded, and two histograms over the same grid
+    merge by bucket-wise addition — the KLL-style trade the paper's
+    ≥1M-event online setting needs instead of an unbounded sample vector.
+
+    Quantiles are estimated by walking the cumulative counts and
+    answering with the geometric midpoint of the target bucket, so the
+    relative error of any quantile is at most one bucket width
+    ({!bucket_ratio} − 1 ≈ 15.5%, i.e. ±7.5% around the midpoint).
+    Exact [min]/[max]/[sum] are tracked alongside the grid.
+
+    Not thread-safe: record and read from one domain (the engine records
+    latencies only on the ingesting domain). *)
+
+type t
+
+val buckets : int
+(** Interior buckets of the grid (128). *)
+
+val range : float * float
+(** [(lo, hi)]: values in µs below [lo] land in the underflow bucket,
+    values ≥ [hi] in the overflow bucket. (0.1, 1e7). *)
+
+val bucket_ratio : float
+(** Upper/lower edge ratio of one bucket ([10^(8/128)] ≈ 1.1548): the
+    multiplicative resolution of every estimated quantile. *)
+
+val create : unit -> t
+
+val record : t -> float -> unit
+(** Add one sample (µs). Raises [Invalid_argument] on NaN; negative
+    values count into the underflow bucket. *)
+
+val count : t -> int
+val sum : t -> float
+val min_value : t -> float
+(** Exact smallest recorded sample; raises [Invalid_argument] if empty. *)
+
+val max_value : t -> float
+(** Exact largest recorded sample; raises [Invalid_argument] if empty. *)
+
+val mean : t -> float
+(** Exact mean ([sum/count]); raises [Invalid_argument] if empty. *)
+
+val merge : t -> t -> t
+(** Bucket-wise sum, fresh result; the arguments are unchanged. *)
+
+val quantile : t -> float -> float
+(** [quantile t q] with [q] ∈ \[0,1\]: the geometric midpoint of the
+    bucket holding the q-th order statistic, clamped to
+    \[[min_value], [max_value]\]. Raises [Invalid_argument] if the
+    histogram is empty or [q] is outside \[0,1\]. *)
+
+type tail = { p50 : float; p95 : float; p99 : float; p999 : float }
+
+val tail : t -> tail
+(** The tail percentiles the paper's boxplots cannot show; raises
+    [Invalid_argument] if empty. *)
+
+val iter_nonempty : t -> (upper:float -> rep:float -> count:int -> unit) -> unit
+(** Visit the non-empty buckets in ascending value order. [upper] is the
+    bucket's upper edge ([infinity] for the overflow bucket), [rep] its
+    representative value (geometric midpoint; the exact [min]/[max] for
+    the underflow/overflow buckets). Used by the Prometheus exposition,
+    which renders cumulative [le] lines from exactly these edges. *)

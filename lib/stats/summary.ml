@@ -15,6 +15,7 @@ type t = {
 let quantile sorted q =
   let n = Array.length sorted in
   if n = 0 then invalid_arg "Summary.quantile: empty";
+  if Float.is_nan q || q < 0. || q > 1. then invalid_arg "Summary.quantile: q outside [0,1]";
   if n = 1 then sorted.(0)
   else begin
     let pos = q *. float_of_int (n - 1) in
@@ -27,8 +28,11 @@ let quantile sorted q =
 let of_samples samples =
   let n = Array.length samples in
   if n = 0 then invalid_arg "Summary.of_samples: empty";
+  Array.iter
+    (fun x -> if Float.is_nan x then invalid_arg "Summary.of_samples: NaN sample")
+    samples;
   let sorted = Array.copy samples in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let q1 = quantile sorted 0.25 in
   let median = quantile sorted 0.5 in
   let q3 = quantile sorted 0.75 in
@@ -57,6 +61,46 @@ let of_samples samples =
     mean;
     bottom_whisker = !bottom_whisker;
     top_whisker = !top_whisker;
+    outliers_above = !outliers_above;
+    outliers_below = !outliers_below;
+  }
+
+(* The bounded-memory counterpart of [of_samples]: every field is read
+   off the histogram's bucket grid, so quartiles and whiskers carry its
+   one-bucket-width relative error while n/min/max/mean stay exact.
+   Whiskers and outlier counts are resolved at bucket granularity: a
+   bucket is entirely in or out of the 1.5·IQR fences according to its
+   representative value. *)
+let of_histogram h =
+  if Histogram.count h = 0 then invalid_arg "Summary.of_histogram: empty";
+  let n = Histogram.count h in
+  let min = Histogram.min_value h in
+  let max = Histogram.max_value h in
+  let q1 = Histogram.quantile h 0.25 in
+  let median = Histogram.quantile h 0.5 in
+  let q3 = Histogram.quantile h 0.75 in
+  let iqr = q3 -. q1 in
+  let lo_fence = q1 -. (1.5 *. iqr) in
+  let hi_fence = q3 +. (1.5 *. iqr) in
+  let bottom_whisker = ref max in
+  let top_whisker = ref min in
+  let outliers_above = ref 0 in
+  let outliers_below = ref 0 in
+  Histogram.iter_nonempty h (fun ~upper:_ ~rep ~count ->
+      if rep < lo_fence then outliers_below := !outliers_below + count
+      else if rep < !bottom_whisker then bottom_whisker := rep;
+      if rep > hi_fence then outliers_above := !outliers_above + count
+      else if rep > !top_whisker then top_whisker := rep);
+  {
+    n;
+    min;
+    q1;
+    median;
+    q3;
+    max;
+    mean = Histogram.mean h;
+    bottom_whisker = Float.max min !bottom_whisker;
+    top_whisker = Float.min max !top_whisker;
     outliers_above = !outliers_above;
     outliers_below = !outliers_below;
   }

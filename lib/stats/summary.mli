@@ -16,11 +16,23 @@ type t = {
 }
 
 val of_samples : float array -> t
-(** Raises [Invalid_argument] on an empty array. Quartiles use linear
-    interpolation between order statistics. *)
+(** Raises [Invalid_argument] on an empty array or on a NaN sample (a
+    NaN would silently corrupt every quartile). Quartiles use linear
+    interpolation between order statistics; sorting uses [Float.compare]
+    (total and faster than the polymorphic compare). *)
+
+val of_histogram : Histogram.t -> t
+(** The O(buckets)-memory path for ≥1M-event runs: quartiles and
+    whiskers are read off the histogram grid and agree with
+    {!of_samples} on the underlying samples within one bucket width
+    ({!Histogram.bucket_ratio}); [n], [min], [max] and [mean] are exact.
+    Outlier counts are resolved at bucket granularity. Raises
+    [Invalid_argument] on an empty histogram. *)
 
 val quantile : float array -> float -> float
-(** [quantile sorted q] with [q] in \[0,1\]; the array must be sorted. *)
+(** [quantile sorted q] with [q] in \[0,1\]; the array must be sorted.
+    Raises [Invalid_argument] if the array is empty or [q] is outside
+    \[0,1\]. *)
 
 val pp : Format.formatter -> t -> unit
 

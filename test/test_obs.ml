@@ -1,0 +1,449 @@
+(* The observability layer: bounded histogram, metrics registry, span
+   ring, and the two expositions. *)
+
+module Histogram = Ocep_stats.Histogram
+module Summary = Ocep_stats.Summary
+module Metrics = Ocep_obs.Metrics
+module Tracer = Ocep_obs.Tracer
+module Snapshot = Ocep_obs.Snapshot
+
+let check = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checkf = Alcotest.(check (float 1e-9))
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec loop i = i + nn <= nh && (String.sub haystack i nn = needle || loop (i + 1)) in
+  loop 0
+
+(* ------------------------------------------------------------------ *)
+(* Histogram                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let hist_exact_moments () =
+  let h = Histogram.create () in
+  List.iter (Histogram.record h) [ 1.; 10.; 100.; 1000. ];
+  checki "count" 4 (Histogram.count h);
+  checkf "sum" 1111. (Histogram.sum h);
+  checkf "min" 1. (Histogram.min_value h);
+  checkf "max" 1000. (Histogram.max_value h);
+  checkf "mean" 277.75 (Histogram.mean h)
+
+let hist_empty_raises () =
+  let h = Histogram.create () in
+  checki "count" 0 (Histogram.count h);
+  check "quantile raises" true
+    (try
+       ignore (Histogram.quantile h 0.5);
+       false
+     with Invalid_argument _ -> true);
+  check "min raises" true
+    (try
+       ignore (Histogram.min_value h);
+       false
+     with Invalid_argument _ -> true)
+
+let hist_nan_raises () =
+  let h = Histogram.create () in
+  check "nan raises" true
+    (try
+       Histogram.record h Float.nan;
+       false
+     with Invalid_argument _ -> true)
+
+let hist_out_of_range () =
+  let lo, hi = Histogram.range in
+  let h = Histogram.create () in
+  Histogram.record h (-5.);
+  (* negative -> underflow *)
+  Histogram.record h (lo /. 10.);
+  Histogram.record h (hi *. 10.);
+  checki "count" 3 (Histogram.count h);
+  (* the quantile answer is clamped to the exact extremes *)
+  checkf "q0 is min" (-5.) (Histogram.quantile h 0.);
+  checkf "q1 is max" (hi *. 10.) (Histogram.quantile h 1.)
+
+let hist_merge () =
+  let a = Histogram.create () and b = Histogram.create () in
+  List.iter (Histogram.record a) [ 1.; 2.; 3. ];
+  List.iter (Histogram.record b) [ 100.; 200. ];
+  let m = Histogram.merge a b in
+  checki "merged count" 5 (Histogram.count m);
+  checkf "merged sum" 306. (Histogram.sum m);
+  checkf "merged min" 1. (Histogram.min_value m);
+  checkf "merged max" 200. (Histogram.max_value m);
+  (* arguments unchanged *)
+  checki "a count" 3 (Histogram.count a);
+  checki "b count" 2 (Histogram.count b);
+  (* merging is the same as recording everything into one histogram *)
+  let all = Histogram.create () in
+  List.iter (Histogram.record all) [ 1.; 2.; 3.; 100.; 200. ];
+  List.iter
+    (fun q -> checkf "same quantile" (Histogram.quantile all q) (Histogram.quantile m q))
+    [ 0.; 0.25; 0.5; 0.75; 0.95; 1. ]
+
+(* the documented error bound: any quantile is within one bucket width
+   (a factor of bucket_ratio) of the order statistic it stands for *)
+let hist_quantile_error_prop =
+  let lo, hi = Histogram.range in
+  QCheck.Test.make ~name:"histogram quantile within one bucket of the order statistic"
+    ~count:300
+    QCheck.(
+      list_of_size (Gen.int_range 1 200) (float_range (lo *. 2.) (hi /. 2.)))
+    (fun l ->
+      let sorted = Array.of_list (List.sort Float.compare l) in
+      let n = Array.length sorted in
+      let h = Histogram.create () in
+      Array.iter (Histogram.record h) sorted;
+      List.for_all
+        (fun q ->
+          let est = Histogram.quantile h q in
+          let x = sorted.(int_of_float (q *. float_of_int (n - 1))) in
+          est >= x /. Histogram.bucket_ratio && est <= x *. Histogram.bucket_ratio)
+        [ 0.; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 1. ])
+
+(* Summary.of_histogram vs Summary.of_samples on the same data: exact
+   fields equal; each quartile within one bucket width of the interval
+   spanned by the two order statistics of_samples interpolates between *)
+let of_histogram_matches_of_samples_prop =
+  let lo, hi = Histogram.range in
+  QCheck.Test.make ~name:"of_histogram quartiles match of_samples within bucket resolution"
+    ~count:300
+    QCheck.(
+      list_of_size (Gen.int_range 1 200) (float_range (lo *. 2.) (hi /. 2.)))
+    (fun l ->
+      let sorted = Array.of_list (List.sort Float.compare l) in
+      let n = Array.length sorted in
+      let h = Histogram.create () in
+      Array.iter (Histogram.record h) sorted;
+      let sh = Summary.of_histogram h and ss = Summary.of_samples sorted in
+      let close q v =
+        let r = q *. float_of_int (n - 1) in
+        let x_lo = sorted.(int_of_float (Float.floor r))
+        and x_hi = sorted.(int_of_float (Float.ceil r)) in
+        v >= x_lo /. Histogram.bucket_ratio && v <= x_hi *. Histogram.bucket_ratio
+      in
+      sh.Summary.n = ss.Summary.n
+      && sh.Summary.min = ss.Summary.min
+      && sh.Summary.max = ss.Summary.max
+      && Float.abs (sh.Summary.mean -. ss.Summary.mean) <= 1e-9 *. Float.abs ss.Summary.mean
+      && close 0.25 sh.Summary.q1
+      && close 0.5 sh.Summary.median
+      && close 0.75 sh.Summary.q3)
+
+(* ------------------------------------------------------------------ *)
+(* Summary edge cases                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let summary_quantile_edges () =
+  checkf "n=1 q=0" 7. (Summary.quantile [| 7. |] 0.);
+  checkf "n=1 q=0.5" 7. (Summary.quantile [| 7. |] 0.5);
+  checkf "n=1 q=1" 7. (Summary.quantile [| 7. |] 1.);
+  let sorted = [| 1.; 2.; 3.; 4. |] in
+  checkf "q=0 is min" 1. (Summary.quantile sorted 0.);
+  checkf "q=1 is max" 4. (Summary.quantile sorted 1.);
+  check "q<0 raises" true
+    (try
+       ignore (Summary.quantile sorted (-0.1));
+       false
+     with Invalid_argument _ -> true);
+  check "q>1 raises" true
+    (try
+       ignore (Summary.quantile sorted 1.1);
+       false
+     with Invalid_argument _ -> true)
+
+let summary_nan_raises () =
+  check "nan rejected" true
+    (try
+       ignore (Summary.of_samples [| 1.; Float.nan; 3. |]);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let metrics_basics () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m ~help:"test counter" "ocep_test_total" in
+  let g = Metrics.gauge m "ocep_test_gauge" in
+  Metrics.incr c ();
+  Metrics.incr c ~by:2 ();
+  Metrics.set g 1.5;
+  checki "counter" 3 (Metrics.counter_value c);
+  checkf "gauge" 1.5 (Metrics.gauge_value g);
+  (* re-registering the same name returns the same instrument *)
+  let c' = Metrics.counter m "ocep_test_total" in
+  Metrics.incr c' ();
+  checki "same instrument" 4 (Metrics.counter_value c);
+  Metrics.set_counter c 10;
+  checki "set_counter" 10 (Metrics.counter_value c);
+  check "negative incr raises" true
+    (try
+       Metrics.incr c ~by:(-1) ();
+       false
+     with Invalid_argument _ -> true);
+  check "kind mismatch raises" true
+    (try
+       ignore (Metrics.gauge m "ocep_test_total");
+       false
+     with Invalid_argument _ -> true)
+
+let metrics_registration_order () =
+  let m = Metrics.create () in
+  ignore (Metrics.counter m "ocep_a_total");
+  ignore (Metrics.gauge m "ocep_b");
+  ignore (Metrics.histogram m "ocep_c_us");
+  let names = List.map (fun (it : Metrics.item) -> it.Metrics.name) (Metrics.items m) in
+  Alcotest.(check (list string)) "order" [ "ocep_a_total"; "ocep_b"; "ocep_c_us" ] names
+
+(* ------------------------------------------------------------------ *)
+(* Tracer ring                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let span i =
+  ( Printf.sprintf "s%d" i,
+    "t",
+    float_of_int i,
+    1.,
+    0,
+    [ ("i", Tracer.Int i); ("f", Tracer.Float 0.5); ("s", Tracer.Str "x\"y") ] )
+
+let record_span t (name, cat, ts_us, dur_us, tid, args) =
+  Tracer.record t ~name ~cat ~ts_us ~dur_us ~tid ~args
+
+let tracer_wraparound () =
+  let t = Tracer.create ~capacity:4 in
+  checki "capacity" 4 (Tracer.capacity t);
+  for i = 0 to 9 do
+    record_span t (span i)
+  done;
+  checki "length" 4 (Tracer.length t);
+  checki "recorded" 10 (Tracer.recorded t);
+  checki "dropped" 6 (Tracer.dropped t);
+  (* the ring keeps the most recent spans, oldest first *)
+  Alcotest.(check (list string))
+    "retained"
+    [ "s6"; "s7"; "s8"; "s9" ]
+    (List.map (fun (s : Tracer.span) -> s.Tracer.name) (Tracer.spans t))
+
+let tracer_not_wrapped () =
+  let t = Tracer.create ~capacity:8 in
+  for i = 0 to 2 do
+    record_span t (span i)
+  done;
+  checki "length" 3 (Tracer.length t);
+  checki "dropped" 0 (Tracer.dropped t);
+  Alcotest.(check (list string))
+    "order" [ "s0"; "s1"; "s2" ]
+    (List.map (fun (s : Tracer.span) -> s.Tracer.name) (Tracer.spans t));
+  check "capacity must be positive" true
+    (try
+       ignore (Tracer.create ~capacity:0);
+       false
+     with Invalid_argument _ -> true)
+
+let tracer_dump_shape () =
+  let t = Tracer.create ~capacity:4 in
+  for i = 0 to 5 do
+    record_span t (span i)
+  done;
+  let path = Filename.temp_file "ocep_trace" ".json" in
+  let oc = open_out path in
+  Tracer.dump oc t;
+  close_out oc;
+  let ic = open_in path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  check "traceEvents" true (contains s "\"traceEvents\": [");
+  check "complete events" true (contains s "\"ph\": \"X\"");
+  check "keeps newest" true (contains s "\"name\": \"s5\"");
+  check "drops oldest" true (not (contains s "\"name\": \"s1\""));
+  check "escapes arg strings" true (contains s "\"s\": \"x\\\"y\"");
+  check "bookkeeping" true (contains s "\"spans_recorded\": 6, \"spans_dropped\": 2")
+
+(* ------------------------------------------------------------------ *)
+(* Expositions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let golden_registry () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m ~help:"Events processed" "ocep_events_total" in
+  Metrics.incr c ~by:42 ();
+  let g0 = Metrics.gauge m ~help:"Busy seconds" "ocep_busy_seconds{worker=\"0\"}" in
+  let g1 = Metrics.gauge m ~help:"Busy seconds" "ocep_busy_seconds{worker=\"1\"}" in
+  Metrics.set g0 0.25;
+  Metrics.set g1 1.5;
+  let h = Metrics.histogram m ~help:"Latency" "ocep_latency_us" in
+  List.iter (Histogram.record h) [ 1.; 1.05; 10.; 100. ];
+  ignore (Metrics.histogram m "ocep_empty_us");
+  m
+
+let prometheus_golden () =
+  let s = Snapshot.prometheus (golden_registry ()) in
+  let lines = String.split_on_char '\n' s in
+  let count p = List.length (List.filter p lines) in
+  check "counter line" true (contains s "ocep_events_total 42\n");
+  check "help line" true (contains s "# HELP ocep_events_total Events processed\n");
+  check "counter type" true (contains s "# TYPE ocep_events_total counter\n");
+  (* one TYPE line for the two labeled gauges of the same family *)
+  checki "family TYPE once" 1
+    (count (fun l -> l = "# TYPE ocep_busy_seconds gauge"));
+  check "labeled gauge" true (contains s "ocep_busy_seconds{worker=\"0\"} 0.25\n");
+  check "labeled gauge 2" true (contains s "ocep_busy_seconds{worker=\"1\"} 1.5\n");
+  check "histogram type" true (contains s "# TYPE ocep_latency_us histogram\n");
+  check "+Inf bucket" true (contains s "ocep_latency_us_bucket{le=\"+Inf\"} 4\n");
+  check "sum" true (contains s "ocep_latency_us_sum 112.05\n");
+  check "count" true (contains s "ocep_latency_us_count 4\n");
+  (* cumulative bucket counts are monotone and end at the total *)
+  let bucket_counts =
+    List.filter_map
+      (fun l ->
+        if String.length l > 24 && String.sub l 0 24 = "ocep_latency_us_bucket{l" then
+          int_of_string_opt (String.sub l (String.rindex l ' ' + 1)
+                               (String.length l - String.rindex l ' ' - 1))
+        else None)
+      lines
+  in
+  check "monotone" true (List.sort compare bucket_counts = bucket_counts);
+  checki "ends at count" 4 (List.nth bucket_counts (List.length bucket_counts - 1));
+  check "empty histogram still exposed" true (contains s "ocep_empty_us_count 0\n")
+
+(* a tiny JSON validator: enough to prove the exposition is parseable *)
+let rec skip_ws s i = if i < String.length s && s.[i] = ' ' then skip_ws s (i + 1) else i
+
+let rec parse_value s i =
+  let i = skip_ws s i in
+  match s.[i] with
+  | '{' -> parse_object s (i + 1)
+  | '"' -> parse_string s (i + 1)
+  | _ ->
+    let j = ref i in
+    while
+      !j < String.length s
+      && (match s.[!j] with
+         | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+         | _ -> false)
+    do
+      incr j
+    done;
+    if !j = i then failwith (Printf.sprintf "bad value at %d" i);
+    ignore (float_of_string (String.sub s i (!j - i)));
+    !j
+
+and parse_string s i =
+  if s.[i] = '"' then i + 1
+  else if s.[i] = '\\' then parse_string s (i + 2)
+  else parse_string s (i + 1)
+
+and parse_object s i =
+  let i = skip_ws s i in
+  if s.[i] = '}' then i + 1
+  else
+    let rec members i =
+      let i = skip_ws s i in
+      if s.[i] <> '"' then failwith (Printf.sprintf "expected key at %d" i);
+      let i = parse_string s (i + 1) in
+      let i = skip_ws s i in
+      if s.[i] <> ':' then failwith (Printf.sprintf "expected : at %d" i);
+      let i = parse_value s (i + 1) in
+      let i = skip_ws s i in
+      if s.[i] = ',' then members (i + 1)
+      else if s.[i] = '}' then i + 1
+      else failwith (Printf.sprintf "expected , or } at %d" i)
+    in
+    members i
+
+let json_parses s =
+  match parse_value s 0 with
+  | i -> skip_ws s i = String.length s
+  | exception _ -> false
+
+let json_golden () =
+  let s = Snapshot.json (golden_registry ()) in
+  check "one line" true (not (String.contains s '\n'));
+  check "parses" true (json_parses s);
+  check "counter" true (contains s "\"ocep_events_total\": 42");
+  (* the labeled name's inner quotes are escaped in the key *)
+  check "escaped label key" true (contains s "\"ocep_busy_seconds{worker=\\\"0\\\"}\": 0.25");
+  check "histogram fields" true
+    (contains s "\"ocep_latency_us\": {\"count\": 4, \"sum\": 112.05");
+  check "tail fields" true (contains s "\"p999\":");
+  check "empty histogram" true (contains s "\"ocep_empty_us\": {\"count\": 0}")
+
+(* ------------------------------------------------------------------ *)
+(* Engine integration                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let telemetry_engine () =
+  let w = Ocep_harness.Cases.make "races" ~traces:4 ~seed:7 ~max_events:2_000 in
+  let module Workload = Ocep_workloads.Workload in
+  let module Engine = Ocep.Engine in
+  let module Sim = Ocep_sim.Sim in
+  let module Poet = Ocep_poet.Poet in
+  let names = Sim.trace_names w.Workload.sim_config in
+  let poet = Poet.create ~trace_names:names () in
+  let net = Ocep_pattern.Compile.compile (Ocep_pattern.Parser.parse w.Workload.pattern) in
+  let config =
+    { Engine.default_config with Engine.latency_sink = Engine.Histogram; trace_spans = true }
+  in
+  let engine = Engine.create ~config ~net ~poet () in
+  Fun.protect ~finally:(fun () -> Engine.shutdown engine) @@ fun () ->
+  let _ =
+    Sim.run w.Workload.sim_config
+      ~sink:(fun raw -> ignore (Poet.ingest poet raw))
+      ~bodies:w.Workload.bodies
+  in
+  (* under the Histogram sink the raw vector stays empty - that is the point *)
+  checki "no raw samples" 0 (Array.length (Engine.latencies_us engine));
+  checki "histogram holds every arrival" (Engine.terminating_arrivals engine)
+    (Histogram.count (Engine.latency_histogram engine));
+  let tracer = match Engine.tracer engine with Some t -> t | None -> Alcotest.fail "tracer" in
+  check "spans recorded" true (Tracer.recorded tracer > 0);
+  Engine.sync_metrics engine;
+  let s = Snapshot.json (Engine.metrics engine) in
+  check "snapshot parses" true (json_parses s);
+  check "events counter synced" true
+    (contains s (Printf.sprintf "\"ocep_events_total\": %d" (Engine.events_processed engine)));
+  check "spans counter synced" true
+    (contains s
+       (Printf.sprintf "\"ocep_trace_spans_total\": %d" (Tracer.recorded tracer)))
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "histogram",
+        [
+          Alcotest.test_case "exact moments" `Quick hist_exact_moments;
+          Alcotest.test_case "empty raises" `Quick hist_empty_raises;
+          Alcotest.test_case "nan raises" `Quick hist_nan_raises;
+          Alcotest.test_case "out of range" `Quick hist_out_of_range;
+          Alcotest.test_case "merge" `Quick hist_merge;
+          QCheck_alcotest.to_alcotest hist_quantile_error_prop;
+          QCheck_alcotest.to_alcotest of_histogram_matches_of_samples_prop;
+        ] );
+      ( "summary",
+        [
+          Alcotest.test_case "quantile edges" `Quick summary_quantile_edges;
+          Alcotest.test_case "nan rejected" `Quick summary_nan_raises;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters and gauges" `Quick metrics_basics;
+          Alcotest.test_case "registration order" `Quick metrics_registration_order;
+        ] );
+      ( "tracer",
+        [
+          Alcotest.test_case "ring wraparound" `Quick tracer_wraparound;
+          Alcotest.test_case "before wrapping" `Quick tracer_not_wrapped;
+          Alcotest.test_case "dump shape" `Quick tracer_dump_shape;
+        ] );
+      ( "exposition",
+        [
+          Alcotest.test_case "prometheus golden" `Quick prometheus_golden;
+          Alcotest.test_case "json golden" `Quick json_golden;
+        ] );
+      ("engine", [ Alcotest.test_case "telemetry end to end" `Quick telemetry_engine ]);
+    ]

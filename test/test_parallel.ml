@@ -22,7 +22,7 @@ let net_of src = Compile.compile (Parser.parse src)
 (* ------------------------------------------------------------------ *)
 
 let with_pool ~workers f =
-  let pool = Search_pool.create ~workers in
+  let pool = Search_pool.create ~workers () in
   Fun.protect ~finally:(fun () -> Search_pool.shutdown pool) (fun () -> f pool)
 
 let pool_results_in_order () =
@@ -70,7 +70,7 @@ let pool_propagates_exception () =
       check_int "pool survives a failed batch" 3 r.(3))
 
 let pool_shutdown_idempotent () =
-  let pool = Search_pool.create ~workers:3 in
+  let pool = Search_pool.create ~workers:3 () in
   Search_pool.shutdown pool;
   Search_pool.shutdown pool;
   match Search_pool.run pool ~n:1 (fun i -> i) with
