@@ -1,0 +1,202 @@
+(* Hot-path throughput and allocation rate on the four case studies.
+
+   Each case's raw event stream is generated once and replayed through a
+   fresh POET + sequential engine (latency recording off: this program
+   measures amortized ingest throughput, not per-arrival latency).
+   Reported per case: events/s, bytes allocated per event
+   (Gc.allocated_bytes across the replay), us/event and matches found.
+
+   The before/after comparison works without any JSON parsing: build the
+   pre-PR commit in a scratch worktree with this file dropped in, run
+
+     bench_hotpath --raw-out baseline.tsv
+
+   there, then on the current tree run
+
+     bench_hotpath --baseline baseline.tsv
+
+   which replays the same streams and writes BENCH_hotpath.json with the
+   baseline columns and speedup ratios filled in. Without --baseline the
+   JSON carries the current numbers only. Scale with OCEP_EVENTS
+   (default 50_000). *)
+
+module Sim = Ocep_sim.Sim
+module Poet = Ocep_poet.Poet
+module Parser = Ocep_pattern.Parser
+module Compile = Ocep_pattern.Compile
+module Engine = Ocep.Engine
+module Workload = Ocep_workloads.Workload
+module Cases = Ocep_harness.Cases
+module Clock = Ocep_base.Clock
+
+(* same trace counts as bench_parallel, so the two benchmarks describe
+   the same workloads *)
+let bench_traces = function "races" -> 8 | "ordering" -> 50 | _ -> 20
+
+type row = {
+  case : string;
+  traces : int;
+  events : int;
+  wall_s : float;
+  events_per_s : float;
+  us_per_event : float;
+  alloc_per_event : float;  (* bytes *)
+  matches : int;
+}
+
+let replay ~names ~net raws =
+  let poet = Poet.create ~trace_names:names () in
+  (* OCEP_PINS=0 disables pinned searches — an ablation knob for isolating
+     ingest/dispatch/anchored-search cost from the pinned batches *)
+  let pin_searches = Sys.getenv_opt "OCEP_PINS" <> Some "0" in
+  (* OCEP_ENGINE=0: no engine at all — times the bare POET ingest path *)
+  let engine =
+    if Sys.getenv_opt "OCEP_ENGINE" = Some "0" then None
+    else
+      Some
+        (Engine.create
+           ~config:{ Engine.default_config with Engine.record_latency = false; pin_searches }
+           ~net ~poet ())
+  in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Engine.shutdown engine)
+    (fun () ->
+      let a0 = Gc.allocated_bytes () in
+      let t0 = Clock.now_s () in
+      List.iter (fun r -> ignore (Poet.ingest poet r)) raws;
+      let wall_s = Clock.now_s () -. t0 in
+      let alloc = Gc.allocated_bytes () -. a0 in
+      let events = Poet.ingested poet in
+      let matches = match engine with Some e -> Engine.matches_found e | None -> 0 in
+      (wall_s, alloc /. float_of_int (max 1 events), events, matches))
+
+let bench_case ~max_events case =
+  let traces = bench_traces case in
+  let w = Cases.make case ~traces ~seed:2013 ~max_events in
+  let names = Sim.trace_names w.Workload.sim_config in
+  let raws = ref [] in
+  let _ =
+    Sim.run w.Workload.sim_config ~sink:(fun r -> raws := r :: !raws) ~bodies:w.Workload.bodies
+  in
+  let raws = List.rev !raws in
+  let net = Compile.compile (Parser.parse w.Workload.pattern) in
+  (* one untimed warm-up pass settles allocator and code paths; the
+     median of three timed replays rides out scheduler noise *)
+  ignore (replay ~names ~net raws);
+  let runs = List.init 3 (fun _ -> replay ~names ~net raws) in
+  let wall_s, alloc_per_event, events, matches =
+    match List.sort (fun (a, _, _, _) (b, _, _, _) -> Float.compare a b) runs with
+    | [ _; mid; _ ] -> mid
+    | _ -> assert false
+  in
+  {
+    case;
+    traces;
+    events;
+    wall_s;
+    events_per_s = float_of_int events /. wall_s;
+    us_per_event = wall_s *. 1e6 /. float_of_int (max 1 events);
+    alloc_per_event;
+    matches;
+  }
+
+(* ---- baseline exchange format: one tab-separated line per case ---- *)
+
+let write_raw path rows =
+  let oc = open_out path in
+  List.iter
+    (fun r ->
+      Printf.fprintf oc "%s\t%d\t%d\t%.6f\t%.1f\t%.3f\t%.1f\t%d\n" r.case r.traces r.events
+        r.wall_s r.events_per_s r.us_per_event r.alloc_per_event r.matches)
+    rows;
+  close_out oc
+
+let read_raw path =
+  let ic = open_in path in
+  let rows = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       match String.split_on_char '\t' (String.trim line) with
+       | [ case; traces; events; wall_s; eps; upe; ape; matches ] ->
+         rows :=
+           {
+             case;
+             traces = int_of_string traces;
+             events = int_of_string events;
+             wall_s = float_of_string wall_s;
+             events_per_s = float_of_string eps;
+             us_per_event = float_of_string upe;
+             alloc_per_event = float_of_string ape;
+             matches = int_of_string matches;
+           }
+           :: !rows
+       | _ -> failwith (Printf.sprintf "%s: malformed baseline line: %s" path line)
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !rows
+
+let json_of_row r =
+  Printf.sprintf
+    {|{"traces": %d, "events": %d, "wall_s": %.6f, "events_per_s": %.1f, "us_per_event": %.3f, "alloc_per_event_bytes": %.1f, "matches": %d}|}
+    r.traces r.events r.wall_s r.events_per_s r.us_per_event r.alloc_per_event r.matches
+
+let () =
+  let max_events =
+    match Sys.getenv_opt "OCEP_EVENTS" with Some s -> int_of_string s | None -> 50_000
+  in
+  let raw_out = ref None and baseline = ref None and out = ref "BENCH_hotpath.json" in
+  let rec parse = function
+    | "--raw-out" :: p :: rest -> raw_out := Some p; parse rest
+    | "--baseline" :: p :: rest -> baseline := Some p; parse rest
+    | "--out" :: p :: rest -> out := p; parse rest
+    | [] -> ()
+    | a :: _ -> failwith ("unknown argument " ^ a)
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  Printf.printf "hot-path bench: %d events/case\n%!" max_events;
+  let rows = List.map (bench_case ~max_events) Cases.names in
+  let base = Option.map read_raw !baseline in
+  let base_for case =
+    Option.bind base (fun rs -> List.find_opt (fun r -> r.case = case) rs)
+  in
+  Printf.printf "\n%-10s %7s | %12s %14s | %10s %8s\n" "case" "traces" "us/event" "events/s"
+    "alloc B/ev" "speedup";
+  List.iter
+    (fun r ->
+      let speedup =
+        match base_for r.case with
+        | Some b -> Printf.sprintf "%7.2fx" (r.events_per_s /. b.events_per_s)
+        | None -> "      --"
+      in
+      Printf.printf "%-10s %7d | %12.3f %14.1f | %10.1f %s\n" r.case r.traces r.us_per_event
+        r.events_per_s r.alloc_per_event speedup)
+    rows;
+  (match !raw_out with
+  | Some p ->
+    write_raw p rows;
+    Printf.printf "\nwrote %s\n" p
+  | None -> ());
+  let oc = open_out !out in
+  Printf.fprintf oc "{\n  \"events_per_case\": %d,\n  \"cases\": {\n" max_events;
+  List.iteri
+    (fun i r ->
+      let before =
+        match base_for r.case with
+        | Some b ->
+          Printf.sprintf
+            ",\n      \"before\": %s,\n      \"speedup_events_per_s\": %.3f,\n      \
+             \"alloc_ratio\": %.3f"
+            (json_of_row b)
+            (r.events_per_s /. b.events_per_s)
+            (r.alloc_per_event /. b.alloc_per_event)
+        | None -> ""
+      in
+      Printf.fprintf oc "    %S: {\n      \"after\": %s%s\n    }%s\n" r.case (json_of_row r)
+        before
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  }\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" !out

@@ -15,11 +15,30 @@ type t = {
   index : int;
   etype : string;
   text : string;
+  tsym : int;
+  esym : int;
+  xsym : int;
   kind : kind;
   vc : Vclock.t;
 }
 
 type relation = Before | After | Concurrent | Equal
+
+(* A single shared sentinel lets dense event slots ("nothing here yet")
+   be tested with one physical-equality compare instead of an option. *)
+let none =
+  {
+    trace = -1;
+    trace_name = "";
+    index = -1;
+    etype = "";
+    text = "";
+    tsym = -1;
+    esym = -1;
+    xsym = -1;
+    kind = Internal;
+    vc = Vclock.make ~dim:0;
+  }
 
 let equal a b = a.trace = b.trace && a.index = b.index
 

@@ -28,9 +28,21 @@ type t = {
   index : int;  (** 1-based position on its trace. *)
   etype : string;
   text : string;
+  tsym : int;  (** {!Symbol} id of [trace_name] in the owning store's table. *)
+  esym : int;  (** Symbol id of [etype]. *)
+  xsym : int;  (** Symbol id of [text]. *)
   kind : kind;
   vc : Vclock.t;
 }
+(** The three attribute strings are interned once at ingest; everything
+    downstream of the POET boundary (dispatch, histories, the matcher)
+    compares the symbol ids, so the strings exist only for reports and
+    pretty-printing. *)
+
+val none : t
+(** Sentinel for "no event" slots in dense arrays (trace [-1], empty
+    strings, zero-dimension clock). Test with physical equality
+    ([e == Event.none]); never ingest or match it. *)
 
 type relation = Before | After | Concurrent | Equal
 

@@ -1,0 +1,23 @@
+type t = { ids : (string, int) Hashtbl.t; names : string Vec.t }
+
+let create () = { ids = Hashtbl.create 64; names = Vec.create () }
+
+(* exception-based lookup: the hit path (virtually every call after
+   warm-up) does one hash probe and allocates nothing *)
+let intern t s =
+  match Hashtbl.find t.ids s with
+  | id -> id
+  | exception Not_found ->
+    let id = Vec.length t.names in
+    Hashtbl.add t.ids s id;
+    Vec.push t.names s;
+    id
+
+let lookup t s = Hashtbl.find_opt t.ids s
+
+let name t id =
+  if id < 0 || id >= Vec.length t.names then
+    invalid_arg (Printf.sprintf "Symbol.name: unknown id %d" id)
+  else Vec.get t.names id
+
+let size t = Vec.length t.names

@@ -37,6 +37,10 @@ let latency_sink_from_env () =
 let repro_engine_config () =
   { Engine.default_config with Engine.latency_sink = latency_sink_from_env () }
 
+(* Standalone-matcher experiments intern their net through the POET
+   store's table, as the engine does internally. *)
+let inet_of poet net = Compile.intern_net net ~intern:(Symbol.intern (Poet.symbols poet))
+
 (* Pool the per-event latencies of [runs] seeded runs of one configuration
    (the paper runs each configuration five times). *)
 let pooled_runs ~scale ~case ~traces =
@@ -304,6 +308,7 @@ let ablation_pruning ppf ~scale =
       events
   in
   let stats = Matcher.new_stats () in
+  let inet = inet_of poet net in
   let t0 = Clock.now_s () in
   List.iter
     (fun (e : Event.t) ->
@@ -311,7 +316,8 @@ let ablation_pruning ppf ~scale =
         (fun i ->
           if net.Compile.terminating.(i) && Compile.leaf_matches net i e then
             ignore
-              (Matcher.search ~net ~history ~n_traces ~trace_of_name:(Poet.trace_of_name poet)
+              (Matcher.search ~net:inet ~history ~n_traces
+                 ~trace_of_sym:(Poet.trace_of_sym poet)
                  ~partner_of:(Poet.find_partner poet) ~anchor_leaf:i ~anchor:e ~stats ()))
         (List.init (Compile.size net) (fun i -> i)))
     anchors;
@@ -489,13 +495,14 @@ let ablation_parallel ppf ~scale =
           (List.init (Compile.size net) (fun i -> i)))
       events
   in
+  let inet = inet_of poet net in
   let run_seq () =
     let found = ref 0 in
     let t0 = Clock.now_s () in
     List.iter
       (fun (i, e) ->
         match
-          Matcher.search ~net ~history ~n_traces ~trace_of_name:(Poet.trace_of_name poet)
+          Matcher.search ~net:inet ~history ~n_traces ~trace_of_sym:(Poet.trace_of_sym poet)
             ~partner_of:(Poet.find_partner poet) ~anchor_leaf:i ~anchor:e ()
         with
         | Matcher.Found _ -> incr found
@@ -512,8 +519,8 @@ let ablation_parallel ppf ~scale =
         List.iter
           (fun (i, e) ->
             match
-              Ocep.Par.search ~pool ~net ~history ~n_traces
-                ~trace_of_name:(Poet.trace_of_name poet)
+              Ocep.Par.search ~pool ~net:inet ~history ~n_traces
+                ~trace_of_sym:(Poet.trace_of_sym poet)
                 ~partner_of:(Poet.find_partner poet) ~anchor_leaf:i ~anchor:e ()
             with
             | Matcher.Found _ -> incr found
@@ -566,10 +573,11 @@ let ablation_parallel ppf ~scale =
   ignore (feed { Event.r_trace = n_traces - 2; r_etype = "m"; r_text = ""; r_kind = Event.Send { msg = 1 } });
   ignore (feed { Event.r_trace = n_traces - 1; r_etype = "m"; r_text = ""; r_kind = Event.Receive { msg = 1 } });
   let anchor = feed { Event.r_trace = n_traces - 1; r_etype = "B"; r_text = ""; r_kind = Event.Internal } in
+  let inet = inet_of poet net in
   let seq_search () =
     let t0 = Clock.now_s () in
     let o =
-      Matcher.search ~net ~history ~n_traces ~trace_of_name:(Poet.trace_of_name poet)
+      Matcher.search ~net:inet ~history ~n_traces ~trace_of_sym:(Poet.trace_of_sym poet)
         ~partner_of:(Poet.find_partner poet) ~anchor_leaf:1 ~anchor ()
     in
     (o, Clock.now_s () -. t0)
@@ -580,8 +588,8 @@ let ablation_parallel ppf ~scale =
     Fun.protect ~finally (fun () ->
         let t0 = Clock.now_s () in
         let o =
-          Ocep.Par.search ~pool ~net ~history ~n_traces
-            ~trace_of_name:(Poet.trace_of_name poet)
+          Ocep.Par.search ~pool ~net:inet ~history ~n_traces
+            ~trace_of_sym:(Poet.trace_of_sym poet)
             ~partner_of:(Poet.find_partner poet) ~anchor_leaf:1 ~anchor ()
         in
         (o, Clock.now_s () -. t0))

@@ -4,6 +4,7 @@ module Poet = Ocep_poet.Poet
 module Hist = Ocep_stats.Histogram
 module Metrics = Ocep_obs.Metrics
 module Tracer = Ocep_obs.Tracer
+module Itbl = Hashtbl.Make (Int)
 
 type latency_sink = Samples | Histogram | Both
 
@@ -11,12 +12,15 @@ type config = {
   pruning : bool;
   max_history_per_trace : int option;
   pin_searches : bool;
+  pin_filtering : bool;
   node_budget : int option;
   report_cap : int;
   record_latency : bool;
   latency_sink : latency_sink;
   gc_every : int option;
   parallelism : int;
+  cutover_batch : int;
+  cutover_work : int;
   trace_spans : bool;
 }
 
@@ -25,12 +29,15 @@ let default_config =
     pruning = true;
     max_history_per_trace = None;
     pin_searches = true;
+    pin_filtering = true;
     node_budget = None;
     report_cap = 100_000;
     record_latency = true;
     latency_sink = Samples;
     gc_every = None;
     parallelism = 1;
+    cutover_batch = 4;
+    cutover_work = 256;
     trace_spans = false;
   }
 
@@ -52,7 +59,11 @@ let validate_config (c : config) =
   | _ -> ());
   if c.report_cap < 0 then fail "Engine.create: report_cap must be non-negative, got %d" c.report_cap;
   if c.parallelism < 0 then
-    fail "Engine.create: parallelism must be >= 0 (0 = one worker per core), got %d" c.parallelism
+    fail "Engine.create: parallelism must be >= 0 (0 = one worker per core), got %d" c.parallelism;
+  if c.cutover_batch < 0 then
+    fail "Engine.create: cutover_batch must be non-negative, got %d" c.cutover_batch;
+  if c.cutover_work < 0 then
+    fail "Engine.create: cutover_work must be non-negative, got %d" c.cutover_work
 
 (* A leaf's stored events can be garbage-collected once they are in the
    causal past of every trace iff (a) the leaf never serves as interposer
@@ -96,6 +107,7 @@ type meters = {
   m_fan_outs : Metrics.counter;
   m_fan_out_tasks : Metrics.counter;
   m_spec_discards : Metrics.counter;
+  m_pinned_skipped : Metrics.counter;
   m_worker_busy : Metrics.gauge array;  (* by worker index *)
   m_poet_ingested : Metrics.counter;
   m_poet_notified : Metrics.counter;
@@ -106,6 +118,7 @@ type meters = {
 type t = {
   cfg : config;
   net : Compile.t;
+  inet : Compile.inet;
   poet : Poet.t;
   n_traces : int;
   history : History.t;
@@ -118,7 +131,12 @@ type t = {
   tracer : Tracer.t option;
   frontier : Vclock.t array;  (* latest timestamp seen per trace *)
   gcable : bool array;
-  matching_leaves : Event.t -> int list;  (* cached dispatch *)
+  dispatch : Event.t -> int array;  (* cached per-etype candidate arrays *)
+  scratch : int Vec.t;  (* matched leaves of the current arrival *)
+  first_leaf : int array;  (* anchor leaf -> first-level leaf, -1 for k = 1 *)
+  plans : Matcher.plan array;  (* anchor leaf -> precomputed search plan *)
+  pin_gen : int array array;  (* slot -> history generation at last failed pin, -1 none *)
+  pin_matches : int array array;  (* slot -> matches_found at last failed pin *)
   parallelism : int;  (* resolved: >= 1 *)
   mutable pool : Search_pool.t option;  (* spawned on first fan-out *)
   mutable matches_found : int;
@@ -126,30 +144,49 @@ type t = {
   mutable terminating_arrivals : int;
   mutable aborted : int;
   mutable speculative_discards : int;
+  mutable pinned_skipped : int;
+  (* cut-over self-calibration: EWMA of per-slot wall time for eligible
+     batches, one per execution mode, plus sample/eligibility counters *)
+  mutable ew_inline_us : float;
+  mutable ew_fan_us : float;
+  mutable inline_samples : int;
+  mutable fan_samples : int;
+  mutable eligible_batches : int;
 }
 
-(* Dispatching an arriving event to the leaves it class-matches: most
-   patterns pin the event type exactly, so index leaves by exact etype and
-   keep the others (wildcard/variable type) in a fallback list. *)
-let make_dispatch (net : Compile.t) =
-  let by_type : (string, int list) Hashtbl.t = Hashtbl.create 16 in
-  let generic = ref [] in
-  (* accumulate reversed (cons is O(1)); flip once when the table is done *)
-  Array.iter
-    (fun (l : Compile.leaf) ->
-      match l.cls.Ocep_pattern.Ast.typ with
-      | Ocep_pattern.Ast.Exact ty ->
-        let cur = Option.value ~default:[] (Hashtbl.find_opt by_type ty) in
-        Hashtbl.replace by_type ty (l.id :: cur)
-      | Ocep_pattern.Ast.Any | Ocep_pattern.Ast.Var _ -> generic := l.id :: !generic)
-    net.Compile.leaves;
-  Hashtbl.filter_map_inplace (fun _ ids -> Some (List.rev ids)) by_type;
-  let generic = List.rev !generic in
+(* Dispatching an arriving event to the leaves it may class-match: most
+   patterns pin the event type exactly, so the merged candidate array of
+   each exact etype symbol (that type's leaves, then the wildcard/variable
+   ones) is built once here; an arrival is a single int-keyed lookup
+   returning a shared array — no per-event allocation, no string hashing.
+   Candidates still need the proc/text spec check ({!Compile.leaf_matches_i})
+   per event. *)
+let make_dispatch (inet : Compile.inet) =
+  let k = Array.length inet.Compile.ityp in
+  let exact_syms = ref [] in
+  for l = 0 to k - 1 do
+    match inet.Compile.ityp.(l) with
+    | Compile.I_exact sym -> if not (List.mem sym !exact_syms) then exact_syms := sym :: !exact_syms
+    | Compile.I_any | Compile.I_var _ -> ()
+  done;
+  let generic =
+    Array.of_list
+      (List.filter
+         (fun l -> match inet.Compile.ityp.(l) with Compile.I_exact _ -> false | _ -> true)
+         (List.init k (fun l -> l)))
+  in
+  let by_sym : int array Itbl.t = Itbl.create 16 in
+  List.iter
+    (fun sym ->
+      let mine =
+        List.filter
+          (fun l -> inet.Compile.ityp.(l) = Compile.I_exact sym)
+          (List.init k (fun l -> l))
+      in
+      Itbl.replace by_sym sym (Array.append (Array.of_list mine) generic))
+    !exact_syms;
   fun (ev : Event.t) ->
-    let candidates =
-      Option.value ~default:[] (Hashtbl.find_opt by_type ev.etype) @ generic
-    in
-    List.filter (fun i -> Compile.leaf_matches net i ev) candidates
+    match Itbl.find_opt by_sym ev.esym with Some a -> a | None -> generic
 
 let make_meters metrics ~parallelism =
   let c ?help name = Metrics.counter metrics ?help name in
@@ -184,6 +221,9 @@ let make_meters metrics ~parallelism =
   let m_spec_discards =
     c ~help:"Speculative pinned results discarded at merge" "ocep_speculative_discards_total"
   in
+  let m_pinned_skipped =
+    c ~help:"Pinned searches skipped by the slot pre-filter" "ocep_pinned_skipped_total"
+  in
   let m_worker_busy =
     Array.init parallelism (fun i ->
         g
@@ -217,6 +257,7 @@ let make_meters metrics ~parallelism =
     m_fan_outs;
     m_fan_out_tasks;
     m_spec_discards;
+    m_pinned_skipped;
     m_worker_busy;
     m_poet_ingested;
     m_poet_notified;
@@ -227,21 +268,24 @@ let make_meters metrics ~parallelism =
 let create ?(config = default_config) ~net ~poet () =
   validate_config config;
   let n_traces = Poet.trace_count poet in
+  let k = Compile.size net in
   let parallelism =
     if config.parallelism = 0 then max 1 (Stdlib.Domain.recommended_domain_count ())
     else config.parallelism
   in
+  let inet = Compile.intern_net net ~intern:(Ocep_poet.Poet.symbols poet |> Symbol.intern) in
   let metrics = Metrics.create () in
   let t =
     {
       cfg = config;
       net;
+      inet;
       poet;
       n_traces;
       history =
         History.create net ~n_traces ~pruning:config.pruning
           ?max_per_trace:config.max_history_per_trace ();
-      subset = Subset.create ~k:(Compile.size net) ~n_traces ~report_cap:config.report_cap ();
+      subset = Subset.create ~k ~n_traces ~report_cap:config.report_cap ();
       stats = Matcher.new_stats ();
       latencies = Vec.create ();
       latency_hist =
@@ -254,7 +298,16 @@ let create ?(config = default_config) ~net ~poet () =
          else None);
       frontier = Array.make n_traces (Vclock.make ~dim:n_traces);
       gcable = gc_able_leaves net;
-      matching_leaves = make_dispatch net;
+      dispatch = make_dispatch inet;
+      scratch = Vec.create ();
+      first_leaf =
+        Array.init k (fun l ->
+            match Matcher.first_search_leaf ~net:inet ~anchor_leaf:l with
+            | Some x -> x
+            | None -> -1);
+      plans = Array.init k (fun l -> Matcher.plan ~net:inet ~anchor_leaf:l);
+      pin_gen = Array.make_matrix k n_traces (-1);
+      pin_matches = Array.make_matrix k n_traces 0;
       parallelism;
       pool = None;
       matches_found = 0;
@@ -262,9 +315,15 @@ let create ?(config = default_config) ~net ~poet () =
       terminating_arrivals = 0;
       aborted = 0;
       speculative_discards = 0;
+      pinned_skipped = 0;
+      ew_inline_us = 0.;
+      ew_fan_us = 0.;
+      inline_samples = 0;
+      fan_samples = 0;
+      eligible_batches = 0;
     }
   in
-  let trace_of_name = Poet.trace_of_name poet in
+  let trace_of_sym = Poet.trace_of_sym poet in
   let partner_of = Poet.find_partner poet in
   let consume_outcome outcome =
     match outcome with
@@ -273,6 +332,25 @@ let create ?(config = default_config) ~net ~poet () =
       ignore (Subset.record t.subset ~seq:t.events_processed m)
     | Matcher.Not_found -> ()
     | Matcher.Aborted -> t.aborted <- t.aborted + 1
+  in
+  (* Consume a pinned search's result for a slot that is still uncovered.
+     A definitive failure is remembered with the slot's current history
+     generation and the global match count; the record can only be
+     consulted again in node-budget runs (without a budget, batches only
+     survive the anchored-failure filter right after a match, which
+     bumps matches_found and invalidates every record — DESIGN.md §4b).
+     There the skip is a heuristic in the budget's own spirit: the slot
+     looks exactly as it did when an identical pin failed, so re-paying
+     the (budget-capped) search is judged not worth it. Sequential and
+     parallel modes build records and skips identically, so their
+     equivalence is unaffected. *)
+  let consume_pin (l, tr) outcome =
+    (match outcome with
+    | Matcher.Not_found ->
+      t.pin_gen.(l).(tr) <- History.generation t.history ~leaf:l ~trace:tr;
+      t.pin_matches.(l).(tr) <- t.matches_found
+    | Matcher.Found _ | Matcher.Aborted -> ());
+    consume_outcome outcome
   in
   let outcome_tag = function
     | Matcher.Found _ -> "found"
@@ -294,12 +372,12 @@ let create ?(config = default_config) ~net ~poet () =
   in
   let run_search ?pin ~anchor_leaf ~anchor () =
     let search () =
-      Matcher.search ~net ~history:t.history ~n_traces ~trace_of_name ~partner_of ~anchor_leaf
-        ~anchor ?pin
+      Matcher.search ~plan:t.plans.(anchor_leaf) ~net:inet ~history:t.history ~n_traces
+        ~trace_of_sym ~partner_of ~anchor_leaf ~anchor ?pin
         ?node_budget:config.node_budget ~stats:t.stats ()
     in
     match t.tracer with
-    | None -> consume_outcome (search ())
+    | None -> search ()
     | Some tr ->
       let nodes0 = t.stats.Matcher.nodes and backjumps0 = t.stats.Matcher.backjumps in
       let t0 = Clock.now_us () in
@@ -310,7 +388,7 @@ let create ?(config = default_config) ~net ~poet () =
         ~cat:"engine" ~ts_us:t0 ~dur_us:dt
         ~tid:(Stdlib.Domain.self () :> int)
         ~args:(search_args ?pin ~anchor_leaf ~stats:t.stats ~nodes0 ~backjumps0 outcome);
-      consume_outcome outcome
+      outcome
   in
   let get_pool () =
     match t.pool with
@@ -337,8 +415,10 @@ let create ?(config = default_config) ~net ~poet () =
           let l, tr = slots.(i) in
           let stats = Matcher.new_stats () in
           let search () =
-            Matcher.search ~net ~history:t.history ~n_traces ~trace_of_name ~partner_of
-              ~anchor_leaf ~anchor ~pin:(l, tr)
+            (* plans are immutable, so sharing one across worker domains
+               is safe *)
+            Matcher.search ~plan:t.plans.(anchor_leaf) ~net:inet ~history:t.history ~n_traces
+              ~trace_of_sym ~partner_of ~anchor_leaf ~anchor ~pin:(l, tr)
               ?node_budget:config.node_budget ~stats ()
           in
           let outcome =
@@ -365,7 +445,7 @@ let create ?(config = default_config) ~net ~poet () =
         t.stats.Matcher.backjumps <- t.stats.Matcher.backjumps + s.Matcher.backjumps;
         t.stats.Matcher.searches <- t.stats.Matcher.searches + s.Matcher.searches;
         let l, tr = slots.(i) in
-        if not (Subset.is_covered t.subset ~leaf:l ~trace:tr) then consume_outcome outcome
+        if not (Subset.is_covered t.subset ~leaf:l ~trace:tr) then consume_pin (l, tr) outcome
         else t.speculative_discards <- t.speculative_discards + 1)
       results
   in
@@ -381,48 +461,147 @@ let create ?(config = default_config) ~net ~poet () =
       ignore (History.gc t.history ~thresholds ~leaves:t.gcable)
     | _ -> ()
   in
+  (* Skip decisions for one pinned batch, made before any search of the
+     batch runs so that inline and fanned-out execution agree. Each rule
+     only skips searches that must return Not_found:
+     1. the slot's (leaf, trace) history is empty — every candidate a
+        pinned search could bind to the pinned leaf on that trace lives
+        in exactly that history;
+     2. the anchored (unpinned) search of this batch proved Not_found
+        exhaustively — a pinned match is in particular an unpinned one;
+     3. an identical pinned search failed before and neither the slot's
+        history generation nor the match count has changed since. *)
+  let filter_slots ~anchored_failed slots =
+    List.filter
+      (fun (l, tr) ->
+        let skip =
+          anchored_failed
+          || Vec.is_empty (History.on t.history ~leaf:l ~trace:tr)
+          || (t.pin_gen.(l).(tr) >= 0
+             && t.pin_gen.(l).(tr) = History.generation t.history ~leaf:l ~trace:tr
+             && t.pin_matches.(l).(tr) = t.matches_found)
+        in
+        if skip then t.pinned_skipped <- t.pinned_skipped + 1;
+        not skip)
+      slots
+  in
+  (* Fan out only when there is enough surviving work to amortize the
+     pool's wake/merge cost: at least [cutover_batch] searches against a
+     first-level history of at least [cutover_work] entries (the cheap
+     estimate of each search's candidate space). Inline and fanned-out
+     execution are observably identical, so the policy only affects
+     wall-clock time. *)
+  let batch_eligible ~anchor_leaf surviving =
+    t.parallelism > 1
+    && List.compare_length_with surviving (max 2 config.cutover_batch) >= 0
+    &&
+    let fsl = t.first_leaf.(anchor_leaf) in
+    let work = if fsl < 0 then 0 else History.entries_for t.history ~leaf:fsl in
+    work >= config.cutover_work
+  in
+  (* Both thresholds at 0 force the pool for every batch (used by tests
+     and reproductions that must exercise the parallel path). *)
+  let forced_fan_out = config.cutover_batch = 0 && config.cutover_work = 0 in
+  let run_inline ~anchor_leaf ~anchor surviving =
+    List.iter
+      (fun (l, tr) ->
+        if not (Subset.is_covered t.subset ~leaf:l ~trace:tr) then
+          consume_pin (l, tr) (run_search ~pin:(l, tr) ~anchor_leaf ~anchor ()))
+      surviving
+  in
+  let ewma old x = if old <= 0. then x else (0.8 *. old) +. (0.2 *. x) in
+  (* Above the static gate the cut-over self-calibrates: eligible batches
+     are timed, an EWMA of per-slot wall time is kept per mode, and the
+     currently faster mode runs — with the other mode revisited first to
+     collect [calib_samples] and then every 64th eligible batch, so a
+     changed environment can flip the decision. On a machine where the
+     pool cannot win (one core, oversubscribed workers) fanned batches
+     measure slower and the engine settles on inline execution. The two
+     modes are observably identical, so the timing-dependent choice never
+     affects coverage, reports or match counts. *)
+  let calib_samples = 3 in
+  let run_pins ~anchor_leaf ~anchor surviving =
+    if surviving <> [] then begin
+      if forced_fan_out && t.parallelism > 1 then fan_out_pins ~anchor_leaf ~anchor surviving
+      else if not (batch_eligible ~anchor_leaf surviving) then
+        run_inline ~anchor_leaf ~anchor surviving
+      else begin
+        t.eligible_batches <- t.eligible_batches + 1;
+        let fan =
+          if t.fan_samples < calib_samples then true
+          else if t.inline_samples < calib_samples then false
+          else begin
+            let prefer_fan = t.ew_fan_us < t.ew_inline_us in
+            if t.eligible_batches land 63 = 0 then not prefer_fan else prefer_fan
+          end
+        in
+        let n = List.length surviving in
+        let t0 = Clock.now_us () in
+        if fan then fan_out_pins ~anchor_leaf ~anchor surviving
+        else run_inline ~anchor_leaf ~anchor surviving;
+        let per_slot = (Clock.now_us () -. t0) /. float_of_int n in
+        if fan then begin
+          t.ew_fan_us <- ewma t.ew_fan_us per_slot;
+          t.fan_samples <- t.fan_samples + 1
+        end
+        else begin
+          t.ew_inline_us <- ewma t.ew_inline_us per_slot;
+          t.inline_samples <- t.inline_samples + 1
+        end
+      end
+    end
+  in
   let on_event (ev : Event.t) =
     t.events_processed <- t.events_processed + 1;
     t.frontier.(ev.trace) <- ev.vc;
     History.note_comm t.history ev;
-    let leaves = t.matching_leaves ev in
-    List.iter
+    let cands = t.dispatch ev in
+    Vec.clear t.scratch;
+    let any_terminating = ref false in
+    Array.iter
       (fun i ->
-        History.add t.history ~leaf:i ev;
-        Subset.seen t.subset ~leaf:i ~trace:ev.trace)
-      leaves;
-    let terminating = List.filter (fun i -> t.net.Compile.terminating.(i)) leaves in
-    if terminating <> [] then begin
+        if Compile.leaf_matches_i inet i ev then begin
+          History.add t.history ~leaf:i ev;
+          Subset.seen t.subset ~leaf:i ~trace:ev.trace;
+          Vec.push t.scratch i;
+          if t.net.Compile.terminating.(i) then any_terminating := true
+        end)
+      cands;
+    if !any_terminating then begin
       t.terminating_arrivals <- t.terminating_arrivals + 1;
       let timed = config.record_latency || t.tracer <> None in
       let t0 = if timed then Clock.now_us () else 0. in
-      List.iter
-        (fun anchor_leaf ->
-          run_search ~anchor_leaf ~anchor:ev ();
+      let anchors = ref 0 in
+      for ix = 0 to Vec.length t.scratch - 1 do
+        let anchor_leaf = Vec.get t.scratch ix in
+        if t.net.Compile.terminating.(anchor_leaf) then begin
+          incr anchors;
+          let outcome = run_search ~anchor_leaf ~anchor:ev () in
+          consume_outcome outcome;
           if config.pin_searches then begin
             (* a pin on the anchor leaf is either the anchor's own slot
                (just searched) or contradictory *)
             let slots =
               List.filter (fun (l, _) -> l <> anchor_leaf) (Subset.uncovered_seen_slots t.subset)
             in
-            if t.parallelism = 1 || List.compare_length_with slots 2 < 0 then
-              List.iter
-                (fun (l, tr) ->
-                  if not (Subset.is_covered t.subset ~leaf:l ~trace:tr) then
-                    run_search ~pin:(l, tr) ~anchor_leaf ~anchor:ev ())
-                slots
-            else fan_out_pins ~anchor_leaf ~anchor:ev slots
-          end)
-        terminating;
+            let surviving =
+              if config.pin_filtering then
+                filter_slots ~anchored_failed:(outcome = Matcher.Not_found) slots
+              else slots
+            in
+            run_pins ~anchor_leaf ~anchor:ev surviving
+          end
+        end
+      done;
       if timed then begin
         let lat_us = Clock.now_us () -. t0 in
         if config.record_latency then begin
-          (match config.latency_sink with
+          match config.latency_sink with
           | Samples -> Vec.push t.latencies lat_us
           | Histogram -> Hist.record t.latency_hist lat_us
           | Both ->
             Vec.push t.latencies lat_us;
-            Hist.record t.latency_hist lat_us)
+            Hist.record t.latency_hist lat_us
         end;
         match t.tracer with
         | Some tr ->
@@ -433,7 +612,7 @@ let create ?(config = default_config) ~net ~poet () =
                 ("trace", Tracer.Int ev.trace);
                 ("index", Tracer.Int ev.index);
                 ("etype", Tracer.Str ev.etype);
-                ("anchors", Tracer.Int (List.length terminating));
+                ("anchors", Tracer.Int !anchors);
               ]
         | None -> ()
       end
@@ -445,6 +624,8 @@ let create ?(config = default_config) ~net ~poet () =
 
 let net t = t.net
 
+let interned_net t = t.inet
+
 let config t = t.cfg
 
 let reports t = Subset.reports t.subset
@@ -452,15 +633,19 @@ let reports t = Subset.reports t.subset
 let matches_found t = t.matches_found
 
 let find_containing t (ev : Event.t) =
-  let trace_of_name = Poet.trace_of_name t.poet in
+  let trace_of_sym = Poet.trace_of_sym t.poet in
   let partner_of = Poet.find_partner t.poet in
-  let leaves = t.matching_leaves ev in
+  let cands = t.dispatch ev in
+  let leaves =
+    List.filter (fun i -> Compile.leaf_matches_i t.inet i ev) (Array.to_list cands)
+  in
   let rec try_leaves = function
     | [] -> None
     | anchor_leaf :: rest -> (
       match
-        Matcher.search ~net:t.net ~history:t.history ~n_traces:t.n_traces ~trace_of_name
-          ~partner_of ~anchor_leaf ~anchor:ev ~stats:t.stats ()
+        Matcher.search ~plan:t.plans.(anchor_leaf) ~net:t.inet ~history:t.history
+          ~n_traces:t.n_traces ~trace_of_sym ~partner_of ~anchor_leaf ~anchor:ev
+          ~stats:t.stats ()
       with
       | Matcher.Found m -> Some m
       | Matcher.Not_found | Matcher.Aborted -> try_leaves rest)
@@ -496,6 +681,7 @@ let sync_metrics t =
   Metrics.set m.m_covered (float_of_int (Subset.covered_count t.subset));
   Metrics.set m.m_seen (float_of_int (Subset.seen_count t.subset));
   Metrics.set_counter m.m_spec_discards t.speculative_discards;
+  Metrics.set_counter m.m_pinned_skipped t.pinned_skipped;
   (match t.pool with
   | Some p ->
     let s = Search_pool.stats p in
@@ -530,6 +716,8 @@ let seen_slots t = Subset.seen_count t.subset
 let search_stats t = t.stats
 
 let aborted_searches t = t.aborted
+
+let pinned_skipped t = t.pinned_skipped
 
 let parallelism t = t.parallelism
 

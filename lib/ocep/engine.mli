@@ -30,6 +30,21 @@ type config = {
   pruning : bool;  (** the O(1) history-pruning rule (Section V-D) *)
   max_history_per_trace : int option;  (** hard storage cap per (leaf, trace) *)
   pin_searches : bool;  (** search uncovered slots on each terminating event *)
+  pin_filtering : bool;
+      (** skip pinned searches the engine can rule out from O(1) state:
+          slots with an empty (leaf, trace) history, whole batches whose
+          anchored search already failed exhaustively, and — in
+          node-budget runs only — slots whose pinned search failed
+          before with the slot history and match count unchanged since.
+          Without a node budget (the default) filtering is exact:
+          coverage, reports and match counts are identical to unfiltered
+          (DESIGN.md §4b proves the first two rules sound and the third
+          inert). Under a budget the third rule is a heuristic in the
+          same spirit as the budget itself, applied identically in
+          sequential and parallel modes so their equivalence still
+          holds. On by default; the switch exists for A/B measurement
+          and the equivalence tests. Skips are counted in
+          [ocep_pinned_skipped_total]. *)
   node_budget : int option;  (** abort pathological searches, [None] = unlimited *)
   report_cap : int;  (** retained reported matches *)
   record_latency : bool;
@@ -54,6 +69,26 @@ type config = {
           reports and match counts are identical to sequential. An
           engine that ever fanned out must be {!shutdown} before program
           exit, or its worker domains keep the process alive. *)
+  cutover_batch : int;
+      (** consider fanning a pinned batch out only when at least this
+          many searches survive the pre-filter (a floor of 2 always
+          applies: one search gains nothing from a pool). Batches passing
+          this and [cutover_work] are {e eligible}; above that static
+          gate the engine self-calibrates, timing eligible batches in
+          each mode (an EWMA of per-slot wall time) and running whichever
+          is currently faster, revisiting the other mode every 64th
+          eligible batch. On hardware where the pool cannot win the
+          engine therefore settles on inline execution by itself. Inline
+          and fanned-out execution are observably identical, so all of
+          this only tunes wall-clock time. Setting {e both} cut-over
+          fields to [0] bypasses the gate and the calibration and forces
+          the pool for every non-empty batch (for tests and
+          reproductions that must exercise the parallel path). *)
+  cutover_work : int;
+      (** ... and the anchor's first-search-level history holds at least
+          this many entries — the O(1) estimate of per-search work. Small
+          batches of trivial searches run inline faster than the pool can
+          wake. *)
   trace_spans : bool;
       (** record a span per terminating arrival and per anchored/pinned
           search (including the fan-out workers' searches and drains,
@@ -64,9 +99,10 @@ type config = {
 }
 
 val default_config : config
-(** pruning on, no cap, pin searches on, no budget, 100_000 reports,
-    latency recording on into the [Samples] sink, gc off, parallelism 1,
-    span tracing off. *)
+(** pruning on, no cap, pin searches on with filtering, no budget,
+    100_000 reports, latency recording on into the [Samples] sink, gc
+    off, parallelism 1, cut-over at 4 surviving searches × 256
+    first-level entries, span tracing off. *)
 
 type t
 
@@ -78,6 +114,13 @@ val create : ?config:config -> net:Compile.t -> poet:Poet.t -> unit -> t
     [parallelism]. *)
 
 val net : t -> Compile.t
+
+val interned_net : t -> Compile.inet
+(** The net interned through the POET store's symbol table — what the
+    engine's own searches run on; exposed so external callers
+    (baseline comparisons, tests) can run {!Matcher} searches against
+    this engine's history. *)
+
 val config : t -> config
 
 val reports : t -> Subset.report list
@@ -129,6 +172,11 @@ val search_stats : t -> Matcher.stats
     them. *)
 
 val aborted_searches : t -> int
+
+val pinned_skipped : t -> int
+(** Pinned searches skipped by the slot pre-filter (exported as
+    [ocep_pinned_skipped_total]) — each one a whole search the engine
+    proved futile from O(1) state instead of running. *)
 
 val parallelism : t -> int
 (** The resolved worker count: the config's [parallelism] with [0]

@@ -1,5 +1,6 @@
 open Ocep_base
 module Compile = Ocep_pattern.Compile
+module Itbl = Hashtbl.Make (Int)
 
 type entry = { ev : Event.t; epoch : int }
 
@@ -9,9 +10,14 @@ type t = {
   max_per_trace : int option;
   epochs : int array;  (* communication events seen per trace *)
   hist : entry Vec.t array array;  (* leaf -> trace -> entries *)
-  by_text : (string, int Vec.t) Hashtbl.t array array;
-      (* leaf -> trace -> text -> positions (ascending); lets a bound text
-         variable index its candidates instead of scanning the history *)
+  by_text : int Vec.t Itbl.t array array;
+      (* leaf -> trace -> text symbol -> positions (ascending); lets a bound
+         text variable index its candidates instead of scanning the history *)
+  gens : int array array;
+      (* leaf -> trace -> generation, bumped on every mutation of that
+         (leaf, trace) history; lets the engine detect "unchanged since the
+         last failed pinned search" without hashing contents *)
+  counts : int array;  (* leaf -> live entries across traces, O(1) entries_for *)
   mutable dropped : int;
   mutable pruned : int;  (* entries merged away by the O(1) pruning rule *)
   mutable cap_evicted : int;  (* entries evicted by the max_per_trace cap *)
@@ -25,7 +31,9 @@ let create net ~n_traces ~pruning ?max_per_trace () =
     max_per_trace;
     epochs = Array.make n_traces 0;
     hist = Array.init k (fun _ -> Array.init n_traces (fun _ -> Vec.create ()));
-    by_text = Array.init k (fun _ -> Array.init n_traces (fun _ -> Hashtbl.create 8));
+    by_text = Array.init k (fun _ -> Array.init n_traces (fun _ -> Itbl.create 8));
+    gens = Array.make_matrix k n_traces 0;
+    counts = Array.make k 0;
     dropped = 0;
     pruned = 0;
     cap_evicted = 0;
@@ -34,16 +42,18 @@ let create net ~n_traces ~pruning ?max_per_trace () =
 let note_comm t (ev : Event.t) =
   if Event.is_comm ev then t.epochs.(ev.trace) <- t.epochs.(ev.trace) + 1
 
-let index_push tbl text pos =
+let index_push tbl xsym pos =
   let v =
-    match Hashtbl.find_opt tbl text with
+    match Itbl.find_opt tbl xsym with
     | Some v -> v
     | None ->
       let v = Vec.create () in
-      Hashtbl.replace tbl text v;
+      Itbl.replace tbl xsym v;
       v
   in
   Vec.push v pos
+
+let bump_gen t ~leaf ~trace = t.gens.(leaf).(trace) <- t.gens.(leaf).(trace) + 1
 
 (* Drop the first [drop] entries of one history and rebuild its text
    index (positions shift). *)
@@ -53,14 +63,16 @@ let drop_prefix t ~leaf ~trace drop =
     let entries = Vec.to_array v in
     Vec.clear v;
     let tbl = t.by_text.(leaf).(trace) in
-    Hashtbl.reset tbl;
+    Itbl.reset tbl;
     Array.iteri
       (fun i e ->
         if i >= drop then begin
-          index_push tbl e.ev.Event.text (Vec.length v);
+          index_push tbl e.ev.Event.xsym (Vec.length v);
           Vec.push v e
         end)
       entries;
+    t.counts.(leaf) <- t.counts.(leaf) - drop;
+    bump_gen t ~leaf ~trace;
     t.dropped <- t.dropped + drop
   end
 
@@ -73,7 +85,9 @@ let enforce_cap t ~leaf ~trace v =
     drop_prefix t ~leaf ~trace (Vec.length v - keep)
   | _ -> ()
 
-let same_attrs (a : Event.t) (b : Event.t) = a.etype = b.etype && a.text = b.text
+let same_attrs (a : Event.t) (b : Event.t) =
+  (* symbols of the same store: int equality is string equality *)
+  a.esym = b.esym && a.xsym = b.xsym
 
 let add t ~leaf (ev : Event.t) =
   let v = t.hist.(leaf).(ev.trace) in
@@ -89,20 +103,22 @@ let add t ~leaf (ev : Event.t) =
       true
     | _ -> false
   in
-  if not replaced then begin
-    index_push t.by_text.(leaf).(ev.trace) ev.text (Vec.length v);
+  if replaced then bump_gen t ~leaf ~trace:ev.trace
+  else begin
+    index_push t.by_text.(leaf).(ev.trace) ev.xsym (Vec.length v);
     Vec.push v entry;
+    t.counts.(leaf) <- t.counts.(leaf) + 1;
+    bump_gen t ~leaf ~trace:ev.trace;
     enforce_cap t ~leaf ~trace:ev.trace v
   end
 
 let on t ~leaf ~trace = t.hist.(leaf).(trace)
 
-let positions_for_text t ~leaf ~trace text = Hashtbl.find_opt t.by_text.(leaf).(trace) text
+let positions_for_text t ~leaf ~trace xsym = Itbl.find_opt t.by_text.(leaf).(trace) xsym
 
-let total_entries t =
-  Array.fold_left
-    (fun acc per_trace -> Array.fold_left (fun acc v -> acc + Vec.length v) acc per_trace)
-    0 t.hist
+let generation t ~leaf ~trace = t.gens.(leaf).(trace)
+
+let total_entries t = Array.fold_left ( + ) 0 t.counts
 
 let gc t ~thresholds ~leaves =
   let dropped0 = t.dropped in
@@ -119,8 +135,7 @@ let gc t ~thresholds ~leaves =
     leaves;
   t.dropped - dropped0
 
-let entries_for t ~leaf =
-  Array.fold_left (fun acc v -> acc + Vec.length v) 0 t.hist.(leaf)
+let entries_for t ~leaf = t.counts.(leaf)
 
 let dropped t = t.dropped
 

@@ -33,17 +33,26 @@ val add : t -> leaf:int -> Event.t -> unit
 val on : t -> leaf:int -> trace:int -> entry Vec.t
 (** The (live) history vector; callers must not mutate it. *)
 
-val positions_for_text : t -> leaf:int -> trace:int -> string -> int Ocep_base.Vec.t option
+val positions_for_text : t -> leaf:int -> trace:int -> int -> int Ocep_base.Vec.t option
 (** Positions (ascending) of the leaf's entries on the trace whose text
-    equals the given string — the candidate index used when the leaf's
+    symbol equals the given id — the candidate index used when the leaf's
     text attribute is an exact string or an already-bound variable. *)
+
+val generation : t -> leaf:int -> trace:int -> int
+(** Monotone counter bumped on every mutation (append, pruning replace,
+    cap eviction, GC drop) of the (leaf, trace) history. Equal generations
+    at two instants mean the history is unchanged in between — the basis
+    of the engine's "skip a pinned search whose slot saw nothing new since
+    it last failed" filter. *)
 
 val total_entries : t -> int
 (** Current number of stored entries across all leaves and traces, the
     monitor's storage footprint. *)
 
 val entries_for : t -> leaf:int -> int
-(** Stored entries of one leaf across all traces. *)
+(** Stored entries of one leaf across all traces. O(1): maintained as a
+    per-leaf counter so the engine can use it as a work estimate on every
+    terminating arrival. *)
 
 val dropped : t -> int
 (** Entries evicted by the [max_per_trace] cap or by {!gc} (not by the

@@ -1,6 +1,5 @@
 open Ocep_base
 module Compile = Ocep_pattern.Compile
-module Ast = Ocep_pattern.Ast
 
 type outcome = Found of Event.t array | Not_found | Aborted
 
@@ -8,25 +7,26 @@ type stats = { mutable nodes : int; mutable backjumps : int; mutable searches : 
 
 let new_stats () = { nodes = 0; backjumps = 0; searches = 0 }
 
+(* Attribute value of an event as a symbol id — the only representation
+   the search ever compares. *)
 let field_value (ev : Event.t) = function
-  | Compile.Fproc -> ev.trace_name
-  | Compile.Ftyp -> ev.etype
-  | Compile.Ftext -> ev.text
+  | Compile.Fproc -> ev.tsym
+  | Compile.Ftyp -> ev.esym
+  | Compile.Ftext -> ev.xsym
 
 (* Search context shared by the two entry points. *)
 type ctx = {
-  net : Compile.t;
+  inet : Compile.inet;
+  net : Compile.t;  (* = inet.net, saves a field chase in the loops *)
   history : History.t;
   n_traces : int;
-  trace_of_name : string -> int option;
+  trace_of_sym : int -> int option;
   partner_of : Event.t -> Event.t option;
   k : int;
   order : int array;  (* level -> leaf *)
   level_of : int array;  (* leaf -> level *)
-  assigned : Event.t option array;  (* by leaf *)
+  assigned : Event.t array;  (* by leaf; Event.none (by ==) when unassigned *)
   partner_links : int list array;  (* leaf -> partner-constrained leaves *)
-  leaf_vars : (string * Compile.field) list array;  (* leaf -> its variable fields *)
-  var_positions : (string * (int * Compile.field) list) list;
   pin : (int * int) option;
   stats : stats;
   node_budget : int;
@@ -37,13 +37,16 @@ type ctx = {
 }
 
 (* Per-level search state. [cursor] is the next position to try on the
-   current trace (descending, newest-first); -1 requests the next trace. *)
+   current trace (descending, newest-first); -1 requests the next trace.
+   [conflicts] is a bitset of levels (bit l = level l), which is why the
+   matcher caps patterns at 62 leaves. *)
 type level_state = {
   leaf : int;
   traces : int array;
-  text_filter : string option;
-      (* exact text the candidate must carry (exact spec or bound variable):
-         iterate the history's text index instead of the whole domain *)
+  text_filter : int;
+      (* symbol id of the exact text the candidate must carry (exact spec
+         or bound variable), -1 for none: iterate the history's text index
+         instead of the whole domain *)
   mutable trace_ix : int;
   mutable dom : Interval.Set.t;
   mutable cursor : int;
@@ -51,10 +54,17 @@ type level_state = {
   mutable tix : int;  (* descending index into tvec *)
   mutable partner_source : int option;  (* leaf providing the partner event *)
   mutable partner_done : bool;
-  mutable conflicts : int list;  (* levels *)
+  mutable conflicts : int;  (* bitset of levels *)
 }
 
-let add_conflict st l = if not (List.mem l st.conflicts) then st.conflicts <- l :: st.conflicts
+let add_conflict st l = st.conflicts <- st.conflicts lor (1 lsl l)
+
+(* Position of the highest set bit; [m] must be positive. *)
+let top_bit m =
+  let rec go m b = if m <= 1 then b else go (m lsr 1) (b + 1) in
+  go m 0
+
+let max_leaves = 62
 
 (* Evaluation order: anchor first, then greedily the leaf most constrained
    by the already-ordered set — the standard most-constrained-first CSP
@@ -63,29 +73,23 @@ let add_conflict st l = if not (List.mem l st.conflicts) then st.conflicts <- l 
    index bucket; a bound process variable iterates a single trace; each
    causal constraint shrinks the domain interval; a partner link determines
    the event outright. *)
-let make_order net ~anchor_leaf =
+let make_order (inet : Compile.inet) ~anchor_leaf =
+  let net = inet.Compile.net in
   let k = Compile.size net in
   let ordered = Array.make k false in
   ordered.(anchor_leaf) <- true;
   let var_bound_by_ordered v =
-    match List.assoc_opt v net.Compile.var_fields with
-    | None -> false
-    | Some positions -> List.exists (fun (j, _) -> ordered.(j)) positions
+    Array.exists (fun (j, _) -> ordered.(j)) inet.Compile.var_occs.(v)
+  in
+  let spec_score spec weight =
+    match spec with
+    | Compile.I_exact _ -> weight
+    | Compile.I_var v -> if var_bound_by_ordered v then weight else 0
+    | Compile.I_any -> 0
   in
   let score u =
-    let cls = net.Compile.leaves.(u).cls in
-    let text_score =
-      match cls.Ast.text with
-      | Ast.Exact _ -> 8
-      | Ast.Var v -> if var_bound_by_ordered v then 8 else 0
-      | Ast.Any -> 0
-    in
-    let proc_score =
-      match cls.Ast.proc with
-      | Ast.Exact _ -> 4
-      | Ast.Var v -> if var_bound_by_ordered v then 4 else 0
-      | Ast.Any -> 0
-    in
+    let text_score = spec_score inet.Compile.itext.(u) 8 in
+    let proc_score = spec_score inet.Compile.iproc.(u) 4 in
     let cons_score =
       let c = ref 0 in
       for j = 0 to k - 1 do
@@ -118,47 +122,80 @@ let make_order net ~anchor_leaf =
   done;
   Array.of_list (List.rev !order)
 
-(* The value an attribute variable is currently bound to, with the level of
-   the leaf that bound it. *)
+(* The evaluation order, its inverse, and the partner adjacency are pure
+   functions of (net, anchor_leaf); a [plan] precomputes them once so
+   repeated searches for the same anchor leaf — every pinned search of a
+   batch, every arrival of the same terminating class — skip the greedy
+   ordering pass. Plans are immutable after construction and safe to
+   share across domains. *)
+type plan = {
+  plan_anchor : int;
+  plan_order : int array;
+  plan_level_of : int array;
+  plan_partner_links : int list array;
+}
+
+let plan_of ~(net : Compile.inet) ~anchor_leaf =
+  let k = Compile.size net.Compile.net in
+  if k > max_leaves then
+    invalid_arg
+      (Printf.sprintf "Matcher: patterns are limited to %d leaves (conflict bitset)" max_leaves);
+  let order = make_order net ~anchor_leaf in
+  let level_of = Array.make k 0 in
+  Array.iteri (fun lvl leaf -> level_of.(leaf) <- lvl) order;
+  let partner_links = Array.make k [] in
+  List.iter
+    (fun (i, j) ->
+      partner_links.(i) <- j :: partner_links.(i);
+      partner_links.(j) <- i :: partner_links.(j))
+    net.Compile.net.Compile.partners;
+  { plan_anchor = anchor_leaf; plan_order = order; plan_level_of = level_of; plan_partner_links = partner_links }
+
+(* [plan] is also the name of [make_ctx]'s optional argument *)
+let plan = plan_of
+
+(* The symbol an attribute variable is currently bound to, with the level
+   of the leaf that bound it; (-1, _) when unbound. *)
 let binding ctx v =
-  match List.assoc_opt v ctx.var_positions with
-  | None -> None
-  | Some positions ->
-    let rec loop = function
-      | [] -> None
-      | (j, f) :: rest -> (
-        match ctx.assigned.(j) with
-        | Some e -> Some (field_value e f, ctx.level_of.(j))
-        | None -> loop rest)
-    in
-    loop positions
+  let occs = ctx.inet.Compile.var_occs.(v) in
+  let n = Array.length occs in
+  let rec loop i =
+    if i >= n then (-1, -1)
+    else
+      let j, f = occs.(i) in
+      let e = ctx.assigned.(j) in
+      if e != Event.none then (field_value e f, ctx.level_of.(j)) else loop (i + 1)
+  in
+  loop 0
+
+let all_traces ctx = Array.init ctx.n_traces (fun i -> i)
 
 let trace_list ctx st_conflicts leaf =
   match ctx.pin with
   | Some (l, t) when l = leaf -> [| t |]
   | _ -> (
-    let cls = ctx.net.Compile.leaves.(leaf).cls in
-    match cls.Ast.proc with
-    | Ast.Exact name -> (
-      match ctx.trace_of_name name with Some t -> [| t |] | None -> [||])
-    | Ast.Var v -> (
-      match binding ctx v with
-      | Some (name, lvl) -> (
+    match ctx.inet.Compile.iproc.(leaf) with
+    | Compile.I_exact sym -> (
+      match ctx.trace_of_sym sym with Some t -> [| t |] | None -> [||])
+    | Compile.I_var v -> (
+      let sym, lvl = binding ctx v in
+      if sym < 0 then all_traces ctx
+      else begin
         add_conflict st_conflicts lvl;
-        match ctx.trace_of_name name with Some t -> [| t |] | None -> [||])
-      | None -> Array.init ctx.n_traces (fun i -> i))
-    | Ast.Any -> Array.init ctx.n_traces (fun i -> i))
+        match ctx.trace_of_sym sym with Some t -> [| t |] | None -> [||]
+      end)
+    | Compile.I_any -> all_traces ctx)
 
 let init_level ctx i =
   let leaf = ctx.order.(i) in
   let partner_source =
-    List.find_opt (fun j -> ctx.assigned.(j) <> None) ctx.partner_links.(leaf)
+    List.find_opt (fun j -> ctx.assigned.(j) != Event.none) ctx.partner_links.(leaf)
   in
   let st =
     {
       leaf;
       traces = [||];
-      text_filter = None;
+      text_filter = -1;
       trace_ix = -1;
       dom = Interval.Set.empty;
       cursor = -1;
@@ -166,20 +203,18 @@ let init_level ctx i =
       tix = -1;
       partner_source;
       partner_done = false;
-      conflicts = [];
+      conflicts = 0;
     }
   in
   let traces = trace_list ctx st leaf in
   let text_filter =
-    match ctx.net.Compile.leaves.(leaf).cls.Ast.text with
-    | Ast.Exact s -> Some s
-    | Ast.Var v -> (
-      match binding ctx v with
-      | Some (value, lvl) ->
-        add_conflict st lvl;
-        Some value
-      | None -> None)
-    | Ast.Any -> None
+    match ctx.inet.Compile.itext.(leaf) with
+    | Compile.I_exact sym -> sym
+    | Compile.I_var v ->
+      let sym, lvl = binding ctx v in
+      if sym >= 0 then add_conflict st lvl;
+      sym
+    | Compile.I_any -> -1
   in
   { st with traces; text_filter }
 
@@ -194,13 +229,14 @@ let domain_on ctx st t =
   let dom = ref (Domain.full hist) in
   (try
      Array.iteri
-       (fun j e_opt ->
-         match (e_opt, ctx.net.Compile.cons.(leaf).(j)) with
-         | Some e, Some a ->
-           add_conflict st ctx.level_of.(j);
-           dom := Interval.Set.inter !dom (Domain.restrict hist ~trace:t ~w:e a);
-           if Interval.Set.is_empty !dom then raise Exit
-         | _ -> ())
+       (fun j e ->
+         if e != Event.none then
+           match ctx.net.Compile.cons.(leaf).(j) with
+           | Some a ->
+             add_conflict st ctx.level_of.(j);
+             dom := Interval.Set.inter !dom (Domain.restrict hist ~trace:t ~w:e a);
+             if Interval.Set.is_empty !dom then raise Exit
+           | None -> ())
        ctx.assigned
    with Exit -> ());
   !dom
@@ -213,66 +249,67 @@ let accept ctx st (x : Event.t) =
   (* causal relations (already true for history candidates by construction;
      re-checked cheaply, and required for partner-derived candidates) *)
   Array.iteri
-    (fun j e_opt ->
-      if !ok then
-        match (e_opt, ctx.net.Compile.cons.(leaf).(j)) with
-        | Some e, Some a ->
+    (fun j e ->
+      (* distinct unconstrained leaves may share an event, so an assigned
+         leaf without a constraint needs no check *)
+      if !ok && e != Event.none then
+        match ctx.net.Compile.cons.(leaf).(j) with
+        | Some a ->
           if not (Compile.allowed_of_relation (Event.relation x e) a) then begin
             add_conflict st ctx.level_of.(j);
             ok := false
           end
-        | Some e, None ->
-          (* distinct unconstrained leaves may share an event; nothing to do *)
-          ignore e
-        | _ -> ())
+        | None -> ())
     ctx.assigned;
   (* partner links *)
   if !ok then
     List.iter
       (fun j ->
-        if !ok then
-          match ctx.assigned.(j) with
-          | Some e ->
+        if !ok then begin
+          let e = ctx.assigned.(j) in
+          if e != Event.none then begin
             let same_msg =
-              match (Event.msg_of x, Event.msg_of e) with
-              | Some a, Some b -> a = b && not (Event.equal x e)
+              match (x.Event.kind, e.Event.kind) with
+              | ( (Event.Send { msg = a } | Event.Receive { msg = a }),
+                  (Event.Send { msg = b } | Event.Receive { msg = b }) ) ->
+                Int.equal a b && not (Event.equal x e)
               | _ -> false
             in
             if not same_msg then begin
               add_conflict st ctx.level_of.(j);
               ok := false
             end
-          | None -> ())
+          end
+        end)
       ctx.partner_links.(leaf);
   (* attribute variables: self-consistency and consistency with bindings *)
-  if !ok then
-    List.iter
+  if !ok then begin
+    let lvars = ctx.inet.Compile.leaf_vars.(leaf) in
+    Array.iter
       (fun (v, f) ->
         if !ok then begin
           let xv = field_value x f in
           (* self-consistency with the leaf's other positions of v *)
-          List.iter
+          Array.iter
             (fun (v', f') ->
-              if !ok && v' = v && f' <> f && field_value x f' <> xv then ok := false)
-            ctx.leaf_vars.(leaf);
+              if !ok && Int.equal v' v && f' <> f && not (Int.equal (field_value x f') xv) then
+                ok := false)
+            lvars;
           (* consistency with instantiated occurrences *)
           if !ok then
-            match List.assoc_opt v ctx.var_positions with
-            | None -> ()
-            | Some positions ->
-              List.iter
-                (fun (j, f2) ->
-                  if !ok && j <> leaf then
-                    match ctx.assigned.(j) with
-                    | Some e ->
-                      if field_value e f2 <> xv then begin
-                        add_conflict st ctx.level_of.(j);
-                        ok := false
-                      end
-                    | None -> ())
-                positions
+            Array.iter
+              (fun (j, f2) ->
+                if !ok && j <> leaf then begin
+                  let e = ctx.assigned.(j) in
+                  if e != Event.none && not (Int.equal (field_value e f2) xv) then begin
+                    add_conflict st ctx.level_of.(j);
+                    ok := false
+                  end
+                end)
+              ctx.inet.Compile.var_occs.(v)
         end)
-      ctx.leaf_vars.(leaf);
+      lvars
+  end;
   !ok
 
 exception Budget
@@ -288,11 +325,11 @@ let rec next_candidate ctx st =
     if st.partner_done then None
     else begin
       st.partner_done <- true;
-      match ctx.assigned.(j) with
-      | None -> None
-      | Some e -> (
+      let e = ctx.assigned.(j) in
+      if e == Event.none then None
+      else
         match ctx.partner_of e with
-        | Some x when Compile.leaf_matches ctx.net st.leaf x -> (
+        | Some x when Compile.leaf_matches_i ctx.inet st.leaf x -> (
           match ctx.pin with
           | Some (l, t) when l = st.leaf && x.trace <> t ->
             add_conflict st ctx.level_of.(j);
@@ -300,7 +337,7 @@ let rec next_candidate ctx st =
           | _ -> Some x)
         | Some _ | None ->
           add_conflict st ctx.level_of.(j);
-          None)
+          None
     end)
   | None -> (
     match st.tvec with
@@ -344,19 +381,19 @@ and advance_trace ctx st =
       advance_trace ctx st
     end
     else begin
-      (match st.text_filter with
-      | Some text -> (
-        match History.positions_for_text ctx.history ~leaf:st.leaf ~trace:t text with
-        | Some pv ->
-          st.tvec <- Some pv;
-          st.tix <- Vec.length pv - 1;
-          st.cursor <- -1
-        | None ->
-          st.tvec <- None;
-          st.cursor <- -1)
-      | None ->
-        st.tvec <- None;
-        st.cursor <- (match Interval.Set.max_elt st.dom with Some p -> p | None -> -1));
+      (if st.text_filter >= 0 then (
+         match History.positions_for_text ctx.history ~leaf:st.leaf ~trace:t st.text_filter with
+         | Some pv ->
+           st.tvec <- Some pv;
+           st.tix <- Vec.length pv - 1;
+           st.cursor <- -1
+         | None ->
+           st.tvec <- None;
+           st.cursor <- -1)
+       else begin
+         st.tvec <- None;
+         st.cursor <- (match Interval.Set.max_elt st.dom with Some p -> p | None -> -1)
+       end);
       next_candidate ctx st
     end
   end
@@ -398,61 +435,55 @@ let post_checks ctx m =
     ctx.net.Compile.exists_before
   && List.for_all (fun (i, j) -> lim_ok ctx ~leaf:i ~a:m.(i) ~b:m.(j)) ctx.net.Compile.lim_checks
 
-let extract ctx = Array.map (fun e -> Option.get e) ctx.assigned
+let extract ctx = Array.copy ctx.assigned
 
-let make_ctx ~net ~history ~n_traces ~trace_of_name ~partner_of ~anchor_leaf ~anchor ~pin
-    ~node_budget ~stats =
-  if not (Compile.leaf_matches net anchor_leaf anchor) then
+let make_ctx ?plan ~(net : Compile.inet) ~history ~n_traces ~trace_of_sym ~partner_of
+    ~anchor_leaf ~anchor ~pin ~node_budget ~stats () =
+  if not (Compile.leaf_matches_i net anchor_leaf anchor) then
     invalid_arg "Matcher: anchor event does not match the anchor leaf";
   (match pin with
   | Some (l, t) when l = anchor_leaf && t <> (anchor : Event.t).trace ->
     invalid_arg "Matcher: pin names the anchor leaf on a different trace"
   | _ -> ());
-  let k = Compile.size net in
-  let order = make_order net ~anchor_leaf in
-  let level_of = Array.make k 0 in
-  Array.iteri (fun lvl leaf -> level_of.(leaf) <- lvl) order;
-  let partner_links = Array.make k [] in
-  List.iter
-    (fun (i, j) ->
-      partner_links.(i) <- j :: partner_links.(i);
-      partner_links.(j) <- i :: partner_links.(j))
-    net.Compile.partners;
-  let leaf_vars = Array.make k [] in
-  List.iter
-    (fun (v, ps) -> List.iter (fun (i, f) -> leaf_vars.(i) <- (v, f) :: leaf_vars.(i)) ps)
-    net.Compile.var_fields;
+  let p =
+    match plan with
+    | Some p ->
+      if p.plan_anchor <> anchor_leaf then
+        invalid_arg "Matcher: plan was built for a different anchor leaf";
+      p
+    | None -> plan_of ~net ~anchor_leaf
+  in
+  let k = Compile.size net.Compile.net in
   let ctx =
     {
-      net;
+      inet = net;
+      net = net.Compile.net;
       history;
       n_traces;
-      trace_of_name;
+      trace_of_sym;
       partner_of;
       k;
-      order;
-      level_of;
-      assigned = Array.make k None;
-      partner_links;
-      leaf_vars;
-      var_positions = net.Compile.var_fields;
+      order = p.plan_order;
+      level_of = p.plan_level_of;
+      assigned = Array.make k Event.none;
+      partner_links = p.plan_partner_links;
       pin;
       stats;
       node_budget;
       start_nodes = stats.nodes;
     }
   in
-  ctx.assigned.(anchor_leaf) <- Some anchor;
+  ctx.assigned.(anchor_leaf) <- anchor;
   ctx
 
 (* The main loop: [forward] fills level [i]; a wiped-out level jumps to the
    deepest conflicting level (goBackward with the recorded information of
    Fig. 5). *)
-let search ~net ~history ~n_traces ~trace_of_name ~partner_of ~anchor_leaf ~anchor ?pin
+let search ?plan ~net ~history ~n_traces ~trace_of_sym ~partner_of ~anchor_leaf ~anchor ?pin
     ?(node_budget = max_int) ?(stats = new_stats ()) () =
   let ctx =
-    make_ctx ~net ~history ~n_traces ~trace_of_name ~partner_of ~anchor_leaf ~anchor ~pin
-      ~node_budget ~stats
+    make_ctx ?plan ~net ~history ~n_traces ~trace_of_sym ~partner_of ~anchor_leaf ~anchor ~pin
+      ~node_budget ~stats ()
   in
   stats.searches <- stats.searches + 1;
   let k = ctx.k in
@@ -468,54 +499,54 @@ let search ~net ~history ~n_traces ~trace_of_name ~partner_of ~anchor_leaf ~anch
          let st = match levels.(!i) with Some st -> st | None -> assert false in
          match next_acceptable ctx st with
          | Some x ->
-           ctx.assigned.(st.leaf) <- Some x;
+           ctx.assigned.(st.leaf) <- x;
            if !i = k - 1 then begin
              let m = extract ctx in
              if post_checks ctx m then result := Some (Found m)
              else begin
                (* keep searching at this level; a post-check failure may be
                   caused by any earlier choice *)
-               ctx.assigned.(st.leaf) <- None;
-               for l = 0 to !i - 1 do
-                 add_conflict st l
-               done
+               ctx.assigned.(st.leaf) <- Event.none;
+               st.conflicts <- st.conflicts lor ((1 lsl !i) - 1)
              end
            end
            else begin
              incr i;
              levels.(!i) <- Some (init_level ctx !i)
            end
-         | None -> (
-           (* goBackward: jump to the deepest conflicting level *)
-           match List.sort (fun a b -> compare b a) st.conflicts with
-           | [] | 0 :: _ -> result := Some Not_found
-           | j :: _ ->
+         | None ->
+           (* goBackward: jump to the deepest conflicting level; a conflict
+              set that is empty or {0} means no earlier choice can help *)
+           let above0 = st.conflicts land lnot 1 in
+           if above0 = 0 then result := Some Not_found
+           else begin
+             let j = top_bit above0 in
              ctx.stats.backjumps <- ctx.stats.backjumps + 1;
              (match levels.(j) with
-             | Some stj ->
-               List.iter (fun c -> if c <> j then add_conflict stj c) st.conflicts
+             | Some stj -> stj.conflicts <- stj.conflicts lor (st.conflicts land lnot (1 lsl j))
              | None -> assert false);
              for l = j to !i do
                (match levels.(l) with
-               | Some s -> ctx.assigned.(s.leaf) <- None
+               | Some s -> ctx.assigned.(s.leaf) <- Event.none
                | None -> ());
                if l > j then levels.(l) <- None
              done;
-             i := j)
+             i := j
+           end
        done
      with Budget -> result := Some Aborted);
     match !result with Some r -> r | None -> assert false
   end
 
 let first_search_leaf ~net ~anchor_leaf =
-  if Compile.size net <= 1 then None else Some (make_order net ~anchor_leaf).(1)
+  if Compile.size net.Compile.net <= 1 then None else Some (make_order net ~anchor_leaf).(1)
 
-let enumerate ~net ~history ~n_traces ~trace_of_name ~partner_of ~anchor_leaf ~anchor
+let enumerate ?plan ~net ~history ~n_traces ~trace_of_sym ~partner_of ~anchor_leaf ~anchor
     ?(limit = max_int) yield =
   let stats = new_stats () in
   let ctx =
-    make_ctx ~net ~history ~n_traces ~trace_of_name ~partner_of ~anchor_leaf ~anchor ~pin:None
-      ~node_budget:max_int ~stats
+    make_ctx ?plan ~net ~history ~n_traces ~trace_of_sym ~partner_of ~anchor_leaf ~anchor
+      ~pin:None ~node_budget:max_int ~stats ()
   in
   let k = ctx.k in
   let found = ref 0 in
@@ -531,7 +562,7 @@ let enumerate ~net ~history ~n_traces ~trace_of_name ~partner_of ~anchor_leaf ~a
       let st = match levels.(!i) with Some st -> st | None -> assert false in
       match next_acceptable ctx st with
       | Some x ->
-        ctx.assigned.(st.leaf) <- Some x;
+        ctx.assigned.(st.leaf) <- x;
         if !i = k - 1 then begin
           let m = extract ctx in
           if post_checks ctx m then begin
@@ -539,7 +570,7 @@ let enumerate ~net ~history ~n_traces ~trace_of_name ~partner_of ~anchor_leaf ~a
             incr found;
             if !found >= limit then stop := true
           end;
-          ctx.assigned.(st.leaf) <- None
+          ctx.assigned.(st.leaf) <- Event.none
         end
         else begin
           incr i;
@@ -552,7 +583,7 @@ let enumerate ~net ~history ~n_traces ~trace_of_name ~partner_of ~anchor_leaf ~a
           levels.(!i) <- None;
           decr i;
           let prev = match levels.(!i) with Some s -> s | None -> assert false in
-          ctx.assigned.(prev.leaf) <- None
+          ctx.assigned.(prev.leaf) <- Event.none
         end
     done
   end

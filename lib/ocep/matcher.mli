@@ -14,7 +14,13 @@
     Leaves whose trace is pinned by an exact process attribute, by an
     already-bound process variable, or by the caller's [pin] argument
     iterate a single trace; this is what makes run time depend on the
-    traces in the pattern rather than all traces (Section V-D). *)
+    traces in the pattern rather than all traces (Section V-D).
+
+    The matcher operates entirely on the interned view
+    ({!Compile.inet}): attribute comparisons, variable bindings and the
+    text-index lookups are integer compares of {!Ocep_base.Symbol} ids,
+    never string operations. Conflict sets are level bitsets, which caps
+    patterns at 62 leaves ([Invalid_argument] beyond). *)
 
 open Ocep_base
 module Compile = Ocep_pattern.Compile
@@ -32,11 +38,23 @@ type stats = {
 
 val new_stats : unit -> stats
 
+type plan
+(** Precomputed per-[(net, anchor_leaf)] search strategy: the evaluation
+    order, its inverse, and the partner adjacency. These are pure
+    functions of the pattern and the anchor leaf, so callers issuing many
+    searches for the same anchor leaf (the engine, the parallel fan-out)
+    build the plan once instead of re-deriving it per search. Plans are
+    immutable and safe to share across domains. *)
+
+val plan : net:Compile.inet -> anchor_leaf:int -> plan
+(** Raises [Invalid_argument] for patterns over 62 leaves. *)
+
 val search :
-  net:Compile.t ->
+  ?plan:plan ->
+  net:Compile.inet ->
   history:History.t ->
   n_traces:int ->
-  trace_of_name:(string -> int option) ->
+  trace_of_sym:(int -> int option) ->
   partner_of:(Event.t -> Event.t option) ->
   anchor_leaf:int ->
   anchor:Event.t ->
@@ -49,20 +67,23 @@ val search :
     with [pin = (leaf, trace)], the match must additionally instantiate
     [leaf] on [trace]. [node_budget] bounds the nodes expanded by {e this}
     search ([Aborted] once exceeded) even when a cumulative [stats] record
-    is shared across searches. Raises [Invalid_argument] if the anchor
-    event does not class-match the anchor leaf, or if [pin] names the
-    anchor leaf with a different trace. *)
+    is shared across searches. [plan] must have been built with {!plan}
+    for the same [net] and [anchor_leaf] (checked for the anchor leaf);
+    omitted, it is derived on the spot. Raises [Invalid_argument] if the
+    anchor event does not class-match the anchor leaf, if [pin] names the
+    anchor leaf with a different trace, or on a plan/anchor mismatch. *)
 
-val first_search_leaf : net:Compile.t -> anchor_leaf:int -> int option
+val first_search_leaf : net:Compile.inet -> anchor_leaf:int -> int option
 (** The leaf instantiated at the first backtracking level for this anchor
     (per the evaluation-order heuristic), or [None] for single-leaf
     patterns — the level whose trace iteration {!Par} parallelizes. *)
 
 val enumerate :
-  net:Compile.t ->
+  ?plan:plan ->
+  net:Compile.inet ->
   history:History.t ->
   n_traces:int ->
-  trace_of_name:(string -> int option) ->
+  trace_of_sym:(int -> int option) ->
   partner_of:(Event.t -> Event.t option) ->
   anchor_leaf:int ->
   anchor:Event.t ->

@@ -1,13 +1,15 @@
 module Compile = Ocep_pattern.Compile
 
-let search ~pool ~net ~history ~n_traces ~trace_of_name ~partner_of ~anchor_leaf ~anchor
+let search ~pool ~net ~history ~n_traces ~trace_of_sym ~partner_of ~anchor_leaf ~anchor
     ?(node_budget = max_int) ?(stats = Matcher.new_stats ()) () =
   match Matcher.first_search_leaf ~net ~anchor_leaf with
   | None ->
     (* single-leaf pattern: nothing to parallelize *)
-    Matcher.search ~net ~history ~n_traces ~trace_of_name ~partner_of ~anchor_leaf ~anchor
+    Matcher.search ~net ~history ~n_traces ~trace_of_sym ~partner_of ~anchor_leaf ~anchor
       ~node_budget ~stats ()
   | Some level1_leaf ->
+    (* one plan for the whole fan-out; immutable, shared by all workers *)
+    let plan = Matcher.plan ~net ~anchor_leaf in
     let stop = Atomic.make false in
     (* one task per worker, each owning an interleaved slice of the traces:
        dispatch cost is paid per worker, not per trace *)
@@ -19,8 +21,8 @@ let search ~pool ~net ~history ~n_traces ~trace_of_name ~partner_of ~anchor_leaf
           let t = ref slice in
           while !best = Matcher.Not_found && !t < n_traces && not (Atomic.get stop) do
             (match
-               Matcher.search ~net ~history ~n_traces ~trace_of_name ~partner_of ~anchor_leaf
-                 ~anchor ~pin:(level1_leaf, !t) ~node_budget ~stats:task_stats ()
+               Matcher.search ~plan ~net ~history ~n_traces ~trace_of_sym ~partner_of
+                 ~anchor_leaf ~anchor ~pin:(level1_leaf, !t) ~node_budget ~stats:task_stats ()
              with
             | Matcher.Found _ as f ->
               Atomic.set stop true;

@@ -16,10 +16,10 @@ module Compile = Ocep_pattern.Compile
 
 val search :
   pool:Pool.t ->
-  net:Compile.t ->
+  net:Compile.inet ->
   history:History.t ->
   n_traces:int ->
-  trace_of_name:(string -> int option) ->
+  trace_of_sym:(int -> int option) ->
   partner_of:(Event.t -> Event.t option) ->
   anchor_leaf:int ->
   anchor:Event.t ->

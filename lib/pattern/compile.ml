@@ -215,6 +215,61 @@ let leaf_matches t i (ev : Event.t) =
   && spec_matches cls.Ast.proc ev.trace_name
   && spec_matches cls.Ast.text ev.text
 
+(* ------------------------------------------------------------------ *)
+(* Interned view                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type ispec = I_any | I_exact of int | I_var of int
+
+type inet = {
+  net : t;
+  iproc : ispec array;
+  ityp : ispec array;
+  itext : ispec array;
+  var_names : string array;
+  var_occs : (int * field) array array;
+  leaf_vars : (int * field) array array;
+}
+
+let intern_net (t : t) ~intern =
+  let var_names = Array.of_list (List.map fst t.var_fields) in
+  let var_id v =
+    let n = Array.length var_names in
+    let rec loop i = if i >= n then fail ("unknown variable: " ^ v) else if var_names.(i) = v then i else loop (i + 1) in
+    loop 0
+  in
+  let ispec = function
+    | Ast.Any -> I_any
+    | Ast.Exact s -> I_exact (intern s)
+    | Ast.Var v -> I_var (var_id v)
+  in
+  let k = Array.length t.leaves in
+  let var_occs =
+    Array.of_list (List.map (fun (_, ps) -> Array.of_list ps) t.var_fields)
+  in
+  let leaf_vars = Array.make k [] in
+  List.iteri
+    (fun vid (_, ps) ->
+      List.iter (fun (i, f) -> leaf_vars.(i) <- (vid, f) :: leaf_vars.(i)) ps)
+    t.var_fields;
+  {
+    net = t;
+    iproc = Array.map (fun l -> ispec l.cls.Ast.proc) t.leaves;
+    ityp = Array.map (fun l -> ispec l.cls.Ast.typ) t.leaves;
+    itext = Array.map (fun l -> ispec l.cls.Ast.text) t.leaves;
+    var_names;
+    var_occs;
+    leaf_vars = Array.map (fun l -> Array.of_list (List.rev l)) leaf_vars;
+  }
+
+let ispec_matches spec sym =
+  match spec with I_exact s -> s = sym | I_any | I_var _ -> true
+
+let leaf_matches_i (inet : inet) i (ev : Event.t) =
+  ispec_matches inet.ityp.(i) ev.esym
+  && ispec_matches inet.iproc.(i) ev.tsym
+  && ispec_matches inet.itext.(i) ev.xsym
+
 let pp_allowed ppf a =
   let parts =
     (if a.before then [ "->" ] else [])

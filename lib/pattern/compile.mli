@@ -58,7 +58,42 @@ val size : t -> int
 
 val leaf_matches : t -> int -> Event.t -> bool
 (** Class match of the leaf's exact attributes (variables and wildcards
-    accept anything; consistency of variables is the matcher's job). *)
+    accept anything; consistency of variables is the matcher's job).
+    String-comparing reference; the engine hot path uses
+    {!leaf_matches_i} on the interned view instead. *)
+
+(** {1 Interned view}
+
+    The net with every exact attribute string replaced by its id in a
+    {!Ocep_base.Symbol} table and every attribute variable by a dense
+    index — what lets the matcher compare candidate events against specs
+    and bindings with integer equality only. The table must be the one
+    that interns the events the matcher will see (the POET store's). *)
+
+type ispec =
+  | I_any
+  | I_exact of int  (** symbol id of the exact string *)
+  | I_var of int  (** dense variable index in [0, Array.length var_names) *)
+
+type inet = {
+  net : t;
+  iproc : ispec array;  (** per leaf *)
+  ityp : ispec array;
+  itext : ispec array;
+  var_names : string array;  (** variable index -> source name *)
+  var_occs : (int * field) array array;
+      (** variable index -> its (leaf, field) positions, source order *)
+  leaf_vars : (int * field) array array;
+      (** leaf -> its (variable index, field) occurrences *)
+}
+
+val intern_net : t -> intern:(string -> int) -> inet
+(** Intern every exact attribute of the net through [intern]. Exact
+    strings never seen in any event simply get fresh ids no event
+    carries — such specs match nothing, as with strings. *)
+
+val leaf_matches_i : inet -> int -> Event.t -> bool
+(** {!leaf_matches} on symbols: integer compares only. *)
 
 val allowed_of_relation : Event.relation -> allowed -> bool
 (** Whether a concrete relation is permitted ([Equal] never is). *)

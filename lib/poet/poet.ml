@@ -1,14 +1,32 @@
 open Ocep_base
 
+(* Message ids are in practice small dense integers (the simulator and
+   every workload draw them from a counter), so per-message state lives
+   in arrays indexed by id — one load/store where a hashtable would
+   hash, probe and allocate buckets — with a hashtable spill for ids
+   that are negative or implausibly large. Absent entries hold the
+   physically-unique sentinels below. *)
+let dense_cap = 1 lsl 20
+
+let no_vc = Vclock.make ~dim:0
+
+let no_event = Event.none
+
 type t = {
   names : string array;
+  symbols : Symbol.t;  (* interning table for trace names, etypes, texts *)
+  name_syms : int array;  (* trace -> symbol of its name *)
+  trace_by_sym : int array;  (* name symbol -> first trace with that name *)
   retain : bool;
   partner_index : bool;
   clocks : Vclock.t array;  (* current clock per trace *)
   counters : int array;  (* events so far per trace *)
-  pending_msgs : (int, Vclock.t) Hashtbl.t;  (* sent, not yet received *)
-  sends : (int, Event.t) Hashtbl.t;
-  receives : (int, Event.t) Hashtbl.t;
+  mutable msg_vc : Vclock.t array;  (* msg id -> sent-not-received vc *)
+  mutable msg_send : Event.t array;  (* msg id -> send event *)
+  mutable msg_recv : Event.t array;  (* msg id -> receive event *)
+  pending_spill : (int, Vclock.t) Hashtbl.t;
+  send_spill : (int, Event.t) Hashtbl.t;
+  recv_spill : (int, Event.t) Hashtbl.t;
   store : Event.t Vec.t array;  (* per trace, when retained *)
   log : Event.t Vec.t;  (* ingestion order, when retained *)
   mutable subscribers_rev : (Event.t -> unit) list;
@@ -17,25 +35,59 @@ type t = {
          path; rebuilt on (rare) subscribe instead of appending with @ *)
   mutable ingested : int;
   mutable notified : int;  (* subscriber callbacks invoked *)
+  (* two-entry intern memos for the two hot ingest strings: event
+     streams repeat the same etype/text values — usually the physically
+     same string (literals, memoized names) — so a physical-equality hit
+     skips the hash probe entirely. Two entries keep an alternating pair
+     of literal sites resident. [-1] symbols mark empty slots. *)
+  mutable last_etype : string;
+  mutable last_esym : int;
+  mutable last_etype2 : string;
+  mutable last_esym2 : int;
+  mutable last_text : string;
+  mutable last_xsym : int;
+  mutable last_text2 : string;
+  mutable last_xsym2 : int;
 }
 
 let create ?(retain = false) ?(partner_index = true) ~trace_names () =
   let n = Array.length trace_names in
+  let symbols = Symbol.create () in
+  (* trace names are interned first so every name symbol is small and the
+     reverse map is a dense array; duplicate names share a symbol and
+     resolve to the first trace, matching [trace_of_name] *)
+  let name_syms = Array.map (Symbol.intern symbols) trace_names in
+  let trace_by_sym = Array.make (Symbol.size symbols) (-1) in
+  Array.iteri (fun tr sym -> if trace_by_sym.(sym) < 0 then trace_by_sym.(sym) <- tr) name_syms;
   {
     names = Array.copy trace_names;
+    symbols;
+    name_syms;
+    trace_by_sym;
     retain;
     partner_index;
     clocks = Array.init n (fun _ -> Vclock.make ~dim:n);
     counters = Array.make n 0;
-    pending_msgs = Hashtbl.create 64;
-    sends = Hashtbl.create 64;
-    receives = Hashtbl.create 64;
+    msg_vc = [||];
+    msg_send = [||];
+    msg_recv = [||];
+    pending_spill = Hashtbl.create 16;
+    send_spill = Hashtbl.create 16;
+    recv_spill = Hashtbl.create 16;
     store = Array.init n (fun _ -> Vec.create ());
     log = Vec.create ();
     subscribers_rev = [];
     subscribers = [||];
     ingested = 0;
     notified = 0;
+    last_etype = "";
+    last_esym = -1;
+    last_etype2 = "";
+    last_esym2 = -1;
+    last_text = "";
+    last_xsym = -1;
+    last_text2 = "";
+    last_xsym2 = -1;
   }
 
 let trace_count t = Array.length t.names
@@ -47,6 +99,14 @@ let trace_of_name t name =
   let rec loop i = if i >= n then None else if t.names.(i) = name then Some i else loop (i + 1) in
   loop 0
 
+let symbols t = t.symbols
+
+let trace_of_sym t sym =
+  if sym < 0 || sym >= Array.length t.trace_by_sym then None
+  else
+    let tr = t.trace_by_sym.(sym) in
+    if tr < 0 then None else Some tr
+
 let subscribe t f =
   t.subscribers_rev <- f :: t.subscribers_rev;
   t.subscribers <- Array.of_list (List.rev t.subscribers_rev)
@@ -54,6 +114,23 @@ let subscribe t f =
 let ingested t = t.ingested
 
 let notifications t = t.notified
+
+let dense t msg = msg >= 0 && msg < dense_cap && msg < Array.length t.msg_vc
+
+let grow_dense t msg =
+  let cur = Array.length t.msg_vc in
+  let n = ref (max 1024 (cur * 2)) in
+  while msg >= !n do
+    n := !n * 2
+  done;
+  let grow a fill =
+    let b = Array.make !n fill in
+    Array.blit a 0 b 0 cur;
+    b
+  in
+  t.msg_vc <- grow t.msg_vc no_vc;
+  t.msg_send <- grow t.msg_send no_event;
+  t.msg_recv <- grow t.msg_recv no_event
 
 let ingest t (raw : Event.raw) =
   let tr = raw.r_trace in
@@ -63,14 +140,29 @@ let ingest t (raw : Event.raw) =
     match raw.r_kind with
     | Event.Send { msg } ->
       let vc = Vclock.tick t.clocks.(tr) ~trace:tr in
-      Hashtbl.replace t.pending_msgs msg vc;
+      if msg >= 0 && msg < dense_cap then begin
+        if msg >= Array.length t.msg_vc then grow_dense t msg;
+        t.msg_vc.(msg) <- vc
+      end
+      else Hashtbl.replace t.pending_spill msg vc;
       vc
-    | Event.Receive { msg } -> (
-      match Hashtbl.find_opt t.pending_msgs msg with
-      | None -> failwith (Printf.sprintf "Poet.ingest: receive of unknown message %d" msg)
-      | Some sent_vc ->
-        Hashtbl.remove t.pending_msgs msg;
-        Vclock.tick_merge t.clocks.(tr) sent_vc ~trace:tr)
+    | Event.Receive { msg } ->
+      let sent_vc =
+        if dense t msg && t.msg_vc.(msg) != no_vc then begin
+          let v = t.msg_vc.(msg) in
+          t.msg_vc.(msg) <- no_vc;
+          v
+        end
+        else begin
+          match Hashtbl.find t.pending_spill msg with
+          | v ->
+            Hashtbl.remove t.pending_spill msg;
+            v
+          | exception Not_found ->
+            failwith (Printf.sprintf "Poet.ingest: receive of unknown message %d" msg)
+        end
+      in
+      Vclock.tick_merge t.clocks.(tr) sent_vc ~trace:tr
     | Event.Internal -> Vclock.tick t.clocks.(tr) ~trace:tr
   in
   t.clocks.(tr) <- vc;
@@ -82,14 +174,39 @@ let ingest t (raw : Event.raw) =
       index = t.counters.(tr);
       etype = raw.r_etype;
       text = raw.r_text;
+      tsym = t.name_syms.(tr);
+      esym =
+        (if t.last_esym >= 0 && raw.r_etype == t.last_etype then t.last_esym
+         else if t.last_esym2 >= 0 && raw.r_etype == t.last_etype2 then t.last_esym2
+         else begin
+           let s = Symbol.intern t.symbols raw.r_etype in
+           t.last_etype2 <- t.last_etype;
+           t.last_esym2 <- t.last_esym;
+           t.last_etype <- raw.r_etype;
+           t.last_esym <- s;
+           s
+         end);
+      xsym =
+        (if t.last_xsym >= 0 && raw.r_text == t.last_text then t.last_xsym
+         else if t.last_xsym2 >= 0 && raw.r_text == t.last_text2 then t.last_xsym2
+         else begin
+           let s = Symbol.intern t.symbols raw.r_text in
+           t.last_text2 <- t.last_text;
+           t.last_xsym2 <- t.last_xsym;
+           t.last_text <- raw.r_text;
+           t.last_xsym <- s;
+           s
+         end);
       kind = raw.r_kind;
       vc;
     }
   in
   if t.partner_index then begin
     match raw.r_kind with
-    | Event.Send { msg } -> Hashtbl.replace t.sends msg ev
-    | Event.Receive { msg } -> Hashtbl.replace t.receives msg ev
+    | Event.Send { msg } ->
+      if dense t msg then t.msg_send.(msg) <- ev else Hashtbl.replace t.send_spill msg ev
+    | Event.Receive { msg } ->
+      if dense t msg then t.msg_recv.(msg) <- ev else Hashtbl.replace t.recv_spill msg ev
     | Event.Internal -> ()
   end;
   if t.retain then begin
@@ -114,8 +231,16 @@ let all_events t =
 
 let find_partner t (ev : Event.t) =
   match ev.kind with
-  | Event.Send { msg } -> Hashtbl.find_opt t.receives msg
-  | Event.Receive { msg } -> Hashtbl.find_opt t.sends msg
+  | Event.Send { msg } ->
+    if dense t msg then
+      let p = t.msg_recv.(msg) in
+      if p != no_event then Some p else None
+    else Hashtbl.find_opt t.recv_spill msg
+  | Event.Receive { msg } ->
+    if dense t msg then
+      let p = t.msg_send.(msg) in
+      if p != no_event then Some p else None
+    else Hashtbl.find_opt t.send_spill msg
   | Event.Internal -> None
 
 (* ------------------------------------------------------------------ *)

@@ -26,6 +26,16 @@ val trace_count : t -> int
 val trace_names : t -> string array
 val trace_of_name : t -> string -> int option
 
+val symbols : t -> Symbol.t
+(** The store's interning table. Trace names are interned at [create];
+    every etype and text is interned at [ingest], so the [tsym]/[esym]/
+    [xsym] fields of emitted events are ids in this table. *)
+
+val trace_of_sym : t -> int -> int option
+(** [trace_of_sym t s] is the trace whose name has symbol [s] — the
+    integer twin of {!trace_of_name}, with the same first-trace-wins
+    semantics for duplicate names. Total: unknown ids answer [None]. *)
+
 val subscribe : t -> (Event.t -> unit) -> unit
 (** Register a client callback, invoked for every subsequently ingested
     event, in ingestion order. *)

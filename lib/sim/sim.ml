@@ -32,7 +32,21 @@ let default_config ~n_procs ~seed =
 
 let n_traces cfg = cfg.n_procs + List.length cfg.sem_names
 
-let proc_name i = "P" ^ string_of_int i
+(* memoized so repeated calls return the physically same string — the
+   POET ingest memo then recognizes event texts built from process names
+   without re-hashing them *)
+let proc_name_cache = ref [||]
+
+let proc_name i =
+  let cache = !proc_name_cache in
+  if i >= 0 && i < Array.length cache then cache.(i)
+  else if i >= 0 && i < 1 lsl 16 then begin
+    let n = max 64 (max (Array.length cache * 2) (i + 1)) in
+    let grown = Array.init n (fun j -> if j < Array.length cache then cache.(j) else "P" ^ string_of_int j) in
+    proc_name_cache := grown;
+    grown.(i)
+  end
+  else "P" ^ string_of_int i
 
 let trace_names cfg =
   Array.init (n_traces cfg) (fun i ->

@@ -227,6 +227,45 @@ let interval_full_and_empty_set () =
   check "empty interval ignored" true
     (Interval.Set.is_empty (Interval.Set.of_interval (Interval.make 5 2)))
 
+(* ------------------------------------------------------------------ *)
+(* Symbol                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let symbol_basics () =
+  let t = Symbol.create () in
+  check_int "empty" 0 (Symbol.size t);
+  let a = Symbol.intern t "alpha" in
+  let b = Symbol.intern t "beta" in
+  check_int "dense ids" 0 a;
+  check_int "dense ids" 1 b;
+  check_int "size" 2 (Symbol.size t);
+  check_int "intern is idempotent" a (Symbol.intern t "alpha");
+  check_int "size unchanged by re-intern" 2 (Symbol.size t);
+  check "roundtrip" true (Symbol.name t a = "alpha" && Symbol.name t b = "beta");
+  check "lookup known" true (Symbol.lookup t "beta" = Some b);
+  check "lookup unknown" true (Symbol.lookup t "gamma" = None);
+  check "empty string is a valid symbol" true (Symbol.name t (Symbol.intern t "") = "")
+
+let symbol_errors () =
+  let t = Symbol.create () in
+  ignore (Symbol.intern t "x");
+  Alcotest.check_raises "name of unknown id" (Invalid_argument "Symbol.name: unknown id 1")
+    (fun () -> ignore (Symbol.name t 1));
+  Alcotest.check_raises "negative id" (Invalid_argument "Symbol.name: unknown id -1") (fun () ->
+      ignore (Symbol.name t (-1)))
+
+let symbol_roundtrip_prop =
+  QCheck.Test.make ~name:"intern/name roundtrip over random strings" ~count:200
+    QCheck.(small_list (string_of_size (QCheck.Gen.int_bound 8)))
+    (fun strings ->
+      let t = Symbol.create () in
+      let ids = List.map (Symbol.intern t) strings in
+      (* same string -> same id; every id resolves back to its string *)
+      List.for_all2
+        (fun s id -> Symbol.name t id = s && Symbol.intern t s = id)
+        strings ids
+      && Symbol.size t = List.length (List.sort_uniq compare strings))
+
 let () =
   Alcotest.run "base"
     [
@@ -260,6 +299,12 @@ let () =
           Alcotest.test_case "tick_merge" `Quick vclock_tick_merge;
           Alcotest.test_case "dim mismatch" `Quick vclock_dim_mismatch;
           QCheck_alcotest.to_alcotest vclock_merge_lub_prop;
+        ] );
+      ( "symbol",
+        [
+          Alcotest.test_case "basics" `Quick symbol_basics;
+          Alcotest.test_case "errors" `Quick symbol_errors;
+          QCheck_alcotest.to_alcotest symbol_roundtrip_prop;
         ] );
       ( "errors",
         [

@@ -77,8 +77,10 @@ let chrono_agrees_with_matcher =
                 if not (Compile.leaf_matches net leaf ev) then true
                 else begin
                   let ocep =
-                    Matcher.search ~net ~history ~n_traces
-                      ~trace_of_name:(Poet.trace_of_name poet)
+                    Matcher.search
+                      ~net:(Compile.intern_net net ~intern:(Symbol.intern (Poet.symbols poet)))
+                      ~history ~n_traces
+                      ~trace_of_sym:(Poet.trace_of_sym poet)
                       ~partner_of:(Poet.find_partner poet) ~anchor_leaf:leaf ~anchor:ev ()
                   in
                   let chrono, _ =
@@ -119,8 +121,10 @@ let chrono_explores_more () =
   let stats = Matcher.new_stats () in
   let poet = Build.poet b in
   let _ =
-    Matcher.search ~net ~history ~n_traces:3
-      ~trace_of_name:(Poet.trace_of_name poet)
+    Matcher.search
+      ~net:(Compile.intern_net net ~intern:(Symbol.intern (Poet.symbols poet)))
+      ~history ~n_traces:3
+      ~trace_of_sym:(Poet.trace_of_sym poet)
       ~partner_of:(Poet.find_partner poet) ~anchor_leaf:2 ~anchor:cc ~stats ()
   in
   let _, chrono_nodes = Chrono.search ~net ~history ~n_traces:3 ~anchor_leaf:2 ~anchor:cc () in
@@ -130,6 +134,8 @@ let chrono_explores_more () =
 (* Wait-for graph                                                      *)
 (* ------------------------------------------------------------------ *)
 
+(* The string-based baselines never read the symbol fields, so these
+   hand-built events carry no interning table. *)
 let blocked tr dst_name =
   {
     Event.trace = tr;
@@ -137,6 +143,9 @@ let blocked tr dst_name =
     index = 1;
     etype = "Blocked_Send";
     text = dst_name;
+    tsym = -1;
+    esym = -1;
+    xsym = -1;
     kind = Event.Internal;
     vc = Vclock.make ~dim:4;
   }
@@ -148,6 +157,9 @@ let sent tr =
     index = 2;
     etype = "MPI_Send";
     text = "";
+    tsym = -1;
+    esym = -1;
+    xsym = -1;
     kind = Event.Send { msg = 1 };
     vc = Vclock.make ~dim:4;
   }
@@ -190,6 +202,9 @@ let cs tr etype =
     index = 1;
     etype;
     text = "";
+    tsym = -1;
+    esym = -1;
+    xsym = -1;
     kind = Event.Internal;
     vc = Vclock.make ~dim:3;
   }

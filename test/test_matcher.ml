@@ -29,11 +29,13 @@ let history_of net ~n_traces events =
     events;
   h
 
+let inet_of poet net = Compile.intern_net net ~intern:(Symbol.intern (Poet.symbols poet))
+
 let search ?pin ?node_budget net poet events ~anchor_leaf ~anchor =
   let n_traces = Poet.trace_count poet in
   let history = history_of net ~n_traces events in
-  Matcher.search ~net ~history ~n_traces
-    ~trace_of_name:(Poet.trace_of_name poet)
+  Matcher.search ~net:(inet_of poet net) ~history ~n_traces
+    ~trace_of_sym:(Poet.trace_of_sym poet)
     ~partner_of:(Poet.find_partner poet) ~anchor_leaf ~anchor ?pin ?node_budget ()
 
 (* ------------------------------------------------------------------ *)
@@ -438,6 +440,7 @@ let matcher_agrees_with_oracle =
       | exception Compile.Compile_error _ -> true
       | net ->
         let history = history_of net ~n_traces events in
+        let inet = inet_of poet net in
         let oracle_matches = Oracle.all_matches ~net ~events in
         let ok = ref true in
         List.iter
@@ -445,8 +448,8 @@ let matcher_agrees_with_oracle =
             for leaf = 0 to Compile.size net - 1 do
               if !ok && Compile.leaf_matches net leaf ev then begin
                 let outcome =
-                  Matcher.search ~net ~history ~n_traces
-                    ~trace_of_name:(Poet.trace_of_name poet)
+                  Matcher.search ~net:inet ~history ~n_traces
+                    ~trace_of_sym:(Poet.trace_of_sym poet)
                     ~partner_of:(Poet.find_partner poet) ~anchor_leaf:leaf ~anchor:ev ()
                 in
                 let oracle_has =
@@ -482,6 +485,7 @@ let pinned_matches_oracle =
       | exception Compile.Compile_error _ -> true
       | net ->
         let history = history_of net ~n_traces events in
+        let inet = inet_of poet net in
         let oracle_matches = Oracle.all_matches ~net ~events in
         let k = Compile.size net in
         let ok = ref true in
@@ -494,8 +498,8 @@ let pinned_matches_oracle =
                     for pin_trace = 0 to n_traces - 1 do
                       if !ok then begin
                         let outcome =
-                          Matcher.search ~net ~history ~n_traces
-                            ~trace_of_name:(Poet.trace_of_name poet)
+                          Matcher.search ~net:inet ~history ~n_traces
+                            ~trace_of_sym:(Poet.trace_of_sym poet)
                             ~partner_of:(Poet.find_partner poet) ~anchor_leaf:leaf ~anchor:ev
                             ~pin:(pin_leaf, pin_trace) ()
                         in
@@ -553,6 +557,7 @@ let par_agrees_with_sequential =
           | exception Compile.Compile_error _ -> true
           | net ->
             let history = history_of net ~n_traces events in
+            let inet = inet_of poet net in
             List.for_all
               (fun ev ->
                 List.for_all
@@ -560,13 +565,13 @@ let par_agrees_with_sequential =
                     if not (Compile.leaf_matches net leaf ev) then true
                     else begin
                       let seq =
-                        Matcher.search ~net ~history ~n_traces
-                          ~trace_of_name:(Poet.trace_of_name poet)
+                        Matcher.search ~net:inet ~history ~n_traces
+                          ~trace_of_sym:(Poet.trace_of_sym poet)
                           ~partner_of:(Poet.find_partner poet) ~anchor_leaf:leaf ~anchor:ev ()
                       in
                       let par =
-                        Ocep.Par.search ~pool ~net ~history ~n_traces
-                          ~trace_of_name:(Poet.trace_of_name poet)
+                        Ocep.Par.search ~pool ~net:inet ~history ~n_traces
+                          ~trace_of_sym:(Poet.trace_of_sym poet)
                           ~partner_of:(Poet.find_partner poet) ~anchor_leaf:leaf ~anchor:ev ()
                       in
                       match (seq, par) with

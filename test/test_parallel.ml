@@ -151,7 +151,11 @@ let parallel_equals_sequential =
       match Compile.compile (Parser.parse src) with
       | exception Compile.Compile_error _ -> true
       | net ->
-        let cfg p = { Engine.default_config with Engine.parallelism = p } in
+        (* cut-over thresholds zeroed: these generated runs are small, and
+           the point is to exercise the pool path, not the inline one *)
+        let cfg p =
+          { Engine.default_config with Engine.parallelism = p; cutover_batch = 0; cutover_work = 0 }
+        in
         let seq = run_config ~config:(cfg 1) ~names ~net raws in
         let par = run_config ~config:(cfg 4) ~names ~net raws in
         if seq <> par then
@@ -171,7 +175,13 @@ let parallel_equals_sequential_budget =
       | exception Compile.Compile_error _ -> true
       | net ->
         let cfg p =
-          { Engine.default_config with Engine.parallelism = p; node_budget = Some 50 }
+          {
+            Engine.default_config with
+            Engine.parallelism = p;
+            node_budget = Some 50;
+            cutover_batch = 0;
+            cutover_work = 0;
+          }
         in
         run_config ~config:(cfg 1) ~names ~net raws = run_config ~config:(cfg 4) ~names ~net raws)
 

@@ -181,6 +181,9 @@ let inject_resolution () =
       index;
       etype;
       text = "";
+      tsym = -1;
+      esym = -1;
+      xsym = -1;
       kind = Event.Internal;
       vc = Vclock.make ~dim:2;
     }
