@@ -1,0 +1,273 @@
+(* Multi-pattern registry vs N dedicated engines.
+
+   Two workloads, four patterns each.  Every pattern set is run twice
+   over the identical raw stream: once registered together in one
+   engine (one POET subscription, one shared history store) and once as
+   four separate single-pattern engines each with its own POET.
+   Reported per workload: events/s for the whole pattern set (separate
+   mode's wall is the sum of its four replays — that is what monitoring
+   all four patterns costs without the registry), resident history
+   entries at end of run, and the speedup / storage ratio.  Per-pattern
+   observables (matches, coverage, reports) must be identical between
+   the two modes — the registry's isolation contract — which this
+   program asserts, exiting 1 on any mismatch.
+
+   - "shared-ops": a synthetic stream of high-volume Op internal events
+     with occasional cross-trace messages (advancing epochs so pruning
+     stays live) and rare Commit events.  All four patterns draw their
+     leaves from the Op and Commit classes, so the shared store holds
+     exactly two physical classes where separate engines hold seven.
+   - "races-variants": the message-race case stream, with four variants
+     of the race pattern all over the single [_, MPI_Send, $d] class.
+
+   Results go to BENCH_multi.json and a table on stdout.  Scale with
+   OCEP_EVENTS (default 20_000). *)
+
+module Sim = Ocep_sim.Sim
+module Poet = Ocep_poet.Poet
+module Parser = Ocep_pattern.Parser
+module Compile = Ocep_pattern.Compile
+module Engine = Ocep.Engine
+module Subset = Ocep.Subset
+module Event = Ocep_base.Event
+module Prng = Ocep_base.Prng
+module Workload = Ocep_workloads.Workload
+module Cases = Ocep_harness.Cases
+module Clock = Ocep_base.Clock
+
+(* ------------------------------------------------------------------ *)
+(* Workloads                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let shared_ops_stream ~n_traces ~n_events =
+  let prng = Prng.create 2013 in
+  let raws = ref [] and msg = ref 0 in
+  let push r = raws := r :: !raws in
+  for i = 0 to n_events - 1 do
+    if i mod 251 = 250 then
+      push
+        {
+          Event.r_trace = Prng.int prng n_traces;
+          r_etype = "Commit";
+          r_text = "c";
+          r_kind = Event.Internal;
+        }
+    else if i mod 16 = 15 then begin
+      let src = Prng.int prng n_traces in
+      let dst = (src + 1 + Prng.int prng (n_traces - 1)) mod n_traces in
+      incr msg;
+      push { Event.r_trace = src; r_etype = "Msg"; r_text = ""; r_kind = Event.Send { msg = !msg } };
+      push
+        { Event.r_trace = dst; r_etype = "Msg"; r_text = ""; r_kind = Event.Receive { msg = !msg } }
+    end
+    else
+      push
+        { Event.r_trace = i mod n_traces; r_etype = "Op"; r_text = "x"; r_kind = Event.Internal }
+  done;
+  List.rev !raws
+
+let shared_ops_patterns =
+  [
+    ("precedes", "A := [_, Op, _];\nC := [_, Commit, _];\npattern := A -> C;\n");
+    ("conc-commits", "C1 := [_, Commit, _];\nC2 := [_, Commit, _];\npattern := C1 || C2;\n");
+    ("same-proc", "A := [$p, Op, _];\nC := [$p, Commit, _];\npattern := A -> C;\n");
+    ( "fan-in",
+      "A1 := [_, Op, _];\nA2 := [_, Op, _];\nC := [_, Commit, _];\n\
+       pattern := (A1 -> C) && (A2 -> C);\n" );
+  ]
+
+let races_stream ~max_events =
+  let w = Cases.make "races" ~traces:8 ~seed:2013 ~max_events in
+  let names = Sim.trace_names w.Workload.sim_config in
+  let raws = ref [] in
+  let _ =
+    Sim.run w.Workload.sim_config ~sink:(fun r -> raws := r :: !raws) ~bodies:w.Workload.bodies
+  in
+  (names, List.rev !raws)
+
+let races_patterns =
+  [
+    ("race", "S1 := [_, MPI_Send, $d];\nS2 := [_, MPI_Send, $d];\npattern := S1 || S2;\n");
+    ("resend", "S1 := [_, MPI_Send, $d];\nS2 := [_, MPI_Send, $d];\npattern := S1 -> S2;\n");
+    ("ordered", "A := [_, MPI_Send, _];\nB := [_, MPI_Send, _];\npattern := A -> B;\n");
+    ("self-conc", "S1 := [$p, MPI_Send, _];\nS2 := [$p, MPI_Send, _];\npattern := S1 || S2;\n");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* The two deployment modes                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* everything the registry must keep bit-identical, per pattern *)
+let observe engine pid =
+  let reports =
+    List.map
+      (fun (r : Subset.report) ->
+        ( r.seq,
+          r.fresh,
+          Array.to_list (Array.map (fun (e : Event.t) -> (e.trace, e.index)) r.events) ))
+      (Engine.reports_for engine pid)
+  in
+  ( Engine.matches_found_for engine pid,
+    Engine.covered_slots_for engine pid,
+    Engine.seen_slots_for engine pid,
+    reports )
+
+type mode_result = {
+  wall_s : float;
+  history_entries : int;  (* resident at end of run, all engines summed *)
+  per_pattern :
+    (int * int * int * (int * (int * int) list * (int * int) list) list) list;
+}
+
+let run_multi ~names ~nets raws =
+  let poet = Poet.create ~trace_names:names () in
+  let engine = Engine.create_multi ~poet () in
+  Fun.protect
+    ~finally:(fun () -> Engine.shutdown engine)
+    (fun () ->
+      let pids = List.map (fun net -> Engine.add_pattern engine net) nets in
+      let t0 = Clock.now_s () in
+      List.iter (fun r -> ignore (Poet.ingest poet r)) raws;
+      let wall_s = Clock.now_s () -. t0 in
+      {
+        wall_s;
+        history_entries = Engine.history_entries engine;
+        per_pattern = List.map (observe engine) pids;
+      })
+
+let run_separate ~names ~nets raws =
+  let results =
+    List.map
+      (fun net ->
+        let poet = Poet.create ~trace_names:names () in
+        let engine = Engine.create ~net ~poet () in
+        Fun.protect
+          ~finally:(fun () -> Engine.shutdown engine)
+          (fun () ->
+            let t0 = Clock.now_s () in
+            List.iter (fun r -> ignore (Poet.ingest poet r)) raws;
+            let wall_s = Clock.now_s () -. t0 in
+            let pid = List.hd (Engine.pattern_ids engine) in
+            (wall_s, Engine.history_entries engine, observe engine pid)))
+      nets
+  in
+  {
+    wall_s = List.fold_left (fun a (w, _, _) -> a +. w) 0. results;
+    history_entries = List.fold_left (fun a (_, h, _) -> a + h) 0 results;
+    per_pattern = List.map (fun (_, _, o) -> o) results;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type row = {
+  workload : string;
+  n_events : int;
+  pattern_names : string list;
+  multi : mode_result;
+  separate : mode_result;
+}
+
+(* best-of-R, alternating modes so neither benefits from allocator /
+   GC warm-up; observables are asserted identical across repetitions *)
+let repetitions =
+  match Sys.getenv_opt "OCEP_REPS" with Some s -> int_of_string s | None -> 3
+
+let best_of runs =
+  match runs with
+  | [] -> invalid_arg "best_of"
+  | first :: rest ->
+    List.iter
+      (fun r ->
+        if r.per_pattern <> first.per_pattern || r.history_entries <> first.history_entries
+        then begin
+          Printf.eprintf "FATAL: a repetition changed an observable (nondeterminism)\n";
+          exit 1
+        end)
+      rest;
+    List.fold_left (fun a r -> if r.wall_s < a.wall_s then r else a) first rest
+
+let bench_workload ~workload ~names ~patterns raws =
+  let nets = List.map (fun (_, src) -> Compile.compile (Parser.parse src)) patterns in
+  let reps =
+    List.init repetitions (fun _ ->
+        (run_multi ~names ~nets raws, run_separate ~names ~nets raws))
+  in
+  let multi = best_of (List.map fst reps) in
+  let separate = best_of (List.map snd reps) in
+  List.iteri
+    (fun i name ->
+      let m = List.nth multi.per_pattern i and s = List.nth separate.per_pattern i in
+      if m <> s then begin
+        let pr (matches, cov, seen, reports) =
+          Printf.sprintf "matches=%d coverage=%d/%d reports=%d" matches cov seen
+            (List.length reports)
+        in
+        Printf.eprintf "FATAL: %s/%s differs between modes: multi %s, separate %s\n" workload
+          name (pr m) (pr s);
+        exit 1
+      end)
+    (List.map fst patterns);
+  {
+    workload;
+    n_events = List.length raws;
+    pattern_names = List.map fst patterns;
+    multi;
+    separate;
+  }
+
+let events_per_s r n = float_of_int n /. (if r.wall_s > 0. then r.wall_s else 1e-9)
+
+let json_of_mode r n =
+  Printf.sprintf
+    {|{"wall_s": %.6f, "events_per_s": %.0f, "history_entries": %d, "matches": [%s]}|}
+    r.wall_s (events_per_s r n) r.history_entries
+    (String.concat ", " (List.map (fun (m, _, _, _) -> string_of_int m) r.per_pattern))
+
+let () =
+  let max_events =
+    match Sys.getenv_opt "OCEP_EVENTS" with Some s -> int_of_string s | None -> 20_000
+  in
+  Printf.printf "multi-pattern registry bench: %d events/workload, 4 patterns each\n%!" max_events;
+  let shared_names = Array.init 8 (fun i -> "P" ^ string_of_int i) in
+  let rows =
+    [
+      bench_workload ~workload:"shared-ops" ~names:shared_names ~patterns:shared_ops_patterns
+        (shared_ops_stream ~n_traces:8 ~n_events:max_events);
+      (let names, raws = races_stream ~max_events in
+       bench_workload ~workload:"races-variants" ~names ~patterns:races_patterns raws);
+    ]
+  in
+  Printf.printf "\n%-16s %8s | %12s %12s %8s | %9s %9s %7s\n" "workload" "events" "multi ev/s"
+    "sep ev/s" "speedup" "multi hist" "sep hist" "ratio";
+  List.iter
+    (fun r ->
+      Printf.printf "%-16s %8d | %12.0f %12.0f %7.2fx | %9d %9d %6.2fx\n" r.workload r.n_events
+        (events_per_s r.multi r.n_events)
+        (events_per_s r.separate r.n_events)
+        (r.separate.wall_s /. r.multi.wall_s)
+        r.multi.history_entries r.separate.history_entries
+        (float_of_int r.separate.history_entries
+        /. float_of_int (max 1 r.multi.history_entries)))
+    rows;
+  let oc = open_out "BENCH_multi.json" in
+  Printf.fprintf oc "{\n  \"events_per_workload\": %d,\n  \"workloads\": {\n" max_events;
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    %S: {\n      \"patterns\": [%s],\n      \"multi\": %s,\n      \"separate\": %s,\n\
+        \      \"speedup\": %.3f,\n      \"history_ratio\": %.3f,\n      \"equal_results\": \
+         true\n    }%s\n"
+        r.workload
+        (String.concat ", " (List.map (Printf.sprintf "%S") r.pattern_names))
+        (json_of_mode r.multi r.n_events)
+        (json_of_mode r.separate r.n_events)
+        (r.separate.wall_s /. r.multi.wall_s)
+        (float_of_int r.separate.history_entries
+        /. float_of_int (max 1 r.multi.history_entries))
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  }\n}\n";
+  close_out oc;
+  Printf.printf "\nwrote BENCH_multi.json\n"

@@ -89,11 +89,15 @@ let gen_cmd =
 (* ------------------------------------------------------------------ *)
 
 let run_cmd =
-  let pattern_file =
+  let pattern_files =
     Arg.(
-      required
-      & opt (some file) None
-      & info [ "pattern"; "p" ] ~docv:"FILE" ~doc:"Pattern-language source file.")
+      non_empty
+      & opt_all file []
+      & info [ "pattern"; "p" ] ~docv:"FILE"
+          ~doc:
+            "Pattern-language source file. Repeatable: all patterns are registered in one \
+             multi-pattern engine sharing a single POET subscription and history store, and \
+             results are reported per pattern.")
   in
   let trace_file =
     Arg.(
@@ -152,7 +156,7 @@ let run_cmd =
              each snapshot to the JSON file's $(b,snapshots) array (the final snapshot is \
              always last).")
   in
-  let run pattern_file trace_file no_pruning parallelism max_reports diagram metrics_out
+  let run pattern_files trace_file no_pruning parallelism max_reports diagram metrics_out
       trace_out metrics_every =
     if parallelism < 0 then (
       Printf.eprintf "ocep: --parallelism must be >= 0 (0 = one worker per core), got %d\n"
@@ -163,7 +167,9 @@ let run_cmd =
       Printf.eprintf "ocep: --metrics-every must be positive, got %d\n" n;
       exit 2
     | _ -> ());
-    let net = Compile.compile (Parser.parse (read_file pattern_file)) in
+    let nets =
+      List.map (fun f -> (f, Compile.compile (Parser.parse (read_file f)))) pattern_files
+    in
     let ic = open_in trace_file in
     let names, raws = Poet.load ic in
     close_in ic;
@@ -179,7 +185,8 @@ let run_cmd =
         trace_spans = trace_out <> None;
       }
     in
-    let engine = Engine.create ~config ~net ~poet () in
+    let engine = Engine.create_multi ~config ~poet () in
+    let pids = List.map (fun (f, net) -> (f, net, Engine.add_pattern engine net)) nets in
     Fun.protect ~finally:(fun () -> Engine.shutdown engine) @@ fun () ->
     let snapshots = ref [] in
     let snap () =
@@ -234,17 +241,32 @@ let run_cmd =
       let s = Summary.of_samples latencies in
       Format.printf "latency (us): %a@." Summary.pp s
     end;
-    List.iteri
-      (fun i (r : Ocep.Subset.report) ->
-        if i < max_reports then begin
-          Format.printf "match %d:@." (i + 1);
-          Array.iteri
-            (fun leaf e ->
-              Format.printf "  %s = %a@." net.Compile.leaves.(leaf).Compile.cls.Ocep_pattern.Ast.cname
-                Ocep_base.Event.pp e)
-            r.events
-        end)
-      (Engine.reports engine);
+    let print_reports net reports =
+      List.iteri
+        (fun i (r : Ocep.Subset.report) ->
+          if i < max_reports then begin
+            Format.printf "match %d:@." (i + 1);
+            Array.iteri
+              (fun leaf e ->
+                Format.printf "  %s = %a@."
+                  net.Compile.leaves.(leaf).Compile.cls.Ocep_pattern.Ast.cname
+                  Ocep_base.Event.pp e)
+              r.events
+          end)
+        reports
+    in
+    (match pids with
+    | [ (_, net, _) ] -> print_reports net (Engine.reports engine)
+    | _ ->
+      List.iter
+        (fun (file, net, pid) ->
+          Printf.printf "pattern %d (%s): matches %d   reports %d   coverage %d/%d\n" pid file
+            (Engine.matches_found_for engine pid)
+            (List.length (Engine.reports_for engine pid))
+            (Engine.covered_slots_for engine pid)
+            (Engine.seen_slots_for engine pid);
+          print_reports net (Engine.reports_for engine pid))
+        pids);
     if diagram then begin
       let highlight =
         match Engine.reports engine with
@@ -260,7 +282,7 @@ let run_cmd =
   let info = Cmd.info "run" ~doc:"Reload a trace dump and match a pattern against it online." in
   Cmd.v info
     Term.(
-      const run $ pattern_file $ trace_file $ no_pruning $ parallelism $ max_reports $ diagram
+      const run $ pattern_files $ trace_file $ no_pruning $ parallelism $ max_reports $ diagram
       $ metrics_out $ trace_out $ metrics_every)
 
 (* ------------------------------------------------------------------ *)
@@ -269,22 +291,71 @@ let run_cmd =
 
 let check_cmd =
   let pattern_file =
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Pattern source file.")
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Pattern source file.")
   in
-  let run pattern_file =
-    match Compile.compile (Parser.parse (read_file pattern_file)) with
-    | net ->
-      Format.printf "%a" Compile.pp net;
-      0
-    | exception Parser.Parse_error e ->
-      Printf.eprintf "parse error: %s\n" e;
-      1
-    | exception Compile.Compile_error e ->
-      Printf.eprintf "compile error: %s\n" e;
-      1
+  let all_cases =
+    Arg.(
+      value & flag
+      & info [ "all-cases" ]
+          ~doc:
+            "Instead of FILE, compile every built-in case-study pattern and register all of \
+             them into one multi-pattern engine; exit nonzero on the first failure.")
   in
-  let info = Cmd.info "check" ~doc:"Parse and compile a pattern, printing its constraint net." in
-  Cmd.v info Term.(const run $ pattern_file)
+  let check_one src =
+    match Compile.compile (Parser.parse src) with
+    | net -> Ok net
+    | exception Parser.Parse_error e -> Error (Printf.sprintf "parse error: %s" e)
+    | exception Compile.Compile_error e -> Error (Printf.sprintf "compile error: %s" e)
+    | exception Invalid_argument e -> Error e
+  in
+  let run pattern_file all_cases =
+    match (pattern_file, all_cases) with
+    | Some _, true | None, false ->
+      Printf.eprintf "ocep check: give exactly one of FILE or --all-cases\n";
+      2
+    | Some f, false -> (
+      match check_one (read_file f) with
+      | Ok net ->
+        Format.printf "%a" Compile.pp net;
+        0
+      | Error e ->
+        Printf.eprintf "%s\n" e;
+        1)
+    | None, true ->
+      (* one registry engine must accept all four patterns together *)
+      let w = Cases.make (List.hd Cases.names) ~traces:6 ~seed:1 ~max_events:1 in
+      let poet = Poet.create ~trace_names:(Sim.trace_names w.Workload.sim_config) () in
+      let engine = Engine.create_multi ~poet () in
+      Fun.protect ~finally:(fun () -> Engine.shutdown engine) @@ fun () ->
+      let rec go = function
+        | [] ->
+          Printf.printf "all %d case patterns compile and register together\n"
+            (Engine.pattern_count engine);
+          0
+        | case :: rest -> (
+          let src = (Cases.make case ~traces:6 ~seed:1 ~max_events:1).Workload.pattern in
+          match check_one src with
+          | Error e ->
+            Printf.eprintf "%s: %s\n" case e;
+            1
+          | Ok net -> (
+            match Engine.add_pattern engine net with
+            | pid ->
+              Printf.printf "%-10s ok: pattern %d, %d leaves\n" case pid (Compile.size net);
+              go rest
+            | exception Invalid_argument e ->
+              Printf.eprintf "%s: %s\n" case e;
+              1))
+      in
+      go Cases.names
+  in
+  let info =
+    Cmd.info "check"
+      ~doc:
+        "Parse and compile a pattern, printing its constraint net; or validate every built-in \
+         case pattern with $(b,--all-cases)."
+  in
+  Cmd.v info Term.(const run $ pattern_file $ all_cases)
 
 (* ------------------------------------------------------------------ *)
 (* info                                                                *)
@@ -364,7 +435,7 @@ let repro_cmd =
       & opt (some string) None
       & info [ "only" ] ~docv:"SECTION"
           ~doc:"Limit to one section: fig3, fig6, fig7, fig8, fig9, fig10, completeness, \
-                fig6-length, baselines, lattice, ablations.")
+                fig6-length, multi, baselines, lattice, ablations.")
   in
   let run events runs only =
     let scale = { Repro.events; runs } in
@@ -379,6 +450,7 @@ let repro_cmd =
     | Some "fig9" -> Repro.boxplot_figure ppf ~scale ~case:"ordering"
     | Some "fig10" -> Repro.fig10 ppf ~scale
     | Some "completeness" -> Repro.completeness ppf ~scale
+    | Some "multi" -> Repro.multi ppf ~scale
     | Some "baselines" -> Repro.baselines ppf ~scale
     | Some "lattice" -> Repro.lattice ppf ~scale
     | Some "ablations" ->

@@ -33,6 +33,12 @@ val completeness : Format.formatter -> scale:scale -> unit
 (** Section V-D's completeness metric: injected violations detected and
     false positives per case. *)
 
+val multi : Format.formatter -> scale:scale -> unit
+(** Registry deployment: all four case-study patterns registered in one
+    engine, run over each case's stream — per-pattern outcomes, plus the
+    isolation check that the stream's own pattern reports exactly what a
+    dedicated single-pattern engine does. *)
+
 val baselines : Format.formatter -> scale:scale -> unit
 (** Section V-C's qualitative comparisons, measured: wait-for-graph
     deadlock detection (incremental and full-history), the conflict-graph

@@ -29,6 +29,70 @@ type outcome = {
   wall_s : float;
 }
 
+type pattern_outcome = {
+  p_id : Engine.pattern_id;
+  p_name : string;
+  p_matches : int;
+  p_reports : int;
+  p_covered : int;
+  p_seen : int;
+  p_searches : int;
+  p_nodes : int;
+}
+
+type multi_outcome = {
+  m_events : int;
+  m_terminating : int;
+  m_history_entries : int;
+  m_wall_s : float;
+  m_patterns : pattern_outcome list;
+}
+
+let run_multi ?(engine_config = Engine.default_config) ~patterns (w : Workload.t) =
+  let t0 = Ocep_base.Clock.now_s () in
+  let names = Sim.trace_names w.sim_config in
+  let poet = Poet.create ~trace_names:names () in
+  let engine = Engine.create_multi ~config:engine_config ~poet () in
+  let pids =
+    List.map
+      (fun (name, src) -> (name, Engine.add_pattern engine (Compile.compile (Parser.parse src))))
+      patterns
+  in
+  Fun.protect ~finally:(fun () -> Engine.shutdown engine) @@ fun () ->
+  ignore
+    (Sim.run w.sim_config ~sink:(fun raw -> ignore (Poet.ingest poet raw)) ~bodies:w.bodies);
+  {
+    m_events = Poet.ingested poet;
+    m_terminating = Engine.terminating_arrivals engine;
+    m_history_entries = Engine.history_entries engine;
+    m_wall_s = Ocep_base.Clock.now_s () -. t0;
+    m_patterns =
+      List.map
+        (fun (name, pid) ->
+          let stats = Engine.search_stats_for engine pid in
+          {
+            p_id = pid;
+            p_name = name;
+            p_matches = Engine.matches_found_for engine pid;
+            p_reports = List.length (Engine.reports_for engine pid);
+            p_covered = Engine.covered_slots_for engine pid;
+            p_seen = Engine.seen_slots_for engine pid;
+            p_searches = stats.Ocep.Matcher.searches;
+            p_nodes = stats.Ocep.Matcher.nodes;
+          })
+        pids;
+  }
+
+let pp_multi_outcome ppf (o : multi_outcome) =
+  Format.fprintf ppf "events=%d terminating=%d shared history entries=%d wall=%.2fs@\n"
+    o.m_events o.m_terminating o.m_history_entries o.m_wall_s;
+  List.iter
+    (fun p ->
+      Format.fprintf ppf
+        "  pattern %d %-10s matches=%d reports=%d coverage=%d/%d searches=%d nodes=%d@\n"
+        p.p_id p.p_name p.p_matches p.p_reports p.p_covered p.p_seen p.p_searches p.p_nodes)
+    o.m_patterns
+
 let run ?(engine_config = Engine.default_config) ?(cutoff_margin = 0.05) (w : Workload.t) =
   let t0 = Ocep_base.Clock.now_s () in
   let names = Sim.trace_names w.sim_config in

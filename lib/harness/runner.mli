@@ -34,6 +34,37 @@ type outcome = {
   wall_s : float;  (** total wall-clock of the run *)
 }
 
+type pattern_outcome = {
+  p_id : Engine.pattern_id;
+  p_name : string;
+  p_matches : int;
+  p_reports : int;
+  p_covered : int;
+  p_seen : int;
+  p_searches : int;
+  p_nodes : int;
+}
+
+type multi_outcome = {
+  m_events : int;
+  m_terminating : int;
+  m_history_entries : int;  (** shared store: each physical class counted once *)
+  m_wall_s : float;
+  m_patterns : pattern_outcome list;  (** registration order *)
+}
+
+val run_multi :
+  ?engine_config:Engine.config ->
+  patterns:(string * string) list ->
+  Workload.t ->
+  multi_outcome
+(** Register every [(name, pattern-source)] pair into {e one} engine and
+    stream the workload's events through it once, reporting per-pattern
+    outcomes. Each pattern's matches/coverage/reports are bit-identical
+    to a dedicated single-pattern engine fed the same stream. *)
+
+val pp_multi_outcome : Format.formatter -> multi_outcome -> unit
+
 val run :
   ?engine_config:Engine.config ->
   ?cutoff_margin:float ->

@@ -8,6 +8,8 @@ module Itbl = Hashtbl.Make (Int)
 
 type latency_sink = Samples | Histogram | Both
 
+type pattern_id = int
+
 type config = {
   pruning : bool;
   max_history_per_trace : int option;
@@ -87,7 +89,7 @@ let gc_able_leaves (net : Compile.t) =
 (* Handles into the metrics registry whose values are pulled from the
    engine's internal counters by [sync_metrics] (called before every
    snapshot) rather than bumped in the hot path — the only always-hot
-   instrument is the latency histogram itself. *)
+   instruments are the latency histograms. *)
 type meters = {
   m_events : Metrics.counter;
   m_terminating : Metrics.counter;
@@ -113,38 +115,86 @@ type meters = {
   m_poet_notified : Metrics.counter;
   m_spans : Metrics.counter;
   m_spans_dropped : Metrics.counter;
+  m_patterns : Metrics.gauge;
+}
+
+(* Per-pattern instruments: the existing metric names carried one engine's
+   single pattern implicitly; with a registry they gain a pattern label. *)
+type pmeters = {
+  pm_matches : Metrics.counter;
+  pm_reports : Metrics.gauge;
+  pm_covered : Metrics.gauge;
+  pm_seen : Metrics.gauge;
+  pm_nodes : Metrics.counter;
+  pm_backjumps : Metrics.counter;
+  pm_searches : Metrics.counter;
+  pm_aborts : Metrics.counter;
+  pm_pinned_skipped : Metrics.counter;
+}
+
+(* The isolated per-pattern state: everything that was engine state when
+   the engine owned exactly one pattern, minus the shared substrate
+   (POET subscription, history store, frontier, pool, calibration). *)
+type pstate = {
+  pid : pattern_id;
+  pnet : Compile.t;
+  pinet : Compile.inet;
+  phistory : History.t;  (* leaf-indexed view onto the shared store *)
+  psubset : Subset.t;
+  pstats : Matcher.stats;
+  pfirst_leaf : int array;  (* anchor leaf -> first-level leaf, -1 for k = 1 *)
+  pplans : Matcher.plan array;  (* anchor leaf -> precomputed search plan *)
+  pgcable : bool array;
+  pgeneric : bool array;  (* leaf's type spec is wildcard/variable *)
+  ppin_gen : int array array;  (* slot -> history generation at last failed pin, -1 none *)
+  ppin_matches : int array array;  (* slot -> matches_found at last failed pin *)
+  pscratch : int Vec.t;  (* sort keys of leaves matched by the current arrival *)
+  panchors : int Vec.t;  (* terminating matched leaves, candidate order *)
+  mutable ptouched_seq : int;  (* events_processed when pscratch was reset *)
+  mutable pmatches : int;
+  mutable paborted : int;
+  mutable pskipped : int;
+  pm : pmeters;
+  plat_hist : Hist.t;  (* ocep_latency_us{pattern="..."} *)
+}
+
+(* One entry of the class registry: the physical history class plus its
+   subscriber list. The refcount is the subscriber count. *)
+type cls_reg = {
+  ckey : int * int * int;
+  cid : int;  (* class id in the history store *)
+  mutable csubs : (pstate * int) array;  (* (pattern, leaf), registration order *)
+  mutable cgcable : bool;  (* AND over subscribers' per-leaf gc-ability *)
 }
 
 type t = {
   cfg : config;
-  net : Compile.t;
-  inet : Compile.inet;
   poet : Poet.t;
   n_traces : int;
-  history : History.t;
-  subset : Subset.t;
-  stats : Matcher.stats;
+  store : History.store;  (* shared by all registered patterns *)
   latencies : float Vec.t;
   latency_hist : Hist.t;  (* registered as ocep_latency_us *)
   metrics : Metrics.t;
   meters : meters;
   tracer : Tracer.t option;
   frontier : Vclock.t array;  (* latest timestamp seen per trace *)
-  gcable : bool array;
-  dispatch : Event.t -> int array;  (* cached per-etype candidate arrays *)
-  scratch : int Vec.t;  (* matched leaves of the current arrival *)
-  first_leaf : int array;  (* anchor leaf -> first-level leaf, -1 for k = 1 *)
-  plans : Matcher.plan array;  (* anchor leaf -> precomputed search plan *)
-  pin_gen : int array array;  (* slot -> history generation at last failed pin, -1 none *)
-  pin_matches : int array array;  (* slot -> matches_found at last failed pin *)
+  intern : string -> int;
+  trace_of_sym : int -> int option;
+  partner_of : Event.t -> Event.t option;
+  mutable patterns : pstate list;  (* live patterns, ascending pid *)
+  mutable next_pid : pattern_id;
+  classes : (int * int * int, cls_reg) Hashtbl.t;
+  mutable by_esym : cls_reg array Itbl.t;  (* cached per-etype candidate classes *)
+  mutable generic_cls : cls_reg array;  (* classes with wildcard/variable type *)
+  pin_batch : (pstate * int * int * int) Vec.t;
+      (* one round's surviving pinned searches across all patterns:
+         (pattern, anchor_leaf, pin_leaf, pin_trace) in (pattern_id, slot)
+         order — the deterministic merge order of the fan-out *)
   parallelism : int;  (* resolved: >= 1 *)
   mutable pool : Search_pool.t option;  (* spawned on first fan-out *)
-  mutable matches_found : int;
   mutable events_processed : int;
   mutable terminating_arrivals : int;
-  mutable aborted : int;
   mutable speculative_discards : int;
-  mutable pinned_skipped : int;
   (* cut-over self-calibration: EWMA of per-slot wall time for eligible
      batches, one per execution mode, plus sample/eligibility counters *)
   mutable ew_inline_us : float;
@@ -154,39 +204,39 @@ type t = {
   mutable eligible_batches : int;
 }
 
-(* Dispatching an arriving event to the leaves it may class-match: most
+(* Class-match on the dedup key: every subscriber's leaf_matches_i is
+   exactly this test (exact attributes interned, Any/Var accept all). *)
+let class_matches (p, ty, x) (ev : Event.t) =
+  (ty < 0 || ty = ev.esym) && (p < 0 || p = ev.tsym) && (x < 0 || x = ev.xsym)
+
+(* Dispatching an arriving event to the classes it may match: most
    patterns pin the event type exactly, so the merged candidate array of
-   each exact etype symbol (that type's leaves, then the wildcard/variable
-   ones) is built once here; an arrival is a single int-keyed lookup
-   returning a shared array — no per-event allocation, no string hashing.
-   Candidates still need the proc/text spec check ({!Compile.leaf_matches_i})
-   per event. *)
-let make_dispatch (inet : Compile.inet) =
-  let k = Array.length inet.Compile.ityp in
-  let exact_syms = ref [] in
-  for l = 0 to k - 1 do
-    match inet.Compile.ityp.(l) with
-    | Compile.I_exact sym -> if not (List.mem sym !exact_syms) then exact_syms := sym :: !exact_syms
-    | Compile.I_any | Compile.I_var _ -> ()
-  done;
-  let generic =
-    Array.of_list
-      (List.filter
-         (fun l -> match inet.Compile.ityp.(l) with Compile.I_exact _ -> false | _ -> true)
-         (List.init k (fun l -> l)))
-  in
-  let by_sym : int array Itbl.t = Itbl.create 16 in
+   each exact etype symbol (that type's classes, then the
+   wildcard/variable ones) is rebuilt on every add/remove_pattern; an
+   arrival is a single int-keyed lookup returning a shared array — no
+   per-event allocation, no string hashing. *)
+let rebuild_dispatch t =
+  let all = Hashtbl.fold (fun _ c acc -> c :: acc) t.classes [] in
+  let all = List.sort (fun a b -> compare a.cid b.cid) all in
+  let generic = List.filter (fun c -> match c.ckey with _, ty, _ -> ty < 0) all in
+  let generic_arr = Array.of_list generic in
+  let by_sym : cls_reg array Itbl.t = Itbl.create 16 in
   List.iter
-    (fun sym ->
-      let mine =
-        List.filter
-          (fun l -> inet.Compile.ityp.(l) = Compile.I_exact sym)
-          (List.init k (fun l -> l))
-      in
-      Itbl.replace by_sym sym (Array.append (Array.of_list mine) generic))
-    !exact_syms;
-  fun (ev : Event.t) ->
-    match Itbl.find_opt by_sym ev.esym with Some a -> a | None -> generic
+    (fun c ->
+      match c.ckey with
+      | _, ty, _ when ty >= 0 ->
+        let mine = match Itbl.find_opt by_sym ty with Some a -> Array.to_list a | None -> [] in
+        Itbl.replace by_sym ty (Array.of_list (mine @ [ c ]))
+      | _ -> ())
+    all;
+  (* append the generic classes once per exact symbol so the hot path is
+     one lookup *)
+  Itbl.iter (fun sym exacts -> Itbl.replace by_sym sym (Array.append exacts generic_arr)) by_sym;
+  t.by_esym <- by_sym;
+  t.generic_cls <- generic_arr
+
+let recompute_gcable (c : cls_reg) =
+  c.cgcable <- Array.for_all (fun ((q : pstate), l) -> q.pgcable.(l)) c.csubs
 
 let make_meters metrics ~parallelism =
   let c ?help name = Metrics.counter metrics ?help name in
@@ -204,7 +254,7 @@ let make_meters metrics ~parallelism =
   let m_searches = c ~help:"Searches started" "ocep_searches_total" in
   let m_aborts = c ~help:"Searches aborted by the node budget" "ocep_search_aborts_total" in
   let m_epochs = c ~help:"Communication-epoch advances" "ocep_epoch_advances_total" in
-  let m_hist_entries = g ~help:"Stored history entries" "ocep_history_entries" in
+  let m_hist_entries = g ~help:"Stored history entries (shared across patterns)" "ocep_history_entries" in
   let m_hist_dropped =
     c ~help:"History entries dropped (cap + GC)" "ocep_history_dropped_total"
   in
@@ -238,6 +288,7 @@ let make_meters metrics ~parallelism =
   let m_spans_dropped =
     c ~help:"Trace spans overwritten by the ring buffer" "ocep_trace_spans_dropped_total"
   in
+  let m_patterns = g ~help:"Registered live patterns" "ocep_patterns" in
   {
     m_events;
     m_terminating;
@@ -263,30 +314,86 @@ let make_meters metrics ~parallelism =
     m_poet_notified;
     m_spans;
     m_spans_dropped;
+    m_patterns;
   }
 
-let create ?(config = default_config) ~net ~poet () =
+let make_pmeters metrics ~pid =
+  let lbl name = Printf.sprintf "%s{pattern=\"%d\"}" name pid in
+  let c ?help name = Metrics.counter metrics ?help (lbl name) in
+  let g ?help name = Metrics.gauge metrics ?help (lbl name) in
+  let pm_matches = c ~help:"Successful searches" "ocep_matches_total" in
+  let pm_reports = g ~help:"Reported representative subset size" "ocep_reports" in
+  let pm_covered = g ~help:"Covered coverage slots" "ocep_covered_slots" in
+  let pm_seen = g ~help:"Seen coverage slots" "ocep_seen_slots" in
+  let pm_nodes = c ~help:"Search-tree nodes expanded" "ocep_search_nodes_total" in
+  let pm_backjumps = c ~help:"Conflict-directed backjumps" "ocep_search_backjumps_total" in
+  let pm_searches = c ~help:"Searches started" "ocep_searches_total" in
+  let pm_aborts = c ~help:"Searches aborted by the node budget" "ocep_search_aborts_total" in
+  let pm_pinned_skipped =
+    c ~help:"Pinned searches skipped by the slot pre-filter" "ocep_pinned_skipped_total"
+  in
+  {
+    pm_matches;
+    pm_reports;
+    pm_covered;
+    pm_seen;
+    pm_nodes;
+    pm_backjumps;
+    pm_searches;
+    pm_aborts;
+    pm_pinned_skipped;
+  }
+
+(* Sort keys for the per-pattern matched-leaf scratch: exact-type leaves
+   ascending, then generic (wildcard/variable type) leaves ascending —
+   the candidate order of the old single-pattern dispatch, which fixes
+   the Subset.seen and anchor processing order and therefore keeps every
+   per-pattern observable bit-identical to a dedicated engine. *)
+let generic_bit = 1 lsl 20
+
+let leaf_mask = generic_bit - 1
+
+(* insertion sort: the scratch holds the matched leaves of one arrival
+   for one pattern — almost always <= 4 elements *)
+let sort_scratch (v : int Vec.t) =
+  for i = 1 to Vec.length v - 1 do
+    let x = Vec.get v i in
+    let j = ref (i - 1) in
+    while !j >= 0 && Vec.get v !j > x do
+      Vec.set v (!j + 1) (Vec.get v !j);
+      decr j
+    done;
+    Vec.set v (!j + 1) x
+  done
+
+let live_pattern t pid = List.find_opt (fun (p : pstate) -> p.pid = pid) t.patterns
+
+let get_pattern t pid =
+  match live_pattern t pid with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Engine: no registered pattern %d" pid)
+
+let first_pattern t =
+  match t.patterns with
+  | p :: _ -> p
+  | [] -> invalid_arg "Engine: no registered patterns"
+
+let create_multi ?(config = default_config) ~poet () =
   validate_config config;
   let n_traces = Poet.trace_count poet in
-  let k = Compile.size net in
   let parallelism =
     if config.parallelism = 0 then max 1 (Stdlib.Domain.recommended_domain_count ())
     else config.parallelism
   in
-  let inet = Compile.intern_net net ~intern:(Ocep_poet.Poet.symbols poet |> Symbol.intern) in
   let metrics = Metrics.create () in
   let t =
     {
       cfg = config;
-      net;
-      inet;
       poet;
       n_traces;
-      history =
-        History.create net ~n_traces ~pruning:config.pruning
+      store =
+        History.create_store ~n_traces ~pruning:config.pruning
           ?max_per_trace:config.max_history_per_trace ();
-      subset = Subset.create ~k ~n_traces ~report_cap:config.report_cap ();
-      stats = Matcher.new_stats ();
       latencies = Vec.create ();
       latency_hist =
         Metrics.histogram metrics
@@ -297,25 +404,20 @@ let create ?(config = default_config) ~net ~poet () =
         (if config.trace_spans then Some (Tracer.create ~capacity:default_trace_capacity)
          else None);
       frontier = Array.make n_traces (Vclock.make ~dim:n_traces);
-      gcable = gc_able_leaves net;
-      dispatch = make_dispatch inet;
-      scratch = Vec.create ();
-      first_leaf =
-        Array.init k (fun l ->
-            match Matcher.first_search_leaf ~net:inet ~anchor_leaf:l with
-            | Some x -> x
-            | None -> -1);
-      plans = Array.init k (fun l -> Matcher.plan ~net:inet ~anchor_leaf:l);
-      pin_gen = Array.make_matrix k n_traces (-1);
-      pin_matches = Array.make_matrix k n_traces 0;
+      intern = Symbol.intern (Poet.symbols poet);
+      trace_of_sym = Poet.trace_of_sym poet;
+      partner_of = Poet.find_partner poet;
+      patterns = [];
+      next_pid = 0;
+      classes = Hashtbl.create 16;
+      by_esym = Itbl.create 16;
+      generic_cls = [||];
+      pin_batch = Vec.create ();
       parallelism;
       pool = None;
-      matches_found = 0;
       events_processed = 0;
       terminating_arrivals = 0;
-      aborted = 0;
       speculative_discards = 0;
-      pinned_skipped = 0;
       ew_inline_us = 0.;
       ew_fan_us = 0.;
       inline_samples = 0;
@@ -323,43 +425,43 @@ let create ?(config = default_config) ~net ~poet () =
       eligible_batches = 0;
     }
   in
-  let trace_of_sym = Poet.trace_of_sym poet in
-  let partner_of = Poet.find_partner poet in
-  let consume_outcome outcome =
+  let consume_outcome (p : pstate) outcome =
     match outcome with
     | Matcher.Found m ->
-      t.matches_found <- t.matches_found + 1;
-      ignore (Subset.record t.subset ~seq:t.events_processed m)
+      p.pmatches <- p.pmatches + 1;
+      ignore (Subset.record p.psubset ~seq:t.events_processed m)
     | Matcher.Not_found -> ()
-    | Matcher.Aborted -> t.aborted <- t.aborted + 1
+    | Matcher.Aborted -> p.paborted <- p.paborted + 1
   in
   (* Consume a pinned search's result for a slot that is still uncovered.
      A definitive failure is remembered with the slot's current history
-     generation and the global match count; the record can only be
+     generation and the pattern's match count; the record can only be
      consulted again in node-budget runs (without a budget, batches only
      survive the anchored-failure filter right after a match, which
-     bumps matches_found and invalidates every record — DESIGN.md §4b).
+     bumps pmatches and invalidates every record — DESIGN.md §4b).
      There the skip is a heuristic in the budget's own spirit: the slot
      looks exactly as it did when an identical pin failed, so re-paying
      the (budget-capped) search is judged not worth it. Sequential and
      parallel modes build records and skips identically, so their
      equivalence is unaffected. *)
-  let consume_pin (l, tr) outcome =
+  let consume_pin (p : pstate) (l, tr) outcome =
     (match outcome with
     | Matcher.Not_found ->
-      t.pin_gen.(l).(tr) <- History.generation t.history ~leaf:l ~trace:tr;
-      t.pin_matches.(l).(tr) <- t.matches_found
+      p.ppin_gen.(l).(tr) <- History.generation p.phistory ~leaf:l ~trace:tr;
+      p.ppin_matches.(l).(tr) <- p.pmatches
     | Matcher.Found _ | Matcher.Aborted -> ());
-    consume_outcome outcome
+    consume_outcome p outcome
   in
   let outcome_tag = function
     | Matcher.Found _ -> "found"
     | Matcher.Not_found -> "not_found"
     | Matcher.Aborted -> "aborted"
   in
-  let search_args ?pin ~anchor_leaf ~(stats : Matcher.stats) ~nodes0 ~backjumps0 outcome =
+  let search_args ?pin ~(p : pstate) ~anchor_leaf ~(stats : Matcher.stats) ~nodes0 ~backjumps0
+      outcome =
     let base =
       [
+        ("pattern", Tracer.Int p.pid);
         ("anchor_leaf", Tracer.Int anchor_leaf);
         ("nodes", Tracer.Int (stats.Matcher.nodes - nodes0));
         ("backjumps", Tracer.Int (stats.Matcher.backjumps - backjumps0));
@@ -370,16 +472,16 @@ let create ?(config = default_config) ~net ~poet () =
     | None -> base
     | Some (l, tr) -> ("pin_leaf", Tracer.Int l) :: ("pin_trace", Tracer.Int tr) :: base
   in
-  let run_search ?pin ~anchor_leaf ~anchor () =
+  let run_search ?pin (p : pstate) ~anchor_leaf ~anchor () =
     let search () =
-      Matcher.search ~plan:t.plans.(anchor_leaf) ~net:inet ~history:t.history ~n_traces
-        ~trace_of_sym ~partner_of ~anchor_leaf ~anchor ?pin
-        ?node_budget:config.node_budget ~stats:t.stats ()
+      Matcher.search ~plan:p.pplans.(anchor_leaf) ~net:p.pinet ~history:p.phistory ~n_traces
+        ~trace_of_sym:t.trace_of_sym ~partner_of:t.partner_of ~anchor_leaf ~anchor ?pin
+        ?node_budget:config.node_budget ~stats:p.pstats ()
     in
     match t.tracer with
     | None -> search ()
     | Some tr ->
-      let nodes0 = t.stats.Matcher.nodes and backjumps0 = t.stats.Matcher.backjumps in
+      let nodes0 = p.pstats.Matcher.nodes and backjumps0 = p.pstats.Matcher.backjumps in
       let t0 = Clock.now_us () in
       let outcome = search () in
       let dt = Clock.now_us () -. t0 in
@@ -387,7 +489,7 @@ let create ?(config = default_config) ~net ~poet () =
         ~name:(if pin = None then "search" else "pinned")
         ~cat:"engine" ~ts_us:t0 ~dur_us:dt
         ~tid:(Stdlib.Domain.self () :> int)
-        ~args:(search_args ?pin ~anchor_leaf ~stats:t.stats ~nodes0 ~backjumps0 outcome);
+        ~args:(search_args ?pin ~p ~anchor_leaf ~stats:p.pstats ~nodes0 ~backjumps0 outcome);
       outcome
   in
   let get_pool () =
@@ -398,210 +500,271 @@ let create ?(config = default_config) ~net ~poet () =
       t.pool <- Some p;
       p
   in
-  (* Fan the pinned searches of one terminating arrival out across the
-     pool. Every search only reads the shared history/POET tables (no
-     event is ingested while this arrival is being processed), so the
-     workers need no locks; each gets a private Matcher.stats. The
-     results are consumed on the calling domain, deterministically in
-     slot order: a slot that an earlier-in-order match already covered
-     is dropped unconsumed — sequential execution would never have
-     searched it — which makes coverage, reports and matches_found
-     bit-identical to parallelism = 1. Only the merged node/backjump
-     counters can exceed the sequential ones (speculative work). *)
-  let fan_out_pins ~anchor_leaf ~anchor slots =
-    let slots = Array.of_list slots in
-    let results =
-      Search_pool.run (get_pool ()) ~n:(Array.length slots) (fun i ->
-          let l, tr = slots.(i) in
-          let stats = Matcher.new_stats () in
-          let search () =
-            (* plans are immutable, so sharing one across worker domains
-               is safe *)
-            Matcher.search ~plan:t.plans.(anchor_leaf) ~net:inet ~history:t.history ~n_traces
-              ~trace_of_sym ~partner_of ~anchor_leaf ~anchor ~pin:(l, tr)
-              ?node_budget:config.node_budget ~stats ()
-          in
-          let outcome =
-            match t.tracer with
-            | None -> search ()
-            | Some trc ->
-              (* recorded on the executing domain: the span's tid is the
-                 worker's domain id, which is what puts worker rows in
-                 the Chrome trace *)
-              let t0 = Clock.now_us () in
-              let o = search () in
-              let dt = Clock.now_us () -. t0 in
-              Tracer.record trc ~name:"pinned" ~cat:"worker" ~ts_us:t0 ~dur_us:dt
-                ~tid:(Stdlib.Domain.self () :> int)
-                ~args:
-                  (search_args ~pin:(l, tr) ~anchor_leaf ~stats ~nodes0:0 ~backjumps0:0 o);
-              o
-          in
-          (outcome, stats))
-    in
-    Array.iteri
-      (fun i (outcome, (s : Matcher.stats)) ->
-        t.stats.Matcher.nodes <- t.stats.Matcher.nodes + s.Matcher.nodes;
-        t.stats.Matcher.backjumps <- t.stats.Matcher.backjumps + s.Matcher.backjumps;
-        t.stats.Matcher.searches <- t.stats.Matcher.searches + s.Matcher.searches;
-        let l, tr = slots.(i) in
-        if not (Subset.is_covered t.subset ~leaf:l ~trace:tr) then consume_pin (l, tr) outcome
-        else t.speculative_discards <- t.speculative_discards + 1)
-      results
-  in
   let maybe_gc () =
     match config.gc_every with
-    | Some n when t.events_processed mod n = 0 && Array.exists (fun b -> b) t.gcable ->
-      (* threshold per trace: the greatest index already covered by every
-         trace's frontier *)
-      let thresholds =
-        Array.init n_traces (fun tr ->
-            Array.fold_left (fun acc vc -> min acc (Vclock.get vc tr)) max_int t.frontier)
-      in
-      ignore (History.gc t.history ~thresholds ~leaves:t.gcable)
+    | Some n when t.events_processed mod n = 0 -> begin
+      (* a class is GC-able only if every subscribed (pattern, leaf) pair
+         is — the conservative AND; GC-able entries can never join a
+         future match, so retaining some conservatively never changes
+         coverage, reports or match counts *)
+      let ncls = History.class_count t.store in
+      if ncls > 0 then begin
+        let classes = Array.make ncls false in
+        let any = ref false in
+        Hashtbl.iter
+          (fun _ (c : cls_reg) ->
+            if c.cgcable && Array.length c.csubs > 0 then begin
+              classes.(c.cid) <- true;
+              any := true
+            end)
+          t.classes;
+        if !any then begin
+          (* threshold per trace: the greatest index already covered by
+             every trace's frontier *)
+          let thresholds =
+            Array.init n_traces (fun tr ->
+                Array.fold_left (fun acc vc -> min acc (Vclock.get vc tr)) max_int t.frontier)
+          in
+          ignore (History.gc_store t.store ~thresholds ~classes)
+        end
+      end
+    end
     | _ -> ()
   in
-  (* Skip decisions for one pinned batch, made before any search of the
-     batch runs so that inline and fanned-out execution agree. Each rule
-     only skips searches that must return Not_found:
+  (* Skip decisions for one pattern's slots of one pinned batch, made
+     before any search of the batch runs so that inline and fanned-out
+     execution agree. Each rule only skips searches that must return
+     Not_found:
      1. the slot's (leaf, trace) history is empty — every candidate a
         pinned search could bind to the pinned leaf on that trace lives
         in exactly that history;
      2. the anchored (unpinned) search of this batch proved Not_found
         exhaustively — a pinned match is in particular an unpinned one;
      3. an identical pinned search failed before and neither the slot's
-        history generation nor the match count has changed since. *)
-  let filter_slots ~anchored_failed slots =
+        history generation nor the pattern's match count has changed
+        since. *)
+  let filter_slots (p : pstate) ~anchored_failed slots =
     List.filter
       (fun (l, tr) ->
         let skip =
           anchored_failed
-          || Vec.is_empty (History.on t.history ~leaf:l ~trace:tr)
-          || (t.pin_gen.(l).(tr) >= 0
-             && t.pin_gen.(l).(tr) = History.generation t.history ~leaf:l ~trace:tr
-             && t.pin_matches.(l).(tr) = t.matches_found)
+          || Vec.is_empty (History.on p.phistory ~leaf:l ~trace:tr)
+          || (p.ppin_gen.(l).(tr) >= 0
+             && p.ppin_gen.(l).(tr) = History.generation p.phistory ~leaf:l ~trace:tr
+             && p.ppin_matches.(l).(tr) = p.pmatches)
         in
-        if skip then t.pinned_skipped <- t.pinned_skipped + 1;
+        if skip then p.pskipped <- p.pskipped + 1;
         not skip)
       slots
-  in
-  (* Fan out only when there is enough surviving work to amortize the
-     pool's wake/merge cost: at least [cutover_batch] searches against a
-     first-level history of at least [cutover_work] entries (the cheap
-     estimate of each search's candidate space). Inline and fanned-out
-     execution are observably identical, so the policy only affects
-     wall-clock time. *)
-  let batch_eligible ~anchor_leaf surviving =
-    t.parallelism > 1
-    && List.compare_length_with surviving (max 2 config.cutover_batch) >= 0
-    &&
-    let fsl = t.first_leaf.(anchor_leaf) in
-    let work = if fsl < 0 then 0 else History.entries_for t.history ~leaf:fsl in
-    work >= config.cutover_work
   in
   (* Both thresholds at 0 force the pool for every batch (used by tests
      and reproductions that must exercise the parallel path). *)
   let forced_fan_out = config.cutover_batch = 0 && config.cutover_work = 0 in
-  let run_inline ~anchor_leaf ~anchor surviving =
-    List.iter
-      (fun (l, tr) ->
-        if not (Subset.is_covered t.subset ~leaf:l ~trace:tr) then
-          consume_pin (l, tr) (run_search ~pin:(l, tr) ~anchor_leaf ~anchor ()))
-      surviving
-  in
   let ewma old x = if old <= 0. then x else (0.8 *. old) +. (0.2 *. x) in
-  (* Above the static gate the cut-over self-calibrates: eligible batches
-     are timed, an EWMA of per-slot wall time is kept per mode, and the
-     currently faster mode runs — with the other mode revisited first to
-     collect [calib_samples] and then every 64th eligible batch, so a
-     changed environment can flip the decision. On a machine where the
-     pool cannot win (one core, oversubscribed workers) fanned batches
-     measure slower and the engine settles on inline execution. The two
-     modes are observably identical, so the timing-dependent choice never
-     affects coverage, reports or match counts. *)
   let calib_samples = 3 in
-  let run_pins ~anchor_leaf ~anchor surviving =
-    if surviving <> [] then begin
-      if forced_fan_out && t.parallelism > 1 then fan_out_pins ~anchor_leaf ~anchor surviving
-      else if not (batch_eligible ~anchor_leaf surviving) then
-        run_inline ~anchor_leaf ~anchor surviving
-      else begin
-        t.eligible_batches <- t.eligible_batches + 1;
-        let fan =
-          if t.fan_samples < calib_samples then true
-          else if t.inline_samples < calib_samples then false
-          else begin
-            let prefer_fan = t.ew_fan_us < t.ew_inline_us in
-            if t.eligible_batches land 63 = 0 then not prefer_fan else prefer_fan
-          end
-        in
-        let n = List.length surviving in
-        let t0 = Clock.now_us () in
-        if fan then fan_out_pins ~anchor_leaf ~anchor surviving
-        else run_inline ~anchor_leaf ~anchor surviving;
-        let per_slot = (Clock.now_us () -. t0) /. float_of_int n in
-        if fan then begin
-          t.ew_fan_us <- ewma t.ew_fan_us per_slot;
-          t.fan_samples <- t.fan_samples + 1
-        end
-        else begin
-          t.ew_inline_us <- ewma t.ew_inline_us per_slot;
-          t.inline_samples <- t.inline_samples + 1
-        end
-      end
-    end
-  in
   let on_event (ev : Event.t) =
     t.events_processed <- t.events_processed + 1;
     t.frontier.(ev.trace) <- ev.vc;
-    History.note_comm t.history ev;
-    let cands = t.dispatch ev in
-    Vec.clear t.scratch;
-    let any_terminating = ref false in
+    History.note_comm_store t.store ev;
+    let seq = t.events_processed in
+    (* phase 1 — class dispatch: add the event to every matching class
+       once, and queue the subscribing (pattern, leaf) pairs *)
+    let cands =
+      match Itbl.find_opt t.by_esym ev.esym with Some a -> a | None -> t.generic_cls
+    in
     Array.iter
-      (fun i ->
-        if Compile.leaf_matches_i inet i ev then begin
-          History.add t.history ~leaf:i ev;
-          Subset.seen t.subset ~leaf:i ~trace:ev.trace;
-          Vec.push t.scratch i;
-          if t.net.Compile.terminating.(i) then any_terminating := true
+      (fun (c : cls_reg) ->
+        if class_matches c.ckey ev then begin
+          History.add_class t.store ~cls:c.cid ev;
+          Array.iter
+            (fun ((p : pstate), l) ->
+              if p.ptouched_seq <> seq then begin
+                p.ptouched_seq <- seq;
+                Vec.clear p.pscratch;
+                Vec.clear p.panchors
+              end;
+              Vec.push p.pscratch (if p.pgeneric.(l) then generic_bit lor l else l))
+            c.csubs
         end)
       cands;
-    if !any_terminating then begin
+    (* phase 2 — per pattern, in pid order: mark slots seen and collect
+       anchors in the old dispatch order (exact-type leaves ascending,
+       then generic ascending), restored by sorting the scratch keys *)
+    let any_anchor = ref false in
+    List.iter
+      (fun (p : pstate) ->
+        if p.ptouched_seq = seq then begin
+          sort_scratch p.pscratch;
+          Vec.iter
+            (fun key ->
+              let l = key land leaf_mask in
+              Subset.seen p.psubset ~leaf:l ~trace:ev.trace;
+              if p.pnet.Compile.terminating.(l) then begin
+                Vec.push p.panchors l;
+                any_anchor := true
+              end)
+            p.pscratch
+        end)
+      t.patterns;
+    (* phase 3 — search: rounds over anchor index; round r runs every
+       anchored pattern's r-th anchored search inline, then one combined
+       cross-pattern pinned batch. Each pattern's operation sequence
+       (anchored search, then its surviving pins in slot order) is
+       exactly what a dedicated engine would execute. *)
+    if !any_anchor then begin
       t.terminating_arrivals <- t.terminating_arrivals + 1;
       let timed = config.record_latency || t.tracer <> None in
       let t0 = if timed then Clock.now_us () else 0. in
-      let anchors = ref 0 in
-      for ix = 0 to Vec.length t.scratch - 1 do
-        let anchor_leaf = Vec.get t.scratch ix in
-        if t.net.Compile.terminating.(anchor_leaf) then begin
-          incr anchors;
-          let outcome = run_search ~anchor_leaf ~anchor:ev () in
-          consume_outcome outcome;
-          if config.pin_searches then begin
-            (* a pin on the anchor leaf is either the anchor's own slot
-               (just searched) or contradictory *)
-            let slots =
-              List.filter (fun (l, _) -> l <> anchor_leaf) (Subset.uncovered_seen_slots t.subset)
+      let anchors_run = ref 0 in
+      let round = ref 0 in
+      let progressed = ref true in
+      while !progressed do
+        progressed := false;
+        Vec.clear t.pin_batch;
+        (* the O(1) work estimate for the batch: the largest
+           first-search-level history among the contributing anchors *)
+        let batch_work = ref 0 in
+        List.iter
+          (fun (p : pstate) ->
+            if p.ptouched_seq = seq && !round < Vec.length p.panchors then begin
+              progressed := true;
+              incr anchors_run;
+              let anchor_leaf = Vec.get p.panchors !round in
+              let outcome = run_search p ~anchor_leaf ~anchor:ev () in
+              consume_outcome p outcome;
+              if config.pin_searches then begin
+                (* a pin on the anchor leaf is either the anchor's own
+                   slot (just searched) or contradictory *)
+                let slots =
+                  List.filter
+                    (fun (l, _) -> l <> anchor_leaf)
+                    (Subset.uncovered_seen_slots p.psubset)
+                in
+                let surviving =
+                  if config.pin_filtering then
+                    filter_slots p ~anchored_failed:(outcome = Matcher.Not_found) slots
+                  else slots
+                in
+                if surviving <> [] then begin
+                  let fsl = p.pfirst_leaf.(anchor_leaf) in
+                  let work = if fsl < 0 then 0 else History.entries_for p.phistory ~leaf:fsl in
+                  if work > !batch_work then batch_work := work;
+                  List.iter
+                    (fun (l, tr) -> Vec.push t.pin_batch (p, anchor_leaf, l, tr))
+                    surviving
+                end
+              end
+            end)
+          t.patterns;
+        let n = Vec.length t.pin_batch in
+        if n > 0 then begin
+          let run_inline () =
+            Vec.iter
+              (fun ((p : pstate), anchor_leaf, l, tr) ->
+                if not (Subset.is_covered p.psubset ~leaf:l ~trace:tr) then
+                  consume_pin p (l, tr) (run_search ~pin:(l, tr) p ~anchor_leaf ~anchor:ev ()))
+              t.pin_batch
+          in
+          let fan_out () =
+            let items = Vec.to_array t.pin_batch in
+            let results =
+              Search_pool.run (get_pool ()) ~n:(Array.length items) (fun i ->
+                  let (p : pstate), anchor_leaf, l, tr = items.(i) in
+                  let stats = Matcher.new_stats () in
+                  let search () =
+                    (* plans are immutable, so sharing one across worker
+                       domains is safe *)
+                    Matcher.search ~plan:p.pplans.(anchor_leaf) ~net:p.pinet
+                      ~history:p.phistory ~n_traces ~trace_of_sym:t.trace_of_sym
+                      ~partner_of:t.partner_of ~anchor_leaf ~anchor:ev ~pin:(l, tr)
+                      ?node_budget:config.node_budget ~stats ()
+                  in
+                  let outcome =
+                    match t.tracer with
+                    | None -> search ()
+                    | Some trc ->
+                      (* recorded on the executing domain: the span's tid
+                         is the worker's domain id, which is what puts
+                         worker rows in the Chrome trace *)
+                      let ts = Clock.now_us () in
+                      let o = search () in
+                      let dt = Clock.now_us () -. ts in
+                      Tracer.record trc ~name:"pinned" ~cat:"worker" ~ts_us:ts ~dur_us:dt
+                        ~tid:(Stdlib.Domain.self () :> int)
+                        ~args:
+                          (search_args ~pin:(l, tr) ~p ~anchor_leaf ~stats ~nodes0:0
+                             ~backjumps0:0 o);
+                      o
+                  in
+                  (outcome, stats))
             in
-            let surviving =
-              if config.pin_filtering then
-                filter_slots ~anchored_failed:(outcome = Matcher.Not_found) slots
-              else slots
+            Array.iteri
+              (fun i (outcome, (s : Matcher.stats)) ->
+                let (p : pstate), _, l, tr = items.(i) in
+                p.pstats.Matcher.nodes <- p.pstats.Matcher.nodes + s.Matcher.nodes;
+                p.pstats.Matcher.backjumps <- p.pstats.Matcher.backjumps + s.Matcher.backjumps;
+                p.pstats.Matcher.searches <- p.pstats.Matcher.searches + s.Matcher.searches;
+                if not (Subset.is_covered p.psubset ~leaf:l ~trace:tr) then
+                  consume_pin p (l, tr) outcome
+                else t.speculative_discards <- t.speculative_discards + 1)
+              results
+          in
+          (* Fan out only when there is enough surviving work to amortize
+             the pool's wake/merge cost; above the static gate the
+             cut-over self-calibrates on batch timings (see the config
+             docs). Inline and fanned-out execution are observably
+             identical, so the policy only affects wall-clock time. *)
+          let eligible =
+            t.parallelism > 1
+            && n >= max 2 config.cutover_batch
+            && !batch_work >= config.cutover_work
+          in
+          if forced_fan_out && t.parallelism > 1 then fan_out ()
+          else if not eligible then run_inline ()
+          else begin
+            t.eligible_batches <- t.eligible_batches + 1;
+            let fan =
+              if t.fan_samples < calib_samples then true
+              else if t.inline_samples < calib_samples then false
+              else begin
+                let prefer_fan = t.ew_fan_us < t.ew_inline_us in
+                if t.eligible_batches land 63 = 0 then not prefer_fan else prefer_fan
+              end
             in
-            run_pins ~anchor_leaf ~anchor:ev surviving
+            let tb = Clock.now_us () in
+            if fan then fan_out () else run_inline ();
+            let per_slot = (Clock.now_us () -. tb) /. float_of_int n in
+            if fan then begin
+              t.ew_fan_us <- ewma t.ew_fan_us per_slot;
+              t.fan_samples <- t.fan_samples + 1
+            end
+            else begin
+              t.ew_inline_us <- ewma t.ew_inline_us per_slot;
+              t.inline_samples <- t.inline_samples + 1
+            end
           end
-        end
+        end;
+        incr round
       done;
       if timed then begin
         let lat_us = Clock.now_us () -. t0 in
         if config.record_latency then begin
-          match config.latency_sink with
+          (match config.latency_sink with
           | Samples -> Vec.push t.latencies lat_us
           | Histogram -> Hist.record t.latency_hist lat_us
           | Both ->
             Vec.push t.latencies lat_us;
-            Hist.record t.latency_hist lat_us
+            Hist.record t.latency_hist lat_us);
+          (* per-pattern latency: the same arrival-level sample, recorded
+             for each pattern that anchored — always bounded (histogram) *)
+          match config.latency_sink with
+          | Histogram | Both ->
+            List.iter
+              (fun (p : pstate) ->
+                if p.ptouched_seq = seq && Vec.length p.panchors > 0 then
+                  Hist.record p.plat_hist lat_us)
+              t.patterns
+          | Samples -> ()
         end;
         match t.tracer with
         | Some tr ->
@@ -612,7 +775,7 @@ let create ?(config = default_config) ~net ~poet () =
                 ("trace", Tracer.Int ev.trace);
                 ("index", Tracer.Int ev.index);
                 ("etype", Tracer.Str ev.etype);
-                ("anchors", Tracer.Int !anchors);
+                ("anchors", Tracer.Int !anchors_run);
               ]
         | None -> ()
       end
@@ -622,39 +785,154 @@ let create ?(config = default_config) ~net ~poet () =
   Poet.subscribe poet on_event;
   t
 
-let net t = t.net
+let add_pattern t net =
+  let k = Compile.size net in
+  if k > Compile.max_leaves then
+    invalid_arg
+      (Printf.sprintf
+         "Engine.add_pattern: pattern has %d leaves; the matcher's conflict bitsets cap \
+          patterns at %d"
+         k Compile.max_leaves);
+  let inet = Compile.intern_net net ~intern:t.intern in
+  let pid = t.next_pid in
+  let plans = Array.init k (fun l -> Matcher.plan ~net:inet ~anchor_leaf:l) in
+  (* one class per distinct [proc, typ, text] key: reuse a registered
+     class (of this or an earlier pattern) or allocate a fresh one *)
+  let regs =
+    Array.init k (fun l ->
+        let key = Compile.class_key inet l in
+        match Hashtbl.find_opt t.classes key with
+        | Some c -> c
+        | None ->
+          let c =
+            { ckey = key; cid = History.alloc_class t.store; csubs = [||]; cgcable = true }
+          in
+          Hashtbl.add t.classes key c;
+          c)
+  in
+  let p =
+    {
+      pid;
+      pnet = net;
+      pinet = inet;
+      phistory = History.view t.store ~classes:(Array.map (fun c -> c.cid) regs);
+      psubset = Subset.create ~k ~n_traces:t.n_traces ~report_cap:t.cfg.report_cap ();
+      pstats = Matcher.new_stats ();
+      pfirst_leaf =
+        Array.init k (fun l ->
+            match Matcher.first_search_leaf ~net:inet ~anchor_leaf:l with
+            | Some x -> x
+            | None -> -1);
+      pplans = plans;
+      pgcable = gc_able_leaves net;
+      pgeneric =
+        Array.init k (fun l ->
+            match inet.Compile.ityp.(l) with Compile.I_exact _ -> false | _ -> true);
+      ppin_gen = Array.make_matrix k t.n_traces (-1);
+      ppin_matches = Array.make_matrix k t.n_traces 0;
+      pscratch = Vec.create ();
+      panchors = Vec.create ();
+      ptouched_seq = 0;
+      pmatches = 0;
+      paborted = 0;
+      pskipped = 0;
+      pm = make_pmeters t.metrics ~pid;
+      plat_hist =
+        Metrics.histogram t.metrics
+          ~help:"Per-terminating-arrival processing time (microseconds)"
+          (Printf.sprintf "ocep_latency_us{pattern=\"%d\"}" pid);
+    }
+  in
+  Array.iteri
+    (fun l (c : cls_reg) ->
+      c.csubs <- Array.append c.csubs [| (p, l) |];
+      recompute_gcable c)
+    regs;
+  t.patterns <- t.patterns @ [ p ];
+  t.next_pid <- pid + 1;
+  rebuild_dispatch t;
+  pid
 
-let interned_net t = t.inet
+let remove_pattern t pid =
+  let p = get_pattern t pid in
+  t.patterns <- List.filter (fun (q : pstate) -> q.pid <> pid) t.patterns;
+  let k = Compile.size p.pnet in
+  for l = 0 to k - 1 do
+    let key = Compile.class_key p.pinet l in
+    match Hashtbl.find_opt t.classes key with
+    | None -> ()
+    | Some c ->
+      c.csubs <- Array.of_list (List.filter (fun (q, l') -> q != p || l' <> l)
+                                  (Array.to_list c.csubs));
+      if Array.length c.csubs = 0 then begin
+        History.release_class t.store c.cid;
+        Hashtbl.remove t.classes key
+      end
+      else recompute_gcable c
+  done;
+  rebuild_dispatch t
+
+let create ?config ~net ~poet () =
+  let t = create_multi ?config ~poet () in
+  ignore (add_pattern t net);
+  t
+
+let pattern_ids t = List.map (fun (p : pstate) -> p.pid) t.patterns
+
+let pattern_count t = List.length t.patterns
+
+let net t = (first_pattern t).pnet
+
+let interned_net t = (first_pattern t).pinet
+
+let pattern_net t pid = (get_pattern t pid).pnet
 
 let config t = t.cfg
 
-let reports t = Subset.reports t.subset
+let reports t = List.concat_map (fun (p : pstate) -> Subset.reports p.psubset) t.patterns
 
-let matches_found t = t.matches_found
+let reports_for t pid = Subset.reports (get_pattern t pid).psubset
 
-let find_containing t (ev : Event.t) =
-  let trace_of_sym = Poet.trace_of_sym t.poet in
-  let partner_of = Poet.find_partner t.poet in
-  let cands = t.dispatch ev in
-  let leaves =
-    List.filter (fun i -> Compile.leaf_matches_i t.inet i ev) (Array.to_list cands)
+let matches_found t = List.fold_left (fun acc (p : pstate) -> acc + p.pmatches) 0 t.patterns
+
+let matches_found_for t pid = (get_pattern t pid).pmatches
+
+let find_containing_in t (p : pstate) (ev : Event.t) =
+  (* candidate anchors in the old dispatch order: exact-type leaves
+     ascending, then generic ascending *)
+  let k = Compile.size p.pnet in
+  let matching g =
+    List.filter
+      (fun l -> p.pgeneric.(l) = g && Compile.leaf_matches_i p.pinet l ev)
+      (List.init k (fun l -> l))
   in
   let rec try_leaves = function
     | [] -> None
     | anchor_leaf :: rest -> (
       match
-        Matcher.search ~plan:t.plans.(anchor_leaf) ~net:t.inet ~history:t.history
-          ~n_traces:t.n_traces ~trace_of_sym ~partner_of ~anchor_leaf ~anchor:ev
-          ~stats:t.stats ()
+        Matcher.search ~plan:p.pplans.(anchor_leaf) ~net:p.pinet ~history:p.phistory
+          ~n_traces:t.n_traces ~trace_of_sym:t.trace_of_sym ~partner_of:t.partner_of
+          ~anchor_leaf ~anchor:ev ~stats:p.pstats ()
       with
       | Matcher.Found m -> Some m
       | Matcher.Not_found | Matcher.Aborted -> try_leaves rest)
   in
-  try_leaves leaves
+  try_leaves (matching false @ matching true)
+
+let find_containing t ev =
+  let rec go = function
+    | [] -> None
+    | p :: rest -> ( match find_containing_in t p ev with Some m -> Some m | None -> go rest)
+  in
+  go t.patterns
+
+let find_containing_for t pid ev = find_containing_in t (get_pattern t pid) ev
 
 let latencies_us t = Vec.to_array t.latencies
 
 let latency_histogram t = t.latency_hist
+
+let latency_histogram_for t pid = (get_pattern t pid).plat_hist
 
 let metrics t = t.metrics
 
@@ -665,23 +943,38 @@ let tracer t = t.tracer
    (the CLI's --metrics-every loop, tests, or a final dump). *)
 let sync_metrics t =
   let m = t.meters in
+  let sum f = List.fold_left (fun acc p -> acc + f p) 0 t.patterns in
   Metrics.set_counter m.m_events t.events_processed;
   Metrics.set_counter m.m_terminating t.terminating_arrivals;
-  Metrics.set_counter m.m_matches t.matches_found;
-  Metrics.set m.m_reports (float_of_int (List.length (Subset.reports t.subset)));
-  Metrics.set_counter m.m_nodes t.stats.Matcher.nodes;
-  Metrics.set_counter m.m_backjumps t.stats.Matcher.backjumps;
-  Metrics.set_counter m.m_searches t.stats.Matcher.searches;
-  Metrics.set_counter m.m_aborts t.aborted;
-  Metrics.set_counter m.m_epochs (History.epochs_total t.history);
-  Metrics.set m.m_hist_entries (float_of_int (History.total_entries t.history));
-  Metrics.set_counter m.m_hist_dropped (History.dropped t.history);
-  Metrics.set_counter m.m_hist_pruned (History.pruned t.history);
-  Metrics.set_counter m.m_hist_cap_evicted (History.cap_evicted t.history);
-  Metrics.set m.m_covered (float_of_int (Subset.covered_count t.subset));
-  Metrics.set m.m_seen (float_of_int (Subset.seen_count t.subset));
+  Metrics.set_counter m.m_matches (sum (fun p -> p.pmatches));
+  Metrics.set m.m_reports
+    (float_of_int (sum (fun p -> List.length (Subset.reports p.psubset))));
+  Metrics.set_counter m.m_nodes (sum (fun p -> p.pstats.Matcher.nodes));
+  Metrics.set_counter m.m_backjumps (sum (fun p -> p.pstats.Matcher.backjumps));
+  Metrics.set_counter m.m_searches (sum (fun p -> p.pstats.Matcher.searches));
+  Metrics.set_counter m.m_aborts (sum (fun p -> p.paborted));
+  Metrics.set_counter m.m_epochs (History.store_epochs_total t.store);
+  Metrics.set m.m_hist_entries (float_of_int (History.store_entries t.store));
+  Metrics.set_counter m.m_hist_dropped (History.store_dropped t.store);
+  Metrics.set_counter m.m_hist_pruned (History.store_pruned t.store);
+  Metrics.set_counter m.m_hist_cap_evicted (History.store_cap_evicted t.store);
+  Metrics.set m.m_covered (float_of_int (sum (fun p -> Subset.covered_count p.psubset)));
+  Metrics.set m.m_seen (float_of_int (sum (fun p -> Subset.seen_count p.psubset)));
   Metrics.set_counter m.m_spec_discards t.speculative_discards;
-  Metrics.set_counter m.m_pinned_skipped t.pinned_skipped;
+  Metrics.set_counter m.m_pinned_skipped (sum (fun p -> p.pskipped));
+  Metrics.set m.m_patterns (float_of_int (List.length t.patterns));
+  List.iter
+    (fun (p : pstate) ->
+      Metrics.set_counter p.pm.pm_matches p.pmatches;
+      Metrics.set p.pm.pm_reports (float_of_int (List.length (Subset.reports p.psubset)));
+      Metrics.set p.pm.pm_covered (float_of_int (Subset.covered_count p.psubset));
+      Metrics.set p.pm.pm_seen (float_of_int (Subset.seen_count p.psubset));
+      Metrics.set_counter p.pm.pm_nodes p.pstats.Matcher.nodes;
+      Metrics.set_counter p.pm.pm_backjumps p.pstats.Matcher.backjumps;
+      Metrics.set_counter p.pm.pm_searches p.pstats.Matcher.searches;
+      Metrics.set_counter p.pm.pm_aborts p.paborted;
+      Metrics.set_counter p.pm.pm_pinned_skipped p.pskipped)
+    t.patterns;
   (match t.pool with
   | Some p ->
     let s = Search_pool.stats p in
@@ -703,21 +996,44 @@ let events_processed t = t.events_processed
 
 let terminating_arrivals t = t.terminating_arrivals
 
-let history_entries t = History.total_entries t.history
+let history_entries t = History.store_entries t.store
 
-let history_entries_for t ~leaf = History.entries_for t.history ~leaf
+let history_entries_for t ~leaf = History.entries_for (first_pattern t).phistory ~leaf
 
-let history_dropped t = History.dropped t.history
+let history_dropped t = History.store_dropped t.store
 
-let covered_slots t = Subset.covered_count t.subset
+let covered_slots t =
+  List.fold_left (fun acc (p : pstate) -> acc + Subset.covered_count p.psubset) 0 t.patterns
 
-let seen_slots t = Subset.seen_count t.subset
+let seen_slots t =
+  List.fold_left (fun acc (p : pstate) -> acc + Subset.seen_count p.psubset) 0 t.patterns
 
-let search_stats t = t.stats
+let covered_slots_for t pid = Subset.covered_count (get_pattern t pid).psubset
 
-let aborted_searches t = t.aborted
+let seen_slots_for t pid = Subset.seen_count (get_pattern t pid).psubset
 
-let pinned_skipped t = t.pinned_skipped
+let search_stats t =
+  match t.patterns with
+  | [ p ] -> p.pstats
+  | ps ->
+    let s = Matcher.new_stats () in
+    List.iter
+      (fun (p : pstate) ->
+        s.Matcher.nodes <- s.Matcher.nodes + p.pstats.Matcher.nodes;
+        s.Matcher.backjumps <- s.Matcher.backjumps + p.pstats.Matcher.backjumps;
+        s.Matcher.searches <- s.Matcher.searches + p.pstats.Matcher.searches)
+      ps;
+    s
+
+let search_stats_for t pid = (get_pattern t pid).pstats
+
+let aborted_searches t = List.fold_left (fun acc (p : pstate) -> acc + p.paborted) 0 t.patterns
+
+let aborted_searches_for t pid = (get_pattern t pid).paborted
+
+let pinned_skipped t = List.fold_left (fun acc (p : pstate) -> acc + p.pskipped) 0 t.patterns
+
+let pinned_skipped_for t pid = (get_pattern t pid).pskipped
 
 let parallelism t = t.parallelism
 

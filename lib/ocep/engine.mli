@@ -2,17 +2,30 @@
     on every terminating event, searches for matches and maintains the
     representative subset.
 
+    Since PR 4 one engine hosts a {e registry} of patterns: it owns one
+    POET subscription, one symbol-interned dispatch table mapping event
+    class → all (pattern, leaf) subscribers, and one shared history store
+    in which leaves naming the same [process, type, text] class — within
+    one pattern or across patterns — share a single physical history
+    (refcounted; pruning and [max_history_per_trace] apply once per
+    class). Per-pattern state stays isolated: each registered pattern has
+    its own {!Matcher.plan}s, coverage slots, representative subset and
+    report ring, and its observables are bit-identical to a dedicated
+    single-pattern engine fed the same stream.
+
     On arrival of an event the engine (1) advances the communication
-    epoch, (2) appends the event to the history of every leaf it
-    class-matches, and (3) for each {e terminating} leaf it matches, runs
-    one anchored search, plus — when [pin_searches] is on — one pinned
-    search per still-uncovered coverage slot, exactly the
-    goForward/goBackward cycle of Algorithm 1 driven by the subset
-    objective. With [parallelism > 1] the pinned searches of one arrival
-    run concurrently on a persistent worker pool ({!Search_pool}) and
-    are merged deterministically in slot order. The elapsed monotonic
-    time of step (3) is recorded per arrival; these samples are the
-    distributions of Figs. 6–10. *)
+    epoch, (2) appends the event once to the history of every event class
+    it matches, and (3) for each pattern with {e terminating} matched
+    leaves, runs one anchored search per anchor, plus — when
+    [pin_searches] is on — one pinned search per still-uncovered coverage
+    slot of that pattern, exactly the goForward/goBackward cycle of
+    Algorithm 1 driven by the subset objective. With [parallelism > 1]
+    the pinned searches of one arrival — {e across all patterns} — fan
+    out as a single (pattern, slot)-tagged batch on a persistent worker
+    pool ({!Search_pool}) and are merged deterministically in
+    (pattern_id, slot) order. The elapsed monotonic time of step (3) is
+    recorded per arrival; these samples are the distributions of
+    Figs. 6–10. *)
 
 open Ocep_base
 module Compile = Ocep_pattern.Compile
@@ -28,7 +41,7 @@ type latency_sink =
 
 type config = {
   pruning : bool;  (** the O(1) history-pruning rule (Section V-D) *)
-  max_history_per_trace : int option;  (** hard storage cap per (leaf, trace) *)
+  max_history_per_trace : int option;  (** hard storage cap per (class, trace) *)
   pin_searches : bool;  (** search uncovered slots on each terminating event *)
   pin_filtering : bool;
       (** skip pinned searches the engine can rule out from O(1) state:
@@ -46,7 +59,7 @@ type config = {
           and the equivalence tests. Skips are counted in
           [ocep_pinned_skipped_total]. *)
   node_budget : int option;  (** abort pathological searches, [None] = unlimited *)
-  report_cap : int;  (** retained reported matches *)
+  report_cap : int;  (** retained reported matches, per pattern *)
   record_latency : bool;
       (** master switch for per-arrival timing; when on, [latency_sink]
           selects where the samples go *)
@@ -56,6 +69,9 @@ type config = {
           entries provably unable to join any future match (sound for
           leaves whose relation to every anchor leaf excludes happening
           before it — e.g. both sides of a pure concurrency pattern).
+          With shared classes a class is collected only when {e every}
+          subscribed (pattern, leaf) pair is GC-able — the conservative
+          AND, which never changes coverage, reports or match counts.
           Requires every trace to keep producing events to make progress
           (the usual vector-clock GC caveat). [None] disables. *)
   parallelism : int;
@@ -63,12 +79,13 @@ type config = {
           arrival: [1] (the default) is the exact sequential behavior on
           the calling domain; [0] means one worker per core
           ([Domain.recommended_domain_count]); [n > 1] runs the pinned
-          searches of an arrival concurrently on a persistent
-          {!Search_pool} of [n] workers (the caller plus [n - 1]
-          domains), merging results deterministically so coverage,
-          reports and match counts are identical to sequential. An
-          engine that ever fanned out must be {!shutdown} before program
-          exit, or its worker domains keep the process alive. *)
+          searches of an arrival — across all registered patterns —
+          concurrently on a persistent {!Search_pool} of [n] workers
+          (the caller plus [n - 1] domains), merging results
+          deterministically so per-pattern coverage, reports and match
+          counts are identical to sequential. An engine that ever fanned
+          out must be {!shutdown} before program exit, or its worker
+          domains keep the process alive. *)
   cutover_batch : int;
       (** consider fanning a pinned batch out only when at least this
           many searches survive the pre-filter (a floor of 2 always
@@ -85,10 +102,10 @@ type config = {
           the pool for every non-empty batch (for tests and
           reproductions that must exercise the parallel path). *)
   cutover_work : int;
-      (** ... and the anchor's first-search-level history holds at least
-          this many entries — the O(1) estimate of per-search work. Small
-          batches of trivial searches run inline faster than the pool can
-          wake. *)
+      (** ... and the largest first-search-level history among the
+          batch's anchors holds at least this many entries — the O(1)
+          estimate of per-search work. Small batches of trivial searches
+          run inline faster than the pool can wake. *)
   trace_spans : bool;
       (** record a span per terminating arrival and per anchored/pinned
           search (including the fan-out workers' searches and drains,
@@ -106,32 +123,81 @@ val default_config : config
 
 type t
 
-val create : ?config:config -> net:Compile.t -> poet:Poet.t -> unit -> t
-(** Builds the engine and subscribes it to [poet]; every event ingested
-    afterwards is processed. Raises [Invalid_argument] on a nonsensical
+type pattern_id = int
+(** Handle of one registered pattern. Ids are assigned by
+    {!add_pattern} in increasing order and never reused, so a removed
+    pattern's id stays invalid. *)
+
+(** {1 Construction and the pattern registry} *)
+
+val create_multi : ?config:config -> poet:Poet.t -> unit -> t
+(** Builds an engine with an empty pattern registry and subscribes it to
+    [poet]; every event ingested afterwards is processed (events arriving
+    while no pattern is registered only advance the frontier and the
+    communication epochs). Raises [Invalid_argument] on a nonsensical
     config: [gc_every], [node_budget] or [max_history_per_trace] of
     [Some n] with [n <= 0], a negative [report_cap], or a negative
     [parallelism]. *)
 
+val create : ?config:config -> net:Compile.t -> poet:Poet.t -> unit -> t
+(** [create_multi] + {!add_pattern}: the single-pattern engine the
+    original API exposed, unchanged in behavior. *)
+
+val add_pattern : t -> Compile.t -> pattern_id
+(** Register a pattern: intern it through the POET store's symbol table,
+    build its search plans, and subscribe its leaves to the shared
+    dispatch table — leaves whose [process, type, text] class-key equals
+    one already registered (by this or another pattern) share that
+    class's physical history. Raises [Invalid_argument] on a pattern
+    exceeding {!Compile.max_leaves} leaves. A pattern attached mid-run
+    starts with empty coverage but sees any history its shared classes
+    already accumulated. *)
+
+val remove_pattern : t -> pattern_id -> unit
+(** Hot-detach a pattern: its subscriptions leave the dispatch table and
+    each of its classes' refcounts drop; a class with no subscribers left
+    releases its history storage. The pattern's metrics freeze at their
+    last values. Raises [Invalid_argument] on an unknown or already
+    removed id. *)
+
+val pattern_ids : t -> pattern_id list
+(** Live patterns, ascending registration order. *)
+
+val pattern_count : t -> int
+
+(** {1 Engine-wide accessors}
+
+    The aggregating accessors below ([matches_found], [covered_slots],
+    [search_stats], ...) sum over live patterns — for a single-pattern
+    engine they are exactly the pre-registry values. [net], [reports] and
+    [history_entries_for] refer to the earliest live pattern. *)
+
 val net : t -> Compile.t
+(** The earliest live pattern's net. Raises [Invalid_argument] when the
+    registry is empty. *)
 
 val interned_net : t -> Compile.inet
 (** The net interned through the POET store's symbol table — what the
     engine's own searches run on; exposed so external callers
     (baseline comparisons, tests) can run {!Matcher} searches against
-    this engine's history. *)
+    this engine's history. Earliest live pattern; raises
+    [Invalid_argument] when the registry is empty. *)
 
 val config : t -> config
 
 val reports : t -> Subset.report list
-(** The representative subset, in report order. *)
+(** The representative subset(s), grouped by pattern in registration
+    order, each group in report order. *)
 
 val matches_found : t -> int
-(** Successful searches (includes matches that added no new coverage). *)
+(** Successful searches (includes matches that added no new coverage),
+    summed over patterns. *)
 
 val find_containing : t -> Event.t -> Event.t array option
-(** One complete match containing the given event (which must have been
-    processed), for ground-truth queries — independent of the subset. *)
+(** One complete match of any registered pattern containing the given
+    event (which must have been processed), for ground-truth queries —
+    independent of the subsets. Patterns are tried in registration
+    order. *)
 
 val latencies_us : t -> float array
 (** Per-terminating-arrival processing times, microseconds — the raw
@@ -144,32 +210,45 @@ val latency_histogram : t -> Ocep_stats.Histogram.t
     empty unless [latency_sink] is [Histogram] or [Both]. *)
 
 val metrics : t -> Ocep_obs.Metrics.t
-(** The engine's metrics registry. Call {!sync_metrics} first to pull
-    the current counter values in; then render with
-    {!Ocep_obs.Snapshot}. *)
+(** The engine's metrics registry. Besides the engine-wide instruments,
+    every registered pattern owns labeled variants of the per-pattern
+    ones ([ocep_matches_total{pattern="N"}], [ocep_reports{...}],
+    [ocep_covered_slots{...}], [ocep_seen_slots{...}],
+    [ocep_search_*_total{...}], [ocep_pinned_skipped_total{...}],
+    [ocep_latency_us{...}]). Call {!sync_metrics} first to pull the
+    current counter values in; then render with {!Ocep_obs.Snapshot}. *)
 
 val sync_metrics : t -> unit
-(** Copy every internal counter (engine, matcher, history, subset, pool,
-    POET, tracer) into the registry. O(instruments); safe to call as
-    often as snapshots are wanted, including mid-run. *)
+(** Copy every internal counter (engine, per-pattern, matcher, history,
+    subset, pool, POET, tracer) into the registry. O(instruments); safe
+    to call as often as snapshots are wanted, including mid-run. *)
 
 val tracer : t -> Ocep_obs.Tracer.t option
 (** The span ring buffer, present when [trace_spans] was set. *)
 
 val events_processed : t -> int
 val terminating_arrivals : t -> int
+
 val history_entries : t -> int
+(** Live entries in the shared store — each physical class counted once,
+    however many (pattern, leaf) pairs subscribe to it. *)
+
 val history_entries_for : t -> leaf:int -> int
+(** Entries of the earliest live pattern's leaf (i.e. of its class). *)
+
 val history_dropped : t -> int
 val covered_slots : t -> int
 val seen_slots : t -> int
+
 val search_stats : t -> Matcher.stats
-(** Merged counters across all searches, including the workers' when
-    fanning out. With [parallelism > 1] the node/backjump/search counts
-    include speculative pinned searches whose slot an earlier match of
-    the same arrival already covered (sequential execution would have
-    skipped them); coverage, reports and {!matches_found} never include
-    them. *)
+(** Merged counters across all patterns and searches, including the
+    workers' when fanning out. With [parallelism > 1] the
+    node/backjump/search counts include speculative pinned searches
+    whose slot an earlier match of the same arrival already covered
+    (sequential execution would have skipped them); coverage, reports
+    and {!matches_found} never include them. For a single-pattern engine
+    this is that pattern's live stats record; with several patterns it
+    is a fresh snapshot summed at call time. *)
 
 val aborted_searches : t -> int
 
@@ -177,6 +256,26 @@ val pinned_skipped : t -> int
 (** Pinned searches skipped by the slot pre-filter (exported as
     [ocep_pinned_skipped_total]) — each one a whole search the engine
     proved futile from O(1) state instead of running. *)
+
+(** {1 Per-pattern accessors}
+
+    All raise [Invalid_argument] on an unknown or removed id. *)
+
+val pattern_net : t -> pattern_id -> Compile.t
+val reports_for : t -> pattern_id -> Subset.report list
+val matches_found_for : t -> pattern_id -> int
+val covered_slots_for : t -> pattern_id -> int
+val seen_slots_for : t -> pattern_id -> int
+val search_stats_for : t -> pattern_id -> Matcher.stats
+val aborted_searches_for : t -> pattern_id -> int
+val pinned_skipped_for : t -> pattern_id -> int
+val find_containing_for : t -> pattern_id -> Event.t -> Event.t array option
+
+val latency_histogram_for : t -> pattern_id -> Ocep_stats.Histogram.t
+(** The pattern's bounded latency histogram
+    ([ocep_latency_us{pattern="N"}]): the arrival-level sample recorded
+    for every arrival in which this pattern anchored, when
+    [latency_sink] is [Histogram] or [Both]. *)
 
 val parallelism : t -> int
 (** The resolved worker count: the config's [parallelism] with [0]

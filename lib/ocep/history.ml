@@ -4,43 +4,104 @@ module Itbl = Hashtbl.Make (Int)
 
 type entry = { ev : Event.t; epoch : int }
 
-type t = {
-  net : Compile.t;
+(* One physical event-class history: every leaf (of any pattern) whose
+   [process, type, text] class-matches the same events shares one of
+   these. All counters that used to be per leaf live here, per class. *)
+type cls = {
+  hist : entry Vec.t array;  (* trace -> entries *)
+  by_text : int Vec.t Itbl.t array;
+      (* trace -> text symbol -> positions (ascending); lets a bound
+         text variable index its candidates instead of scanning the history *)
+  gens : int array;
+      (* trace -> generation, bumped on every mutation of that
+         (class, trace) history; lets the engine detect "unchanged since
+         the last failed pinned search" without hashing contents *)
+  mutable count : int;  (* live entries across traces, O(1) entries_for *)
+}
+
+type store = {
   pruning : bool;
   max_per_trace : int option;
+  n_traces : int;
   epochs : int array;  (* communication events seen per trace *)
-  hist : entry Vec.t array array;  (* leaf -> trace -> entries *)
-  by_text : int Vec.t Itbl.t array array;
-      (* leaf -> trace -> text symbol -> positions (ascending); lets a bound
-         text variable index its candidates instead of scanning the history *)
-  gens : int array array;
-      (* leaf -> trace -> generation, bumped on every mutation of that
-         (leaf, trace) history; lets the engine detect "unchanged since the
-         last failed pinned search" without hashing contents *)
-  counts : int array;  (* leaf -> live entries across traces, O(1) entries_for *)
+  classes : cls Vec.t;  (* class id -> history; ids from alloc_class *)
+  mutable free : int list;  (* ids released by release_class, for reuse *)
+  mutable total : int;  (* live entries across all classes, O(1) *)
   mutable dropped : int;
   mutable pruned : int;  (* entries merged away by the O(1) pruning rule *)
   mutable cap_evicted : int;  (* entries evicted by the max_per_trace cap *)
 }
 
-let create net ~n_traces ~pruning ?max_per_trace () =
-  let k = Compile.size net in
+(* A leaf-indexed view of a store: the reading/writing API the matcher
+   and the baselines use is per leaf, so a view maps each leaf of one
+   pattern to its (possibly shared) class. *)
+type t = {
+  store : store;
+  cls_of : cls array;  (* leaf -> its class record, O(1) hot path *)
+  cls_ids : int array;  (* leaf -> class id in the store *)
+}
+
+let fresh_cls n_traces =
   {
-    net;
+    hist = Array.init n_traces (fun _ -> Vec.create ());
+    by_text = Array.init n_traces (fun _ -> Itbl.create 8);
+    gens = Array.make n_traces 0;
+    count = 0;
+  }
+
+let create_store ~n_traces ~pruning ?max_per_trace () =
+  {
     pruning;
     max_per_trace;
+    n_traces;
     epochs = Array.make n_traces 0;
-    hist = Array.init k (fun _ -> Array.init n_traces (fun _ -> Vec.create ()));
-    by_text = Array.init k (fun _ -> Array.init n_traces (fun _ -> Itbl.create 8));
-    gens = Array.make_matrix k n_traces 0;
-    counts = Array.make k 0;
+    classes = Vec.create ();
+    free = [];
+    total = 0;
     dropped = 0;
     pruned = 0;
     cap_evicted = 0;
   }
 
-let note_comm t (ev : Event.t) =
-  if Event.is_comm ev then t.epochs.(ev.trace) <- t.epochs.(ev.trace) + 1
+let alloc_class s =
+  match s.free with
+  | id :: rest ->
+    s.free <- rest;
+    Vec.set s.classes id (fresh_cls s.n_traces);
+    id
+  | [] ->
+    Vec.push s.classes (fresh_cls s.n_traces);
+    Vec.length s.classes - 1
+
+let release_class s id =
+  let c = Vec.get s.classes id in
+  s.total <- s.total - c.count;
+  (* replace the storage so a stale reference cannot resurrect it; the id
+     is reused by a later alloc_class *)
+  Vec.set s.classes id (fresh_cls s.n_traces);
+  s.free <- id :: s.free
+
+let class_count s = Vec.length s.classes
+
+let view s ~classes =
+  { store = s; cls_of = Array.map (Vec.get s.classes) classes; cls_ids = Array.copy classes }
+
+let store_of t = t.store
+
+let class_id t ~leaf = t.cls_ids.(leaf)
+
+let create net ~n_traces ~pruning ?max_per_trace () =
+  (* standalone compatibility constructor: one private class per leaf
+     (no sharing), exactly the pre-registry behavior — the engine builds
+     shared views through [create_store]/[alloc_class]/[view] instead *)
+  let k = Compile.size net in
+  let s = create_store ~n_traces ~pruning ?max_per_trace () in
+  view s ~classes:(Array.init k (fun _ -> alloc_class s))
+
+let note_comm_store s (ev : Event.t) =
+  if Event.is_comm ev then s.epochs.(ev.trace) <- s.epochs.(ev.trace) + 1
+
+let note_comm t ev = note_comm_store t.store ev
 
 let index_push tbl xsym pos =
   let v =
@@ -53,16 +114,16 @@ let index_push tbl xsym pos =
   in
   Vec.push v pos
 
-let bump_gen t ~leaf ~trace = t.gens.(leaf).(trace) <- t.gens.(leaf).(trace) + 1
+let bump_gen (c : cls) ~trace = c.gens.(trace) <- c.gens.(trace) + 1
 
 (* Drop the first [drop] entries of one history and rebuild its text
    index (positions shift). *)
-let drop_prefix t ~leaf ~trace drop =
+let drop_prefix_cls s (c : cls) ~trace drop =
   if drop > 0 then begin
-    let v = t.hist.(leaf).(trace) in
+    let v = c.hist.(trace) in
     let entries = Vec.to_array v in
     Vec.clear v;
-    let tbl = t.by_text.(leaf).(trace) in
+    let tbl = c.by_text.(trace) in
     Itbl.reset tbl;
     Array.iteri
       (fun i e ->
@@ -71,76 +132,105 @@ let drop_prefix t ~leaf ~trace drop =
           Vec.push v e
         end)
       entries;
-    t.counts.(leaf) <- t.counts.(leaf) - drop;
-    bump_gen t ~leaf ~trace;
-    t.dropped <- t.dropped + drop
+    c.count <- c.count - drop;
+    s.total <- s.total - drop;
+    bump_gen c ~trace;
+    s.dropped <- s.dropped + drop
   end
 
 (* Drop the oldest half when over the cap (amortized O(1) per insertion). *)
-let enforce_cap t ~leaf ~trace v =
-  match t.max_per_trace with
+let enforce_cap s c ~trace v =
+  match s.max_per_trace with
   | Some cap when Vec.length v > cap ->
     let keep = (cap / 2) + 1 in
-    t.cap_evicted <- t.cap_evicted + (Vec.length v - keep);
-    drop_prefix t ~leaf ~trace (Vec.length v - keep)
+    s.cap_evicted <- s.cap_evicted + (Vec.length v - keep);
+    drop_prefix_cls s c ~trace (Vec.length v - keep)
   | _ -> ()
 
 let same_attrs (a : Event.t) (b : Event.t) =
   (* symbols of the same store: int equality is string equality *)
   a.esym = b.esym && a.xsym = b.xsym
 
-let add t ~leaf (ev : Event.t) =
-  let v = t.hist.(leaf).(ev.trace) in
-  let entry = { ev; epoch = t.epochs.(ev.trace) } in
+let add_cls s (c : cls) (ev : Event.t) =
+  let v = c.hist.(ev.trace) in
+  let entry = { ev; epoch = s.epochs.(ev.trace) } in
   let replaced =
-    t.pruning
+    s.pruning
     &&
     match Vec.last v with
     | Some prev when prev.epoch = entry.epoch && same_attrs prev.ev ev ->
       (* same text, so the index entry for this position stays valid *)
       Vec.replace_last v entry;
-      t.pruned <- t.pruned + 1;
+      s.pruned <- s.pruned + 1;
       true
     | _ -> false
   in
-  if replaced then bump_gen t ~leaf ~trace:ev.trace
+  if replaced then bump_gen c ~trace:ev.trace
   else begin
-    index_push t.by_text.(leaf).(ev.trace) ev.xsym (Vec.length v);
+    index_push c.by_text.(ev.trace) ev.xsym (Vec.length v);
     Vec.push v entry;
-    t.counts.(leaf) <- t.counts.(leaf) + 1;
-    bump_gen t ~leaf ~trace:ev.trace;
-    enforce_cap t ~leaf ~trace:ev.trace v
+    c.count <- c.count + 1;
+    s.total <- s.total + 1;
+    bump_gen c ~trace:ev.trace;
+    enforce_cap s c ~trace:ev.trace v
   end
 
-let on t ~leaf ~trace = t.hist.(leaf).(trace)
+let add_class s ~cls ev = add_cls s (Vec.get s.classes cls) ev
 
-let positions_for_text t ~leaf ~trace xsym = Itbl.find_opt t.by_text.(leaf).(trace) xsym
+let add t ~leaf ev = add_cls t.store t.cls_of.(leaf) ev
 
-let generation t ~leaf ~trace = t.gens.(leaf).(trace)
+let on t ~leaf ~trace = t.cls_of.(leaf).hist.(trace)
 
-let total_entries t = Array.fold_left ( + ) 0 t.counts
+let positions_for_text t ~leaf ~trace xsym = Itbl.find_opt t.cls_of.(leaf).by_text.(trace) xsym
 
-let gc t ~thresholds ~leaves =
-  let dropped0 = t.dropped in
+let generation t ~leaf ~trace = t.cls_of.(leaf).gens.(trace)
+
+let total_entries t = t.store.total
+
+let store_entries s = s.total
+
+let class_entries s ~cls = (Vec.get s.classes cls).count
+
+let gc_store s ~thresholds ~classes =
+  let dropped0 = s.dropped in
   Array.iteri
-    (fun leaf enabled ->
-      if enabled then
+    (fun cid enabled ->
+      if enabled then begin
+        let c = Vec.get s.classes cid in
         Array.iteri
           (fun trace v ->
             let drop =
               Vec.binary_search_first v (fun (e : entry) -> e.ev.index > thresholds.(trace))
             in
-            drop_prefix t ~leaf ~trace drop)
-          t.hist.(leaf))
-    leaves;
-  t.dropped - dropped0
+            drop_prefix_cls s c ~trace drop)
+          c.hist
+      end)
+    classes;
+  s.dropped - dropped0
 
-let entries_for t ~leaf = t.counts.(leaf)
+let gc t ~thresholds ~leaves =
+  (* per-leaf enable bits mapped onto class ids; with shared classes the
+     bits are OR-ed, so only use this view-level entry point when every
+     leaf sharing a class agrees (the engine computes the AND itself and
+     calls {!gc_store}) *)
+  let classes = Array.make (class_count t.store) false in
+  Array.iteri (fun leaf enabled -> if enabled then classes.(t.cls_ids.(leaf)) <- true) leaves;
+  gc_store t.store ~thresholds ~classes
 
-let dropped t = t.dropped
+let entries_for t ~leaf = t.cls_of.(leaf).count
 
-let pruned t = t.pruned
+let dropped t = t.store.dropped
 
-let cap_evicted t = t.cap_evicted
+let pruned t = t.store.pruned
 
-let epochs_total t = Array.fold_left ( + ) 0 t.epochs
+let cap_evicted t = t.store.cap_evicted
+
+let epochs_total t = Array.fold_left ( + ) 0 t.store.epochs
+
+let store_dropped s = s.dropped
+
+let store_pruned s = s.pruned
+
+let store_cap_evicted s = s.cap_evicted
+
+let store_epochs_total s = Array.fold_left ( + ) 0 s.epochs

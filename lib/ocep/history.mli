@@ -1,34 +1,108 @@
-(** Per-leaf event histories (the leaf nodes of the pattern tree).
+(** Per-class event histories (the leaf nodes of the pattern tree).
 
     Every event that class-matches a leaf is appended to that leaf's
-    history on the event's trace, so within one (leaf, trace) history
-    events are in trace order and both their indices and any entry of
-    their vector timestamps are monotone — which is what lets the domain
-    restriction work by binary search.
+    history on the event's trace, so within one history events are in
+    trace order and both their indices and any entry of their vector
+    timestamps are monotone — which is what lets the domain restriction
+    work by binary search.
+
+    Since PR 4 the physical storage is a {e class-indexed store}: leaves
+    — of one pattern or of several patterns registered with the same
+    engine — whose [process, type, text] class-matches the same events
+    (equal {!Ocep_pattern.Compile.class_key}) can share one physical
+    history. The per-leaf API below operates on a {e view} ({!t}) that
+    maps each leaf of one pattern to its class, so the matcher and the
+    baselines are unchanged; the engine allocates classes explicitly and
+    adds each arrival once per class instead of once per leaf.
 
     The O(1) redundancy rule of Section V-D is applied on insertion: if
-    the previous event of the same leaf on the same trace has no send or
+    the previous event of the same class on the same trace has no send or
     receive event between itself and the new one (same communication
     epoch) and carries the same attribute values, it is replaced — the two
     events have identical causal relations to every event on other
     traces. An optional hard cap bounds each history for arbitrarily long
-    runs (oldest entries are dropped). *)
+    runs (oldest entries are dropped). With sharing, pruning and the cap
+    apply once per class, not once per subscribed leaf. *)
 
 open Ocep_base
 
 type entry = { ev : Event.t; epoch : int }
 
+type store
+(** The physical class-indexed storage: communication epochs, one history
+    per allocated class, and the drop/prune/eviction counters. One store
+    is shared by every pattern of a multi-pattern engine. *)
+
 type t
+(** A leaf-indexed view of a store for one pattern: leaf [l] reads and
+    writes the class the view was built with. Views are cheap (two arrays
+    of length [k]) and share the store's storage. *)
+
+(** {1 Store construction (the multi-pattern engine's interface)} *)
+
+val create_store : n_traces:int -> pruning:bool -> ?max_per_trace:int -> unit -> store
+
+val alloc_class : store -> int
+(** A fresh, empty class; its id. Ids of released classes are reused. *)
+
+val release_class : store -> int -> unit
+(** Drop the class's storage (its entries leave {!store_entries}
+    immediately, without counting as {!dropped}) and recycle the id. Only
+    call once no live view references the class — the engine does this
+    when the last pattern subscribed to a class is removed. *)
+
+val class_count : store -> int
+(** Allocated class ids are [0, class_count) (including released ones). *)
+
+val view : store -> classes:(int array) -> t
+(** The view mapping leaf [l] to class [classes.(l)]. The array is copied. *)
+
+val store_of : t -> store
+
+val class_id : t -> leaf:int -> int
+
+val add_class : store -> cls:int -> Event.t -> unit
+(** Append to the class's history on the event's trace (with pruning) —
+    the engine's per-arrival write, executed once per matched class
+    regardless of how many (pattern, leaf) pairs subscribe to it. *)
+
+val note_comm_store : store -> Event.t -> unit
+
+val class_entries : store -> cls:int -> int
+
+val store_entries : store -> int
+
+val store_dropped : store -> int
+
+val store_pruned : store -> int
+
+val store_cap_evicted : store -> int
+
+val store_epochs_total : store -> int
+
+val gc_store : store -> thresholds:int array -> classes:bool array -> int
+(** {!gc} by class id: drop dead entries of every class whose bit is set.
+    With shared classes the engine enables a class only when {e every}
+    subscribed (pattern, leaf) pair is GC-able — the sound (conservative)
+    AND. Returns the number of entries dropped. *)
+
+(** {1 Per-leaf view API (unchanged from the single-pattern engine)} *)
 
 val create :
   Ocep_pattern.Compile.t -> n_traces:int -> pruning:bool -> ?max_per_trace:int -> unit -> t
+(** Standalone compatibility constructor: a fresh store with one private
+    class per leaf (no sharing) — exactly the pre-registry behavior, used
+    by the baselines, the ablations and the tests. *)
 
 val note_comm : t -> Event.t -> unit
 (** Advance the communication epoch of the event's trace if the event is a
     send or a receive. Call on {e every} event, before {!add}. *)
 
 val add : t -> leaf:int -> Event.t -> unit
-(** Append to the leaf's history on the event's trace (with pruning). *)
+(** Append to the leaf's class history on the event's trace (with
+    pruning). When classes are shared, adding through two leaves of the
+    same class stores the event twice — the engine adds per {e class}
+    ({!add_class}) instead. *)
 
 val on : t -> leaf:int -> trace:int -> entry Vec.t
 (** The (live) history vector; callers must not mutate it. *)
@@ -40,19 +114,20 @@ val positions_for_text : t -> leaf:int -> trace:int -> int -> int Ocep_base.Vec.
 
 val generation : t -> leaf:int -> trace:int -> int
 (** Monotone counter bumped on every mutation (append, pruning replace,
-    cap eviction, GC drop) of the (leaf, trace) history. Equal generations
-    at two instants mean the history is unchanged in between — the basis
-    of the engine's "skip a pinned search whose slot saw nothing new since
-    it last failed" filter. *)
+    cap eviction, GC drop) of the leaf's (class, trace) history. Equal
+    generations at two instants mean the history is unchanged in between
+    — the basis of the engine's "skip a pinned search whose slot saw
+    nothing new since it last failed" filter. *)
 
 val total_entries : t -> int
-(** Current number of stored entries across all leaves and traces, the
+(** Current number of stored entries across the whole underlying store
+    (all classes — for an engine view that is all patterns), the
     monitor's storage footprint. *)
 
 val entries_for : t -> leaf:int -> int
-(** Stored entries of one leaf across all traces. O(1): maintained as a
-    per-leaf counter so the engine can use it as a work estimate on every
-    terminating arrival. *)
+(** Stored entries of the leaf's class across all traces. O(1):
+    maintained as a per-class counter so the engine can use it as a work
+    estimate on every terminating arrival. *)
 
 val dropped : t -> int
 (** Entries evicted by the [max_per_trace] cap or by {!gc} (not by the
@@ -77,4 +152,7 @@ val gc : t -> thresholds:int array -> leaves:bool array -> int
     future event is causally after such entries, so for a leaf whose
     relation to every possible anchor leaf excludes [Before] (enabled via
     [leaves]) they are dead. Returns the number of entries dropped;
-    rebuilds the text index of the affected histories. *)
+    rebuilds the text index of the affected histories. Per-leaf bits are
+    OR-ed onto shared classes — only use this view-level entry point when
+    every leaf sharing a class agrees (the engine computes the
+    conservative AND and calls {!gc_store} directly). *)

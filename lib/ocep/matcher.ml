@@ -64,7 +64,7 @@ let top_bit m =
   let rec go m b = if m <= 1 then b else go (m lsr 1) (b + 1) in
   go m 0
 
-let max_leaves = 62
+let max_leaves = Compile.max_leaves
 
 (* Evaluation order: anchor first, then greedily the leaf most constrained
    by the already-ordered set — the standard most-constrained-first CSP

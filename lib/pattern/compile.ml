@@ -21,6 +21,12 @@ exception Compile_error of string
 
 let fail msg = raise (Compile_error msg)
 
+(* The matcher's per-level conflict sets are int bitsets with two bits
+   reserved, so a pattern can have at most 62 leaves. Enforced here (and
+   at Engine.add_pattern registration) rather than only when a search
+   plan is first built. *)
+let max_leaves = 62
+
 let all = { before = true; after = true; concurrent = true }
 
 let inter a b =
@@ -158,6 +164,12 @@ let compile (src : Ast.t) =
   ignore (expr_leaves b src.Ast.pattern);
   let k = b.count in
   if k = 0 then fail "empty pattern";
+  if k > max_leaves then
+    invalid_arg
+      (Printf.sprintf
+         "Compile.compile: pattern has %d leaves; the matcher's conflict bitsets cap patterns \
+          at %d"
+         k max_leaves);
   let leaves = Array.of_list (List.sort (fun a b' -> compare a.id b'.id) b.bleaves) in
   let cons = Array.make_matrix k k None in
   let add i j a =
@@ -269,6 +281,18 @@ let leaf_matches_i (inet : inet) i (ev : Event.t) =
   ispec_matches inet.ityp.(i) ev.esym
   && ispec_matches inet.iproc.(i) ev.tsym
   && ispec_matches inet.itext.(i) ev.xsym
+
+(* Two leaves class-match exactly the same events iff they agree on this
+   key: at class-match time [I_any] and [I_var _] both accept anything
+   (variable consistency is the matcher's job), so both collapse to -1,
+   and exact specs interned through the same symbol table compare by
+   id. This is what lets a multi-pattern engine share one physical
+   history between leaves — of one pattern or of different patterns —
+   that name the same [process, type, text] class. *)
+let class_key_of = function I_exact s -> s | I_any | I_var _ -> -1
+
+let class_key (inet : inet) i =
+  (class_key_of inet.iproc.(i), class_key_of inet.ityp.(i), class_key_of inet.itext.(i))
 
 let pp_allowed ppf a =
   let parts =

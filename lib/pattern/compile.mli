@@ -48,10 +48,14 @@ type t = {
 
 exception Compile_error of string
 
+val max_leaves : int
+(** 62 — the matcher's per-level conflict sets are int bitsets. *)
+
 val compile : Ast.t -> t
 (** Raises {!Compile_error} on an unsatisfiable or ill-formed pattern
     (e.g. a partner/limited operator applied to a compound operand, or a
-    leaf constrained against itself). *)
+    leaf constrained against itself), and [Invalid_argument] on a pattern
+    exceeding {!max_leaves} leaves. *)
 
 val size : t -> int
 (** Number of leaves, the pattern length [k]. *)
@@ -94,6 +98,14 @@ val intern_net : t -> intern:(string -> int) -> inet
 
 val leaf_matches_i : inet -> int -> Event.t -> bool
 (** {!leaf_matches} on symbols: integer compares only. *)
+
+val class_key : inet -> int -> int * int * int
+(** The leaf's deduplication key [(proc, typ, text)]: the symbol id for
+    an exact attribute, [-1] for a wildcard {e or} a variable (both
+    accept any value at class-match time). Two leaves interned through
+    the same symbol table class-match exactly the same events iff their
+    keys are equal — the basis for the multi-pattern engine's shared
+    history store. *)
 
 val allowed_of_relation : Event.relation -> allowed -> bool
 (** Whether a concrete relation is permitted ([Equal] never is). *)

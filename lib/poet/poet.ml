@@ -92,6 +92,8 @@ let create ?(retain = false) ?(partner_index = true) ~trace_names () =
 
 let trace_count t = Array.length t.names
 
+let dense_capacity = dense_cap
+
 let trace_names t = Array.copy t.names
 
 let trace_of_name t name =

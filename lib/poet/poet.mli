@@ -26,6 +26,12 @@ val trace_count : t -> int
 val trace_names : t -> string array
 val trace_of_name : t -> string -> int option
 
+val dense_capacity : int
+(** Message ids in [0, dense_capacity) use the dense per-message-id
+    arrays for vector-clock and partner lookup; ids outside (negative or
+    past the cap) spill to hashtables. Exposed so tests can exercise the
+    dense/sparse boundary. *)
+
 val symbols : t -> Symbol.t
 (** The store's interning table. Trace names are interned at [create];
     every etype and text is interned at [ingest], so the [tsym]/[esym]/

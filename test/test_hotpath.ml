@@ -69,11 +69,21 @@ let interned_equals_string_reference =
           let inet = Engine.interned_net engine in
           let k = Compile.size net in
           let mismatches = ref 0 and class_adds = ref 0 in
+          (* the shared store holds one entry per matched *class*, not per
+             matched leaf: leaves with equal class keys share storage *)
+          let seen_keys = Hashtbl.create 8 in
           Poet.subscribe poet (fun ev ->
+              Hashtbl.reset seen_keys;
               for i = 0 to k - 1 do
                 let s = Compile.leaf_matches net i ev in
                 if s <> Compile.leaf_matches_i inet i ev then incr mismatches;
-                if s then incr class_adds
+                if s then begin
+                  let key = Compile.class_key inet i in
+                  if not (Hashtbl.mem seen_keys key) then begin
+                    Hashtbl.replace seen_keys key ();
+                    incr class_adds
+                  end
+                end
               done);
           ignore
             (Sim.run w.Workload.sim_config

@@ -1,0 +1,251 @@
+(* The multi-pattern engine core: a registry engine with N patterns must
+   be observably identical, per pattern, to N dedicated single-pattern
+   engines fed the same stream — across the four case workloads,
+   sequential and parallel, with and without pin filtering.  Plus the
+   registry lifecycle (add / remove / re-add, shared-class refcounting)
+   and the 62-leaf compile-time cap. *)
+
+open Ocep_base
+module Sim = Ocep_sim.Sim
+module Poet = Ocep_poet.Poet
+module Parser = Ocep_pattern.Parser
+module Compile = Ocep_pattern.Compile
+module Engine = Ocep.Engine
+module Subset = Ocep.Subset
+module Workload = Ocep_workloads.Workload
+module Cases = Ocep_harness.Cases
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let net_of src = Compile.compile (Parser.parse src)
+
+(* per-pattern observable state, in a directly comparable shape *)
+let observe_for engine pid =
+  let reports =
+    List.map
+      (fun (r : Subset.report) ->
+        ( r.seq,
+          r.fresh,
+          Array.to_list (Array.map (fun (e : Event.t) -> (e.trace, e.index)) r.events) ))
+      (Engine.reports_for engine pid)
+  in
+  ( Engine.matches_found_for engine pid,
+    Engine.covered_slots_for engine pid,
+    Engine.seen_slots_for engine pid,
+    reports )
+
+let replay_multi ~config ~names ~nets raws =
+  let poet = Poet.create ~trace_names:names () in
+  let engine = Engine.create_multi ~config ~poet () in
+  Fun.protect
+    ~finally:(fun () -> Engine.shutdown engine)
+    (fun () ->
+      let pids = List.map (fun net -> Engine.add_pattern engine net) nets in
+      List.iter (fun r -> ignore (Poet.ingest poet r)) raws;
+      List.map (observe_for engine) pids)
+
+let replay_single ~config ~names ~net raws =
+  let poet = Poet.create ~trace_names:names () in
+  let engine = Engine.create ~config ~net ~poet () in
+  Fun.protect
+    ~finally:(fun () -> Engine.shutdown engine)
+    (fun () ->
+      List.iter (fun r -> ignore (Poet.ingest poet r)) raws;
+      observe_for engine (List.hd (Engine.pattern_ids engine)))
+
+(* ------------------------------------------------------------------ *)
+(* Equivalence: multi engine == N dedicated engines                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Stream each case workload through one engine holding all four case
+   patterns, and through four dedicated engines; every per-pattern
+   observable must coincide — the dispatch table, shared history store
+   and combined pin batches are pure plumbing.  Exercised over the four
+   config quadrants {sequential, 4 workers} x {pin filtering on, off}
+   (cut-over thresholds zeroed so parallel runs really use the pool). *)
+let multi_equals_singles =
+  QCheck.Test.make ~name:"multi-pattern engine = N single-pattern engines (4 workloads)"
+    ~count:3 QCheck.small_int (fun seed ->
+      let traces = 6 in
+      let nets =
+        List.map
+          (fun name ->
+            net_of (Cases.make name ~traces ~seed:1 ~max_events:1).Workload.pattern)
+          Cases.names
+      in
+      let configs =
+        List.concat_map
+          (fun parallelism ->
+            List.map
+              (fun pin_filtering ->
+                {
+                  Engine.default_config with
+                  Engine.parallelism;
+                  pin_filtering;
+                  cutover_batch = 0;
+                  cutover_work = 0;
+                  record_latency = false;
+                })
+              [ true; false ])
+          [ 1; 4 ]
+      in
+      List.for_all
+        (fun case ->
+          let w = Cases.make case ~traces ~seed:(seed + 11) ~max_events:250 in
+          let names = Sim.trace_names w.Workload.sim_config in
+          let raws = ref [] in
+          let _ =
+            Sim.run w.Workload.sim_config
+              ~sink:(fun r -> raws := r :: !raws)
+              ~bodies:w.Workload.bodies
+          in
+          let raws = List.rev !raws in
+          List.for_all
+            (fun config ->
+              let multi = replay_multi ~config ~names ~nets raws in
+              let singles =
+                List.map (fun net -> replay_single ~config ~names ~net raws) nets
+              in
+              if multi <> singles then
+                QCheck.Test.fail_reportf
+                  "multi diverges from dedicated engines on %s (parallelism=%d, \
+                   pin_filtering=%b)"
+                  case config.Engine.parallelism config.Engine.pin_filtering
+              else true)
+            configs)
+        Cases.names)
+
+(* ------------------------------------------------------------------ *)
+(* Registry lifecycle                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let names2 = [| "P0"; "P1" |]
+let ab = "A := [_, A, _]; B := [_, B, _]; pattern := A -> B;"
+
+let internal poet tr ty =
+  ignore
+    (Ocep_poet.Poet.ingest poet
+       { Event.r_trace = tr; r_etype = ty; r_text = ""; r_kind = Event.Internal })
+
+let add_remove_re_add () =
+  let poet = Poet.create ~trace_names:names2 () in
+  let engine = Engine.create_multi ~poet () in
+  Fun.protect ~finally:(fun () -> Engine.shutdown engine) @@ fun () ->
+  check_int "starts empty" 0 (Engine.pattern_count engine);
+  let p0 = Engine.add_pattern engine (net_of ab) in
+  check_int "one pattern" 1 (Engine.pattern_count engine);
+  Engine.remove_pattern engine p0;
+  check_int "empty after remove" 0 (Engine.pattern_count engine);
+  check "removed pid rejected" true
+    (match Engine.remove_pattern engine p0 with
+    | () -> false
+    | exception Invalid_argument _ -> true);
+  (* an empty engine ingests as a no-op *)
+  internal poet 0 "A";
+  (* hot re-add: a fresh id, and matching works on events arriving after *)
+  let p1 = Engine.add_pattern engine (net_of ab) in
+  check "fresh id" true (p1 <> p0);
+  internal poet 0 "A";
+  internal poet 0 "B";
+  check "re-added pattern matches" true (Engine.matches_found_for engine p1 > 0)
+
+let accessors_on_empty_engine () =
+  let poet = Poet.create ~trace_names:names2 () in
+  let engine = Engine.create_multi ~poet () in
+  Fun.protect ~finally:(fun () -> Engine.shutdown engine) @@ fun () ->
+  check "net on empty engine rejected" true
+    (match Engine.net engine with _ -> false | exception Invalid_argument _ -> true);
+  check_int "no matches" 0 (Engine.matches_found engine);
+  check_int "no history" 0 (Engine.history_entries engine)
+
+(* Two patterns whose leaves have equal class keys share one physical
+   history class: entries are stored once, and the class survives until
+   its last subscriber is removed. *)
+let shared_class_refcount () =
+  let poet = Poet.create ~trace_names:names2 () in
+  let engine =
+    Engine.create_multi ~config:{ Engine.default_config with Engine.pruning = false } ~poet ()
+  in
+  Fun.protect ~finally:(fun () -> Engine.shutdown engine) @@ fun () ->
+  let p0 = Engine.add_pattern engine (net_of ab) in
+  let p1 =
+    Engine.add_pattern engine (net_of "X := [_, A, _]; Y := [$p, B, _]; pattern := X || Y;")
+  in
+  (* A and B each match one class entry, shared by both patterns *)
+  internal poet 0 "A";
+  internal poet 1 "B";
+  check_int "stored once despite two subscribers" 2 (Engine.history_entries engine);
+  Engine.remove_pattern engine p1;
+  check_int "classes survive the other subscriber's removal" 2 (Engine.history_entries engine);
+  Engine.remove_pattern engine p0;
+  check_int "releasing the last subscriber frees the store" 0 (Engine.history_entries engine)
+
+let dedup_matches_single_engine () =
+  (* a two-same-class-leaf pattern stores no more than a one-leaf one *)
+  let poet = Poet.create ~trace_names:names2 () in
+  let engine =
+    Engine.create_multi ~config:{ Engine.default_config with Engine.pruning = false } ~poet ()
+  in
+  Fun.protect ~finally:(fun () -> Engine.shutdown engine) @@ fun () ->
+  let _ =
+    Engine.add_pattern engine (net_of "S1 := [_, A, $d]; S2 := [_, A, $d]; pattern := S1 || S2;")
+  in
+  internal poet 0 "A";
+  internal poet 1 "A";
+  check_int "same-class leaves share entries" 2 (Engine.history_entries engine)
+
+(* ------------------------------------------------------------------ *)
+(* The 62-leaf cap                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* k leaves: k declared instances chained pairwise, so every leaf is
+   referenced through its event variable and counted exactly once *)
+let chain_pattern k =
+  let buf = Buffer.create 1024 in
+  for i = 1 to k do
+    Buffer.add_string buf (Printf.sprintf "C%d := [_, T%d, _];\nC%d $c%d;\n" i i i i)
+  done;
+  Buffer.add_string buf "pattern := ";
+  for i = 1 to k - 1 do
+    if i > 1 then Buffer.add_string buf " && ";
+    Buffer.add_string buf (Printf.sprintf "($c%d -> $c%d)" i (i + 1))
+  done;
+  Buffer.add_string buf ";\n";
+  Buffer.contents buf
+
+let leaf_cap_enforced () =
+  (* 62 leaves: the matcher's conflict bitsets still fit one word *)
+  let net = net_of (chain_pattern Compile.max_leaves) in
+  check_int "62 leaves compile" Compile.max_leaves (Compile.size net);
+  (* and the registry accepts them *)
+  let poet = Poet.create ~trace_names:names2 () in
+  let engine = Engine.create_multi ~poet () in
+  Fun.protect ~finally:(fun () -> Engine.shutdown engine) @@ fun () ->
+  let pid = Engine.add_pattern engine net in
+  check_int "registered" 1 (Engine.pattern_count engine);
+  Engine.remove_pattern engine pid;
+  (* 63 leaves: rejected at compile time with a clear message *)
+  match net_of (chain_pattern (Compile.max_leaves + 1)) with
+  | _ -> Alcotest.fail "63-leaf pattern should not compile"
+  | exception Invalid_argument msg ->
+    check "message names the cap" true
+      (let cap = string_of_int Compile.max_leaves in
+       let rec contains i =
+         i + String.length cap <= String.length msg
+         && (String.sub msg i (String.length cap) = cap || contains (i + 1))
+       in
+       contains 0)
+
+let () =
+  Alcotest.run "multi"
+    [
+      ("equivalence", [ QCheck_alcotest.to_alcotest multi_equals_singles ]);
+      ( "registry",
+        [
+          Alcotest.test_case "add / remove / re-add" `Quick add_remove_re_add;
+          Alcotest.test_case "empty engine accessors" `Quick accessors_on_empty_engine;
+          Alcotest.test_case "shared-class refcount" `Quick shared_class_refcount;
+          Alcotest.test_case "same-class dedup" `Quick dedup_matches_single_engine;
+        ] );
+      ("leaf cap", [ Alcotest.test_case "62-leaf boundary" `Quick leaf_cap_enforced ]);
+    ]

@@ -172,6 +172,72 @@ let is_linearization_detects_violation () =
   check "detected" false (Linearize.is_linearization bad)
 
 (* ------------------------------------------------------------------ *)
+(* Dense / spill boundary for per-message-id state                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Message ids below [dense_capacity] live in flat arrays; ids at or
+   above it (and negative ids) spill to hashtables. The two stores must
+   be indistinguishable: clock propagation and partner lookup work the
+   same on either side of the boundary, including both in one run. *)
+
+let send poet tr msg =
+  ignore (Poet.ingest poet { Event.r_trace = tr; r_etype = "S"; r_text = ""; r_kind = Event.Send { msg } })
+
+let recv poet tr msg =
+  Poet.ingest poet { Event.r_trace = tr; r_etype = "R"; r_text = ""; r_kind = Event.Receive { msg } }
+
+let internal poet tr ty =
+  Poet.ingest poet { Event.r_trace = tr; r_etype = ty; r_text = ""; r_kind = Event.Internal }
+
+let spill_boundary_clock_propagation () =
+  List.iter
+    (fun msg ->
+      let poet = Poet.create ~partner_index:true ~trace_names:(names 2) () in
+      let a = internal poet 0 "A" in
+      send poet 0 msg;
+      let r = recv poet 1 msg in
+      let b = internal poet 1 "B" in
+      let label = Printf.sprintf "msg id %d" msg in
+      check (label ^ ": A hb recv") true (Event.hb a r);
+      check (label ^ ": A hb B across the message") true (Event.hb a b))
+    [
+      Poet.dense_capacity - 1;  (* last dense id *)
+      Poet.dense_capacity;  (* first spilled id *)
+      Poet.dense_capacity + 5;
+      -3;  (* negative ids always spill *)
+    ]
+
+let spill_boundary_partner_lookup () =
+  let poet = Poet.create ~partner_index:true ~trace_names:(names 2) () in
+  (* one dense and two spilled messages interleaved in a single run *)
+  let pairs =
+    List.map
+      (fun msg ->
+        send poet 0 msg;
+        let r = recv poet 1 msg in
+        let s = match Poet.find_partner poet r with Some s -> s | None -> Alcotest.fail "no send partner" in
+        (msg, s, r))
+      [ Poet.dense_capacity - 1; Poet.dense_capacity; -1 ]
+  in
+  List.iter
+    (fun (msg, s, r) ->
+      let label = Printf.sprintf "msg id %d" msg in
+      check (label ^ ": send -> recv") true
+        (match Poet.find_partner poet s with Some e -> Event.equal e r | None -> false);
+      check (label ^ ": recv -> send") true
+        (match Poet.find_partner poet r with Some e -> Event.equal e s | None -> false))
+    pairs
+
+let spill_boundary_unknown_still_fails () =
+  let poet = Poet.create ~trace_names:(names 2) () in
+  send poet 0 Poet.dense_capacity;
+  (* a different spilled id is still unknown *)
+  Alcotest.check_raises "unknown spilled msg"
+    (Failure
+       (Printf.sprintf "Poet.ingest: receive of unknown message %d" (Poet.dense_capacity + 1)))
+    (fun () -> ignore (recv poet 1 (Poet.dense_capacity + 1)))
+
+(* ------------------------------------------------------------------ *)
 (* Diagram                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -232,6 +298,12 @@ let () =
           Alcotest.test_case "same timestamps" `Quick dump_reload_same_timestamps;
           Alcotest.test_case "escaping" `Quick dump_escaping;
           Alcotest.test_case "rejects garbage" `Quick load_rejects_garbage;
+        ] );
+      ( "dense spill boundary",
+        [
+          Alcotest.test_case "clock propagation" `Quick spill_boundary_clock_propagation;
+          Alcotest.test_case "partner lookup" `Quick spill_boundary_partner_lookup;
+          Alcotest.test_case "unknown spilled id" `Quick spill_boundary_unknown_still_fails;
         ] );
       ( "diagram",
         [
