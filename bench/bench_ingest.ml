@@ -1,0 +1,167 @@
+(* Ingestion overhead: what the wire codec and the admission layer cost.
+
+   Two measurements on the message-race case stream (the highest
+   event-rate workload):
+
+   - codec: encode and decode throughput of the bare wire format,
+     events/s and MB/s over the materialized stream;
+   - replay: end-to-end events/s of (a) direct in-process delivery —
+     Sim-emitted raws straight into POET/engine — against (b) the full
+     ingestion path: a recorded wire log read frame by frame through
+     CRC checking, admission and the engine.  Both run the identical
+     stream and must produce bit-identical match reports (asserted via
+     the reports digest; the program exits 1 on a mismatch).
+
+   Each timing is the best of three runs.  Results go to
+   BENCH_ingest.json and a table on stdout.  Scale with OCEP_EVENTS
+   (default 50_000). *)
+
+module Sim = Ocep_sim.Sim
+module Poet = Ocep_poet.Poet
+module Parser = Ocep_pattern.Parser
+module Compile = Ocep_pattern.Compile
+module Engine = Ocep.Engine
+module Clock = Ocep_base.Clock
+module Workload = Ocep_workloads.Workload
+module Cases = Ocep_harness.Cases
+module Runner = Ocep_harness.Runner
+module Wire = Ocep_ingest.Wire
+module Framing = Ocep_ingest.Framing
+module Source = Ocep_ingest.Source
+
+let best_of n f =
+  let best = ref infinity in
+  for _ = 1 to n do
+    let t0 = Clock.now_s () in
+    f ();
+    best := min !best (Clock.now_s () -. t0)
+  done;
+  !best
+
+let () =
+  let max_events =
+    match Sys.getenv_opt "OCEP_EVENTS" with Some s -> int_of_string s | None -> 50_000
+  in
+  Printf.printf "ingest bench: races workload, %d events\n%!" max_events;
+  let w = Cases.make "races" ~traces:8 ~seed:2013 ~max_events in
+  let names = Sim.trace_names w.Workload.sim_config in
+  let net = Compile.compile (Parser.parse w.Workload.pattern) in
+  let raws = ref [] in
+  ignore
+    (Sim.run w.Workload.sim_config
+       ~sink:(fun raw -> raws := raw :: !raws)
+       ~bodies:w.Workload.bodies);
+  let raws = Array.of_list (List.rev !raws) in
+  let n = Array.length raws in
+  (* stamp the stream into wire events, as a recorder would *)
+  let seqs = Array.make (Array.length names) 0 in
+  let wires =
+    Array.map
+      (fun _ -> { Wire.id = 0; trace = 0; seq = 0; etype = ""; text = ""; kind = Ocep_base.Event.Internal })
+      raws
+  in
+  Array.iteri
+    (fun i (r : Ocep_base.Event.raw) ->
+      seqs.(r.Ocep_base.Event.r_trace) <- seqs.(r.Ocep_base.Event.r_trace) + 1;
+      wires.(i) <- Wire.of_raw ~id:i ~seq:seqs.(r.Ocep_base.Event.r_trace) r)
+    raws;
+
+  (* ---- codec throughput ---- *)
+  let buf = Buffer.create (n * 24) in
+  let offsets = Array.make n 0 and lengths = Array.make n 0 in
+  let encode_all () =
+    Buffer.clear buf;
+    Array.iteri
+      (fun i wv ->
+        offsets.(i) <- Buffer.length buf;
+        Wire.encode buf wv;
+        lengths.(i) <- Buffer.length buf - offsets.(i))
+      wires
+  in
+  let enc_s = best_of 3 encode_all in
+  let bytes = Buffer.length buf in
+  let data = Buffer.to_bytes buf in
+  let decode_all () =
+    for i = 0 to n - 1 do
+      ignore (Wire.decode data ~pos:offsets.(i) ~len:lengths.(i))
+    done
+  in
+  let dec_s = best_of 3 decode_all in
+  (* decoded = encoded, spot-checked across the stream *)
+  let step = max 1 (n / 97) in
+  let i = ref 0 in
+  while !i < n do
+    assert (Wire.decode data ~pos:offsets.(!i) ~len:lengths.(!i) = wires.(!i));
+    i := !i + step
+  done;
+  let mb = float_of_int bytes /. 1e6 in
+  Printf.printf "codec: %.1f bytes/event   encode %.0f ev/s (%.0f MB/s)   decode %.0f ev/s (%.0f MB/s)\n%!"
+    (float_of_int bytes /. float_of_int n)
+    (float_of_int n /. enc_s) (mb /. enc_s)
+    (float_of_int n /. dec_s) (mb /. dec_s);
+
+  (* ---- end-to-end: direct delivery vs replay through admission ---- *)
+  let digest = ref "" in
+  let direct () =
+    let poet = Poet.create ~trace_names:names () in
+    let engine = Engine.create ~net ~poet () in
+    Fun.protect ~finally:(fun () -> Engine.shutdown engine) @@ fun () ->
+    Array.iter (fun r -> ignore (Poet.ingest poet r)) raws;
+    digest := Runner.reports_digest engine
+  in
+  let direct_s = best_of 3 direct in
+  let direct_digest = !digest in
+  let log = Filename.temp_file "ocep_bench" ".wire" in
+  Fun.protect ~finally:(fun () -> Sys.remove log) @@ fun () ->
+  let oc = open_out_bin log in
+  let wr = Framing.create_writer oc ~trace_names:names in
+  Array.iter (Framing.write wr) wires;
+  Framing.flush wr;
+  close_out oc;
+  let replay () =
+    let ic = open_in_bin log in
+    Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+    let reader = Framing.create_reader ic in
+    let poet = Poet.create ~trace_names:names () in
+    let engine = Engine.create ~net ~poet () in
+    Fun.protect ~finally:(fun () -> Engine.shutdown engine) @@ fun () ->
+    ignore (Source.replay ~engine reader);
+    digest := Runner.reports_digest engine
+  in
+  let replay_s = best_of 3 replay in
+  let equal_reports = !digest = direct_digest in
+  if not equal_reports then begin
+    Printf.eprintf "FAIL: replay digest %s <> direct %s\n" !digest direct_digest;
+    exit 1
+  end;
+  let direct_ev_s = float_of_int n /. direct_s in
+  let replay_ev_s = float_of_int n /. replay_s in
+  let overhead_pct = (direct_ev_s /. replay_ev_s -. 1.) *. 100. in
+  Printf.printf "direct %.0f ev/s   replay %.0f ev/s   overhead %.1f%%   reports %s\n%!"
+    direct_ev_s replay_ev_s overhead_pct
+    (if equal_reports then "bit-identical" else "DIFFER");
+  let oc = open_out "BENCH_ingest.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"events\": %d,\n\
+    \  \"codec\": {\n\
+    \    \"bytes_per_event\": %.2f,\n\
+    \    \"encode_events_per_s\": %.0f,\n\
+    \    \"encode_mb_per_s\": %.1f,\n\
+    \    \"decode_events_per_s\": %.0f,\n\
+    \    \"decode_mb_per_s\": %.1f\n\
+    \  },\n\
+    \  \"replay\": {\n\
+    \    \"direct_events_per_s\": %.0f,\n\
+    \    \"replay_events_per_s\": %.0f,\n\
+    \    \"overhead_pct\": %.2f,\n\
+    \    \"equal_reports\": %b\n\
+    \  }\n\
+     }\n"
+    n
+    (float_of_int bytes /. float_of_int n)
+    (float_of_int n /. enc_s) (mb /. enc_s)
+    (float_of_int n /. dec_s) (mb /. dec_s)
+    direct_ev_s replay_ev_s overhead_pct equal_reports;
+  close_out oc;
+  Printf.printf "wrote BENCH_ingest.json\n"

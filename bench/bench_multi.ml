@@ -98,18 +98,18 @@ let races_patterns =
 (* ------------------------------------------------------------------ *)
 
 (* everything the registry must keep bit-identical, per pattern *)
-let observe engine pid =
+let observe h =
   let reports =
     List.map
       (fun (r : Subset.report) ->
         ( r.seq,
           r.fresh,
           Array.to_list (Array.map (fun (e : Event.t) -> (e.trace, e.index)) r.events) ))
-      (Engine.reports_for engine pid)
+      (Engine.Handle.reports h)
   in
-  ( Engine.matches_found_for engine pid,
-    Engine.covered_slots_for engine pid,
-    Engine.seen_slots_for engine pid,
+  ( Engine.Handle.matches_found h,
+    Engine.Handle.covered_slots h,
+    Engine.Handle.seen_slots h,
     reports )
 
 type mode_result = {
@@ -121,18 +121,18 @@ type mode_result = {
 
 let run_multi ~names ~nets raws =
   let poet = Poet.create ~trace_names:names () in
-  let engine = Engine.create_multi ~poet () in
+  let engine = Engine.create ~poet () in
   Fun.protect
     ~finally:(fun () -> Engine.shutdown engine)
     (fun () ->
-      let pids = List.map (fun net -> Engine.add_pattern engine net) nets in
+      let hs = List.map (fun net -> Engine.add_pattern engine net) nets in
       let t0 = Clock.now_s () in
       List.iter (fun r -> ignore (Poet.ingest poet r)) raws;
       let wall_s = Clock.now_s () -. t0 in
       {
         wall_s;
         history_entries = Engine.history_entries engine;
-        per_pattern = List.map (observe engine) pids;
+        per_pattern = List.map observe hs;
       })
 
 let run_separate ~names ~nets raws =
@@ -147,8 +147,8 @@ let run_separate ~names ~nets raws =
             let t0 = Clock.now_s () in
             List.iter (fun r -> ignore (Poet.ingest poet r)) raws;
             let wall_s = Clock.now_s () -. t0 in
-            let pid = List.hd (Engine.pattern_ids engine) in
-            (wall_s, Engine.history_entries engine, observe engine pid)))
+            let h = List.hd (Engine.handles engine) in
+            (wall_s, Engine.history_entries engine, observe h)))
       nets
   in
   {

@@ -17,6 +17,12 @@ module Summary = Ocep_stats.Summary
 module Workload = Ocep_workloads.Workload
 module Cases = Ocep_harness.Cases
 module Repro = Ocep_harness.Repro
+module Runner = Ocep_harness.Runner
+module Inject = Ocep_workloads.Inject
+module Framing = Ocep_ingest.Framing
+module Admission = Ocep_ingest.Admission
+module Bqueue = Ocep_ingest.Bqueue
+module Source = Ocep_ingest.Source
 
 open Cmdliner
 
@@ -82,6 +88,69 @@ let gen_cmd =
     0
   in
   let info = Cmd.info "gen" ~doc:"Simulate a case-study workload and dump its trace-event data." in
+  Cmd.v info Term.(const run $ case $ traces $ events $ seed $ output $ pattern_out)
+
+(* ------------------------------------------------------------------ *)
+(* record                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let record_cmd =
+  let case =
+    Arg.(
+      required
+      & opt (some (enum (List.map (fun n -> (n, n)) Cases.names))) None
+      & info [ "case"; "c" ] ~docv:"CASE" ~doc:"Workload: deadlock, races, atomicity or ordering.")
+  in
+  let traces =
+    Arg.(value & opt int 10 & info [ "traces"; "t" ] ~docv:"N" ~doc:"Number of traces.")
+  in
+  let events =
+    Arg.(value & opt int 50_000 & info [ "events"; "n" ] ~docv:"N" ~doc:"Events to generate.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed"; "s" ] ~docv:"SEED" ~doc:"PRNG seed.") in
+  let output =
+    Arg.(
+      required & opt (some string) None
+      & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Framed wire-format log file.")
+  in
+  let pattern_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "pattern-out" ] ~docv:"FILE" ~doc:"Also write the case's pattern text to FILE.")
+  in
+  let run case traces events seed output pattern_out =
+    let w = Cases.make case ~traces ~seed ~max_events:events in
+    let names = Sim.trace_names w.Workload.sim_config in
+    let oc = open_out_bin output in
+    let wr = Framing.create_writer oc ~trace_names:names in
+    let stats =
+      Sim.run w.Workload.sim_config
+        ~sink:(fun raw -> ignore (Framing.write_raw wr raw))
+        ~bodies:w.Workload.bodies
+    in
+    Framing.flush wr;
+    close_out oc;
+    (match pattern_out with
+    | Some p ->
+      let oc = open_out p in
+      output_string oc w.Workload.pattern;
+      close_out oc;
+      Printf.printf "pattern written to %s\n" p
+    | None -> ());
+    Printf.printf "recorded %d events (%d traces, %d simulated deadlocks) to %s\n"
+      (Framing.written wr) (Array.length names)
+      (List.length stats.Sim.deadlocks)
+      output;
+    0
+  in
+  let info =
+    Cmd.info "record"
+      ~doc:
+        "Simulate a case-study workload and record its events to a framed, CRC-checked \
+         wire-format log (replayable with $(b,ocep replay), including under injected delivery \
+         faults)."
+  in
   Cmd.v info Term.(const run $ case $ traces $ events $ seed $ output $ pattern_out)
 
 (* ------------------------------------------------------------------ *)
@@ -185,8 +254,8 @@ let run_cmd =
         trace_spans = trace_out <> None;
       }
     in
-    let engine = Engine.create_multi ~config ~poet () in
-    let pids = List.map (fun (f, net) -> (f, net, Engine.add_pattern engine net)) nets in
+    let engine = Engine.create ~config ~poet () in
+    let handles = List.map (fun (f, net) -> (f, net, Engine.add_pattern engine net)) nets in
     Fun.protect ~finally:(fun () -> Engine.shutdown engine) @@ fun () ->
     let snapshots = ref [] in
     let snap () =
@@ -236,6 +305,7 @@ let run_cmd =
     Printf.printf "coverage: %d/%d slots   history entries: %d\n"
       (Engine.covered_slots engine) (Engine.seen_slots engine)
       (Engine.history_entries engine);
+    Printf.printf "reports digest: %s\n" (Runner.reports_digest engine);
     let latencies = Engine.latencies_us engine in
     if Array.length latencies > 0 then begin
       let s = Summary.of_samples latencies in
@@ -255,18 +325,17 @@ let run_cmd =
           end)
         reports
     in
-    (match pids with
+    (match handles with
     | [ (_, net, _) ] -> print_reports net (Engine.reports engine)
     | _ ->
       List.iter
-        (fun (file, net, pid) ->
-          Printf.printf "pattern %d (%s): matches %d   reports %d   coverage %d/%d\n" pid file
-            (Engine.matches_found_for engine pid)
-            (List.length (Engine.reports_for engine pid))
-            (Engine.covered_slots_for engine pid)
-            (Engine.seen_slots_for engine pid);
-          print_reports net (Engine.reports_for engine pid))
-        pids);
+        (fun (file, net, h) ->
+          let m = Engine.Handle.metrics h in
+          Printf.printf "pattern %d (%s): matches %d   reports %d   coverage %d/%d\n"
+            (Engine.Handle.id h) file m.Engine.Handle.matches m.Engine.Handle.reports_retained
+            m.Engine.Handle.covered_slots m.Engine.Handle.seen_slots;
+          print_reports net (Engine.Handle.reports h))
+        handles);
     if diagram then begin
       let highlight =
         match Engine.reports engine with
@@ -284,6 +353,252 @@ let run_cmd =
     Term.(
       const run $ pattern_files $ trace_file $ no_pruning $ parallelism $ max_reports $ diagram
       $ metrics_out $ trace_out $ metrics_every)
+
+(* ------------------------------------------------------------------ *)
+(* replay                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let replay_cmd =
+  let pattern_files =
+    Arg.(
+      non_empty
+      & opt_all file []
+      & info [ "pattern"; "p" ] ~docv:"FILE"
+          ~doc:"Pattern-language source file; repeatable, as in $(b,ocep run).")
+  in
+  let wire_file =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "input"; "i" ] ~docv:"FILE"
+          ~doc:"Framed wire-format log to replay (see $(b,ocep record)).")
+  in
+  let faults =
+    let fconv =
+      Arg.conv
+        ( (fun s -> Result.map_error (fun e -> `Msg e) (Inject.parse_faults s)),
+          fun ppf f -> Inject.pp_faults ppf f )
+    in
+    Arg.(
+      value
+      & opt fconv Inject.no_faults
+      & info [ "faults" ] ~docv:"SPEC"
+          ~doc:
+            "Degrade the delivery before admission: $(b,reorder:K) shuffles within blocks of K \
+             frames, $(b,dup:P) duplicates each frame with probability P, $(b,drop:P) drops it. \
+             Comma-separate any subset, e.g. $(b,reorder:8,dup:0.01).")
+  in
+  let fault_seed =
+    Arg.(
+      value & opt int 7
+      & info [ "seed"; "s" ] ~docv:"SEED" ~doc:"PRNG seed for $(b,--faults).")
+  in
+  let gap_policy =
+    let parse s =
+      match String.lowercase_ascii (String.trim s) with
+      | "wait" -> Ok Admission.Wait
+      | "fail" -> Ok Admission.Fail
+      | s when String.length s > 5 && String.sub s 0 5 = "skip:" -> (
+        match int_of_string_opt (String.sub s 5 (String.length s - 5)) with
+        | Some n when n >= 0 -> Ok (Admission.Skip n)
+        | _ -> Error (`Msg (Printf.sprintf "bad skip patience in %S" s)))
+      | _ -> Error (`Msg (Printf.sprintf "gap policy %S: want wait, skip:N or fail" s))
+    in
+    let print ppf = function
+      | Admission.Wait -> Format.pp_print_string ppf "wait"
+      | Admission.Skip n -> Format.fprintf ppf "skip:%d" n
+      | Admission.Fail -> Format.pp_print_string ppf "fail"
+    in
+    Arg.(
+      value
+      & opt (conv (parse, print)) Admission.Wait
+      & info [ "gap-policy" ] ~docv:"POLICY"
+          ~doc:
+            "What to do about a missing record id: $(b,wait) (buffer until end of stream), \
+             $(b,skip:N) (give up after N more frames arrive), or $(b,fail) (exit nonzero on \
+             any loss).")
+  in
+  let reorder_window =
+    Arg.(
+      value & opt int Admission.default_config.Admission.reorder_window
+      & info [ "reorder-window" ] ~docv:"N"
+          ~doc:"Max out-of-order frames held by admission before a gap is declared.")
+  in
+  let queue_capacity =
+    Arg.(
+      value & opt int Source.default_config.Source.queue_capacity
+      & info [ "queue-capacity" ] ~docv:"N" ~doc:"Ingest queue bound (with --pipeline).")
+  in
+  let queue_policy =
+    Arg.(
+      value
+      & opt (enum [ ("block", Bqueue.Block); ("shed", Bqueue.Shed) ]) Bqueue.Block
+      & info [ "queue-policy" ] ~docv:"POLICY"
+          ~doc:"Backpressure on a full ingest queue: $(b,block) the reader or $(b,shed) frames.")
+  in
+  let pipeline =
+    Arg.(
+      value & flag
+      & info [ "pipeline" ]
+          ~doc:"Decode frames on a separate domain, handing events over a bounded queue.")
+  in
+  let parallelism =
+    Arg.(
+      value & opt int 1
+      & info [ "parallelism"; "j" ] ~docv:"N" ~doc:"Engine search workers, as in $(b,ocep run).")
+  in
+  let max_reports =
+    Arg.(value & opt int 0 & info [ "max-reports" ] ~docv:"N" ~doc:"Reports to print.")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the engine's metrics registry (including the ocep_ingest_* instruments) to \
+             FILE after the replay: JSON, or the Prometheus text exposition if FILE ends in \
+             .prom.")
+  in
+  let run pattern_files wire_file faults fault_seed gap_policy reorder_window queue_capacity
+      queue_policy pipeline parallelism max_reports metrics_out =
+    if parallelism < 0 then (
+      Printf.eprintf "ocep: --parallelism must be >= 0, got %d\n" parallelism;
+      exit 2);
+    let nets =
+      List.map (fun f -> (f, Compile.compile (Parser.parse (read_file f)))) pattern_files
+    in
+    (* Fault injection degrades the transport, not the log: decode the
+       pristine log, apply the deterministic faults to the frame
+       sequence, re-frame it into a temp file and replay that — so the
+       faulted replay exercises exactly the same reader/admission path
+       as a pristine one. *)
+    let input, cleanup =
+      if faults = Inject.no_faults then (wire_file, fun () -> ())
+      else begin
+        let ic = open_in_bin wire_file in
+        let reader = Framing.create_reader ic in
+        let frames = ref [] in
+        let continue = ref true in
+        while !continue do
+          match Framing.next reader with
+          | Framing.Frame w -> frames := w :: !frames
+          | Framing.Crc_error | Framing.Bad_frame _ -> ()
+          | Framing.Truncated | Framing.Eof -> continue := false
+        done;
+        close_in ic;
+        let faulted = Inject.apply_faults faults ~seed:fault_seed (List.rev !frames) in
+        let tmp = Filename.temp_file "ocep_replay" ".wire" in
+        let oc = open_out_bin tmp in
+        let wr = Framing.create_writer oc ~trace_names:(Framing.reader_trace_names reader) in
+        List.iter (Framing.write wr) faulted;
+        Framing.flush wr;
+        close_out oc;
+        Format.printf "faults: %a (seed %d): %d frames -> %d@." Inject.pp_faults faults
+          fault_seed (List.length !frames) (List.length faulted);
+        (tmp, fun () -> Sys.remove tmp)
+      end
+    in
+    Fun.protect ~finally:cleanup @@ fun () ->
+    let ic = open_in_bin input in
+    Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+    let reader =
+      try Framing.create_reader ic
+      with Framing.Bad_header e ->
+        Printf.eprintf "ocep replay: %s: %s\n" wire_file e;
+        exit 1
+    in
+    let poet = Poet.create ~trace_names:(Framing.reader_trace_names reader) () in
+    let config =
+      {
+        Engine.default_config with
+        Engine.parallelism;
+        latency_sink = (if metrics_out <> None then Engine.Histogram else Engine.Samples);
+      }
+    in
+    let engine = Engine.create ~config ~poet () in
+    let handles = List.map (fun (f, net) -> (f, net, Engine.add_pattern engine net)) nets in
+    Fun.protect ~finally:(fun () -> Engine.shutdown engine) @@ fun () ->
+    let source_config =
+      {
+        Source.admission =
+          { Admission.reorder_window; Admission.gap_policy };
+        queue_capacity;
+        queue_policy;
+        pipeline;
+      }
+    in
+    let st =
+      try Source.replay ~config:source_config ~engine reader
+      with Admission.Gap e ->
+        Printf.eprintf "ocep replay: unrecoverable gap: %s\n" e;
+        exit 1
+    in
+    let a = st.Source.admission in
+    Printf.printf
+      "frames: %d   admitted: %d   duplicates: %d   reordered: %d (max depth %d)\n"
+      a.Admission.frames a.Admission.admitted a.Admission.duplicates a.Admission.reordered
+      a.Admission.max_depth;
+    if st.Source.crc_errors > 0 || st.Source.bad_frames > 0 || st.Source.truncated then
+      Printf.printf "stream damage: %d crc errors, %d bad frames%s\n" st.Source.crc_errors
+        st.Source.bad_frames
+        (if st.Source.truncated then ", truncated tail" else "");
+    if a.Admission.gaps > 0 || a.Admission.late > 0 || a.Admission.orphan_receives > 0 then
+      Printf.printf "loss: %d gaps (%d events by trace), %d late, %d orphan receives\n"
+        a.Admission.gaps
+        (Array.fold_left ( + ) 0 a.Admission.trace_gaps)
+        a.Admission.late a.Admission.orphan_receives;
+    if pipeline then
+      Printf.printf "queue: max occupancy %d, shed %d\n" st.Source.queue_max_occupancy
+        st.Source.queue_shed;
+    Printf.printf "events: %d   matches found: %d   reported subset: %d\n"
+      (Engine.events_processed engine)
+      (Engine.matches_found engine)
+      (List.length (Engine.reports engine));
+    Printf.printf "reports digest: %s\n" (Runner.reports_digest engine);
+    List.iter
+      (fun (file, net, h) ->
+        let m = Engine.Handle.metrics h in
+        if List.length handles > 1 then
+          Printf.printf "pattern %d (%s): matches %d   reports %d   coverage %d/%d\n"
+            (Engine.Handle.id h) file m.Engine.Handle.matches m.Engine.Handle.reports_retained
+            m.Engine.Handle.covered_slots m.Engine.Handle.seen_slots;
+        List.iteri
+          (fun i (r : Ocep.Subset.report) ->
+            if i < max_reports then begin
+              Format.printf "match %d:@." (i + 1);
+              Array.iteri
+                (fun leaf e ->
+                  Format.printf "  %s = %a@."
+                    net.Compile.leaves.(leaf).Compile.cls.Ocep_pattern.Ast.cname
+                    Ocep_base.Event.pp e)
+                r.Ocep.Subset.events
+            end)
+          (Engine.Handle.reports h))
+      handles;
+    (match metrics_out with
+    | None -> ()
+    | Some path ->
+      Engine.sync_metrics engine;
+      let oc = open_out path in
+      if Filename.check_suffix path ".prom" then
+        output_string oc (Ocep_obs.Snapshot.prometheus (Engine.metrics engine))
+      else Printf.fprintf oc "%s\n" (Ocep_obs.Snapshot.json (Engine.metrics engine));
+      close_out oc;
+      Printf.printf "metrics written to %s\n" path);
+    0
+  in
+  let info =
+    Cmd.info "replay"
+      ~doc:
+        "Replay a recorded wire-format log through the admission layer into the engine, \
+         optionally degrading delivery first with $(b,--faults). Under bounded reorder and \
+         duplication the printed reports digest matches $(b,ocep run) on the same workload."
+  in
+  Cmd.v info
+    Term.(
+      const run $ pattern_files $ wire_file $ faults $ fault_seed $ gap_policy $ reorder_window
+      $ queue_capacity $ queue_policy $ pipeline $ parallelism $ max_reports $ metrics_out)
 
 (* ------------------------------------------------------------------ *)
 (* check                                                               *)
@@ -325,7 +640,7 @@ let check_cmd =
       (* one registry engine must accept all four patterns together *)
       let w = Cases.make (List.hd Cases.names) ~traces:6 ~seed:1 ~max_events:1 in
       let poet = Poet.create ~trace_names:(Sim.trace_names w.Workload.sim_config) () in
-      let engine = Engine.create_multi ~poet () in
+      let engine = Engine.create ~poet () in
       Fun.protect ~finally:(fun () -> Engine.shutdown engine) @@ fun () ->
       let rec go = function
         | [] ->
@@ -340,8 +655,9 @@ let check_cmd =
             1
           | Ok net -> (
             match Engine.add_pattern engine net with
-            | pid ->
-              Printf.printf "%-10s ok: pattern %d, %d leaves\n" case pid (Compile.size net);
+            | h ->
+              Printf.printf "%-10s ok: pattern %d, %d leaves\n" case (Engine.Handle.id h)
+                (Compile.size net);
               go rest
             | exception Invalid_argument e ->
               Printf.eprintf "%s: %s\n" case e;
@@ -467,4 +783,7 @@ let repro_cmd =
 let () =
   let doc = "OCEP: online causal-event-pattern matching (ICDCS 2013 reproduction)" in
   let info = Cmd.info "ocep" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ gen_cmd; run_cmd; check_cmd; info_cmd; repro_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ gen_cmd; record_cmd; run_cmd; replay_cmd; check_cmd; info_cmd; repro_cmd ]))

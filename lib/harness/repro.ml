@@ -413,7 +413,7 @@ let ablation_history ppf ~scale =
         let s = Summary.of_samples latencies in
         Format.fprintf ppf "%-10b %16d %18d %12.1f %10.1f@." pruning
           (Engine.history_entries engine)
-          (Engine.history_entries_for engine ~leaf:!update_leaf)
+          (Engine.Handle.history_entries (List.hd (Engine.handles engine)) ~leaf:!update_leaf)
           s.Summary.median s.Summary.max
       end)
     [ true; false ];

@@ -52,8 +52,8 @@ let run_multi ?(engine_config = Engine.default_config) ~patterns (w : Workload.t
   let t0 = Ocep_base.Clock.now_s () in
   let names = Sim.trace_names w.sim_config in
   let poet = Poet.create ~trace_names:names () in
-  let engine = Engine.create_multi ~config:engine_config ~poet () in
-  let pids =
+  let engine = Engine.create ~config:engine_config ~poet () in
+  let hs =
     List.map
       (fun (name, src) -> (name, Engine.add_pattern engine (Compile.compile (Parser.parse src))))
       patterns
@@ -68,19 +68,19 @@ let run_multi ?(engine_config = Engine.default_config) ~patterns (w : Workload.t
     m_wall_s = Ocep_base.Clock.now_s () -. t0;
     m_patterns =
       List.map
-        (fun (name, pid) ->
-          let stats = Engine.search_stats_for engine pid in
+        (fun (name, h) ->
+          let m = Engine.Handle.metrics h in
           {
-            p_id = pid;
+            p_id = Engine.Handle.id h;
             p_name = name;
-            p_matches = Engine.matches_found_for engine pid;
-            p_reports = List.length (Engine.reports_for engine pid);
-            p_covered = Engine.covered_slots_for engine pid;
-            p_seen = Engine.seen_slots_for engine pid;
-            p_searches = stats.Ocep.Matcher.searches;
-            p_nodes = stats.Ocep.Matcher.nodes;
+            p_matches = m.Engine.Handle.matches;
+            p_reports = m.Engine.Handle.reports_retained;
+            p_covered = m.Engine.Handle.covered_slots;
+            p_seen = m.Engine.Handle.seen_slots;
+            p_searches = m.Engine.Handle.searches;
+            p_nodes = m.Engine.Handle.nodes;
           })
-        pids;
+        hs;
   }
 
 let pp_multi_outcome ppf (o : multi_outcome) =
@@ -167,6 +167,42 @@ let run ?(engine_config = Engine.default_config) ?(cutoff_margin = 0.05) (w : Wo
     search_stats = Engine.search_stats engine;
     wall_s = Ocep_base.Clock.now_s () -. t0;
   }
+
+(* FNV-1a over every order-sensitive observable of every live pattern.
+   Two engines agree on this hex string iff their match reports are
+   bit-identical — the record/replay equivalence check, cheap enough to
+   print after every run and grep-compare in CI. *)
+let reports_digest engine =
+  let h = ref 0xcbf29ce484222325L in
+  let mix_byte b = h := Int64.mul (Int64.logxor !h (Int64.of_int (b land 0xff))) 0x100000001b3L in
+  let mix_int n =
+    for i = 0 to 7 do
+      mix_byte (n asr (8 * i))
+    done
+  in
+  List.iter
+    (fun handle ->
+      let m = Engine.Handle.metrics handle in
+      mix_int (Engine.Handle.id handle);
+      mix_int m.Engine.Handle.matches;
+      mix_int m.Engine.Handle.covered_slots;
+      mix_int m.Engine.Handle.seen_slots;
+      List.iter
+        (fun (r : Subset.report) ->
+          mix_int r.Subset.seq;
+          List.iter
+            (fun (a, b) ->
+              mix_int a;
+              mix_int b)
+            r.Subset.fresh;
+          Array.iter
+            (fun (e : Ocep_base.Event.t) ->
+              mix_int e.Ocep_base.Event.trace;
+              mix_int e.Ocep_base.Event.index)
+            r.Subset.events)
+        (Engine.Handle.reports handle))
+    (Engine.handles engine);
+  Printf.sprintf "%016Lx" !h
 
 let pp_outcome ppf o =
   let terminating =

@@ -76,3 +76,11 @@ val run :
     execution to be asked about them. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
+
+val reports_digest : Ocep.Engine.t -> string
+(** 16-hex-digit FNV-1a digest of every live pattern's observables —
+    matches, coverage, and each report's arrival sequence, freshness and
+    event identities, in registration order. Two engines produce the
+    same digest iff their match reports are bit-identical; [ocep run]
+    and [ocep replay] print it so record/replay equivalence is a string
+    comparison. *)

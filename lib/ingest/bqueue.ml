@@ -1,0 +1,70 @@
+type policy = Block | Shed
+
+type 'a t = {
+  q : 'a Queue.t;
+  capacity : int;
+  policy : policy;
+  lock : Mutex.t;
+  not_full : Condition.t;
+  not_empty : Condition.t;
+  mutable closed : bool;
+  mutable shed : int;
+  mutable max_occupancy : int;
+}
+
+let create ?(policy = Block) ~capacity () =
+  if capacity <= 0 then invalid_arg "Bqueue.create: capacity must be positive";
+  {
+    q = Queue.create ();
+    capacity;
+    policy;
+    lock = Mutex.create ();
+    not_full = Condition.create ();
+    not_empty = Condition.create ();
+    closed = false;
+    shed = 0;
+    max_occupancy = 0;
+  }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let push t x =
+  with_lock t @@ fun () ->
+  if t.closed then invalid_arg "Bqueue.push: closed";
+  match t.policy with
+  | Shed when Queue.length t.q >= t.capacity ->
+    t.shed <- t.shed + 1;
+    false
+  | Shed | Block ->
+    while Queue.length t.q >= t.capacity && not t.closed do
+      Condition.wait t.not_full t.lock
+    done;
+    if t.closed then invalid_arg "Bqueue.push: closed";
+    Queue.push x t.q;
+    t.max_occupancy <- max t.max_occupancy (Queue.length t.q);
+    Condition.signal t.not_empty;
+    true
+
+let pop t =
+  with_lock t @@ fun () ->
+  while Queue.is_empty t.q && not t.closed do
+    Condition.wait t.not_empty t.lock
+  done;
+  if Queue.is_empty t.q then None
+  else begin
+    let x = Queue.pop t.q in
+    Condition.signal t.not_full;
+    Some x
+  end
+
+let close t =
+  with_lock t @@ fun () ->
+  t.closed <- true;
+  Condition.broadcast t.not_empty;
+  Condition.broadcast t.not_full
+
+let length t = with_lock t @@ fun () -> Queue.length t.q
+let shed t = with_lock t @@ fun () -> t.shed
+let max_occupancy t = with_lock t @@ fun () -> t.max_occupancy

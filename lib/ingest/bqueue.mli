@@ -1,0 +1,34 @@
+(** Bounded multi-domain FIFO with a backpressure policy: the buffer
+    between a decoding producer and the (single-domain) engine. [Block]
+    makes a full queue stall the producer — lossless, the right default
+    when the producer is a file reader. [Shed] makes a full queue drop
+    the offered item and count it — the load-shedding stance for live
+    sources that must never stall, surfaced as
+    [ocep_ingest_queue_shed_total]. *)
+
+type policy = Block | Shed
+
+type 'a t
+
+val create : ?policy:policy -> capacity:int -> unit -> 'a t
+(** [policy] defaults to [Block]. Raises [Invalid_argument] on a
+    non-positive capacity. *)
+
+val push : 'a t -> 'a -> bool
+(** [false] only under [Shed] on a full queue (the item was dropped);
+    under [Block] it waits for room. Pushing to a closed queue raises
+    [Invalid_argument]. *)
+
+val pop : 'a t -> 'a option
+(** Blocks while the queue is empty and open; [None] once it is closed
+    {e and} drained. *)
+
+val close : 'a t -> unit
+(** Wakes all waiters; idempotent. Items already queued stay poppable. *)
+
+val length : 'a t -> int
+val shed : 'a t -> int
+(** Items dropped by [Shed] pushes. *)
+
+val max_occupancy : 'a t -> int
+(** High-water mark of {!length}. *)

@@ -1,0 +1,10 @@
+(** CRC-32 (IEEE 802.3 polynomial, reflected, init/xorout [0xFFFFFFFF]) —
+    the checksum guarding each wire frame. Table-driven, pure OCaml, one
+    table shared process-wide. Matches zlib's [crc32], so recorded logs
+    can be checked with standard tooling. *)
+
+val bytes : Bytes.t -> pos:int -> len:int -> int32
+(** Raises [Invalid_argument] on an out-of-bounds slice. *)
+
+val string : string -> int32
+(** CRC of a whole string. *)

@@ -1,0 +1,180 @@
+let magic = "OCEPWIR1"
+let max_frame = 1 lsl 20
+
+(* ---------------------------------------------------------------- *)
+(* Frame primitives                                                  *)
+(* ---------------------------------------------------------------- *)
+
+let put_le32 oc (v : int32) =
+  for i = 0 to 3 do
+    output_char oc
+      (Char.chr (Int32.to_int (Int32.shift_right_logical v (8 * i)) land 0xff))
+  done
+
+let write_frame oc payload =
+  let len = String.length payload in
+  if len > max_frame then invalid_arg "Framing: frame exceeds max_frame";
+  put_le32 oc (Int32.of_int len);
+  put_le32 oc (Crc32.string payload);
+  output_string oc payload
+
+(* ---------------------------------------------------------------- *)
+(* Writer                                                            *)
+(* ---------------------------------------------------------------- *)
+
+type writer = {
+  oc : out_channel;
+  buf : Buffer.t;
+  mutable next_id : int;
+  trace_seq : int array;  (* next local-clock position per trace, 1-based *)
+}
+
+let header_payload ~trace_names =
+  let b = Buffer.create 64 in
+  Wire.encode b
+    { Wire.id = Array.length trace_names; trace = 0; seq = 0; etype = "traces";
+      text = String.concat "\x00" (Array.to_list trace_names); kind = Ocep_base.Event.Internal };
+  Buffer.contents b
+
+let create_writer oc ~trace_names =
+  output_string oc magic;
+  write_frame oc (header_payload ~trace_names);
+  { oc; buf = Buffer.create 64; next_id = 0; trace_seq = Array.map (fun _ -> 1) trace_names }
+
+let write w e =
+  Buffer.clear w.buf;
+  Wire.encode w.buf e;
+  write_frame w.oc (Buffer.contents w.buf);
+  w.next_id <- max w.next_id (e.Wire.id + 1)
+
+let write_raw w (r : Ocep_base.Event.raw) =
+  let trace = r.Ocep_base.Event.r_trace in
+  if trace < 0 || trace >= Array.length w.trace_seq then
+    invalid_arg (Printf.sprintf "Framing.write_raw: trace %d out of range" trace);
+  let e = Wire.of_raw ~id:w.next_id ~seq:w.trace_seq.(trace) r in
+  w.trace_seq.(trace) <- w.trace_seq.(trace) + 1;
+  write w e;
+  e
+
+let written w = w.next_id
+let flush w = flush w.oc
+
+(* ---------------------------------------------------------------- *)
+(* Reader                                                            *)
+(* ---------------------------------------------------------------- *)
+
+type item =
+  | Frame of Wire.t
+  | Crc_error
+  | Bad_frame of string
+  | Truncated
+  | Eof
+
+type reader = {
+  ic : in_channel;
+  traces : string array;
+  hdr : Bytes.t;  (* 8-byte scratch for the length/CRC prefix *)
+  mutable scratch : Bytes.t;  (* payload scratch, grown on demand *)
+  mutable dead : bool;  (* Truncated was reported; everything after is Eof *)
+}
+
+exception Bad_header of string
+
+(* Read up to [len] bytes, returning how many arrived before EOF. *)
+let input_upto ic buf len =
+  let rec go off =
+    if off = len then len
+    else
+      match input ic buf off (len - off) with
+      | 0 -> off
+      | n -> go (off + n)
+  in
+  go 0
+
+(* Reads one complete raw frame: None = clean EOF before the frame,
+   Some (Error ()) = truncated or implausible length, Some (Ok _) =
+   length-delimited bytes with their claimed CRC (not yet verified). *)
+let read_frame ic =
+  let hdr = Bytes.create 8 in
+  match input_upto ic hdr 8 with
+  | 0 -> None
+  | n when n < 8 -> Some (Error ())
+  | _ ->
+    let le32 off =
+      let v = ref 0l in
+      for i = 3 downto 0 do
+        v := Int32.logor (Int32.shift_left !v 8) (Int32.of_int (Char.code (Bytes.get hdr (off + i))))
+      done;
+      !v
+    in
+    let len = Int32.to_int (le32 0) in
+    let crc = le32 4 in
+    if len < 0 || len > max_frame then Some (Error ())
+    else begin
+      let payload = Bytes.create len in
+      if input_upto ic payload len < len then Some (Error ()) else Some (Ok (payload, crc))
+    end
+
+let create_reader ic =
+  let m = Bytes.create (String.length magic) in
+  (match really_input ic m 0 (String.length magic) with
+  | exception End_of_file -> raise (Bad_header "stream shorter than the magic")
+  | () -> ());
+  if Bytes.to_string m <> magic then raise (Bad_header "bad magic");
+  match read_frame ic with
+  | None | Some (Error ()) -> raise (Bad_header "missing or truncated header frame")
+  | Some (Ok (payload, crc)) ->
+    if Crc32.bytes payload ~pos:0 ~len:(Bytes.length payload) <> crc then
+      raise (Bad_header "header CRC mismatch");
+    (match Wire.decode payload ~pos:0 ~len:(Bytes.length payload) with
+    | exception Wire.Decode_error e -> raise (Bad_header ("undecodable header: " ^ e))
+    | h ->
+      if h.Wire.etype <> "traces" then raise (Bad_header "header frame is not a trace table");
+      let traces =
+        if h.Wire.text = "" then [||]
+        else Array.of_list (String.split_on_char '\x00' h.Wire.text)
+      in
+      if Array.length traces <> h.Wire.id then
+        raise (Bad_header "trace table length disagrees with its count");
+      { ic; traces; hdr = Bytes.create 8; scratch = Bytes.create 256; dead = false })
+
+let reader_trace_names r = r.traces
+
+(* Like [read_frame] but into the reader's scratch buffers — the frame
+   loop allocates nothing per frame. Returns the payload length. *)
+let read_frame_into r =
+  match input_upto r.ic r.hdr 8 with
+  | 0 -> None
+  | n when n < 8 -> Some (Error ())
+  | _ ->
+    let le32 off =
+      let v = ref 0l in
+      for i = 3 downto 0 do
+        v :=
+          Int32.logor (Int32.shift_left !v 8) (Int32.of_int (Char.code (Bytes.get r.hdr (off + i))))
+      done;
+      !v
+    in
+    let len = Int32.to_int (le32 0) in
+    let crc = le32 4 in
+    if len < 0 || len > max_frame then Some (Error ())
+    else begin
+      if Bytes.length r.scratch < len then
+        r.scratch <- Bytes.create (max len (2 * Bytes.length r.scratch));
+      if input_upto r.ic r.scratch len < len then Some (Error ()) else Some (Ok (len, crc))
+    end
+
+let next r =
+  if r.dead then Eof
+  else
+    match read_frame_into r with
+    | None -> Eof
+    | Some (Error ()) ->
+      r.dead <- true;
+      Truncated
+    | Some (Ok (len, crc)) ->
+      if Crc32.bytes r.scratch ~pos:0 ~len <> crc then Crc_error
+      else (
+        match Wire.decode r.scratch ~pos:0 ~len with
+        | e -> Frame e
+        | exception Wire.Decode_error msg -> Bad_frame msg)

@@ -1,0 +1,61 @@
+(** Framed streaming transport for wire events over channels and files.
+
+    Layout: an 8-byte magic ["OCEPWIR1"], a header block naming the
+    recorder's traces, then one frame per event. Every frame is
+    [4-byte LE payload length | 4-byte LE CRC-32 of the payload |
+    payload] — self-delimiting, so a reader can skip a frame whose CRC
+    fails (bit rot, partial overwrite) and keep decoding the rest of the
+    stream, and a stream cut mid-frame (crash during recording) yields a
+    clean [Truncated] after every complete frame has been delivered. The
+    header block is itself CRC-framed, so a reader never trusts trace
+    names from a corrupt header. *)
+
+type writer
+
+val create_writer : out_channel -> trace_names:string array -> writer
+(** Writes the magic and header immediately. The channel stays owned by
+    the caller (close it after {!flush}). *)
+
+val write : writer -> Wire.t -> unit
+(** Frame and write one already-stamped wire event. *)
+
+val write_raw : writer -> Ocep_base.Event.raw -> Wire.t
+(** Stamp a raw event with the next global record id and its trace's
+    next local-clock position, then {!write} it; returns the stamped
+    event. The stamping matches what {!Ocep_poet.Poet.ingest} will
+    assign on replay, provided events are recorded in ingest order. *)
+
+val written : writer -> int
+(** Frames written so far (= the next record id {!write_raw} assigns). *)
+
+val flush : writer -> unit
+
+type reader
+
+exception Bad_header of string
+(** The magic or the header frame is missing or corrupt — not a stream
+    this module wrote, or one damaged where no recovery is possible. *)
+
+val create_reader : in_channel -> reader
+(** Reads and validates the magic and header; raises {!Bad_header}. *)
+
+val reader_trace_names : reader -> string array
+
+(** One step of the stream. [Crc_error] (checksum mismatch on a
+    complete, well-delimited frame) and [Bad_frame] (CRC-valid payload
+    that does not decode) are per-frame: the stream continues after
+    them. [Truncated] (EOF mid-frame, or a length field no real frame
+    could have) is terminal: the tail is gone, subsequent calls return
+    [Eof]. *)
+type item =
+  | Frame of Wire.t
+  | Crc_error
+  | Bad_frame of string
+  | Truncated
+  | Eof
+
+val next : reader -> item
+
+val max_frame : int
+(** Upper bound on accepted payload length (1 MiB); a length field above
+    it means the framing itself is corrupt, reported as [Truncated]. *)

@@ -1,0 +1,166 @@
+module Engine = Ocep.Engine
+module Poet = Ocep_poet.Poet
+module Metrics = Ocep_obs.Metrics
+
+type config = {
+  admission : Admission.config;
+  queue_capacity : int;
+  queue_policy : Bqueue.policy;
+  pipeline : bool;
+}
+
+let default_config =
+  { admission = Admission.default_config; queue_capacity = 4096; queue_policy = Bqueue.Block;
+    pipeline = false }
+
+type stats = {
+  frames : int;
+  crc_errors : int;
+  bad_frames : int;
+  truncated : bool;
+  queue_shed : int;
+  queue_max_occupancy : int;
+  admission : Admission.stats;
+}
+
+(* Registered on demand in the engine's registry; instruments are
+   created once (Metrics re-registration returns the existing one), so
+   several replays into one engine accumulate. *)
+type meters = {
+  g_frames : Metrics.counter;
+  g_crc : Metrics.counter;
+  g_bad : Metrics.counter;
+  g_truncated : Metrics.counter;
+  g_admitted : Metrics.counter;
+  g_duplicates : Metrics.counter;
+  g_late : Metrics.counter;
+  g_reordered : Metrics.counter;
+  g_gaps : Metrics.counter;
+  g_trace_gaps : Metrics.counter;
+  g_orphans : Metrics.counter;
+  g_shed : Metrics.counter;
+  g_depth : Ocep_stats.Histogram.t;
+  g_occupancy : Ocep_stats.Histogram.t;
+}
+
+let meters engine =
+  let m = Engine.metrics engine in
+  let c ?help name = Metrics.counter m ?help name in
+  {
+    g_frames = c ~help:"Well-formed frames offered to admission" "ocep_ingest_frames_total";
+    g_crc = c ~help:"Frames dropped on checksum mismatch" "ocep_ingest_crc_errors_total";
+    g_bad = c ~help:"CRC-valid frames that failed to decode" "ocep_ingest_bad_frames_total";
+    g_truncated = c ~help:"Streams that ended mid-frame" "ocep_ingest_truncated_total";
+    g_admitted = c ~help:"Events released to the engine" "ocep_ingest_admitted_total";
+    g_duplicates = c ~help:"Duplicate record ids suppressed" "ocep_ingest_duplicates_total";
+    g_late = c ~help:"Frames arriving after their id was skipped" "ocep_ingest_late_total";
+    g_reordered = c ~help:"Frames buffered for reordering" "ocep_ingest_reordered_total";
+    g_gaps = c ~help:"Record ids given up on" "ocep_ingest_gaps_total";
+    g_trace_gaps =
+      c ~help:"Events lost to gaps, attributed per trace" "ocep_ingest_trace_gaps_total";
+    g_orphans =
+      c ~help:"Receives dropped because their send fell into a gap"
+        "ocep_ingest_orphan_receives_total";
+    g_shed = c ~help:"Frames dropped by queue backpressure" "ocep_ingest_queue_shed_total";
+    g_depth =
+      Metrics.histogram m ~help:"Reorder-buffer depth after each frame that buffered"
+        "ocep_ingest_reorder_depth";
+    g_occupancy =
+      Metrics.histogram m ~help:"Ingest-queue length at each consumer wakeup"
+        "ocep_ingest_queue_occupancy";
+  }
+
+let check_traces engine reader =
+  let expect = Poet.trace_names (Engine.poet engine) in
+  let got = Framing.reader_trace_names reader in
+  if got <> expect then
+    invalid_arg
+      (Printf.sprintf "Source.replay: stream traces [%s] do not match the engine's [%s]"
+         (String.concat "; " (Array.to_list got))
+         (String.concat "; " (Array.to_list expect)))
+
+let replay ?(config = default_config) ~engine reader =
+  check_traces engine reader;
+  let mt = meters engine in
+  let crc_errors = ref 0 and bad_frames = ref 0 and truncated = ref false in
+  let adm =
+    Admission.create ~config:config.admission
+      ~on_depth:(fun d -> Ocep_stats.Histogram.record mt.g_depth (float_of_int d))
+      ~n_traces:(Poet.trace_count (Engine.poet engine))
+      ~emit:(fun w -> ignore (Engine.feed_raw engine (Wire.to_raw w)))
+      ()
+  in
+  let queue_shed, queue_max =
+    if not config.pipeline then begin
+      let continue = ref true in
+      while !continue do
+        match Framing.next reader with
+        | Framing.Frame w -> Admission.push adm w
+        | Framing.Crc_error -> incr crc_errors
+        | Framing.Bad_frame _ -> incr bad_frames
+        | Framing.Truncated ->
+          truncated := true;
+          continue := false
+        | Framing.Eof -> continue := false
+      done;
+      (0, 0)
+    end
+    else begin
+      (* the reader domain decodes and CRC-checks; this domain matches.
+         Per-frame error counts are tallied reader-side and handed back
+         at join, so all metrics stay single-domain. *)
+      let q = Bqueue.create ~policy:config.queue_policy ~capacity:config.queue_capacity () in
+      let producer =
+        Domain.spawn (fun () ->
+            let crc = ref 0 and bad = ref 0 and trunc = ref false in
+            let continue = ref true in
+            while !continue do
+              match Framing.next reader with
+              | Framing.Frame w -> ignore (Bqueue.push q w)
+              | Framing.Crc_error -> incr crc
+              | Framing.Bad_frame _ -> incr bad
+              | Framing.Truncated ->
+                trunc := true;
+                continue := false
+              | Framing.Eof -> continue := false
+            done;
+            Bqueue.close q;
+            (!crc, !bad, !trunc))
+      in
+      let continue = ref true in
+      while !continue do
+        Ocep_stats.Histogram.record mt.g_occupancy (float_of_int (Bqueue.length q));
+        match Bqueue.pop q with
+        | Some w -> Admission.push adm w
+        | None -> continue := false
+      done;
+      let crc, bad, trunc = Domain.join producer in
+      crc_errors := crc;
+      bad_frames := bad;
+      truncated := trunc;
+      (Bqueue.shed q, Bqueue.max_occupancy q)
+    end
+  in
+  Admission.finish adm;
+  let a = Admission.stats adm in
+  Metrics.incr mt.g_frames ~by:a.Admission.frames ();
+  Metrics.incr mt.g_crc ~by:!crc_errors ();
+  Metrics.incr mt.g_bad ~by:!bad_frames ();
+  Metrics.incr mt.g_truncated ~by:(if !truncated then 1 else 0) ();
+  Metrics.incr mt.g_admitted ~by:a.Admission.admitted ();
+  Metrics.incr mt.g_duplicates ~by:a.Admission.duplicates ();
+  Metrics.incr mt.g_late ~by:a.Admission.late ();
+  Metrics.incr mt.g_reordered ~by:a.Admission.reordered ();
+  Metrics.incr mt.g_gaps ~by:a.Admission.gaps ();
+  Metrics.incr mt.g_trace_gaps ~by:(Array.fold_left ( + ) 0 a.Admission.trace_gaps) ();
+  Metrics.incr mt.g_orphans ~by:a.Admission.orphan_receives ();
+  Metrics.incr mt.g_shed ~by:queue_shed ();
+  {
+    frames = a.Admission.frames;
+    crc_errors = !crc_errors;
+    bad_frames = !bad_frames;
+    truncated = !truncated;
+    queue_shed;
+    queue_max_occupancy = queue_max;
+    admission = a;
+  }

@@ -1,0 +1,48 @@
+(** Replay a framed stream into an engine through the admission layer —
+    the ingest path's top plumbing. Decode errors are tolerated
+    per-frame ({!Framing.item}), admission restores order and drops
+    duplicates, and everything is accounted into [ocep_ingest_*]
+    instruments of the engine's metrics registry:
+
+    - counters [ocep_ingest_frames_total], [..._crc_errors_total],
+      [..._bad_frames_total], [..._truncated_total],
+      [..._admitted_total], [..._duplicates_total], [..._late_total],
+      [..._reordered_total], [..._gaps_total], [..._trace_gaps_total],
+      [..._orphan_receives_total], [..._queue_shed_total]
+    - histograms [ocep_ingest_reorder_depth] (buffer depth after each
+      frame) and [ocep_ingest_queue_occupancy] (queue length at each
+      consumer wakeup, pipelined mode only)
+
+    With [pipeline] set, a dedicated domain reads and CRC-checks frames
+    while the calling domain runs admission and matching, the two
+    coupled by a {!Bqueue} whose policy is the backpressure stance.
+    Shedding loses frames exactly like a lossy transport — the admission
+    layer turns each shed frame into a gap, so [Shed] only preserves
+    match reports when the gap policy tolerates loss. *)
+
+type config = {
+  admission : Admission.config;
+  queue_capacity : int;  (** pipelined mode: frames buffered between the domains *)
+  queue_policy : Bqueue.policy;
+  pipeline : bool;
+}
+
+val default_config : config
+(** default admission, capacity 4096, [Block], pipeline off. *)
+
+type stats = {
+  frames : int;  (** well-formed frames offered to admission *)
+  crc_errors : int;
+  bad_frames : int;
+  truncated : bool;  (** the stream ended mid-frame *)
+  queue_shed : int;
+  queue_max_occupancy : int;
+  admission : Admission.stats;
+}
+
+val replay : ?config:config -> engine:Ocep.Engine.t -> Framing.reader -> stats
+(** Drives the reader to [Eof]/[Truncated], feeding admitted events to
+    {!Ocep.Engine.feed_raw}, then finishes admission and syncs the
+    [ocep_ingest_*] instruments. Raises [Invalid_argument] when the
+    stream's trace table does not match the engine's POET store (same
+    names, same order), and lets {!Admission.Gap} escape. *)

@@ -1,0 +1,114 @@
+open Ocep_base
+
+type t = {
+  id : int;
+  trace : int;
+  seq : int;
+  etype : string;
+  text : string;
+  kind : Event.kind;
+}
+
+exception Decode_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Decode_error s)) fmt
+
+(* LEB128: 7 value bits per byte, high bit = continuation. *)
+let put_uvarint buf n =
+  if n < 0 then invalid_arg "Wire.put_uvarint: negative";
+  let rec go n =
+    if n < 0x80 then Buffer.add_char buf (Char.chr n)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7f)));
+      go (n lsr 7)
+    end
+  in
+  go n
+
+(* zigzag maps small-magnitude ints of either sign to small naturals:
+   0 -> 0, -1 -> 1, 1 -> 2, ... Message ids may be negative (spill
+   range), so they take this path. *)
+let put_varint buf n = put_uvarint buf ((n lsl 1) lxor (n asr (Sys.int_size - 1)))
+
+let put_string buf s =
+  put_uvarint buf (String.length s);
+  Buffer.add_string buf s
+
+(* kind tags; stable on-disk values *)
+let tag_internal = 0
+let tag_send = 1
+let tag_receive = 2
+
+let encode buf e =
+  put_uvarint buf e.id;
+  put_uvarint buf e.trace;
+  put_uvarint buf e.seq;
+  put_string buf e.etype;
+  put_string buf e.text;
+  match e.kind with
+  | Event.Internal -> put_uvarint buf tag_internal
+  | Event.Send { msg } ->
+    put_uvarint buf tag_send;
+    put_varint buf msg
+  | Event.Receive { msg } ->
+    put_uvarint buf tag_receive;
+    put_varint buf msg
+
+type cursor = { bytes : Bytes.t; stop : int; mutable pos : int }
+
+let get_uvarint c =
+  let rec go shift acc =
+    if c.pos >= c.stop then fail "truncated varint";
+    if shift >= Sys.int_size - 1 then fail "varint overflows int";
+    let b = Char.code (Bytes.get c.bytes c.pos) in
+    c.pos <- c.pos + 1;
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+let get_varint c =
+  let n = get_uvarint c in
+  (n lsr 1) lxor (-(n land 1))
+
+let get_string c =
+  let len = get_uvarint c in
+  if len > c.stop - c.pos then fail "truncated string (%d bytes wanted)" len;
+  let s = Bytes.sub_string c.bytes c.pos len in
+  c.pos <- c.pos + len;
+  s
+
+let decode bytes ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length bytes then
+    invalid_arg "Wire.decode: slice out of bounds";
+  let c = { bytes; stop = pos + len; pos } in
+  let id = get_uvarint c in
+  let trace = get_uvarint c in
+  let seq = get_uvarint c in
+  let etype = get_string c in
+  let text = get_string c in
+  let kind =
+    match get_uvarint c with
+    | 0 -> Event.Internal
+    | 1 -> Event.Send { msg = get_varint c }
+    | 2 -> Event.Receive { msg = get_varint c }
+    | t -> fail "unknown kind tag %d" t
+  in
+  if c.pos <> c.stop then fail "%d trailing bytes after event" (c.stop - c.pos);
+  { id; trace; seq; etype; text; kind }
+
+let to_raw e =
+  { Event.r_trace = e.trace; r_etype = e.etype; r_text = e.text; r_kind = e.kind }
+
+let of_raw ~id ~seq (r : Event.raw) =
+  { id; trace = r.Event.r_trace; seq; etype = r.Event.r_etype; text = r.Event.r_text;
+    kind = r.Event.r_kind }
+
+let pp ppf e =
+  let kind =
+    match e.kind with
+    | Event.Internal -> "internal"
+    | Event.Send { msg } -> Printf.sprintf "send %d" msg
+    | Event.Receive { msg } -> Printf.sprintf "recv %d" msg
+  in
+  Format.fprintf ppf "#%d t%d.%d %s %s [%s]" e.id e.trace e.seq e.etype e.text kind

@@ -1,0 +1,42 @@
+(** The wire representation of one event: what crosses the process
+    boundary, before POET timestamps it. Symbols travel as strings (the
+    receiving POET re-interns them; symbol ids are process-local and
+    never serialized), message ids as zigzag varints so both the dense
+    range and negative/huge spill-range ids cost proportional to their
+    magnitude, and every integer as a LEB128 varint — a 3-attribute
+    internal event is typically under 20 bytes.
+
+    On top of {!Event.raw} a wire event carries two delivery-metadata
+    fields the admission layer needs: [id], the global record sequence
+    number stamped at recording time (dense from 0, the dedup and
+    reordering key), and [seq], the event's 1-based position on its own
+    trace (its local clock, which becomes [Event.index] after ingest). *)
+
+open Ocep_base
+
+type t = {
+  id : int;  (** global record sequence, dense from 0 *)
+  trace : int;  (** trace id in the recorder's trace table *)
+  seq : int;  (** 1-based position on [trace] — the local clock *)
+  etype : string;
+  text : string;
+  kind : Event.kind;
+}
+
+exception Decode_error of string
+(** Malformed bytes: truncated varint or string, varint wider than an
+    OCaml [int], unknown kind tag, trailing garbage. *)
+
+val encode : Buffer.t -> t -> unit
+(** Append the event's wire bytes to the buffer. *)
+
+val decode : Bytes.t -> pos:int -> len:int -> t
+(** Decode exactly the slice [pos, pos+len); raises {!Decode_error} if
+    the slice does not hold exactly one event. *)
+
+val to_raw : t -> Event.raw
+(** Strip the delivery metadata for {!Ocep_poet.Poet.ingest}. *)
+
+val of_raw : id:int -> seq:int -> Event.raw -> t
+
+val pp : Format.formatter -> t -> unit

@@ -14,6 +14,45 @@ type t = {
 
 let create () = { tbl = Hashtbl.create 32; order_rev = [] }
 
+(* Label values go inside double quotes in the Prometheus text format,
+   which reserves exactly three characters: backslash, double quote and
+   newline. Pattern-derived values (file names, user-supplied pattern
+   names) can contain any of them. *)
+let escape_label_value s =
+  let n = String.length s in
+  let rec clean i = i >= n || (match s.[i] with '\\' | '"' | '\n' -> false | _ -> clean (i + 1)) in
+  if clean 0 then s
+  else begin
+    let b = Buffer.create (n + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '"' -> Buffer.add_string b "\\\""
+        | '\n' -> Buffer.add_string b "\\n"
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  end
+
+let with_labels name labels =
+  match labels with
+  | [] -> name
+  | _ ->
+    let b = Buffer.create (String.length name + 16) in
+    Buffer.add_string b name;
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b k;
+        Buffer.add_string b "=\"";
+        Buffer.add_string b (escape_label_value v);
+        Buffer.add_char b '"')
+      labels;
+    Buffer.add_char b '}';
+    Buffer.contents b
+
 let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
 
 let register t ~help name make =

@@ -24,6 +24,21 @@ type gauge
 
 val create : unit -> t
 
+val escape_label_value : string -> string
+(** Escape a label value per the Prometheus text exposition spec:
+    backslash, double quote and newline get a backslash escape; every
+    other byte passes through. Idempotent only on values without those
+    characters — call it exactly once, at label construction. *)
+
+val with_labels : string -> (string * string) list -> string
+(** [with_labels "ocep_matches_total" [("pattern", name)]] builds the
+    inline-labelled instrument name
+    [ocep_matches_total{pattern=<quoted escaped name>}]. Label values
+    are escaped with {!escape_label_value}; the result is what should be
+    passed to {!counter}/{!gauge}/{!histogram} so that
+    {!Snapshot.prometheus} emits valid text format for any value. An
+    empty label list returns the name unchanged. *)
+
 val counter : t -> ?help:string -> string -> counter
 val gauge : t -> ?help:string -> string -> gauge
 

@@ -46,6 +46,13 @@ let prometheus m =
         Buffer.add_string b (Printf.sprintf "%s%s %s\n" base labels (fmt_float v))
       | Metrics.Hist h ->
         family base it.Metrics.help "histogram";
+        (* _bucket carries the instrument's own labels plus le: strip the
+           braces off [labels] and splice le into the same label set, so a
+           labelled histogram doesn't collide with its unlabelled sibling *)
+        let bucket le =
+          if labels = "" then Printf.sprintf "{le=\"%s\"}" le
+          else Printf.sprintf "%s,le=\"%s\"}" (String.sub labels 0 (String.length labels - 1)) le
+        in
         let cum = ref 0 in
         let inf_emitted = ref false in
         Histogram.iter_nonempty h (fun ~upper ~rep:_ ~count ->
@@ -58,13 +65,13 @@ let prometheus m =
               else fmt_float upper
             in
             Buffer.add_string b
-              (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" base le !cum));
+              (Printf.sprintf "%s_bucket%s %d\n" base (bucket le) !cum));
         if not !inf_emitted then
           Buffer.add_string b
-            (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" base (Histogram.count h));
+            (Printf.sprintf "%s_bucket%s %d\n" base (bucket "+Inf") (Histogram.count h));
         Buffer.add_string b
-          (Printf.sprintf "%s_sum %s\n" base (fmt_float (Histogram.sum h)));
-        Buffer.add_string b (Printf.sprintf "%s_count %d\n" base (Histogram.count h)))
+          (Printf.sprintf "%s_sum%s %s\n" base labels (fmt_float (Histogram.sum h)));
+        Buffer.add_string b (Printf.sprintf "%s_count%s %d\n" base labels (Histogram.count h)))
     (Metrics.items m);
   Buffer.contents b
 

@@ -278,7 +278,7 @@ let make_meters metrics ~parallelism =
     Array.init parallelism (fun i ->
         g
           ~help:"Wall-clock seconds each fan-out worker spent searching"
-          (Printf.sprintf "ocep_pool_worker_busy_seconds{worker=\"%d\"}" i))
+          (Metrics.with_labels "ocep_pool_worker_busy_seconds" [ ("worker", string_of_int i) ]))
   in
   let m_poet_ingested = c ~help:"Events ingested by POET" "ocep_poet_events_ingested_total" in
   let m_poet_notified =
@@ -318,7 +318,7 @@ let make_meters metrics ~parallelism =
   }
 
 let make_pmeters metrics ~pid =
-  let lbl name = Printf.sprintf "%s{pattern=\"%d\"}" name pid in
+  let lbl name = Metrics.with_labels name [ ("pattern", string_of_int pid) ] in
   let c ?help name = Metrics.counter metrics ?help (lbl name) in
   let g ?help name = Metrics.gauge metrics ?help (lbl name) in
   let pm_matches = c ~help:"Successful searches" "ocep_matches_total" in
@@ -785,7 +785,7 @@ let create_multi ?(config = default_config) ~poet () =
   Poet.subscribe poet on_event;
   t
 
-let add_pattern t net =
+let register_pattern t net =
   let k = Compile.size net in
   if k > Compile.max_leaves then
     invalid_arg
@@ -840,7 +840,7 @@ let add_pattern t net =
       plat_hist =
         Metrics.histogram t.metrics
           ~help:"Per-terminating-arrival processing time (microseconds)"
-          (Printf.sprintf "ocep_latency_us{pattern=\"%d\"}" pid);
+          (Metrics.with_labels "ocep_latency_us" [ ("pattern", string_of_int pid) ]);
     }
   in
   Array.iteri
@@ -872,9 +872,10 @@ let remove_pattern t pid =
   done;
   rebuild_dispatch t
 
-let create ?config ~net ~poet () =
+let create ?config ?(patterns = []) ?net ~poet () =
   let t = create_multi ?config ~poet () in
-  ignore (add_pattern t net);
+  Option.iter (fun n -> ignore (register_pattern t n)) net;
+  List.iter (fun n -> ignore (register_pattern t n)) patterns;
   t
 
 let pattern_ids t = List.map (fun (p : pstate) -> p.pid) t.patterns
@@ -1043,3 +1044,61 @@ let shutdown t =
     Search_pool.shutdown p;
     t.pool <- None
   | None -> ()
+
+let poet t = t.poet
+
+let feed_raw t raw = Poet.ingest t.poet raw
+
+(* A handle is just (engine, pid); the pstate is re-resolved on every
+   call so a detached pattern fails loudly instead of reading frozen
+   state through a stale pointer. *)
+module Handle = struct
+  type nonrec t = { h_eng : t; h_pid : pattern_id }
+
+  type metrics = {
+    matches : int;
+    reports_retained : int;
+    covered_slots : int;
+    seen_slots : int;
+    nodes : int;
+    backjumps : int;
+    searches : int;
+    aborted : int;
+    pinned_skipped : int;
+  }
+
+  let get h = get_pattern h.h_eng h.h_pid
+  let id h = h.h_pid
+  let is_live h = Option.is_some (live_pattern h.h_eng h.h_pid)
+  let net h = (get h).pnet
+  let reports h = Subset.reports (get h).psubset
+  let matches_found h = (get h).pmatches
+  let covered_slots h = Subset.covered_count (get h).psubset
+  let seen_slots h = Subset.seen_count (get h).psubset
+  let search_stats h = (get h).pstats
+  let aborted_searches h = (get h).paborted
+  let pinned_skipped h = (get h).pskipped
+  let find_containing h ev = find_containing_in h.h_eng (get h) ev
+  let latency_histogram h = (get h).plat_hist
+  let history_entries h ~leaf = History.entries_for (get h).phistory ~leaf
+
+  let metrics h =
+    let p = get h in
+    {
+      matches = p.pmatches;
+      reports_retained = List.length (Subset.reports p.psubset);
+      covered_slots = Subset.covered_count p.psubset;
+      seen_slots = Subset.seen_count p.psubset;
+      nodes = p.pstats.Matcher.nodes;
+      backjumps = p.pstats.Matcher.backjumps;
+      searches = p.pstats.Matcher.searches;
+      aborted = p.paborted;
+      pinned_skipped = p.pskipped;
+    }
+
+  let detach h = remove_pattern h.h_eng h.h_pid
+end
+
+let add_pattern t net = { Handle.h_eng = t; h_pid = register_pattern t net }
+
+let handles t = List.map (fun (p : pstate) -> { Handle.h_eng = t; h_pid = p.pid }) t.patterns

@@ -124,26 +124,110 @@ val default_config : config
 type t
 
 type pattern_id = int
-(** Handle of one registered pattern. Ids are assigned by
-    {!add_pattern} in increasing order and never reused, so a removed
-    pattern's id stays invalid. *)
+(** Numeric id of one registered pattern, as it appears in metric labels
+    ([ocep_matches_total{pattern="N"}]) and CLI output. Ids are assigned
+    by {!add_pattern} in increasing order and never reused, so a removed
+    pattern's id stays invalid. Code should hold {!Handle.t} values
+    rather than ids; the id survives mainly for display and for the
+    deprecated [*_for] accessors. *)
+
+(** A typed handle onto one registered pattern — the value returned by
+    {!add_pattern} and listed by {!handles}. Every per-pattern question
+    previously asked through an [(engine, pattern_id)] pair ([reports_for]
+    and friends) is a function of the handle alone, so call sites cannot
+    pair an id with the wrong engine, and detaching is a method of the
+    thing being detached. All accessors raise [Invalid_argument] once the
+    pattern has been detached (check {!is_live} when in doubt). *)
+module Handle : sig
+  type t
+
+  (** One coherent snapshot of the pattern's observable counters, read in
+      a single call — what dashboards and progress printers want, without
+      ten accessor round-trips or a trip through the string-keyed
+      {!Ocep_obs.Metrics} registry. *)
+  type metrics = {
+    matches : int;  (** successful searches, incl. coverage-neutral ones *)
+    reports_retained : int;  (** representative-subset reports currently held *)
+    covered_slots : int;
+    seen_slots : int;
+    nodes : int;  (** search-tree candidates examined *)
+    backjumps : int;
+    searches : int;
+    aborted : int;  (** searches cut by [node_budget] *)
+    pinned_skipped : int;  (** pinned searches removed by the pre-filter *)
+  }
+
+  val id : t -> pattern_id
+  (** Stable even after {!detach}. *)
+
+  val is_live : t -> bool
+  (** [false] once the pattern has been detached (by this handle or any
+      alias of it). *)
+
+  val net : t -> Compile.t
+  val reports : t -> Subset.report list
+  val matches_found : t -> int
+  val covered_slots : t -> int
+  val seen_slots : t -> int
+
+  val search_stats : t -> Matcher.stats
+  (** The pattern's live stats record (mutated by ongoing searches), not
+      a copy — read it, don't keep it across detach. *)
+
+  val aborted_searches : t -> int
+  val pinned_skipped : t -> int
+
+  val find_containing : t -> Event.t -> Event.t array option
+  (** One complete match of this pattern containing the given (already
+      processed) event — ground truth, independent of the subset. *)
+
+  val latency_histogram : t -> Ocep_stats.Histogram.t
+  (** The pattern's bounded latency histogram
+      ([ocep_latency_us{pattern="N"}]): the arrival-level sample recorded
+      for every arrival in which this pattern anchored, when
+      [latency_sink] is [Histogram] or [Both]. *)
+
+  val history_entries : t -> leaf:int -> int
+  (** Live entries of the leaf's (shared) history class. *)
+
+  val metrics : t -> metrics
+
+  val detach : t -> unit
+  (** Hot-detach the pattern: its subscriptions leave the dispatch table
+      and each of its classes' refcounts drop; a class with no
+      subscribers left releases its history storage. The pattern's
+      registry metrics freeze at their last values. Raises
+      [Invalid_argument] when already detached. *)
+end
 
 (** {1 Construction and the pattern registry} *)
 
+val create :
+  ?config:config -> ?patterns:Compile.t list -> ?net:Compile.t -> poet:Poet.t -> unit -> t
+(** The one constructor: builds an engine subscribed to [poet] and
+    registers [net] (when given) followed by each element of [patterns],
+    in order — their handles are recoverable via {!handles}. With
+    neither, the registry starts empty and events arriving while no
+    pattern is registered only advance the frontier and the communication
+    epochs.
+
+    Migration from the pre-handle API: [create_multi ~poet ()] is now
+    [create ~poet ()]; [create ~net ~poet ()] is unchanged (the [net]
+    argument became optional but keeps its meaning — it exists precisely
+    so those call sites did not have to move);
+    new code registering several patterns should prefer
+    [create ~patterns ~poet ()] or explicit {!add_pattern} calls, whose
+    handles replace [pattern_id]-keyed accessors.
+
+    Raises [Invalid_argument] on a nonsensical config ([gc_every],
+    [node_budget] or [max_history_per_trace] of [Some n] with [n <= 0], a
+    negative [report_cap], or a negative [parallelism]) and on any
+    pattern exceeding {!Compile.max_leaves}. *)
+
 val create_multi : ?config:config -> poet:Poet.t -> unit -> t
-(** Builds an engine with an empty pattern registry and subscribes it to
-    [poet]; every event ingested afterwards is processed (events arriving
-    while no pattern is registered only advance the frontier and the
-    communication epochs). Raises [Invalid_argument] on a nonsensical
-    config: [gc_every], [node_budget] or [max_history_per_trace] of
-    [Some n] with [n <= 0], a negative [report_cap], or a negative
-    [parallelism]. *)
+[@@ocaml.deprecated "use Engine.create — with no ?net/?patterns it builds the same empty registry"]
 
-val create : ?config:config -> net:Compile.t -> poet:Poet.t -> unit -> t
-(** [create_multi] + {!add_pattern}: the single-pattern engine the
-    original API exposed, unchanged in behavior. *)
-
-val add_pattern : t -> Compile.t -> pattern_id
+val add_pattern : t -> Compile.t -> Handle.t
 (** Register a pattern: intern it through the POET store's symbol table,
     build its search plans, and subscribe its leaves to the shared
     dispatch table — leaves whose [process, type, text] class-key equals
@@ -153,15 +237,14 @@ val add_pattern : t -> Compile.t -> pattern_id
     starts with empty coverage but sees any history its shared classes
     already accumulated. *)
 
+val handles : t -> Handle.t list
+(** Handles of the live patterns, ascending registration order. *)
+
 val remove_pattern : t -> pattern_id -> unit
-(** Hot-detach a pattern: its subscriptions leave the dispatch table and
-    each of its classes' refcounts drop; a class with no subscribers left
-    releases its history storage. The pattern's metrics freeze at their
-    last values. Raises [Invalid_argument] on an unknown or already
-    removed id. *)
+[@@ocaml.deprecated "use Engine.Handle.detach"]
 
 val pattern_ids : t -> pattern_id list
-(** Live patterns, ascending registration order. *)
+(** Ids of the live patterns, ascending registration order. *)
 
 val pattern_count : t -> int
 
@@ -184,6 +267,17 @@ val interned_net : t -> Compile.inet
     [Invalid_argument] when the registry is empty. *)
 
 val config : t -> config
+
+val poet : t -> Poet.t
+(** The POET store the engine is subscribed to. *)
+
+val feed_raw : t -> Event.raw -> Event.t
+(** Deliver one raw event to the engine's POET store (and so, through the
+    subscription, to the engine): the single ingest entry point used by
+    both the in-process simulator path and {!Ocep_ingest}'s admission
+    layer. The caller owes POET's precondition — events of each trace in
+    local-clock order, receives after their sends; that is exactly what
+    the admission layer restores under degraded delivery. *)
 
 val reports : t -> Subset.report list
 (** The representative subset(s), grouped by pattern in registration
@@ -234,7 +328,7 @@ val history_entries : t -> int
     however many (pattern, leaf) pairs subscribe to it. *)
 
 val history_entries_for : t -> leaf:int -> int
-(** Entries of the earliest live pattern's leaf (i.e. of its class). *)
+[@@ocaml.deprecated "use Engine.Handle.history_entries on the pattern's handle"]
 
 val history_dropped : t -> int
 val covered_slots : t -> int
@@ -257,25 +351,41 @@ val pinned_skipped : t -> int
     [ocep_pinned_skipped_total]) — each one a whole search the engine
     proved futile from O(1) state instead of running. *)
 
-(** {1 Per-pattern accessors}
+(** {1 Per-pattern accessors (deprecated)}
 
-    All raise [Invalid_argument] on an unknown or removed id. *)
+    The [(engine, pattern_id)]-keyed forms of the {!Handle} accessors,
+    kept as thin shims for out-of-tree callers of the PR-4 API. All
+    raise [Invalid_argument] on an unknown or removed id. *)
 
 val pattern_net : t -> pattern_id -> Compile.t
+[@@ocaml.deprecated "use Engine.Handle.net"]
+
 val reports_for : t -> pattern_id -> Subset.report list
+[@@ocaml.deprecated "use Engine.Handle.reports"]
+
 val matches_found_for : t -> pattern_id -> int
+[@@ocaml.deprecated "use Engine.Handle.matches_found"]
+
 val covered_slots_for : t -> pattern_id -> int
+[@@ocaml.deprecated "use Engine.Handle.covered_slots"]
+
 val seen_slots_for : t -> pattern_id -> int
+[@@ocaml.deprecated "use Engine.Handle.seen_slots"]
+
 val search_stats_for : t -> pattern_id -> Matcher.stats
+[@@ocaml.deprecated "use Engine.Handle.search_stats"]
+
 val aborted_searches_for : t -> pattern_id -> int
+[@@ocaml.deprecated "use Engine.Handle.aborted_searches"]
+
 val pinned_skipped_for : t -> pattern_id -> int
+[@@ocaml.deprecated "use Engine.Handle.pinned_skipped"]
+
 val find_containing_for : t -> pattern_id -> Event.t -> Event.t array option
+[@@ocaml.deprecated "use Engine.Handle.find_containing"]
 
 val latency_histogram_for : t -> pattern_id -> Ocep_stats.Histogram.t
-(** The pattern's bounded latency histogram
-    ([ocep_latency_us{pattern="N"}]): the arrival-level sample recorded
-    for every arrival in which this pattern anchored, when
-    [latency_sink] is [Histogram] or [Both]. *)
+[@@ocaml.deprecated "use Engine.Handle.latency_histogram"]
 
 val parallelism : t -> int
 (** The resolved worker count: the config's [parallelism] with [0]

@@ -60,3 +60,69 @@ let complete t =
   List.filter
     (fun i -> List.length i.parts = i.expected_parts && List.length i.resolved = i.expected_parts)
     (injections t)
+
+(* ---------------------------------------------------------------- *)
+(* Delivery faults                                                   *)
+(* ---------------------------------------------------------------- *)
+
+type faults = { f_reorder : int; f_dup : float; f_drop : float }
+
+let no_faults = { f_reorder = 0; f_dup = 0.; f_drop = 0. }
+
+let pp_faults ppf f =
+  Format.fprintf ppf "reorder:%d,dup:%g,drop:%g" f.f_reorder f.f_dup f.f_drop
+
+let parse_faults s =
+  let parse_field acc field =
+    Result.bind acc @@ fun acc ->
+    match String.index_opt field ':' with
+    | None -> Error (Printf.sprintf "fault %S: expected key:value" field)
+    | Some i ->
+      let key = String.sub field 0 i in
+      let v = String.sub field (i + 1) (String.length field - i - 1) in
+      let prob what =
+        match float_of_string_opt v with
+        | Some p when p >= 0. && p <= 1. -> Ok p
+        | _ -> Error (Printf.sprintf "%s probability %S: expected a float in [0, 1]" what v)
+      in
+      (match key with
+      | "reorder" -> (
+        match int_of_string_opt v with
+        | Some k when k >= 0 -> Ok { acc with f_reorder = k }
+        | _ -> Error (Printf.sprintf "reorder window %S: expected a non-negative int" v))
+      | "dup" -> Result.map (fun p -> { acc with f_dup = p }) (prob "dup")
+      | "drop" -> Result.map (fun p -> { acc with f_drop = p }) (prob "drop")
+      | k -> Error (Printf.sprintf "unknown fault %S (want reorder/dup/drop)" k))
+  in
+  match String.trim s with
+  | "" | "none" -> Ok no_faults
+  | s -> List.fold_left parse_field (Ok no_faults) (String.split_on_char ',' s)
+
+let apply_faults f ~seed items =
+  let rng = Prng.create seed in
+  (* drop each item independently *)
+  let items =
+    if f.f_drop = 0. then items
+    else List.filter (fun _ -> not (Prng.bernoulli rng f.f_drop)) items
+  in
+  (* duplicate, the copy adjacent (reordering below can separate it) *)
+  let items =
+    if f.f_dup = 0. then items
+    else List.concat_map (fun x -> if Prng.bernoulli rng f.f_dup then [ x; x ] else [ x ]) items
+  in
+  (* bounded reorder: shuffle within consecutive blocks of [f_reorder]
+     items, so no item is displaced by the window or more *)
+  if f.f_reorder <= 1 then items
+  else begin
+    let arr = Array.of_list items in
+    let n = Array.length arr in
+    let i = ref 0 in
+    while !i < n do
+      let len = min f.f_reorder (n - !i) in
+      let block = Array.sub arr !i len in
+      Prng.shuffle rng block;
+      Array.blit block 0 arr !i len;
+      i := !i + len
+    done;
+    Array.to_list arr
+  end

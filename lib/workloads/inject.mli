@@ -42,3 +42,33 @@ val resolve : t -> Event.t -> injection option
 val complete : t -> injection list
 (** Injections whose every expected part has been recorded and resolved
     (i.e. fully materialized before the run's cutoff). *)
+
+(** {1 Delivery faults}
+
+    Deterministic transport degradation for replay experiments: what a
+    lossy, reordering network does to a recorded stream, as a pure
+    function of a seed. Used by [ocep replay --faults] and the ingest
+    property tests to prove the admission layer restores the engine's
+    preconditions. *)
+
+type faults = {
+  f_reorder : int;
+      (** shuffle within consecutive blocks of this many items — every
+          displacement is strictly below the value; [0] and [1] mean no
+          reordering *)
+  f_dup : float;  (** per-item duplication probability *)
+  f_drop : float;  (** per-item drop probability *)
+}
+
+val no_faults : faults
+
+val parse_faults : string -> (faults, string) result
+(** Parse ["reorder:8,dup:0.01,drop:0.001"] — any subset of the keys in
+    any order; [""] and ["none"] are {!no_faults}. *)
+
+val pp_faults : Format.formatter -> faults -> unit
+(** Prints in the {!parse_faults} syntax. *)
+
+val apply_faults : faults -> seed:int -> 'a list -> 'a list
+(** Degrade a delivery sequence: drop, then duplicate (copies start out
+    adjacent), then block-shuffle. Deterministic in [seed]. *)

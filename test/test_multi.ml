@@ -20,29 +20,29 @@ let check_int = Alcotest.(check int)
 let net_of src = Compile.compile (Parser.parse src)
 
 (* per-pattern observable state, in a directly comparable shape *)
-let observe_for engine pid =
+let observe h =
   let reports =
     List.map
       (fun (r : Subset.report) ->
         ( r.seq,
           r.fresh,
           Array.to_list (Array.map (fun (e : Event.t) -> (e.trace, e.index)) r.events) ))
-      (Engine.reports_for engine pid)
+      (Engine.Handle.reports h)
   in
-  ( Engine.matches_found_for engine pid,
-    Engine.covered_slots_for engine pid,
-    Engine.seen_slots_for engine pid,
+  ( Engine.Handle.matches_found h,
+    Engine.Handle.covered_slots h,
+    Engine.Handle.seen_slots h,
     reports )
 
 let replay_multi ~config ~names ~nets raws =
   let poet = Poet.create ~trace_names:names () in
-  let engine = Engine.create_multi ~config ~poet () in
+  let engine = Engine.create ~config ~poet () in
   Fun.protect
     ~finally:(fun () -> Engine.shutdown engine)
     (fun () ->
-      let pids = List.map (fun net -> Engine.add_pattern engine net) nets in
+      let hs = List.map (fun net -> Engine.add_pattern engine net) nets in
       List.iter (fun r -> ignore (Poet.ingest poet r)) raws;
-      List.map (observe_for engine) pids)
+      List.map observe hs)
 
 let replay_single ~config ~names ~net raws =
   let poet = Poet.create ~trace_names:names () in
@@ -51,7 +51,7 @@ let replay_single ~config ~names ~net raws =
     ~finally:(fun () -> Engine.shutdown engine)
     (fun () ->
       List.iter (fun r -> ignore (Poet.ingest poet r)) raws;
-      observe_for engine (List.hd (Engine.pattern_ids engine)))
+      observe (List.hd (Engine.handles engine)))
 
 (* ------------------------------------------------------------------ *)
 (* Equivalence: multi engine == N dedicated engines                    *)
@@ -129,29 +129,35 @@ let internal poet tr ty =
 
 let add_remove_re_add () =
   let poet = Poet.create ~trace_names:names2 () in
-  let engine = Engine.create_multi ~poet () in
+  let engine = Engine.create ~poet () in
   Fun.protect ~finally:(fun () -> Engine.shutdown engine) @@ fun () ->
   check_int "starts empty" 0 (Engine.pattern_count engine);
   let p0 = Engine.add_pattern engine (net_of ab) in
+  check "live handle" true (Engine.Handle.is_live p0);
   check_int "one pattern" 1 (Engine.pattern_count engine);
-  Engine.remove_pattern engine p0;
-  check_int "empty after remove" 0 (Engine.pattern_count engine);
-  check "removed pid rejected" true
-    (match Engine.remove_pattern engine p0 with
+  Engine.Handle.detach p0;
+  check_int "empty after detach" 0 (Engine.pattern_count engine);
+  check "detached handle is dead" false (Engine.Handle.is_live p0);
+  check "double detach rejected" true
+    (match Engine.Handle.detach p0 with
     | () -> false
+    | exception Invalid_argument _ -> true);
+  check "accessor on dead handle rejected" true
+    (match Engine.Handle.matches_found p0 with
+    | _ -> false
     | exception Invalid_argument _ -> true);
   (* an empty engine ingests as a no-op *)
   internal poet 0 "A";
   (* hot re-add: a fresh id, and matching works on events arriving after *)
   let p1 = Engine.add_pattern engine (net_of ab) in
-  check "fresh id" true (p1 <> p0);
+  check "fresh id" true (Engine.Handle.id p1 <> Engine.Handle.id p0);
   internal poet 0 "A";
   internal poet 0 "B";
-  check "re-added pattern matches" true (Engine.matches_found_for engine p1 > 0)
+  check "re-added pattern matches" true (Engine.Handle.matches_found p1 > 0)
 
 let accessors_on_empty_engine () =
   let poet = Poet.create ~trace_names:names2 () in
-  let engine = Engine.create_multi ~poet () in
+  let engine = Engine.create ~poet () in
   Fun.protect ~finally:(fun () -> Engine.shutdown engine) @@ fun () ->
   check "net on empty engine rejected" true
     (match Engine.net engine with _ -> false | exception Invalid_argument _ -> true);
@@ -164,7 +170,7 @@ let accessors_on_empty_engine () =
 let shared_class_refcount () =
   let poet = Poet.create ~trace_names:names2 () in
   let engine =
-    Engine.create_multi ~config:{ Engine.default_config with Engine.pruning = false } ~poet ()
+    Engine.create ~config:{ Engine.default_config with Engine.pruning = false } ~poet ()
   in
   Fun.protect ~finally:(fun () -> Engine.shutdown engine) @@ fun () ->
   let p0 = Engine.add_pattern engine (net_of ab) in
@@ -175,16 +181,16 @@ let shared_class_refcount () =
   internal poet 0 "A";
   internal poet 1 "B";
   check_int "stored once despite two subscribers" 2 (Engine.history_entries engine);
-  Engine.remove_pattern engine p1;
+  Engine.Handle.detach p1;
   check_int "classes survive the other subscriber's removal" 2 (Engine.history_entries engine);
-  Engine.remove_pattern engine p0;
+  Engine.Handle.detach p0;
   check_int "releasing the last subscriber frees the store" 0 (Engine.history_entries engine)
 
 let dedup_matches_single_engine () =
   (* a two-same-class-leaf pattern stores no more than a one-leaf one *)
   let poet = Poet.create ~trace_names:names2 () in
   let engine =
-    Engine.create_multi ~config:{ Engine.default_config with Engine.pruning = false } ~poet ()
+    Engine.create ~config:{ Engine.default_config with Engine.pruning = false } ~poet ()
   in
   Fun.protect ~finally:(fun () -> Engine.shutdown engine) @@ fun () ->
   let _ =
@@ -193,6 +199,48 @@ let dedup_matches_single_engine () =
   internal poet 0 "A";
   internal poet 1 "A";
   check_int "same-class leaves share entries" 2 (Engine.history_entries engine)
+
+(* ------------------------------------------------------------------ *)
+(* Deprecated shims                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The pid-keyed [*_for] shims and [create_multi]/[remove_pattern] stay
+   for out-of-tree callers of the PR-4 API; they must keep agreeing with
+   the handle accessors they wrap. *)
+module Shims = struct
+  [@@@alert "-deprecated"]
+
+  let agree_with_handles () =
+    let poet = Poet.create ~trace_names:names2 () in
+    let engine = Engine.create_multi ~poet () in
+    Fun.protect ~finally:(fun () -> Engine.shutdown engine) @@ fun () ->
+    let h = Engine.add_pattern engine (net_of ab) in
+    let pid = Engine.Handle.id h in
+    internal poet 0 "A";
+    internal poet 0 "B";
+    check_int "matches_found_for" (Engine.Handle.matches_found h)
+      (Engine.matches_found_for engine pid);
+    check_int "reports_for"
+      (List.length (Engine.Handle.reports h))
+      (List.length (Engine.reports_for engine pid));
+    check_int "covered_slots_for" (Engine.Handle.covered_slots h)
+      (Engine.covered_slots_for engine pid);
+    check_int "seen_slots_for" (Engine.Handle.seen_slots h) (Engine.seen_slots_for engine pid);
+    check_int "aborted_searches_for" (Engine.Handle.aborted_searches h)
+      (Engine.aborted_searches_for engine pid);
+    check_int "pinned_skipped_for" (Engine.Handle.pinned_skipped h)
+      (Engine.pinned_skipped_for engine pid);
+    check "pattern_net" true (Engine.pattern_net engine pid == Engine.Handle.net h);
+    check "search_stats_for" true
+      (Engine.search_stats_for engine pid == Engine.Handle.search_stats h);
+    check "latency_histogram_for" true
+      (Engine.latency_histogram_for engine pid == Engine.Handle.latency_histogram h);
+    check_int "history_entries_for"
+      (Engine.Handle.history_entries h ~leaf:0)
+      (Engine.history_entries_for engine ~leaf:0);
+    Engine.remove_pattern engine pid;
+    check "remove_pattern detaches the handle" false (Engine.Handle.is_live h)
+end
 
 (* ------------------------------------------------------------------ *)
 (* The 62-leaf cap                                                     *)
@@ -219,11 +267,11 @@ let leaf_cap_enforced () =
   check_int "62 leaves compile" Compile.max_leaves (Compile.size net);
   (* and the registry accepts them *)
   let poet = Poet.create ~trace_names:names2 () in
-  let engine = Engine.create_multi ~poet () in
+  let engine = Engine.create ~poet () in
   Fun.protect ~finally:(fun () -> Engine.shutdown engine) @@ fun () ->
-  let pid = Engine.add_pattern engine net in
+  let h = Engine.add_pattern engine net in
   check_int "registered" 1 (Engine.pattern_count engine);
-  Engine.remove_pattern engine pid;
+  Engine.Handle.detach h;
   (* 63 leaves: rejected at compile time with a clear message *)
   match net_of (chain_pattern (Compile.max_leaves + 1)) with
   | _ -> Alcotest.fail "63-leaf pattern should not compile"
@@ -246,6 +294,7 @@ let () =
           Alcotest.test_case "empty engine accessors" `Quick accessors_on_empty_engine;
           Alcotest.test_case "shared-class refcount" `Quick shared_class_refcount;
           Alcotest.test_case "same-class dedup" `Quick dedup_matches_single_engine;
+          Alcotest.test_case "deprecated shims = handles" `Quick Shims.agree_with_handles;
         ] );
       ("leaf cap", [ Alcotest.test_case "62-leaf boundary" `Quick leaf_cap_enforced ]);
     ]

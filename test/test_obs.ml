@@ -377,6 +377,46 @@ let json_golden () =
 (* Engine integration                                                  *)
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* Label escaping and labeled exposition                               *)
+(* ------------------------------------------------------------------ *)
+
+let escape_label_values () =
+  let checks = Alcotest.(check string) in
+  checks "clean passes through" "fast" (Metrics.escape_label_value "fast");
+  checks "quote" "a\\\"b" (Metrics.escape_label_value "a\"b");
+  checks "backslash" "a\\\\b" (Metrics.escape_label_value "a\\b");
+  checks "newline" "a\\nb" (Metrics.escape_label_value "a\nb");
+  checks "all three" "\\\\\\\"\\n" (Metrics.escape_label_value "\\\"\n")
+
+let with_labels_builds_escaped_keys () =
+  let checks = Alcotest.(check string) in
+  checks "no labels" "ocep_x" (Metrics.with_labels "ocep_x" []);
+  checks "one label" "ocep_x{p=\"a\"}" (Metrics.with_labels "ocep_x" [ ("p", "a") ]);
+  checks "escapes and order"
+    "ocep_x{p=\"a\\\"b\",q=\"c\\\\d\"}"
+    (Metrics.with_labels "ocep_x" [ ("p", "a\"b"); ("q", "c\\d") ])
+
+let prometheus_escapes_label_values () =
+  let m = Metrics.create () in
+  let name = Metrics.with_labels "ocep_matches_total" [ ("pattern", "A \"x\"\\B\nC") ] in
+  Metrics.incr (Metrics.counter m name) ();
+  let s = Snapshot.prometheus m in
+  check "exposition escapes quote, backslash, newline" true
+    (contains s "ocep_matches_total{pattern=\"A \\\"x\\\"\\\\B\\nC\"} 1\n");
+  (* a raw newline inside a label value would split the sample line *)
+  check "no raw newline inside the sample" false (contains s "B\nC\"} 1\n")
+
+let prometheus_labeled_histogram () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m (Metrics.with_labels "ocep_latency_us" [ ("pattern", "p0") ]) in
+  List.iter (Histogram.record h) [ 1.; 10. ];
+  let s = Snapshot.prometheus m in
+  check "bucket splices le into the label set" true
+    (contains s "ocep_latency_us_bucket{pattern=\"p0\",le=\"+Inf\"} 2\n");
+  check "sum keeps the labels" true (contains s "ocep_latency_us_sum{pattern=\"p0\"} 11\n");
+  check "count keeps the labels" true (contains s "ocep_latency_us_count{pattern=\"p0\"} 2\n")
+
 let telemetry_engine () =
   let w = Ocep_harness.Cases.make "races" ~traces:4 ~seed:7 ~max_events:2_000 in
   let module Workload = Ocep_workloads.Workload in
@@ -443,6 +483,10 @@ let () =
       ( "exposition",
         [
           Alcotest.test_case "prometheus golden" `Quick prometheus_golden;
+          Alcotest.test_case "escape label value" `Quick escape_label_values;
+          Alcotest.test_case "with_labels keys" `Quick with_labels_builds_escaped_keys;
+          Alcotest.test_case "prometheus escapes labels" `Quick prometheus_escapes_label_values;
+          Alcotest.test_case "labeled histogram exposition" `Quick prometheus_labeled_histogram;
           Alcotest.test_case "json golden" `Quick json_golden;
         ] );
       ("engine", [ Alcotest.test_case "telemetry end to end" `Quick telemetry_engine ]);
