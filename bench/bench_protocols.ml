@@ -1,0 +1,71 @@
+(* Protocol-workload smoke bench: end-to-end monitoring throughput of the
+   four distributed-protocol cases added with the fuzzing PR (2PC
+   coordinator-crash ordering, leader-election split brain, gossip
+   anti-entropy staleness, lock-server fairness), plus a bounded
+   differential-fuzz smoke so the CI bench job exercises the whole
+   harness. Scale with OCEP_EVENTS (default 20_000) and OCEP_FUZZ_SEEDS
+   (default 25; 0 disables). Results go to stdout, one line per case. *)
+
+module Sim = Ocep_sim.Sim
+module Poet = Ocep_poet.Poet
+module Parser = Ocep_pattern.Parser
+module Compile = Ocep_pattern.Compile
+module Engine = Ocep.Engine
+module Clock = Ocep_base.Clock
+module Workload = Ocep_workloads.Workload
+module Cases = Ocep_harness.Cases
+module Fuzz = Ocep_harness.Fuzz
+
+let best_of n f =
+  let best = ref infinity in
+  for _ = 1 to n do
+    let t0 = Clock.now_s () in
+    f ();
+    best := min !best (Clock.now_s () -. t0)
+  done;
+  !best
+
+let () =
+  let max_events =
+    match Sys.getenv_opt "OCEP_EVENTS" with Some s -> int_of_string s | None -> 20_000
+  in
+  let fuzz_seeds =
+    match Sys.getenv_opt "OCEP_FUZZ_SEEDS" with Some s -> int_of_string s | None -> 25
+  in
+  Printf.printf "protocol bench: %d events per case\n%!" max_events;
+  List.iter
+    (fun case ->
+      let w = Cases.make case ~traces:8 ~seed:2013 ~max_events in
+      let names = Sim.trace_names w.Workload.sim_config in
+      let net = Compile.compile (Parser.parse w.Workload.pattern) in
+      let raws = ref [] in
+      ignore
+        (Sim.run w.Workload.sim_config
+           ~sink:(fun r -> raws := r :: !raws)
+           ~bodies:w.Workload.bodies);
+      let raws = List.rev !raws in
+      let n = List.length raws in
+      let matches = ref 0 in
+      let t =
+        best_of 3 (fun () ->
+            let poet = Poet.create ~trace_names:names () in
+            let engine =
+              Engine.create
+                ~config:{ Engine.default_config with Engine.record_latency = false }
+                ~net ~poet ()
+            in
+            List.iter (fun r -> ignore (Poet.ingest poet r)) raws;
+            matches := Engine.matches_found engine)
+      in
+      Printf.printf "%-12s %7d events  %6d matches  %10.0f events/s\n%!" case n !matches
+        (float_of_int n /. t))
+    Cases.protocol_names;
+  if fuzz_seeds > 0 then begin
+    let t0 = Clock.now_s () in
+    let s = Fuzz.run ~seeds:fuzz_seeds ~start_seed:1 () in
+    Printf.printf "fuzz smoke: %d seeds, oracle on %d, %d divergence(s), %.1f s\n%!"
+      s.Fuzz.s_ran s.Fuzz.s_oracle_checked
+      (List.length s.Fuzz.s_failures)
+      (Clock.now_s () -. t0);
+    if s.Fuzz.s_failures <> [] then exit 1
+  end

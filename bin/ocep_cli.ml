@@ -17,6 +17,7 @@ module Summary = Ocep_stats.Summary
 module Workload = Ocep_workloads.Workload
 module Cases = Ocep_harness.Cases
 module Repro = Ocep_harness.Repro
+module Fuzz = Ocep_harness.Fuzz
 module Runner = Ocep_harness.Runner
 module Inject = Ocep_workloads.Inject
 module Framing = Ocep_ingest.Framing
@@ -41,8 +42,11 @@ let gen_cmd =
   let case =
     Arg.(
       required
-      & opt (some (enum (List.map (fun n -> (n, n)) Cases.names))) None
-      & info [ "case"; "c" ] ~docv:"CASE" ~doc:"Workload: deadlock, races, atomicity or ordering.")
+      & opt (some (enum (List.map (fun n -> (n, n)) Cases.all_names))) None
+      & info [ "case"; "c" ] ~docv:"CASE"
+          ~doc:
+            "Workload: deadlock, races, atomicity, ordering, twopc, election, gossip or \
+             lockserver.")
   in
   let traces =
     Arg.(value & opt int 10 & info [ "traces"; "t" ] ~docv:"N" ~doc:"Number of traces.")
@@ -98,8 +102,11 @@ let record_cmd =
   let case =
     Arg.(
       required
-      & opt (some (enum (List.map (fun n -> (n, n)) Cases.names))) None
-      & info [ "case"; "c" ] ~docv:"CASE" ~doc:"Workload: deadlock, races, atomicity or ordering.")
+      & opt (some (enum (List.map (fun n -> (n, n)) Cases.all_names))) None
+      & info [ "case"; "c" ] ~docv:"CASE"
+          ~doc:
+            "Workload: deadlock, races, atomicity, ordering, twopc, election, gossip or \
+             lockserver.")
   in
   let traces =
     Arg.(value & opt int 10 & info [ "traces"; "t" ] ~docv:"N" ~doc:"Number of traces.")
@@ -638,7 +645,7 @@ let check_cmd =
         1)
     | None, true ->
       (* one registry engine must accept all four patterns together *)
-      let w = Cases.make (List.hd Cases.names) ~traces:6 ~seed:1 ~max_events:1 in
+      let w = Cases.make (List.hd Cases.all_names) ~traces:6 ~seed:1 ~max_events:1 in
       let poet = Poet.create ~trace_names:(Sim.trace_names w.Workload.sim_config) () in
       let engine = Engine.create ~poet () in
       Fun.protect ~finally:(fun () -> Engine.shutdown engine) @@ fun () ->
@@ -663,7 +670,7 @@ let check_cmd =
               Printf.eprintf "%s: %s\n" case e;
               1))
       in
-      go Cases.names
+      go Cases.all_names
   in
   let info =
     Cmd.info "check"
@@ -672,6 +679,82 @@ let check_cmd =
          case pattern with $(b,--all-cases)."
   in
   Cmd.v info Term.(const run $ pattern_file $ all_cases)
+
+(* ------------------------------------------------------------------ *)
+(* fuzz                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz_cmd =
+  let seeds =
+    Arg.(value & opt int 200 & info [ "seeds"; "n" ] ~docv:"N" ~doc:"Number of seeds to fuzz.")
+  in
+  let start_seed =
+    Arg.(value & opt int 1 & info [ "start-seed" ] ~docv:"SEED" ~doc:"First seed.")
+  in
+  let mutant =
+    let names = String.concat ", " (List.map fst Fuzz.mutations) in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "mutant" ] ~docv:"NAME"
+          ~doc:
+            (Printf.sprintf
+               "Seed a deliberate bug into the engine under test (%s) and expect divergences — \
+                a self-test of the fuzzer. Exit status inverts: finding nothing is the failure."
+               names))
+  in
+  let corpus_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus-dir" ] ~docv:"DIR"
+          ~doc:"Save each minimized diverging case into DIR as a replayable .case file.")
+  in
+  let run seeds start_seed mutant corpus_dir =
+    if seeds <= 0 then begin
+      Printf.eprintf "ocep fuzz: --seeds must be positive\n";
+      2
+    end
+    else begin
+      let mutation =
+        match mutant with
+        | None -> None
+        | Some name -> (
+          match Fuzz.mutation_of_name name with
+          | Some m -> Some m
+          | None ->
+            Printf.eprintf "ocep fuzz: unknown mutant %S (want %s)\n" name
+              (String.concat ", " (List.map fst Fuzz.mutations));
+            exit 2)
+      in
+      let s =
+        Fuzz.run ?mutation ?corpus_dir ~log:print_endline ~seeds ~start_seed ()
+      in
+      Printf.printf "fuzz: %d seeds, brute-force oracle on %d, %d divergence(s)\n" s.Fuzz.s_ran
+        s.Fuzz.s_oracle_checked
+        (List.length s.Fuzz.s_failures);
+      match (mutation, s.Fuzz.s_failures) with
+      | None, [] -> 0
+      | None, (seed, d) :: _ ->
+        Printf.printf "first divergence: seed %d: %s: %s\n" seed d.Fuzz.d_oracle d.Fuzz.d_detail;
+        1
+      | Some _, [] ->
+        (* a mutant that survives the campaign means the fuzzer is blind *)
+        Printf.printf "mutant survived %d seeds undetected\n" s.Fuzz.s_ran;
+        1
+      | Some _, (seed, d) :: _ ->
+        Printf.printf "mutant caught: seed %d: %s: %s\n" seed d.Fuzz.d_oracle d.Fuzz.d_detail;
+        0
+    end
+  in
+  let info =
+    Cmd.info "fuzz"
+      ~doc:
+        "Differential fuzzing: random (pattern, workload, fault schedule) cases checked \
+         against the parallel engine, the brute-force oracle and record/replay; diverging \
+         cases are minimized and written to the corpus."
+  in
+  Cmd.v info Term.(const run $ seeds $ start_seed $ mutant $ corpus_dir)
 
 (* ------------------------------------------------------------------ *)
 (* info                                                                *)
@@ -786,4 +869,4 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ gen_cmd; record_cmd; run_cmd; replay_cmd; check_cmd; info_cmd; repro_cmd ]))
+          [ gen_cmd; record_cmd; run_cmd; replay_cmd; check_cmd; fuzz_cmd; info_cmd; repro_cmd ]))

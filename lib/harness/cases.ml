@@ -1,4 +1,12 @@
+(* The paper's four case studies — the set the repro figures sweep
+   ([paper_fig10_us] has reference numbers only for these). *)
 let names = [ "deadlock"; "races"; "atomicity"; "ordering" ]
+
+(* Distributed-protocol bug corpus (PR 6): no paper reference figures,
+   but first-class everywhere else (gen/record/run/check, fuzz). *)
+let protocol_names = [ "twopc"; "election"; "gossip"; "lockserver" ]
+
+let all_names = names @ protocol_names
 
 let make name ~traces ~seed ~max_events =
   match name with
@@ -6,6 +14,10 @@ let make name ~traces ~seed ~max_events =
   | "races" -> Ocep_workloads.Msg_race.make ~traces ~seed ~max_events ()
   | "atomicity" -> Ocep_workloads.Atomicity.make ~traces ~seed ~max_events ()
   | "ordering" -> Ocep_workloads.Ordering.make ~traces ~seed ~max_events ()
+  | "twopc" -> Ocep_workloads.Twopc.make ~traces ~seed ~max_events ()
+  | "election" -> Ocep_workloads.Election.make ~traces ~seed ~max_events ()
+  | "gossip" -> Ocep_workloads.Gossip.make ~traces ~seed ~max_events ()
+  | "lockserver" -> Ocep_workloads.Lockserver.make ~traces ~seed ~max_events ()
   | other -> invalid_arg ("Cases.make: unknown case " ^ other)
 
 let paper_trace_counts = function

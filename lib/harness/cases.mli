@@ -1,10 +1,21 @@
-(** Factory for the paper's four case-study workloads by name. *)
+(** Factory for the built-in workloads by name: the paper's four case
+    studies plus the distributed-protocol bug corpus. *)
 
 val names : string list
-(** ["deadlock"; "races"; "atomicity"; "ordering"]. *)
+(** ["deadlock"; "races"; "atomicity"; "ordering"] — the paper's case
+    studies, the only names the repro figures (and {!paper_fig10_us})
+    accept. *)
+
+val protocol_names : string list
+(** ["twopc"; "election"; "gossip"; "lockserver"] — the protocol bug
+    corpus; no paper reference figures. *)
+
+val all_names : string list
+(** {!names} followed by {!protocol_names}: everything {!make} accepts. *)
 
 val make : string -> traces:int -> seed:int -> max_events:int -> Ocep_workloads.Workload.t
-(** Raises [Invalid_argument] on an unknown name. *)
+(** Raises [Invalid_argument] on an unknown name. [election] needs
+    [traces >= 4], the other protocol cases [traces >= 3]. *)
 
 val paper_trace_counts : string -> int list
 (** The x-axis of the corresponding figure: 10/20/50 for the first three

@@ -106,6 +106,7 @@ type meters = {
   m_hist_cap_evicted : Metrics.counter;
   m_covered : Metrics.gauge;
   m_seen : Metrics.gauge;
+  m_subset_dropped : Metrics.counter;
   m_fan_outs : Metrics.counter;
   m_fan_out_tasks : Metrics.counter;
   m_spec_discards : Metrics.counter;
@@ -130,6 +131,7 @@ type pmeters = {
   pm_searches : Metrics.counter;
   pm_aborts : Metrics.counter;
   pm_pinned_skipped : Metrics.counter;
+  pm_subset_dropped : Metrics.counter;
 }
 
 (* The isolated per-pattern state: everything that was engine state when
@@ -266,6 +268,10 @@ let make_meters metrics ~parallelism =
   in
   let m_covered = g ~help:"Covered coverage slots" "ocep_covered_slots" in
   let m_seen = g ~help:"Seen coverage slots" "ocep_seen_slots" in
+  let m_subset_dropped =
+    c ~help:"Coverage-advancing reports dropped by report_cap"
+      "ocep_subset_reports_dropped_total"
+  in
   let m_fan_outs = c ~help:"Pinned-search batches fanned out" "ocep_fan_outs_total" in
   let m_fan_out_tasks = c ~help:"Pinned searches run by the pool" "ocep_fan_out_tasks_total" in
   let m_spec_discards =
@@ -305,6 +311,7 @@ let make_meters metrics ~parallelism =
     m_hist_cap_evicted;
     m_covered;
     m_seen;
+    m_subset_dropped;
     m_fan_outs;
     m_fan_out_tasks;
     m_spec_discards;
@@ -332,6 +339,10 @@ let make_pmeters metrics ~pid =
   let pm_pinned_skipped =
     c ~help:"Pinned searches skipped by the slot pre-filter" "ocep_pinned_skipped_total"
   in
+  let pm_subset_dropped =
+    c ~help:"Coverage-advancing reports dropped by report_cap"
+      "ocep_subset_reports_dropped_total"
+  in
   {
     pm_matches;
     pm_reports;
@@ -342,6 +353,7 @@ let make_pmeters metrics ~pid =
     pm_searches;
     pm_aborts;
     pm_pinned_skipped;
+    pm_subset_dropped;
   }
 
 (* Sort keys for the per-pattern matched-leaf scratch: exact-type leaves
@@ -794,6 +806,10 @@ let register_pattern t net =
           patterns at %d"
          k Compile.max_leaves);
   let inet = Compile.intern_net net ~intern:t.intern in
+  (* a match can bind up to [k] events of one identical-event run, so
+     pruning must keep at least that many (the cap only ever grows;
+     detaching a pattern leaving it large is merely conservative) *)
+  History.set_run_cap t.store k;
   let pid = t.next_pid in
   let plans = Array.init k (fun l -> Matcher.plan ~net:inet ~anchor_leaf:l) in
   (* one class per distinct [proc, typ, text] key: reuse a registered
@@ -961,6 +977,7 @@ let sync_metrics t =
   Metrics.set_counter m.m_hist_cap_evicted (History.store_cap_evicted t.store);
   Metrics.set m.m_covered (float_of_int (sum (fun p -> Subset.covered_count p.psubset)));
   Metrics.set m.m_seen (float_of_int (sum (fun p -> Subset.seen_count p.psubset)));
+  Metrics.set_counter m.m_subset_dropped (sum (fun p -> Subset.dropped_count p.psubset));
   Metrics.set_counter m.m_spec_discards t.speculative_discards;
   Metrics.set_counter m.m_pinned_skipped (sum (fun p -> p.pskipped));
   Metrics.set m.m_patterns (float_of_int (List.length t.patterns));
@@ -974,7 +991,8 @@ let sync_metrics t =
       Metrics.set_counter p.pm.pm_backjumps p.pstats.Matcher.backjumps;
       Metrics.set_counter p.pm.pm_searches p.pstats.Matcher.searches;
       Metrics.set_counter p.pm.pm_aborts p.paborted;
-      Metrics.set_counter p.pm.pm_pinned_skipped p.pskipped)
+      Metrics.set_counter p.pm.pm_pinned_skipped p.pskipped;
+      Metrics.set_counter p.pm.pm_subset_dropped (Subset.dropped_count p.psubset))
     t.patterns;
   (match t.pool with
   | Some p ->

@@ -21,6 +21,10 @@ type cls = {
 
 type store = {
   pruning : bool;
+  mutable run_cap : int;
+      (* entries kept per identical-event run; must be >= the leaf count
+         of every registered pattern — a match binds at most that many
+         events of one run, so keeping the last [run_cap] loses nothing *)
   max_per_trace : int option;
   n_traces : int;
   epochs : int array;  (* communication events seen per trace *)
@@ -52,6 +56,7 @@ let fresh_cls n_traces =
 let create_store ~n_traces ~pruning ?max_per_trace () =
   {
     pruning;
+    run_cap = 1;
     max_per_trace;
     n_traces;
     epochs = Array.make n_traces 0;
@@ -62,6 +67,8 @@ let create_store ~n_traces ~pruning ?max_per_trace () =
     pruned = 0;
     cap_evicted = 0;
   }
+
+let set_run_cap s k = if k > s.run_cap then s.run_cap <- k
 
 let alloc_class s =
   match s.free with
@@ -96,6 +103,7 @@ let create net ~n_traces ~pruning ?max_per_trace () =
      shared views through [create_store]/[alloc_class]/[view] instead *)
   let k = Compile.size net in
   let s = create_store ~n_traces ~pruning ?max_per_trace () in
+  set_run_cap s k;
   view s ~classes:(Array.init k (fun _ -> alloc_class s))
 
 let note_comm_store s (ev : Event.t) =
@@ -151,21 +159,48 @@ let same_attrs (a : Event.t) (b : Event.t) =
   (* symbols of the same store: int equality is string equality *)
   a.esym = b.esym && a.xsym = b.xsym
 
+(* Merge the new entry over the oldest member of the trailing run iff the
+   trailing [run_cap] entries plus the new event form a block of
+   consecutive trace positions (index gap exactly [run_cap] — nothing at
+   all, monitored or not, interposes) with equal attributes and one
+   communication epoch, and the evicted entry is not a send. Sends and
+   receives bump their trace's epoch before being stored, so a block can
+   only start — never continue — with one; a surviving block-start send
+   keeps its message receipts attributable, and every other block member
+   has identical causal relations to every event outside the block. Any
+   match binds at most [run_cap] block events (the cap is kept at the max
+   registered pattern size), so it maps order-preservingly onto the kept
+   suffix: matches and covered slots are preserved exactly. *)
+let mergeable s v (entry : entry) =
+  let rc = s.run_cap in
+  let len = Vec.length v in
+  s.pruning && len >= rc
+  &&
+  let victim = Vec.get v (len - rc) in
+  victim.ev.Event.index + rc = entry.ev.Event.index
+  && (match victim.ev.Event.kind with Event.Send _ -> false | _ -> true)
+  &&
+  let ok = ref true in
+  for i = len - rc to len - 1 do
+    let e = Vec.get v i in
+    if not (e.epoch = entry.epoch && same_attrs e.ev entry.ev) then ok := false
+  done;
+  !ok
+
 let add_cls s (c : cls) (ev : Event.t) =
   let v = c.hist.(ev.trace) in
   let entry = { ev; epoch = s.epochs.(ev.trace) } in
-  let replaced =
-    s.pruning
-    &&
-    match Vec.last v with
-    | Some prev when prev.epoch = entry.epoch && same_attrs prev.ev ev ->
-      (* same text, so the index entry for this position stays valid *)
-      Vec.replace_last v entry;
-      s.pruned <- s.pruned + 1;
-      true
-    | _ -> false
-  in
-  if replaced then bump_gen c ~trace:ev.trace
+  if mergeable s v entry then begin
+    (* the whole block shares one text symbol, so shifting entries within
+       it and rewriting the last slot keeps the text index valid *)
+    let len = Vec.length v in
+    for i = len - s.run_cap to len - 2 do
+      Vec.set v i (Vec.get v (i + 1))
+    done;
+    Vec.set v (len - 1) entry;
+    s.pruned <- s.pruned + 1;
+    bump_gen c ~trace:ev.trace
+  end
   else begin
     index_push c.by_text.(ev.trace) ev.xsym (Vec.length v);
     Vec.push v entry;

@@ -15,14 +15,23 @@
     baselines are unchanged; the engine allocates classes explicitly and
     adds each arrival once per class instead of once per leaf.
 
-    The O(1) redundancy rule of Section V-D is applied on insertion: if
-    the previous event of the same class on the same trace has no send or
-    receive event between itself and the new one (same communication
-    epoch) and carries the same attribute values, it is replaced — the two
-    events have identical causal relations to every event on other
-    traces. An optional hard cap bounds each history for arbitrarily long
-    runs (oldest entries are dropped). With sharing, pruning and the cap
-    apply once per class, not once per subscribed leaf. *)
+    The O(1) redundancy rule of Section V-D is applied on insertion, in
+    the sound form the differential fuzzer forced us to (PR 6): when the
+    trailing entries of the class history plus the new event form a block
+    of {e consecutive} trace positions with equal attribute values inside
+    one communication epoch, the oldest block member is evicted (unless it
+    is a send — its message receipts keep it causally distinguishable) so
+    that the last {!set_run_cap} block members are kept. Consecutiveness
+    guarantees no event at all interposes; the epoch guarantees the block
+    holds no mid-block communication (sends and receives advance the epoch
+    before they are stored, so they can only start a block); and the run
+    cap — maintained at the maximum registered pattern size — guarantees
+    any match can remap its block events order-preservingly onto the kept
+    suffix, with identical relations to everything outside the block.
+    Matches and covered slots are preserved exactly. An optional hard cap
+    bounds each history for arbitrarily long runs (oldest entries are
+    dropped). With sharing, pruning and the cap apply once per class, not
+    once per subscribed leaf. *)
 
 open Ocep_base
 
@@ -41,6 +50,13 @@ type t
 (** {1 Store construction (the multi-pattern engine's interface)} *)
 
 val create_store : n_traces:int -> pruning:bool -> ?max_per_trace:int -> unit -> store
+
+val set_run_cap : store -> int -> unit
+(** Raise the number of entries the pruning rule keeps per
+    identical-event run (never lowers it; initially 1). Soundness
+    requires it to be at least the leaf count of every pattern reading
+    the store — the engine calls this with {!Ocep_pattern.Compile.size}
+    at registration, and the standalone {!create} sets it from its net. *)
 
 val alloc_class : store -> int
 (** A fresh, empty class; its id. Ids of released classes are reused. *)
@@ -134,8 +150,8 @@ val dropped : t -> int
     O(1) pruning rule). *)
 
 val pruned : t -> int
-(** Entries merged away by the O(1) pruning rule (same epoch, same
-    attributes as the previous entry). *)
+(** Entries merged away by the O(1) pruning rule (oldest member of a
+    consecutive identical-event block, see the module header). *)
 
 val cap_evicted : t -> int
 (** Entries evicted by the [max_per_trace] cap alone, i.e. {!dropped}

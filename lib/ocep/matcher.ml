@@ -327,17 +327,20 @@ let rec next_candidate ctx st =
       st.partner_done <- true;
       let e = ctx.assigned.(j) in
       if e == Event.none then None
-      else
+      else begin
+        (* the level's single candidate is a function of level [j]'s
+           choice, so exhausting this level is attributable to [j]
+           whatever later rejects the candidate — without this bit a
+           backjump from deeper levels could skip [j] while it still has
+           untried events whose partners would succeed *)
+        add_conflict st ctx.level_of.(j);
         match ctx.partner_of e with
         | Some x when Compile.leaf_matches_i ctx.inet st.leaf x -> (
           match ctx.pin with
-          | Some (l, t) when l = st.leaf && x.trace <> t ->
-            add_conflict st ctx.level_of.(j);
-            None
+          | Some (l, t) when l = st.leaf && x.trace <> t -> None
           | _ -> Some x)
-        | Some _ | None ->
-          add_conflict st ctx.level_of.(j);
-          None
+        | Some _ | None -> None
+      end
     end)
   | None -> (
     match st.tvec with

@@ -12,6 +12,7 @@ type t = {
   mutable pending : (int * int) list;  (* seen but not covered; lazily filtered *)
   mutable covered_count : int;
   mutable seen_count : int;
+  mutable dropped : int;  (* coverage-advancing reports not retained (cap) *)
 }
 
 let create ~k ~n_traces ?(report_cap = max_int) () =
@@ -25,6 +26,7 @@ let create ~k ~n_traces ?(report_cap = max_int) () =
     pending = [];
     covered_count = 0;
     seen_count = 0;
+    dropped = 0;
   }
 
 let seen t ~leaf ~trace =
@@ -54,7 +56,8 @@ let record t ~seq (m : Event.t array) =
   | [] -> None
   | fresh ->
     let report = { events = m; fresh = List.rev fresh; seq } in
-    if Vec.length t.reports < t.report_cap then Vec.push t.reports report;
+    if Vec.length t.reports < t.report_cap then Vec.push t.reports report
+    else t.dropped <- t.dropped + 1;
     Some report
 
 (* Filter out slots covered since they were queued; amortized cheap. *)
@@ -68,3 +71,5 @@ let reports t = Vec.to_list t.reports
 let covered_count t = t.covered_count
 
 let seen_count t = t.seen_count
+
+let dropped_count t = t.dropped

@@ -20,7 +20,17 @@ type t
 
 val create : k:int -> n_traces:int -> ?report_cap:int -> unit -> t
 (** [report_cap] (default [max_int]) bounds the retained report list; the
-    coverage arrays stay exact regardless. *)
+    coverage arrays stay exact regardless.
+
+    Cap semantics: once the cap is hit, {!record} keeps updating the
+    coverage matrices and keeps returning [Some report] for matches that
+    cover new slots — it only stops {e retaining} the report objects, so
+    {!covered_count} advances past the point where {!reports} stops
+    growing. Every report lost this way is counted in {!dropped_count}
+    and exported as [ocep_subset_reports_dropped_total]; a nonzero value
+    means the subset in {!reports} is no longer representative (some
+    covered slot has no retained witness) and the cap must be raised to
+    recover the paper's k·n guarantee from the report list alone. *)
 
 val seen : t -> leaf:int -> trace:int -> unit
 val is_covered : t -> leaf:int -> trace:int -> bool
@@ -28,7 +38,9 @@ val is_seen : t -> leaf:int -> trace:int -> bool
 
 val record : t -> seq:int -> Event.t array -> report option
 (** Update coverage with a found match; [Some report] iff it covered at
-    least one new slot (and was therefore added to the subset). *)
+    least one new slot. The report is added to the subset unless
+    [report_cap] retained reports already exist, in which case it is
+    dropped and counted (see {!create} for the cap semantics). *)
 
 val uncovered_seen_slots : t -> (int * int) list
 (** Slots that have candidate events but no covering match yet; the engine
@@ -39,3 +51,8 @@ val reports : t -> report list
 
 val covered_count : t -> int
 val seen_count : t -> int
+
+val dropped_count : t -> int
+(** Coverage-advancing reports discarded because the cap was reached —
+    the gap between what {!covered_count} claims and what {!reports} can
+    witness. *)

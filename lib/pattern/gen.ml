@@ -1,0 +1,106 @@
+open Ocep_base
+
+type universe = {
+  u_traces : string array;
+  u_etypes : string array;
+  u_texts : string array;
+}
+
+let universe rng ~trace_names =
+  let sub pool n =
+    let a = Array.copy pool in
+    Prng.shuffle rng a;
+    Array.sub a 0 (min n (Array.length a))
+  in
+  {
+    u_traces = trace_names;
+    u_etypes = sub [| "A"; "B"; "C"; "D"; "Req"; "Ack" |] (3 + Prng.int rng 3);
+    u_texts = sub [| ""; "x"; "y"; "z" |] (2 + Prng.int rng 2);
+  }
+
+(* Attribute specs are weighted so that leaves stay selective: a mostly
+   exact type keeps the per-leaf candidate population (and with it the
+   brute-force oracle's enumeration) small, while wildcards and shared
+   variables still appear often enough to exercise those paths. *)
+let gen_proc rng u =
+  match Prng.int rng 10 with
+  | 0 | 1 -> Ast.Exact (Prng.pick rng u.u_traces)
+  | 2 -> Ast.Var "p"
+  | _ -> Ast.Any
+
+let gen_typ rng u =
+  if Prng.int rng 8 = 0 then Ast.Any else Ast.Exact (Prng.pick rng u.u_etypes)
+
+let gen_text rng u =
+  match Prng.int rng 8 with
+  | 0 | 1 -> Ast.Exact (Prng.pick rng u.u_texts)
+  | 2 | 3 -> Ast.Var "d"
+  | _ -> Ast.Any
+
+let gen_class rng u i =
+  {
+    Ast.cname = "E" ^ string_of_int i;
+    proc = gen_proc rng u;
+    typ = gen_typ rng u;
+    text = gen_text rng u;
+  }
+
+let gen_op rng =
+  match Prng.int rng 8 with
+  | 0 | 1 | 2 -> Ast.Concurrent_with
+  | 3 -> Ast.Partner
+  | _ -> Ast.Happens_before
+
+let and_all = function
+  | [] -> invalid_arg "Gen.pattern: empty conjunction"
+  | e :: rest -> List.fold_left (fun acc x -> Ast.And (acc, x)) e rest
+
+let pattern rng u ~max_leaves =
+  if max_leaves < 1 then invalid_arg "Gen.pattern: max_leaves must be >= 1";
+  let k =
+    if max_leaves = 1 then 1
+    else begin
+      match Prng.int rng 10 with
+      | 0 -> 1
+      | 1 | 2 | 3 | 4 -> min 2 max_leaves
+      | 5 | 6 | 7 -> min 3 max_leaves
+      | 8 -> min 4 max_leaves
+      (* the occasional long chain, up to the caller's cap (the compiler
+         enforces its own 62-leaf ceiling) *)
+      | _ -> min (2 + Prng.int rng (max 1 (max_leaves - 1))) max_leaves
+    end
+  in
+  let classes = Array.init k (gen_class rng u) in
+  let class_decls = Array.to_list (Array.map (fun c -> Ast.Class_decl c) classes) in
+  if k = 1 then { Ast.decls = class_decls; pattern = Ast.Single (Ast.Class classes.(0).Ast.cname) }
+  else if k = 2 then
+    {
+      Ast.decls = class_decls;
+      pattern = Ast.Op (gen_op rng, Ast.Class classes.(0).Ast.cname, Ast.Class classes.(1).Ast.cname);
+    }
+  else if k = 4 && Prng.bool rng then
+    (* two independent pairs — a conjunction with two terminating leaves *)
+    {
+      Ast.decls = class_decls;
+      pattern =
+        and_all
+          [
+            Ast.Op (gen_op rng, Ast.Class classes.(0).Ast.cname, Ast.Class classes.(1).Ast.cname);
+            Ast.Op (gen_op rng, Ast.Class classes.(2).Ast.cname, Ast.Class classes.(3).Ast.cname);
+          ];
+    }
+  else begin
+    (* a chain: inner leaves are event variables so consecutive operators
+       constrain the same occurrence *)
+    let var_decls =
+      List.init (k - 2) (fun i ->
+          Ast.Var_decl { vclass = classes.(i + 1).Ast.cname; vname = "v" ^ string_of_int (i + 1) })
+    in
+    let operand i =
+      if i = 0 then Ast.Class classes.(0).Ast.cname
+      else if i = k - 1 then Ast.Class classes.(k - 1).Ast.cname
+      else Ast.Evar ("v" ^ string_of_int i)
+    in
+    let links = List.init (k - 1) (fun i -> Ast.Op (gen_op rng, operand i, operand (i + 1))) in
+    { Ast.decls = class_decls @ var_decls; pattern = and_all links }
+  end

@@ -1,0 +1,36 @@
+(** Random but well-formed pattern ASTs for the differential fuzzer.
+
+    Everything is driven by an explicit {!Ocep_base.Prng.t}, so a
+    generated pattern is a pure function of the seed. The shapes are the
+    ones the compiler accepts and the paper's case studies use: a single
+    occurrence, one binary operator, a variable-linked chain, or a
+    conjunction of independent pairs — over classes whose attribute
+    specs mix exact strings, wildcards and shared [$p]/[$d] variables.
+    Operators are drawn from [->], [||] and [<>]. Leaf counts are
+    weighted heavily toward the small patterns the brute-force oracle
+    can enumerate, with an occasional chain up to [max_leaves] (callers
+    pass at most {!Compile.max_leaves}; the compiler still enforces its
+    own ceiling). *)
+
+open Ocep_base
+
+(** The attribute alphabet patterns draw from. Generating it alongside
+    the workload keeps patterns and event streams speaking about the
+    same processes, types and texts — otherwise almost every random
+    pattern would be trivially unsatisfiable. *)
+type universe = {
+  u_traces : string array;
+  u_etypes : string array;
+  u_texts : string array;
+}
+
+val universe : Prng.t -> trace_names:string array -> universe
+(** A random alphabet: 3–5 event types, 2–3 texts, the given traces. *)
+
+val pattern : Prng.t -> universe -> max_leaves:int -> Ast.t
+(** A random pattern with 1..[max_leaves] leaves ([max_leaves >= 1];
+    values above {!Compile.max_leaves} are pointless — compilation of
+    such a draw raises). The result round-trips through {!Ast.pp} and
+    {!Parser.parse} and compiles, except for the rare draw rejected by
+    the compiler (e.g. a 63-leaf chain when [max_leaves] allows it) —
+    fuzzing callers regenerate on [Compile_error]. *)

@@ -1,0 +1,91 @@
+(* Term-based leader election with an injected split brain.
+
+   All n traces are peers; the candidate of term t is t mod n. A normal
+   term is a full election: the candidate requests votes from every
+   other node, collects all grants, declares itself leader and
+   broadcasts a heartbeat that causally closes the term. In a split
+   term the electorate partitions: two candidates each canvass a
+   disjoint half of the voters, each collects a "majority" of its own
+   partition, and both declare leadership of the same term — two
+   Become_Leader events no message chain connects. The split plan is a
+   pure function of (seed, term), computed identically by everyone. *)
+
+open Ocep_base
+module Sim = Ocep_sim.Sim
+
+type plan = Normal of int | Split of int * int  (* candidates *)
+
+let make ~traces ~seed ~max_events ?(split_rate = 0.08) () =
+  let n = traces in
+  if n < 4 then invalid_arg "Election.make: need at least 4 traces";
+  let inj = Inject.create () in
+  let plan_at term =
+    let c1 = term mod n in
+    let prng = Prng.create ((seed * 173) + (term * 1223)) in
+    if term > 1 && Prng.bernoulli prng split_rate then
+      Split (c1, (c1 + 1 + Prng.int prng (n - 1)) mod n)
+    else Normal c1
+  in
+  (* voters of a split term, interleaved between the two candidates *)
+  let partition_of c1 c2 =
+    let voters = List.filter (fun p -> p <> c1 && p <> c2) (List.init n Fun.id) in
+    List.mapi (fun i v -> (v, if i mod 2 = 0 then c1 else c2)) voters
+  in
+  let inj_ids : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let inj_id_for term =
+    match Hashtbl.find_opt inj_ids term with
+    | Some id -> id
+    | None ->
+      let id = Inject.new_injection inj ~expected_parts:2 in
+      Hashtbl.replace inj_ids term id;
+      id
+  in
+  let declare me ~term ~tracked =
+    let nth = Inject.next_occurrence inj ~trace:me ~etype:"Become_Leader" in
+    if tracked then Inject.add_part inj ~id:(inj_id_for term) ~trace:me ~etype:"Become_Leader" ~nth;
+    Sim.emit ~etype:"Become_Leader" ~text:("term" ^ string_of_int term)
+  in
+  let campaign me ~term ~voters ~tracked =
+    let t = "term" ^ string_of_int term in
+    List.iter (fun v -> Sim.send ~dst:v ~etype:"Request_Vote" ~tag:"rv" ~text:t ()) voters;
+    List.iter (fun v -> ignore (Sim.recv ~src:v ~tag:"vg" ~etype:"Vote_Grant_Recv" ())) voters;
+    declare me ~term ~tracked;
+    (* heartbeat closes the candidate's half of the term *)
+    List.iter (fun v -> Sim.send ~dst:v ~etype:"Heartbeat" ~tag:"hb" ~text:t ()) voters
+  in
+  let follow ~candidate =
+    ignore (Sim.recv ~src:candidate ~tag:"rv" ~etype:"Request_Vote_Recv" ());
+    Sim.send ~dst:candidate ~etype:"Vote_Grant" ~tag:"vg" ();
+    ignore (Sim.recv ~src:candidate ~tag:"hb" ~etype:"Heartbeat_Recv" ())
+  in
+  let body me =
+    let term = ref 0 in
+    while true do
+      incr term;
+      match plan_at !term with
+      | Normal c ->
+        if me = c then
+          campaign me ~term:!term ~tracked:false
+            ~voters:(List.filter (fun p -> p <> me) (List.init n Fun.id))
+        else follow ~candidate:c
+      | Split (c1, c2) ->
+        if me = c1 || me = c2 then begin
+          let voters =
+            List.filter_map
+              (fun (v, c) -> if c = me then Some v else None)
+              (partition_of c1 c2)
+          in
+          campaign me ~term:!term ~voters ~tracked:true
+        end
+        else follow ~candidate:(List.assoc me (partition_of c1 c2))
+    done
+  in
+  let sim_config = { (Sim.default_config ~n_procs:n ~seed) with Sim.max_events } in
+  {
+    Workload.name = "election";
+    sim_config;
+    bodies = Array.init n (fun _ -> body);
+    pattern = Patterns.split_brain;
+    inject = inj;
+    expected_parts = 2;
+  }

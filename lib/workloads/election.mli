@@ -1,0 +1,13 @@
+(** The leader-election case study: term-based elections over n peers.
+
+    A normal term is a full election — the term's candidate canvasses
+    every other node and declares leadership once all grants are in.
+    With probability [split_rate] per term the electorate partitions:
+    two candidates each canvass a disjoint half of the voters and both
+    emit [Become_Leader] for the same term, causally concurrent — the
+    split brain {!Patterns.split_brain} matches, recorded as ground
+    truth. The split plan is a pure function of (seed, term). *)
+
+val make : traces:int -> seed:int -> max_events:int -> ?split_rate:float -> unit -> Workload.t
+(** Needs at least 4 traces (two candidates + a splittable electorate);
+    [split_rate] defaults to 0.08 per term. *)

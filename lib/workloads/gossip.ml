@@ -1,0 +1,76 @@
+(* Gossip anti-entropy with an injected stale serve.
+
+   Each round one node writes a new version of the replicated value
+   (KV_Update) and the version propagates around the ring, every node
+   acknowledging what it now holds by serving a read (KV_Serve). The
+   injected bug: a designated replica that has already received the new
+   version serves the old one anyway (Stale_Serve) — causally after the
+   update, which is what makes it a detectable protocol violation
+   rather than benign replication lag. The stale plan is a pure
+   function of (seed, round). *)
+
+open Ocep_base
+module Sim = Ocep_sim.Sim
+
+let make ~traces ~seed ~max_events ?(stale_rate = 0.08) () =
+  let n = traces in
+  if n < 3 then invalid_arg "Gossip.make: need at least 3 traces";
+  let inj = Inject.create () in
+  (* [Some offset] — the ring position (1..n-1 past the writer) that
+     serves stale this round *)
+  let stale_at round =
+    if round <= 1 then None
+    else begin
+      let prng = Prng.create ((seed * 197) + (round * 1543)) in
+      if Prng.bernoulli prng stale_rate then Some (1 + Prng.int prng (n - 1)) else None
+    end
+  in
+  let inj_ids : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let inj_id_for round =
+    match Hashtbl.find_opt inj_ids round with
+    | Some id -> id
+    | None ->
+      let id = Inject.new_injection inj ~expected_parts:2 in
+      Hashtbl.replace inj_ids round id;
+      id
+  in
+  let body me =
+    let round = ref 0 in
+    while true do
+      incr round;
+      let writer = !round mod n in
+      let v = "v" ^ string_of_int !round in
+      let next = (me + 1) mod n in
+      let stale = stale_at !round in
+      if me = writer then begin
+        let nth = Inject.next_occurrence inj ~trace:me ~etype:"KV_Update" in
+        (match stale with
+        | Some _ -> Inject.add_part inj ~id:(inj_id_for !round) ~trace:me ~etype:"KV_Update" ~nth
+        | None -> ());
+        Sim.emit ~etype:"KV_Update" ~text:v;
+        Sim.send ~dst:next ~etype:"Gossip" ~tag:"gsp" ~text:v ();
+        (* the round closes when the version has gone full circle *)
+        ignore (Sim.recv ~src:((me + n - 1) mod n) ~tag:"gsp" ~etype:"Gossip_Recv" ())
+      end
+      else begin
+        ignore (Sim.recv ~src:((me + n - 1) mod n) ~tag:"gsp" ~etype:"Gossip_Recv" ());
+        let my_offset = (me - writer + n) mod n in
+        (match stale with
+        | Some offset when offset = my_offset ->
+          let nth = Inject.next_occurrence inj ~trace:me ~etype:"Stale_Serve" in
+          Inject.add_part inj ~id:(inj_id_for !round) ~trace:me ~etype:"Stale_Serve" ~nth;
+          Sim.emit ~etype:"Stale_Serve" ~text:v
+        | _ -> Sim.emit ~etype:"KV_Serve" ~text:v);
+        Sim.send ~dst:next ~etype:"Gossip" ~tag:"gsp" ~text:v ()
+      end
+    done
+  in
+  let sim_config = { (Sim.default_config ~n_procs:n ~seed) with Sim.max_events } in
+  {
+    Workload.name = "gossip";
+    sim_config;
+    bodies = Array.init n (fun _ -> body);
+    pattern = Patterns.gossip_staleness;
+    inject = inj;
+    expected_parts = 2;
+  }

@@ -1,0 +1,13 @@
+(** The gossip anti-entropy case study: each round one node writes a new
+    version ([KV_Update]) and the version travels the ring, every
+    replica acknowledging with a served read.
+
+    With probability [stale_rate] per round a designated replica serves
+    the {e old} version even though the new one already reached it
+    ([Stale_Serve], causally after the update through the gossip chain)
+    — the staleness violation {!Patterns.gossip_staleness} matches,
+    recorded as ground truth. The stale plan is a pure function of
+    (seed, round). *)
+
+val make : traces:int -> seed:int -> max_events:int -> ?stale_rate:float -> unit -> Workload.t
+(** Needs at least 3 traces; [stale_rate] defaults to 0.08 per round. *)

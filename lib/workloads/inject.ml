@@ -73,30 +73,45 @@ let pp_faults ppf f =
   Format.fprintf ppf "reorder:%d,dup:%g,drop:%g" f.f_reorder f.f_dup f.f_drop
 
 let parse_faults s =
-  let parse_field acc field =
-    Result.bind acc @@ fun acc ->
+  (* Strict by design: a malformed spec must fail loudly rather than be
+     clamped or silently skipped — a typo in a replay-experiment flag
+     that quietly became [no_faults] would invalidate the experiment. *)
+  let err fmt = Printf.ksprintf (fun m -> Error (Printf.sprintf "faults %S: %s" s m)) fmt in
+  let parse_field (seen, acc) field =
+    let field = String.trim field in
     match String.index_opt field ':' with
-    | None -> Error (Printf.sprintf "fault %S: expected key:value" field)
+    | None -> err "field %S: expected key:value" field
     | Some i ->
-      let key = String.sub field 0 i in
-      let v = String.sub field (i + 1) (String.length field - i - 1) in
-      let prob what =
-        match float_of_string_opt v with
-        | Some p when p >= 0. && p <= 1. -> Ok p
-        | _ -> Error (Printf.sprintf "%s probability %S: expected a float in [0, 1]" what v)
-      in
-      (match key with
-      | "reorder" -> (
-        match int_of_string_opt v with
-        | Some k when k >= 0 -> Ok { acc with f_reorder = k }
-        | _ -> Error (Printf.sprintf "reorder window %S: expected a non-negative int" v))
-      | "dup" -> Result.map (fun p -> { acc with f_dup = p }) (prob "dup")
-      | "drop" -> Result.map (fun p -> { acc with f_drop = p }) (prob "drop")
-      | k -> Error (Printf.sprintf "unknown fault %S (want reorder/dup/drop)" k))
+      let key = String.trim (String.sub field 0 i) in
+      let v = String.trim (String.sub field (i + 1) (String.length field - i - 1)) in
+      if List.mem key seen then err "duplicate key %S" key
+      else begin
+        let seen = key :: seen in
+        let prob what =
+          match float_of_string_opt v with
+          | Some p when p >= 0. && p <= 1. -> Ok p
+          | Some p -> err "%s probability %g: out of range [0, 1]" what p
+          | None -> err "%s probability %S: expected a float in [0, 1]" what v
+        in
+        match key with
+        | "reorder" -> (
+          match int_of_string_opt v with
+          | Some k when k >= 0 -> Ok (seen, { acc with f_reorder = k })
+          | Some k -> err "reorder window %d: must be non-negative" k
+          | None -> err "reorder window %S: expected a non-negative int" v)
+        | "dup" -> Result.map (fun p -> (seen, { acc with f_dup = p })) (prob "dup")
+        | "drop" -> Result.map (fun p -> (seen, { acc with f_drop = p })) (prob "drop")
+        | k -> err "unknown fault %S (want reorder/dup/drop)" k
+      end
   in
   match String.trim s with
   | "" | "none" -> Ok no_faults
-  | s -> List.fold_left parse_field (Ok no_faults) (String.split_on_char ',' s)
+  | trimmed ->
+    Result.map snd
+      (List.fold_left
+         (fun acc field -> Result.bind acc (fun acc -> parse_field acc field))
+         (Ok ([], no_faults))
+         (String.split_on_char ',' trimmed))
 
 let apply_faults f ~seed items =
   let rng = Prng.create seed in

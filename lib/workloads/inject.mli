@@ -64,7 +64,11 @@ val no_faults : faults
 
 val parse_faults : string -> (faults, string) result
 (** Parse ["reorder:8,dup:0.01,drop:0.001"] — any subset of the keys in
-    any order; [""] and ["none"] are {!no_faults}. *)
+    any order, whitespace around fields tolerated; [""] and ["none"] are
+    {!no_faults}. Strict otherwise: out-of-range probabilities
+    ([dup:1.5]), negative reorder windows, unknown or duplicate keys and
+    malformed fields are all [Error] with a message naming the offending
+    part of the spec — never clamped or skipped. *)
 
 val pp_faults : Format.formatter -> faults -> unit
 (** Prints in the {!parse_faults} syntax. *)

@@ -1,0 +1,100 @@
+(* Centralized lock server with an injected fairness violation.
+
+   Trace 0 is the server, traces 1..n-1 the clients. Clients request
+   the lock in token-ring order, so the Lock_Request events of the
+   whole run are causally totally ordered and the request ids encode
+   that order. A fair server grants strictly in request-id order; in a
+   barging round the server (per the shared plan) swaps one adjacent
+   pair of grants, producing requests i -> j whose grants come back
+   j -> i — the four-event fairness violation the pattern matches, and
+   the only causal inversion in the run. *)
+
+open Ocep_base
+module Sim = Ocep_sim.Sim
+
+let make ~traces ~seed ~max_events ?(barge_rate = 0.08) () =
+  let n = traces in
+  if n < 3 then invalid_arg "Lockserver.make: need at least 3 traces";
+  let clients = n - 1 in
+  let inj = Inject.create () in
+  (* [Some k] — swap the grants of ring positions k and k+1 (0-based)
+     this round *)
+  let barge_at round =
+    if round <= 1 || clients < 2 then None
+    else begin
+      let prng = Prng.create ((seed * 211) + (round * 2017)) in
+      if Prng.bernoulli prng barge_rate then Some (Prng.int prng (clients - 1)) else None
+    end
+  in
+  let req_id round pos = "r" ^ string_of_int ((round * clients) + pos) in
+  let inj_ids : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let inj_id_for round =
+    match Hashtbl.find_opt inj_ids round with
+    | Some id -> id
+    | None ->
+      let id = Inject.new_injection inj ~expected_parts:4 in
+      Hashtbl.replace inj_ids round id;
+      id
+  in
+  let server () =
+    let round = ref 0 in
+    while true do
+      incr round;
+      for _ = 1 to clients do
+        ignore (Sim.recv ~tag:"req" ~etype:"Lock_Request_Recv" ())
+      done;
+      let order = Array.init clients Fun.id in
+      (match barge_at !round with
+      | Some k ->
+        order.(k) <- k + 1;
+        order.(k + 1) <- k
+      | None -> ());
+      Array.iter
+        (fun pos ->
+          let id = req_id !round pos in
+          let nth = Inject.next_occurrence inj ~trace:0 ~etype:"Lock_Grant" in
+          (match barge_at !round with
+          | Some k when pos = k || pos = k + 1 ->
+            Inject.add_part inj ~id:(inj_id_for !round) ~trace:0 ~etype:"Lock_Grant" ~nth
+          | _ -> ());
+          Sim.send ~dst:(pos + 1) ~etype:"Lock_Grant" ~tag:"grant" ~text:id ();
+          ignore (Sim.recv ~src:(pos + 1) ~tag:"rel" ~etype:"Lock_Release_Recv" ()))
+        order
+    done
+  in
+  let client me =
+    let pos = me - 1 in
+    let nxt = 1 + ((pos + 1) mod clients) in
+    let prv = 1 + ((pos + clients - 1) mod clients) in
+    let round = ref 0 in
+    while true do
+      incr round;
+      (* token ring: requests leave in ring order, each causally after
+         the previous one *)
+      if not (!round = 1 && pos = 0) then
+        ignore (Sim.recv ~src:prv ~tag:"tok" ~etype:"Token_Recv" ());
+      let id = req_id !round pos in
+      let nth = Inject.next_occurrence inj ~trace:me ~etype:"Lock_Request" in
+      (match barge_at !round with
+      | Some k when pos = k || pos = k + 1 ->
+        Inject.add_part inj ~id:(inj_id_for !round) ~trace:me ~etype:"Lock_Request" ~nth
+      | _ -> ());
+      Sim.send ~dst:0 ~etype:"Lock_Request" ~tag:"req" ~text:id ();
+      (* pass the token before blocking on the grant, so a barged grant
+         order cannot wedge the ring *)
+      Sim.send ~dst:nxt ~etype:"Token" ~tag:"tok" ();
+      ignore (Sim.recv ~src:0 ~tag:"grant" ~etype:"Lock_Grant_Recv" ());
+      Sim.emit ~etype:"Lock_Held" ~text:id;
+      Sim.send ~dst:0 ~etype:"Lock_Release" ~tag:"rel" ()
+    done
+  in
+  let bodies = Array.init n (fun i -> if i = 0 then fun _ -> server () else client) in
+  let sim_config = { (Sim.default_config ~n_procs:n ~seed) with Sim.max_events } in
+  {
+    Workload.name = "lockserver";
+    sim_config;
+    bodies;
+    pattern = Patterns.lock_fairness;
+    inject = inj;
+    expected_parts = 4;
+  }

@@ -1,0 +1,15 @@
+(** The lock-server fairness case study: one server, (traces−1) clients
+    requesting a lock in token-ring order, so every [Lock_Request] of
+    the run is causally ordered after the previous one and request ids
+    encode the causal order.
+
+    A fair server grants strictly in request order. With probability
+    [barge_rate] per round it swaps one adjacent pair of grants:
+    requests i → j answered by grants j → i, the four-event causal
+    inversion {!Patterns.lock_fairness} matches — and the only
+    inversion in the run, so matches correspond 1:1 to injections. The
+    barge plan is a pure function of (seed, round). *)
+
+val make : traces:int -> seed:int -> max_events:int -> ?barge_rate:float -> unit -> Workload.t
+(** [traces] = 1 server + (traces−1) clients, at least 3 total;
+    [barge_rate] defaults to 0.08 per round. *)

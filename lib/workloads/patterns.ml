@@ -35,3 +35,33 @@ let ordering_bug =
 
 let traffic_light =
   "G1 := [$a, Turn_Green, _];\nG2 := [$b, Turn_Green, _];\npattern := G1 || G2;\n"
+
+(* Two-phase commit, coordinator crash between COMMIT sends: one
+   participant applies the transaction while another — never told the
+   outcome — aborts unilaterally. The two decisions for the same txn are
+   causally concurrent (neither could have known of the other). *)
+let two_phase_commit =
+  "Commit := [_, TX_Commit, $t];\nAbort := [_, TX_Abort, $t];\npattern := Commit || Abort;\n"
+
+(* Leader election, split brain: two nodes declare themselves leader of
+   the same term with neither declaration causally preceding the other —
+   possible only when the electorate was partitioned. *)
+let split_brain =
+  "L1 := [_, Become_Leader, $t];\nL2 := [_, Become_Leader, $t];\npattern := L1 || L2;\n"
+
+(* Gossip anti-entropy staleness: a replica serves an old version of a
+   key causally *after* the write of the newer version reached it — the
+   update happens-before the stale serve through the gossip chain, so the
+   replica demonstrably ignored state it already had. *)
+let gossip_staleness =
+  "Update := [_, KV_Update, $v];\nStale := [_, Stale_Serve, $v];\npattern := Update -> Stale;\n"
+
+(* Lock-server fairness: request $i causally precedes request $j, yet the
+   grant for $j causally precedes the grant for $i — the server barged a
+   later requester past an earlier one it had already heard about. *)
+let lock_fairness =
+  "R1 := [_, Lock_Request, $i];\n\
+   R2 := [_, Lock_Request, $j];\n\
+   G2 := [_, Lock_Grant, $j];\n\
+   G1 := [_, Lock_Grant, $i];\n\
+   pattern := (R1 -> R2) && (G2 -> G1);\n"

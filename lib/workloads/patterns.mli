@@ -19,3 +19,23 @@ val ordering_bug : string
 
 val traffic_light : string
 (** The introduction's example: two lights green concurrently. *)
+
+(** {1 Distributed-protocol bug corpus (PR 6)} *)
+
+val two_phase_commit : string
+(** One participant commits while another aborts the same transaction,
+    the two decisions causally concurrent — 2PC's coordinator-crash
+    blocking-window anomaly. *)
+
+val split_brain : string
+(** Two [Become_Leader] declarations for the same term, concurrent —
+    a partitioned electorate elected two leaders. *)
+
+val gossip_staleness : string
+(** A replica serves a stale version causally {e after} the newer write
+    reached it through the gossip chain. *)
+
+val lock_fairness : string
+(** Request $i causally precedes request $j but the grants come back in
+    the opposite causal order — the lock server barged a later requester
+    past an earlier one. *)

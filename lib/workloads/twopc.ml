@@ -1,0 +1,98 @@
+(* Two-phase commit with an injected coordinator crash.
+
+   Trace 0 is the coordinator, traces 1..n-1 the participants. Each
+   round is one transaction: PREPARE to all, collect votes, COMMIT to
+   all. In a crash round the coordinator dies (behaviorally) after
+   sending COMMIT to exactly one participant; the others time out and
+   abort unilaterally, so one participant applies the transaction while
+   another aborts it — the classic 2PC blocking-window anomaly. The
+   crash plan is a pure function of (seed, round), so every process
+   computes it without coordination (cf. Random_walk). *)
+
+open Ocep_base
+module Sim = Ocep_sim.Sim
+
+let make ~traces ~seed ~max_events ?(crash_rate = 0.08) () =
+  let n = traces in
+  if n < 3 then invalid_arg "Twopc.make: need at least 3 traces";
+  let parts = n - 1 in
+  let inj = Inject.create () in
+  (* [Some committer] when the coordinator crashes mid-COMMIT this round *)
+  let crash_at round =
+    if round = 0 then None
+    else begin
+      let prng = Prng.create ((seed * 131) + (round * 977)) in
+      if Prng.bernoulli prng crash_rate then Some (1 + Prng.int prng parts) else None
+    end
+  in
+  let inj_ids : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let inj_id_for round =
+    match Hashtbl.find_opt inj_ids round with
+    | Some id -> id
+    | None ->
+      let id = Inject.new_injection inj ~expected_parts:2 in
+      Hashtbl.replace inj_ids round id;
+      id
+  in
+  let coordinator () =
+    let round = ref 0 in
+    while true do
+      incr round;
+      let txn = "t" ^ string_of_int !round in
+      for p = 1 to parts do
+        Sim.send ~dst:p ~etype:"TX_Prepare" ~tag:"prep" ~text:txn ()
+      done;
+      for _ = 1 to parts do
+        ignore (Sim.recv ~tag:"vote" ~etype:"TX_Vote_Recv" ())
+      done;
+      (match crash_at !round with
+      | None ->
+        for p = 1 to parts do
+          Sim.send ~dst:p ~etype:"TX_Outcome" ~tag:"out" ~text:txn ()
+        done
+      | Some committer ->
+        (* crash: the decision reaches only one participant, then the
+           coordinator recovers into the next round *)
+        Sim.send ~dst:committer ~etype:"TX_Outcome" ~tag:"out" ~text:txn ())
+    done
+  in
+  let participant me =
+    let round = ref 0 in
+    while true do
+      incr round;
+      let txn = "t" ^ string_of_int !round in
+      ignore (Sim.recv ~src:0 ~tag:"prep" ~etype:"TX_Prepare_Recv" ());
+      Sim.send ~dst:0 ~etype:"TX_Vote" ~tag:"vote" ~text:"yes" ();
+      (match crash_at !round with
+      | None ->
+        ignore (Sim.recv ~src:0 ~tag:"out" ~etype:"TX_Outcome_Recv" ());
+        ignore (Inject.next_occurrence inj ~trace:me ~etype:"TX_Commit");
+        Sim.emit ~etype:"TX_Commit" ~text:txn
+      | Some committer when me = committer ->
+        ignore (Sim.recv ~src:0 ~tag:"out" ~etype:"TX_Outcome_Recv" ());
+        let id = inj_id_for !round in
+        let nth = Inject.next_occurrence inj ~trace:me ~etype:"TX_Commit" in
+        Inject.add_part inj ~id ~trace:me ~etype:"TX_Commit" ~nth;
+        Sim.emit ~etype:"TX_Commit" ~text:txn
+      | Some committer ->
+        (* timeout: no outcome ever arrives; presumed abort. Ground
+           truth tracks the commit and the first aborting participant. *)
+        let nth = Inject.next_occurrence inj ~trace:me ~etype:"TX_Abort" in
+        let first_aborter = if committer = 1 then 2 else 1 in
+        if me = first_aborter then begin
+          let id = inj_id_for !round in
+          Inject.add_part inj ~id ~trace:me ~etype:"TX_Abort" ~nth
+        end;
+        Sim.emit ~etype:"TX_Abort" ~text:txn)
+    done
+  in
+  let bodies = Array.init n (fun i -> if i = 0 then fun _ -> coordinator () else participant) in
+  let sim_config = { (Sim.default_config ~n_procs:n ~seed) with Sim.max_events } in
+  {
+    Workload.name = "twopc";
+    sim_config;
+    bodies;
+    pattern = Patterns.two_phase_commit;
+    inject = inj;
+    expected_parts = 2;
+  }

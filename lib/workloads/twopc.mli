@@ -1,0 +1,14 @@
+(** The two-phase-commit case study: one coordinator driving one
+    transaction per round over (traces−1) participants.
+
+    With probability [crash_rate] per round the coordinator crashes
+    between its COMMIT sends: exactly one participant learns the outcome
+    and commits, the others time out and abort unilaterally — one
+    [TX_Commit] and concurrent [TX_Abort]s for the same transaction id,
+    the injected ground truth {!Patterns.two_phase_commit} matches. The
+    crash plan is a pure function of (seed, round), computed by every
+    process without coordination. *)
+
+val make : traces:int -> seed:int -> max_events:int -> ?crash_rate:float -> unit -> Workload.t
+(** [traces] = 1 coordinator + (traces−1) participants, at least 3 total;
+    [crash_rate] defaults to 0.08 per round. *)

@@ -161,8 +161,46 @@ let subset_cardinality_bound () =
   check "bounded reports" true (List.length (Engine.reports engine) <= 4);
   check "many matches were found" true (Engine.matches_found engine > 50)
 
+let subset_dropped_surfaced () =
+  (* with report_cap = 1 the later coverage-advancing reports are not
+     retained; the loss must be visible as ocep_subset_reports_dropped_total *)
+  let names = [| "P0"; "P1" |] in
+  let poet = Poet.create ~trace_names:names () in
+  let net = net_of "A := [_, A, _]; B := [_, B, _]; pattern := A || B;" in
+  let config = { Engine.default_config with Engine.report_cap = 1 } in
+  let engine = Engine.create ~config ~net ~poet () in
+  let ingest trace etype =
+    ignore (Poet.ingest poet { Event.r_trace = trace; r_etype = etype; r_text = ""; r_kind = Event.Internal })
+  in
+  (* first match covers (A,P0) and (B,P1); the mirrored pair then yields
+     coverage-advancing matches for (A,P1) and (B,P0) that the cap refuses *)
+  ingest 0 "A";
+  ingest 1 "B";
+  ingest 1 "A";
+  ingest 0 "B";
+  check "cap enforced" true (List.length (Engine.reports engine) <= 1);
+  Engine.sync_metrics engine;
+  let s = Ocep_obs.Snapshot.prometheus (Engine.metrics engine) in
+  let metric = "ocep_subset_reports_dropped_total" in
+  let dropped =
+    String.split_on_char '\n' s
+    |> List.find_map (fun l ->
+           if String.length l > 0 && l.[0] <> '#' && String.starts_with ~prefix:metric l then
+             String.rindex_opt l ' '
+             |> Option.map (fun i ->
+                    int_of_string (String.sub l (i + 1) (String.length l - i - 1)))
+           else None)
+  in
+  match dropped with
+  | None -> Alcotest.fail (metric ^ " not exported")
+  | Some n -> check "drops counted" true (n > 0)
+
 let pruning_bounds_history () =
-  (* repeated internal events with no communication collapse to one entry *)
+  (* repeated identical internal events with no communication collapse to
+     the last [k] entries (k = pattern size: a match may bind that many
+     events of one run, so keeping fewer would lose matches — the
+     differential fuzzer caught the old keep-last-1 rule doing exactly
+     that) *)
   let names = [| "P0"; "P1" |] in
   let poet = Poet.create ~trace_names:names () in
   let net = net_of ab_pattern in
@@ -170,11 +208,12 @@ let pruning_bounds_history () =
   for _ = 1 to 100 do
     ignore (Poet.ingest poet { Event.r_trace = 0; r_etype = "A"; r_text = ""; r_kind = Event.Internal })
   done;
-  check_int "one entry" 1 (Engine.history_entries engine);
-  (* a communication event separates epochs *)
+  check_int "run-cap entries" 2 (Engine.history_entries engine);
+  (* a communication event separates epochs: the next run accumulates on
+     top instead of merging into the old one *)
   ignore (Poet.ingest poet { Event.r_trace = 0; r_etype = "c"; r_text = ""; r_kind = Event.Send { msg = 1 } });
   ignore (Poet.ingest poet { Event.r_trace = 0; r_etype = "A"; r_text = ""; r_kind = Event.Internal });
-  check_int "two entries" 2 (Engine.history_entries engine)
+  check_int "new epoch appends" 3 (Engine.history_entries engine)
 
 let pruning_preserves_detection () =
   (* the pruned history still detects the A->B match *)
@@ -305,6 +344,7 @@ let () =
           QCheck_alcotest.to_alcotest reports_sound_with_pruning;
           QCheck_alcotest.to_alcotest linearization_independent;
           Alcotest.test_case "cardinality bound" `Quick subset_cardinality_bound;
+          Alcotest.test_case "dropped reports surfaced" `Quick subset_dropped_surfaced;
         ] );
       ( "history",
         [

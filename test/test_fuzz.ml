@@ -1,0 +1,119 @@
+(* The differential fuzzer's own regression suite: generator sanity, a
+   bounded fresh campaign against all three oracles, replay of the
+   checked-in corpus — including the minimized cases of the two engine
+   bugs the fuzzer caught in PR 6 (matcher backjump conflict omission,
+   unsound history-pruning rule) — and proof that each deliberately
+   seeded engine mutation is detected. *)
+
+open Ocep_base
+module Fuzz = Ocep_harness.Fuzz
+module Compile = Ocep_pattern.Compile
+module Parser = Ocep_pattern.Parser
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let corpus_dir = "corpus"
+
+let generator_deterministic () =
+  for seed = 1 to 20 do
+    check "equal seeds, equal cases" true (Fuzz.generate ~seed = Fuzz.generate ~seed)
+  done;
+  check "different seeds differ somewhere" true
+    (List.exists
+       (fun seed -> Fuzz.generate ~seed <> Fuzz.generate ~seed:(seed + 1000))
+       [ 1; 2; 3; 4; 5 ])
+
+let generator_valid () =
+  for seed = 1 to 30 do
+    let c = Fuzz.generate ~seed in
+    check "pattern compiles" true
+      (match Compile.compile (Parser.parse c.Fuzz.c_pattern) with
+      | _ -> true
+      | exception _ -> false);
+    check "2-4 traces" true
+      (Array.length c.Fuzz.c_traces >= 2 && Array.length c.Fuzz.c_traces <= 4);
+    (* the event list is a valid linearization: every receive's message
+       was sent earlier, exactly once *)
+    let sent = Hashtbl.create 16 in
+    List.iter
+      (fun (r : Event.raw) ->
+        match r.Event.r_kind with
+        | Event.Send { msg } ->
+          check "message ids unique" false (Hashtbl.mem sent msg);
+          Hashtbl.replace sent msg ()
+        | Event.Receive { msg } -> check "receive after send" true (Hashtbl.mem sent msg)
+        | Event.Internal -> ())
+      c.Fuzz.c_events
+  done
+
+let corpus_roundtrip () =
+  let case = Fuzz.generate ~seed:7 in
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "ocep-fuzz-roundtrip" in
+  let path = Fuzz.save ~dir ~expect_mutant:"no-pins" case in
+  let case', expect = Fuzz.load path in
+  check "case round-trips" true (case = case');
+  check "expect-mutant header round-trips" true (expect = Some "no-pins")
+
+let fresh_campaign_clean () =
+  let s = Fuzz.run ~seeds:60 ~start_seed:1 () in
+  check_int "60 seeds ran" 60 s.Fuzz.s_ran;
+  check "brute-force oracle exercised" true (s.Fuzz.s_oracle_checked > 0);
+  (match s.Fuzz.s_failures with
+  | [] -> ()
+  | (seed, d) :: _ ->
+    Alcotest.failf "seed %d diverged: %s: %s" seed d.Fuzz.d_oracle d.Fuzz.d_detail);
+  check_int "no divergences" 0 (List.length s.Fuzz.s_failures)
+
+let corpus_replays_clean () =
+  let cases = Fuzz.load_dir corpus_dir in
+  check "corpus checked in" true (List.length cases >= 6);
+  List.iter
+    (fun (name, case, _expect) ->
+      match (Fuzz.check case).Fuzz.r_divergence with
+      | None -> ()
+      | Some d -> Alcotest.failf "%s regressed: %s: %s" name d.Fuzz.d_oracle d.Fuzz.d_detail)
+    cases
+
+let corpus_catches_mutants () =
+  let expected = ref 0 in
+  List.iter
+    (fun (name, case, expect) ->
+      match expect with
+      | None -> ()
+      | Some m -> (
+        incr expected;
+        match Fuzz.mutation_of_name m with
+        | None -> Alcotest.failf "%s: unknown mutation %s" name m
+        | Some mutation ->
+          check (name ^ " diverges under " ^ m) true
+            ((Fuzz.check ~mutation case).Fuzz.r_divergence <> None)))
+    (Fuzz.load_dir corpus_dir);
+  (* one proof case per mutation is checked in *)
+  check_int "all mutations proven" (List.length Fuzz.mutations) !expected
+
+let fresh_seeds_catch_mutant () =
+  (* a fuzzer that never fails proves nothing: even a handful of fresh
+     seeds must fell the crudest mutant *)
+  let s = Fuzz.run ~mutation:Fuzz.Tiny_node_budget ~seeds:5 ~start_seed:1 () in
+  check "tiny-budget mutant caught" true (s.Fuzz.s_failures <> [])
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "generator",
+        [
+          Alcotest.test_case "deterministic" `Quick generator_deterministic;
+          Alcotest.test_case "valid cases" `Quick generator_valid;
+          Alcotest.test_case "corpus file round-trip" `Quick corpus_roundtrip;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "fresh campaign clean" `Slow fresh_campaign_clean;
+          Alcotest.test_case "corpus replays clean" `Quick corpus_replays_clean;
+        ] );
+      ( "mutations",
+        [
+          Alcotest.test_case "corpus catches mutants" `Quick corpus_catches_mutants;
+          Alcotest.test_case "fresh seeds catch mutant" `Quick fresh_seeds_catch_mutant;
+        ] );
+    ]

@@ -284,6 +284,39 @@ let admission_suppresses_duplicates () =
   check "exact order restored" true (out = events);
   checki "duplicates counted" (List.length noisy - 200) st.Admission.duplicates
 
+let window_boundary_rejected () =
+  let mk window =
+    ignore
+      (Admission.create
+         ~config:{ Admission.reorder_window = window; gap_policy = Admission.Wait }
+         ~n_traces:1 ~emit:ignore ())
+  in
+  check "zero window rejected" true
+    (match mk 0 with _ -> false | exception Invalid_argument _ -> true);
+  check "negative window rejected" true
+    (match mk (-4) with _ -> false | exception Invalid_argument _ -> true);
+  check "negative Skip patience rejected" true
+    (match
+       Admission.create
+         ~config:{ Admission.reorder_window = 1; gap_policy = Admission.Skip (-1) }
+         ~n_traces:1 ~emit:ignore ()
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let window_one_admits_in_order () =
+  (* the smallest legal window passes an already-ordered stream through
+     untouched (nothing ever has to be held back) *)
+  let events = mk_events 50 in
+  let out, st =
+    collect_admission
+      ~config:{ Admission.reorder_window = 1; gap_policy = Admission.Wait }
+      ~n_traces:2 events
+  in
+  check "all through in order" true (out = events);
+  checki "all admitted" 50 st.Admission.admitted;
+  checki "no gaps" 0 st.Admission.gaps
+
 (* trace 0 sends, trace 1 receives; dropping the send must not crash the
    engine: the orphaned receive is dropped and counted *)
 let orphan_frames =
@@ -550,6 +583,8 @@ let () =
           Alcotest.test_case "fail raises on loss" `Quick fail_raises_on_loss;
           Alcotest.test_case "wait raises on overflow" `Quick wait_raises_on_window_overflow;
           Alcotest.test_case "late is not duplicate" `Quick late_arrival_not_a_duplicate;
+          Alcotest.test_case "window boundary rejected" `Quick window_boundary_rejected;
+          Alcotest.test_case "window one admits in order" `Quick window_one_admits_in_order;
         ] );
       ( "bqueue",
         [

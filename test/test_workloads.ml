@@ -79,6 +79,93 @@ let ordering_small () =
       check "causal chain" true (Event.hb synch snap && Event.hb snap upd && Event.hb upd fwd))
     o.Runner.reports
 
+(* ------------------------------------------------------------------ *)
+(* Protocol bug corpus (PR 6)                                          *)
+(* ------------------------------------------------------------------ *)
+
+let twopc_small () =
+  let w = Ocep_workloads.Twopc.make ~traces:6 ~seed:3 ~max_events:15_000 () in
+  let o = run w in
+  assert_complete "twopc" o;
+  List.iter
+    (fun (r : Ocep.Subset.report) ->
+      check_int "two events" 2 (Array.length r.events);
+      let commit = r.events.(0) and abort = r.events.(1) in
+      check "commit leaf" true (commit.Event.etype = "TX_Commit");
+      check "abort leaf" true (abort.Event.etype = "TX_Abort");
+      check "same transaction" true (commit.Event.text = abort.Event.text);
+      check "concurrent decisions" true (Event.concurrent commit abort))
+    o.Runner.reports
+
+let election_small () =
+  let w = Ocep_workloads.Election.make ~traces:6 ~seed:3 ~max_events:15_000 () in
+  let o = run w in
+  assert_complete "election" o;
+  List.iter
+    (fun (r : Ocep.Subset.report) ->
+      check_int "two events" 2 (Array.length r.events);
+      check "both leaders" true
+        (Array.for_all (fun (e : Event.t) -> e.Event.etype = "Become_Leader") r.events);
+      check "same term" true (r.events.(0).Event.text = r.events.(1).Event.text);
+      check "distinct nodes" true (r.events.(0).Event.trace <> r.events.(1).Event.trace);
+      check "concurrent declarations" true (Event.concurrent r.events.(0) r.events.(1)))
+    o.Runner.reports
+
+let gossip_small () =
+  let w = Ocep_workloads.Gossip.make ~traces:6 ~seed:3 ~max_events:15_000 () in
+  let o = run w in
+  assert_complete "gossip" o;
+  List.iter
+    (fun (r : Ocep.Subset.report) ->
+      check_int "two events" 2 (Array.length r.events);
+      let update = r.events.(0) and stale = r.events.(1) in
+      check "update leaf" true (update.Event.etype = "KV_Update");
+      check "stale leaf" true (stale.Event.etype = "Stale_Serve");
+      check "same version" true (update.Event.text = stale.Event.text);
+      check "update reached the replica first" true (Event.hb update stale))
+    o.Runner.reports
+
+let lockserver_small () =
+  let w = Ocep_workloads.Lockserver.make ~traces:6 ~seed:3 ~max_events:15_000 () in
+  let o = run w in
+  assert_complete "lockserver" o;
+  List.iter
+    (fun (r : Ocep.Subset.report) ->
+      check_int "four events" 4 (Array.length r.events);
+      (* leaves in declaration order: R1, R2, G2, G1 *)
+      let r1 = r.events.(0) and r2 = r.events.(1) and g2 = r.events.(2) and g1 = r.events.(3) in
+      check "request leaves" true
+        (r1.Event.etype = "Lock_Request" && r2.Event.etype = "Lock_Request");
+      check "grant leaves" true (g1.Event.etype = "Lock_Grant" && g2.Event.etype = "Lock_Grant");
+      check "grants echo request ids" true
+        (r1.Event.text = g1.Event.text && r2.Event.text = g2.Event.text);
+      check "grants from the server" true (g1.Event.trace = 0 && g2.Event.trace = 0);
+      check "requests in causal order" true (Event.hb r1 r2);
+      check "grants causally inverted" true (Event.hb g2 g1))
+    o.Runner.reports
+
+let protocol_no_bug_no_matches () =
+  List.iter
+    (fun (name, (w : Workload.t)) ->
+      let names = Sim.trace_names w.Workload.sim_config in
+      let poet = Ocep_poet.Poet.create ~trace_names:names () in
+      let net = Ocep_pattern.Compile.compile (Ocep_pattern.Parser.parse w.Workload.pattern) in
+      let engine = Ocep.Engine.create ~net ~poet () in
+      let _ =
+        Sim.run w.Workload.sim_config
+          ~sink:(fun raw -> ignore (Ocep_poet.Poet.ingest poet raw))
+          ~bodies:w.Workload.bodies
+      in
+      check_int (name ^ ": no matches at all") 0 (Ocep.Engine.matches_found engine))
+    [
+      ("twopc", Ocep_workloads.Twopc.make ~traces:5 ~seed:5 ~max_events:8_000 ~crash_rate:0. ());
+      ( "election",
+        Ocep_workloads.Election.make ~traces:5 ~seed:5 ~max_events:8_000 ~split_rate:0. () );
+      ("gossip", Ocep_workloads.Gossip.make ~traces:5 ~seed:5 ~max_events:8_000 ~stale_rate:0. ());
+      ( "lockserver",
+        Ocep_workloads.Lockserver.make ~traces:5 ~seed:5 ~max_events:8_000 ~barge_rate:0. () );
+    ]
+
 let atomicity_no_bug_no_matches () =
   (* with a zero skip rate the protected section never produces a match *)
   let w = Ocep_workloads.Atomicity.make ~traces:5 ~seed:5 ~max_events:10_000 ~skip_rate:0. () in
@@ -198,6 +285,48 @@ let inject_resolution () =
     check_int "id" id i.Inject.inj_id
   | _ -> Alcotest.fail "expected one complete injection")
 
+(* ------------------------------------------------------------------ *)
+(* parse_faults strictness                                             *)
+(* ------------------------------------------------------------------ *)
+
+let parse_faults_valid () =
+  let ok s f =
+    match Inject.parse_faults s with
+    | Ok got -> check (Printf.sprintf "parse %S" s) true (got = f)
+    | Error e -> Alcotest.failf "parse %S: unexpected error %s" s e
+  in
+  ok "" Inject.no_faults;
+  ok "none" Inject.no_faults;
+  ok "reorder:8" { Inject.no_faults with Inject.f_reorder = 8 };
+  ok "dup:0.5,drop:1" { Inject.no_faults with Inject.f_dup = 0.5; f_drop = 1. };
+  ok "reorder:8, dup:0.5" { Inject.no_faults with Inject.f_reorder = 8; f_dup = 0.5 };
+  ok "  drop:0  " Inject.no_faults;
+  ok "reorder:0,dup:0,drop:0" Inject.no_faults
+
+let parse_faults_malformed () =
+  let rejected s needle =
+    match Inject.parse_faults s with
+    | Ok _ -> Alcotest.failf "parse %S: expected an error" s
+    | Error e ->
+      let has_needle =
+        let nl = String.length needle and el = String.length e in
+        let rec go i = i + nl <= el && (String.sub e i nl = needle || go (i + 1)) in
+        go 0
+      in
+      if not has_needle then Alcotest.failf "parse %S: error %S lacks %S" s e needle
+  in
+  rejected "dup:1.5" "out of range";
+  rejected "drop:-0.1" "out of range";
+  rejected "dup:x" "expected a float";
+  rejected "reorder:-4" "non-negative";
+  rejected "reorder:4.5" "non-negative int";
+  rejected "jitter:3" "unknown fault";
+  rejected "reorder" "expected key:value";
+  rejected "dup:0.1,dup:0.2" "duplicate key";
+  rejected "reorder:2,," "expected key:value";
+  (* the spec itself is named in the message for flag-error context *)
+  rejected "dup:1.5" "\"dup:1.5\""
+
 let () =
   Alcotest.run "workloads"
     [
@@ -208,6 +337,14 @@ let () =
           Alcotest.test_case "atomicity" `Slow atomicity_small;
           Alcotest.test_case "ordering" `Slow ordering_small;
         ] );
+      ( "protocol corpus",
+        [
+          Alcotest.test_case "two-phase commit" `Slow twopc_small;
+          Alcotest.test_case "leader election" `Slow election_small;
+          Alcotest.test_case "gossip" `Slow gossip_small;
+          Alcotest.test_case "lock server" `Slow lockserver_small;
+          Alcotest.test_case "no bug, no matches" `Slow protocol_no_bug_no_matches;
+        ] );
       ( "negative controls",
         [
           Alcotest.test_case "atomicity without bug" `Slow atomicity_no_bug_no_matches;
@@ -217,6 +354,8 @@ let () =
         [
           Alcotest.test_case "occurrence counters" `Quick inject_counters;
           Alcotest.test_case "resolution" `Quick inject_resolution;
+          Alcotest.test_case "parse_faults valid" `Quick parse_faults_valid;
+          Alcotest.test_case "parse_faults malformed" `Quick parse_faults_malformed;
         ] );
       ( "ground truth",
         [
