@@ -24,6 +24,10 @@ module Framing = Ocep_ingest.Framing
 module Admission = Ocep_ingest.Admission
 module Bqueue = Ocep_ingest.Bqueue
 module Source = Ocep_ingest.Source
+module Explain = Ocep_harness.Explain
+module Serve = Ocep_obs.Serve
+module Snapshot = Ocep_obs.Snapshot
+module Minijson = Ocep_obs.Minijson
 
 open Cmdliner
 
@@ -33,6 +37,83 @@ let read_file path =
   let s = really_input_string ic n in
   close_in ic;
   s
+
+(* ------------------------------------------------------------------ *)
+(* telemetry (--listen)                                                *)
+(* ------------------------------------------------------------------ *)
+
+let host_port_conv what =
+  let parse s =
+    match String.rindex_opt s ':' with
+    | Some i -> (
+      let host = String.sub s 0 i and p = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt p with
+      | Some port when port >= 0 && port < 65536 && host <> "" -> Ok (host, port)
+      | _ -> Error (`Msg (Printf.sprintf "bad %s %S: want HOST:PORT" what s)))
+    | None -> Error (`Msg (Printf.sprintf "bad %s %S: want HOST:PORT" what s))
+  in
+  Arg.conv (parse, fun ppf (h, p) -> Format.fprintf ppf "%s:%d" h p)
+
+let listen_arg =
+  Arg.(
+    value
+    & opt (some (host_port_conv "listen address")) None
+    & info [ "listen" ] ~docv:"HOST:PORT"
+        ~doc:
+          "Serve live telemetry over HTTP while the command runs: $(b,/metrics) (Prometheus \
+           text exposition), $(b,/snapshot.json), $(b,/healthz) and $(b,/readyz). PORT 0 binds \
+           a free port; the bound address is printed before the run starts.")
+
+let linger_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "linger" ] ~docv:"SEC"
+        ~doc:
+          "With $(b,--listen): keep serving the final telemetry for SEC more seconds after the \
+           run completes, then flip $(b,/healthz) to 503 and shut down.")
+
+(* The lifecycle shared by run and replay: the listener comes up before
+   the engine exists (healthz 503 "starting"), flips healthy + ready
+   once the engine is built, republishes from the ingest loop so
+   scrapes under live load see fresh values, and serves the final state
+   through the linger window. *)
+let telemetry_start listen =
+  Option.map
+    (fun (host, port) ->
+      let srv = Serve.start ~host ~port () in
+      Serve.set_health srv (Serve.Not_serving "starting: engine not built");
+      Printf.printf "telemetry: http://%s:%d/ (metrics, snapshot.json, healthz, readyz)\n%!"
+        host (Serve.port srv);
+      srv)
+    listen
+
+let telemetry_publish srv engine =
+  match srv with
+  | None -> ()
+  | Some srv ->
+    Engine.sync_metrics engine;
+    let m = Engine.metrics engine in
+    Serve.publish srv ~metrics:(Snapshot.prometheus m) ~snapshot:(Snapshot.json m)
+
+let telemetry_live srv engine =
+  match srv with
+  | None -> ()
+  | Some s ->
+    telemetry_publish srv engine;
+    Serve.set_health s Serve.Serving;
+    Serve.set_ready s true
+
+let telemetry_finish srv engine ~linger =
+  match srv with
+  | None -> ()
+  | Some s ->
+    telemetry_publish srv engine;
+    if linger > 0. then begin
+      Printf.printf "telemetry: lingering %.1fs\n%!" linger;
+      Unix.sleepf linger
+    end;
+    Serve.set_health s (Serve.Not_serving "run complete, shutting down");
+    Serve.stop s
 
 (* ------------------------------------------------------------------ *)
 (* gen                                                                 *)
@@ -233,7 +314,7 @@ let run_cmd =
              always last).")
   in
   let run pattern_files trace_file no_pruning parallelism max_reports diagram metrics_out
-      trace_out metrics_every =
+      trace_out metrics_every listen linger =
     if parallelism < 0 then (
       Printf.eprintf "ocep: --parallelism must be >= 0 (0 = one worker per core), got %d\n"
         parallelism;
@@ -243,6 +324,7 @@ let run_cmd =
       Printf.eprintf "ocep: --metrics-every must be positive, got %d\n" n;
       exit 2
     | _ -> ());
+    let srv = telemetry_start listen in
     let nets =
       List.map (fun f -> (f, Compile.compile (Parser.parse (read_file f)))) pattern_files
     in
@@ -264,6 +346,7 @@ let run_cmd =
     let engine = Engine.create ~config ~poet () in
     let handles = List.map (fun (f, net) -> (f, net, Engine.add_pattern engine net)) nets in
     Fun.protect ~finally:(fun () -> Engine.shutdown engine) @@ fun () ->
+    telemetry_live srv engine;
     let snapshots = ref [] in
     let snap () =
       Engine.sync_metrics engine;
@@ -274,6 +357,7 @@ let run_cmd =
       (fun raw ->
         ignore (Poet.ingest poet raw);
         incr ingested;
+        if srv <> None && !ingested mod 4096 = 0 then telemetry_publish srv engine;
         match metrics_every with
         | Some n when metrics_out <> None && !ingested mod n = 0 -> snap ()
         | _ -> ())
@@ -318,11 +402,12 @@ let run_cmd =
       let s = Summary.of_samples latencies in
       Format.printf "latency (us): %a@." Summary.pp s
     end;
-    let print_reports net reports =
+    let print_reports ~pattern_id net reports =
       List.iteri
         (fun i (r : Ocep.Subset.report) ->
           if i < max_reports then begin
-            Format.printf "match %d:@." (i + 1);
+            Format.printf "match %d (digest %s):@." (i + 1)
+              (Runner.report_digest ~pattern_id r);
             Array.iteri
               (fun leaf e ->
                 Format.printf "  %s = %a@."
@@ -333,7 +418,8 @@ let run_cmd =
         reports
     in
     (match handles with
-    | [ (_, net, _) ] -> print_reports net (Engine.reports engine)
+    | [ (_, net, h) ] ->
+      print_reports ~pattern_id:(Engine.Handle.id h) net (Engine.Handle.reports h)
     | _ ->
       List.iter
         (fun (file, net, h) ->
@@ -341,7 +427,7 @@ let run_cmd =
           Printf.printf "pattern %d (%s): matches %d   reports %d   coverage %d/%d\n"
             (Engine.Handle.id h) file m.Engine.Handle.matches m.Engine.Handle.reports_retained
             m.Engine.Handle.covered_slots m.Engine.Handle.seen_slots;
-          print_reports net (Engine.Handle.reports h))
+          print_reports ~pattern_id:(Engine.Handle.id h) net (Engine.Handle.reports h))
         handles);
     if diagram then begin
       let highlight =
@@ -353,13 +439,14 @@ let run_cmd =
         (Ocep_poet.Diagram.render ~max_events:70 ~highlight ~trace_names:names
            (Poet.all_events poet))
     end;
+    telemetry_finish srv engine ~linger;
     0
   in
   let info = Cmd.info "run" ~doc:"Reload a trace dump and match a pattern against it online." in
   Cmd.v info
     Term.(
       const run $ pattern_files $ trace_file $ no_pruning $ parallelism $ max_reports $ diagram
-      $ metrics_out $ trace_out $ metrics_every)
+      $ metrics_out $ trace_out $ metrics_every $ listen_arg $ linger_arg)
 
 (* ------------------------------------------------------------------ *)
 (* replay                                                              *)
@@ -468,10 +555,11 @@ let replay_cmd =
              .prom.")
   in
   let run pattern_files wire_file faults fault_seed gap_policy reorder_window queue_capacity
-      queue_policy pipeline parallelism max_reports metrics_out =
+      queue_policy pipeline parallelism max_reports metrics_out listen linger =
     if parallelism < 0 then (
       Printf.eprintf "ocep: --parallelism must be >= 0, got %d\n" parallelism;
       exit 2);
+    let srv = telemetry_start listen in
     let nets =
       List.map (fun f -> (f, Compile.compile (Parser.parse (read_file f)))) pattern_files
     in
@@ -526,6 +614,7 @@ let replay_cmd =
     let engine = Engine.create ~config ~poet () in
     let handles = List.map (fun (f, net) -> (f, net, Engine.add_pattern engine net)) nets in
     Fun.protect ~finally:(fun () -> Engine.shutdown engine) @@ fun () ->
+    telemetry_live srv engine;
     let source_config =
       {
         Source.admission =
@@ -536,7 +625,10 @@ let replay_cmd =
       }
     in
     let st =
-      try Source.replay ~config:source_config ~engine reader
+      try
+        Source.replay ~config:source_config
+          ~tick:(fun () -> telemetry_publish srv engine)
+          ~engine reader
       with Admission.Gap e ->
         Printf.eprintf "ocep replay: unrecoverable gap: %s\n" e;
         exit 1
@@ -573,7 +665,8 @@ let replay_cmd =
         List.iteri
           (fun i (r : Ocep.Subset.report) ->
             if i < max_reports then begin
-              Format.printf "match %d:@." (i + 1);
+              Format.printf "match %d (digest %s):@." (i + 1)
+                (Runner.report_digest ~pattern_id:(Engine.Handle.id h) r);
               Array.iteri
                 (fun leaf e ->
                   Format.printf "  %s = %a@."
@@ -593,6 +686,7 @@ let replay_cmd =
       else Printf.fprintf oc "%s\n" (Ocep_obs.Snapshot.json (Engine.metrics engine));
       close_out oc;
       Printf.printf "metrics written to %s\n" path);
+    telemetry_finish srv engine ~linger;
     0
   in
   let info =
@@ -605,7 +699,235 @@ let replay_cmd =
   Cmd.v info
     Term.(
       const run $ pattern_files $ wire_file $ faults $ fault_seed $ gap_policy $ reorder_window
-      $ queue_capacity $ queue_policy $ pipeline $ parallelism $ max_reports $ metrics_out)
+      $ queue_capacity $ queue_policy $ pipeline $ parallelism $ max_reports $ metrics_out
+      $ listen_arg $ linger_arg)
+
+(* ------------------------------------------------------------------ *)
+(* explain                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let explain_cmd =
+  let digest =
+    Arg.(
+      value & pos 0 string ""
+      & info [] ~docv:"DIGEST"
+          ~doc:
+            "Report digest (prefix allowed) as printed by $(b,ocep run)/$(b,ocep replay) next \
+             to each match.")
+  in
+  let list_all =
+    Arg.(
+      value & flag
+      & info [ "list" ] ~doc:"Instead of explaining one report, list every retained report's \
+                              digest.")
+  in
+  let case =
+    Arg.(
+      value
+      & opt (some (enum (List.map (fun n -> (n, n)) Cases.all_names))) None
+      & info [ "case"; "c" ] ~docv:"CASE"
+          ~doc:
+            "Re-run a built-in workload (deadlock, races, atomicity, ordering, twopc, \
+             election, gossip or lockserver) and explain one of its reports. Deterministic: \
+             the same case, traces, events and seed reproduce the same digests.")
+  in
+  let traces =
+    Arg.(value & opt int 10 & info [ "traces"; "t" ] ~docv:"N" ~doc:"Traces (with --case).")
+  in
+  let events =
+    Arg.(value & opt int 50_000 & info [ "events"; "n" ] ~docv:"N" ~doc:"Events (with --case).")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed"; "s" ] ~docv:"SEED" ~doc:"Seed (with --case).")
+  in
+  let wire_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "input"; "i" ] ~docv:"FILE"
+          ~doc:
+            "Replay a recorded wire-format log (see $(b,ocep record)) through admission and \
+             explain one of its reports; requires $(b,--pattern).")
+  in
+  let pattern_files =
+    Arg.(
+      value
+      & opt_all file []
+      & info [ "pattern"; "p" ] ~docv:"FILE" ~doc:"Pattern source file(s), with $(b,--input).")
+  in
+  let run digest list_all case traces events seed wire_file pattern_files =
+    if digest = "" && not list_all then begin
+      Printf.eprintf "ocep explain: give a DIGEST (or --list)\n";
+      exit 2
+    end;
+    let finish engine =
+      if list_all then begin
+        List.iter
+          (fun h ->
+            let pattern_id = Engine.Handle.id h in
+            List.iter
+              (fun r ->
+                Printf.printf "pattern %d  %s  seq %d\n" pattern_id
+                  (Runner.report_digest ~pattern_id r)
+                  r.Ocep.Subset.seq)
+              (Engine.Handle.reports h))
+          (Engine.handles engine);
+        0
+      end
+      else begin
+        print_string (Explain.explain engine ~digest);
+        match Explain.find engine ~digest with Some _ -> 0 | None -> 1
+      end
+    in
+    match (case, wire_file) with
+    | Some c, None ->
+      let w = Cases.make c ~traces ~seed ~max_events:events in
+      let names = Sim.trace_names w.Workload.sim_config in
+      let poet = Poet.create ~trace_names:names () in
+      let net = Compile.compile (Parser.parse w.Workload.pattern) in
+      let engine = Engine.create ~net ~poet () in
+      Fun.protect ~finally:(fun () -> Engine.shutdown engine) @@ fun () ->
+      ignore
+        (Sim.run w.Workload.sim_config
+           ~sink:(fun raw -> ignore (Poet.ingest poet raw))
+           ~bodies:w.Workload.bodies);
+      finish engine
+    | None, Some f ->
+      if pattern_files = [] then begin
+        Printf.eprintf "ocep explain: --input needs at least one --pattern\n";
+        exit 2
+      end;
+      let nets = List.map (fun p -> Compile.compile (Parser.parse (read_file p))) pattern_files in
+      let ic = open_in_bin f in
+      Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+      let reader =
+        try Framing.create_reader ic
+        with Framing.Bad_header e ->
+          Printf.eprintf "ocep explain: %s: %s\n" f e;
+          exit 1
+      in
+      let poet = Poet.create ~trace_names:(Framing.reader_trace_names reader) () in
+      let engine = Engine.create ~poet () in
+      List.iter (fun net -> ignore (Engine.add_pattern engine net)) nets;
+      Fun.protect ~finally:(fun () -> Engine.shutdown engine) @@ fun () ->
+      (try ignore (Source.replay ~engine reader)
+       with Admission.Gap e ->
+         Printf.eprintf "ocep explain: unrecoverable gap: %s\n" e;
+         exit 1);
+      finish engine
+    | _ ->
+      Printf.eprintf "ocep explain: give exactly one of --case or --input\n";
+      2
+  in
+  let info =
+    Cmd.info "explain"
+      ~doc:
+        "Re-run a workload (or replay a recorded log) and render the full ingest -> match \
+         causal chain of the report named by DIGEST: each bound event with its wire record, \
+         admission verdict and decode/admit/dispatch timeline, the causal constraints the \
+         matcher verified, and the admission drop-ring context. If no retained report matches, \
+         prints each pattern's nearest miss — which leaf failed binding last."
+  in
+  Cmd.v info
+    Term.(
+      const run $ digest $ list_all $ case $ traces $ events $ seed $ wire_file $ pattern_files)
+
+(* ------------------------------------------------------------------ *)
+(* top                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let top_cmd =
+  let addr =
+    Arg.(
+      required
+      & pos 0 (some (host_port_conv "address")) None
+      & info [] ~docv:"HOST:PORT" ~doc:"Telemetry listener of a running $(b,--listen) command.")
+  in
+  let interval =
+    Arg.(value & opt float 1.0 & info [ "interval" ] ~docv:"SEC" ~doc:"Poll interval.")
+  in
+  let iterations =
+    Arg.(
+      value & opt int 0
+      & info [ "iterations" ] ~docv:"N" ~doc:"Stop after N polls (0 = until interrupted).")
+  in
+  (* the metrics worth a live terminal line, in display order *)
+  let interesting name =
+    List.exists
+      (fun p -> String.length name >= String.length p && String.sub name 0 (String.length p) = p)
+      [
+        "ocep_events_total";
+        "ocep_terminating_total";
+        "ocep_matches_total";
+        "ocep_reports_total";
+        "ocep_watermark";
+        "ocep_ingest_lag_records";
+        "ocep_reorder_depth";
+        "ocep_ingest_frames_total";
+        "ocep_ingest_admitted_total";
+        "ocep_trace_staleness_us";
+        "ocep_spans_total";
+        "ocep_spans_dropped_total";
+      ]
+  in
+  let run (host, port) interval iterations =
+    if interval <= 0. then begin
+      Printf.eprintf "ocep top: --interval must be positive\n";
+      exit 2
+    end;
+    let n = ref 0 in
+    let continue = ref true in
+    let code = ref 0 in
+    let get path =
+      try Serve.http_get ~host ~port ~path () with
+      | Unix.Unix_error (e, _, _) -> (0, Unix.error_message e)
+      | Failure e | Invalid_argument e -> (0, e)
+    in
+    while !continue do
+      incr n;
+      let health_status, health_body = get "/healthz" in
+      let status, body = get "/snapshot.json" in
+      print_string "\027[2J\027[H";
+      Printf.printf "ocep top — http://%s:%d  poll %d  health %d %s\n" host port !n
+        health_status
+        (String.trim health_body);
+      (if status <> 200 then begin
+         Printf.printf "snapshot: HTTP %d\n" status;
+         code := 1
+       end
+       else
+         match Minijson.parse body with
+         | Error e ->
+           Printf.printf "snapshot: unparseable: %s\n" e;
+           code := 1
+         | Ok (Minijson.Obj fields) ->
+           code := 0;
+           List.iter
+             (fun (k, v) ->
+               if interesting k then
+                 match v with
+                 | Minijson.Num f ->
+                   if Float.is_integer f then Printf.printf "  %-48s %.0f\n" k f
+                   else Printf.printf "  %-48s %.1f\n" k f
+                 | _ -> ())
+             fields
+         | Ok _ ->
+           Printf.printf "snapshot: not a JSON object\n";
+           code := 1);
+      flush stdout;
+      if iterations > 0 && !n >= iterations then continue := false
+      else Unix.sleepf interval
+    done;
+    !code
+  in
+  let info =
+    Cmd.info "top"
+      ~doc:
+        "Live terminal view of a running engine: poll $(b,/snapshot.json) from an $(b,ocep run \
+         --listen)/$(b,ocep replay --listen) process and render the headline counters, \
+         watermarks, lag and staleness."
+  in
+  Cmd.v info Term.(const run $ addr $ interval $ iterations)
 
 (* ------------------------------------------------------------------ *)
 (* check                                                               *)
@@ -869,4 +1191,15 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ gen_cmd; record_cmd; run_cmd; replay_cmd; check_cmd; fuzz_cmd; info_cmd; repro_cmd ]))
+          [
+            gen_cmd;
+            record_cmd;
+            run_cmd;
+            replay_cmd;
+            explain_cmd;
+            top_cmd;
+            check_cmd;
+            fuzz_cmd;
+            info_cmd;
+            repro_cmd;
+          ]))

@@ -1,0 +1,215 @@
+open Ocep_base
+module Engine = Ocep.Engine
+module Subset = Ocep.Subset
+module Flight = Ocep.Flight
+module Compile = Ocep_pattern.Compile
+module Provenance = Ocep_obs.Provenance
+
+let find engine ~digest =
+  let d = String.lowercase_ascii digest in
+  if d = "" then None
+  else
+    List.fold_left
+      (fun acc handle ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+          let pattern_id = Engine.Handle.id handle in
+          List.find_opt
+            (fun r -> String.starts_with ~prefix:d (Runner.report_digest ~pattern_id r))
+            (Engine.Handle.reports handle)
+          |> Option.map (fun r -> (handle, r)))
+      None (Engine.handles engine)
+
+let leaf_label (net : Compile.t) i =
+  if i < 0 || i >= Array.length net.Compile.leaves then Printf.sprintf "leaf %d" i
+  else
+    let l = net.Compile.leaves.(i) in
+    match l.Compile.evar with
+    | Some v -> Printf.sprintf "leaf %d %s:%s" i v l.Compile.cls.Ocep_pattern.Ast.cname
+    | None -> Printf.sprintf "leaf %d %s" i l.Compile.cls.Ocep_pattern.Ast.cname
+
+let allowed_to_string (a : Compile.allowed) =
+  String.concat "|"
+    (List.filter_map
+       (fun (set, s) -> if set then Some s else None)
+       [ (a.Compile.before, "before"); (a.Compile.after, "after"); (a.Compile.concurrent, "concurrent") ])
+
+let relation_to_string = function
+  | Event.Before -> "before"
+  | Event.After -> "after"
+  | Event.Concurrent -> "concurrent"
+  | Event.Equal -> "equal"
+
+(* The per-event provenance line. Timestamps are rendered relative to
+   [base_us] (the chain's earliest stage timestamp) — absolute
+   monotonic-clock readings mean nothing to a reader. *)
+let provenance_line buf flight ~base_us (ev : Event.t) =
+  match flight with
+  | None -> Buffer.add_string buf "      provenance: recorder disabled\n"
+  | Some fl -> (
+    match Flight.find fl ~trace:ev.Event.trace ~index:ev.Event.index with
+    | None ->
+      Buffer.add_string buf
+        (Printf.sprintf "      provenance: evicted (window %d events/trace)\n"
+           (Flight.capacity fl))
+    | Some p ->
+      let rel ts = if ts <= 0. then "-" else Printf.sprintf "+%.1fus" (ts -. base_us) in
+      let stages =
+        if p.Flight.wire_id < 0 then
+          Printf.sprintf "dispatch@%s" (rel p.Flight.dispatch_us)
+        else
+          Printf.sprintf "decode@%s admit@%s dispatch@%s" (rel p.Flight.decode_us)
+            (rel p.Flight.admit_us) (rel p.Flight.dispatch_us)
+      in
+      let wire =
+        if p.Flight.wire_id < 0 then "fed directly"
+        else Printf.sprintf "wire record %d" p.Flight.wire_id
+      in
+      let matched =
+        if p.Flight.match_us > 0. then Printf.sprintf " match=%.1fus" p.Flight.match_us else ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "      provenance: %s, verdict %s, %s%s\n" wire
+           (Provenance.verdict_to_string p.Flight.verdict)
+           stages matched))
+
+let render engine handle (r : Subset.report) =
+  let net = Engine.Handle.net handle in
+  let pattern_id = Engine.Handle.id handle in
+  let flight = Engine.flight engine in
+  let buf = Buffer.create 1024 in
+  let n = Array.length r.Subset.events in
+  Buffer.add_string buf
+    (Printf.sprintf "report %s — pattern %d, %d events, recorded at ingest seq %d\n"
+       (Runner.report_digest ~pattern_id r)
+       pattern_id n r.Subset.seq);
+  (* dispatch order is a linearization of happened-before (POET's
+     precondition), so sorting on it renders the chain causally; events
+     outside the provenance window fall back to (trace, index) *)
+  let dispatch i =
+    match flight with
+    | None -> 0.
+    | Some fl -> (
+      let e = r.Subset.events.(i) in
+      match Flight.find fl ~trace:e.Event.trace ~index:e.Event.index with
+      | Some p -> p.Flight.dispatch_us
+      | None -> 0.)
+  in
+  let order = Array.init n (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      let ea = r.Subset.events.(a) and eb = r.Subset.events.(b) in
+      let da = dispatch a and db = dispatch b in
+      if da > 0. && db > 0. && da <> db then compare da db
+      else compare (ea.Event.trace, ea.Event.index) (eb.Event.trace, eb.Event.index))
+    order;
+  let base_us =
+    Array.fold_left
+      (fun acc i ->
+        match flight with
+        | None -> acc
+        | Some fl -> (
+          let e = r.Subset.events.(i) in
+          match Flight.find fl ~trace:e.Event.trace ~index:e.Event.index with
+          | None -> acc
+          | Some p ->
+            let first = if p.Flight.wire_id >= 0 then p.Flight.decode_us else p.Flight.dispatch_us in
+            if first > 0. && (acc = 0. || first < acc) then first else acc))
+      0. order
+  in
+  Buffer.add_string buf "  ingest -> match chain (dispatch order):\n";
+  Array.iter
+    (fun i ->
+      let e = r.Subset.events.(i) in
+      let kind =
+        match e.Event.kind with
+        | Event.Send { msg } -> Printf.sprintf " send(msg %d)" msg
+        | Event.Receive { msg } -> Printf.sprintf " receive(msg %d)" msg
+        | Event.Internal -> ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "    %s <- %s#%d %s%s\n" (leaf_label net i) e.Event.trace_name
+           e.Event.index e.Event.etype kind);
+      provenance_line buf flight ~base_us e)
+    order;
+  (* the causal constraints the matcher verified, with what actually holds *)
+  let any_cons = ref false in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      match net.Compile.cons.(i).(j) with
+      | None -> ()
+      | Some allowed ->
+        if not !any_cons then begin
+          any_cons := true;
+          Buffer.add_string buf "  causal constraints (required : observed):\n"
+        end;
+        Buffer.add_string buf
+          (Printf.sprintf "    e%d %s e%d : required %s, observed %s\n" i
+             (if allowed.Compile.before && not allowed.Compile.after then "->"
+              else if allowed.Compile.after && not allowed.Compile.before then "<-"
+              else "~")
+             j (allowed_to_string allowed)
+             (relation_to_string (Event.relation r.Subset.events.(i) r.Subset.events.(j))))
+    done
+  done;
+  List.iter
+    (fun (i, j) ->
+      Buffer.add_string buf (Printf.sprintf "  message partners: e%d send <-> e%d receive\n" i j))
+    net.Compile.partners;
+  (match r.Subset.fresh with
+  | [] -> ()
+  | fresh ->
+    Buffer.add_string buf "  freshly covered slots:\n";
+    List.iter
+      (fun (leaf, trace) ->
+        Buffer.add_string buf
+          (Printf.sprintf "    (%s, trace %d)\n" (leaf_label net leaf) trace))
+      fresh);
+  (match flight with
+  | Some fl when Flight.drops_recorded fl > 0 ->
+    let drops = Flight.drops fl in
+    let shown =
+      let rec last k = function
+        | l when List.length l <= k -> l
+        | _ :: tl -> last k tl
+        | [] -> []
+      in
+      last 8 drops
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "  admission refused %d wire record(s); most recent:\n"
+         (Flight.drops_recorded fl));
+    List.iter
+      (fun (id, v) ->
+        Buffer.add_string buf
+          (Printf.sprintf "    wire record %d: %s\n" id (Provenance.verdict_to_string v)))
+      shown
+  | _ -> ());
+  Buffer.contents buf
+
+let nearest_misses engine =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun handle ->
+      let net = Engine.Handle.net handle in
+      match Engine.Handle.nearest_miss handle with
+      | None ->
+        Buffer.add_string buf
+          (Printf.sprintf "  pattern %d: no failed search recorded\n" (Engine.Handle.id handle))
+      | Some (leaf, level) ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "  pattern %d: deepest failed search bound %d of %d leaves; %s failed binding last\n"
+             (Engine.Handle.id handle) level
+             (Array.length net.Compile.leaves)
+             (leaf_label net leaf)))
+    (Engine.handles engine);
+  Buffer.contents buf
+
+let explain engine ~digest =
+  match find engine ~digest with
+  | Some (handle, r) -> render engine handle r
+  | None ->
+    Printf.sprintf "no retained report matches digest %s\nnearest misses:\n%s" digest
+      (nearest_misses engine)

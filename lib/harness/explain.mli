@@ -1,0 +1,37 @@
+(** Render the ingest → match causal chain of a retained report — the
+    read side of the engine's flight recorder, behind [ocep explain].
+
+    A report is named by its {!Runner.report_digest}. Given an engine
+    that has just processed a stream, {!explain} resolves a digest
+    (prefixes allowed) against every live pattern's retained reports
+    and renders, for the matching report:
+
+    - each bound event (leaf, trace, index, type) in dispatch order —
+      a linearization of happened-before — with its provenance: wire
+      record id, admission verdict, and decode → admit → dispatch
+      timestamps relative to the chain's first stage, plus the
+      arrival's match time when the engine was timing;
+    - the pattern's causal constraints over the bound events, required
+      relation next to the observed one;
+    - the slots the report covered first, and the most recent wire
+      records admission refused (the drop-ring context).
+
+    When no report matches, the rendering falls back to each pattern's
+    bounded nearest miss ({!Ocep.Engine.Handle.nearest_miss}): how deep
+    the deepest failed search got and which leaf failed binding last. *)
+
+val find :
+  Ocep.Engine.t -> digest:string -> (Ocep.Engine.Handle.t * Ocep.Subset.report) option
+(** First retained report (in pattern registration order) whose digest
+    starts with [digest] (case-insensitive); [None] for the empty
+    string. *)
+
+val render : Ocep.Engine.t -> Ocep.Engine.Handle.t -> Ocep.Subset.report -> string
+(** The causal-chain rendering of one report. *)
+
+val nearest_misses : Ocep.Engine.t -> string
+(** One line per live pattern describing its nearest miss. *)
+
+val explain : Ocep.Engine.t -> digest:string -> string
+(** {!render} of the report resolved by {!find}, or the
+    {!nearest_misses} fallback. *)

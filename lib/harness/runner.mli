@@ -77,6 +77,12 @@ val run :
 
 val pp_outcome : Format.formatter -> outcome -> unit
 
+val report_digest : pattern_id:Engine.pattern_id -> Ocep.Subset.report -> string
+(** 16-hex-digit FNV-1a digest of one report's observables (arrival
+    sequence, freshness, event identities), salted with its pattern id —
+    the stable name [ocep run]/[ocep replay] print next to each report
+    and [ocep explain] resolves. *)
+
 val reports_digest : Ocep.Engine.t -> string
 (** 16-hex-digit FNV-1a digest of every live pattern's observables —
     matches, coverage, and each report's arrival sequence, freshness and

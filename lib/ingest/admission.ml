@@ -1,4 +1,5 @@
 open Ocep_base
+module Provenance = Ocep_obs.Provenance
 
 type gap_policy = Wait | Skip of int | Fail
 
@@ -22,10 +23,13 @@ exception Gap of string
 
 type t = {
   cfg : config;
-  emit : Wire.t -> unit;
+  emit : verdict:Provenance.verdict -> decode_us:float -> admit_us:float -> Wire.t -> unit;
   on_depth : int -> unit;
+  on_drop : Provenance.verdict -> int -> unit;
   n_traces : int;
-  pending : (int, Wire.t) Hashtbl.t;  (* reorder buffer, keyed on record id *)
+  (* reorder buffer, keyed on record id: the frame, its admission-entry
+     timestamp, and whether it overtook an earlier id on arrival *)
+  pending : (int, Wire.t * float * bool) Hashtbl.t;
   skipped : (int, unit) Hashtbl.t;  (* ids given up on; a late arrival is not a duplicate *)
   (* msg ids whose send was admitted: a byte-map for the dense id range
      (grown on demand, one lookup per receive on the hot path), a
@@ -47,7 +51,8 @@ type t = {
   mutable orphan_receives : int;
 }
 
-let create ?(config = default_config) ?(on_depth = fun _ -> ()) ~n_traces ~emit () =
+let create ?(config = default_config) ?(on_depth = fun _ -> ())
+    ?(on_drop = fun _ _ -> ()) ~n_traces ~emit () =
   if config.reorder_window <= 0 then
     invalid_arg "Admission.create: reorder_window must be positive";
   (match config.gap_policy with
@@ -57,6 +62,7 @@ let create ?(config = default_config) ?(on_depth = fun _ -> ()) ~n_traces ~emit 
     cfg = config;
     emit;
     on_depth;
+    on_drop;
     n_traces;
     pending = Hashtbl.create 64;
     skipped = Hashtbl.create 16;
@@ -99,32 +105,38 @@ let was_sent t msg =
 (* Release one in-order frame. The local-clock jump check attributes
    gap losses to traces, and orphaned receives — whose send was lost —
    are dropped here so POET never sees an unknown message. *)
-let release t (e : Wire.t) =
+let release t (e : Wire.t) at_us was_buffered =
   let tr = e.Wire.trace in
   if e.Wire.seq > t.expected_seq.(tr) then
     t.trace_gaps.(tr) <- t.trace_gaps.(tr) + (e.Wire.seq - t.expected_seq.(tr));
   t.expected_seq.(tr) <- e.Wire.seq + 1;
+  let verdict : Provenance.verdict = if was_buffered then Reordered else In_order in
+  (* on the fast path release happens within the same push, so the entry
+     stamp IS the admit time; only buffered records — which sat in the
+     reorder window — pay a clock read for their real residency *)
+  let admit_us = if was_buffered then Clock.now_us () else at_us in
   match e.Wire.kind with
   | Event.Send { msg } ->
     mark_sent t msg;
     t.admitted <- t.admitted + 1;
-    t.emit e
+    t.emit ~verdict ~decode_us:at_us ~admit_us e
   | Event.Receive { msg } when not (was_sent t msg) ->
-    t.orphan_receives <- t.orphan_receives + 1
+    t.orphan_receives <- t.orphan_receives + 1;
+    t.on_drop Orphaned e.Wire.id
   | Event.Receive _ | Event.Internal ->
     t.admitted <- t.admitted + 1;
-    t.emit e
+    t.emit ~verdict ~decode_us:at_us ~admit_us e
 
 let drain t =
   let progressed = ref false in
   let continue = ref true in
   while !continue do
     match Hashtbl.find_opt t.pending t.next_id with
-    | Some e ->
+    | Some (e, at_us, overtook) ->
       Hashtbl.remove t.pending t.next_id;
       t.next_id <- t.next_id + 1;
       progressed := true;
-      release t e
+      release t e at_us overtook
     | None -> continue := false
   done;
   if !progressed then t.stall <- 0
@@ -135,34 +147,39 @@ let skip_gap t =
   while (not (Hashtbl.mem t.pending t.next_id)) && Hashtbl.length t.pending > 0 do
     Hashtbl.replace t.skipped t.next_id ();
     t.gaps <- t.gaps + 1;
+    t.on_drop Gap_skipped t.next_id;
     t.next_id <- t.next_id + 1
   done;
   t.stall <- 0;
   drain t
 
-let push t (e : Wire.t) =
+let push ?at_us t (e : Wire.t) =
   if t.finished then invalid_arg "Admission.push: already finished";
   if e.Wire.trace < 0 || e.Wire.trace >= t.n_traces then
     invalid_arg (Printf.sprintf "Admission.push: trace %d out of range" e.Wire.trace);
+  let at_us = match at_us with Some v -> v | None -> Clock.now_us () in
   t.frames <- t.frames + 1;
   if e.Wire.id = t.next_id && Hashtbl.length t.pending = 0 then begin
     (* in-order fast path — the common case on a healthy transport:
        never touches the reorder buffer (an id equal to [next_id] cannot
        have been skipped: skipping advances [next_id] past it) *)
     t.next_id <- t.next_id + 1;
-    release t e
+    release t e at_us false
   end
   else if Hashtbl.length t.skipped > 0 && Hashtbl.mem t.skipped e.Wire.id then begin
     (* the transport finally delivered an id we gave up on: too late —
        admitting it now would violate record order *)
     t.late <- t.late + 1;
-    Hashtbl.remove t.skipped e.Wire.id
+    Hashtbl.remove t.skipped e.Wire.id;
+    t.on_drop Late e.Wire.id
   end
-  else if e.Wire.id < t.next_id || Hashtbl.mem t.pending e.Wire.id then
-    t.duplicates <- t.duplicates + 1
+  else if e.Wire.id < t.next_id || Hashtbl.mem t.pending e.Wire.id then begin
+    t.duplicates <- t.duplicates + 1;
+    t.on_drop Deduped e.Wire.id
+  end
   else begin
     if e.Wire.id <> t.next_id then t.reordered <- t.reordered + 1;
-    Hashtbl.add t.pending e.Wire.id e;
+    Hashtbl.add t.pending e.Wire.id (e, at_us, e.Wire.id <> t.next_id);
     drain t;
     if Hashtbl.length t.pending > 0 then begin
       (* the head id is missing: a frame arrived past it *)
@@ -202,12 +219,15 @@ let finish t =
         (fun id ->
           if id > t.next_id then begin
             t.gaps <- t.gaps + (id - t.next_id);
+            for missing = t.next_id to id - 1 do
+              t.on_drop Gap_skipped missing
+            done;
             t.next_id <- id
           end;
-          let e = Hashtbl.find t.pending id in
+          let e, at_us, overtook = Hashtbl.find t.pending id in
           Hashtbl.remove t.pending id;
           t.next_id <- t.next_id + 1;
-          release t e)
+          release t e at_us overtook)
         (List.sort compare ids)
     end
   end

@@ -61,23 +61,45 @@ type t
 val create :
   ?config:config ->
   ?on_depth:(int -> unit) ->
+  ?on_drop:(Ocep_obs.Provenance.verdict -> int -> unit) ->
   n_traces:int ->
-  emit:(Wire.t -> unit) ->
+  emit:
+    (verdict:Ocep_obs.Provenance.verdict ->
+    decode_us:float ->
+    admit_us:float ->
+    Wire.t ->
+    unit) ->
   unit ->
   t
 (** [emit] receives admitted events, in exact record order when no id is
-    ever skipped. [on_depth] observes the buffer depth after every
-    {!push} that leaves frames buffered — in-order frames are released
-    on a fast path that reports nothing, so the
-    [ocep_ingest_reorder_depth] histogram it feeds counts only actual
-    disorder. Raises
-    [Invalid_argument] on a non-positive window or negative [Skip]
-    patience. *)
+    ever skipped, each stamped with its provenance: the verdict
+    ([In_order] for frames released on the fast path, [Reordered] for
+    frames that overtook an earlier id and sat in the buffer),
+    [decode_us] — the frame's admission-entry timestamp (the [at_us]
+    given to {!push}), and [admit_us] — the release timestamp; their
+    difference is the frame's reorder-buffer residency. Fast-path
+    releases happen inside the same {!push}, so they reuse [at_us] as
+    the admit stamp without reading the clock; only buffered releases
+    pay a clock read for their real residency (so [admit_us >
+    decode_us] identifies a buffered release). [on_depth]
+    observes the buffer depth after every {!push} that leaves frames
+    buffered — in-order frames are released on a fast path that reports
+    nothing, so the [ocep_ingest_reorder_depth] histogram it feeds
+    counts only actual disorder. [on_drop] observes every record id the
+    layer refuses, with why: [Deduped] (duplicate id), [Gap_skipped]
+    (given up on under [Skip] or lost in a hole at {!finish}), [Late]
+    (arrived after its id was skipped), [Orphaned] (receive whose send
+    fell into a gap) — the feed of the engine's refused-record ring.
+    Raises [Invalid_argument] on a non-positive window or negative
+    [Skip] patience. *)
 
-val push : t -> Wire.t -> unit
-(** Offer one frame; may call [emit] zero or more times. Raises {!Gap}
-    per the policy, and [Invalid_argument] on a frame whose trace id is
-    outside [0, n_traces). *)
+val push : ?at_us:float -> t -> Wire.t -> unit
+(** Offer one frame; may call [emit] zero or more times. [at_us] is the
+    frame's admission-entry timestamp (decode completion when the
+    caller timestamps at decode; defaults to
+    [Ocep_base.Clock.now_us ()]). Raises {!Gap} per the policy, and
+    [Invalid_argument] on a frame whose trace id is outside
+    [0, n_traces). *)
 
 val finish : t -> unit
 (** End of stream: flush the buffer per the policy ([Fail] raises {!Gap}

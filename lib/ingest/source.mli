@@ -12,6 +12,25 @@
     - histograms [ocep_ingest_reorder_depth] (buffer depth after each
       frame) and [ocep_ingest_queue_occupancy] (queue length at each
       consumer wakeup, pipelined mode only)
+    - the {!Ocep_obs.Watermark} plane: per-stage watermark gauges,
+      ingest lag, and [ocep_stage_latency_us] histograms for decode,
+      queue residency (pipelined mode), reorder-buffer residency, and
+      per-record match time
+
+    Each admitted event reaches the engine through
+    {!Ocep.Engine.feed_wire}, so the flight recorder sees its wire id,
+    admission verdict, and stage timestamps; refused records land in
+    the engine's drop ring via {!Ocep.Engine.note_wire_drop}.
+
+    Timing is {e sampled}: one frame in 64 carries fresh clock stamps
+    and feeds the latency histograms; the rest reuse the most recent
+    stamp and advance the watermarks gauge-only. Record ids, verdicts,
+    watermarks and lag are exact on every record — only the timestamp
+    precision of unsampled records is coarse (bounded by the sample
+    window), which is what keeps the always-on provenance + watermark
+    plane under a few percent of the per-event budget. Buffered
+    (reordered) releases always carry a fresh admit stamp, so
+    reorder-buffer residency is measured exactly.
 
     With [pipeline] set, a dedicated domain reads and CRC-checks frames
     while the calling domain runs admission and matching, the two
@@ -40,9 +59,12 @@ type stats = {
   admission : Admission.stats;
 }
 
-val replay : ?config:config -> engine:Ocep.Engine.t -> Framing.reader -> stats
+val replay :
+  ?config:config -> ?tick:(unit -> unit) -> engine:Ocep.Engine.t -> Framing.reader -> stats
 (** Drives the reader to [Eof]/[Truncated], feeding admitted events to
-    {!Ocep.Engine.feed_raw}, then finishes admission and syncs the
-    [ocep_ingest_*] instruments. Raises [Invalid_argument] when the
-    stream's trace table does not match the engine's POET store (same
-    names, same order), and lets {!Admission.Gap} escape. *)
+    {!Ocep.Engine.feed_wire}, then finishes admission and syncs the
+    [ocep_ingest_*] instruments. [tick] is called every 1024 frames on
+    the ingesting domain — the hook the CLI uses to republish telemetry
+    under live load. Raises [Invalid_argument] when the stream's trace
+    table does not match the engine's POET store (same names, same
+    order), and lets {!Admission.Gap} escape. *)

@@ -1,7 +1,12 @@
 module Histogram = Ocep_stats.Histogram
 
 type counter = int ref
-type gauge = float ref
+
+(* A single-mutable-float record keeps the value unboxed, so [set] is
+   one store — no float box, no write barrier. A [float ref] would
+   allocate on every set, and gauges sit on the per-record hot path
+   (watermarks and lag move on every wire record). *)
+type gauge = { mutable g_v : float }
 
 type instrument = C of counter | G of gauge | H of Histogram.t
 
@@ -72,7 +77,7 @@ let counter t ?(help = "") name =
       (Printf.sprintf "Metrics.counter: %s is already a %s" name (kind_name other))
 
 let gauge t ?(help = "") name =
-  match register t ~help name (fun () -> G (ref 0.)) with
+  match register t ~help name (fun () -> G { g_v = 0. }) with
   | G g -> g
   | other ->
     invalid_arg (Printf.sprintf "Metrics.gauge: %s is already a %s" name (kind_name other))
@@ -94,9 +99,9 @@ let set_counter c v =
 
 let counter_value c = !c
 
-let set g v = g := v
+let set g v = g.g_v <- v
 
-let gauge_value g = !g
+let gauge_value g = g.g_v
 
 type value = Counter of int | Gauge of float | Hist of Histogram.t
 
@@ -107,7 +112,7 @@ let items t =
     (fun name ->
       let r = Hashtbl.find t.tbl name in
       let value =
-        match r.r_instr with C c -> Counter !c | G g -> Gauge !g | H h -> Hist h
+        match r.r_instr with C c -> Counter !c | G g -> Gauge g.g_v | H h -> Hist h
       in
       { name; help = r.r_help; value })
     t.order_rev

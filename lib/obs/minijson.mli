@@ -1,0 +1,23 @@
+(** Minimal JSON parser for the telemetry plane's own documents — the
+    snapshot the server publishes and the poller ([ocep top]) reads
+    back, plus test-side validation of every JSON artifact. Strict
+    (whole-input, no trailing garbage), recursive-descent, zero
+    dependencies. Not a general-purpose JSON library: numbers are
+    [float], object keys keep document order, duplicate keys are kept
+    (lookup returns the first). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+
+val member : string -> t -> t option
+(** First value under the key of an [Obj]; [None] on anything else. *)
+
+val to_num : t -> float option
+val to_str : t -> string option

@@ -1,0 +1,40 @@
+type verdict =
+  | Direct
+  | In_order
+  | Reordered
+  | Deduped
+  | Gap_skipped
+  | Late
+  | Orphaned
+
+let verdict_to_string = function
+  | Direct -> "direct"
+  | In_order -> "in-order"
+  | Reordered -> "reordered"
+  | Deduped -> "deduped"
+  | Gap_skipped -> "gap-skipped"
+  | Late -> "late"
+  | Orphaned -> "orphaned"
+
+let verdict_to_int = function
+  | Direct -> 0
+  | In_order -> 1
+  | Reordered -> 2
+  | Deduped -> 3
+  | Gap_skipped -> 4
+  | Late -> 5
+  | Orphaned -> 6
+
+let verdict_of_int = function
+  | 0 -> Direct
+  | 1 -> In_order
+  | 2 -> Reordered
+  | 3 -> Deduped
+  | 4 -> Gap_skipped
+  | 5 -> Late
+  | 6 -> Orphaned
+  | n -> invalid_arg (Printf.sprintf "Provenance.verdict_of_int: %d" n)
+
+let admitted = function
+  | Direct | In_order | Reordered -> true
+  | Deduped | Gap_skipped | Late | Orphaned -> false

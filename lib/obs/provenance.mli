@@ -1,0 +1,28 @@
+(** Shared vocabulary of the match-provenance plane: what the admission
+    layer decided about a wire record. The ingest pipeline stamps one
+    verdict per record; admitted records carry theirs (with decode →
+    admit → dispatch timestamps) into the engine's flight recorder,
+    dropped records are noted in its drop ring. [Direct] marks events
+    fed straight into the engine without a wire framing (simulator
+    runs, [ocep run]). *)
+
+type verdict =
+  | Direct  (** not from the wire: fed by a simulator or trace file *)
+  | In_order  (** admitted on the fast path, already in id order *)
+  | Reordered  (** held in the reorder buffer, released in order *)
+  | Deduped  (** dropped: record id already admitted *)
+  | Gap_skipped  (** dropped: id given up on by the [Skip] gap policy *)
+  | Late  (** dropped: arrived after its id was gap-skipped *)
+  | Orphaned  (** dropped: receive whose matching send never arrived *)
+
+val verdict_to_string : verdict -> string
+
+val verdict_to_int : verdict -> int
+(** Stable packing for compact (int-array) storage; inverse of
+    {!verdict_of_int}. *)
+
+val verdict_of_int : int -> verdict
+(** Raises [Invalid_argument] outside the packed range. *)
+
+val admitted : verdict -> bool
+(** Did a record with this verdict reach the engine? *)

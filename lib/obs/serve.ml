@@ -1,0 +1,240 @@
+type health = Serving | Not_serving of string
+
+type t = {
+  fd : Unix.file_descr;
+  port : int;
+  mu : Mutex.t;
+  mutable metrics_body : string;
+  mutable snapshot_body : string;
+  mutable health : health;
+  mutable ready : bool;
+  mutable stopping : bool;
+  mutable thread : Thread.t option;
+}
+
+let resolve host =
+  match Unix.inet_addr_of_string host with
+  | addr -> addr
+  | exception _ -> (
+    match Unix.gethostbyname host with
+    | { Unix.h_addr_list = addrs; _ } when Array.length addrs > 0 -> addrs.(0)
+    | _ | (exception Not_found) ->
+      invalid_arg (Printf.sprintf "Serve.start: cannot resolve host %s" host))
+
+let write_all fd s =
+  let n = String.length s in
+  let b = Bytes.of_string s in
+  let off = ref 0 in
+  while !off < n do
+    let w = Unix.write fd b !off (n - !off) in
+    if w <= 0 then raise Exit;
+    off := !off + w
+  done
+
+let reason_of = function
+  | 200 -> "OK"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 503 -> "Service Unavailable"
+  | _ -> "Unknown"
+
+let respond fd ?(head = false) ~status ~ctype body =
+  let hdr =
+    Printf.sprintf
+      "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n"
+      status (reason_of status) ctype (String.length body)
+  in
+  write_all fd (if head then hdr else hdr ^ body)
+
+(* Read until the end of the request head (CRLFCRLF) or a size cap; the
+   request body, if any, is ignored — every route is a plain GET. *)
+let read_head fd =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 512 in
+  let rec go () =
+    if Buffer.length buf > 8192 then Buffer.contents buf
+    else begin
+      let n = try Unix.read fd chunk 0 (Bytes.length chunk) with _ -> 0 in
+      if n <= 0 then Buffer.contents buf
+      else begin
+        Buffer.add_subbytes buf chunk 0 n;
+        let s = Buffer.contents buf in
+        let rec has_end i =
+          if i + 3 >= String.length s then false
+          else
+            (s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r' && s.[i + 3] = '\n')
+            || has_end (i + 1)
+        in
+        if has_end 0 then s else go ()
+      end
+    end
+  in
+  go ()
+
+let parse_request head =
+  match String.index_opt head '\n' with
+  | None -> None
+  | Some eol -> (
+    let line = String.trim (String.sub head 0 eol) in
+    match String.split_on_char ' ' line with
+    | meth :: path :: _ -> Some (meth, path)
+    | _ -> None)
+
+let index_body =
+  "ocep telemetry endpoints:\n\
+   /metrics       Prometheus text exposition\n\
+   /snapshot.json JSON metrics snapshot\n\
+   /healthz       liveness (200 while the engine is serving)\n\
+   /readyz        readiness (200 once the engine accepts events)\n"
+
+let handle t client =
+  (try Unix.setsockopt_float client Unix.SO_RCVTIMEO 5.0 with _ -> ());
+  (try Unix.setsockopt_float client Unix.SO_SNDTIMEO 5.0 with _ -> ());
+  match parse_request (read_head client) with
+  | None -> ()
+  | Some (meth, path) -> (
+    let head =
+      match meth with
+      | "GET" -> false
+      | "HEAD" -> true
+      | _ ->
+        respond client ~status:405 ~ctype:"text/plain" "only GET is supported\n";
+        raise Exit
+    in
+    let path = match String.index_opt path '?' with
+      | Some q -> String.sub path 0 q
+      | None -> path
+    in
+    Mutex.lock t.mu;
+    let metrics_body = t.metrics_body
+    and snapshot_body = t.snapshot_body
+    and health = t.health
+    and ready = t.ready in
+    Mutex.unlock t.mu;
+    match path with
+    | "/metrics" ->
+      respond client ~head ~status:200 ~ctype:"text/plain; version=0.0.4" metrics_body
+    | "/snapshot.json" -> respond client ~head ~status:200 ~ctype:"application/json" snapshot_body
+    | "/healthz" -> (
+      match health with
+      | Serving -> respond client ~head ~status:200 ~ctype:"text/plain" "ok\n"
+      | Not_serving why ->
+        respond client ~head ~status:503 ~ctype:"text/plain" (Printf.sprintf "unhealthy: %s\n" why))
+    | "/readyz" ->
+      if ready then respond client ~head ~status:200 ~ctype:"text/plain" "ready\n"
+      else respond client ~head ~status:503 ~ctype:"text/plain" "not ready\n"
+    | "/" -> respond client ~head ~status:200 ~ctype:"text/plain" index_body
+    | _ -> respond client ~head ~status:404 ~ctype:"text/plain" "not found\n")
+
+(* Accept loop: a short select timeout keeps [stop] prompt without
+   closing the listening socket under a blocked accept. Connections are
+   handled inline — scrapes are small, rare and read prerendered
+   strings, so a second thread per connection buys nothing. *)
+let rec accept_loop t =
+  if not t.stopping then begin
+    (match Unix.select [ t.fd ] [] [] 0.2 with
+    | [], _, _ -> ()
+    | _ -> (
+      match Unix.accept t.fd with
+      | client, _ ->
+        (try handle t client with _ -> ());
+        (try Unix.close client with _ -> ())
+      | exception _ -> ())
+    | exception _ -> ());
+    accept_loop t
+  end
+
+let start ?(host = "127.0.0.1") ~port () =
+  let addr = resolve host in
+  let fd = Unix.socket (Unix.domain_of_sockaddr (Unix.ADDR_INET (addr, port))) Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  (try Unix.bind fd (Unix.ADDR_INET (addr, port))
+   with e ->
+     (try Unix.close fd with _ -> ());
+     raise e);
+  Unix.listen fd 16;
+  let port =
+    match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | _ -> port
+  in
+  let t =
+    {
+      fd;
+      port;
+      mu = Mutex.create ();
+      metrics_body = "";
+      snapshot_body = "{}\n";
+      health = Not_serving "starting";
+      ready = false;
+      stopping = false;
+      thread = None;
+    }
+  in
+  t.thread <- Some (Thread.create accept_loop t);
+  t
+
+let port t = t.port
+
+let publish t ~metrics ~snapshot =
+  Mutex.lock t.mu;
+  t.metrics_body <- metrics;
+  t.snapshot_body <- snapshot;
+  Mutex.unlock t.mu
+
+let set_health t h =
+  Mutex.lock t.mu;
+  t.health <- h;
+  Mutex.unlock t.mu
+
+let set_ready t r =
+  Mutex.lock t.mu;
+  t.ready <- r;
+  Mutex.unlock t.mu
+
+let stop t =
+  if not t.stopping then begin
+    t.stopping <- true;
+    (match t.thread with Some th -> Thread.join th | None -> ());
+    t.thread <- None;
+    try Unix.close t.fd with _ -> ()
+  end
+
+(* Minimal HTTP/1.0 client for the polling views and tests; same
+   zero-dependency constraint as the server. *)
+let http_get ?(timeout_s = 5.0) ~host ~port ~path () =
+  let addr = resolve host in
+  let fd = Unix.socket (Unix.domain_of_sockaddr (Unix.ADDR_INET (addr, port))) Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with _ -> ())
+    (fun () ->
+      (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout_s with _ -> ());
+      (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout_s with _ -> ());
+      Unix.connect fd (Unix.ADDR_INET (addr, port));
+      write_all fd (Printf.sprintf "GET %s HTTP/1.0\r\nHost: %s\r\nConnection: close\r\n\r\n" path host);
+      let buf = Buffer.create 1024 in
+      let chunk = Bytes.create 4096 in
+      let rec drain () =
+        let n = try Unix.read fd chunk 0 (Bytes.length chunk) with _ -> 0 in
+        if n > 0 then begin
+          Buffer.add_subbytes buf chunk 0 n;
+          drain ()
+        end
+      in
+      drain ();
+      let raw = Buffer.contents buf in
+      let status =
+        match String.split_on_char ' ' raw with
+        | _ :: code :: _ -> ( try int_of_string (String.trim code) with _ -> 0)
+        | _ -> 0
+      in
+      let body =
+        let n = String.length raw in
+        let rec find i =
+          if i + 3 >= n then n
+          else if raw.[i] = '\r' && raw.[i + 1] = '\n' && raw.[i + 2] = '\r' && raw.[i + 3] = '\n'
+          then i + 4
+          else find (i + 1)
+        in
+        let start = find 0 in
+        String.sub raw start (n - start)
+      in
+      (status, body))

@@ -1,0 +1,51 @@
+(** Minimal dependency-free HTTP/1.0 telemetry listener.
+
+    One background thread accepts connections and serves four routes
+    from {e prerendered} strings:
+
+    - [/metrics] — Prometheus text exposition,
+    - [/snapshot.json] — JSON metrics snapshot,
+    - [/healthz] — liveness: 200 while {!set_health} last said
+      [Serving], 503 with the reason otherwise,
+    - [/readyz] — readiness: 200 once {!set_ready} was given [true].
+
+    The server never touches the metrics registry itself: the driving
+    loop renders {!Snapshot.prometheus}/{!Snapshot.json} on its own
+    domain and hands the strings over with {!publish} (double-buffered
+    under a mutex). That keeps the registry single-domain, as its
+    contract requires, and makes a scrape a pure string write — a
+    scrape can never observe a half-updated histogram or race a
+    registration. Scrapes between publishes see the previous snapshot.
+
+    HTTP/1.0, one request per connection, GET/HEAD only; anything else
+    gets 405, unknown paths 404. *)
+
+type t
+
+type health = Serving | Not_serving of string
+
+val start : ?host:string -> port:int -> unit -> t
+(** Bind and start the accept thread. [host] defaults to [127.0.0.1];
+    [port] 0 asks the OS for a free port (see {!port}). Raises
+    [Unix.Unix_error] if the address cannot be bound and
+    [Invalid_argument] if [host] does not resolve. *)
+
+val port : t -> int
+(** The actually bound port (useful with [port:0]). *)
+
+val publish : t -> metrics:string -> snapshot:string -> unit
+(** Atomically replace the bodies served at [/metrics] and
+    [/snapshot.json]. *)
+
+val set_health : t -> health -> unit
+
+val set_ready : t -> bool -> unit
+
+val stop : t -> unit
+(** Stop accepting, join the thread, close the socket. Idempotent. *)
+
+val http_get :
+  ?timeout_s:float -> host:string -> port:int -> path:string -> unit -> int * string
+(** Minimal blocking HTTP/1.0 GET returning (status, body); status 0 if
+    the response could not be parsed. For the [ocep top] poller and the
+    tests — not a general client. *)

@@ -9,13 +9,32 @@ type span = {
   args : (string * arg) list;
 }
 
-(* slots the ring has not written yet hold this placeholder; [spans]
-   never reads them because it only visits the first [total] slots *)
-let dummy = { name = ""; cat = ""; ts_us = 0.; dur_us = 0.; tid = 0; args = [] }
-
+(* The ring is a structure of arrays so that a record is a handful of
+   array stores and nothing else: the float columns are flat (unboxed)
+   float arrays, the int columns hold immediates, and the typed argument
+   columns below replace the per-span association list the hot path used
+   to build. Strings written into the ring are the caller's constants
+   (span names, outcome tags), so no column write allocates. *)
 type t = {
   cap : int;
-  ring : span array;
+  s_name : string array;
+  s_cat : string array;
+  s_ts : float array;
+  s_dur : float array;
+  s_tid : int array;
+  s_args : (string * arg) list array;  (* generic path only; [] otherwise *)
+  (* typed argument columns; -1 / "" mean absent *)
+  s_pattern : int array;
+  s_leaf : int array;
+  s_nodes : int array;
+  s_backjumps : int array;
+  s_pin_leaf : int array;
+  s_pin_trace : int array;
+  s_trace : int array;
+  s_index : int array;
+  s_anchors : int array;
+  s_outcome : string array;
+  s_etype : string array;
   m : Mutex.t;
   mutable next : int;  (* ring slot of the next write *)
   mutable total : int;  (* spans ever recorded *)
@@ -23,16 +42,77 @@ type t = {
 
 let create ~capacity =
   if capacity <= 0 then invalid_arg "Tracer.create: capacity must be positive";
-  { cap = capacity; ring = Array.make capacity dummy; m = Mutex.create (); next = 0; total = 0 }
+  {
+    cap = capacity;
+    s_name = Array.make capacity "";
+    s_cat = Array.make capacity "";
+    s_ts = Array.make capacity 0.;
+    s_dur = Array.make capacity 0.;
+    s_tid = Array.make capacity 0;
+    s_args = Array.make capacity [];
+    s_pattern = Array.make capacity (-1);
+    s_leaf = Array.make capacity (-1);
+    s_nodes = Array.make capacity (-1);
+    s_backjumps = Array.make capacity (-1);
+    s_pin_leaf = Array.make capacity (-1);
+    s_pin_trace = Array.make capacity (-1);
+    s_trace = Array.make capacity (-1);
+    s_index = Array.make capacity (-1);
+    s_anchors = Array.make capacity (-1);
+    s_outcome = Array.make capacity "";
+    s_etype = Array.make capacity "";
+    m = Mutex.create ();
+    next = 0;
+    total = 0;
+  }
 
 let capacity t = t.cap
 
-let record t ~name ~cat ~ts_us ~dur_us ~tid ~args =
-  let span = { name; cat; ts_us; dur_us; tid; args } in
-  Mutex.lock t.m;
-  t.ring.(t.next) <- span;
-  t.next <- (t.next + 1) mod t.cap;
+(* Claim the next slot and stamp the common columns; caller holds no
+   lock — each writer runs entirely under [t.m]. *)
+let begin_slot t ~name ~cat ~ts_us ~dur_us ~tid =
+  let i = t.next in
+  t.next <- (if i + 1 = t.cap then 0 else i + 1);
   t.total <- t.total + 1;
+  t.s_name.(i) <- name;
+  t.s_cat.(i) <- cat;
+  t.s_ts.(i) <- ts_us;
+  t.s_dur.(i) <- dur_us;
+  t.s_tid.(i) <- tid;
+  i
+
+let record t ~name ~cat ~ts_us ~dur_us ~tid ~args =
+  Mutex.lock t.m;
+  let i = begin_slot t ~name ~cat ~ts_us ~dur_us ~tid in
+  t.s_args.(i) <- args;
+  t.s_pattern.(i) <- -1;
+  t.s_trace.(i) <- -1;
+  Mutex.unlock t.m
+
+let record_search t ~name ~cat ~ts_us ~dur_us ~tid ~pattern ~anchor_leaf ~nodes ~backjumps
+    ~outcome ~pin_leaf ~pin_trace =
+  Mutex.lock t.m;
+  let i = begin_slot t ~name ~cat ~ts_us ~dur_us ~tid in
+  t.s_args.(i) <- [];
+  t.s_pattern.(i) <- pattern;
+  t.s_leaf.(i) <- anchor_leaf;
+  t.s_nodes.(i) <- nodes;
+  t.s_backjumps.(i) <- backjumps;
+  t.s_outcome.(i) <- outcome;
+  t.s_pin_leaf.(i) <- pin_leaf;
+  t.s_pin_trace.(i) <- pin_trace;
+  t.s_trace.(i) <- -1;
+  Mutex.unlock t.m
+
+let record_arrival t ~ts_us ~dur_us ~tid ~trace ~index ~etype ~anchors =
+  Mutex.lock t.m;
+  let i = begin_slot t ~name:"arrival" ~cat:"engine" ~ts_us ~dur_us ~tid in
+  t.s_args.(i) <- [];
+  t.s_pattern.(i) <- -1;
+  t.s_trace.(i) <- trace;
+  t.s_index.(i) <- index;
+  t.s_etype.(i) <- etype;
+  t.s_anchors.(i) <- anchors;
   Mutex.unlock t.m
 
 let length t = min t.total t.cap
@@ -41,12 +121,51 @@ let recorded t = t.total
 
 let dropped t = max 0 (t.total - t.cap)
 
+(* Materialize slot [i]'s arguments as the association list the old
+   per-span representation carried, in the same key order. *)
+let args_of t i =
+  match t.s_args.(i) with
+  | (_ :: _) as l -> l
+  | [] ->
+    if t.s_pattern.(i) >= 0 then begin
+      let base =
+        [
+          ("pattern", Int t.s_pattern.(i));
+          ("anchor_leaf", Int t.s_leaf.(i));
+          ("nodes", Int t.s_nodes.(i));
+          ("backjumps", Int t.s_backjumps.(i));
+          ("outcome", Str t.s_outcome.(i));
+        ]
+      in
+      if t.s_pin_leaf.(i) >= 0 then
+        ("pin_leaf", Int t.s_pin_leaf.(i)) :: ("pin_trace", Int t.s_pin_trace.(i)) :: base
+      else base
+    end
+    else if t.s_trace.(i) >= 0 then
+      [
+        ("trace", Int t.s_trace.(i));
+        ("index", Int t.s_index.(i));
+        ("etype", Str t.s_etype.(i));
+        ("anchors", Int t.s_anchors.(i));
+      ]
+    else []
+
+let span_of t i =
+  {
+    name = t.s_name.(i);
+    cat = t.s_cat.(i);
+    ts_us = t.s_ts.(i);
+    dur_us = t.s_dur.(i);
+    tid = t.s_tid.(i);
+    args = args_of t i;
+  }
+
 let spans t =
   Mutex.lock t.m;
   let n = min t.total t.cap in
   (* oldest retained span sits at [next] once the ring has wrapped *)
   let first = if t.total > t.cap then t.next else 0 in
-  let out = List.init n (fun i -> t.ring.((first + i) mod t.cap)) in
+  let out = List.init n (fun i -> span_of t ((first + i) mod t.cap)) in
   Mutex.unlock t.m;
   out
 

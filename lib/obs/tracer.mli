@@ -9,6 +9,12 @@
     O(capacity) and an always-on tracer over a ≥1M-event run simply
     keeps the most recent spans, counting what it overwrote.
 
+    The ring is preallocated as a structure of arrays, so the typed
+    entry points ({!record_search}, {!record_arrival}) allocate nothing
+    per span — a record is a mutex acquisition plus a dozen array
+    stores. The generic {!record} path keeps the old association-list
+    arguments for ad-hoc spans off the hot path.
+
     Recording is thread-safe (a mutex around the ring slot), so worker
     domains of the search pool record their spans directly, tagged with
     their own domain id as the [tid]. *)
@@ -40,6 +46,41 @@ val record :
   tid:int ->
   args:(string * arg) list ->
   unit
+(** Generic span with caller-built arguments. Allocation-free only if
+    [args] is; prefer the typed entry points on hot paths. *)
+
+val record_search :
+  t ->
+  name:string ->
+  cat:string ->
+  ts_us:float ->
+  dur_us:float ->
+  tid:int ->
+  pattern:int ->
+  anchor_leaf:int ->
+  nodes:int ->
+  backjumps:int ->
+  outcome:string ->
+  pin_leaf:int ->
+  pin_trace:int ->
+  unit
+(** Allocation-free span of an anchored or pinned search. [pin_leaf] and
+    [pin_trace] are [-1] for an unpinned search; [outcome] should be a
+    constant ("found" / "not_found" / "aborted"). The rendered arguments
+    match what the engine used to pass to {!record}. *)
+
+val record_arrival :
+  t ->
+  ts_us:float ->
+  dur_us:float ->
+  tid:int ->
+  trace:int ->
+  index:int ->
+  etype:string ->
+  anchors:int ->
+  unit
+(** Allocation-free span of one terminating arrival (name ["arrival"],
+    category ["engine"]). *)
 
 val length : t -> int
 (** Spans currently held (≤ capacity). *)
@@ -51,7 +92,8 @@ val dropped : t -> int
 (** Spans overwritten by the ring ([recorded − length]). *)
 
 val spans : t -> span list
-(** Retained spans, oldest first. *)
+(** Retained spans, oldest first, with typed-column arguments
+    materialized back into the [args] list. *)
 
 val dump : out_channel -> t -> unit
 (** Write the whole ring as one Chrome [trace_event] JSON object

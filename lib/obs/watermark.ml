@@ -1,0 +1,120 @@
+module Histogram = Ocep_stats.Histogram
+
+type t = {
+  g_decode : Metrics.gauge;
+  g_admit : Metrics.gauge;
+  g_match : Metrics.gauge;
+  g_lag : Metrics.gauge;
+  g_depth : Metrics.gauge;
+  h_decode : Histogram.t;
+  h_queue : Histogram.t;
+  h_admit : Histogram.t;
+  h_match : Histogram.t;
+  mutable decode_high : int;
+  mutable admit_low : int;
+  mutable match_low : int;
+}
+
+let stage_label name = Metrics.with_labels "ocep_stage_latency_us" [ ("stage", name) ]
+
+let wm_label name = Metrics.with_labels "ocep_watermark" [ ("stage", name) ]
+
+let create metrics =
+  let wm_help =
+    "Pipeline watermark: highest wire record id fully past the stage \
+     (every lower id has also passed)"
+  in
+  let stage_help = "Per-stage pipeline latency (microseconds)" in
+  let g_decode = Metrics.gauge metrics ~help:wm_help (wm_label "decode") in
+  let g_admit = Metrics.gauge metrics ~help:wm_help (wm_label "admit") in
+  let g_match = Metrics.gauge metrics ~help:wm_help (wm_label "match") in
+  let g_lag =
+    Metrics.gauge metrics
+      ~help:"Records decoded but not yet admitted (decode watermark - admit watermark)"
+      "ocep_ingest_lag_records"
+  in
+  let g_depth =
+    Metrics.gauge metrics ~help:"Current reorder-buffer depth" "ocep_reorder_depth"
+  in
+  let h_decode = Metrics.histogram metrics ~help:stage_help (stage_label "decode") in
+  let h_queue = Metrics.histogram metrics ~help:stage_help (stage_label "queue") in
+  let h_admit = Metrics.histogram metrics ~help:stage_help (stage_label "admit") in
+  let h_match = Metrics.histogram metrics ~help:stage_help (stage_label "match") in
+  Metrics.set g_decode (-1.);
+  Metrics.set g_admit (-1.);
+  Metrics.set g_match (-1.);
+  {
+    g_decode;
+    g_admit;
+    g_match;
+    g_lag;
+    g_depth;
+    h_decode;
+    h_queue;
+    h_admit;
+    h_match;
+    decode_high = -1;
+    admit_low = -1;
+    match_low = -1;
+  }
+
+(* The exact watermark state lives in the plain int fields; the gauges
+   are a published view of it, refreshed by {!sync} — called from every
+   [observe_*] (the sampled records of a stamping pipeline) and by the
+   pipeline at publish points. Writing the gauges from the unsampled
+   [advance_*] path would cost a cross-module float store per call on
+   the per-record budget for a value nothing reads between scrapes. *)
+let sync t =
+  Metrics.set t.g_decode (float_of_int t.decode_high);
+  Metrics.set t.g_admit (float_of_int t.admit_low);
+  Metrics.set t.g_match (float_of_int t.match_low);
+  Metrics.set t.g_lag (float_of_int (max 0 (t.decode_high - t.admit_low)))
+
+let observe_decode t ~id ~dur_us =
+  (* faults may deliver ids out of order, but every id eventually passes
+     decode, so the running max is the exact low watermark of the stage *)
+  if id > t.decode_high then t.decode_high <- id;
+  Histogram.record t.h_decode dur_us;
+  sync t
+
+let observe_queue t ~dur_us = Histogram.record t.h_queue dur_us
+
+let observe_admit t ~id ~dur_us =
+  (* admission releases in ascending id order (skipped ids are charged to
+     the skip counters, never re-emitted), so the last released id is the
+     stage's low watermark *)
+  if id > t.admit_low then t.admit_low <- id;
+  Histogram.record t.h_admit dur_us;
+  sync t
+
+let observe_match t ~id ~dur_us =
+  if id > t.match_low then t.match_low <- id;
+  Histogram.record t.h_match dur_us;
+  sync t
+
+(* Tracker-only advances for the unsampled records of a stamping
+   pipeline: the in-memory watermarks and lag stay exact on every
+   record; the gauges catch up at the next [observe_*] or {!sync}. *)
+let advance_decode t ~id = if id > t.decode_high then t.decode_high <- id
+
+let advance_admit t ~id = if id > t.admit_low then t.admit_low <- id
+
+let advance_match t ~id = if id > t.match_low then t.match_low <- id
+
+let set_depth t depth = Metrics.set t.g_depth (float_of_int depth)
+
+let decode_watermark t = t.decode_high
+
+let admit_watermark t = t.admit_low
+
+let match_watermark t = t.match_low
+
+let lag t = max 0 (t.decode_high - t.admit_low)
+
+let decode_latency t = t.h_decode
+
+let queue_latency t = t.h_queue
+
+let admit_latency t = t.h_admit
+
+let match_latency t = t.h_match

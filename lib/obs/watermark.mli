@@ -1,0 +1,90 @@
+(** Pipeline watermarks and per-stage latency attribution for the
+    ingest path (wire decode → bounded queue → admission reorder buffer
+    → engine match).
+
+    A stage's {e low watermark} is the highest wire record id that has
+    fully passed the stage — every lower id has also passed (or has
+    been definitively dropped and charged to an admission counter).
+    Decode may observe ids out of order under fault injection, but every
+    id passes it eventually, so its running max is exact; admission
+    releases records in ascending id order by construction, making the
+    last released id the admit watermark, and likewise for match.
+
+    The gap between the decode and admit watermarks is the ingest lag:
+    records decoded but still sitting in the queue or the reorder
+    buffer.
+
+    All instruments register into the supplied {!Metrics} registry:
+
+    - [ocep_watermark{stage="decode"|"admit"|"match"}] gauges (-1 until
+      the first record passes),
+    - [ocep_ingest_lag_records] and [ocep_reorder_depth] gauges,
+    - [ocep_stage_latency_us{stage="decode"|"queue"|"admit"|"match"}]
+      histograms: wire-frame decode time, bounded-queue residency
+      (pipelined replay only), reorder-buffer residency, and the
+      engine's per-record dispatch-to-done match time.
+
+    Not thread-safe: observe from the domain that owns the registry
+    (the ingesting domain), like every other instrument. *)
+
+type t
+
+val create : Metrics.t -> t
+(** Register the watermark instruments into the registry (idempotent
+    per registry, like all registrations). *)
+
+val observe_decode : t -> id:int -> dur_us:float -> unit
+(** A wire record finished decoding: advance the decode watermark and
+    record the frame's read+decode time. *)
+
+val observe_queue : t -> dur_us:float -> unit
+(** A record spent [dur_us] in the bounded hand-off queue. *)
+
+val observe_admit : t -> id:int -> dur_us:float -> unit
+(** Admission released record [id]; [dur_us] is its reorder-buffer
+    residency (admission entry → release). *)
+
+val observe_match : t -> id:int -> dur_us:float -> unit
+(** The engine finished processing record [id]; [dur_us] covers
+    dispatch → search completion. *)
+
+val advance_decode : t -> id:int -> unit
+val advance_admit : t -> id:int -> unit
+
+val advance_match : t -> id:int -> unit
+(** Tracker-only variants of the observers for the unsampled records of
+    a stamping pipeline: the in-memory watermarks ({!decode_watermark}
+    etc.) and {!lag} stay exact on every record while the latency
+    histograms fill from the sampled subset ({!Ocep_ingest.Source}
+    stamps full timing on one record in 64). A compare and at most one
+    int store per call — no clock reads, no histogram update, and no
+    gauge write: the published gauges catch up at the next [observe_*]
+    or {!sync}. *)
+
+val sync : t -> unit
+(** Publish the current watermark trackers and lag into their gauges.
+    Every [observe_*] syncs; pipelines that run long unsampled streaks
+    call it at publish points so a scrape never lags the stream by more
+    than a sample window. *)
+
+val set_depth : t -> int -> unit
+(** Current reorder-buffer depth (from the admission layer's [on_depth]
+    callback). *)
+
+val decode_watermark : t -> int
+(** Highest record id decoded; -1 before the first. *)
+
+val admit_watermark : t -> int
+(** Highest record id released by admission; -1 before the first. *)
+
+val match_watermark : t -> int
+(** Highest record id fully processed by the engine; -1 before the
+    first. *)
+
+val lag : t -> int
+(** [decode_watermark - admit_watermark], clamped at 0. *)
+
+val decode_latency : t -> Ocep_stats.Histogram.t
+val queue_latency : t -> Ocep_stats.Histogram.t
+val admit_latency : t -> Ocep_stats.Histogram.t
+val match_latency : t -> Ocep_stats.Histogram.t

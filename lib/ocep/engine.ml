@@ -24,7 +24,20 @@ type config = {
   cutover_batch : int;
   cutover_work : int;
   trace_spans : bool;
+  trace_capacity : int;
+  provenance : bool;
+  provenance_capacity : int;
 }
+
+let default_trace_capacity = 65_536
+
+(* sized so the flight ring (48 B/slot) stays cache-resident on a
+   typical trace count — at 8 traces, 1024 slots is 384 KB.  The ring
+   is written once per event, so an L2-resident window records for
+   effectively nothing while a multi-megabyte one pays a store miss per
+   event (~5% of the races budget, measured by bench_obs); raise it for
+   explain-heavy forensics where a deeper window beats throughput *)
+let default_provenance_capacity = 1_024
 
 let default_config =
   {
@@ -41,9 +54,10 @@ let default_config =
     cutover_batch = 4;
     cutover_work = 256;
     trace_spans = false;
+    trace_capacity = default_trace_capacity;
+    provenance = true;
+    provenance_capacity = default_provenance_capacity;
   }
-
-let default_trace_capacity = 65_536
 
 (* Reject configurations that would crash later (gc_every = Some 0 used
    to divide by zero in the gc cadence check) or that have no sensible
@@ -65,7 +79,11 @@ let validate_config (c : config) =
   if c.cutover_batch < 0 then
     fail "Engine.create: cutover_batch must be non-negative, got %d" c.cutover_batch;
   if c.cutover_work < 0 then
-    fail "Engine.create: cutover_work must be non-negative, got %d" c.cutover_work
+    fail "Engine.create: cutover_work must be non-negative, got %d" c.cutover_work;
+  if c.trace_capacity <= 0 then
+    fail "Engine.create: trace_capacity must be positive, got %d" c.trace_capacity;
+  if c.provenance_capacity <= 0 then
+    fail "Engine.create: provenance_capacity must be positive, got %d" c.provenance_capacity
 
 (* A leaf's stored events can be garbage-collected once they are in the
    causal past of every trace iff (a) the leaf never serves as interposer
@@ -179,6 +197,20 @@ type t = {
   metrics : Metrics.t;
   meters : meters;
   tracer : Tracer.t option;
+  flight : Flight.t option;
+  m_staleness : Metrics.gauge array;  (* per trace, [||] when provenance is off *)
+  (* wire provenance of the event currently being fed ([feed_wire] sets,
+     [on_event] consumes and clears): threading through mutable state
+     keeps [Poet.ingest]'s signature and allocates nothing per event.
+     The timestamps live in a flat float array — a mutable float field
+     of this mixed record would box on every store *)
+  mutable pw_id : int;
+  mutable pw_verdict : int;
+  pw_times : float array;
+      (* [0] decode stamp, [1] admit stamp, [2] the chained dispatch
+         stamp: the flight recorder reads the clock once every 16
+         events and reuses the stamp in between, so always-on
+         provenance pays ~2 ns/event of clock time instead of ~30 *)
   frontier : Vclock.t array;  (* latest timestamp seen per trace *)
   intern : string -> int;
   trace_of_sym : int -> int option;
@@ -290,9 +322,9 @@ let make_meters metrics ~parallelism =
   let m_poet_notified =
     c ~help:"POET subscriber callbacks invoked" "ocep_poet_notifications_total"
   in
-  let m_spans = c ~help:"Trace spans recorded" "ocep_trace_spans_total" in
+  let m_spans = c ~help:"Trace spans recorded" "ocep_spans_total" in
   let m_spans_dropped =
-    c ~help:"Trace spans overwritten by the ring buffer" "ocep_trace_spans_dropped_total"
+    c ~help:"Trace spans overwritten by the ring buffer" "ocep_spans_dropped_total"
   in
   let m_patterns = g ~help:"Registered live patterns" "ocep_patterns" in
   {
@@ -413,8 +445,22 @@ let create_multi ?(config = default_config) ~poet () =
       metrics;
       meters = make_meters metrics ~parallelism;
       tracer =
-        (if config.trace_spans then Some (Tracer.create ~capacity:default_trace_capacity)
+        (if config.trace_spans then Some (Tracer.create ~capacity:config.trace_capacity)
          else None);
+      flight =
+        (if config.provenance then
+           Some (Flight.create ~n_traces ~capacity:config.provenance_capacity ())
+         else None);
+      m_staleness =
+        (if config.provenance then
+           Array.init n_traces (fun tr ->
+               Metrics.gauge metrics
+                 ~help:"Microseconds since the trace's last event was dispatched (-1 before any)"
+                 (Metrics.with_labels "ocep_trace_staleness_us" [ ("trace", string_of_int tr) ]))
+         else [||]);
+      pw_id = -1;
+      pw_verdict = 0;
+      pw_times = Array.make 3 0.;
       frontier = Array.make n_traces (Vclock.make ~dim:n_traces);
       intern = Symbol.intern (Poet.symbols poet);
       trace_of_sym = Poet.trace_of_sym poet;
@@ -469,39 +515,30 @@ let create_multi ?(config = default_config) ~poet () =
     | Matcher.Not_found -> "not_found"
     | Matcher.Aborted -> "aborted"
   in
-  let search_args ?pin ~(p : pstate) ~anchor_leaf ~(stats : Matcher.stats) ~nodes0 ~backjumps0
-      outcome =
-    let base =
-      [
-        ("pattern", Tracer.Int p.pid);
-        ("anchor_leaf", Tracer.Int anchor_leaf);
-        ("nodes", Tracer.Int (stats.Matcher.nodes - nodes0));
-        ("backjumps", Tracer.Int (stats.Matcher.backjumps - backjumps0));
-        ("outcome", Tracer.Str (outcome_tag outcome));
-      ]
-    in
-    match pin with
-    | None -> base
-    | Some (l, tr) -> ("pin_leaf", Tracer.Int l) :: ("pin_trace", Tracer.Int tr) :: base
-  in
   let run_search ?pin (p : pstate) ~anchor_leaf ~anchor () =
-    let search () =
+    match t.tracer with
+    | None ->
       Matcher.search ~plan:p.pplans.(anchor_leaf) ~net:p.pinet ~history:p.phistory ~n_traces
         ~trace_of_sym:t.trace_of_sym ~partner_of:t.partner_of ~anchor_leaf ~anchor ?pin
         ?node_budget:config.node_budget ~stats:p.pstats ()
-    in
-    match t.tracer with
-    | None -> search ()
     | Some tr ->
       let nodes0 = p.pstats.Matcher.nodes and backjumps0 = p.pstats.Matcher.backjumps in
       let t0 = Clock.now_us () in
-      let outcome = search () in
+      let outcome =
+        Matcher.search ~plan:p.pplans.(anchor_leaf) ~net:p.pinet ~history:p.phistory ~n_traces
+          ~trace_of_sym:t.trace_of_sym ~partner_of:t.partner_of ~anchor_leaf ~anchor ?pin
+          ?node_budget:config.node_budget ~stats:p.pstats ()
+      in
       let dt = Clock.now_us () -. t0 in
-      Tracer.record tr
-        ~name:(if pin = None then "search" else "pinned")
+      let pin_leaf, pin_trace = match pin with Some (l, tr') -> (l, tr') | None -> (-1, -1) in
+      Tracer.record_search tr
+        ~name:(if pin_leaf < 0 then "search" else "pinned")
         ~cat:"engine" ~ts_us:t0 ~dur_us:dt
         ~tid:(Stdlib.Domain.self () :> int)
-        ~args:(search_args ?pin ~p ~anchor_leaf ~stats:p.pstats ~nodes0 ~backjumps0 outcome);
+        ~pattern:p.pid ~anchor_leaf
+        ~nodes:(p.pstats.Matcher.nodes - nodes0)
+        ~backjumps:(p.pstats.Matcher.backjumps - backjumps0)
+        ~outcome:(outcome_tag outcome) ~pin_leaf ~pin_trace;
       outcome
   in
   let get_pool () =
@@ -578,6 +615,26 @@ let create_multi ?(config = default_config) ~poet () =
     t.events_processed <- t.events_processed + 1;
     t.frontier.(ev.trace) <- ev.vc;
     History.note_comm_store t.store ev;
+    (match t.flight with
+    | Some fl ->
+      let pw = t.pw_times in
+      (* pw.(2) is the chained dispatch stamp the recorder will read *)
+      if t.events_processed land 15 = 1 || Array.unsafe_get pw 2 = 0. then
+        Array.unsafe_set pw 2 (Clock.now_us ())
+      else begin
+        (* a wire admit stamp newer than the chain refreshes it for free *)
+        let admit = Array.unsafe_get pw 1 in
+        if admit > Array.unsafe_get pw 2 then Array.unsafe_set pw 2 admit
+      end;
+      Flight.note fl ~trace:ev.trace ~index:ev.index ~wire_id:t.pw_id ~verdict:t.pw_verdict
+        ~stamps:pw;
+      (* the stamps are left in place: they stay current until the next
+         [set_wire_stamps], and a direct feed (wire id -1) ignores them *)
+      if t.pw_id >= 0 then begin
+        t.pw_id <- -1;
+        t.pw_verdict <- 0
+      end
+    | None -> ());
     let seq = t.events_processed in
     (* phase 1 — class dispatch: add the event to every matching class
        once, and queue the subscribing (pattern, leaf) pairs *)
@@ -701,11 +758,12 @@ let create_multi ?(config = default_config) ~poet () =
                       let ts = Clock.now_us () in
                       let o = search () in
                       let dt = Clock.now_us () -. ts in
-                      Tracer.record trc ~name:"pinned" ~cat:"worker" ~ts_us:ts ~dur_us:dt
+                      Tracer.record_search trc ~name:"pinned" ~cat:"worker" ~ts_us:ts
+                        ~dur_us:dt
                         ~tid:(Stdlib.Domain.self () :> int)
-                        ~args:
-                          (search_args ~pin:(l, tr) ~p ~anchor_leaf ~stats ~nodes0:0
-                             ~backjumps0:0 o);
+                        ~pattern:p.pid ~anchor_leaf ~nodes:stats.Matcher.nodes
+                        ~backjumps:stats.Matcher.backjumps ~outcome:(outcome_tag o)
+                        ~pin_leaf:l ~pin_trace:tr;
                       o
                   in
                   (outcome, stats))
@@ -716,6 +774,10 @@ let create_multi ?(config = default_config) ~poet () =
                 p.pstats.Matcher.nodes <- p.pstats.Matcher.nodes + s.Matcher.nodes;
                 p.pstats.Matcher.backjumps <- p.pstats.Matcher.backjumps + s.Matcher.backjumps;
                 p.pstats.Matcher.searches <- p.pstats.Matcher.searches + s.Matcher.searches;
+                if s.Matcher.miss_level > p.pstats.Matcher.miss_level then begin
+                  p.pstats.Matcher.miss_level <- s.Matcher.miss_level;
+                  p.pstats.Matcher.miss_leaf <- s.Matcher.miss_leaf
+                end;
                 if not (Subset.is_covered p.psubset ~leaf:l ~trace:tr) then
                   consume_pin p (l, tr) outcome
                 else t.speculative_discards <- t.speculative_discards + 1)
@@ -778,17 +840,14 @@ let create_multi ?(config = default_config) ~poet () =
               t.patterns
           | Samples -> ()
         end;
+        (match t.flight with
+        | Some fl -> Flight.note_match fl ~trace:ev.trace ~index:ev.index ~dur_us:lat_us
+        | None -> ());
         match t.tracer with
         | Some tr ->
-          Tracer.record tr ~name:"arrival" ~cat:"engine" ~ts_us:t0 ~dur_us:lat_us
+          Tracer.record_arrival tr ~ts_us:t0 ~dur_us:lat_us
             ~tid:(Stdlib.Domain.self () :> int)
-            ~args:
-              [
-                ("trace", Tracer.Int ev.trace);
-                ("index", Tracer.Int ev.index);
-                ("etype", Tracer.Str ev.etype);
-                ("anchors", Tracer.Int !anchors_run);
-              ]
+            ~trace:ev.trace ~index:ev.index ~etype:ev.etype ~anchors:!anchors_run
         | None -> ()
       end
     end;
@@ -1005,6 +1064,15 @@ let sync_metrics t =
   | None -> ());
   Metrics.set_counter m.m_poet_ingested (Poet.ingested t.poet);
   Metrics.set_counter m.m_poet_notified (Poet.notifications t.poet);
+  (match t.flight with
+  | Some fl ->
+    let now = Clock.now_us () in
+    Array.iteri
+      (fun tr g ->
+        let last = Flight.last_dispatch_us fl ~trace:tr in
+        Metrics.set g (if last > 0. then now -. last else -1.))
+      t.m_staleness
+  | None -> ());
   match t.tracer with
   | Some tr ->
     Metrics.set_counter m.m_spans (Tracer.recorded tr);
@@ -1040,7 +1108,11 @@ let search_stats t =
       (fun (p : pstate) ->
         s.Matcher.nodes <- s.Matcher.nodes + p.pstats.Matcher.nodes;
         s.Matcher.backjumps <- s.Matcher.backjumps + p.pstats.Matcher.backjumps;
-        s.Matcher.searches <- s.Matcher.searches + p.pstats.Matcher.searches)
+        s.Matcher.searches <- s.Matcher.searches + p.pstats.Matcher.searches;
+        if p.pstats.Matcher.miss_level > s.Matcher.miss_level then begin
+          s.Matcher.miss_level <- p.pstats.Matcher.miss_level;
+          s.Matcher.miss_leaf <- p.pstats.Matcher.miss_leaf
+        end)
       ps;
     s
 
@@ -1066,6 +1138,24 @@ let shutdown t =
 let poet t = t.poet
 
 let feed_raw t raw = Poet.ingest t.poet raw
+
+let set_wire_stamps t ~decode_us ~admit_us =
+  Array.unsafe_set t.pw_times 0 decode_us;
+  Array.unsafe_set t.pw_times 1 admit_us
+
+(* ints only: float arguments to a cross-library call are boxed (no
+   flambda), so the per-record path must not carry them — stamps arrive
+   via [set_wire_stamps] only when they change (one record in a sample
+   window, plus buffered releases) *)
+let feed_wire t ~id ~verdict raw =
+  t.pw_id <- id;
+  t.pw_verdict <- Ocep_obs.Provenance.verdict_to_int verdict;
+  Poet.ingest t.poet raw
+
+let flight t = t.flight
+
+let note_wire_drop t ~id ~verdict =
+  match t.flight with Some fl -> Flight.note_drop fl ~id ~verdict | None -> ()
 
 (* A handle is just (engine, pid); the pstate is re-resolved on every
    call so a detached pattern fails loudly instead of reading frozen
@@ -1099,6 +1189,11 @@ module Handle = struct
   let find_containing h ev = find_containing_in h.h_eng (get h) ev
   let latency_histogram h = (get h).plat_hist
   let history_entries h ~leaf = History.entries_for (get h).phistory ~leaf
+
+  let nearest_miss h =
+    let s = (get h).pstats in
+    if s.Matcher.miss_level < 0 then None
+    else Some (s.Matcher.miss_leaf, s.Matcher.miss_level)
 
   let metrics h =
     let p = get h in

@@ -113,13 +113,30 @@ type config = {
           it with {!tracer} + {!Ocep_obs.Tracer.dump}. Off by default:
           spans cost two clock reads and a mutex-protected ring write
           per search. *)
+  trace_capacity : int;
+      (** span ring capacity when [trace_spans] is on; overwrites are
+          counted in [ocep_spans_dropped_total]. *)
+  provenance : bool;
+      (** the flight recorder: keep a bounded per-event provenance
+          record (wire record id, admission verdict, decode → admit →
+          dispatch timestamps) for the most recent
+          [provenance_capacity] events of each trace, plus per-trace
+          staleness gauges ([ocep_trace_staleness_us{trace="N"}]) and a
+          ring of refused wire records — what [ocep explain]
+          reconstructs causal chains from. On by default: recording is
+          one clock read and a few array stores per event. *)
+  provenance_capacity : int;  (** flight-recorder window, per trace *)
 }
 
 val default_config : config
 (** pruning on, no cap, pin searches on with filtering, no budget,
     100_000 reports, latency recording on into the [Samples] sink, gc
     off, parallelism 1, cut-over at 4 surviving searches × 256
-    first-level entries, span tracing off. *)
+    first-level entries, span tracing off (capacity 65_536 when
+    enabled), provenance on with a 1_024-event window per trace (sized
+    to keep the flight ring cache-resident; raise it when a deeper
+    [ocep explain] window matters more than the last few percent of
+    throughput). *)
 
 type t
 
@@ -189,6 +206,14 @@ module Handle : sig
 
   val history_entries : t -> leaf:int -> int
   (** Live entries of the leaf's (shared) history class. *)
+
+  val nearest_miss : t -> (int * int) option
+  (** The pattern's nearest miss so far: [(leaf, level)] where [leaf]
+      is the leaf that failed binding last in the deepest-reaching
+      failed search ([level] leaves were bound when it got furthest);
+      [None] until some search returns [Not_found]. The bounded
+      explanation [ocep explain] renders for digests that match no
+      report. *)
 
   val metrics : t -> metrics
 
@@ -277,7 +302,30 @@ val feed_raw : t -> Event.raw -> Event.t
     both the in-process simulator path and {!Ocep_ingest}'s admission
     layer. The caller owes POET's precondition — events of each trace in
     local-clock order, receives after their sends; that is exactly what
-    the admission layer restores under degraded delivery. *)
+    the admission layer restores under degraded delivery. Events fed
+    this way carry the [Direct] provenance verdict. *)
+
+val set_wire_stamps : t -> decode_us:float -> admit_us:float -> unit
+(** Set the decode/admit timestamps the flight recorder will stamp on
+    subsequent {!feed_wire} events, until the next call. Split from
+    {!feed_wire} so the per-record path carries only immediates — float
+    arguments to a cross-library call are boxed — while stamps change
+    only on the ingest path's sampled records and buffered releases. *)
+
+val feed_wire :
+  t -> id:int -> verdict:Ocep_obs.Provenance.verdict -> Event.raw -> Event.t
+(** {!feed_raw} with wire provenance: the admission layer's verdict and
+    the current {!set_wire_stamps} timestamps are stamped into the
+    flight recorder alongside the dispatch timestamp. A no-op relative
+    to [feed_raw] when the config's [provenance] is off. *)
+
+val flight : t -> Flight.t option
+(** The flight recorder, present when the config's [provenance] is on. *)
+
+val note_wire_drop : t -> id:int -> verdict:Ocep_obs.Provenance.verdict -> unit
+(** Record a wire record the admission layer refused (deduped,
+    gap-skipped, late, orphaned) into the flight recorder's drop ring;
+    no-op without one. *)
 
 val reports : t -> Subset.report list
 (** The representative subset(s), grouped by pattern in registration

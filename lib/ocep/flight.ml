@@ -1,0 +1,126 @@
+module Provenance = Ocep_obs.Provenance
+
+type record = {
+  wire_id : int;
+  verdict : Provenance.verdict;
+  decode_us : float;
+  admit_us : float;
+  dispatch_us : float;
+  match_us : float;
+}
+
+(* Per-trace rings flattened into ONE float array, stride 6 per slot:
+   [stored index; packed (wire_id, verdict); decode; admit; dispatch;
+   match]. The index and the packed word are small non-negative
+   integers stored as floats — exact below 2^53, far beyond any run —
+   so the whole slot is 48 contiguous bytes and recording one event is
+   six unchecked stores that touch a single cache line (sometimes two):
+   the ring cycles through megabytes, so per-note cache traffic, not
+   instruction count, is what the always-on budget buys. No division
+   (capacity is a power of two, slot = index land mask), no allocation.
+   A slot is valid only while its stored index matches the queried one
+   (older events of the same residue have been overwritten).
+
+   The packed word is [(wire_id + 1) * 8 + verdict]: wire ids are
+   >= -1 (-1 marks a direct feed), verdicts fit in 3 bits. *)
+type t = {
+  cap : int;  (* power of two *)
+  mask : int;
+  n_traces : int;
+  slots : float array;  (* n_traces * cap * 6 *)
+  last_dispatch : float array;  (* per trace; 0 until the first event *)
+  mutable recorded : int;
+  (* bounded ring of wire records admission refused (deduped,
+     gap-skipped, late, orphaned) — the negative space of a causal
+     chain: why a wire id near a match never reached the engine *)
+  drop_id : int array;
+  drop_verd : int array;
+  mutable drop_next : int;
+  mutable drop_total : int;
+}
+
+let stride = 6
+
+let rec pow2 n k = if k >= n then k else pow2 n (k * 2)
+
+let create ?(drop_capacity = 1024) ~n_traces ~capacity () =
+  if capacity <= 0 then invalid_arg "Flight.create: capacity must be positive";
+  if drop_capacity <= 0 then invalid_arg "Flight.create: drop_capacity must be positive";
+  let cap = pow2 capacity 1 in
+  {
+    cap;
+    mask = cap - 1;
+    n_traces;
+    slots = Array.make (n_traces * cap * stride) (-1.);
+    last_dispatch = Array.make n_traces 0.;
+    recorded = 0;
+    drop_id = Array.make drop_capacity (-1);
+    drop_verd = Array.make drop_capacity 0;
+    drop_next = 0;
+    drop_total = 0;
+  }
+
+let capacity t = t.cap
+
+let recorded t = t.recorded
+
+let note t ~trace ~index ~wire_id ~verdict ~stamps =
+  (* trace and index come from an event the engine already built, so
+     the slot arithmetic below cannot escape the array. The stamps
+     arrive as a 3-slot array [decode; admit; dispatch] rather than
+     three float arguments: float args to a non-inlined call are boxed
+     (no flambda), and this runs once per event *)
+  let s = ((trace * t.cap) + (index land t.mask)) * stride in
+  let sl = t.slots in
+  Array.unsafe_set sl s (float_of_int index);
+  Array.unsafe_set sl (s + 1) (float_of_int (((wire_id + 1) lsl 3) lor verdict));
+  Array.unsafe_set sl (s + 2) (Array.unsafe_get stamps 0);
+  Array.unsafe_set sl (s + 3) (Array.unsafe_get stamps 1);
+  let dispatch = Array.unsafe_get stamps 2 in
+  Array.unsafe_set sl (s + 4) dispatch;
+  Array.unsafe_set sl (s + 5) 0.;
+  Array.unsafe_set t.last_dispatch trace dispatch;
+  t.recorded <- t.recorded + 1
+
+let note_match t ~trace ~index ~dur_us =
+  let s = ((trace * t.cap) + (index land t.mask)) * stride in
+  if Array.unsafe_get t.slots s = float_of_int index then
+    Array.unsafe_set t.slots (s + 5) dur_us
+
+let find t ~trace ~index =
+  if trace < 0 || trace >= t.n_traces || index < 0 then None
+  else begin
+    let s = ((trace * t.cap) + (index land t.mask)) * stride in
+    if t.slots.(s) <> float_of_int index then None
+    else begin
+      let p = int_of_float t.slots.(s + 1) in
+      Some
+        {
+          wire_id = (p lsr 3) - 1;
+          verdict = Provenance.verdict_of_int (p land 7);
+          decode_us = t.slots.(s + 2);
+          admit_us = t.slots.(s + 3);
+          dispatch_us = t.slots.(s + 4);
+          match_us = t.slots.(s + 5);
+        }
+    end
+  end
+
+let last_dispatch_us t ~trace = t.last_dispatch.(trace)
+
+let note_drop t ~id ~verdict =
+  let s = t.drop_next in
+  t.drop_id.(s) <- id;
+  t.drop_verd.(s) <- Provenance.verdict_to_int verdict;
+  t.drop_next <- (if s + 1 = Array.length t.drop_id then 0 else s + 1);
+  t.drop_total <- t.drop_total + 1
+
+let drops_recorded t = t.drop_total
+
+let drops t =
+  let cap = Array.length t.drop_id in
+  let n = min t.drop_total cap in
+  let first = if t.drop_total > cap then t.drop_next else 0 in
+  List.init n (fun i ->
+      let s = (first + i) mod cap in
+      (t.drop_id.(s), Provenance.verdict_of_int t.drop_verd.(s)))

@@ -1,0 +1,67 @@
+(** The engine's flight recorder: a bounded, always-on store of
+    per-event provenance — which wire record an event came from, what
+    the admission layer decided about it, and when it passed each
+    pipeline stage — plus a small ring of wire records admission
+    refused. Together they let [ocep explain] reconstruct the full
+    ingest → match causal chain of a report after the fact.
+
+    Storage is per-trace rings keyed by the event's index in its trace
+    (slot = index land (capacity - 1); capacity is rounded up to a
+    power of two), flattened structure-of-arrays, so recording one
+    event is a handful of unchecked array stores with no division and
+    no allocation: cheap enough to leave on under the engine's <5%
+    observability budget. Lookups
+    return [None] once the slot has been overwritten by a newer event
+    of the same residue — provenance is a window over the recent past,
+    sized by [capacity]. *)
+
+type record = {
+  wire_id : int;  (** -1 for events fed directly (no wire framing) *)
+  verdict : Ocep_obs.Provenance.verdict;
+  decode_us : float;  (** admission-entry timestamp; meaningless when [wire_id] is -1 *)
+  admit_us : float;  (** admission-release timestamp; meaningless when [wire_id] is -1 *)
+  dispatch_us : float;  (** engine dispatch timestamp (always set) *)
+  match_us : float;
+      (** duration of the arrival's search phase, µs; 0 when the event
+          anchored nothing or the engine was not timing *)
+}
+
+type t
+
+val create : ?drop_capacity:int -> n_traces:int -> capacity:int -> unit -> t
+(** [capacity] is per trace, rounded up to the next power of two;
+    [drop_capacity] (default 1024) bounds the refused-record ring.
+    Raises [Invalid_argument] unless both are positive. *)
+
+val capacity : t -> int
+(** The effective (rounded) per-trace window. *)
+
+val recorded : t -> int
+(** Events ever noted. *)
+
+val note :
+  t -> trace:int -> index:int -> wire_id:int -> verdict:int -> stamps:float array -> unit
+(** Record one dispatched event. [verdict] is packed
+    ({!Ocep_obs.Provenance.verdict_to_int}) and the timestamps arrive
+    as [stamps = [|decode_us; admit_us; dispatch_us|]] (read, not
+    retained; must have at least 3 slots) so the once-per-event call
+    carries no float arguments — those would box. *)
+
+val note_match : t -> trace:int -> index:int -> dur_us:float -> unit
+(** Attach the arrival's search-phase duration to an already-noted
+    event; ignored if the slot has been overwritten. *)
+
+val find : t -> trace:int -> index:int -> record option
+(** Provenance of event (trace, index), if still within the window. *)
+
+val last_dispatch_us : t -> trace:int -> float
+(** Dispatch timestamp of the trace's most recent event; 0 before the
+    first — the basis of the per-trace staleness gauges. *)
+
+val note_drop : t -> id:int -> verdict:Ocep_obs.Provenance.verdict -> unit
+(** Record a wire id admission refused. *)
+
+val drops_recorded : t -> int
+
+val drops : t -> (int * Ocep_obs.Provenance.verdict) list
+(** Retained refused records, oldest first. *)

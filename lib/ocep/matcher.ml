@@ -3,9 +3,15 @@ module Compile = Ocep_pattern.Compile
 
 type outcome = Found of Event.t array | Not_found | Aborted
 
-type stats = { mutable nodes : int; mutable backjumps : int; mutable searches : int }
+type stats = {
+  mutable nodes : int;
+  mutable backjumps : int;
+  mutable searches : int;
+  mutable miss_level : int;  (* deepest level any failed search reached; -1 none *)
+  mutable miss_leaf : int;  (* the leaf at that level — failed binding last *)
+}
 
-let new_stats () = { nodes = 0; backjumps = 0; searches = 0 }
+let new_stats () = { nodes = 0; backjumps = 0; searches = 0; miss_level = -1; miss_leaf = -1 }
 
 (* Attribute value of an event as a symbol id — the only representation
    the search ever compares. *)
@@ -314,6 +320,17 @@ let accept ctx st (x : Event.t) =
 
 exception Budget
 
+(* Nearest-miss bookkeeping: a failed search bound levels 1..[deepest]-1
+   and never filled [deepest]; remember the deepest such frontier ever
+   seen so a digest that matches nothing can still be explained ("got
+   this far, this leaf never bound"). *)
+let note_miss ctx deepest =
+  let stats = ctx.stats in
+  if deepest > stats.miss_level then begin
+    stats.miss_level <- deepest;
+    stats.miss_leaf <- ctx.order.(deepest)
+  end
+
 let bump_nodes ctx =
   ctx.stats.nodes <- ctx.stats.nodes + 1;
   if ctx.stats.nodes - ctx.start_nodes > ctx.node_budget then raise Budget
@@ -497,6 +514,7 @@ let search ?plan ~net ~history ~n_traces ~trace_of_sym ~partner_of ~anchor_leaf 
     levels.(1) <- Some (init_level ctx 1);
     let result = ref None in
     let i = ref 1 in
+    let deepest = ref 1 in
     (try
        while !result = None do
          let st = match levels.(!i) with Some st -> st | None -> assert false in
@@ -515,13 +533,17 @@ let search ?plan ~net ~history ~n_traces ~trace_of_sym ~partner_of ~anchor_leaf 
            end
            else begin
              incr i;
+             if !i > !deepest then deepest := !i;
              levels.(!i) <- Some (init_level ctx !i)
            end
          | None ->
            (* goBackward: jump to the deepest conflicting level; a conflict
               set that is empty or {0} means no earlier choice can help *)
            let above0 = st.conflicts land lnot 1 in
-           if above0 = 0 then result := Some Not_found
+           if above0 = 0 then begin
+             result := Some Not_found;
+             note_miss ctx !deepest
+           end
            else begin
              let j = top_bit above0 in
              ctx.stats.backjumps <- ctx.stats.backjumps + 1;

@@ -34,6 +34,13 @@ type stats = {
   mutable nodes : int;  (** candidates examined *)
   mutable backjumps : int;
   mutable searches : int;
+  mutable miss_level : int;
+      (** nearest miss: the deepest backtracking level any failed
+          ([Not_found]) search reached — that many leaves were bound
+          when the search got furthest; -1 until a search fails *)
+  mutable miss_leaf : int;
+      (** the leaf at {!miss_level}'s position in the evaluation order —
+          the leaf that failed binding last; -1 until a search fails *)
 }
 
 val new_stats : unit -> stats

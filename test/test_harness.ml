@@ -156,6 +156,105 @@ let dump_roundtrip_through_runner () =
     (Engine.matches_found engine);
   check_int "same reports" (List.length (Engine.reports engine2)) (List.length (Engine.reports engine))
 
+(* Acceptance: [ocep explain <digest>] reproduces the ingest -> match
+   causal chain for at least one retained report in every built-in
+   workload, under the default config (provenance on). *)
+let explain_every_workload () =
+  List.iter
+    (fun name ->
+      let traces = if name = "ordering" then 12 else 6 in
+      let w = Cases.make name ~traces ~seed:2 ~max_events:20_000 in
+      let names = Sim.trace_names w.Workload.sim_config in
+      let poet = Ocep_poet.Poet.create ~trace_names:names () in
+      let net = Ocep_pattern.Compile.compile (Ocep_pattern.Parser.parse w.Workload.pattern) in
+      (* a window covering the whole run: eviction is exercised separately *)
+      let config = { Engine.default_config with Engine.provenance_capacity = 32_768 } in
+      let engine = Engine.create ~config ~net ~poet () in
+      Fun.protect ~finally:(fun () -> Engine.shutdown engine) @@ fun () ->
+      ignore
+        (Sim.run w.Workload.sim_config
+           ~sink:(fun raw -> ignore (Ocep_poet.Poet.ingest poet raw))
+           ~bodies:w.Workload.bodies);
+      match Engine.reports engine with
+      | [] -> Alcotest.failf "%s: no retained report to explain" name
+      | r :: _ ->
+        let handle = List.hd (Engine.handles engine) in
+        let digest =
+          Runner.report_digest ~pattern_id:(Engine.Handle.id handle) r
+        in
+        let text = Ocep_harness.Explain.explain engine ~digest in
+        let want what needle =
+          check (Printf.sprintf "%s explain has %s" name what) true (contains text needle)
+        in
+        check (name ^ " resolves") false (contains text "no retained report");
+        want "the digest" digest;
+        want "bound events" "<-";
+        want "provenance lines" "provenance:";
+        want "direct-feed provenance" "fed directly";
+        want "causal constraints" "causal constraints";
+        (* prefix resolution finds the same report *)
+        (match Ocep_harness.Explain.find engine ~digest:(String.sub digest 0 8) with
+        | Some (_, r') ->
+          check (name ^ " prefix finds same report") true
+            (Runner.report_digest ~pattern_id:(Engine.Handle.id handle) r' = digest)
+        | None -> Alcotest.failf "%s: prefix lookup failed" name))
+    Cases.all_names
+
+let explain_wire_provenance () =
+  (* over the wire the chain carries record ids and admission verdicts *)
+  let module Source = Ocep_ingest.Source in
+  let module Framing = Ocep_ingest.Framing in
+  let w = Cases.make "races" ~traces:6 ~seed:2 ~max_events:10_000 in
+  let names = Sim.trace_names w.Workload.sim_config in
+  let path = Filename.temp_file "ocep_explain" ".wire" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) @@ fun () ->
+  let oc = open_out_bin path in
+  let wr = Framing.create_writer oc ~trace_names:names in
+  ignore
+    (Sim.run w.Workload.sim_config
+       ~sink:(fun raw -> ignore (Framing.write_raw wr raw))
+       ~bodies:w.Workload.bodies);
+  Framing.flush wr;
+  close_out oc;
+  let poet = Ocep_poet.Poet.create ~trace_names:names () in
+  let net = Ocep_pattern.Compile.compile (Ocep_pattern.Parser.parse w.Workload.pattern) in
+  let engine = Engine.create ~config:Engine.default_config ~net ~poet () in
+  Fun.protect ~finally:(fun () -> Engine.shutdown engine) @@ fun () ->
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+  ignore (Source.replay ~engine (Framing.create_reader ic));
+  match Engine.reports engine with
+  | [] -> Alcotest.fail "no retained report"
+  | r :: _ ->
+    let handle = List.hd (Engine.handles engine) in
+    let digest = Runner.report_digest ~pattern_id:(Engine.Handle.id handle) r in
+    let text = Ocep_harness.Explain.explain engine ~digest in
+    check "wire record ids present" true (contains text "wire record");
+    check "verdict rendered" true
+      (contains text "verdict in-order" || contains text "verdict reordered");
+    check "stage offsets rendered" true (contains text "decode@+")
+
+let nearest_miss_fallback () =
+  (* a pattern that can never match: the fallback names the leaf that
+     failed binding last instead of a report *)
+  let poet = Ocep_poet.Poet.create ~trace_names:[| "P0" |] () in
+  let net =
+    Ocep_pattern.Compile.compile
+      (Ocep_pattern.Parser.parse
+         "A := [_, Present, _];\nB := [_, Never, _];\npattern := A -> B;\n")
+  in
+  let engine = Engine.create ~config:Engine.default_config ~net ~poet () in
+  Fun.protect ~finally:(fun () -> Engine.shutdown engine) @@ fun () ->
+  for _ = 0 to 9 do
+    ignore
+      (Ocep_poet.Poet.ingest poet
+         { Ocep_base.Event.r_trace = 0; r_etype = "Present"; r_text = "";
+           r_kind = Ocep_base.Event.Internal })
+  done;
+  let text = Ocep_harness.Explain.explain engine ~digest:"feedfacefeedface" in
+  check "falls back" true (contains text "no retained report");
+  check "names a miss" true (contains text "nearest misses")
+
 let () =
   Alcotest.run "harness"
     [
@@ -179,5 +278,11 @@ let () =
         [
           Alcotest.test_case "fig3 output" `Quick repro_fig3_output;
           Alcotest.test_case "scale env" `Quick scale_env_parsing;
+        ] );
+      ( "explain",
+        [
+          Alcotest.test_case "every workload" `Slow explain_every_workload;
+          Alcotest.test_case "wire provenance" `Quick explain_wire_provenance;
+          Alcotest.test_case "nearest-miss fallback" `Quick nearest_miss_fallback;
         ] );
     ]

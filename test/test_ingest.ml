@@ -257,7 +257,11 @@ let corrupted_header_rejected () =
 
 let collect_admission ?config ~n_traces frames =
   let out = ref [] in
-  let adm = Admission.create ?config ~n_traces ~emit:(fun w -> out := w :: !out) () in
+  let adm =
+    Admission.create ?config ~n_traces
+      ~emit:(fun ~verdict:_ ~decode_us:_ ~admit_us:_ w -> out := w :: !out)
+      ()
+  in
   List.iter (Admission.push adm) frames;
   Admission.finish adm;
   (List.rev !out, Admission.stats adm)
@@ -289,7 +293,9 @@ let window_boundary_rejected () =
     ignore
       (Admission.create
          ~config:{ Admission.reorder_window = window; gap_policy = Admission.Wait }
-         ~n_traces:1 ~emit:ignore ())
+         ~n_traces:1
+         ~emit:(fun ~verdict:_ ~decode_us:_ ~admit_us:_ _ -> ())
+         ())
   in
   check "zero window rejected" true
     (match mk 0 with _ -> false | exception Invalid_argument _ -> true);
@@ -299,7 +305,9 @@ let window_boundary_rejected () =
     (match
        Admission.create
          ~config:{ Admission.reorder_window = 1; gap_policy = Admission.Skip (-1) }
-         ~n_traces:1 ~emit:ignore ()
+         ~n_traces:1
+         ~emit:(fun ~verdict:_ ~decode_us:_ ~admit_us:_ _ -> ())
+         ()
      with
     | _ -> false
     | exception Invalid_argument _ -> true)
@@ -391,7 +399,7 @@ let late_arrival_not_a_duplicate () =
     Admission.create
       ~config:{ Admission.reorder_window = 64; gap_policy = Admission.Skip 0 }
       ~n_traces:1
-      ~emit:(fun w -> out := w :: !out)
+      ~emit:(fun ~verdict:_ ~decode_us:_ ~admit_us:_ w -> out := w :: !out)
       ()
   in
   Admission.push adm (e 1 2);
@@ -406,6 +414,73 @@ let late_arrival_not_a_duplicate () =
   checki "duplicate" 1 st.Admission.duplicates;
   checki "gap" 1 st.Admission.gaps;
   check "only id 1 admitted" true (List.map (fun w -> w.Wire.id) (List.rev !out) = [ 1 ])
+
+(* Provenance verdicts: emit gets In_order on the fast path, Reordered
+   for anything that sat in the buffer; on_drop names why a record never
+   reached the engine. *)
+let verdicts_and_drops () =
+  let module Provenance = Ocep_obs.Provenance in
+  let e id seq = { Wire.id; trace = 0; seq; etype = "x"; text = ""; kind = Event.Internal } in
+  let out = ref [] in
+  let drops = ref [] in
+  let adm =
+    Admission.create
+      ~config:{ Admission.reorder_window = 64; gap_policy = Admission.Skip 0 }
+      ~n_traces:1
+      ~emit:(fun ~verdict ~decode_us ~admit_us w ->
+        check "admit after decode" true (admit_us >= decode_us);
+        out := (w.Wire.id, verdict) :: !out)
+      ~on_drop:(fun verdict id -> drops := (id, verdict) :: !drops)
+      ()
+  in
+  Admission.push adm (e 0 1);
+  (* 2 overtakes 1; Skip 0 gives up on 1 at once and releases 2 *)
+  Admission.push adm (e 2 3);
+  (* 1 finally arrives: late, not a duplicate *)
+  Admission.push adm (e 1 2);
+  (* a second copy of 1 IS a duplicate (its lateness was consumed) *)
+  Admission.push adm (e 1 2);
+  (* same dance for 4 overtaking 3 *)
+  Admission.push adm (e 4 5);
+  Admission.push adm (e 3 4);
+  Admission.finish adm;
+  check "verdict per admitted record" true
+    (List.rev !out
+    = [ (0, Provenance.In_order); (2, Provenance.Reordered); (4, Provenance.Reordered) ]);
+  check "drop verdicts" true
+    (List.sort compare !drops
+    = [
+        (1, Provenance.Deduped);
+        (1, Provenance.Gap_skipped);
+        (1, Provenance.Late);
+        (3, Provenance.Gap_skipped);
+        (3, Provenance.Late);
+      ])
+
+let orphan_drop_reported () =
+  let module Provenance = Ocep_obs.Provenance in
+  let drops = ref [] in
+  let adm =
+    Admission.create ~n_traces:2
+      ~emit:(fun ~verdict:_ ~decode_us:_ ~admit_us:_ _ -> ())
+      ~on_drop:(fun verdict id -> drops := (id, verdict) :: !drops)
+      ()
+  in
+  List.iter (Admission.push adm) (List.filter (fun w -> w.Wire.id <> 1) orphan_frames);
+  Admission.finish adm;
+  check "gap and orphan named" true
+    (List.sort compare !drops = [ (1, Provenance.Gap_skipped); (2, Provenance.Orphaned) ])
+
+let push_at_us_is_decode_stamp () =
+  let decode = ref nan in
+  let adm =
+    Admission.create ~n_traces:1
+      ~emit:(fun ~verdict:_ ~decode_us ~admit_us:_ _ -> decode := decode_us)
+      ()
+  in
+  Admission.push ~at_us:42.5 adm
+    { Wire.id = 0; trace = 0; seq = 1; etype = "x"; text = ""; kind = Event.Internal };
+  check "caller timestamp carried" true (!decode = 42.5)
 
 (* ------------------------------------------------------------------ *)
 (* Bounded queue                                                       *)
@@ -492,7 +567,9 @@ let replay_frames ~config ~net ~trace_names frames =
   let adm =
     Admission.create
       ~n_traces:(Array.length trace_names)
-      ~emit:(fun w -> ignore (Engine.feed_raw engine (Wire.to_raw w)))
+      ~emit:(fun ~verdict ~decode_us ~admit_us w ->
+        Engine.set_wire_stamps engine ~decode_us ~admit_us;
+        ignore (Engine.feed_wire engine ~id:w.Wire.id ~verdict (Wire.to_raw w)))
       ()
   in
   List.iter (Admission.push adm) frames;
@@ -585,6 +662,9 @@ let () =
           Alcotest.test_case "late is not duplicate" `Quick late_arrival_not_a_duplicate;
           Alcotest.test_case "window boundary rejected" `Quick window_boundary_rejected;
           Alcotest.test_case "window one admits in order" `Quick window_one_admits_in_order;
+          Alcotest.test_case "verdicts and drops" `Quick verdicts_and_drops;
+          Alcotest.test_case "orphan drop reported" `Quick orphan_drop_reported;
+          Alcotest.test_case "push at_us is decode stamp" `Quick push_at_us_is_decode_stamp;
         ] );
       ( "bqueue",
         [

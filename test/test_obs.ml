@@ -6,6 +6,10 @@ module Summary = Ocep_stats.Summary
 module Metrics = Ocep_obs.Metrics
 module Tracer = Ocep_obs.Tracer
 module Snapshot = Ocep_obs.Snapshot
+module Watermark = Ocep_obs.Watermark
+module Serve = Ocep_obs.Serve
+module Minijson = Ocep_obs.Minijson
+module Provenance = Ocep_obs.Provenance
 
 let check = Alcotest.(check bool)
 let checki = Alcotest.(check int)
@@ -448,8 +452,430 @@ let telemetry_engine () =
   check "events counter synced" true
     (contains s (Printf.sprintf "\"ocep_events_total\": %d" (Engine.events_processed engine)));
   check "spans counter synced" true
-    (contains s
-       (Printf.sprintf "\"ocep_trace_spans_total\": %d" (Tracer.recorded tracer)))
+    (contains s (Printf.sprintf "\"ocep_spans_total\": %d" (Tracer.recorded tracer)))
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus exposition conformance                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* A line-by-line validator of the text exposition format: every
+   non-empty line must be # HELP, # TYPE, or a well-formed sample; TYPE
+   comes once per family and before its samples; label values are
+   quoted with no raw control characters; histogram le buckets are
+   cumulative and end at +Inf, agreeing with _count. *)
+let is_name_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+  || c = ':'
+
+let valid_name n =
+  n <> ""
+  && (match n.[0] with '0' .. '9' -> false | _ -> true)
+  && String.for_all is_name_char n
+
+(* "name{a=\"v\",b=\"w\"} 3.5" -> Some (name, [labels], value) *)
+let parse_sample line =
+  let sp = try Some (String.rindex line ' ') with Not_found -> None in
+  match sp with
+  | None -> None
+  | Some sp -> (
+    let value = String.sub line (sp + 1) (String.length line - sp - 1) in
+    let series = String.sub line 0 sp in
+    if value = "" || (value <> "+Inf" && value <> "NaN" && float_of_string_opt value = None)
+    then None
+    else
+      match String.index_opt series '{' with
+      | None -> if valid_name series then Some (series, [], value) else None
+      | Some i ->
+        let name = String.sub series 0 i in
+        if (not (valid_name name)) || series.[String.length series - 1] <> '}' then None
+        else begin
+          (* walk the label pairs: key="escaped" *)
+          let body = String.sub series (i + 1) (String.length series - i - 2) in
+          let labels = ref [] in
+          let ok = ref true in
+          let j = ref 0 in
+          let n = String.length body in
+          while !ok && !j < n do
+            (match String.index_from_opt body !j '=' with
+            | None -> ok := false
+            | Some eq ->
+              let key = String.sub body !j (eq - !j) in
+              if (not (valid_name key)) || eq + 1 >= n || body.[eq + 1] <> '"' then ok := false
+              else begin
+                (* scan the quoted value honouring backslash escapes *)
+                let k = ref (eq + 2) in
+                let b = Buffer.create 8 in
+                let closed = ref false in
+                while (not !closed) && !k < n do
+                  (match body.[!k] with
+                  | '"' -> closed := true
+                  | '\\' when !k + 1 < n ->
+                    Buffer.add_char b body.[!k + 1];
+                    incr k
+                  | '\n' | '\r' -> ok := false
+                  | c -> Buffer.add_char b c);
+                  incr k
+                done;
+                if not !closed then ok := false
+                else begin
+                  labels := (key, Buffer.contents b) :: !labels;
+                  if !k < n then
+                    if body.[!k] = ',' then j := !k + 1 else ok := false
+                  else j := !k
+                end
+              end)
+          done;
+          if !ok then Some (name, List.rev !labels, value) else None
+        end)
+
+let check_conformance s =
+  let lines = String.split_on_char '\n' s in
+  let typed : (string, unit) Hashtbl.t = Hashtbl.create 32 in
+  (* (base, labels minus le) -> cumulative bucket counts in order *)
+  let buckets : (string * (string * string) list, int list) Hashtbl.t = Hashtbl.create 32 in
+  let counts : (string * (string * string) list, int) Hashtbl.t = Hashtbl.create 32 in
+  List.iteri
+    (fun lineno line ->
+      let fail why = Alcotest.failf "line %d %S: %s" (lineno + 1) line why in
+      if line = "" then ()
+      else if String.length line >= 7 && String.sub line 0 7 = "# HELP " then begin
+        match String.index_from_opt line 7 ' ' with
+        | Some i when valid_name (String.sub line 7 (i - 7)) -> ()
+        | _ -> fail "malformed HELP"
+      end
+      else if String.length line >= 7 && String.sub line 0 7 = "# TYPE " then begin
+        match String.split_on_char ' ' line with
+        | [ _; _; name; kind ] when valid_name name ->
+          if Hashtbl.mem typed name then fail "duplicate TYPE for family";
+          if not (List.mem kind [ "counter"; "gauge"; "histogram" ]) then fail "unknown kind";
+          Hashtbl.replace typed name ()
+        | _ -> fail "malformed TYPE"
+      end
+      else
+        match parse_sample line with
+        | None -> fail "not HELP, TYPE, or a well-formed sample"
+        | Some (name, labels, value) ->
+          let family =
+            List.fold_left
+              (fun n suffix ->
+                if
+                  String.length n > String.length suffix
+                  && String.sub n (String.length n - String.length suffix)
+                       (String.length suffix)
+                     = suffix
+                then String.sub n 0 (String.length n - String.length suffix)
+                else n)
+              name [ "_bucket"; "_sum"; "_count" ]
+          in
+          if not (Hashtbl.mem typed name || Hashtbl.mem typed family) then
+            fail "sample before its TYPE line";
+          let is_bucket = family ^ "_bucket" = name in
+          if is_bucket then begin
+            let le = try List.assoc "le" labels with Not_found -> fail "bucket without le" in
+            let rest = List.remove_assoc "le" labels in
+            let prev = Option.value ~default:[] (Hashtbl.find_opt buckets (family, rest)) in
+            let v = int_of_string value in
+            (match prev with
+            | last :: _ when v < last -> fail "bucket counts not cumulative"
+            | _ -> ());
+            ignore le;
+            Hashtbl.replace buckets (family, rest) (v :: prev)
+          end
+          else if family ^ "_count" = name then
+            Hashtbl.replace counts (family, labels) (int_of_string value))
+    lines;
+  (* every bucket series ends at +Inf and agrees with _count *)
+  Hashtbl.iter
+    (fun (family, rest) cums ->
+      let total = List.hd cums in
+      match Hashtbl.find_opt counts (family, rest) with
+      | Some c when c = total -> ()
+      | Some c -> Alcotest.failf "%s: +Inf bucket %d <> count %d" family total c
+      | None -> Alcotest.failf "%s: bucket series without _count" family)
+    buckets;
+  (* and the raw text re-checks: last le of each family block is +Inf *)
+  List.iter
+    (fun line ->
+      match parse_sample line with
+      | Some (name, labels, _)
+        when String.length name > 7
+             && String.sub name (String.length name - 7) 7 = "_bucket" ->
+        check "bucket has le" true (List.mem_assoc "le" labels)
+      | _ -> ())
+    lines
+
+let live_exposition () =
+  (* a registry with everything the real pipeline registers: engine
+     counters, labeled per-pattern families, watermarks, ingest
+     histograms, awkward label values *)
+  let w = Ocep_harness.Cases.make "races" ~traces:4 ~seed:7 ~max_events:2_000 in
+  let module Workload = Ocep_workloads.Workload in
+  let module Engine = Ocep.Engine in
+  let module Sim = Ocep_sim.Sim in
+  let module Poet = Ocep_poet.Poet in
+  let names = Sim.trace_names w.Workload.sim_config in
+  let poet = Poet.create ~trace_names:names () in
+  let net = Ocep_pattern.Compile.compile (Ocep_pattern.Parser.parse w.Workload.pattern) in
+  let config =
+    { Engine.default_config with Engine.latency_sink = Engine.Histogram; trace_spans = true }
+  in
+  let engine = Engine.create ~config ~net ~poet () in
+  Fun.protect ~finally:(fun () -> Engine.shutdown engine) @@ fun () ->
+  let wm = Watermark.create (Engine.metrics engine) in
+  Watermark.observe_decode wm ~id:0 ~dur_us:2.5;
+  Watermark.observe_admit wm ~id:0 ~dur_us:0.5;
+  Watermark.observe_match wm ~id:0 ~dur_us:7.;
+  ignore
+    (Metrics.counter (Engine.metrics engine)
+       (Metrics.with_labels "ocep_test_awkward_total" [ ("v", "a\"b\\c\nd") ]));
+  let _ =
+    Sim.run w.Workload.sim_config
+      ~sink:(fun raw -> ignore (Poet.ingest poet raw))
+      ~bodies:w.Workload.bodies
+  in
+  Engine.sync_metrics engine;
+  Snapshot.prometheus (Engine.metrics engine)
+
+let prometheus_conformance () =
+  let s = live_exposition () in
+  check "has watermark stages" true (contains s "ocep_watermark{stage=\"decode\"}");
+  check "has stage latency buckets" true (contains s "ocep_stage_latency_us_bucket");
+  check_conformance s
+
+let conformance_rejects_bad_lines () =
+  let bad why s =
+    check why true
+      (try
+         check_conformance s;
+         false
+       with _ -> true)
+  in
+  bad "sample before TYPE" "ocep_x_total 3\n";
+  bad "garbage line" "# TYPE ocep_x counter\nnot a sample\n";
+  bad "unquoted label" "# TYPE ocep_x counter\nocep_x{a=b} 1\n";
+  bad "non-numeric value" "# TYPE ocep_x counter\nocep_x one\n";
+  check_conformance "# TYPE ocep_x counter\nocep_x{a=\"b\"} 1\n"
+
+(* ------------------------------------------------------------------ *)
+(* Watermark                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let watermark_basics () =
+  let m = Metrics.create () in
+  let wm = Watermark.create m in
+  checki "decode starts -1" (-1) (Watermark.decode_watermark wm);
+  checki "lag starts 0" 0 (Watermark.lag wm);
+  Watermark.observe_decode wm ~id:0 ~dur_us:1.;
+  Watermark.observe_decode wm ~id:5 ~dur_us:1.;
+  Watermark.observe_decode wm ~id:3 ~dur_us:1.;
+  checki "decode is running max" 5 (Watermark.decode_watermark wm);
+  Watermark.observe_admit wm ~id:0 ~dur_us:0.5;
+  Watermark.observe_admit wm ~id:1 ~dur_us:0.5;
+  checki "admit follows releases" 1 (Watermark.admit_watermark wm);
+  checki "lag = decode - admit" 4 (Watermark.lag wm);
+  Watermark.observe_match wm ~id:1 ~dur_us:3.;
+  checki "match watermark" 1 (Watermark.match_watermark wm);
+  Watermark.observe_queue wm ~dur_us:10.;
+  Watermark.set_depth wm 7;
+  checki "decode latency counted" 3 (Histogram.count (Watermark.decode_latency wm));
+  checki "queue latency counted" 1 (Histogram.count (Watermark.queue_latency wm));
+  checki "admit latency counted" 2 (Histogram.count (Watermark.admit_latency wm));
+  checki "match latency counted" 1 (Histogram.count (Watermark.match_latency wm));
+  let s = Snapshot.prometheus m in
+  check "decode gauge exposed" true (contains s "ocep_watermark{stage=\"decode\"} 5\n");
+  check "admit gauge exposed" true (contains s "ocep_watermark{stage=\"admit\"} 1\n");
+  check "lag exposed" true (contains s "ocep_ingest_lag_records 4\n");
+  check "depth exposed" true (contains s "ocep_reorder_depth 7\n")
+
+(* ------------------------------------------------------------------ *)
+(* Serve                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let serve_roundtrip () =
+  let srv = Serve.start ~port:0 () in
+  Fun.protect ~finally:(fun () -> Serve.stop srv) @@ fun () ->
+  let port = Serve.port srv in
+  check "picked a port" true (port > 0);
+  let get path = Serve.http_get ~host:"127.0.0.1" ~port ~path () in
+  (* before the first publish: empty bodies, healthz defaults unhealthy *)
+  let st, body = get "/metrics" in
+  checki "metrics 200" 200 st;
+  Alcotest.(check string) "empty before publish" "" body;
+  let st, _ = get "/healthz" in
+  checki "unhealthy before set_health" 503 st;
+  let st, _ = get "/readyz" in
+  checki "not ready before set_ready" 503 st;
+  Serve.publish srv ~metrics:"ocep_up 1\n" ~snapshot:"{\"ocep_up\": 1}";
+  Serve.set_health srv Serve.Serving;
+  Serve.set_ready srv true;
+  let st, body = get "/metrics" in
+  checki "metrics 200" 200 st;
+  Alcotest.(check string) "published body served" "ocep_up 1\n" body;
+  let st, body = get "/snapshot.json" in
+  checki "snapshot 200" 200 st;
+  check "snapshot parses" true (match Minijson.parse body with Ok _ -> true | Error _ -> false);
+  let st, body = get "/healthz" in
+  checki "healthy" 200 st;
+  Alcotest.(check string) "ok body" "ok\n" body;
+  let st, _ = get "/readyz" in
+  checki "ready" 200 st;
+  (* health flips with engine state *)
+  Serve.set_health srv (Serve.Not_serving "draining");
+  let st, body = get "/healthz" in
+  checki "unhealthy again" 503 st;
+  check "reason served" true (contains body "draining");
+  let st, _ = get "/nope" in
+  checki "unknown path 404" 404 st;
+  (* a second publish replaces the bodies *)
+  Serve.publish srv ~metrics:"ocep_up 2\n" ~snapshot:"{}";
+  let _, body = get "/metrics" in
+  Alcotest.(check string) "republished" "ocep_up 2\n" body;
+  Serve.stop srv;
+  Serve.stop srv (* idempotent *)
+
+let serve_rejects_non_get () =
+  let srv = Serve.start ~port:0 () in
+  Fun.protect ~finally:(fun () -> Serve.stop srv) @@ fun () ->
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ()) @@ fun () ->
+  Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, Serve.port srv));
+  let req = "POST /metrics HTTP/1.0\r\n\r\n" in
+  ignore (Unix.write_substring sock req 0 (String.length req));
+  let buf = Bytes.create 512 in
+  let n = Unix.read sock buf 0 512 in
+  let resp = Bytes.sub_string buf 0 n in
+  check "405 on POST" true (contains resp "405")
+
+(* ------------------------------------------------------------------ *)
+(* Minijson                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let minijson_basics () =
+  let ok s = match Minijson.parse s with Ok v -> v | Error e -> Alcotest.failf "%S: %s" s e in
+  let err s = match Minijson.parse s with Ok _ -> false | Error _ -> true in
+  (match ok "{\"a\": 1, \"b\": [true, null, \"x\"]}" with
+  | Minijson.Obj _ as o ->
+    check "member a" true (Minijson.member "a" o = Some (Minijson.Num 1.));
+    (match Minijson.member "b" o with
+    | Some (Minijson.Arr [ Minijson.Bool true; Minijson.Null; Minijson.Str "x" ]) -> ()
+    | _ -> Alcotest.fail "array members");
+    check "missing member" true (Minijson.member "c" o = None)
+  | _ -> Alcotest.fail "not an object");
+  check "negative exponent" true (ok "-1.5e-3" = Minijson.Num (-0.0015));
+  check "escapes" true (ok "\"a\\\"b\\\\c\\n\"" = Minijson.Str "a\"b\\c\n");
+  check "unicode escape" true (ok "\"\\u0041\"" = Minijson.Str "A");
+  check "to_num" true (Minijson.to_num (ok "3.5") = Some 3.5);
+  check "to_str on num" true (Minijson.to_str (ok "3.5") = None);
+  check "trailing garbage rejected" true (err "{} x");
+  check "bare word rejected" true (err "nope");
+  check "unterminated rejected" true (err "{\"a\": 1");
+  check "empty rejected" true (err "");
+  (* the real snapshot parses *)
+  check "snapshot parses" true
+    (match Minijson.parse (Snapshot.json (golden_registry ())) with
+    | Ok (Minijson.Obj fields) -> List.mem_assoc "ocep_events_total" fields
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Provenance                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let provenance_roundtrip () =
+  let all =
+    [
+      Provenance.Direct;
+      Provenance.In_order;
+      Provenance.Reordered;
+      Provenance.Deduped;
+      Provenance.Gap_skipped;
+      Provenance.Late;
+      Provenance.Orphaned;
+    ]
+  in
+  List.iter
+    (fun v ->
+      check "int round trip" true
+        (Provenance.verdict_of_int (Provenance.verdict_to_int v) = v);
+      check "string nonempty" true (Provenance.verdict_to_string v <> ""))
+    all;
+  checki "distinct codes" (List.length all)
+    (List.length (List.sort_uniq compare (List.map Provenance.verdict_to_int all)));
+  check "admitted verdicts" true
+    (List.map Provenance.admitted all
+    = [ true; true; true; false; false; false; false ])
+
+(* ------------------------------------------------------------------ *)
+(* Typed tracer records                                                *)
+(* ------------------------------------------------------------------ *)
+
+let tracer_typed_records () =
+  let t = Tracer.create ~capacity:8 in
+  Tracer.record_search t ~name:"anchored" ~cat:"engine" ~ts_us:1. ~dur_us:2. ~tid:0 ~pattern:3
+    ~anchor_leaf:1 ~nodes:42 ~backjumps:7 ~outcome:"found" ~pin_leaf:(-1) ~pin_trace:(-1);
+  Tracer.record_search t ~name:"pinned" ~cat:"worker" ~ts_us:2. ~dur_us:1. ~tid:4 ~pattern:0
+    ~anchor_leaf:0 ~nodes:5 ~backjumps:0 ~outcome:"none" ~pin_leaf:2 ~pin_trace:9;
+  Tracer.record_arrival t ~ts_us:3. ~dur_us:0.5 ~tid:0 ~trace:1 ~index:17 ~etype:"req"
+    ~anchors:2;
+  (match Tracer.spans t with
+  | [ s1; s2; s3 ] ->
+    Alcotest.(check string) "search name" "anchored" s1.Tracer.name;
+    check "search args" true
+      (s1.Tracer.args
+      = [
+          ("pattern", Tracer.Int 3);
+          ("anchor_leaf", Tracer.Int 1);
+          ("nodes", Tracer.Int 42);
+          ("backjumps", Tracer.Int 7);
+          ("outcome", Tracer.Str "found");
+        ]);
+    (* a pinned search leads with the pin *)
+    check "pin args first" true
+      (match s2.Tracer.args with
+      | ("pin_leaf", Tracer.Int 2) :: ("pin_trace", Tracer.Int 9) :: _ -> true
+      | _ -> false);
+    Alcotest.(check string) "arrival name" "arrival" s3.Tracer.name;
+    check "arrival args" true
+      (s3.Tracer.args
+      = [
+          ("trace", Tracer.Int 1);
+          ("index", Tracer.Int 17);
+          ("etype", Tracer.Str "req");
+          ("anchors", Tracer.Int 2);
+        ])
+  | l -> Alcotest.failf "expected 3 spans, got %d" (List.length l));
+  checki "recorded" 3 (Tracer.recorded t)
+
+(* ------------------------------------------------------------------ *)
+(* Span drop counter in the registry                                   *)
+(* ------------------------------------------------------------------ *)
+
+let spans_dropped_exposed () =
+  let w = Ocep_harness.Cases.make "races" ~traces:4 ~seed:7 ~max_events:2_000 in
+  let module Workload = Ocep_workloads.Workload in
+  let module Engine = Ocep.Engine in
+  let module Sim = Ocep_sim.Sim in
+  let module Poet = Ocep_poet.Poet in
+  let names = Sim.trace_names w.Workload.sim_config in
+  let poet = Poet.create ~trace_names:names () in
+  let net = Ocep_pattern.Compile.compile (Ocep_pattern.Parser.parse w.Workload.pattern) in
+  let config =
+    { Engine.default_config with Engine.trace_spans = true; trace_capacity = 16 }
+  in
+  let engine = Engine.create ~config ~net ~poet () in
+  Fun.protect ~finally:(fun () -> Engine.shutdown engine) @@ fun () ->
+  let _ =
+    Sim.run w.Workload.sim_config
+      ~sink:(fun raw -> ignore (Poet.ingest poet raw))
+      ~bodies:w.Workload.bodies
+  in
+  let tracer = match Engine.tracer engine with Some t -> t | None -> Alcotest.fail "tracer" in
+  check "tiny ring overflowed" true (Tracer.dropped tracer > 0);
+  Engine.sync_metrics engine;
+  let s = Snapshot.prometheus (Engine.metrics engine) in
+  check "drop counter exposed" true
+    (contains s (Printf.sprintf "ocep_spans_dropped_total %d\n" (Tracer.dropped tracer)));
+  check "recorded counter exposed" true
+    (contains s (Printf.sprintf "ocep_spans_total %d\n" (Tracer.recorded tracer)))
 
 let () =
   Alcotest.run "obs"
@@ -490,4 +916,24 @@ let () =
           Alcotest.test_case "json golden" `Quick json_golden;
         ] );
       ("engine", [ Alcotest.test_case "telemetry end to end" `Quick telemetry_engine ]);
+      ( "conformance",
+        [
+          Alcotest.test_case "live exposition parses" `Quick prometheus_conformance;
+          Alcotest.test_case "validator rejects bad lines" `Quick conformance_rejects_bad_lines;
+        ] );
+      ( "watermark",
+        [ Alcotest.test_case "stages, lag and gauges" `Quick watermark_basics ] );
+      ( "serve",
+        [
+          Alcotest.test_case "endpoint round trip" `Quick serve_roundtrip;
+          Alcotest.test_case "non-GET rejected" `Quick serve_rejects_non_get;
+        ] );
+      ("minijson", [ Alcotest.test_case "parse and access" `Quick minijson_basics ]);
+      ( "provenance",
+        [ Alcotest.test_case "verdict round trip" `Quick provenance_roundtrip ] );
+      ( "spans",
+        [
+          Alcotest.test_case "typed records" `Quick tracer_typed_records;
+          Alcotest.test_case "drop counter exposed" `Quick spans_dropped_exposed;
+        ] );
     ]
