@@ -1,10 +1,27 @@
-(* Hot-path throughput and allocation rate on the four case studies.
+(* Hot-path throughput and allocation rate on the four case studies,
+   with the arena ablation built in.
 
    Each case's raw event stream is generated once and replayed through a
    fresh POET + sequential engine (latency recording off: this program
-   measures amortized ingest throughput, not per-arrival latency).
-   Reported per case: events/s, bytes allocated per event
-   (Gc.allocated_bytes across the replay), us/event and matches found.
+   measures amortized ingest throughput, not per-arrival latency) in two
+   modes:
+
+     arena   flat dispatch — [Poet.ingest_flat] feeding an engine with
+             [config.arena = true]; events live as struct-of-arrays rows
+             and are boxed only on a class match
+     record  the boxed path — [Poet.ingest] feeding a [config.arena =
+             false] engine, the pre-arena hot path
+
+   Methodology follows bench_obs: both modes warm up once, then R
+   interleaved cycles run with a deterministic per-cycle shuffle (any
+   position effect hits each mode equally often), each mode timed as the
+   best of two back-to-back replays per cycle, and the arena speedup is
+   the median across cycles of the within-cycle events/s ratio. Each
+   timed replay starts from a settled heap (Gc.full_major). Reported per
+   case and mode: events/s, us/event, bytes allocated per event
+   (Gc.allocated_bytes across the replay), minor words per event, major
+   collections, and matches found — which must agree between modes, or
+   the program aborts.
 
    The before/after comparison works without any JSON parsing: build the
    pre-PR commit in a scratch worktree with this file dropped in, run
@@ -16,9 +33,16 @@
      bench_hotpath --baseline baseline.tsv
 
    which replays the same streams and writes BENCH_hotpath.json with the
-   baseline columns and speedup ratios filled in. Without --baseline the
-   JSON carries the current numbers only. Scale with OCEP_EVENTS
-   (default 50_000). *)
+   baseline columns and speedup ratios filled in (legacy 8-column
+   baselines read as record-mode rows). Without --baseline the JSON
+   carries the current numbers only.
+
+   Knobs: OCEP_EVENTS (default 50_000) scales the streams;
+   OCEP_HOTPATH_REPS (default 3) the interleaved cycles; OCEP_ARENA=0|1
+   pins a single mode; OCEP_CASES=a,b runs a subset of the cases;
+   OCEP_HOTPATH_MAX_ALLOC (bytes/event, float) turns the run into a CI
+   smoke that fails when the deadlock case's arena allocation rate
+   exceeds the budget. *)
 
 module Sim = Ocep_sim.Sim
 module Poet = Ocep_poet.Poet
@@ -35,16 +59,27 @@ let bench_traces = function "races" -> 8 | "ordering" -> 50 | _ -> 20
 
 type row = {
   case : string;
+  mode : string;  (* "arena" | "record" *)
   traces : int;
   events : int;
   wall_s : float;
   events_per_s : float;
   us_per_event : float;
   alloc_per_event : float;  (* bytes *)
+  minor_words_per_event : float;
+  major_collections : int;
   matches : int;
 }
 
-let replay ~names ~net raws =
+let modes =
+  match Sys.getenv_opt "OCEP_ARENA" with
+  | Some "0" -> [ "record" ]
+  | Some _ -> [ "arena" ]
+  | None -> [ "arena"; "record" ]
+
+(* one timed replay: (wall_s, alloc/ev, minor words/ev, major GCs,
+   events, matches) *)
+let replay ~arena ~names ~net raws =
   let poet = Poet.create ~trace_names:names () in
   (* OCEP_PINS=0 disables pinned searches — an ablation knob for isolating
      ingest/dispatch/anchored-search cost from the pinned batches *)
@@ -55,22 +90,46 @@ let replay ~names ~net raws =
     else
       Some
         (Engine.create
-           ~config:{ Engine.default_config with Engine.record_latency = false; pin_searches }
+           ~config:
+             { Engine.default_config with Engine.record_latency = false; pin_searches; arena }
            ~net ~poet ())
   in
   Fun.protect
     ~finally:(fun () -> Option.iter Engine.shutdown engine)
     (fun () ->
+      (* start from the same heap state every time, so major-GC work is
+         not attributed to whichever replay it lands on *)
+      Gc.full_major ();
+      let q0 = Gc.quick_stat () in
       let a0 = Gc.allocated_bytes () in
       let t0 = Clock.now_s () in
-      List.iter (fun r -> ignore (Poet.ingest poet r)) raws;
+      if arena then Array.iter (fun r -> ignore (Poet.ingest_flat poet r)) raws
+      else Array.iter (fun r -> ignore (Poet.ingest poet r)) raws;
       let wall_s = Clock.now_s () -. t0 in
       let alloc = Gc.allocated_bytes () -. a0 in
+      let q1 = Gc.quick_stat () in
       let events = Poet.ingested poet in
       let matches = match engine with Some e -> Engine.matches_found e | None -> 0 in
-      (wall_s, alloc /. float_of_int (max 1 events), events, matches))
+      let per = float_of_int (max 1 events) in
+      ( wall_s,
+        alloc /. per,
+        (q1.Gc.minor_words -. q0.Gc.minor_words) /. per,
+        q1.Gc.major_collections - q0.Gc.major_collections,
+        events,
+        matches ))
 
-let bench_case ~max_events case =
+let wall_of (w, _, _, _, _, _) = w
+let matches_of (_, _, _, _, _, m) = m
+
+let median a =
+  let s = Array.copy a in
+  Array.sort compare s;
+  let n = Array.length s in
+  if n land 1 = 1 then s.(n / 2) else (s.((n / 2) - 1) +. s.(n / 2)) /. 2.
+
+(* rows for one case (one per mode) plus the median within-cycle arena
+   speedup and alloc ratio, when both modes ran *)
+let bench_case ~max_events ~reps case =
   let traces = bench_traces case in
   let w = Cases.make case ~traces ~seed:2013 ~max_events in
   let names = Sim.trace_names w.Workload.sim_config in
@@ -78,36 +137,83 @@ let bench_case ~max_events case =
   let _ =
     Sim.run w.Workload.sim_config ~sink:(fun r -> raws := r :: !raws) ~bodies:w.Workload.bodies
   in
-  let raws = List.rev !raws in
+  let raws = Array.of_list (List.rev !raws) in
   let net = Compile.compile (Parser.parse w.Workload.pattern) in
-  (* one untimed warm-up pass settles allocator and code paths; the
-     median of three timed replays rides out scheduler noise *)
-  ignore (replay ~names ~net raws);
-  let runs = List.init 3 (fun _ -> replay ~names ~net raws) in
-  let wall_s, alloc_per_event, events, matches =
-    match List.sort (fun (a, _, _, _) (b, _, _, _) -> Float.compare a b) runs with
-    | [ _; mid; _ ] -> mid
-    | _ -> assert false
+  (* warm up each mode once: settles allocator and code paths *)
+  List.iter (fun m -> ignore (replay ~arena:(m = "arena") ~names ~net raws)) modes;
+  let results = Hashtbl.create 4 in
+  List.iter (fun m -> Hashtbl.replace results m (Array.make reps (0., 0., 0., 0, 0, 0))) modes;
+  for rep = 0 to reps - 1 do
+    (* deterministically shuffle the mode order each cycle *)
+    let order =
+      List.sort (fun a b -> compare (Hashtbl.hash (rep, a)) (Hashtbl.hash (rep, b))) modes
+    in
+    List.iter
+      (fun m ->
+        let arena = m = "arena" in
+        let r1 = replay ~arena ~names ~net raws in
+        let r2 = replay ~arena ~names ~net raws in
+        (Hashtbl.find results m).(rep) <- (if wall_of r1 <= wall_of r2 then r1 else r2))
+      order
+  done;
+  (* the two modes must be observably identical *)
+  (match modes with
+  | [ m1; m2 ] ->
+    let a = matches_of (Hashtbl.find results m1).(0)
+    and b = matches_of (Hashtbl.find results m2).(0) in
+    if a <> b then (
+      Printf.eprintf "FATAL: %s: %d matches with %s, %d with %s — modes diverged\n" case a m1 b
+        m2;
+      exit 1)
+  | _ -> ());
+  let row_of m =
+    let runs = Hashtbl.find results m in
+    (* the fastest cycle: wall-clock noise on a shared box is strictly
+       additive (scheduler steal, cache pollution), so the minimum is
+       the consistent estimator of the noise-free cost, and taking the
+       whole cycle keeps all metrics in a row from one actual replay.
+       The cross-mode speedup below stays a median of within-cycle
+       ratios, which cancels drift instead. *)
+    let sorted = Array.copy runs in
+    Array.sort (fun a b -> Float.compare (wall_of a) (wall_of b)) sorted;
+    let wall_s, alloc_per_event, minor_words_per_event, major_collections, events, matches =
+      sorted.(0)
+    in
+    {
+      case;
+      mode = m;
+      traces;
+      events;
+      wall_s;
+      events_per_s = float_of_int events /. wall_s;
+      us_per_event = wall_s *. 1e6 /. float_of_int (max 1 events);
+      alloc_per_event;
+      minor_words_per_event;
+      major_collections;
+      matches;
+    }
   in
-  {
-    case;
-    traces;
-    events;
-    wall_s;
-    events_per_s = float_of_int events /. wall_s;
-    us_per_event = wall_s *. 1e6 /. float_of_int (max 1 events);
-    alloc_per_event;
-    matches;
-  }
+  let rows = List.map row_of modes in
+  let ratios =
+    if List.mem "arena" modes && List.mem "record" modes then
+      let aw = Hashtbl.find results "arena" and rw = Hashtbl.find results "record" in
+      let speedup = median (Array.init reps (fun i -> wall_of rw.(i) /. wall_of aw.(i))) in
+      let ar = List.find (fun r -> r.mode = "arena") rows
+      and rr = List.find (fun r -> r.mode = "record") rows in
+      Some (speedup, ar.alloc_per_event /. rr.alloc_per_event)
+    else None
+  in
+  (rows, ratios)
 
-(* ---- baseline exchange format: one tab-separated line per case ---- *)
+(* ---- baseline exchange format: one tab-separated line per row ---- *)
 
 let write_raw path rows =
   let oc = open_out path in
   List.iter
     (fun r ->
-      Printf.fprintf oc "%s\t%d\t%d\t%.6f\t%.1f\t%.3f\t%.1f\t%d\n" r.case r.traces r.events
-        r.wall_s r.events_per_s r.us_per_event r.alloc_per_event r.matches)
+      Printf.fprintf oc "%s\t%s\t%d\t%d\t%.6f\t%.1f\t%.3f\t%.1f\t%.1f\t%d\t%d\n" r.case r.mode
+        r.traces r.events r.wall_s r.events_per_s r.us_per_event r.alloc_per_event
+        r.minor_words_per_event r.major_collections r.matches)
     rows;
   close_out oc
 
@@ -118,16 +224,36 @@ let read_raw path =
      while true do
        let line = input_line ic in
        match String.split_on_char '\t' (String.trim line) with
-       | [ case; traces; events; wall_s; eps; upe; ape; matches ] ->
+       | [ case; mode; traces; events; wall_s; eps; upe; ape; mwpe; majc; matches ] ->
          rows :=
            {
              case;
+             mode;
              traces = int_of_string traces;
              events = int_of_string events;
              wall_s = float_of_string wall_s;
              events_per_s = float_of_string eps;
              us_per_event = float_of_string upe;
              alloc_per_event = float_of_string ape;
+             minor_words_per_event = float_of_string mwpe;
+             major_collections = int_of_string majc;
+             matches = int_of_string matches;
+           }
+           :: !rows
+       | [ case; traces; events; wall_s; eps; upe; ape; matches ] ->
+         (* legacy pre-arena format: boxed path, no GC columns *)
+         rows :=
+           {
+             case;
+             mode = "record";
+             traces = int_of_string traces;
+             events = int_of_string events;
+             wall_s = float_of_string wall_s;
+             events_per_s = float_of_string eps;
+             us_per_event = float_of_string upe;
+             alloc_per_event = float_of_string ape;
+             minor_words_per_event = 0.;
+             major_collections = 0;
              matches = int_of_string matches;
            }
            :: !rows
@@ -139,13 +265,16 @@ let read_raw path =
 
 let json_of_row r =
   Printf.sprintf
-    {|{"traces": %d, "events": %d, "wall_s": %.6f, "events_per_s": %.1f, "us_per_event": %.3f, "alloc_per_event_bytes": %.1f, "matches": %d}|}
-    r.traces r.events r.wall_s r.events_per_s r.us_per_event r.alloc_per_event r.matches
+    {|{"traces": %d, "events": %d, "wall_s": %.6f, "events_per_s": %.1f, "us_per_event": %.3f, "alloc_per_event_bytes": %.1f, "minor_words_per_event": %.1f, "major_collections": %d, "matches": %d}|}
+    r.traces r.events r.wall_s r.events_per_s r.us_per_event r.alloc_per_event
+    r.minor_words_per_event r.major_collections r.matches
 
 let () =
-  let max_events =
-    match Sys.getenv_opt "OCEP_EVENTS" with Some s -> int_of_string s | None -> 50_000
+  let getenv_int name default =
+    match Sys.getenv_opt name with Some s -> int_of_string s | None -> default
   in
+  let max_events = getenv_int "OCEP_EVENTS" 50_000 in
+  let reps = max 1 (getenv_int "OCEP_HOTPATH_REPS" 3) in
   let raw_out = ref None and baseline = ref None and out = ref "BENCH_hotpath.json" in
   let rec parse = function
     | "--raw-out" :: p :: rest -> raw_out := Some p; parse rest
@@ -155,48 +284,107 @@ let () =
     | a :: _ -> failwith ("unknown argument " ^ a)
   in
   parse (List.tl (Array.to_list Sys.argv));
-  Printf.printf "hot-path bench: %d events/case\n%!" max_events;
-  let rows = List.map (bench_case ~max_events) Cases.names in
-  let base = Option.map read_raw !baseline in
-  let base_for case =
-    Option.bind base (fun rs -> List.find_opt (fun r -> r.case = case) rs)
+  Printf.printf "hot-path bench: %d events/case, %d interleaved cycles, modes: %s\n%!" max_events
+    reps (String.concat " " modes);
+  let cases =
+    match Sys.getenv_opt "OCEP_CASES" with
+    | None -> Cases.names
+    | Some s ->
+      let want = String.split_on_char ',' s in
+      List.filter (fun c -> List.mem c want) Cases.names
   in
-  Printf.printf "\n%-10s %7s | %12s %14s | %10s %8s\n" "case" "traces" "us/event" "events/s"
-    "alloc B/ev" "speedup";
+  let per_case = List.map (fun c -> (c, bench_case ~max_events ~reps c)) cases in
+  let base = Option.map read_raw !baseline in
+  let base_for case mode =
+    (* exact (case, mode) match first, then a legacy record-mode row *)
+    Option.bind base (fun rs ->
+        match List.find_opt (fun r -> r.case = case && r.mode = mode) rs with
+        | Some r -> Some r
+        | None -> List.find_opt (fun r -> r.case = case && r.mode = "record") rs)
+  in
+  Printf.printf "\n%-10s %7s %-7s | %12s %14s | %10s %10s %6s | %8s %8s\n" "case" "traces"
+    "mode" "us/event" "events/s" "alloc B/ev" "minorW/ev" "majGC" "arena-x" "vs-base";
   List.iter
-    (fun r ->
-      let speedup =
-        match base_for r.case with
-        | Some b -> Printf.sprintf "%7.2fx" (r.events_per_s /. b.events_per_s)
-        | None -> "      --"
-      in
-      Printf.printf "%-10s %7d | %12.3f %14.1f | %10.1f %s\n" r.case r.traces r.us_per_event
-        r.events_per_s r.alloc_per_event speedup)
-    rows;
+    (fun (case, (rows, ratios)) ->
+      ignore case;
+      List.iter
+        (fun r ->
+          let arena_x =
+            match ratios with
+            | Some (s, _) when r.mode = "arena" -> Printf.sprintf "%7.2fx" s
+            | _ -> "      --"
+          in
+          let vs_base =
+            match base_for r.case r.mode with
+            | Some b -> Printf.sprintf "%7.2fx" (r.events_per_s /. b.events_per_s)
+            | None -> "      --"
+          in
+          Printf.printf "%-10s %7d %-7s | %12.3f %14.1f | %10.1f %10.1f %6d | %s %s\n" r.case
+            r.traces r.mode r.us_per_event r.events_per_s r.alloc_per_event
+            r.minor_words_per_event r.major_collections arena_x vs_base)
+        rows)
+    per_case;
+  let all_rows = List.concat_map (fun (_, (rows, _)) -> rows) per_case in
   (match !raw_out with
   | Some p ->
-    write_raw p rows;
+    write_raw p all_rows;
     Printf.printf "\nwrote %s\n" p
   | None -> ());
   let oc = open_out !out in
-  Printf.fprintf oc "{\n  \"events_per_case\": %d,\n  \"cases\": {\n" max_events;
+  Printf.fprintf oc "{\n  \"events_per_case\": %d,\n  \"reps\": %d,\n  \"modes\": [%s],\n  \"cases\": {\n"
+    max_events reps
+    (String.concat ", " (List.map (Printf.sprintf "%S") modes));
+  let n_cases = List.length per_case in
   List.iteri
-    (fun i r ->
-      let before =
-        match base_for r.case with
-        | Some b ->
-          Printf.sprintf
-            ",\n      \"before\": %s,\n      \"speedup_events_per_s\": %.3f,\n      \
-             \"alloc_ratio\": %.3f"
-            (json_of_row b)
-            (r.events_per_s /. b.events_per_s)
-            (r.alloc_per_event /. b.alloc_per_event)
-        | None -> ""
+    (fun i (case, (rows, ratios)) ->
+      Printf.fprintf oc "    %S: {\n" case;
+      let parts =
+        List.map
+          (fun r ->
+            let before =
+              match base_for r.case r.mode with
+              | Some b ->
+                Printf.sprintf
+                  ",\n        \"before\": %s,\n        \"speedup_events_per_s\": %.3f,\n        \
+                   \"alloc_ratio\": %.3f"
+                  (json_of_row b)
+                  (r.events_per_s /. b.events_per_s)
+                  (r.alloc_per_event /. b.alloc_per_event)
+              | None -> ""
+            in
+            Printf.sprintf "      %S: {\n        \"after\": %s%s\n      }" r.mode (json_of_row r)
+              before)
+          rows
+        @
+        match ratios with
+        | Some (speedup, alloc_ratio) ->
+          [
+            Printf.sprintf "      \"arena_speedup_events_per_s\": %.3f" speedup;
+            Printf.sprintf "      \"arena_alloc_ratio\": %.3f" alloc_ratio;
+          ]
+        | None -> []
       in
-      Printf.fprintf oc "    %S: {\n      \"after\": %s%s\n    }%s\n" r.case (json_of_row r)
-        before
-        (if i = List.length rows - 1 then "" else ","))
-    rows;
+      Printf.fprintf oc "%s\n    }%s\n" (String.concat ",\n" parts)
+        (if i = n_cases - 1 then "" else ","))
+    per_case;
   Printf.fprintf oc "  }\n}\n";
   close_out oc;
-  Printf.printf "wrote %s\n" !out
+  Printf.printf "wrote %s\n" !out;
+  (* CI smoke: fail when the deadlock arena path exceeds the allocation
+     budget (bytes/event) *)
+  match Sys.getenv_opt "OCEP_HOTPATH_MAX_ALLOC" with
+  | None -> ()
+  | Some budget ->
+    let budget = float_of_string budget in
+    (match
+       List.find_opt (fun r -> r.case = "deadlock" && r.mode = "arena") all_rows
+     with
+    | None -> Printf.eprintf "alloc budget set but no deadlock arena row; skipping check\n"
+    | Some r ->
+      if r.alloc_per_event > budget then (
+        Printf.eprintf "FAIL: deadlock arena alloc %.1f B/event exceeds budget %.1f\n"
+          r.alloc_per_event budget;
+        exit 1)
+      else
+        Printf.printf "alloc budget ok: deadlock arena %.1f B/event <= %.1f\n" r.alloc_per_event
+          budget)

@@ -38,6 +38,26 @@ let best_of n f =
   done;
   !best
 
+(* like [best_of] but also reports GC pressure — minor words and major
+   collections — from the fastest run, after a full major to settle the
+   heap (same methodology as bench_hotpath) *)
+let best_of_gc n f =
+  let best = ref infinity and minor = ref 0. and major = ref 0 in
+  for _ = 1 to n do
+    Gc.full_major ();
+    let g0 = Gc.quick_stat () in
+    let t0 = Clock.now_s () in
+    f ();
+    let dt = Clock.now_s () -. t0 in
+    let g1 = Gc.quick_stat () in
+    if dt < !best then begin
+      best := dt;
+      minor := g1.Gc.minor_words -. g0.Gc.minor_words;
+      major := g1.Gc.major_collections - g0.Gc.major_collections
+    end
+  done;
+  (!best, !minor, !major)
+
 let () =
   let max_events =
     match Sys.getenv_opt "OCEP_EVENTS" with Some s -> int_of_string s | None -> 50_000
@@ -109,7 +129,7 @@ let () =
     Array.iter (fun r -> ignore (Poet.ingest poet r)) raws;
     digest := Runner.reports_digest engine
   in
-  let direct_s = best_of 3 direct in
+  let direct_s, direct_minor, direct_major = best_of_gc 3 direct in
   let direct_digest = !digest in
   let log = Filename.temp_file "ocep_bench" ".wire" in
   Fun.protect ~finally:(fun () -> Sys.remove log) @@ fun () ->
@@ -128,7 +148,7 @@ let () =
     ignore (Source.replay ~engine reader);
     digest := Runner.reports_digest engine
   in
-  let replay_s = best_of 3 replay in
+  let replay_s, replay_minor, replay_major = best_of_gc 3 replay in
   let equal_reports = !digest = direct_digest in
   if not equal_reports then begin
     Printf.eprintf "FAIL: replay digest %s <> direct %s\n" !digest direct_digest;
@@ -140,6 +160,9 @@ let () =
   Printf.printf "direct %.0f ev/s   replay %.0f ev/s   overhead %.1f%%   reports %s\n%!"
     direct_ev_s replay_ev_s overhead_pct
     (if equal_reports then "bit-identical" else "DIFFER");
+  Printf.printf "gc: direct %.1f minorW/ev %d majGC   replay %.1f minorW/ev %d majGC\n%!"
+    (direct_minor /. float_of_int n) direct_major
+    (replay_minor /. float_of_int n) replay_major;
   let oc = open_out "BENCH_ingest.json" in
   Printf.fprintf oc
     "{\n\
@@ -155,6 +178,10 @@ let () =
     \    \"direct_events_per_s\": %.0f,\n\
     \    \"replay_events_per_s\": %.0f,\n\
     \    \"overhead_pct\": %.2f,\n\
+    \    \"direct_minor_words_per_event\": %.2f,\n\
+    \    \"direct_major_collections\": %d,\n\
+    \    \"replay_minor_words_per_event\": %.2f,\n\
+    \    \"replay_major_collections\": %d,\n\
     \    \"equal_reports\": %b\n\
     \  }\n\
      }\n"
@@ -162,6 +189,9 @@ let () =
     (float_of_int bytes /. float_of_int n)
     (float_of_int n /. enc_s) (mb /. enc_s)
     (float_of_int n /. dec_s) (mb /. dec_s)
-    direct_ev_s replay_ev_s overhead_pct equal_reports;
+    direct_ev_s replay_ev_s overhead_pct
+    (direct_minor /. float_of_int n) direct_major
+    (replay_minor /. float_of_int n) replay_major
+    equal_reports;
   close_out oc;
   Printf.printf "wrote BENCH_ingest.json\n"

@@ -114,6 +114,8 @@ let observe h =
 
 type mode_result = {
   wall_s : float;
+  minor_words : float;  (* GC minor words over the ingest loop(s) *)
+  major_collections : int;
   history_entries : int;  (* resident at end of run, all engines summed *)
   per_pattern :
     (int * int * int * (int * (int * int) list * (int * int) list) list) list;
@@ -126,11 +128,16 @@ let run_multi ~names ~nets raws =
     ~finally:(fun () -> Engine.shutdown engine)
     (fun () ->
       let hs = List.map (fun net -> Engine.add_pattern engine net) nets in
+      Gc.full_major ();
+      let g0 = Gc.quick_stat () in
       let t0 = Clock.now_s () in
       List.iter (fun r -> ignore (Poet.ingest poet r)) raws;
       let wall_s = Clock.now_s () -. t0 in
+      let g1 = Gc.quick_stat () in
       {
         wall_s;
+        minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
+        major_collections = g1.Gc.major_collections - g0.Gc.major_collections;
         history_entries = Engine.history_entries engine;
         per_pattern = List.map observe hs;
       })
@@ -144,15 +151,24 @@ let run_separate ~names ~nets raws =
         Fun.protect
           ~finally:(fun () -> Engine.shutdown engine)
           (fun () ->
+            Gc.full_major ();
+            let g0 = Gc.quick_stat () in
             let t0 = Clock.now_s () in
             List.iter (fun r -> ignore (Poet.ingest poet r)) raws;
             let wall_s = Clock.now_s () -. t0 in
+            let g1 = Gc.quick_stat () in
             let h = List.hd (Engine.handles engine) in
-            (wall_s, Engine.history_entries engine, observe h)))
+            ( (wall_s,
+               g1.Gc.minor_words -. g0.Gc.minor_words,
+               g1.Gc.major_collections - g0.Gc.major_collections),
+              Engine.history_entries engine,
+              observe h )))
       nets
   in
   {
-    wall_s = List.fold_left (fun a (w, _, _) -> a +. w) 0. results;
+    wall_s = List.fold_left (fun a ((w, _, _), _, _) -> a +. w) 0. results;
+    minor_words = List.fold_left (fun a ((_, m, _), _, _) -> a +. m) 0. results;
+    major_collections = List.fold_left (fun a ((_, _, g), _, _) -> a + g) 0 results;
     history_entries = List.fold_left (fun a (_, h, _) -> a + h) 0 results;
     per_pattern = List.map (fun (_, _, o) -> o) results;
   }
@@ -221,8 +237,10 @@ let events_per_s r n = float_of_int n /. (if r.wall_s > 0. then r.wall_s else 1e
 
 let json_of_mode r n =
   Printf.sprintf
-    {|{"wall_s": %.6f, "events_per_s": %.0f, "history_entries": %d, "matches": [%s]}|}
-    r.wall_s (events_per_s r n) r.history_entries
+    {|{"wall_s": %.6f, "events_per_s": %.0f, "minor_words_per_event": %.2f, "major_collections": %d, "history_entries": %d, "matches": [%s]}|}
+    r.wall_s (events_per_s r n)
+    (r.minor_words /. float_of_int n)
+    r.major_collections r.history_entries
     (String.concat ", " (List.map (fun (m, _, _, _) -> string_of_int m) r.per_pattern))
 
 let () =
@@ -239,17 +257,20 @@ let () =
        bench_workload ~workload:"races-variants" ~names ~patterns:races_patterns raws);
     ]
   in
-  Printf.printf "\n%-16s %8s | %12s %12s %8s | %9s %9s %7s\n" "workload" "events" "multi ev/s"
-    "sep ev/s" "speedup" "multi hist" "sep hist" "ratio";
+  Printf.printf "\n%-16s %8s | %12s %12s %8s | %9s %9s %7s | %9s %9s\n" "workload" "events"
+    "multi ev/s" "sep ev/s" "speedup" "multi hist" "sep hist" "ratio" "multi mW/ev" "sep mW/ev";
   List.iter
     (fun r ->
-      Printf.printf "%-16s %8d | %12.0f %12.0f %7.2fx | %9d %9d %6.2fx\n" r.workload r.n_events
+      Printf.printf "%-16s %8d | %12.0f %12.0f %7.2fx | %9d %9d %6.2fx | %9.1f %9.1f\n"
+        r.workload r.n_events
         (events_per_s r.multi r.n_events)
         (events_per_s r.separate r.n_events)
         (r.separate.wall_s /. r.multi.wall_s)
         r.multi.history_entries r.separate.history_entries
         (float_of_int r.separate.history_entries
-        /. float_of_int (max 1 r.multi.history_entries)))
+        /. float_of_int (max 1 r.multi.history_entries))
+        (r.multi.minor_words /. float_of_int r.n_events)
+        (r.separate.minor_words /. float_of_int r.n_events))
     rows;
   let oc = open_out "BENCH_multi.json" in
   Printf.fprintf oc "{\n  \"events_per_workload\": %d,\n  \"workloads\": {\n" max_events;

@@ -536,6 +536,14 @@ let replay_cmd =
       & info [ "pipeline" ]
           ~doc:"Decode frames on a separate domain, handing events over a bounded queue.")
   in
+  let block_size =
+    Arg.(
+      value & opt int Source.default_config.Source.block_size
+      & info [ "block" ] ~docv:"N"
+          ~doc:
+            "Decode and admit frames in blocks of $(docv), amortizing per-record costs \
+             (and, with $(b,--pipeline), the queue hand-off). 1 = per-record.")
+  in
   let parallelism =
     Arg.(
       value & opt int 1
@@ -555,7 +563,7 @@ let replay_cmd =
              .prom.")
   in
   let run pattern_files wire_file faults fault_seed gap_policy reorder_window queue_capacity
-      queue_policy pipeline parallelism max_reports metrics_out listen linger =
+      queue_policy pipeline block_size parallelism max_reports metrics_out listen linger =
     if parallelism < 0 then (
       Printf.eprintf "ocep: --parallelism must be >= 0, got %d\n" parallelism;
       exit 2);
@@ -622,6 +630,7 @@ let replay_cmd =
         queue_capacity;
         queue_policy;
         pipeline;
+        block_size;
       }
     in
     let st =
@@ -699,8 +708,8 @@ let replay_cmd =
   Cmd.v info
     Term.(
       const run $ pattern_files $ wire_file $ faults $ fault_seed $ gap_policy $ reorder_window
-      $ queue_capacity $ queue_policy $ pipeline $ parallelism $ max_reports $ metrics_out
-      $ listen_arg $ linger_arg)
+      $ queue_capacity $ queue_policy $ pipeline $ block_size $ parallelism $ max_reports
+      $ metrics_out $ listen_arg $ linger_arg)
 
 (* ------------------------------------------------------------------ *)
 (* explain                                                             *)
@@ -1073,8 +1082,9 @@ let fuzz_cmd =
     Cmd.info "fuzz"
       ~doc:
         "Differential fuzzing: random (pattern, workload, fault schedule) cases checked \
-         against the parallel engine, the brute-force oracle and record/replay; diverging \
-         cases are minimized and written to the corpus."
+         against the parallel engine, the arena/record differential, the brute-force \
+         oracle and record/replay; diverging cases are minimized and written to the \
+         corpus."
   in
   Cmd.v info Term.(const run $ seeds $ start_seed $ mutant $ corpus_dir)
 

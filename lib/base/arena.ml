@@ -1,0 +1,156 @@
+(* Flat struct-of-arrays event store.
+
+   One row per ingested event, identified by its dense [eid] (the
+   ingestion sequence number). Every attribute the hot path touches is
+   an int — symbol ids for the three matched attributes, a kind tag, a
+   message id, a {!Vc_pool} snapshot handle — held in parallel off-heap
+   Bigarray columns, so recording an event is eight unchecked stores
+   and no OCaml-heap allocation, and reading any field downstream is
+   one load. The boxed {!Event.t} record survives only as a
+   materialized view built by the owning POET store (it needs the
+   symbol table for the strings and the clock pool for the vector
+   timestamp, which the arena deliberately does not know about). *)
+
+open Bigarray
+
+type col = (int, int_elt, c_layout) Array1.t
+
+(* kind tags *)
+let k_internal = 0
+
+let k_send = 1
+
+let k_recv = 2
+
+type t = {
+  mutable trace : col;
+  mutable index : col;  (* 1-based position on its trace *)
+  mutable tsym : col;
+  mutable esym : col;
+  mutable xsym : col;
+  mutable kind : col;  (* k_internal | k_send | k_recv *)
+  mutable msg : col;  (* message id; -1 for internal events *)
+  mutable vch : col;  (* Vc_pool snapshot handle; Vc_pool.nil when absent *)
+  mutable cap : int;
+  mutable len : int;
+}
+
+let initial_cap = 4096
+
+let mkcol n = Array1.create int c_layout n
+
+let create ?(capacity = initial_cap) () =
+  let n = max 1 capacity in
+  {
+    trace = mkcol n;
+    index = mkcol n;
+    tsym = mkcol n;
+    esym = mkcol n;
+    xsym = mkcol n;
+    kind = mkcol n;
+    msg = mkcol n;
+    vch = mkcol n;
+    cap = n;
+    len = 0;
+  }
+
+let length t = t.len
+
+let grow t =
+  let cap' = t.cap * 2 in
+  let g (c : col) =
+    let c' = mkcol cap' in
+    Array1.blit c (Array1.sub c' 0 t.cap);
+    c'
+  in
+  t.trace <- g t.trace;
+  t.index <- g t.index;
+  t.tsym <- g t.tsym;
+  t.esym <- g t.esym;
+  t.xsym <- g t.xsym;
+  t.kind <- g t.kind;
+  t.msg <- g t.msg;
+  t.vch <- g t.vch;
+  t.cap <- cap'
+
+let push t ~trace ~index ~tsym ~esym ~xsym ~kind ~msg ~vch =
+  if t.len >= t.cap then grow t;
+  let i = t.len in
+  Array1.unsafe_set t.trace i trace;
+  Array1.unsafe_set t.index i index;
+  Array1.unsafe_set t.tsym i tsym;
+  Array1.unsafe_set t.esym i esym;
+  Array1.unsafe_set t.xsym i xsym;
+  Array1.unsafe_set t.kind i kind;
+  Array1.unsafe_set t.msg i msg;
+  Array1.unsafe_set t.vch i vch;
+  t.len <- i + 1;
+  i
+
+let check t eid fn =
+  if eid < 0 || eid >= t.len then
+    invalid_arg (Printf.sprintf "Arena.%s: eid %d out of range [0, %d)" fn eid t.len)
+
+let trace t eid =
+  check t eid "trace";
+  Array1.unsafe_get t.trace eid
+
+let index t eid =
+  check t eid "index";
+  Array1.unsafe_get t.index eid
+
+let tsym t eid =
+  check t eid "tsym";
+  Array1.unsafe_get t.tsym eid
+
+let esym t eid =
+  check t eid "esym";
+  Array1.unsafe_get t.esym eid
+
+let xsym t eid =
+  check t eid "xsym";
+  Array1.unsafe_get t.xsym eid
+
+let kind_tag t eid =
+  check t eid "kind_tag";
+  Array1.unsafe_get t.kind eid
+
+let msg t eid =
+  check t eid "msg";
+  Array1.unsafe_get t.msg eid
+
+let vch t eid =
+  check t eid "vch";
+  Array1.unsafe_get t.vch eid
+
+(* Unchecked column reads for the engine's dispatch loop (the eid comes
+   straight from the producing push). *)
+let unsafe_trace t eid = Array1.unsafe_get t.trace eid
+
+let unsafe_index t eid = Array1.unsafe_get t.index eid
+
+let unsafe_tsym t eid = Array1.unsafe_get t.tsym eid
+
+let unsafe_esym t eid = Array1.unsafe_get t.esym eid
+
+let unsafe_xsym t eid = Array1.unsafe_get t.xsym eid
+
+let unsafe_kind_tag t eid = Array1.unsafe_get t.kind eid
+
+let unsafe_msg t eid = Array1.unsafe_get t.msg eid
+
+let kind t eid =
+  check t eid "kind";
+  match Array1.unsafe_get t.kind eid with
+  | 0 -> Event.Internal
+  | 1 -> Event.Send { msg = Array1.unsafe_get t.msg eid }
+  | _ -> Event.Receive { msg = Array1.unsafe_get t.msg eid }
+
+let kind_tag_of = function
+  | Event.Internal -> k_internal
+  | Event.Send _ -> k_send
+  | Event.Receive _ -> k_recv
+
+let is_comm_tag tag = tag <> k_internal
+
+let footprint_bytes t = 8 * t.cap * 8

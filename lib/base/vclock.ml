@@ -33,6 +33,8 @@ let to_array = Array.copy
 
 let of_array = Array.copy
 
+let unsafe_of_array v = v
+
 let pp ppf v =
   Format.fprintf ppf "<%a>"
     (Format.pp_print_array ~pp_sep:(fun ppf () -> Format.fprintf ppf ",") Format.pp_print_int)

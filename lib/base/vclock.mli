@@ -37,4 +37,11 @@ val compare : t -> t -> int
 
 val to_array : t -> int array
 val of_array : int array -> t
+
+val unsafe_of_array : int array -> t
+(** Adopt the array without copying; the caller must never mutate it
+    afterwards. Used by the materialization path of the arena-backed
+    store, which already owns a fresh decode of the pooled clock. *)
+
+
 val pp : Format.formatter -> t -> unit

@@ -166,6 +166,29 @@ let check ?mutation case =
             Printf.sprintf "sequential digest %s <> 4-worker digest %s" digest_seq digest_par;
         }
   in
+  (* oracle A': the flat-arena subscription (the default) and the boxed
+     record path must be observably identical — same dispatch decisions,
+     same searches, same reports. This is the contract that lets the
+     arena fast path replace the record path at all. *)
+  let divergence =
+    match divergence with
+    | Some _ -> divergence
+    | None ->
+      let rec_cfg = { seq_cfg with Engine.arena = not seq_cfg.Engine.arena } in
+      let poet_r = Poet.create ~trace_names:case.c_traces () in
+      let engine_r = Engine.create ~config:rec_cfg ~net ~poet:poet_r () in
+      List.iter (fun r -> ignore (Engine.feed_raw engine_r r)) case.c_events;
+      let digest_rec = Runner.reports_digest engine_r in
+      if digest_rec = digest_seq then None
+      else
+        Some
+          {
+            d_oracle = "arena-record";
+            d_detail =
+              Printf.sprintf "arena=%b digest %s <> arena=%b digest %s"
+                seq_cfg.Engine.arena digest_seq rec_cfg.Engine.arena digest_rec;
+          }
+  in
   (* oracle B: brute-force enumeration — every report is a real match,
      and the subset covers exactly the slots the full match set covers *)
   let oracle_checked = ref false in

@@ -9,6 +9,9 @@
     - {b engine-parallel}: the sequential engine and a 4-worker engine
       forced onto the search pool must produce bit-identical match
       reports ({!Runner.reports_digest}).
+    - {b arena-record}: the flat-arena subscription and the boxed
+      record path must produce bit-identical reports — the contract
+      that lets the arena fast path stand in for the record path.
     - {b oracle-soundness} / {b oracle-coverage}: against the
       brute-force {!Ocep_baselines.Oracle} — every retained report is a
       real match, and the representative subset covers exactly the
@@ -52,8 +55,8 @@ val mutation_of_name : string -> mutation option
 
 type divergence = {
   d_oracle : string;
-      (** [engine-parallel], [oracle-soundness], [oracle-coverage] or
-          [record-replay] *)
+      (** [engine-parallel], [arena-record], [oracle-soundness],
+          [oracle-coverage] or [record-replay] *)
   d_detail : string;
 }
 

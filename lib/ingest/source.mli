@@ -41,13 +41,27 @@
 
 type config = {
   admission : Admission.config;
-  queue_capacity : int;  (** pipelined mode: frames buffered between the domains *)
+  queue_capacity : int;
+      (** pipelined mode: frames (block mode: blocks) buffered between
+          the domains *)
   queue_policy : Bqueue.policy;
   pipeline : bool;
+  block_size : int;
+      (** > 1 enables block mode: frames are decoded and admitted in
+          chunks of this size, amortizing per-record costs — the decode
+          loop's clock sampling, and in pipelined mode the queue
+          hand-off synchronization (one push/pop per block instead of
+          per frame). Admission order, verdicts, watermarks and lag are
+          identical to the per-record path; full clock stamps land on
+          at most one frame per block, so only the timestamp precision
+          of the latency histograms coarsens (and with [Shed],
+          [queue_shed] counts shed {e blocks}). [1] (the default) is
+          the exact per-record path. *)
 }
 
 val default_config : config
-(** default admission, capacity 4096, [Block], pipeline off. *)
+(** default admission, capacity 4096, [Block], pipeline off,
+    block_size 1. *)
 
 type stats = {
   frames : int;  (** well-formed frames offered to admission *)

@@ -27,6 +27,7 @@ type config = {
   trace_capacity : int;
   provenance : bool;
   provenance_capacity : int;
+  arena : bool;
 }
 
 let default_trace_capacity = 65_536
@@ -57,6 +58,7 @@ let default_config =
     trace_capacity = default_trace_capacity;
     provenance = true;
     provenance_capacity = default_provenance_capacity;
+    arena = true;
   }
 
 (* Reject configurations that would crash later (gc_every = Some 0 used
@@ -211,14 +213,30 @@ type t = {
          stamp: the flight recorder reads the clock once every 16
          events and reuses the stamp in between, so always-on
          provenance pays ~2 ns/event of clock time instead of ~30 *)
-  frontier : Vclock.t array;  (* latest timestamp seen per trace *)
+  (* the event currently being dispatched, in whichever form the
+     subscription delivered it. In arena mode [cur_ev] starts at the
+     [Event.none] sentinel and [cur_event] materializes the boxed view
+     on first demand (class match, search anchor) — events matching no
+     class never get boxed at all. In record mode [cur_ev] is the
+     subscription argument and [cur_eid] is -1. *)
+  mutable cur_eid : int;
+  mutable cur_ev : Event.t;
   intern : string -> int;
   trace_of_sym : int -> int option;
   partner_of : Event.t -> Event.t option;
   mutable patterns : pstate list;  (* live patterns, ascending pid *)
+  mutable patterns_arr : pstate array;
+      (* same patterns, same order — the dispatch loop's view; iterating
+         the array needs no closure, so the every-event path stays
+         allocation-free (rebuilt with [by_esym] on add/remove) *)
   mutable next_pid : pattern_id;
   classes : (int * int * int, cls_reg) Hashtbl.t;
   mutable by_esym : cls_reg array Itbl.t;  (* cached per-etype candidate classes *)
+  mutable by_esym_arr : cls_reg array array;
+      (* [by_esym] flattened over the dense symbol ids known at rebuild
+         time: the every-event lookup is one bounds check and one load.
+         Symbols interned later (or past the end) fall back to
+         [generic_cls], same as a hash miss. *)
   mutable generic_cls : cls_reg array;  (* classes with wildcard/variable type *)
   pin_batch : (pstate * int * int * int) Vec.t;
       (* one round's surviving pinned searches across all patterns:
@@ -239,9 +257,10 @@ type t = {
 }
 
 (* Class-match on the dedup key: every subscriber's leaf_matches_i is
-   exactly this test (exact attributes interned, Any/Var accept all). *)
-let class_matches (p, ty, x) (ev : Event.t) =
-  (ty < 0 || ty = ev.esym) && (p < 0 || p = ev.tsym) && (x < 0 || x = ev.xsym)
+   exactly this test (exact attributes interned, Any/Var accept all).
+   Pure int compares so the arena path needs no boxed event. *)
+let class_matches (p, ty, x) ~tsym ~esym ~xsym =
+  (ty < 0 || ty = esym) && (p < 0 || p = tsym) && (x < 0 || x = xsym)
 
 (* Dispatching an arriving event to the classes it may match: most
    patterns pin the event type exactly, so the merged candidate array of
@@ -267,7 +286,12 @@ let rebuild_dispatch t =
      one lookup *)
   Itbl.iter (fun sym exacts -> Itbl.replace by_sym sym (Array.append exacts generic_arr)) by_sym;
   t.by_esym <- by_sym;
-  t.generic_cls <- generic_arr
+  t.generic_cls <- generic_arr;
+  let top = Itbl.fold (fun sym _ m -> max m sym) by_sym (-1) in
+  let arr = Array.make (top + 1) generic_arr in
+  Itbl.iter (fun sym cands -> arr.(sym) <- cands) by_sym;
+  t.by_esym_arr <- arr;
+  t.patterns_arr <- Array.of_list t.patterns
 
 let recompute_gcable (c : cls_reg) =
   c.cgcable <- Array.for_all (fun ((q : pstate), l) -> q.pgcable.(l)) c.csubs
@@ -410,6 +434,20 @@ let sort_scratch (v : int Vec.t) =
     Vec.set v (!j + 1) x
   done
 
+(* The boxed view of the event being dispatched, built at most once per
+   arrival. Safe whenever dispatch is running: internal events are
+   materialized during their own arrival (their trace's live clock row
+   is still their timestamp), communication events from their persisted
+   snapshot. *)
+let cur_event t =
+  let ev = t.cur_ev in
+  if ev != Event.none then ev
+  else begin
+    let ev = Poet.materialize t.poet t.cur_eid in
+    t.cur_ev <- ev;
+    ev
+  end
+
 let live_pattern t pid = List.find_opt (fun (p : pstate) -> p.pid = pid) t.patterns
 
 let get_pattern t pid =
@@ -461,14 +499,17 @@ let create_multi ?(config = default_config) ~poet () =
       pw_id = -1;
       pw_verdict = 0;
       pw_times = Array.make 3 0.;
-      frontier = Array.make n_traces (Vclock.make ~dim:n_traces);
+      cur_eid = -1;
+      cur_ev = Event.none;
       intern = Symbol.intern (Poet.symbols poet);
       trace_of_sym = Poet.trace_of_sym poet;
       partner_of = Poet.find_partner poet;
       patterns = [];
+      patterns_arr = [||];
       next_pid = 0;
       classes = Hashtbl.create 16;
       by_esym = Itbl.create 16;
+      by_esym_arr = [||];
       generic_cls = [||];
       pin_batch = Vec.create ();
       parallelism;
@@ -569,10 +610,18 @@ let create_multi ?(config = default_config) ~poet () =
           t.classes;
         if !any then begin
           (* threshold per trace: the greatest index already covered by
-             every trace's frontier *)
+             every trace's frontier. A trace's live clock row IS its
+             latest event's timestamp (all-zero before any event), so
+             the old per-dispatch frontier copy is read straight from
+             the POET clock pool instead. *)
           let thresholds =
             Array.init n_traces (fun tr ->
-                Array.fold_left (fun acc vc -> min acc (Vclock.get vc tr)) max_int t.frontier)
+                let m = ref max_int in
+                for x = 0 to n_traces - 1 do
+                  let v = Poet.clock_entry poet ~trace:x ~entry:tr in
+                  if v < !m then m := v
+                done;
+                !m)
           in
           ignore (History.gc_store t.store ~thresholds ~classes)
         end
@@ -611,10 +660,14 @@ let create_multi ?(config = default_config) ~poet () =
   let forced_fan_out = config.cutover_batch = 0 && config.cutover_work = 0 in
   let ewma old x = if old <= 0. then x else (0.8 *. old) +. (0.2 *. x) in
   let calib_samples = 3 in
-  let on_event (ev : Event.t) =
+  (* The arrival body, shared by both subscription modes: everything up
+     to the searches needs only the scalar columns, so the arena path
+     dispatches without touching the OCaml heap; the boxed view is
+     demanded lazily by [cur_event] exactly when a class matches. The
+     caller has set [cur_eid]/[cur_ev]. *)
+  let arrive ~trace ~index ~tsym ~esym ~xsym ~comm =
     t.events_processed <- t.events_processed + 1;
-    t.frontier.(ev.trace) <- ev.vc;
-    History.note_comm_store t.store ev;
+    History.note_comm_store_i t.store ~trace ~comm;
     (match t.flight with
     | Some fl ->
       let pw = t.pw_times in
@@ -626,8 +679,7 @@ let create_multi ?(config = default_config) ~poet () =
         let admit = Array.unsafe_get pw 1 in
         if admit > Array.unsafe_get pw 2 then Array.unsafe_set pw 2 admit
       end;
-      Flight.note fl ~trace:ev.trace ~index:ev.index ~wire_id:t.pw_id ~verdict:t.pw_verdict
-        ~stamps:pw;
+      Flight.note fl ~trace ~index ~wire_id:t.pw_id ~verdict:t.pw_verdict ~stamps:pw;
       (* the stamps are left in place: they stay current until the next
          [set_wire_stamps], and a direct feed (wire id -1) ignores them *)
       if t.pw_id >= 0 then begin
@@ -636,45 +688,53 @@ let create_multi ?(config = default_config) ~poet () =
       end
     | None -> ());
     let seq = t.events_processed in
+    (* Phases 1 and 2 are the every-event fast path, so both are plain
+       index loops: a closure handed to Array.iter/Vec.iter (or the
+       option of a find_opt) would be this path's only OCaml-heap
+       allocation, and the local refs below stay unboxed because no
+       closure captures them. *)
     (* phase 1 — class dispatch: add the event to every matching class
        once, and queue the subscribing (pattern, leaf) pairs *)
+    let by_esym = t.by_esym_arr in
     let cands =
-      match Itbl.find_opt t.by_esym ev.esym with Some a -> a | None -> t.generic_cls
+      if esym < Array.length by_esym then Array.unsafe_get by_esym esym else t.generic_cls
     in
-    Array.iter
-      (fun (c : cls_reg) ->
-        if class_matches c.ckey ev then begin
-          History.add_class t.store ~cls:c.cid ev;
-          Array.iter
-            (fun ((p : pstate), l) ->
-              if p.ptouched_seq <> seq then begin
-                p.ptouched_seq <- seq;
-                Vec.clear p.pscratch;
-                Vec.clear p.panchors
-              end;
-              Vec.push p.pscratch (if p.pgeneric.(l) then generic_bit lor l else l))
-            c.csubs
-        end)
-      cands;
+    for ci = 0 to Array.length cands - 1 do
+      let c = Array.unsafe_get cands ci in
+      if class_matches c.ckey ~tsym ~esym ~xsym then begin
+        History.add_class t.store ~cls:c.cid (cur_event t);
+        let subs = c.csubs in
+        for si = 0 to Array.length subs - 1 do
+          let (p : pstate), l = Array.unsafe_get subs si in
+          if p.ptouched_seq <> seq then begin
+            p.ptouched_seq <- seq;
+            Vec.clear p.pscratch;
+            Vec.clear p.panchors
+          end;
+          Vec.push p.pscratch (if p.pgeneric.(l) then generic_bit lor l else l)
+        done
+      end
+    done;
     (* phase 2 — per pattern, in pid order: mark slots seen and collect
        anchors in the old dispatch order (exact-type leaves ascending,
        then generic ascending), restored by sorting the scratch keys *)
     let any_anchor = ref false in
-    List.iter
-      (fun (p : pstate) ->
-        if p.ptouched_seq = seq then begin
-          sort_scratch p.pscratch;
-          Vec.iter
-            (fun key ->
-              let l = key land leaf_mask in
-              Subset.seen p.psubset ~leaf:l ~trace:ev.trace;
-              if p.pnet.Compile.terminating.(l) then begin
-                Vec.push p.panchors l;
-                any_anchor := true
-              end)
-            p.pscratch
-        end)
-      t.patterns;
+    let parr = t.patterns_arr in
+    for pi = 0 to Array.length parr - 1 do
+      let p = Array.unsafe_get parr pi in
+      if p.ptouched_seq = seq then begin
+        sort_scratch p.pscratch;
+        for ki = 0 to Vec.length p.pscratch - 1 do
+          let key = Vec.get p.pscratch ki in
+          let l = key land leaf_mask in
+          Subset.seen p.psubset ~leaf:l ~trace;
+          if p.pnet.Compile.terminating.(l) then begin
+            Vec.push p.panchors l;
+            any_anchor := true
+          end
+        done
+      end
+    done;
     (* phase 3 — search: rounds over anchor index; round r runs every
        anchored pattern's r-th anchored search inline, then one combined
        cross-pattern pinned batch. Each pattern's operation sequence
@@ -682,6 +742,8 @@ let create_multi ?(config = default_config) ~poet () =
        exactly what a dedicated engine would execute. *)
     if !any_anchor then begin
       t.terminating_arrivals <- t.terminating_arrivals + 1;
+      (* already materialized by the class-matched add_class above *)
+      let ev = cur_event t in
       let timed = config.record_latency || t.tracer <> None in
       let t0 = if timed then Clock.now_us () else 0. in
       let anchors_run = ref 0 in
@@ -853,7 +915,33 @@ let create_multi ?(config = default_config) ~poet () =
     end;
     maybe_gc ()
   in
-  Poet.subscribe poet on_event;
+  if config.arena then begin
+    let ar = Poet.arena poet in
+    (* a trace's symbol never changes, so read it from this
+       cache-resident table instead of the arena's streaming tsym
+       column (one fewer cold column touched per event) *)
+    let tsyms =
+      Array.map (Symbol.intern (Poet.symbols poet)) (Poet.trace_names poet)
+    in
+    Poet.subscribe_flat poet (fun eid ->
+        t.cur_eid <- eid;
+        (* avoid a write-barrier store per event: [cur_ev] only needs
+           clearing after a boxed-view materialization *)
+        if t.cur_ev != Event.none then t.cur_ev <- Event.none;
+        let trace = Arena.unsafe_trace ar eid in
+        arrive ~trace
+          ~index:(Arena.unsafe_index ar eid)
+          ~tsym:(Array.unsafe_get tsyms trace)
+          ~esym:(Arena.unsafe_esym ar eid)
+          ~xsym:(Arena.unsafe_xsym ar eid)
+          ~comm:(Arena.is_comm_tag (Arena.unsafe_kind_tag ar eid)))
+  end
+  else
+    Poet.subscribe poet (fun (ev : Event.t) ->
+        t.cur_eid <- -1;
+        t.cur_ev <- ev;
+        arrive ~trace:ev.trace ~index:ev.index ~tsym:ev.tsym ~esym:ev.esym ~xsym:ev.xsym
+          ~comm:(Event.is_comm ev));
   t
 
 let register_pattern t net =
@@ -1138,6 +1226,24 @@ let shutdown t =
 let poet t = t.poet
 
 let feed_raw t raw = Poet.ingest t.poet raw
+
+let feed_raw_flat t raw = ignore (Poet.ingest_flat t.poet raw : int)
+
+(* Batch feed: one bounds check and one tight loop per block instead of
+   a per-event call through the boxed [ingest]. In arena mode nothing in
+   the loop allocates unless an event class-matches. *)
+let feed_block t ?(off = 0) ?len raws =
+  let n = Array.length raws in
+  let len = match len with Some l -> l | None -> n - off in
+  if off < 0 || len < 0 || off + len > n then
+    invalid_arg
+      (Printf.sprintf "Engine.feed_block: off %d len %d out of bounds for %d records" off len n);
+  let poet = t.poet in
+  for i = off to off + len - 1 do
+    ignore (Poet.ingest_flat poet (Array.unsafe_get raws i) : int)
+  done
+
+let arena_mode t = t.cfg.arena
 
 let set_wire_stamps t ~decode_us ~admit_us =
   Array.unsafe_set t.pw_times 0 decode_us;

@@ -126,6 +126,16 @@ type config = {
           reconstructs causal chains from. On by default: recording is
           one clock read and a few array stores per event. *)
   provenance_capacity : int;  (** flight-recorder window, per trace *)
+  arena : bool;
+      (** subscribe to the POET store's flat eid stream instead of the
+          boxed [Event.t] stream. The dispatch prologue (epoch note,
+          flight stamp, class match) then runs on arena columns —
+          integer loads, no per-event allocation — and the boxed event
+          is materialized lazily, only for events that match some
+          class. Observables are bit-identical in both modes (the
+          differential fuzzer's arena oracle holds the engine to that);
+          the switch exists for the ablation benchmarks and the oracle
+          itself. On by default. *)
 }
 
 val default_config : config
@@ -136,7 +146,7 @@ val default_config : config
     enabled), provenance on with a 1_024-event window per trace (sized
     to keep the flight ring cache-resident; raise it when a deeper
     [ocep explain] window matters more than the last few percent of
-    throughput). *)
+    throughput), arena dispatch on. *)
 
 type t
 
@@ -304,6 +314,22 @@ val feed_raw : t -> Event.raw -> Event.t
     local-clock order, receives after their sends; that is exactly what
     the admission layer restores under degraded delivery. Events fed
     this way carry the [Direct] provenance verdict. *)
+
+val feed_raw_flat : t -> Event.raw -> unit
+(** {!feed_raw} without the boxed return value. In arena mode (and with
+    no other boxed POET clients) the whole ingest + dispatch path then
+    allocates nothing for events that match no class — the hot-path
+    entry point for raw-speed feeding. *)
+
+val feed_block : t -> ?off:int -> ?len:int -> Event.raw array -> unit
+(** Feed a block of raw events ([off], [len] select a slice; the whole
+    array by default): one tight loop over {!feed_raw_flat}, the batch
+    half of the arrival path used by {!Ocep_ingest.Source}'s block mode
+    and the benchmarks. Raises [Invalid_argument] on an out-of-bounds
+    slice. *)
+
+val arena_mode : t -> bool
+(** Whether this engine subscribed in arena (flat eid) mode. *)
 
 val set_wire_stamps : t -> decode_us:float -> admit_us:float -> unit
 (** Set the decode/admit timestamps the flight recorder will stamp on

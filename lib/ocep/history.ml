@@ -109,6 +109,10 @@ let create net ~n_traces ~pruning ?max_per_trace () =
 let note_comm_store s (ev : Event.t) =
   if Event.is_comm ev then s.epochs.(ev.trace) <- s.epochs.(ev.trace) + 1
 
+(* the arena dispatch path's twin of [note_comm_store]: the caller has
+   the trace and comm-ness as ints already and no boxed event to offer *)
+let note_comm_store_i s ~trace ~comm = if comm then s.epochs.(trace) <- s.epochs.(trace) + 1
+
 let note_comm t ev = note_comm_store t.store ev
 
 let index_push tbl xsym pos =

@@ -84,6 +84,10 @@ val add_class : store -> cls:int -> Event.t -> unit
 
 val note_comm_store : store -> Event.t -> unit
 
+val note_comm_store_i : store -> trace:int -> comm:bool -> unit
+(** [note_comm_store] for callers that carry the event as arena columns:
+    advance [trace]'s communication epoch when [comm]. *)
+
 val class_entries : store -> cls:int -> int
 
 val store_entries : store -> int

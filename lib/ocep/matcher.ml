@@ -34,6 +34,7 @@ type ctx = {
   assigned : Event.t array;  (* by leaf; Event.none (by ==) when unassigned *)
   partner_links : int list array;  (* leaf -> partner-constrained leaves *)
   pin : (int * int) option;
+  all_traces : int array;  (* [|0..n_traces-1|], shared by every level *)
   stats : stats;
   node_budget : int;
   start_nodes : int;
@@ -174,7 +175,7 @@ let binding ctx v =
   in
   loop 0
 
-let all_traces ctx = Array.init ctx.n_traces (fun i -> i)
+let all_traces ctx = ctx.all_traces
 
 let trace_list ctx st_conflicts leaf =
   match ctx.pin with
@@ -232,91 +233,118 @@ let init_level ctx i =
 let domain_on ctx st t =
   let leaf = st.leaf in
   let hist = History.on ctx.history ~leaf ~trace:t in
+  let cons = ctx.net.Compile.cons.(leaf) in
   let dom = ref (Domain.full hist) in
   (try
-     Array.iteri
-       (fun j e ->
-         if e != Event.none then
-           match ctx.net.Compile.cons.(leaf).(j) with
-           | Some a ->
-             add_conflict st ctx.level_of.(j);
-             dom := Interval.Set.inter !dom (Domain.restrict hist ~trace:t ~w:e a);
-             if Interval.Set.is_empty !dom then raise Exit
-           | None -> ())
-       ctx.assigned
+     for j = 0 to ctx.k - 1 do
+       let e = Array.unsafe_get ctx.assigned j in
+       if e != Event.none then
+         match Array.unsafe_get cons j with
+         | Some a ->
+           add_conflict st ctx.level_of.(j);
+           dom := Interval.Set.inter !dom (Domain.restrict hist ~trace:t ~w:e a);
+           if Interval.Set.is_empty !dom then raise Exit
+         | None -> ()
+     done
    with Exit -> ());
   !dom
 
 (* Does [x] satisfy every constraint against the instantiated events? On
-   rejection the conflicting level is recorded for backjumping. *)
-let accept ctx st (x : Event.t) =
+   rejection the conflicting level is recorded for backjumping. [accept]
+   runs once per search node, so every pass below is an explicit loop —
+   closure-based iteration here was the search's dominant allocation. *)
+
+(* causal relations (already true for history candidates by construction;
+   re-checked cheaply, and required for partner-derived candidates).
+   Distinct unconstrained leaves may share an event, so an assigned leaf
+   without a constraint needs no check. *)
+let cons_ok ctx st (x : Event.t) =
+  let cons = ctx.net.Compile.cons.(st.leaf) in
+  let rec loop j =
+    j >= ctx.k
+    ||
+    let e = Array.unsafe_get ctx.assigned j in
+    if e == Event.none then loop (j + 1)
+    else
+      match Array.unsafe_get cons j with
+      | None -> loop (j + 1)
+      | Some a ->
+        if Compile.allowed_of_relation (Event.relation x e) a then loop (j + 1)
+        else begin
+          add_conflict st ctx.level_of.(j);
+          false
+        end
+  in
+  loop 0
+
+(* partner links *)
+let rec partners_ok ctx st (x : Event.t) = function
+  | [] -> true
+  | j :: rest ->
+    let e = ctx.assigned.(j) in
+    if e == Event.none then partners_ok ctx st x rest
+    else
+      let same_msg =
+        match (x.Event.kind, e.Event.kind) with
+        | ( (Event.Send { msg = a } | Event.Receive { msg = a }),
+            (Event.Send { msg = b } | Event.Receive { msg = b }) ) ->
+          Int.equal a b && not (Event.equal x e)
+        | _ -> false
+      in
+      if same_msg then partners_ok ctx st x rest
+      else begin
+        add_conflict st ctx.level_of.(j);
+        false
+      end
+
+(* self-consistency: the leaf's other positions of [v] must carry [xv] *)
+let self_ok lvars (x : Event.t) ~v ~f ~xv =
+  let n = Array.length lvars in
+  let rec loop i =
+    i >= n
+    ||
+    let v', f' = Array.unsafe_get lvars i in
+    ((not (Int.equal v' v)) || f' = f || Int.equal (field_value x f') xv) && loop (i + 1)
+  in
+  loop 0
+
+(* consistency of [v = xv] with its instantiated occurrences elsewhere *)
+let var_occs_ok ctx st ~leaf ~v ~xv =
+  let occs = ctx.inet.Compile.var_occs.(v) in
+  let n = Array.length occs in
+  let rec loop i =
+    i >= n
+    ||
+    let j, f2 = Array.unsafe_get occs i in
+    if j = leaf then loop (i + 1)
+    else
+      let e = ctx.assigned.(j) in
+      if e == Event.none || Int.equal (field_value e f2) xv then loop (i + 1)
+      else begin
+        add_conflict st ctx.level_of.(j);
+        false
+      end
+  in
+  loop 0
+
+(* attribute variables: self-consistency and consistency with bindings *)
+let vars_ok ctx st (x : Event.t) =
   let leaf = st.leaf in
-  let ok = ref true in
-  (* causal relations (already true for history candidates by construction;
-     re-checked cheaply, and required for partner-derived candidates) *)
-  Array.iteri
-    (fun j e ->
-      (* distinct unconstrained leaves may share an event, so an assigned
-         leaf without a constraint needs no check *)
-      if !ok && e != Event.none then
-        match ctx.net.Compile.cons.(leaf).(j) with
-        | Some a ->
-          if not (Compile.allowed_of_relation (Event.relation x e) a) then begin
-            add_conflict st ctx.level_of.(j);
-            ok := false
-          end
-        | None -> ())
-    ctx.assigned;
-  (* partner links *)
-  if !ok then
-    List.iter
-      (fun j ->
-        if !ok then begin
-          let e = ctx.assigned.(j) in
-          if e != Event.none then begin
-            let same_msg =
-              match (x.Event.kind, e.Event.kind) with
-              | ( (Event.Send { msg = a } | Event.Receive { msg = a }),
-                  (Event.Send { msg = b } | Event.Receive { msg = b }) ) ->
-                Int.equal a b && not (Event.equal x e)
-              | _ -> false
-            in
-            if not same_msg then begin
-              add_conflict st ctx.level_of.(j);
-              ok := false
-            end
-          end
-        end)
-      ctx.partner_links.(leaf);
-  (* attribute variables: self-consistency and consistency with bindings *)
-  if !ok then begin
-    let lvars = ctx.inet.Compile.leaf_vars.(leaf) in
-    Array.iter
-      (fun (v, f) ->
-        if !ok then begin
-          let xv = field_value x f in
-          (* self-consistency with the leaf's other positions of v *)
-          Array.iter
-            (fun (v', f') ->
-              if !ok && Int.equal v' v && f' <> f && not (Int.equal (field_value x f') xv) then
-                ok := false)
-            lvars;
-          (* consistency with instantiated occurrences *)
-          if !ok then
-            Array.iter
-              (fun (j, f2) ->
-                if !ok && j <> leaf then begin
-                  let e = ctx.assigned.(j) in
-                  if e != Event.none && not (Int.equal (field_value e f2) xv) then begin
-                    add_conflict st ctx.level_of.(j);
-                    ok := false
-                  end
-                end)
-              ctx.inet.Compile.var_occs.(v)
-        end)
-      lvars
-  end;
-  !ok
+  let lvars = ctx.inet.Compile.leaf_vars.(leaf) in
+  let n = Array.length lvars in
+  let rec loop i =
+    i >= n
+    ||
+    let v, f = Array.unsafe_get lvars i in
+    let xv = field_value x f in
+    self_ok lvars x ~v ~f ~xv && var_occs_ok ctx st ~leaf ~v ~xv && loop (i + 1)
+  in
+  loop 0
+
+let accept ctx st (x : Event.t) =
+  cons_ok ctx st x
+  && partners_ok ctx st x ctx.partner_links.(st.leaf)
+  && vars_ok ctx st x
 
 exception Budget
 
@@ -488,6 +516,7 @@ let make_ctx ?plan ~(net : Compile.inet) ~history ~n_traces ~trace_of_sym ~partn
       assigned = Array.make k Event.none;
       partner_links = p.plan_partner_links;
       pin;
+      all_traces = Array.init n_traces Fun.id;
       stats;
       node_budget;
       start_nodes = stats.nodes;

@@ -1,16 +1,26 @@
 open Ocep_base
+module A1 = Bigarray.Array1
 
 (* Message ids are in practice small dense integers (the simulator and
    every workload draw them from a counter), so per-message state lives
    in arrays indexed by id — one load/store where a hashtable would
    hash, probe and allocate buckets — with a hashtable spill for ids
-   that are negative or implausibly large. Absent entries hold the
-   physically-unique sentinels below. *)
+   that are negative or implausibly large. The arrays are off-heap
+   Bigarrays: message ids grow linearly with the stream, and keeping
+   the maps out of the OCaml heap keeps their doubling growth out of
+   the GC entirely. Absent entries hold -1 (never a valid Vc_pool
+   handle or arena eid). *)
 let dense_cap = 1 lsl 20
 
-let no_vc = Vclock.make ~dim:0
+type ibuf = (int, Bigarray.int_elt, Bigarray.c_layout) A1.t
 
-let no_event = Event.none
+(* The store is arena-backed: every ingested event becomes a row of int
+   columns ([Arena.t]) plus an in-place clock update ([Vc_pool.t]), and
+   is identified downstream by its dense eid. The boxed [Event.t] is a
+   view, built eagerly only when a boxed client needs it (a [subscribe]
+   subscriber, [retain], the [ingest] return value) and lazily otherwise
+   ([materialize]). With only flat subscribers and [retain:false] the
+   ingest path allocates nothing on the OCaml heap. *)
 
 type t = {
   names : string array;
@@ -19,35 +29,44 @@ type t = {
   trace_by_sym : int array;  (* name symbol -> first trace with that name *)
   retain : bool;
   partner_index : bool;
-  clocks : Vclock.t array;  (* current clock per trace *)
-  counters : int array;  (* events so far per trace *)
-  mutable msg_vc : Vclock.t array;  (* msg id -> sent-not-received vc *)
-  mutable msg_send : Event.t array;  (* msg id -> send event *)
-  mutable msg_recv : Event.t array;  (* msg id -> receive event *)
-  pending_spill : (int, Vclock.t) Hashtbl.t;
-  send_spill : (int, Event.t) Hashtbl.t;
-  recv_spill : (int, Event.t) Hashtbl.t;
+  arena : Arena.t;  (* one row per ingested event *)
+  vcs : Vc_pool.t;  (* live clock rows + persisted snapshots *)
+  mutable msg_vch : ibuf;  (* msg id -> sent-not-received snapshot handle *)
+  mutable msg_send : ibuf;  (* msg id -> send eid *)
+  mutable msg_recv : ibuf;  (* msg id -> receive eid *)
+  pending_spill : (int, int) Hashtbl.t;
+  send_spill : (int, int) Hashtbl.t;
+  recv_spill : (int, int) Hashtbl.t;
   store : Event.t Vec.t array;  (* per trace, when retained *)
   log : Event.t Vec.t;  (* ingestion order, when retained *)
   mutable subscribers_rev : (Event.t -> unit) list;
   mutable subscribers : (Event.t -> unit) array;
       (* subscription-order cache of subscribers_rev for the ingest hot
          path; rebuilt on (rare) subscribe instead of appending with @ *)
+  mutable flat_rev : (int -> unit) list;
+  mutable flat_subscribers : (int -> unit) array;
   mutable ingested : int;
-  mutable notified : int;  (* subscriber callbacks invoked *)
-  (* two-entry intern memos for the two hot ingest strings: event
-     streams repeat the same etype/text values — usually the physically
-     same string (literals, memoized names) — so a physical-equality hit
-     skips the hash probe entirely. Two entries keep an alternating pair
-     of literal sites resident. [-1] symbols mark empty slots. *)
+  mutable notified : int;  (* subscriber callbacks invoked, both kinds *)
+  mutable last_boxed : Event.t;
+      (* boxed view of the event being ingested; [Event.none] when no
+         boxed client forced it, so [ingest] can reuse instead of
+         rebuilding *)
+  (* intern memos for the two hot ingest strings: event streams repeat
+     the same etype/text values — usually the physically same string
+     (literals, memoized names) — so a physical-equality hit skips the
+     hash probe entirely. Etypes are shared literals across traces, so
+     a global two-slot memo holds an alternating pair of sites. Texts
+     are typically per-trace constants (peer names, process labels)
+     that interleave across traces and thrash a global memo, so they
+     get two slots per trace. [-1] symbols mark empty slots. *)
   mutable last_etype : string;
   mutable last_esym : int;
   mutable last_etype2 : string;
   mutable last_esym2 : int;
-  mutable last_text : string;
-  mutable last_xsym : int;
-  mutable last_text2 : string;
-  mutable last_xsym2 : int;
+  memo_text : string array;  (* per trace, most recent *)
+  memo_xsym : int array;
+  memo_text2 : string array;  (* per trace, one before *)
+  memo_xsym2 : int array;
 }
 
 let create ?(retain = false) ?(partner_index = true) ~trace_names () =
@@ -66,11 +85,11 @@ let create ?(retain = false) ?(partner_index = true) ~trace_names () =
     trace_by_sym;
     retain;
     partner_index;
-    clocks = Array.init n (fun _ -> Vclock.make ~dim:n);
-    counters = Array.make n 0;
-    msg_vc = [||];
-    msg_send = [||];
-    msg_recv = [||];
+    arena = Arena.create ();
+    vcs = Vc_pool.create ~dim:n ();
+    msg_vch = A1.create Bigarray.int Bigarray.c_layout 0;
+    msg_send = A1.create Bigarray.int Bigarray.c_layout 0;
+    msg_recv = A1.create Bigarray.int Bigarray.c_layout 0;
     pending_spill = Hashtbl.create 16;
     send_spill = Hashtbl.create 16;
     recv_spill = Hashtbl.create 16;
@@ -78,16 +97,19 @@ let create ?(retain = false) ?(partner_index = true) ~trace_names () =
     log = Vec.create ();
     subscribers_rev = [];
     subscribers = [||];
+    flat_rev = [];
+    flat_subscribers = [||];
     ingested = 0;
     notified = 0;
+    last_boxed = Event.none;
     last_etype = "";
     last_esym = -1;
     last_etype2 = "";
     last_esym2 = -1;
-    last_text = "";
-    last_xsym = -1;
-    last_text2 = "";
-    last_xsym2 = -1;
+    memo_text = Array.make (max 1 n) "";
+    memo_xsym = Array.make (max 1 n) (-1);
+    memo_text2 = Array.make (max 1 n) "";
+    memo_xsym2 = Array.make (max 1 n) (-1);
   }
 
 let trace_count t = Array.length t.names
@@ -103,6 +125,12 @@ let trace_of_name t name =
 
 let symbols t = t.symbols
 
+let arena t = t.arena
+
+let vc_pool t = t.vcs
+
+let clock_entry t ~trace ~entry = Vc_pool.get t.vcs ~trace ~entry
+
 let trace_of_sym t sym =
   if sym < 0 || sym >= Array.length t.trace_by_sym then None
   else
@@ -113,112 +141,218 @@ let subscribe t f =
   t.subscribers_rev <- f :: t.subscribers_rev;
   t.subscribers <- Array.of_list (List.rev t.subscribers_rev)
 
+let subscribe_flat t f =
+  t.flat_rev <- f :: t.flat_rev;
+  t.flat_subscribers <- Array.of_list (List.rev t.flat_rev)
+
 let ingested t = t.ingested
 
 let notifications t = t.notified
 
-let dense t msg = msg >= 0 && msg < dense_cap && msg < Array.length t.msg_vc
+let dense t msg = msg >= 0 && msg < dense_cap && msg < A1.dim t.msg_vch
 
 let grow_dense t msg =
-  let cur = Array.length t.msg_vc in
+  let cur = A1.dim t.msg_vch in
   let n = ref (max 1024 (cur * 2)) in
   while msg >= !n do
     n := !n * 2
   done;
-  let grow a fill =
-    let b = Array.make !n fill in
-    Array.blit a 0 b 0 cur;
+  let grow a =
+    let b = A1.create Bigarray.int Bigarray.c_layout !n in
+    A1.fill b (-1);
+    if cur > 0 then A1.blit a (A1.sub b 0 cur);
     b
   in
-  t.msg_vc <- grow t.msg_vc no_vc;
-  t.msg_send <- grow t.msg_send no_event;
-  t.msg_recv <- grow t.msg_recv no_event
+  t.msg_vch <- grow t.msg_vch;
+  t.msg_send <- grow t.msg_send;
+  t.msg_recv <- grow t.msg_recv
 
-let ingest t (raw : Event.raw) =
+(* Build the boxed view of an arena row. Communication events decode
+   their persisted snapshot; internal events have none, so they are only
+   materializable while their trace's live row still is their clock —
+   i.e. until the trace's next event. The engine materializes during
+   dispatch (before any later ingest), and histories keep the boxed
+   record from then on, so the window is never a constraint in the
+   monitoring pipeline. *)
+let materialize t eid =
+  let ar = t.arena in
+  let tr = Arena.trace ar eid in
+  let idx = Arena.index ar eid in
+  let esym = Arena.esym ar eid in
+  let xsym = Arena.xsym ar eid in
+  let h = Arena.vch ar eid in
+  let vc =
+    if h >= 0 then Vclock.unsafe_of_array (Vc_pool.to_array t.vcs h)
+    else if Vc_pool.get t.vcs ~trace:tr ~entry:tr = idx then
+      Vclock.unsafe_of_array (Vc_pool.current_to_array t.vcs ~trace:tr)
+    else
+      failwith
+        (Printf.sprintf
+           "Poet.materialize: internal event %d (trace %d, index %d) has no persisted clock \
+            and its trace has moved on"
+           eid tr idx)
+  in
+  {
+    Event.trace = tr;
+    trace_name = t.names.(tr);
+    index = idx;
+    etype = Symbol.name t.symbols esym;
+    text = Symbol.name t.symbols xsym;
+    tsym = Arena.tsym ar eid;
+    esym;
+    xsym;
+    kind = Arena.kind ar eid;
+    vc;
+  }
+
+let intern_etype t s =
+  if t.last_esym >= 0 && (s == t.last_etype || String.equal s t.last_etype) then t.last_esym
+  else if t.last_esym2 >= 0 && (s == t.last_etype2 || String.equal s t.last_etype2) then
+    t.last_esym2
+  else begin
+    let sym = Symbol.intern t.symbols s in
+    t.last_etype2 <- t.last_etype;
+    t.last_esym2 <- t.last_esym;
+    t.last_etype <- s;
+    t.last_esym <- sym;
+    sym
+  end
+
+(* structural, not physical, comparison: producers typically rebuild
+   the text string per event (sprintf'd peer names), so pointer hits
+   never happen, while a short String.equal is still far cheaper than
+   the intern table's hash + probe *)
+let intern_text t tr s =
+  let sym1 = Array.unsafe_get t.memo_xsym tr in
+  if sym1 >= 0 && String.equal s (Array.unsafe_get t.memo_text tr) then sym1
+  else begin
+    let sym2 = Array.unsafe_get t.memo_xsym2 tr in
+    if sym2 >= 0 && String.equal s (Array.unsafe_get t.memo_text2 tr) then sym2
+    else begin
+      let sym = Symbol.intern t.symbols s in
+      Array.unsafe_set t.memo_text2 tr (Array.unsafe_get t.memo_text tr);
+      Array.unsafe_set t.memo_xsym2 tr sym1;
+      Array.unsafe_set t.memo_text tr s;
+      Array.unsafe_set t.memo_xsym tr sym;
+      sym
+    end
+  end
+
+let ingest_flat t (raw : Event.raw) =
   let tr = raw.r_trace in
   if tr < 0 || tr >= Array.length t.names then
     failwith (Printf.sprintf "Poet.ingest: trace %d out of range" tr);
-  let vc =
+  let ktag, msg, vch, idx =
     match raw.r_kind with
     | Event.Send { msg } ->
-      let vc = Vclock.tick t.clocks.(tr) ~trace:tr in
+      let idx = Vc_pool.tick t.vcs ~trace:tr in
+      let h = Vc_pool.snapshot t.vcs ~trace:tr in
       if msg >= 0 && msg < dense_cap then begin
-        if msg >= Array.length t.msg_vc then grow_dense t msg;
-        t.msg_vc.(msg) <- vc
+        if msg >= A1.dim t.msg_vch then grow_dense t msg;
+        A1.set t.msg_vch msg h
       end
-      else Hashtbl.replace t.pending_spill msg vc;
-      vc
+      else Hashtbl.replace t.pending_spill msg h;
+      (Arena.k_send, msg, h, idx)
     | Event.Receive { msg } ->
-      let sent_vc =
-        if dense t msg && t.msg_vc.(msg) != no_vc then begin
-          let v = t.msg_vc.(msg) in
-          t.msg_vc.(msg) <- no_vc;
-          v
+      let sent =
+        if dense t msg && A1.get t.msg_vch msg >= 0 then begin
+          let h = A1.get t.msg_vch msg in
+          A1.set t.msg_vch msg (-1);
+          h
         end
         else begin
           match Hashtbl.find t.pending_spill msg with
-          | v ->
+          | h ->
             Hashtbl.remove t.pending_spill msg;
-            v
+            h
           | exception Not_found ->
             failwith (Printf.sprintf "Poet.ingest: receive of unknown message %d" msg)
         end
       in
-      Vclock.tick_merge t.clocks.(tr) sent_vc ~trace:tr
-    | Event.Internal -> Vclock.tick t.clocks.(tr) ~trace:tr
+      (* merge then tick: the sender's knowledge of [tr] can only lag
+         the live row (its events were ingested earlier), so the merge
+         never touches the own entry and the tick lands on own+1 —
+         exactly [Vclock.tick_merge]. [recv_update] fuses all three
+         steps into one row pass. *)
+      let h = Vc_pool.recv_update t.vcs ~trace:tr sent in
+      (Arena.k_recv, msg, h, Vc_pool.get t.vcs ~trace:tr ~entry:tr)
+    | Event.Internal ->
+      let idx = Vc_pool.tick t.vcs ~trace:tr in
+      (Arena.k_internal, -1, Vc_pool.nil, idx)
   in
-  t.clocks.(tr) <- vc;
-  t.counters.(tr) <- t.counters.(tr) + 1;
-  let ev =
+  let esym = intern_etype t raw.r_etype in
+  let xsym = intern_text t tr raw.r_text in
+  let eid =
+    Arena.push t.arena ~trace:tr ~index:idx ~tsym:t.name_syms.(tr) ~esym ~xsym ~kind:ktag ~msg
+      ~vch
+  in
+  if t.partner_index && ktag <> Arena.k_internal then
+    if ktag = Arena.k_send then begin
+      if dense t msg then A1.set t.msg_send msg eid else Hashtbl.replace t.send_spill msg eid
+    end
+    else if dense t msg then A1.set t.msg_recv msg eid
+    else Hashtbl.replace t.recv_spill msg eid;
+  t.ingested <- t.ingested + 1;
+  let nboxed = Array.length t.subscribers in
+  if t.retain || nboxed > 0 then begin
+    let ev =
+      {
+        Event.trace = tr;
+        trace_name = t.names.(tr);
+        index = idx;
+        etype = raw.r_etype;
+        text = raw.r_text;
+        tsym = t.name_syms.(tr);
+        esym;
+        xsym;
+        kind = raw.r_kind;
+        vc = Vclock.unsafe_of_array (Vc_pool.current_to_array t.vcs ~trace:tr);
+      }
+    in
+    t.last_boxed <- ev;
+    if t.retain then begin
+      Vec.push t.store.(tr) ev;
+      Vec.push t.log ev
+    end
+  end
+  else if t.last_boxed != Event.none then t.last_boxed <- Event.none;
+  let flats = t.flat_subscribers in
+  let nflat = Array.length flats in
+  t.notified <- t.notified + nboxed + nflat;
+  (* flat subscribers first: the engine registers at creation, before
+     any boxed client, so record-mode observers keep seeing a
+     post-dispatch engine either way *)
+  for i = 0 to nflat - 1 do
+    (Array.unsafe_get flats i) eid
+  done;
+  if nboxed > 0 then begin
+    let ev = t.last_boxed in
+    let subs = t.subscribers in
+    for i = 0 to nboxed - 1 do
+      (Array.unsafe_get subs i) ev
+    done
+  end;
+  eid
+
+let ingest t (raw : Event.raw) =
+  let eid = ingest_flat t raw in
+  if t.last_boxed != Event.none then t.last_boxed
+  else
+    (* no boxed client forced a view during ingest; the live row is
+       still this event's clock, so build it from the raw strings *)
+    let tr = raw.r_trace in
     {
       Event.trace = tr;
       trace_name = t.names.(tr);
-      index = t.counters.(tr);
+      index = Arena.index t.arena eid;
       etype = raw.r_etype;
       text = raw.r_text;
       tsym = t.name_syms.(tr);
-      esym =
-        (if t.last_esym >= 0 && raw.r_etype == t.last_etype then t.last_esym
-         else if t.last_esym2 >= 0 && raw.r_etype == t.last_etype2 then t.last_esym2
-         else begin
-           let s = Symbol.intern t.symbols raw.r_etype in
-           t.last_etype2 <- t.last_etype;
-           t.last_esym2 <- t.last_esym;
-           t.last_etype <- raw.r_etype;
-           t.last_esym <- s;
-           s
-         end);
-      xsym =
-        (if t.last_xsym >= 0 && raw.r_text == t.last_text then t.last_xsym
-         else if t.last_xsym2 >= 0 && raw.r_text == t.last_text2 then t.last_xsym2
-         else begin
-           let s = Symbol.intern t.symbols raw.r_text in
-           t.last_text2 <- t.last_text;
-           t.last_xsym2 <- t.last_xsym;
-           t.last_text <- raw.r_text;
-           t.last_xsym <- s;
-           s
-         end);
+      esym = Arena.esym t.arena eid;
+      xsym = Arena.xsym t.arena eid;
       kind = raw.r_kind;
-      vc;
+      vc = Vclock.unsafe_of_array (Vc_pool.current_to_array t.vcs ~trace:tr);
     }
-  in
-  if t.partner_index then begin
-    match raw.r_kind with
-    | Event.Send { msg } ->
-      if dense t msg then t.msg_send.(msg) <- ev else Hashtbl.replace t.send_spill msg ev
-    | Event.Receive { msg } ->
-      if dense t msg then t.msg_recv.(msg) <- ev else Hashtbl.replace t.recv_spill msg ev
-    | Event.Internal -> ()
-  end;
-  if t.retain then begin
-    Vec.push t.store.(tr) ev;
-    Vec.push t.log ev
-  end;
-  t.ingested <- t.ingested + 1;
-  t.notified <- t.notified + Array.length t.subscribers;
-  Array.iter (fun f -> f ev) t.subscribers;
-  ev
 
 let check_retained t fn =
   if not t.retain then failwith (fn ^ ": store was created with retain:false")
@@ -231,19 +365,19 @@ let all_events t =
   check_retained t "Poet.all_events";
   Vec.to_list t.log
 
-let find_partner t (ev : Event.t) =
+let partner_eid t (ev : Event.t) =
   match ev.kind with
   | Event.Send { msg } ->
-    if dense t msg then
-      let p = t.msg_recv.(msg) in
-      if p != no_event then Some p else None
-    else Hashtbl.find_opt t.recv_spill msg
+    if dense t msg then A1.get t.msg_recv msg
+    else ( match Hashtbl.find_opt t.recv_spill msg with Some e -> e | None -> -1)
   | Event.Receive { msg } ->
-    if dense t msg then
-      let p = t.msg_send.(msg) in
-      if p != no_event then Some p else None
-    else Hashtbl.find_opt t.send_spill msg
-  | Event.Internal -> None
+    if dense t msg then A1.get t.msg_send msg
+    else ( match Hashtbl.find_opt t.send_spill msg with Some e -> e | None -> -1)
+  | Event.Internal -> -1
+
+let find_partner t ev =
+  let eid = partner_eid t ev in
+  if eid < 0 then None else Some (materialize t eid)
 
 (* ------------------------------------------------------------------ *)
 (* Dump / reload                                                       *)

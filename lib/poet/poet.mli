@@ -37,20 +37,59 @@ val symbols : t -> Symbol.t
     every etype and text is interned at [ingest], so the [tsym]/[esym]/
     [xsym] fields of emitted events are ids in this table. *)
 
+val arena : t -> Arena.t
+(** The flat struct-of-arrays row store backing this POET: one row per
+    ingested event, indexed by the eids handed to flat subscribers.
+    Read-only for clients. *)
+
+val vc_pool : t -> Vc_pool.t
+(** The clock pool backing this POET: live per-trace rows plus the
+    interval-compressed snapshots referenced by the arena's [vch]
+    column. Read-only for clients. *)
+
+val clock_entry : t -> trace:int -> entry:int -> int
+(** One entry of a trace's live clock — [entry]'s index in the causal
+    past of [trace]'s latest event (its own event count when
+    [entry = trace]). O(1), no allocation. *)
+
 val trace_of_sym : t -> int -> int option
 (** [trace_of_sym t s] is the trace whose name has symbol [s] — the
     integer twin of {!trace_of_name}, with the same first-trace-wins
     semantics for duplicate names. Total: unknown ids answer [None]. *)
 
 val subscribe : t -> (Event.t -> unit) -> unit
-(** Register a client callback, invoked for every subsequently ingested
-    event, in ingestion order. *)
+(** Register a boxed client callback, invoked with the materialized
+    [Event.t] of every subsequently ingested event, in ingestion order.
+    Having at least one boxed subscriber forces a boxed record per
+    ingest; allocation-free clients use {!subscribe_flat}. *)
+
+val subscribe_flat : t -> (int -> unit) -> unit
+(** Register a flat client callback, invoked with the eid of every
+    subsequently ingested event. Flat subscribers run before boxed ones
+    and cost no per-event allocation; the callback reads columns via
+    {!arena} / {!clock_entry} and calls {!materialize} only when it
+    needs the boxed view. *)
 
 val ingest : t -> Event.raw -> Event.t
 (** Timestamp, optionally store, fan out to subscribers, and return the
     event. Raises [Failure] if the event is a receive for an unknown
     message (i.e. the input order is not a linearization) or if the trace
     id is out of range. *)
+
+val ingest_flat : t -> Event.raw -> int
+(** [ingest] without the boxed return value: timestamp, push the arena
+    row, fan out, return the eid. With no boxed subscribers and
+    [retain:false] this path performs no OCaml-heap allocation per
+    event. Same failure cases as {!ingest}. *)
+
+val materialize : t -> int -> Event.t
+(** The boxed view of an arena row. Communication events decode their
+    persisted clock snapshot and can be materialized at any later time;
+    an internal event only until its trace ingests another event (its
+    clock lives in the trace's in-place row) — afterwards [Failure] is
+    raised. Each call builds a fresh record; results are
+    content-identical (and [Event.equal]) to the event a boxed
+    subscriber saw, not physically equal to it. *)
 
 val ingested : t -> int
 (** Number of events ingested so far. *)
