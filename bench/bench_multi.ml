@@ -1,13 +1,14 @@
 (* Multi-pattern registry vs N dedicated engines.
 
-   Two workloads, four patterns each.  Every pattern set is run twice
-   over the identical raw stream: once registered together in one
-   engine (one POET subscription, one shared history store) and once as
-   four separate single-pattern engines each with its own POET.
-   Reported per workload: events/s for the whole pattern set (separate
-   mode's wall is the sum of its four replays — that is what monitoring
-   all four patterns costs without the registry), resident history
-   entries at end of run, and the speedup / storage ratio.  Per-pattern
+   Every pattern set is run twice over the identical raw stream: once
+   registered together in one engine (one POET subscription, one shared
+   discrimination network and history store) and once as N separate
+   single-pattern engines each with its own POET.  Reported per
+   workload: events/s for the whole pattern set (separate mode's wall
+   is the sum of its N replays — that is what monitoring all N patterns
+   costs without the registry), discrimination-network node counts in
+   both modes, per-pattern registration cost, resident history entries
+   at end of run, and the speedup / storage ratio.  Per-pattern
    observables (matches, coverage, reports) must be identical between
    the two modes — the registry's isolation contract — which this
    program asserts, exiting 1 on any mismatch.
@@ -19,9 +20,18 @@
      exactly two physical classes where separate engines hold seven.
    - "races-variants": the message-race case stream, with four variants
      of the race pattern all over the single [_, MPI_Send, $d] class.
+   - "sweep-16/32/64": one pattern template ([_, Op, $c] -> Commit)
+     instantiated per channel over a stream spreading Op events across
+     the channels.  The instances share their Commit leaf node, so the
+     shared network holds N+1 nodes where dedicated engines hold 2N;
+     and because each Op event carries exactly one channel, dispatch
+     touches one pattern per event regardless of N — the sweep is where
+     the automaton's sublinear scaling (and sublinear [add_pattern])
+     shows.
 
    Results go to BENCH_multi.json and a table on stdout.  Scale with
-   OCEP_EVENTS (default 20_000). *)
+   OCEP_EVENTS (default 20_000); restrict pattern counts with
+   OCEP_SWEEP (comma-separated, e.g. "32" for the CI smoke). *)
 
 module Sim = Ocep_sim.Sim
 module Poet = Ocep_poet.Poet
@@ -93,6 +103,55 @@ let races_patterns =
     ("self-conc", "S1 := [$p, MPI_Send, _];\nS2 := [$p, MPI_Send, _];\npattern := S1 || S2;\n");
   ]
 
+(* The template sweep: N instances of one channel pattern, over a
+   stream that spreads Op events round-robin across N channels (plus
+   the Commit events every instance's second leaf waits for, and
+   occasional messages so epochs advance and pruning stays live). *)
+let sweep_stream ~n_traces ~n_events ~channels =
+  let prng = Prng.create 4099 in
+  let raws = ref [] and msg = ref 0 in
+  let push r = raws := r :: !raws in
+  for i = 0 to n_events - 1 do
+    if i mod 251 = 250 then
+      push
+        {
+          Event.r_trace = Prng.int prng n_traces;
+          r_etype = "Commit";
+          r_text = "c";
+          r_kind = Event.Internal;
+        }
+    else if i mod 16 = 15 then begin
+      let src = Prng.int prng n_traces in
+      let dst = (src + 1 + Prng.int prng (n_traces - 1)) mod n_traces in
+      incr msg;
+      push { Event.r_trace = src; r_etype = "Msg"; r_text = ""; r_kind = Event.Send { msg = !msg } };
+      push
+        { Event.r_trace = dst; r_etype = "Msg"; r_text = ""; r_kind = Event.Receive { msg = !msg } }
+    end
+    else
+      push
+        {
+          Event.r_trace = i mod n_traces;
+          r_etype = "Op";
+          r_text = "k" ^ string_of_int (i mod channels);
+          r_kind = Event.Internal;
+        }
+  done;
+  List.rev !raws
+
+let sweep_source ~n =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    "template chan($c) {\n\
+    \  A := [_, Op, $c];\n\
+    \  C := [_, Commit, _];\n\
+    \  pattern := A -> C;\n\
+     }\n";
+  for i = 0 to n - 1 do
+    Buffer.add_string buf (Printf.sprintf "instantiate chan(k%d);\n" i)
+  done;
+  Buffer.contents buf
+
 (* ------------------------------------------------------------------ *)
 (* The two deployment modes                                            *)
 (* ------------------------------------------------------------------ *)
@@ -114,8 +173,10 @@ let observe h =
 
 type mode_result = {
   wall_s : float;
+  register_s : float;  (* wall spent in add_pattern, all patterns summed *)
   minor_words : float;  (* GC minor words over the ingest loop(s) *)
   major_collections : int;
+  automaton_nodes : int;  (* live network nodes, all engines summed *)
   history_entries : int;  (* resident at end of run, all engines summed *)
   per_pattern :
     (int * int * int * (int * (int * int) list * (int * int) list) list) list;
@@ -127,7 +188,9 @@ let run_multi ~names ~nets raws =
   Fun.protect
     ~finally:(fun () -> Engine.shutdown engine)
     (fun () ->
+      let r0 = Clock.now_s () in
       let hs = List.map (fun net -> Engine.add_pattern engine net) nets in
+      let register_s = Clock.now_s () -. r0 in
       Gc.full_major ();
       let g0 = Gc.quick_stat () in
       let t0 = Clock.now_s () in
@@ -136,8 +199,10 @@ let run_multi ~names ~nets raws =
       let g1 = Gc.quick_stat () in
       {
         wall_s;
+        register_s;
         minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
         major_collections = g1.Gc.major_collections - g0.Gc.major_collections;
+        automaton_nodes = Engine.automaton_nodes engine;
         history_entries = Engine.history_entries engine;
         per_pattern = List.map observe hs;
       })
@@ -147,29 +212,34 @@ let run_separate ~names ~nets raws =
     List.map
       (fun net ->
         let poet = Poet.create ~trace_names:names () in
-        let engine = Engine.create ~net ~poet () in
+        let engine = Engine.create ~poet () in
         Fun.protect
           ~finally:(fun () -> Engine.shutdown engine)
           (fun () ->
+            let r0 = Clock.now_s () in
+            let h = Engine.add_pattern engine net in
+            let register_s = Clock.now_s () -. r0 in
             Gc.full_major ();
             let g0 = Gc.quick_stat () in
             let t0 = Clock.now_s () in
             List.iter (fun r -> ignore (Poet.ingest poet r)) raws;
             let wall_s = Clock.now_s () -. t0 in
             let g1 = Gc.quick_stat () in
-            let h = List.hd (Engine.handles engine) in
             ( (wall_s,
+               register_s,
                g1.Gc.minor_words -. g0.Gc.minor_words,
                g1.Gc.major_collections - g0.Gc.major_collections),
-              Engine.history_entries engine,
+              (Engine.automaton_nodes engine, Engine.history_entries engine),
               observe h )))
       nets
   in
   {
-    wall_s = List.fold_left (fun a ((w, _, _), _, _) -> a +. w) 0. results;
-    minor_words = List.fold_left (fun a ((_, m, _), _, _) -> a +. m) 0. results;
-    major_collections = List.fold_left (fun a ((_, _, g), _, _) -> a + g) 0 results;
-    history_entries = List.fold_left (fun a (_, h, _) -> a + h) 0 results;
+    wall_s = List.fold_left (fun a ((w, _, _, _), _, _) -> a +. w) 0. results;
+    register_s = List.fold_left (fun a ((_, r, _, _), _, _) -> a +. r) 0. results;
+    minor_words = List.fold_left (fun a ((_, _, m, _), _, _) -> a +. m) 0. results;
+    major_collections = List.fold_left (fun a ((_, _, _, g), _, _) -> a + g) 0 results;
+    automaton_nodes = List.fold_left (fun a (_, (n, _), _) -> a + n) 0 results;
+    history_entries = List.fold_left (fun a (_, (_, h), _) -> a + h) 0 results;
     per_pattern = List.map (fun (_, _, o) -> o) results;
   }
 
@@ -204,11 +274,11 @@ let best_of runs =
       rest;
     List.fold_left (fun a r -> if r.wall_s < a.wall_s then r else a) first rest
 
-let bench_workload ~workload ~names ~patterns raws =
-  let nets = List.map (fun (_, src) -> Compile.compile (Parser.parse src)) patterns in
+let bench_nets ~workload ~names ~nets raws =
   let reps =
     List.init repetitions (fun _ ->
-        (run_multi ~names ~nets raws, run_separate ~names ~nets raws))
+        (run_multi ~names ~nets:(List.map snd nets) raws,
+         run_separate ~names ~nets:(List.map snd nets) raws))
   in
   let multi = best_of (List.map fst reps) in
   let separate = best_of (List.map snd reps) in
@@ -224,21 +294,30 @@ let bench_workload ~workload ~names ~patterns raws =
           name (pr m) (pr s);
         exit 1
       end)
-    (List.map fst patterns);
+    (List.map fst nets);
   {
     workload;
     n_events = List.length raws;
-    pattern_names = List.map fst patterns;
+    pattern_names = List.map fst nets;
     multi;
     separate;
   }
 
+let bench_workload ~workload ~names ~patterns raws =
+  let nets =
+    List.map (fun (name, src) -> (name, Compile.compile (Parser.parse src))) patterns
+  in
+  bench_nets ~workload ~names ~nets raws
+
 let events_per_s r n = float_of_int n /. (if r.wall_s > 0. then r.wall_s else 1e-9)
 
 let json_of_mode r n =
+  let k = max 1 (List.length r.per_pattern) in
   Printf.sprintf
-    {|{"wall_s": %.6f, "events_per_s": %.0f, "minor_words_per_event": %.2f, "major_collections": %d, "history_entries": %d, "matches": [%s]}|}
+    {|{"wall_s": %.6f, "events_per_s": %.0f, "register_us_per_pattern": %.2f, "automaton_nodes": %d, "minor_words_per_event": %.2f, "major_collections": %d, "history_entries": %d, "matches": [%s]}|}
     r.wall_s (events_per_s r n)
+    (r.register_s *. 1e6 /. float_of_int k)
+    r.automaton_nodes
     (r.minor_words /. float_of_int n)
     r.major_collections r.history_entries
     (String.concat ", " (List.map (fun (m, _, _, _) -> string_of_int m) r.per_pattern))
@@ -247,8 +326,20 @@ let () =
   let max_events =
     match Sys.getenv_opt "OCEP_EVENTS" with Some s -> int_of_string s | None -> 20_000
   in
-  Printf.printf "multi-pattern registry bench: %d events/workload, 4 patterns each\n%!" max_events;
+  let sweep_sizes =
+    match Sys.getenv_opt "OCEP_SWEEP" with
+    | Some s -> List.map int_of_string (String.split_on_char ',' (String.trim s))
+    | None -> [ 16; 32; 64 ]
+  in
+  Printf.printf "multi-pattern registry bench: %d events/workload\n%!" max_events;
   let shared_names = Array.init 8 (fun i -> "P" ^ string_of_int i) in
+  let sweep n =
+    let nets = Compile.compile_file (Parser.parse_file (sweep_source ~n)) in
+    bench_nets
+      ~workload:(Printf.sprintf "sweep-%d" n)
+      ~names:shared_names ~nets
+      (sweep_stream ~n_traces:8 ~n_events:max_events ~channels:n)
+  in
   let rows =
     [
       bench_workload ~workload:"shared-ops" ~names:shared_names ~patterns:shared_ops_patterns
@@ -256,21 +347,26 @@ let () =
       (let names, raws = races_stream ~max_events in
        bench_workload ~workload:"races-variants" ~names ~patterns:races_patterns raws);
     ]
+    @ List.map sweep sweep_sizes
   in
-  Printf.printf "\n%-16s %8s | %12s %12s %8s | %9s %9s %7s | %9s %9s\n" "workload" "events"
-    "multi ev/s" "sep ev/s" "speedup" "multi hist" "sep hist" "ratio" "multi mW/ev" "sep mW/ev";
+  Printf.printf "\n%-16s %8s %5s | %12s %12s %8s | %6s %6s | %9s %9s %7s | %10s %10s\n"
+    "workload" "events" "pats" "multi ev/s" "sep ev/s" "speedup" "m nod" "s nod" "multi hist"
+    "sep hist" "ratio" "m add us/p" "s add us/p";
   List.iter
     (fun r ->
-      Printf.printf "%-16s %8d | %12.0f %12.0f %7.2fx | %9d %9d %6.2fx | %9.1f %9.1f\n"
-        r.workload r.n_events
+      let k = max 1 (List.length r.pattern_names) in
+      Printf.printf
+        "%-16s %8d %5d | %12.0f %12.0f %7.2fx | %6d %6d | %9d %9d %6.2fx | %10.2f %10.2f\n"
+        r.workload r.n_events (List.length r.pattern_names)
         (events_per_s r.multi r.n_events)
         (events_per_s r.separate r.n_events)
         (r.separate.wall_s /. r.multi.wall_s)
-        r.multi.history_entries r.separate.history_entries
+        r.multi.automaton_nodes r.separate.automaton_nodes r.multi.history_entries
+        r.separate.history_entries
         (float_of_int r.separate.history_entries
         /. float_of_int (max 1 r.multi.history_entries))
-        (r.multi.minor_words /. float_of_int r.n_events)
-        (r.separate.minor_words /. float_of_int r.n_events))
+        (r.multi.register_s *. 1e6 /. float_of_int k)
+        (r.separate.register_s *. 1e6 /. float_of_int k))
     rows;
   let oc = open_out "BENCH_multi.json" in
   Printf.fprintf oc "{\n  \"events_per_workload\": %d,\n  \"workloads\": {\n" max_events;
@@ -278,13 +374,15 @@ let () =
     (fun i r ->
       Printf.fprintf oc
         "    %S: {\n      \"patterns\": [%s],\n      \"multi\": %s,\n      \"separate\": %s,\n\
-        \      \"speedup\": %.3f,\n      \"history_ratio\": %.3f,\n      \"equal_results\": \
-         true\n    }%s\n"
+        \      \"speedup\": %.3f,\n      \"node_ratio\": %.3f,\n      \"history_ratio\": \
+         %.3f,\n      \"equal_results\": true\n    }%s\n"
         r.workload
         (String.concat ", " (List.map (Printf.sprintf "%S") r.pattern_names))
         (json_of_mode r.multi r.n_events)
         (json_of_mode r.separate r.n_events)
         (r.separate.wall_s /. r.multi.wall_s)
+        (float_of_int r.separate.automaton_nodes
+        /. float_of_int (max 1 r.multi.automaton_nodes))
         (float_of_int r.separate.history_entries
         /. float_of_int (max 1 r.multi.history_entries))
         (if i = List.length rows - 1 then "" else ","))

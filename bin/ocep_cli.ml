@@ -38,6 +38,16 @@ let read_file path =
   close_in ic;
   s
 
+(* A pattern file may hold one plain pattern or a template registry; the
+   plain case keeps the bare filename as its label, template instances
+   are labeled file#template('binding'). *)
+let load_pattern_file f =
+  List.map
+    (fun (name, net) -> ((if name = "main" then f else f ^ "#" ^ name), net))
+    (Compile.compile_file (Parser.parse_file (read_file f)))
+
+let load_pattern_files files = List.concat_map load_pattern_file files
+
 (* ------------------------------------------------------------------ *)
 (* telemetry (--listen)                                                *)
 (* ------------------------------------------------------------------ *)
@@ -325,9 +335,7 @@ let run_cmd =
       exit 2
     | _ -> ());
     let srv = telemetry_start listen in
-    let nets =
-      List.map (fun f -> (f, Compile.compile (Parser.parse (read_file f)))) pattern_files
-    in
+    let nets = load_pattern_files pattern_files in
     let ic = open_in trace_file in
     let names, raws = Poet.load ic in
     close_in ic;
@@ -568,9 +576,7 @@ let replay_cmd =
       Printf.eprintf "ocep: --parallelism must be >= 0, got %d\n" parallelism;
       exit 2);
     let srv = telemetry_start listen in
-    let nets =
-      List.map (fun f -> (f, Compile.compile (Parser.parse (read_file f)))) pattern_files
-    in
+    let nets = load_pattern_files pattern_files in
     (* Fault injection degrades the transport, not the log: decode the
        pristine log, apply the deterministic faults to the frame
        sequence, re-frame it into a temp file and replay that — so the
@@ -806,7 +812,7 @@ let explain_cmd =
         Printf.eprintf "ocep explain: --input needs at least one --pattern\n";
         exit 2
       end;
-      let nets = List.map (fun p -> Compile.compile (Parser.parse (read_file p))) pattern_files in
+      let nets = List.map snd (load_pattern_files pattern_files) in
       let ic = open_in_bin f in
       Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
       let reader =
@@ -955,8 +961,8 @@ let check_cmd =
              them into one multi-pattern engine; exit nonzero on the first failure.")
   in
   let check_one src =
-    match Compile.compile (Parser.parse src) with
-    | net -> Ok net
+    match Compile.compile_file (Parser.parse_file src) with
+    | nets -> Ok nets
     | exception Parser.Parse_error e -> Error (Printf.sprintf "parse error: %s" e)
     | exception Compile.Compile_error e -> Error (Printf.sprintf "compile error: %s" e)
     | exception Invalid_argument e -> Error e
@@ -968,8 +974,11 @@ let check_cmd =
       2
     | Some f, false -> (
       match check_one (read_file f) with
-      | Ok net ->
+      | Ok [ (_, net) ] ->
         Format.printf "%a" Compile.pp net;
+        0
+      | Ok nets ->
+        List.iter (fun (name, net) -> Format.printf "-- %s --@.%a" name Compile.pp net) nets;
         0
       | Error e ->
         Printf.eprintf "%s\n" e;
@@ -991,7 +1000,10 @@ let check_cmd =
           | Error e ->
             Printf.eprintf "%s: %s\n" case e;
             1
-          | Ok net -> (
+          | Ok ([] | _ :: _ :: _) ->
+            Printf.eprintf "%s: expected one pattern\n" case;
+            1
+          | Ok [ (_, net) ] -> (
             match Engine.add_pattern engine net with
             | h ->
               Printf.printf "%-10s ok: pattern %d, %d leaves\n" case (Engine.Handle.id h)
@@ -1081,10 +1093,11 @@ let fuzz_cmd =
   let info =
     Cmd.info "fuzz"
       ~doc:
-        "Differential fuzzing: random (pattern, workload, fault schedule) cases checked \
-         against the parallel engine, the arena/record differential, the brute-force \
-         oracle and record/replay; diverging cases are minimized and written to the \
-         corpus."
+        "Differential fuzzing: random (pattern, workload, fault schedule) cases — every \
+         third one a template-instantiated multi-pattern registry — checked against the \
+         parallel engine, the arena/record differential, dedicated per-pattern engines \
+         (vs the shared dispatch automaton), the brute-force oracle and record/replay; \
+         diverging cases are minimized and written to the corpus."
   in
   Cmd.v info Term.(const run $ seeds $ start_seed $ mutant $ corpus_dir)
 

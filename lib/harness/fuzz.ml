@@ -41,10 +41,20 @@ type result = { r_divergence : divergence option; r_oracle_checked : bool }
 (* Generation                                                        *)
 (* ---------------------------------------------------------------- *)
 
+(* A case's pattern source is a full file: usually one plain pattern,
+   and every third draw a template-instantiated registry (2-3 instances
+   of one parameterized template, sometimes plus an independent plain
+   pattern) — the multi-pattern inputs the automaton-vs-dedicated
+   oracle needs. Template instances stay small so the brute-force
+   oracle can still afford each expanded pattern. *)
 let rec gen_pattern rng u ~tries =
-  let ast = Gen.pattern rng u ~max_leaves:4 in
-  match Compile.compile ast with
-  | _ -> Format.asprintf "%a" Ast.pp ast
+  let src =
+    if Prng.int rng 3 = 0 then
+      Format.asprintf "%a" Ast.pp_file (Gen.registry rng u ~max_leaves:3)
+    else Format.asprintf "%a" Ast.pp (Gen.pattern rng u ~max_leaves:4)
+  in
+  match Compile.compile_file (Parser.parse_file src) with
+  | _ -> src
   | exception (Compile.Compile_error _ | Invalid_argument _) ->
     (* with <= 4 leaves a rejected draw is essentially impossible, but a
        generator bug must not loop the fuzzer forever *)
@@ -115,7 +125,7 @@ let generate ~seed =
   }
 
 (* ---------------------------------------------------------------- *)
-(* The three oracles                                                 *)
+(* The five oracles                                                  *)
 (* ---------------------------------------------------------------- *)
 
 let base_config = { Engine.default_config with Engine.record_latency = false }
@@ -131,16 +141,39 @@ let mutate_config cfg = function
    selective-leaf weighting keeps skips rare. *)
 let oracle_budget = 2_000_000.
 
+(* One registry engine with every pattern of the case's source file
+   registered, fed the case's events. *)
+let build_registry ~config ~traces ?retain nets events =
+  let poet = Poet.create ?retain ~trace_names:traces () in
+  let engine = Engine.create ~config ~poet () in
+  let handles = List.map (fun (_, net) -> Engine.add_pattern engine net) nets in
+  List.iter (fun r -> ignore (Engine.feed_raw engine r)) events;
+  (poet, engine, handles)
+
+(* A handle's full observable state, directly comparable. *)
+let observe_handle h =
+  ( Engine.Handle.matches_found h,
+    Engine.Handle.covered_slots h,
+    Engine.Handle.seen_slots h,
+    List.map
+      (fun (r : Subset.report) ->
+        ( r.Subset.seq,
+          r.Subset.fresh,
+          Array.to_list
+            (Array.map (fun (e : Event.t) -> (e.Event.trace, e.Event.index)) r.Subset.events)
+        ))
+      (Engine.Handle.reports h) )
+
 let check ?mutation case =
-  let net = Compile.compile (Parser.parse case.c_pattern) in
+  let nets = Compile.compile_file (Parser.parse_file case.c_pattern) in
   let cfg = mutate_config base_config mutation in
   let seq_cfg = { cfg with Engine.parallelism = 1 } in
-  (* the sequential run is the reference every oracle compares against *)
-  let poet = Poet.create ~retain:true ~trace_names:case.c_traces () in
-  let engine = Engine.create ~config:seq_cfg ~net ~poet () in
-  List.iter (fun r -> ignore (Engine.feed_raw engine r)) case.c_events;
+  (* the sequential registry run is the reference every oracle compares
+     against *)
+  let poet, engine, handles =
+    build_registry ~config:seq_cfg ~traces:case.c_traces ~retain:true nets case.c_events
+  in
   let digest_seq = Runner.reports_digest engine in
-  let reports = Engine.reports engine in
   let events = Poet.all_events poet in
   (* oracle A: a 4-worker engine forced onto the search pool must be
      observably identical to the sequential one *)
@@ -148,8 +181,9 @@ let check ?mutation case =
     let par_cfg =
       { cfg with Engine.parallelism = 4; cutover_batch = 0; cutover_work = 0 }
     in
-    let poet_p = Poet.create ~trace_names:case.c_traces () in
-    let engine_p = Engine.create ~config:par_cfg ~net ~poet:poet_p () in
+    let _, engine_p, _ =
+      build_registry ~config:par_cfg ~traces:case.c_traces nets []
+    in
     let digest_par =
       Fun.protect
         ~finally:(fun () -> Engine.shutdown engine_p)
@@ -175,9 +209,9 @@ let check ?mutation case =
     | Some _ -> divergence
     | None ->
       let rec_cfg = { seq_cfg with Engine.arena = not seq_cfg.Engine.arena } in
-      let poet_r = Poet.create ~trace_names:case.c_traces () in
-      let engine_r = Engine.create ~config:rec_cfg ~net ~poet:poet_r () in
-      List.iter (fun r -> ignore (Engine.feed_raw engine_r r)) case.c_events;
+      let _, engine_r, _ =
+        build_registry ~config:rec_cfg ~traces:case.c_traces nets case.c_events
+      in
       let digest_rec = Runner.reports_digest engine_r in
       if digest_rec = digest_seq then None
       else
@@ -189,55 +223,96 @@ let check ?mutation case =
                 seq_cfg.Engine.arena digest_seq rec_cfg.Engine.arena digest_rec;
           }
   in
-  (* oracle B: brute-force enumeration — every report is a real match,
-     and the subset covers exactly the slots the full match set covers *)
+  (* oracle D: automaton vs dedicated dispatch — the registry compiles
+     every pattern into one shared discrimination network, and each
+     pattern's observables must still be bit-identical to a dedicated
+     single-pattern engine fed the same stream (node sharing, the
+     touched-pattern worklist and shared plans are pure plumbing) *)
+  let divergence =
+    match divergence with
+    | Some _ -> divergence
+    | None ->
+      if List.length nets < 2 then None
+      else
+        let rec per_pattern = function
+          | [] -> None
+          | ((name, net), h) :: rest ->
+            let poet_d = Poet.create ~trace_names:case.c_traces () in
+            let engine_d = Engine.create ~config:seq_cfg ~net ~poet:poet_d () in
+            List.iter (fun r -> ignore (Engine.feed_raw engine_d r)) case.c_events;
+            let hd = List.hd (Engine.handles engine_d) in
+            if observe_handle hd = observe_handle h then per_pattern rest
+            else
+              Some
+                {
+                  d_oracle = "automaton-dedicated";
+                  d_detail =
+                    Printf.sprintf
+                      "pattern %s: shared-automaton registry diverges from its dedicated \
+                       engine"
+                      name;
+                }
+        in
+        per_pattern (List.combine nets handles)
+  in
+  (* oracle B: brute-force enumeration, per registered pattern — every
+     report is a real match, and the subset covers exactly the slots the
+     pattern's full match set covers *)
   let oracle_checked = ref false in
   let divergence =
     match divergence with
     | Some _ -> divergence
     | None ->
-      let k = Compile.size net in
-      let empty = Array.make k None in
-      let cost = ref 1. in
-      for leaf = 0 to k - 1 do
-        let c =
-          List.fold_left
-            (fun n e -> if Oracle.consistent_exposed ~net empty leaf e then n + 1 else n)
-            0 events
-        in
-        cost := !cost *. float_of_int c
-      done;
-      if !cost > oracle_budget then None
-      else begin
-        oracle_checked := true;
-        let truth = Oracle.true_slots (Oracle.all_matches ~net ~events) in
-        match
-          List.find_opt
-            (fun (r : Subset.report) -> not (Oracle.is_match ~net ~events r.Subset.events))
-            reports
-        with
-        | Some r ->
-          Some
-            {
-              d_oracle = "oracle-soundness";
-              d_detail =
-                Printf.sprintf "report seq %d is not a match of the pattern" r.Subset.seq;
-            }
-        | None ->
-          let covered =
-            List.sort_uniq compare (List.concat_map (fun r -> r.Subset.fresh) reports)
-          in
-          if covered = truth then None
-          else
-            Some
-              {
-                d_oracle = "oracle-coverage";
-                d_detail =
-                  Printf.sprintf
-                    "engine covered %d (leaf, trace) slots, the oracle's match set covers %d"
-                    (List.length covered) (List.length truth);
-              }
-      end
+      let rec per_pattern = function
+        | [] -> None
+        | ((name, net), h) :: rest ->
+          let k = Compile.size net in
+          let empty = Array.make k None in
+          let cost = ref 1. in
+          for leaf = 0 to k - 1 do
+            let c =
+              List.fold_left
+                (fun n e -> if Oracle.consistent_exposed ~net empty leaf e then n + 1 else n)
+                0 events
+            in
+            cost := !cost *. float_of_int c
+          done;
+          if !cost > oracle_budget then per_pattern rest
+          else begin
+            oracle_checked := true;
+            let reports = Engine.Handle.reports h in
+            let truth = Oracle.true_slots (Oracle.all_matches ~net ~events) in
+            match
+              List.find_opt
+                (fun (r : Subset.report) -> not (Oracle.is_match ~net ~events r.Subset.events))
+                reports
+            with
+            | Some r ->
+              Some
+                {
+                  d_oracle = "oracle-soundness";
+                  d_detail =
+                    Printf.sprintf "pattern %s: report seq %d is not a match of the pattern"
+                      name r.Subset.seq;
+                }
+            | None ->
+              let covered =
+                List.sort_uniq compare (List.concat_map (fun r -> r.Subset.fresh) reports)
+              in
+              if covered = truth then per_pattern rest
+              else
+                Some
+                  {
+                    d_oracle = "oracle-coverage";
+                    d_detail =
+                      Printf.sprintf
+                        "pattern %s: engine covered %d (leaf, trace) slots, the oracle's \
+                         match set covers %d"
+                        name (List.length covered) (List.length truth);
+                  }
+          end
+      in
+      per_pattern (List.combine nets handles)
   in
   (* oracle C: record, degrade the transport, replay through admission —
      restorable faults owe a bit-identical digest *)
@@ -272,7 +347,8 @@ let check ?mutation case =
       @@ fun () ->
       let reader = Framing.create_reader ic in
       let poet_r = Poet.create ~trace_names:case.c_traces () in
-      let engine_r = Engine.create ~config:seq_cfg ~net ~poet:poet_r () in
+      let engine_r = Engine.create ~config:seq_cfg ~poet:poet_r () in
+      List.iter (fun (_, net) -> ignore (Engine.add_pattern engine_r net)) nets;
       (* patience comfortably above the largest displacement block
          shuffling can produce, so pristine streams always recover and
          lossy ones skip (differing digest) instead of raising *)

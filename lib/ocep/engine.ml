@@ -1,5 +1,6 @@
 open Ocep_base
 module Compile = Ocep_pattern.Compile
+module Network = Compile.Network
 module Poet = Ocep_poet.Poet
 module Hist = Ocep_stats.Histogram
 module Metrics = Ocep_obs.Metrics
@@ -137,6 +138,8 @@ type meters = {
   m_spans : Metrics.counter;
   m_spans_dropped : Metrics.counter;
   m_patterns : Metrics.gauge;
+  m_automaton_nodes : Metrics.counter;
+  m_automaton_shared : Metrics.counter;
 }
 
 (* Per-pattern instruments: the existing metric names carried one engine's
@@ -176,17 +179,11 @@ type pstate = {
   mutable pmatches : int;
   mutable paborted : int;
   mutable pskipped : int;
+  pnodes : pstate Network.node array;
+      (* leaf -> its discrimination-network node; node ids double as the
+         history-store class ids behind [phistory] *)
   pm : pmeters;
   plat_hist : Hist.t;  (* ocep_latency_us{pattern="..."} *)
-}
-
-(* One entry of the class registry: the physical history class plus its
-   subscriber list. The refcount is the subscriber count. *)
-type cls_reg = {
-  ckey : int * int * int;
-  cid : int;  (* class id in the history store *)
-  mutable csubs : (pstate * int) array;  (* (pattern, leaf), registration order *)
-  mutable cgcable : bool;  (* AND over subscribers' per-leaf gc-ability *)
 }
 
 type t = {
@@ -225,19 +222,26 @@ type t = {
   trace_of_sym : int -> int option;
   partner_of : Event.t -> Event.t option;
   mutable patterns : pstate list;  (* live patterns, ascending pid *)
-  mutable patterns_arr : pstate array;
-      (* same patterns, same order — the dispatch loop's view; iterating
-         the array needs no closure, so the every-event path stays
-         allocation-free (rebuilt with [by_esym] on add/remove) *)
   mutable next_pid : pattern_id;
-  classes : (int * int * int, cls_reg) Hashtbl.t;
-  mutable by_esym : cls_reg array Itbl.t;  (* cached per-etype candidate classes *)
-  mutable by_esym_arr : cls_reg array array;
-      (* [by_esym] flattened over the dense symbol ids known at rebuild
-         time: the every-event lookup is one bounds check and one load.
-         Symbols interned later (or past the end) fall back to
-         [generic_cls], same as a hash miss. *)
-  mutable generic_cls : cls_reg array;  (* classes with wildcard/variable type *)
+  network : pstate Network.t;
+      (* the whole registry compiled into one discrimination network:
+         one node per distinct class key, each holding every subscribed
+         (pattern, leaf) pair. Dispatch is the network's per-etype
+         candidate array (one bounds check and one load); edits are
+         incremental, so add/remove_pattern cost does not grow with the
+         number of registered patterns. *)
+  plan_cache : (string, Matcher.plan array * int array) Hashtbl.t;
+      (* shape key -> (plans, first search leaves): template instances
+         (and any structurally equal patterns) share one physical plan
+         set — plans are immutable and depend only on the net's shape *)
+  touched : pstate Vec.t;
+      (* the patterns the current arrival touched, in first-touch order;
+         sorted by pid before phases 2-3 so per-event work is
+         O(touched patterns), not O(registered patterns) *)
+  mutable shared_evals : int;
+      (* class-predicate evaluations saved by node sharing: for each
+         candidate node tested, subscribers-beyond-the-first many
+         per-leaf tests collapse into the one node test *)
   pin_batch : (pstate * int * int * int) Vec.t;
       (* one round's surviving pinned searches across all patterns:
          (pattern, anchor_leaf, pin_leaf, pin_trace) in (pattern_id, slot)
@@ -256,45 +260,12 @@ type t = {
   mutable eligible_batches : int;
 }
 
-(* Class-match on the dedup key: every subscriber's leaf_matches_i is
-   exactly this test (exact attributes interned, Any/Var accept all).
-   Pure int compares so the arena path needs no boxed event. *)
-let class_matches (p, ty, x) ~tsym ~esym ~xsym =
-  (ty < 0 || ty = esym) && (p < 0 || p = tsym) && (x < 0 || x = xsym)
-
-(* Dispatching an arriving event to the classes it may match: most
-   patterns pin the event type exactly, so the merged candidate array of
-   each exact etype symbol (that type's classes, then the
-   wildcard/variable ones) is rebuilt on every add/remove_pattern; an
-   arrival is a single int-keyed lookup returning a shared array — no
-   per-event allocation, no string hashing. *)
-let rebuild_dispatch t =
-  let all = Hashtbl.fold (fun _ c acc -> c :: acc) t.classes [] in
-  let all = List.sort (fun a b -> compare a.cid b.cid) all in
-  let generic = List.filter (fun c -> match c.ckey with _, ty, _ -> ty < 0) all in
-  let generic_arr = Array.of_list generic in
-  let by_sym : cls_reg array Itbl.t = Itbl.create 16 in
-  List.iter
-    (fun c ->
-      match c.ckey with
-      | _, ty, _ when ty >= 0 ->
-        let mine = match Itbl.find_opt by_sym ty with Some a -> Array.to_list a | None -> [] in
-        Itbl.replace by_sym ty (Array.of_list (mine @ [ c ]))
-      | _ -> ())
-    all;
-  (* append the generic classes once per exact symbol so the hot path is
-     one lookup *)
-  Itbl.iter (fun sym exacts -> Itbl.replace by_sym sym (Array.append exacts generic_arr)) by_sym;
-  t.by_esym <- by_sym;
-  t.generic_cls <- generic_arr;
-  let top = Itbl.fold (fun sym _ m -> max m sym) by_sym (-1) in
-  let arr = Array.make (top + 1) generic_arr in
-  Itbl.iter (fun sym cands -> arr.(sym) <- cands) by_sym;
-  t.by_esym_arr <- arr;
-  t.patterns_arr <- Array.of_list t.patterns
-
-let recompute_gcable (c : cls_reg) =
-  c.cgcable <- Array.for_all (fun ((q : pstate), l) -> q.pgcable.(l)) c.csubs
+(* A node is GC-able only when every subscribed (pattern, leaf) pair is
+   — the conservative AND, recomputed on the node's own subscriber edits
+   only. *)
+let recompute_gcable (n : pstate Network.node) =
+  Network.set_gcable n
+    (Array.for_all (fun ((q : pstate), l) -> q.pgcable.(l)) n.Network.nsubs)
 
 let make_meters metrics ~parallelism =
   let c ?help name = Metrics.counter metrics ?help name in
@@ -351,6 +322,13 @@ let make_meters metrics ~parallelism =
     c ~help:"Trace spans overwritten by the ring buffer" "ocep_spans_dropped_total"
   in
   let m_patterns = g ~help:"Registered live patterns" "ocep_patterns" in
+  let m_automaton_nodes =
+    c ~help:"Discrimination-network nodes ever allocated" "ocep_automaton_nodes_total"
+  in
+  let m_automaton_shared =
+    c ~help:"Class-predicate evaluations saved by automaton node sharing"
+      "ocep_automaton_shared_evals_total"
+  in
   {
     m_events;
     m_terminating;
@@ -378,6 +356,8 @@ let make_meters metrics ~parallelism =
     m_spans;
     m_spans_dropped;
     m_patterns;
+    m_automaton_nodes;
+    m_automaton_shared;
   }
 
 let make_pmeters metrics ~pid =
@@ -428,6 +408,22 @@ let sort_scratch (v : int Vec.t) =
     let x = Vec.get v i in
     let j = ref (i - 1) in
     while !j >= 0 && Vec.get v !j > x do
+      Vec.set v (!j + 1) (Vec.get v !j);
+      decr j
+    done;
+    Vec.set v (!j + 1) x
+  done
+
+(* The touched-pattern worklist is filled in node order; phases 2 and 3
+   must run patterns in pid order (the order a dedicated engine per
+   pattern would be driven in), so restore it. Same insertion sort: an
+   arrival rarely touches more than a handful of patterns, and sharing
+   makes first-touch order nearly sorted already. *)
+let sort_touched (v : pstate Vec.t) =
+  for i = 1 to Vec.length v - 1 do
+    let x = Vec.get v i in
+    let j = ref (i - 1) in
+    while !j >= 0 && (Vec.get v !j).pid > x.pid do
       Vec.set v (!j + 1) (Vec.get v !j);
       decr j
     done;
@@ -505,12 +501,11 @@ let create_multi ?(config = default_config) ~poet () =
       trace_of_sym = Poet.trace_of_sym poet;
       partner_of = Poet.find_partner poet;
       patterns = [];
-      patterns_arr = [||];
       next_pid = 0;
-      classes = Hashtbl.create 16;
-      by_esym = Itbl.create 16;
-      by_esym_arr = [||];
-      generic_cls = [||];
+      network = Network.create ();
+      plan_cache = Hashtbl.create 16;
+      touched = Vec.create ();
+      shared_evals = 0;
       pin_batch = Vec.create ();
       parallelism;
       pool = None;
@@ -601,13 +596,11 @@ let create_multi ?(config = default_config) ~poet () =
       if ncls > 0 then begin
         let classes = Array.make ncls false in
         let any = ref false in
-        Hashtbl.iter
-          (fun _ (c : cls_reg) ->
-            if c.cgcable && Array.length c.csubs > 0 then begin
-              classes.(c.cid) <- true;
+        Network.iter t.network (fun n ->
+            if n.Network.ngcable && Array.length n.Network.nsubs > 0 then begin
+              classes.(n.Network.nid) <- true;
               any := true
-            end)
-          t.classes;
+            end);
         if !any then begin
           (* threshold per trace: the greatest index already covered by
              every trace's frontier. A trace's live clock row IS its
@@ -693,47 +686,50 @@ let create_multi ?(config = default_config) ~poet () =
        option of a find_opt) would be this path's only OCaml-heap
        allocation, and the local refs below stay unboxed because no
        closure captures them. *)
-    (* phase 1 — class dispatch: add the event to every matching class
-       once, and queue the subscribing (pattern, leaf) pairs *)
-    let by_esym = t.by_esym_arr in
-    let cands =
-      if esym < Array.length by_esym then Array.unsafe_get by_esym esym else t.generic_cls
-    in
+    (* phase 1 — automaton dispatch: evaluate each candidate node's
+       class predicate once, add the event to the node's history class,
+       and queue every subscribing (pattern, leaf) pair onto the touched
+       worklist *)
+    Vec.clear t.touched;
+    let cands = Network.candidates t.network ~esym in
     for ci = 0 to Array.length cands - 1 do
-      let c = Array.unsafe_get cands ci in
-      if class_matches c.ckey ~tsym ~esym ~xsym then begin
-        History.add_class t.store ~cls:c.cid (cur_event t);
-        let subs = c.csubs in
+      let n = Array.unsafe_get cands ci in
+      (* one node test stands in for every subscriber's leaf test *)
+      t.shared_evals <- t.shared_evals + (Array.length n.Network.nsubs - 1);
+      if Network.node_matches n ~tsym ~esym ~xsym then begin
+        History.add_class t.store ~cls:n.Network.nid (cur_event t);
+        let subs = n.Network.nsubs in
         for si = 0 to Array.length subs - 1 do
           let (p : pstate), l = Array.unsafe_get subs si in
           if p.ptouched_seq <> seq then begin
             p.ptouched_seq <- seq;
             Vec.clear p.pscratch;
-            Vec.clear p.panchors
+            Vec.clear p.panchors;
+            Vec.push t.touched p
           end;
           Vec.push p.pscratch (if p.pgeneric.(l) then generic_bit lor l else l)
         done
       end
     done;
-    (* phase 2 — per pattern, in pid order: mark slots seen and collect
-       anchors in the old dispatch order (exact-type leaves ascending,
-       then generic ascending), restored by sorting the scratch keys *)
+    (* phase 2 — per touched pattern, in pid order: mark slots seen and
+       collect anchors in the old dispatch order (exact-type leaves
+       ascending, then generic ascending), restored by sorting the
+       scratch keys. Work is O(touched patterns), not O(registered). *)
+    sort_touched t.touched;
     let any_anchor = ref false in
-    let parr = t.patterns_arr in
-    for pi = 0 to Array.length parr - 1 do
-      let p = Array.unsafe_get parr pi in
-      if p.ptouched_seq = seq then begin
-        sort_scratch p.pscratch;
-        for ki = 0 to Vec.length p.pscratch - 1 do
-          let key = Vec.get p.pscratch ki in
-          let l = key land leaf_mask in
-          Subset.seen p.psubset ~leaf:l ~trace;
-          if p.pnet.Compile.terminating.(l) then begin
-            Vec.push p.panchors l;
-            any_anchor := true
-          end
-        done
-      end
+    let ntouched = Vec.length t.touched in
+    for ti = 0 to ntouched - 1 do
+      let p = Vec.get t.touched ti in
+      sort_scratch p.pscratch;
+      for ki = 0 to Vec.length p.pscratch - 1 do
+        let key = Vec.get p.pscratch ki in
+        let l = key land leaf_mask in
+        Subset.seen p.psubset ~leaf:l ~trace;
+        if p.pnet.Compile.terminating.(l) then begin
+          Vec.push p.panchors l;
+          any_anchor := true
+        end
+      done
     done;
     (* phase 3 — search: rounds over anchor index; round r runs every
        anchored pattern's r-th anchored search inline, then one combined
@@ -755,9 +751,9 @@ let create_multi ?(config = default_config) ~poet () =
         (* the O(1) work estimate for the batch: the largest
            first-search-level history among the contributing anchors *)
         let batch_work = ref 0 in
-        List.iter
-          (fun (p : pstate) ->
-            if p.ptouched_seq = seq && !round < Vec.length p.panchors then begin
+        for ti = 0 to ntouched - 1 do
+          let p = Vec.get t.touched ti in
+          if !round < Vec.length p.panchors then begin
               progressed := true;
               incr anchors_run;
               let anchor_leaf = Vec.get p.panchors !round in
@@ -785,8 +781,8 @@ let create_multi ?(config = default_config) ~poet () =
                     surviving
                 end
               end
-            end)
-          t.patterns;
+            end
+        done;
         let n = Vec.length t.pin_batch in
         if n > 0 then begin
           let run_inline () =
@@ -895,11 +891,10 @@ let create_multi ?(config = default_config) ~poet () =
              for each pattern that anchored — always bounded (histogram) *)
           match config.latency_sink with
           | Histogram | Both ->
-            List.iter
-              (fun (p : pstate) ->
-                if p.ptouched_seq = seq && Vec.length p.panchors > 0 then
-                  Hist.record p.plat_hist lat_us)
-              t.patterns
+            for ti = 0 to ntouched - 1 do
+              let p = Vec.get t.touched ti in
+              if Vec.length p.panchors > 0 then Hist.record p.plat_hist lat_us
+            done
           | Samples -> ()
         end;
         (match t.flight with
@@ -958,34 +953,44 @@ let register_pattern t net =
      detaching a pattern leaving it large is merely conservative) *)
   History.set_run_cap t.store k;
   let pid = t.next_pid in
-  let plans = Array.init k (fun l -> Matcher.plan ~net:inet ~anchor_leaf:l) in
-  (* one class per distinct [proc, typ, text] key: reuse a registered
-     class (of this or an earlier pattern) or allocate a fresh one *)
-  let regs =
+  (* shape-shared artifacts: plans (and derived first search leaves)
+     depend only on the net's shape — spec kinds, constraint matrix,
+     partners, post-checks — never on exact symbol values, so template
+     instances (and any structurally equal patterns) share one physical
+     plan set *)
+  let plans, first_leaf =
+    match Hashtbl.find_opt t.plan_cache (Compile.shape_key inet) with
+    | Some v -> v
+    | None ->
+      let plans = Array.init k (fun l -> Matcher.plan ~net:inet ~anchor_leaf:l) in
+      let first_leaf =
+        Array.init k (fun l ->
+            match Matcher.first_search_leaf ~net:inet ~anchor_leaf:l with
+            | Some x -> x
+            | None -> -1)
+      in
+      Hashtbl.add t.plan_cache (Compile.shape_key inet) (plans, first_leaf);
+      (plans, first_leaf)
+  in
+  (* find-or-create this pattern's automaton nodes first — the history
+     view is keyed on their ids. An O(leaves) incremental edit of the
+     network, independent of how many patterns are already registered. *)
+  let nodes =
     Array.init k (fun l ->
-        let key = Compile.class_key inet l in
-        match Hashtbl.find_opt t.classes key with
-        | Some c -> c
-        | None ->
-          let c =
-            { ckey = key; cid = History.alloc_class t.store; csubs = [||]; cgcable = true }
-          in
-          Hashtbl.add t.classes key c;
-          c)
+        let n, created = Network.resolve t.network ~key:(Compile.class_key inet l) in
+        if created then History.ensure_class t.store n.Network.nid;
+        n)
   in
   let p =
     {
       pid;
       pnet = net;
       pinet = inet;
-      phistory = History.view t.store ~classes:(Array.map (fun c -> c.cid) regs);
+      phistory =
+        History.view t.store ~classes:(Array.map (fun n -> n.Network.nid) nodes);
       psubset = Subset.create ~k ~n_traces:t.n_traces ~report_cap:t.cfg.report_cap ();
       pstats = Matcher.new_stats ();
-      pfirst_leaf =
-        Array.init k (fun l ->
-            match Matcher.first_search_leaf ~net:inet ~anchor_leaf:l with
-            | Some x -> x
-            | None -> -1);
+      pfirst_leaf = first_leaf;
       pplans = plans;
       pgcable = gc_able_leaves net;
       pgeneric =
@@ -999,6 +1004,7 @@ let register_pattern t net =
       pmatches = 0;
       paborted = 0;
       pskipped = 0;
+      pnodes = nodes;
       pm = make_pmeters t.metrics ~pid;
       plat_hist =
         Metrics.histogram t.metrics
@@ -1007,33 +1013,31 @@ let register_pattern t net =
     }
   in
   Array.iteri
-    (fun l (c : cls_reg) ->
-      c.csubs <- Array.append c.csubs [| (p, l) |];
-      recompute_gcable c)
-    regs;
+    (fun l n ->
+      Network.attach n (p, l);
+      recompute_gcable n)
+    nodes;
   t.patterns <- t.patterns @ [ p ];
   t.next_pid <- pid + 1;
-  rebuild_dispatch t;
   pid
 
 let remove_pattern t pid =
   let p = get_pattern t pid in
   t.patterns <- List.filter (fun (q : pstate) -> q.pid <> pid) t.patterns;
-  let k = Compile.size p.pnet in
-  for l = 0 to k - 1 do
-    let key = Compile.class_key p.pinet l in
-    match Hashtbl.find_opt t.classes key with
-    | None -> ()
-    | Some c ->
-      c.csubs <- Array.of_list (List.filter (fun (q, l') -> q != p || l' <> l)
-                                  (Array.to_list c.csubs));
-      if Array.length c.csubs = 0 then begin
-        History.release_class t.store c.cid;
-        Hashtbl.remove t.classes key
-      end
-      else recompute_gcable c
-  done;
-  rebuild_dispatch t
+  (* per-node incremental edit; a pattern whose leaves share a class key
+     subscribes one node several times, and the first unsubscribe drops
+     every one of its pairs — dedup so a released node is not touched
+     again through a later alias *)
+  let seen = Itbl.create 8 in
+  Array.iter
+    (fun n ->
+      if not (Itbl.mem seen n.Network.nid) then begin
+        Itbl.add seen n.Network.nid ();
+        if Network.unsubscribe t.network n ~remove:(fun (q, _) -> q == p) then
+          History.release_class t.store n.Network.nid
+        else recompute_gcable n
+      end)
+    p.pnodes
 
 let create ?config ?(patterns = []) ?net ~poet () =
   let t = create_multi ?config ~poet () in
@@ -1049,17 +1053,11 @@ let net t = (first_pattern t).pnet
 
 let interned_net t = (first_pattern t).pinet
 
-let pattern_net t pid = (get_pattern t pid).pnet
-
 let config t = t.cfg
 
 let reports t = List.concat_map (fun (p : pstate) -> Subset.reports p.psubset) t.patterns
 
-let reports_for t pid = Subset.reports (get_pattern t pid).psubset
-
 let matches_found t = List.fold_left (fun acc (p : pstate) -> acc + p.pmatches) 0 t.patterns
-
-let matches_found_for t pid = (get_pattern t pid).pmatches
 
 let find_containing_in t (p : pstate) (ev : Event.t) =
   (* candidate anchors in the old dispatch order: exact-type leaves
@@ -1090,13 +1088,9 @@ let find_containing t ev =
   in
   go t.patterns
 
-let find_containing_for t pid ev = find_containing_in t (get_pattern t pid) ev
-
 let latencies_us t = Vec.to_array t.latencies
 
 let latency_histogram t = t.latency_hist
-
-let latency_histogram_for t pid = (get_pattern t pid).plat_hist
 
 let metrics t = t.metrics
 
@@ -1128,6 +1122,8 @@ let sync_metrics t =
   Metrics.set_counter m.m_spec_discards t.speculative_discards;
   Metrics.set_counter m.m_pinned_skipped (sum (fun p -> p.pskipped));
   Metrics.set m.m_patterns (float_of_int (List.length t.patterns));
+  Metrics.set_counter m.m_automaton_nodes (Network.nodes_allocated t.network);
+  Metrics.set_counter m.m_automaton_shared t.shared_evals;
   List.iter
     (fun (p : pstate) ->
       Metrics.set_counter p.pm.pm_matches p.pmatches;
@@ -1173,19 +1169,19 @@ let terminating_arrivals t = t.terminating_arrivals
 
 let history_entries t = History.store_entries t.store
 
-let history_entries_for t ~leaf = History.entries_for (first_pattern t).phistory ~leaf
-
 let history_dropped t = History.store_dropped t.store
+
+let automaton_nodes t = Network.node_count t.network
+
+let automaton_nodes_total t = Network.nodes_allocated t.network
+
+let automaton_shared_evals t = t.shared_evals
 
 let covered_slots t =
   List.fold_left (fun acc (p : pstate) -> acc + Subset.covered_count p.psubset) 0 t.patterns
 
 let seen_slots t =
   List.fold_left (fun acc (p : pstate) -> acc + Subset.seen_count p.psubset) 0 t.patterns
-
-let covered_slots_for t pid = Subset.covered_count (get_pattern t pid).psubset
-
-let seen_slots_for t pid = Subset.seen_count (get_pattern t pid).psubset
 
 let search_stats t =
   match t.patterns with
@@ -1204,15 +1200,9 @@ let search_stats t =
       ps;
     s
 
-let search_stats_for t pid = (get_pattern t pid).pstats
-
 let aborted_searches t = List.fold_left (fun acc (p : pstate) -> acc + p.paborted) 0 t.patterns
 
-let aborted_searches_for t pid = (get_pattern t pid).paborted
-
 let pinned_skipped t = List.fold_left (fun acc (p : pstate) -> acc + p.pskipped) 0 t.patterns
-
-let pinned_skipped_for t pid = (get_pattern t pid).pskipped
 
 let parallelism t = t.parallelism
 

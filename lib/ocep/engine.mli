@@ -2,16 +2,22 @@
     on every terminating event, searches for matches and maintains the
     representative subset.
 
-    Since PR 4 one engine hosts a {e registry} of patterns: it owns one
-    POET subscription, one symbol-interned dispatch table mapping event
-    class → all (pattern, leaf) subscribers, and one shared history store
-    in which leaves naming the same [process, type, text] class — within
-    one pattern or across patterns — share a single physical history
-    (refcounted; pruning and [max_history_per_trace] apply once per
-    class). Per-pattern state stays isolated: each registered pattern has
-    its own {!Matcher.plan}s, coverage slots, representative subset and
-    report ring, and its observables are bit-identical to a dedicated
-    single-pattern engine fed the same stream.
+    Since PR 4 one engine hosts a {e registry} of patterns; since this
+    PR the whole registry compiles into one {e discrimination network}
+    ({!Ocep_pattern.Compile.Network}): one hash-consed node per distinct
+    [process, type, text] class key, each holding every subscribed
+    (pattern, leaf) pair, so an arriving event's class predicates are
+    evaluated once per node regardless of how many patterns reference
+    them. The shared history store is keyed on automaton node ids
+    (refcounted by subscription; pruning and [max_history_per_trace]
+    apply once per node/class), and {!add_pattern}/{!Handle.detach} are
+    incremental network edits whose cost does not grow with the number
+    of registered patterns. Per-pattern state stays isolated: each
+    registered pattern has its own coverage slots, representative subset
+    and report ring ({!Matcher.plan}s are shared between structurally
+    equal patterns — they are immutable and shape-derived), and its
+    observables are bit-identical to a dedicated single-pattern engine
+    fed the same stream.
 
     On arrival of an event the engine (1) advances the communication
     epoch, (2) appends the event once to the history of every event class
@@ -155,8 +161,8 @@ type pattern_id = int
     ([ocep_matches_total{pattern="N"}]) and CLI output. Ids are assigned
     by {!add_pattern} in increasing order and never reused, so a removed
     pattern's id stays invalid. Code should hold {!Handle.t} values
-    rather than ids; the id survives mainly for display and for the
-    deprecated [*_for] accessors. *)
+    rather than ids; the id survives mainly for display and
+    {!remove_pattern}. *)
 
 (** A typed handle onto one registered pattern — the value returned by
     {!add_pattern} and listed by {!handles}. Every per-pattern question
@@ -246,37 +252,33 @@ val create :
     pattern is registered only advance the frontier and the communication
     epochs.
 
-    Migration from the pre-handle API: [create_multi ~poet ()] is now
-    [create ~poet ()]; [create ~net ~poet ()] is unchanged (the [net]
-    argument became optional but keeps its meaning — it exists precisely
-    so those call sites did not have to move);
-    new code registering several patterns should prefer
-    [create ~patterns ~poet ()] or explicit {!add_pattern} calls, whose
-    handles replace [pattern_id]-keyed accessors.
-
     Raises [Invalid_argument] on a nonsensical config ([gc_every],
     [node_budget] or [max_history_per_trace] of [Some n] with [n <= 0], a
     negative [report_cap], or a negative [parallelism]) and on any
     pattern exceeding {!Compile.max_leaves}. *)
 
-val create_multi : ?config:config -> poet:Poet.t -> unit -> t
-[@@ocaml.deprecated "use Engine.create — with no ?net/?patterns it builds the same empty registry"]
-
 val add_pattern : t -> Compile.t -> Handle.t
-(** Register a pattern: intern it through the POET store's symbol table,
-    build its search plans, and subscribe its leaves to the shared
-    dispatch table — leaves whose [process, type, text] class-key equals
-    one already registered (by this or another pattern) share that
-    class's physical history. Raises [Invalid_argument] on a pattern
-    exceeding {!Compile.max_leaves} leaves. A pattern attached mid-run
-    starts with empty coverage but sees any history its shared classes
-    already accumulated. *)
+(** Register a pattern: intern it through the POET store's symbol table
+    and subscribe its leaves to the discrimination network — an
+    incremental edit touching one node (found or created) per leaf, so
+    registration cost is independent of how many patterns are already
+    registered. Leaves whose [process, type, text] class key equals one
+    already registered (by this or another pattern) share that node's
+    physical history; a pattern structurally equal to an earlier one
+    (equal {!Compile.shape_key} — notably another instance of the same
+    template) additionally reuses its search plans. Raises
+    [Invalid_argument] on a pattern exceeding {!Compile.max_leaves}
+    leaves. A pattern attached mid-run starts with empty coverage but
+    sees any history its shared nodes already accumulated. *)
 
 val handles : t -> Handle.t list
 (** Handles of the live patterns, ascending registration order. *)
 
 val remove_pattern : t -> pattern_id -> unit
-[@@ocaml.deprecated "use Engine.Handle.detach"]
+(** {!Handle.detach} by pattern id: unsubscribe every leaf from its
+    automaton node — a node losing its last subscriber leaves the
+    network and releases its history class. Raises [Invalid_argument]
+    on an unknown or removed id. *)
 
 val pattern_ids : t -> pattern_id list
 (** Ids of the live patterns, ascending registration order. *)
@@ -287,8 +289,8 @@ val pattern_count : t -> int
 
     The aggregating accessors below ([matches_found], [covered_slots],
     [search_stats], ...) sum over live patterns — for a single-pattern
-    engine they are exactly the pre-registry values. [net], [reports] and
-    [history_entries_for] refer to the earliest live pattern. *)
+    engine they are exactly the pre-registry values. [net] and
+    [interned_net] refer to the earliest live pattern. *)
 
 val net : t -> Compile.t
 (** The earliest live pattern's net. Raises [Invalid_argument] when the
@@ -401,10 +403,25 @@ val history_entries : t -> int
 (** Live entries in the shared store — each physical class counted once,
     however many (pattern, leaf) pairs subscribe to it. *)
 
-val history_entries_for : t -> leaf:int -> int
-[@@ocaml.deprecated "use Engine.Handle.history_entries on the pattern's handle"]
-
 val history_dropped : t -> int
+
+val automaton_nodes : t -> int
+(** Live discrimination-network nodes — distinct class keys across the
+    registered patterns. With node sharing this is typically far below
+    the total leaf count ({e dedicated} dispatch would hold one entry
+    per (pattern, leaf) pair). *)
+
+val automaton_nodes_total : t -> int
+(** Nodes ever allocated, including removed ones (exported as
+    [ocep_automaton_nodes_total]). *)
+
+val automaton_shared_evals : t -> int
+(** Class-predicate evaluations saved by node sharing so far: for every
+    candidate node tested during dispatch, all subscribers beyond the
+    first ride on the one test (exported as
+    [ocep_automaton_shared_evals_total]). Zero until two (pattern, leaf)
+    pairs share a node. *)
+
 val covered_slots : t -> int
 val seen_slots : t -> int
 
@@ -424,42 +441,6 @@ val pinned_skipped : t -> int
 (** Pinned searches skipped by the slot pre-filter (exported as
     [ocep_pinned_skipped_total]) — each one a whole search the engine
     proved futile from O(1) state instead of running. *)
-
-(** {1 Per-pattern accessors (deprecated)}
-
-    The [(engine, pattern_id)]-keyed forms of the {!Handle} accessors,
-    kept as thin shims for out-of-tree callers of the PR-4 API. All
-    raise [Invalid_argument] on an unknown or removed id. *)
-
-val pattern_net : t -> pattern_id -> Compile.t
-[@@ocaml.deprecated "use Engine.Handle.net"]
-
-val reports_for : t -> pattern_id -> Subset.report list
-[@@ocaml.deprecated "use Engine.Handle.reports"]
-
-val matches_found_for : t -> pattern_id -> int
-[@@ocaml.deprecated "use Engine.Handle.matches_found"]
-
-val covered_slots_for : t -> pattern_id -> int
-[@@ocaml.deprecated "use Engine.Handle.covered_slots"]
-
-val seen_slots_for : t -> pattern_id -> int
-[@@ocaml.deprecated "use Engine.Handle.seen_slots"]
-
-val search_stats_for : t -> pattern_id -> Matcher.stats
-[@@ocaml.deprecated "use Engine.Handle.search_stats"]
-
-val aborted_searches_for : t -> pattern_id -> int
-[@@ocaml.deprecated "use Engine.Handle.aborted_searches"]
-
-val pinned_skipped_for : t -> pattern_id -> int
-[@@ocaml.deprecated "use Engine.Handle.pinned_skipped"]
-
-val find_containing_for : t -> pattern_id -> Event.t -> Event.t array option
-[@@ocaml.deprecated "use Engine.Handle.find_containing"]
-
-val latency_histogram_for : t -> pattern_id -> Ocep_stats.Histogram.t
-[@@ocaml.deprecated "use Engine.Handle.latency_histogram"]
 
 val parallelism : t -> int
 (** The resolved worker count: the config's [parallelism] with [0]

@@ -28,7 +28,9 @@ type store = {
   max_per_trace : int option;
   n_traces : int;
   epochs : int array;  (* communication events seen per trace *)
-  classes : cls Vec.t;  (* class id -> history; ids from alloc_class *)
+  classes : cls Vec.t;
+      (* class id -> history; ids are the engine's automaton node ids
+         (bound via ensure_class) or, for standalone views, alloc_class's *)
   mutable free : int list;  (* ids released by release_class, for reuse *)
   mutable total : int;  (* live entries across all classes, O(1) *)
   mutable dropped : int;
@@ -79,6 +81,19 @@ let alloc_class s =
   | [] ->
     Vec.push s.classes (fresh_cls s.n_traces);
     Vec.length s.classes - 1
+
+(* Bind storage for an externally-allocated class id — since the
+   registry compiles into a discrimination network, the store is keyed
+   on automaton node ids (the network owns allocation and recycling, so
+   ids stay dense). A recycled id's slot already holds fresh storage
+   (release replaced it); a brand-new id extends the vector. The id is
+   pulled out of [free] so the legacy [alloc_class] path can never hand
+   it out while bound. *)
+let ensure_class s id =
+  while Vec.length s.classes <= id do
+    Vec.push s.classes (fresh_cls s.n_traces)
+  done;
+  s.free <- List.filter (fun x -> x <> id) s.free
 
 let release_class s id =
   let c = Vec.get s.classes id in

@@ -59,7 +59,18 @@ val set_run_cap : store -> int -> unit
     at registration, and the standalone {!create} sets it from its net. *)
 
 val alloc_class : store -> int
-(** A fresh, empty class; its id. Ids of released classes are reused. *)
+(** A fresh, empty class; its id. Ids of released classes are reused.
+    Legacy store-owned allocation — the multi-pattern engine keys the
+    store on discrimination-network node ids via {!ensure_class}
+    instead. *)
+
+val ensure_class : store -> int -> unit
+(** Bind fresh, empty storage to an externally-allocated class id — the
+    engine's path since the registry compiles into a discrimination
+    network whose node ids key the store (the network owns allocation
+    and recycling, keeping ids dense). Idempotent for an id already
+    bound by the network discipline: a recycled id's slot was replaced
+    with fresh storage at {!release_class} time. *)
 
 val release_class : store -> int -> unit
 (** Drop the class's storage (its entries leave {!store_entries}

@@ -18,6 +18,12 @@ type decl = Class_decl of class_def | Var_decl of { vclass : string; vname : str
 
 type t = { decls : decl list; pattern : expr }
 
+type template = { tname : string; tparams : string list; tdecls : decl list; tpattern : expr }
+
+type instantiation = { iname : string; iargs : string list }
+
+type file = { templates : template list; instances : instantiation list; main : t option }
+
 let pp_attr_spec ppf = function
   | Exact s -> Format.fprintf ppf "'%s'" s
   | Any -> Format.fprintf ppf "_"
@@ -58,4 +64,21 @@ let pp ppf { decls; pattern } =
   List.iter (fun d -> Format.fprintf ppf "%a@\n" pp_decl d) decls;
   Format.fprintf ppf "pattern := %a;" pp_expr pattern
 
+let pp_template ppf { tname; tparams; tdecls; tpattern } =
+  Format.fprintf ppf "template %s(%s) {@\n" tname
+    (String.concat ", " (List.map (fun p -> "$" ^ p) tparams));
+  List.iter (fun d -> Format.fprintf ppf "  %a@\n" pp_decl d) tdecls;
+  Format.fprintf ppf "  pattern := %a;@\n}" pp_expr tpattern
+
+let pp_instantiation ppf { iname; iargs } =
+  Format.fprintf ppf "instantiate %s(%s);" iname
+    (String.concat ", " (List.map (fun a -> "'" ^ a ^ "'") iargs))
+
+let pp_file ppf { templates; instances; main } =
+  List.iter (fun tpl -> Format.fprintf ppf "%a@\n" pp_template tpl) templates;
+  List.iter (fun inst -> Format.fprintf ppf "%a@\n" pp_instantiation inst) instances;
+  match main with None -> () | Some t -> pp ppf t
+
 let equal (a : t) (b : t) = a = b
+
+let equal_file (a : file) (b : file) = a = b

@@ -49,9 +49,46 @@ type decl =
 
 type t = { decls : decl list; pattern : expr }
 
+(** {1 Parameterized templates}
+
+    A template is a whole pattern body abstracted over attribute
+    parameters ([template race($c) { S1 := \[_, send, $c\]; ... }]):
+    inside the body a [$p] in attribute position where [p] is a declared
+    parameter stands for the concrete string supplied at instantiation;
+    any other [$v] keeps its usual meaning (match-time attribute
+    variable). Each [instantiate race('ch0');] statement expands to one
+    concrete pattern — the statically-instantiated [Param_instances]
+    scheme — and identical instantiations are deduplicated. *)
+
+type template = {
+  tname : string;
+  tparams : string list;  (** parameter names, without the leading [$] *)
+  tdecls : decl list;
+  tpattern : expr;
+}
+
+type instantiation = {
+  iname : string;  (** template name *)
+  iargs : string list;  (** one concrete string per template parameter *)
+}
+
+type file = {
+  templates : template list;
+  instances : instantiation list;  (** source order, duplicates allowed *)
+  main : t option;  (** the file's plain (non-template) pattern, if any *)
+}
+
 val pp_attr_spec : Format.formatter -> attr_spec -> unit
 val pp_expr : Format.formatter -> expr -> unit
 val pp : Format.formatter -> t -> unit
 (** Prints a pattern file that reparses to an equal AST. *)
 
+val pp_template : Format.formatter -> template -> unit
+val pp_instantiation : Format.formatter -> instantiation -> unit
+
+val pp_file : Format.formatter -> file -> unit
+(** Prints a source file that reparses ({!Parser.parse_file}) to an equal
+    [file]. *)
+
 val equal : t -> t -> bool
+val equal_file : file -> file -> bool

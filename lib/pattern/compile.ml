@@ -294,6 +294,96 @@ let class_key_of = function I_exact s -> s | I_any | I_var _ -> -1
 let class_key (inet : inet) i =
   (class_key_of inet.iproc.(i), class_key_of inet.ityp.(i), class_key_of inet.itext.(i))
 
+(* The interned net's structural signature: spec kinds (with variable
+   indices, but never exact symbol values), the constraint matrix,
+   partner links, post-checks and terminating flags. Everything a
+   search plan ({!Matcher.plan_of}) or any other shape-derived artifact
+   reads is a function of this, so two nets with equal shape keys — in
+   particular two instantiations of one template at different bindings —
+   can share those artifacts physically. *)
+let shape_key (inet : inet) =
+  let kind = function I_any -> (0, 0) | I_exact _ -> (1, 0) | I_var v -> (2, v) in
+  let t = inet.net in
+  Marshal.to_string
+    ( Array.map kind inet.iproc,
+      Array.map kind inet.ityp,
+      Array.map kind inet.itext,
+      t.cons,
+      t.partners,
+      t.exists_before,
+      t.lim_checks,
+      t.terminating )
+    []
+
+(* ------------------------------------------------------------------ *)
+(* Parameterized templates                                             *)
+(* ------------------------------------------------------------------ *)
+
+let binding_string args = "(" ^ String.concat ", " (List.map (fun a -> "'" ^ a ^ "'") args) ^ ")"
+
+let instance_name (tpl : Ast.template) ~args = tpl.Ast.tname ^ binding_string args
+
+let instantiate (tpl : Ast.template) ~args =
+  let np = List.length tpl.Ast.tparams and na = List.length args in
+  if np <> na then
+    fail
+      (Printf.sprintf "template %s expects %d parameter%s, got %d in %s" tpl.Ast.tname np
+         (if np = 1 then "" else "s")
+         na (binding_string args));
+  let subst = List.combine tpl.Ast.tparams args in
+  let attr = function
+    | Ast.Var v as s -> (
+      match List.assoc_opt v subst with Some x -> Ast.Exact x | None -> s)
+    | s -> s
+  in
+  let decl = function
+    | Ast.Class_decl cd ->
+      Ast.Class_decl
+        { cd with Ast.proc = attr cd.Ast.proc; typ = attr cd.Ast.typ; text = attr cd.Ast.text }
+    | Ast.Var_decl _ as d -> d
+  in
+  { Ast.decls = List.map decl tpl.Ast.tdecls; pattern = tpl.Ast.tpattern }
+
+(* The leaf cap (and any other compile failure) is enforced per concrete
+   instantiated pattern, and the error names the template and the
+   binding — a registry never rejects a whole template because one
+   binding is oversized. *)
+let compile_instance (tpl : Ast.template) ~args =
+  let ast = instantiate tpl ~args in
+  let where = Printf.sprintf "template %s at %s" tpl.Ast.tname (binding_string args) in
+  try compile ast with
+  | Invalid_argument msg -> invalid_arg (where ^ ": " ^ msg)
+  | Compile_error msg -> fail (where ^ ": " ^ msg)
+
+(* Instantiations deduplicated on (template, binding) in first-occurrence
+   order — the [Param_instances] set — followed by the file's plain
+   pattern. *)
+let unique_instances (f : Ast.file) =
+  let seen = Hashtbl.create 8 in
+  List.filter_map
+    (fun { Ast.iname; iargs } ->
+      let key = (iname, iargs) in
+      if Hashtbl.mem seen key then None
+      else begin
+        Hashtbl.replace seen key ();
+        match List.find_opt (fun t -> t.Ast.tname = iname) f.Ast.templates with
+        | None -> fail ("instantiate of undefined template: " ^ iname)
+        | Some tpl -> Some (tpl, iargs)
+      end)
+    f.Ast.instances
+
+let expand_file (f : Ast.file) =
+  List.map
+    (fun (tpl, args) -> (instance_name tpl ~args, instantiate tpl ~args))
+    (unique_instances f)
+  @ (match f.Ast.main with None -> [] | Some t -> [ ("main", t) ])
+
+let compile_file (f : Ast.file) =
+  List.map
+    (fun (tpl, args) -> (instance_name tpl ~args, compile_instance tpl ~args))
+    (unique_instances f)
+  @ (match f.Ast.main with None -> [] | Some t -> [ ("main", compile t) ])
+
 let pp_allowed ppf a =
   let parts =
     (if a.before then [ "->" ] else [])
@@ -328,3 +418,166 @@ let pp ppf t =
   Format.fprintf ppf "  terminating: %s@\n"
     (String.concat ","
        (List.filteri (fun i _ -> t.terminating.(i)) (Array.to_list (Array.mapi (fun i _ -> string_of_int i) t.leaves))))
+
+(* ------------------------------------------------------------------ *)
+(* The registry-level discrimination network                           *)
+(* ------------------------------------------------------------------ *)
+
+module Network = struct
+  (* One hash-consed class-predicate node: the [(proc, typ, text)] class
+     key split into int fields (so the per-event predicate is three
+     unboxed loads) plus the subscriber list. Node ids are allocated
+     from a free list, densely, and are what the engine keys the shared
+     history store on. *)
+  type 'a node = {
+    nid : int;
+    nproc : int;
+    ntyp : int;
+    ntext : int;
+    mutable nsubs : ('a * int) array;  (* (subscriber, leaf), registration order *)
+    mutable ngcable : bool;  (* AND over subscribers, maintained by the caller *)
+  }
+
+  type 'a t = {
+    by_key : (int * int * int, 'a node) Hashtbl.t;
+    mutable exacts : 'a node array array;  (* dense by exact type symbol, ascending nid *)
+    mutable by_sym : 'a node array array;  (* cached exacts(sym) ++ generic per symbol *)
+    mutable generic : 'a node array;  (* wildcard/variable-type nodes, ascending nid *)
+    mutable free_ids : int list;
+    mutable next_id : int;
+    mutable allocated_total : int;  (* nodes ever created (ocep_automaton_nodes_total) *)
+  }
+
+  let create () =
+    {
+      by_key = Hashtbl.create 16;
+      exacts = [||];
+      by_sym = [||];
+      generic = [||];
+      free_ids = [];
+      next_id = 0;
+      allocated_total = 0;
+    }
+
+  let node_count t = Hashtbl.length t.by_key
+
+  let nodes_allocated t = t.allocated_total
+
+  let node_key (n : 'a node) = (n.nproc, n.ntyp, n.ntext)
+
+  let set_gcable (n : 'a node) b = n.ngcable <- b
+
+  let node_matches (n : 'a node) ~tsym ~esym ~xsym =
+    (n.ntyp < 0 || n.ntyp = esym) && (n.nproc < 0 || n.nproc = tsym) && (n.ntext < 0 || n.ntext = xsym)
+
+  (* The per-event dispatch: candidates for an exact type symbol are its
+     own nodes followed by the generic ones — one bounds check and one
+     load, no per-event allocation. Symbols interned after the last
+     network edit (or past the dense range) can only match generic
+     nodes. *)
+  let candidates t ~esym =
+    if esym >= 0 && esym < Array.length t.by_sym then Array.unsafe_get t.by_sym esym
+    else t.generic
+
+  let find t ~key = Hashtbl.find_opt t.by_key key
+
+  let iter t f = Hashtbl.iter (fun _ n -> f n) t.by_key
+
+  (* insertion position by ascending nid: what a full rebuild sorted by
+     class id produced before network edits became incremental *)
+  let insert_sorted arr (n : 'a node) =
+    let len = Array.length arr in
+    let pos = ref len in
+    (try
+       for i = 0 to len - 1 do
+         if arr.(i).nid > n.nid then begin
+           pos := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    let out = Array.make (len + 1) n in
+    Array.blit arr 0 out 0 !pos;
+    Array.blit arr !pos out (!pos + 1) (len - !pos);
+    out
+
+  let remove_node arr (n : 'a node) =
+    Array.of_list (List.filter (fun m -> m != n) (Array.to_list arr))
+
+  let refresh_sym t sym = t.by_sym.(sym) <- Array.append t.exacts.(sym) t.generic
+
+  let refresh_all t =
+    for sym = 0 to Array.length t.by_sym - 1 do
+      refresh_sym t sym
+    done
+
+  let grow t sym =
+    if sym >= Array.length t.by_sym then begin
+      let len = max (sym + 1) (2 * Array.length t.by_sym) in
+      let ex = Array.make len [||] in
+      Array.blit t.exacts 0 ex 0 (Array.length t.exacts);
+      t.exacts <- ex;
+      let bs = Array.make len t.generic in
+      Array.blit t.by_sym 0 bs 0 (Array.length t.by_sym);
+      t.by_sym <- bs
+    end
+
+  (* Find-or-create the node for a class key, updating only the dispatch
+     entries the edit touches: a new exact-type node edits its own
+     symbol's entry; a new generic node refreshes the per-symbol caches
+     (O(nodes), independent of registered patterns). Returns the node
+     and whether it was freshly allocated — on [true] the caller must
+     materialize backing state for [nid] (the engine binds a history
+     class). *)
+  let resolve t ~key =
+    match Hashtbl.find_opt t.by_key key with
+    | Some n -> (n, false)
+    | None ->
+      let nid =
+        match t.free_ids with
+        | id :: rest ->
+          t.free_ids <- rest;
+          id
+        | [] ->
+          let id = t.next_id in
+          t.next_id <- id + 1;
+          id
+      in
+      let p, ty, x = key in
+      let n = { nid; nproc = p; ntyp = ty; ntext = x; nsubs = [||]; ngcable = true } in
+      Hashtbl.add t.by_key key n;
+      t.allocated_total <- t.allocated_total + 1;
+      if ty >= 0 then begin
+        grow t ty;
+        t.exacts.(ty) <- insert_sorted t.exacts.(ty) n;
+        refresh_sym t ty
+      end
+      else begin
+        t.generic <- insert_sorted t.generic n;
+        refresh_all t
+      end;
+      (n, true)
+
+  let attach (n : 'a node) sub = n.nsubs <- Array.append n.nsubs [| sub |]
+
+  (* Drop every subscriber [remove] selects; when the node loses its last
+     subscriber it leaves the network and its id returns to the free
+     list. Returns [true] when the node was released — the caller tears
+     down the id's backing state. *)
+  let unsubscribe t (n : 'a node) ~remove =
+    n.nsubs <- Array.of_list (List.filter (fun s -> not (remove s)) (Array.to_list n.nsubs));
+    if Array.length n.nsubs > 0 then false
+    else begin
+      Hashtbl.remove t.by_key (node_key n);
+      if n.ntyp >= 0 then begin
+        t.exacts.(n.ntyp) <- remove_node t.exacts.(n.ntyp) n;
+        refresh_sym t n.ntyp
+      end
+      else begin
+        t.generic <- remove_node t.generic n;
+        refresh_all t
+      end;
+      t.free_ids <- n.nid :: t.free_ids;
+      true
+    end
+end

@@ -107,9 +107,115 @@ val class_key : inet -> int -> int * int * int
     keys are equal — the basis for the multi-pattern engine's shared
     history store. *)
 
+val shape_key : inet -> string
+(** The net's structural signature: spec {e kinds} (exact/any/variable,
+    with variable indices but never exact symbol values), constraint
+    matrix, partner links, post-checks and terminating flags. Two nets
+    with equal shape keys — notably two instantiations of one template
+    at different bindings — admit the same {!Matcher.plan}s and other
+    shape-derived artifacts, which the engine shares physically. *)
+
+(** {1 Parameterized templates}
+
+    Static instantiation of {!Ast.template}s: substitute each declared
+    parameter's [$p] attribute occurrences with the binding's concrete
+    string (other [$v] attributes stay match-time variables), yielding an
+    ordinary {!Ast.t} per distinct binding — heptagon's
+    [Param_instances] expansion. Instantiations of one template share
+    compiled structure downstream: equal class keys share history
+    classes, and equal {!shape_key}s share search plans. *)
+
+val instance_name : Ast.template -> args:string list -> string
+(** The generated pattern name, [tname('a', 'b')]. *)
+
+val instantiate : Ast.template -> args:string list -> Ast.t
+(** Raises {!Compile_error} on an arity mismatch. *)
+
+val compile_instance : Ast.template -> args:string list -> t
+(** [compile (instantiate tpl ~args)] with every failure — including the
+    {!max_leaves} cap, which is enforced per concrete instantiated
+    pattern — rewrapped to name the template and the binding. *)
+
+val expand_file : Ast.file -> (string * Ast.t) list
+(** Every distinct instantiation in first-occurrence order (duplicates
+    collapse), then the plain pattern (named ["main"]) when present.
+    Raises {!Compile_error} on an undefined template. *)
+
+val compile_file : Ast.file -> (string * t) list
+(** {!expand_file} with each pattern compiled ({!compile_instance}
+    semantics for instances). *)
+
 val allowed_of_relation : Event.relation -> allowed -> bool
 (** Whether a concrete relation is permitted ([Equal] never is). *)
 
 val flip : allowed -> allowed
 
 val pp : Format.formatter -> t -> unit
+
+(** {1 The registry-level discrimination network}
+
+    The shared dispatch automaton a multi-pattern engine compiles its
+    whole registry into: one hash-consed node per distinct
+    [(proc, typ, text)] class key, each holding every subscribed
+    (pattern, leaf) pair — so the class predicate of an arriving event
+    is evaluated once per node, regardless of how many patterns (or
+    leaves) reference it. Edits are incremental: subscribing a leaf
+    touches one node and at most one per-symbol dispatch entry, so
+    registration cost does not grow with the number of registered
+    patterns. Node ids are dense and recycled; the engine keys the
+    shared history store on them. The subscriber payload type is a
+    parameter, keeping this module independent of the engine's pattern
+    state representation. *)
+module Network : sig
+  type 'a node = private {
+    nid : int;  (** dense node id — the history-store class id *)
+    nproc : int;  (** class key: symbol id, or -1 for wildcard/variable *)
+    ntyp : int;
+    ntext : int;
+    mutable nsubs : ('a * int) array;  (** (subscriber, leaf), registration order *)
+    mutable ngcable : bool;  (** maintained by the caller (AND over subscribers) *)
+  }
+
+  type 'a t
+
+  val create : unit -> 'a t
+
+  val node_count : 'a t -> int
+  (** Live nodes. *)
+
+  val nodes_allocated : 'a t -> int
+  (** Nodes ever created ([ocep_automaton_nodes_total]). *)
+
+  val node_key : 'a node -> int * int * int
+
+  val node_matches : 'a node -> tsym:int -> esym:int -> xsym:int -> bool
+  (** The node's class predicate — three int compares, arena-safe. *)
+
+  val candidates : 'a t -> esym:int -> 'a node array
+  (** Dispatch: the nodes an event with this type symbol can match —
+      that symbol's exact-type nodes (ascending [nid]) then the generic
+      ones. One bounds check and one load; the returned array is shared,
+      do not mutate. *)
+
+  val find : 'a t -> key:(int * int * int) -> 'a node option
+
+  val iter : 'a t -> ('a node -> unit) -> unit
+
+  val resolve : 'a t -> key:(int * int * int) -> 'a node * bool
+  (** Find-or-create the key's node. [true] means the node is fresh and
+      the caller must materialize backing state for its [nid] (the
+      engine binds a history class) before events flow. *)
+
+  val attach : 'a node -> 'a * int -> unit
+  (** Append one subscriber (registration order is preserved). Split
+      from {!resolve} because the engine needs every node id before it
+      can build the subscriber it attaches (the pattern state embeds a
+      history view keyed on those ids). *)
+
+  val unsubscribe : 'a t -> 'a node -> remove:('a * int -> bool) -> bool
+  (** Drop every subscriber [remove] selects; [true] means the node lost
+      its last subscriber and left the network (its id is recycled) —
+      the caller tears down the id's backing state. *)
+
+  val set_gcable : 'a node -> bool -> unit
+end

@@ -104,3 +104,43 @@ let pattern rng u ~max_leaves =
     let links = List.init (k - 1) (fun i -> Ast.Op (gen_op rng, operand i, operand (i + 1))) in
     { Ast.decls = class_decls @ var_decls; pattern = and_all links }
   end
+
+(* A template-instantiated registry: parameterize one class of a drawn
+   pattern on [$arg] (its text attribute — the axis the paper's
+   per-channel patterns vary on), instantiate it at 2-3 distinct
+   bindings drawn from the universe's texts, sometimes repeat a binding
+   (instantiation dedup must collapse it), and sometimes add a plain
+   main pattern alongside. *)
+let registry rng u ~max_leaves =
+  let base = pattern rng u ~max_leaves in
+  let param = "arg" in
+  let class_count =
+    List.length
+      (List.filter (function Ast.Class_decl _ -> true | _ -> false) base.Ast.decls)
+  in
+  let target = Prng.int rng class_count in
+  let seen = ref (-1) in
+  let tdecls =
+    List.map
+      (function
+        | Ast.Class_decl c ->
+          incr seen;
+          if !seen = target then Ast.Class_decl { c with Ast.text = Ast.Var param }
+          else Ast.Class_decl c
+        | d -> d)
+      base.Ast.decls
+  in
+  let tpl =
+    { Ast.tname = "tpl"; tparams = [ param ]; tdecls; tpattern = base.Ast.pattern }
+  in
+  let texts = Array.copy u.u_texts in
+  Prng.shuffle rng texts;
+  let n_inst = min (Array.length texts) (2 + Prng.int rng 2) in
+  let instances =
+    List.init n_inst (fun i -> { Ast.iname = "tpl"; iargs = [ texts.(i) ] })
+  in
+  let instances =
+    if Prng.bool rng then instances @ [ List.hd instances ] else instances
+  in
+  let main = if Prng.int rng 3 = 0 then Some (pattern rng u ~max_leaves) else None in
+  { Ast.templates = [ tpl ]; instances; main }

@@ -34,3 +34,12 @@ val pattern : Prng.t -> universe -> max_leaves:int -> Ast.t
     {!Parser.parse} and compiles, except for the rare draw rejected by
     the compiler (e.g. a 63-leaf chain when [max_leaves] allows it) —
     fuzzing callers regenerate on [Compile_error]. *)
+
+val registry : Prng.t -> universe -> max_leaves:int -> Ast.file
+(** A random template-instantiated registry: one template whose [$arg]
+    parameter replaces the text attribute of one class of a {!pattern}
+    draw, instantiated at 2–3 distinct text bindings (occasionally with
+    a duplicate instantiation, which {!Compile.expand_file} must
+    collapse), sometimes alongside an independent plain pattern. Round
+    trips through {!Ast.pp_file} and {!Parser.parse_file}; same
+    rejection caveat as {!pattern}. *)

@@ -9,6 +9,8 @@ type token =
   | Trbracket
   | Tlparen
   | Trparen
+  | Tlbrace
+  | Trbrace
   | Tcomma
   | Tsemi
   | Tassign
@@ -30,6 +32,8 @@ let pp_token = function
   | Trbracket -> "]"
   | Tlparen -> "("
   | Trparen -> ")"
+  | Tlbrace -> "{"
+  | Trbrace -> "}"
   | Tcomma -> ","
   | Tsemi -> ";"
   | Tassign -> ":="
@@ -120,6 +124,8 @@ let tokenize src =
         | ']' -> push Trbracket; incr i
         | '(' -> push Tlparen; incr i
         | ')' -> push Trparen; incr i
+        | '{' -> push Tlbrace; incr i
+        | '}' -> push Trbrace; incr i
         | ',' -> push Tcomma; incr i
         | ';' -> push Tsemi; incr i
         | _ -> fail (Printf.sprintf "unexpected character %C" c))
@@ -246,45 +252,173 @@ let validate decls pattern =
   in
   check_expr pattern
 
-let parse src =
-  let st = { toks = tokenize src } in
+(* One run of body statements (class defs, event-variable decls, the
+   pattern statement) until [stop]. [extra] gets first crack at each
+   leading token — the top-level loop uses it for the [template] and
+   [instantiate] statements, template bodies pass a handler that accepts
+   nothing. *)
+let parse_stmts st ~stop ~extra =
   let decls = ref [] in
   let pattern = ref None in
   let rec loop () =
-    match peek st with
-    | Teof -> ()
-    | Tident "pattern" ->
-      advance st;
-      expect st Tassign;
-      let e = parse_expr_toks st in
-      expect st Tsemi;
-      if !pattern <> None then raise (Parse_error "duplicate pattern statement");
-      pattern := Some e;
-      loop ()
-    | Tident name -> (
-      advance st;
-      match peek st with
-      | Tassign ->
+    let tok = peek st in
+    if tok = stop then ()
+    else if extra tok then loop ()
+    else
+      match tok with
+      | Tident "pattern" ->
         advance st;
-        let cd = parse_class_def st name in
+        expect st Tassign;
+        let e = parse_expr_toks st in
         expect st Tsemi;
-        decls := Ast.Class_decl cd :: !decls;
+        if !pattern <> None then raise (Parse_error "duplicate pattern statement");
+        pattern := Some e;
         loop ()
-      | Tvar v ->
+      | Tident name -> (
         advance st;
-        expect st Tsemi;
-        decls := Ast.Var_decl { vclass = name; vname = v } :: !decls;
-        loop ()
-      | t -> raise (Parse_error ("expected := or an event variable after " ^ name ^ ", found " ^ pp_token t)))
-    | t -> raise (Parse_error ("expected a statement but found " ^ pp_token t))
+        match peek st with
+        | Tassign ->
+          advance st;
+          let cd = parse_class_def st name in
+          expect st Tsemi;
+          decls := Ast.Class_decl cd :: !decls;
+          loop ()
+        | Tvar v ->
+          advance st;
+          expect st Tsemi;
+          decls := Ast.Var_decl { vclass = name; vname = v } :: !decls;
+          loop ()
+        | t ->
+          raise
+            (Parse_error ("expected := or an event variable after " ^ name ^ ", found " ^ pp_token t)))
+      | t -> raise (Parse_error ("expected a statement but found " ^ pp_token t))
   in
   loop ();
-  match !pattern with
+  (List.rev !decls, !pattern)
+
+let parse_params st =
+  expect st Tlparen;
+  let rec loop acc =
+    match peek st with
+    | Tvar p -> (
+      advance st;
+      match peek st with
+      | Tcomma ->
+        advance st;
+        loop (p :: acc)
+      | _ -> List.rev (p :: acc))
+    | t -> raise (Parse_error ("expected a template parameter ($name) but found " ^ pp_token t))
+  in
+  let params = loop [] in
+  expect st Trparen;
+  params
+
+let parse_args st =
+  expect st Tlparen;
+  let one () =
+    match peek st with
+    | Tstring s ->
+      advance st;
+      s
+    | Tident s ->
+      advance st;
+      s
+    | t -> raise (Parse_error ("expected an instantiation argument but found " ^ pp_token t))
+  in
+  let rec loop acc =
+    let a = one () in
+    match peek st with
+    | Tcomma ->
+      advance st;
+      loop (a :: acc)
+    | _ -> List.rev (a :: acc)
+  in
+  let args = loop [] in
+  expect st Trparen;
+  args
+
+let parse_file src =
+  let st = { toks = tokenize src } in
+  let templates = ref [] in
+  let instances = ref [] in
+  let template_of name = List.find_opt (fun t -> t.Ast.tname = name) !templates in
+  let extra = function
+    | Tident "template" ->
+      advance st;
+      let tname =
+        match peek st with
+        | Tident n ->
+          advance st;
+          n
+        | t -> raise (Parse_error ("expected a template name but found " ^ pp_token t))
+      in
+      if template_of tname <> None then raise (Parse_error ("duplicate template: " ^ tname));
+      let tparams = parse_params st in
+      let dup = Hashtbl.create 4 in
+      List.iter
+        (fun p ->
+          if Hashtbl.mem dup p then
+            raise (Parse_error ("duplicate parameter $" ^ p ^ " of template " ^ tname));
+          Hashtbl.replace dup p ())
+        tparams;
+      expect st Tlbrace;
+      let tdecls, tpattern = parse_stmts st ~stop:Trbrace ~extra:(fun _ -> false) in
+      expect st Trbrace;
+      (match tpattern with
+      | None ->
+        raise (Parse_error ("template " ^ tname ^ " is missing its pattern := ... statement"))
+      | Some tpattern ->
+        validate tdecls tpattern;
+        templates := !templates @ [ { Ast.tname; tparams; tdecls; tpattern } ]);
+      true
+    | Tident "instantiate" ->
+      advance st;
+      let iname =
+        match peek st with
+        | Tident n ->
+          advance st;
+          n
+        | t -> raise (Parse_error ("expected a template name but found " ^ pp_token t))
+      in
+      let iargs = parse_args st in
+      expect st Tsemi;
+      (match template_of iname with
+      | None -> raise (Parse_error ("instantiate of undefined template: " ^ iname))
+      | Some tpl ->
+        let np = List.length tpl.Ast.tparams and na = List.length iargs in
+        if np <> na then
+          raise
+            (Parse_error
+               (Printf.sprintf "template %s expects %d argument%s, got %d" iname np
+                  (if np = 1 then "" else "s")
+                  na)));
+      instances := !instances @ [ { Ast.iname; iargs } ];
+      true
+    | _ -> false
+  in
+  let decls, pattern = parse_stmts st ~stop:Teof ~extra in
+  let main =
+    match pattern with
+    | Some pattern ->
+      validate decls pattern;
+      Some { Ast.decls; pattern }
+    | None ->
+      if decls <> [] then raise (Parse_error "missing pattern := ... statement");
+      if !templates = [] && !instances = [] then
+        raise (Parse_error "missing pattern := ... statement");
+      None
+  in
+  { Ast.templates = !templates; instances = !instances; main }
+
+let parse src =
+  let f = parse_file src in
+  if f.Ast.templates <> [] || f.Ast.instances <> [] then
+    raise
+      (Parse_error
+         "this source declares pattern templates; use Parser.parse_file (and Compile.compile_file)");
+  match f.Ast.main with
+  | Some t -> t
   | None -> raise (Parse_error "missing pattern := ... statement")
-  | Some pattern ->
-    let decls = List.rev !decls in
-    validate decls pattern;
-    { Ast.decls; pattern }
 
 let parse_expr src =
   let st = { toks = tokenize src } in

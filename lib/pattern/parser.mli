@@ -2,23 +2,41 @@
 
     Grammar (whitespace-separated; [#] starts a line comment):
     {v
-      file    := { stmt ";" }
-      stmt    := "pattern" ":=" expr
-               | IDENT ":=" "[" attr "," attr "," attr "]"
-               | IDENT "$" IDENT                    (event-variable decl)
+      file    := { stmt }
+      stmt    := "pattern" ":=" expr ";"
+               | IDENT ":=" "[" attr "," attr "," attr "]" ";"
+               | IDENT "$" IDENT ";"                (event-variable decl)
+               | "template" IDENT "(" "$" IDENT { "," "$" IDENT } ")"
+                   "{" { stmt } "}"                 (no nested templates)
+               | "instantiate" IDENT "(" arg { "," arg } ")" ";"
       attr    := "'" chars "'" | "$" IDENT | "_" | IDENT
+      arg     := "'" chars "'" | IDENT
       expr    := rel { "&&" rel }
       rel     := operand [ ("->" | "||" | "<>" | "~>") operand ]
       operand := IDENT | "$" IDENT | "(" expr ")"
-    v} *)
+    v}
+
+    Inside a template body a [$p] attribute whose name matches a declared
+    parameter is substituted at instantiation
+    ({!Compile.instantiate}); other [$v] attributes keep their usual
+    match-time-variable meaning. Templates must be defined before they
+    are instantiated; instantiation arity is checked at parse time. *)
 
 exception Parse_error of string
 (** Carries a human-readable message with position information. *)
 
 val parse : string -> Ast.t
-(** Raises {!Parse_error} on malformed input, including use of an undefined
-    class or event variable, duplicate definitions, or a missing
-    [pattern := ...] statement. *)
+(** Parse a plain (template-free) pattern file. Raises {!Parse_error} on
+    malformed input, including use of an undefined class or event
+    variable, duplicate definitions, a missing [pattern := ...]
+    statement, or a source that declares templates (use {!parse_file}
+    for those). *)
+
+val parse_file : string -> Ast.file
+(** Parse a full source file: templates, [instantiate] statements and at
+    most one plain pattern, in any order. A plain pattern file parses to
+    [{ templates = []; instances = []; main = Some _ }], so this accepts
+    a strict superset of {!parse}'s inputs. *)
 
 val parse_expr : string -> Ast.expr
 (** Parse a bare pattern expression (used by tests). *)

@@ -1,5 +1,5 @@
 (* The differential fuzzer's own regression suite: generator sanity, a
-   bounded fresh campaign against all three oracles, replay of the
+   bounded fresh campaign against all five oracles, replay of the
    checked-in corpus — including the minimized cases of the two engine
    bugs the fuzzer caught in PR 6 (matcher backjump conflict omission,
    unsound history-pruning rule) — and proof that each deliberately
@@ -24,11 +24,14 @@ let generator_deterministic () =
        [ 1; 2; 3; 4; 5 ])
 
 let generator_valid () =
+  let saw_registry = ref false in
   for seed = 1 to 30 do
     let c = Fuzz.generate ~seed in
-    check "pattern compiles" true
-      (match Compile.compile (Parser.parse c.Fuzz.c_pattern) with
-      | _ -> true
+    check "pattern source compiles" true
+      (match Compile.compile_file (Parser.parse_file c.Fuzz.c_pattern) with
+      | nets ->
+        if List.length nets > 1 then saw_registry := true;
+        nets <> []
       | exception _ -> false);
     check "2-4 traces" true
       (Array.length c.Fuzz.c_traces >= 2 && Array.length c.Fuzz.c_traces <= 4);
@@ -44,7 +47,8 @@ let generator_valid () =
         | Event.Receive { msg } -> check "receive after send" true (Hashtbl.mem sent msg)
         | Event.Internal -> ())
       c.Fuzz.c_events
-  done
+  done;
+  check "template registries drawn" true !saw_registry
 
 let corpus_roundtrip () =
   let case = Fuzz.generate ~seed:7 in

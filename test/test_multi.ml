@@ -201,46 +201,47 @@ let dedup_matches_single_engine () =
   check_int "same-class leaves share entries" 2 (Engine.history_entries engine)
 
 (* ------------------------------------------------------------------ *)
-(* Deprecated shims                                                    *)
+(* The discrimination network                                          *)
 (* ------------------------------------------------------------------ *)
 
-(* The pid-keyed [*_for] shims and [create_multi]/[remove_pattern] stay
-   for out-of-tree callers of the PR-4 API; they must keep agreeing with
-   the handle accessors they wrap. *)
-module Shims = struct
-  [@@@alert "-deprecated"]
+(* remove_pattern is the id-keyed incremental network edit Handle.detach
+   delegates to; it must keep agreeing with the handle API *)
+let remove_pattern_by_id () =
+  let poet = Poet.create ~trace_names:names2 () in
+  let engine = Engine.create ~poet () in
+  Fun.protect ~finally:(fun () -> Engine.shutdown engine) @@ fun () ->
+  let h = Engine.add_pattern engine (net_of ab) in
+  internal poet 0 "A";
+  internal poet 0 "B";
+  Engine.remove_pattern engine (Engine.Handle.id h);
+  check "remove_pattern detaches the handle" false (Engine.Handle.is_live h);
+  check_int "no live patterns" 0 (Engine.pattern_count engine);
+  check_int "network emptied" 0 (Engine.automaton_nodes engine)
 
-  let agree_with_handles () =
-    let poet = Poet.create ~trace_names:names2 () in
-    let engine = Engine.create_multi ~poet () in
-    Fun.protect ~finally:(fun () -> Engine.shutdown engine) @@ fun () ->
-    let h = Engine.add_pattern engine (net_of ab) in
-    let pid = Engine.Handle.id h in
-    internal poet 0 "A";
-    internal poet 0 "B";
-    check_int "matches_found_for" (Engine.Handle.matches_found h)
-      (Engine.matches_found_for engine pid);
-    check_int "reports_for"
-      (List.length (Engine.Handle.reports h))
-      (List.length (Engine.reports_for engine pid));
-    check_int "covered_slots_for" (Engine.Handle.covered_slots h)
-      (Engine.covered_slots_for engine pid);
-    check_int "seen_slots_for" (Engine.Handle.seen_slots h) (Engine.seen_slots_for engine pid);
-    check_int "aborted_searches_for" (Engine.Handle.aborted_searches h)
-      (Engine.aborted_searches_for engine pid);
-    check_int "pinned_skipped_for" (Engine.Handle.pinned_skipped h)
-      (Engine.pinned_skipped_for engine pid);
-    check "pattern_net" true (Engine.pattern_net engine pid == Engine.Handle.net h);
-    check "search_stats_for" true
-      (Engine.search_stats_for engine pid == Engine.Handle.search_stats h);
-    check "latency_histogram_for" true
-      (Engine.latency_histogram_for engine pid == Engine.Handle.latency_histogram h);
-    check_int "history_entries_for"
-      (Engine.Handle.history_entries h ~leaf:0)
-      (Engine.history_entries_for engine ~leaf:0);
-    Engine.remove_pattern engine pid;
-    check "remove_pattern detaches the handle" false (Engine.Handle.is_live h)
-end
+(* equal class keys across patterns collapse into one automaton node,
+   and dispatch through a shared node counts its saved evaluations *)
+let node_sharing_and_shared_evals () =
+  let poet = Poet.create ~trace_names:names2 () in
+  let engine = Engine.create ~poet () in
+  Fun.protect ~finally:(fun () -> Engine.shutdown engine) @@ fun () ->
+  let h0 = Engine.add_pattern engine (net_of ab) in
+  check_int "2 leaves, 2 nodes" 2 (Engine.automaton_nodes engine);
+  (* same two class keys: no new nodes at all *)
+  let _h1 = Engine.add_pattern engine (net_of ab) in
+  check_int "structurally equal pattern adds no node" 2 (Engine.automaton_nodes engine);
+  (* one overlapping key ([_, A, _]), one fresh ([_, C, _]) *)
+  let _h2 = Engine.add_pattern engine (net_of "X := [_, A, _]; Y := [_, C, _]; pattern := X -> Y;") in
+  check_int "only the unseen class allocates" 3 (Engine.automaton_nodes engine);
+  check_int "allocation counter agrees" 3 (Engine.automaton_nodes_total engine);
+  check_int "no dispatch yet" 0 (Engine.automaton_shared_evals engine);
+  (* an A event's only candidate is the [_, A, _] node (exact-type
+     dispatch): 3 subscribers ride on 1 test -> 2 saved evals *)
+  internal poet 0 "A";
+  check_int "shared evals counted per tested node" 2 (Engine.automaton_shared_evals engine);
+  (* detaching one subscriber keeps the node but not its saving *)
+  Engine.Handle.detach h0;
+  check_int "nodes survive while subscribed" 3 (Engine.automaton_nodes engine);
+  check_int "released ids are recycled, not reallocated" 3 (Engine.automaton_nodes_total engine)
 
 (* ------------------------------------------------------------------ *)
 (* The 62-leaf cap                                                     *)
@@ -284,6 +285,46 @@ let leaf_cap_enforced () =
        in
        contains 0)
 
+(* The same boundary through a template: the cap applies per concrete
+   instantiated pattern, and an oversized binding's error names the
+   template and the binding (not just the anonymous expansion). *)
+let template_chain k =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "template big($t) {\n";
+  Buffer.add_string buf "C1 := [_, T1, $t];\nC1 $c1;\n";
+  for i = 2 to k do
+    Buffer.add_string buf (Printf.sprintf "C%d := [_, T%d, _];\nC%d $c%d;\n" i i i i)
+  done;
+  Buffer.add_string buf "pattern := ";
+  for i = 1 to k - 1 do
+    if i > 1 then Buffer.add_string buf " && ";
+    Buffer.add_string buf (Printf.sprintf "($c%d -> $c%d)" i (i + 1))
+  done;
+  Buffer.add_string buf ";\n}\ninstantiate big(x);\n";
+  Buffer.contents buf
+
+let contains_sub msg sub =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length msg && (String.sub msg i n = sub || go (i + 1))
+  in
+  go 0
+
+let template_leaf_cap_enforced () =
+  (* at the cap: the instance compiles and registers *)
+  (match Compile.compile_file (Parser.parse_file (template_chain Compile.max_leaves)) with
+  | [ (name, net) ] ->
+    Alcotest.(check string) "instance named by binding" "big('x')" name;
+    check_int "62-leaf instance compiles" Compile.max_leaves (Compile.size net)
+  | _ -> Alcotest.fail "expected exactly one instance");
+  (* one past the cap: the error names template, binding and cap *)
+  match Compile.compile_file (Parser.parse_file (template_chain (Compile.max_leaves + 1))) with
+  | _ -> Alcotest.fail "63-leaf instance should not compile"
+  | exception Invalid_argument msg ->
+    check "error names the template" true (contains_sub msg "template big");
+    check "error names the binding" true (contains_sub msg "('x')");
+    check "error names the cap" true (contains_sub msg (string_of_int Compile.max_leaves))
+
 let () =
   Alcotest.run "multi"
     [
@@ -294,7 +335,12 @@ let () =
           Alcotest.test_case "empty engine accessors" `Quick accessors_on_empty_engine;
           Alcotest.test_case "shared-class refcount" `Quick shared_class_refcount;
           Alcotest.test_case "same-class dedup" `Quick dedup_matches_single_engine;
-          Alcotest.test_case "deprecated shims = handles" `Quick Shims.agree_with_handles;
+          Alcotest.test_case "remove_pattern by id" `Quick remove_pattern_by_id;
+          Alcotest.test_case "node sharing + shared evals" `Quick node_sharing_and_shared_evals;
         ] );
-      ("leaf cap", [ Alcotest.test_case "62-leaf boundary" `Quick leaf_cap_enforced ]);
+      ( "leaf cap",
+        [
+          Alcotest.test_case "62-leaf boundary" `Quick leaf_cap_enforced;
+          Alcotest.test_case "62-leaf boundary via template" `Quick template_leaf_cap_enforced;
+        ] );
     ]

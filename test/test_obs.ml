@@ -640,6 +640,15 @@ let prometheus_conformance () =
   let s = live_exposition () in
   check "has watermark stages" true (contains s "ocep_watermark{stage=\"decode\"}");
   check "has stage latency buckets" true (contains s "ocep_stage_latency_us_bucket");
+  (* the discrimination-network counters: the race pattern's two leaves
+     carry identical keys ([_, MPI_Send, $d]), so they alias a single
+     node — and every MPI_Send dispatch through it saves an evaluation *)
+  check "automaton node counter typed" true
+    (contains s "# TYPE ocep_automaton_nodes_total counter");
+  check "automaton nodes exported" true (contains s "\nocep_automaton_nodes_total 1\n");
+  check "shared evals counter typed" true
+    (contains s "# TYPE ocep_automaton_shared_evals_total counter");
+  check "shared evals counted" false (contains s "\nocep_automaton_shared_evals_total 0\n");
   check_conformance s
 
 let conformance_rejects_bad_lines () =

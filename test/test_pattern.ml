@@ -346,6 +346,89 @@ let compound_exclusive_classification =
         ignore cls;
         count = 1)
 
+(* ------------------------------------------------------------------ *)
+(* Parameterized pattern templates                                     *)
+(* ------------------------------------------------------------------ *)
+
+let tpl_src =
+  "template race($c) {\n\
+  \  S1 := [_, Send, $c];\n\
+  \  S2 := [_, Send, $c];\n\
+  \  pattern := S1 || S2;\n\
+   }\n\
+   instantiate race(x);\n\
+   instantiate race(y);\n\
+   instantiate race(x);\n\
+   A := [_, A, _];\n\
+   B := [_, B, _];\n\
+   pattern := A -> B;\n"
+
+let template_expand () =
+  let f = Parser.parse_file tpl_src in
+  check_int "one template" 1 (List.length f.Ast.templates);
+  check_int "three instantiations parsed" 3 (List.length f.Ast.instances);
+  let expanded = Compile.expand_file f in
+  (* duplicates collapse in first-occurrence order; main comes last *)
+  Alcotest.(check (list string))
+    "names and order"
+    [ "race('x')"; "race('y')"; "main" ]
+    (List.map fst expanded);
+  (* the binding substitutes the parameter with an exact attribute *)
+  match List.assoc "race('x')" expanded with
+  | { Ast.decls = Ast.Class_decl c :: _; _ } ->
+    check "text bound" true (c.Ast.text = Ast.Exact "x")
+  | _ -> Alcotest.fail "expected a class decl first"
+
+let template_instances_share_shape () =
+  let nets = Compile.compile_file (Parser.parse_file tpl_src) in
+  check_int "three compiled patterns" 3 (List.length nets);
+  let tbl = Hashtbl.create 8 in
+  let intern s =
+    match Hashtbl.find_opt tbl s with
+    | Some i -> i
+    | None ->
+      let i = Hashtbl.length tbl in
+      Hashtbl.replace tbl s i;
+      i
+  in
+  let inet name = Compile.intern_net (List.assoc name nets) ~intern in
+  let ix = inet "race('x')" and iy = inet "race('y')" and im = inet "main" in
+  (* instances differ only in their bound attribute: same shape (so the
+     engine shares their search plans), different leaf keys *)
+  check "instances share shape" true (Compile.shape_key ix = Compile.shape_key iy);
+  check "main has its own shape" true (Compile.shape_key ix <> Compile.shape_key im);
+  check "bound leaf keys differ" true (Compile.class_key ix 0 <> Compile.class_key iy 0)
+
+let template_errors () =
+  (* template sources must go through parse_file *)
+  (match Parser.parse tpl_src with
+  | _ -> Alcotest.fail "Parser.parse should reject template sources"
+  | exception Parser.Parse_error msg ->
+    check "redirects to parse_file" true
+      (String.length msg > 0
+      && (let sub = "parse_file" in
+          let rec go i =
+            i + String.length sub <= String.length msg
+            && (String.sub msg i (String.length sub) = sub || go (i + 1))
+          in
+          go 0)));
+  (* undefined template and arity mismatches are parse-time errors *)
+  (match Parser.parse_file "instantiate ghost(x);\n" with
+  | _ -> Alcotest.fail "undefined template should not parse"
+  | exception Parser.Parse_error _ -> ());
+  match
+    Parser.parse_file
+      "template t($a) { X := [_, T, $a]; pattern := X; }\ninstantiate t(x, y);\n"
+  with
+  | _ -> Alcotest.fail "arity mismatch should not parse"
+  | exception Parser.Parse_error _ -> ()
+
+let plain_file_compat () =
+  (* a plain pattern parses as a file with only a main *)
+  match Compile.compile_file (Parser.parse_file "A := [_, A, _];\npattern := A;\n") with
+  | [ ("main", net) ] -> check_int "one leaf" 1 (Compile.size net)
+  | _ -> Alcotest.fail "expected a single main pattern"
+
 let () =
   Alcotest.run "pattern"
     [
@@ -376,6 +459,13 @@ let () =
           Alcotest.test_case "partner arity" `Quick compile_partner_requires_primitive;
           Alcotest.test_case "var fields" `Quick compile_var_fields;
           Alcotest.test_case "leaf matches" `Quick leaf_matches_specs;
+        ] );
+      ( "templates",
+        [
+          Alcotest.test_case "expand + dedup" `Quick template_expand;
+          Alcotest.test_case "instances share shape" `Quick template_instances_share_shape;
+          Alcotest.test_case "errors" `Quick template_errors;
+          Alcotest.test_case "plain files still parse" `Quick plain_file_compat;
         ] );
       ( "compound",
         [
