@@ -145,7 +145,7 @@ let () =
     let poet = Poet.create ~trace_names:names () in
     let engine = Engine.create ~net ~poet () in
     Fun.protect ~finally:(fun () -> Engine.shutdown engine) @@ fun () ->
-    ignore (Source.replay ~engine reader);
+    ignore (Ocep_ingest.Session.replay ~engine reader);
     digest := Runner.reports_digest engine
   in
   let replay_s, replay_minor, replay_major = best_of_gc 3 replay in

@@ -1,0 +1,231 @@
+(* Service-tier scale: N concurrent tenant streams against one sharded
+   server in this process, verified bit-identical to dedicated engines.
+
+   Setup: K distinct workloads are recorded once and pre-framed into
+   chunked byte strings; each tenant connects over loopback, attaches
+   its workload's pattern, and the driver round-robins the chunks across
+   all connections so every stream is live at once. Each tenant then
+   DRAINs and its digest is compared against a dedicated single-process
+   engine replaying the same recording (the program exits 1 on any
+   mismatch or any shed frame).
+
+   The measured span runs from the first streamed byte to the last DRAIN
+   response, so it covers framing, routing, admission and matching for
+   every tenant. Results go to BENCH_service.json and stdout. Scale with
+   OCEP_TENANTS (default 1000), OCEP_EVENTS (per-workload cap, default
+   150) and OCEP_SHARDS (default 4). *)
+
+module Sim = Ocep_sim.Sim
+module Poet = Ocep_poet.Poet
+module Parser = Ocep_pattern.Parser
+module Compile = Ocep_pattern.Compile
+module Engine = Ocep.Engine
+module Clock = Ocep_base.Clock
+module Event = Ocep_base.Event
+module Workload = Ocep_workloads.Workload
+module Cases = Ocep_harness.Cases
+module Wire = Ocep_ingest.Wire
+module Framing = Ocep_ingest.Framing
+module Session = Ocep_ingest.Session
+module Server = Ocep_service.Server
+module Client = Ocep_service.Client
+module Control = Ocep_service.Control
+
+let getenv_int name default =
+  match Sys.getenv_opt name with Some s -> int_of_string s | None -> default
+
+let chunks = 8
+
+(* mirror the server's per-tenant engine settings so the oracle digests
+   are comparable *)
+let engine_cfg = { Engine.default_config with Engine.latency_sink = Engine.Histogram }
+
+type prepared = {
+  p_traces : string array;
+  p_pattern : string;
+  p_chunks : string list;  (* framed bytes, header excluded, in order *)
+  p_events : int;
+  p_oracle : string;  (* reports digest of a dedicated engine *)
+}
+
+let prepare ~case ~seed ~max_events =
+  let w = Cases.make case ~traces:6 ~seed ~max_events in
+  let names = Sim.trace_names w.Workload.sim_config in
+  let raws = ref [] in
+  ignore
+    (Sim.run w.Workload.sim_config
+       ~sink:(fun raw -> raws := raw :: !raws)
+       ~bodies:w.Workload.bodies);
+  let raws = Array.of_list (List.rev !raws) in
+  let n = Array.length raws in
+  let seqs = Array.make (Array.length names) 0 in
+  let path = Filename.temp_file "ocep_bench_service" ".wire" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let oc = open_out_bin path in
+  let wr = Framing.create_writer oc ~trace_names:names in
+  Framing.flush wr;
+  let marks = ref [ pos_out oc ] in
+  Array.iteri
+    (fun i (r : Event.raw) ->
+      seqs.(r.Event.r_trace) <- seqs.(r.Event.r_trace) + 1;
+      Framing.write wr (Wire.of_raw ~id:i ~seq:seqs.(r.Event.r_trace) r);
+      if (i + 1) mod (max 1 (n / chunks)) = 0 || i = n - 1 then begin
+        Framing.flush wr;
+        marks := pos_out oc :: !marks
+      end)
+    raws;
+  Framing.flush wr;
+  close_out oc;
+  let marks = List.rev !marks in
+  let ic = open_in_bin path in
+  let data = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let rec slices = function
+    | a :: (b :: _ as rest) -> String.sub data a (b - a) :: slices rest
+    | _ -> []
+  in
+  let p_chunks = slices marks in
+  (* the oracle: a dedicated engine over the same recording, same
+     admission knobs as the server gives each tenant *)
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+  let reader = Framing.create_reader ic in
+  let poet = Poet.create ~trace_names:names () in
+  let net = Compile.compile (Parser.parse w.Workload.pattern) in
+  let engine = Engine.create ~config:engine_cfg ~net ~poet () in
+  Fun.protect ~finally:(fun () -> Engine.shutdown engine) @@ fun () ->
+  ignore (Session.replay ~config:Server.default_config.Server.session ~engine reader);
+  {
+    p_traces = names;
+    p_pattern = w.Workload.pattern;
+    p_chunks;
+    p_events = n;
+    p_oracle = Engine.reports_digest engine;
+  }
+
+let () =
+  let tenants = getenv_int "OCEP_TENANTS" 1000 in
+  let max_events = getenv_int "OCEP_EVENTS" 150 in
+  let shards = getenv_int "OCEP_SHARDS" 4 in
+  let cases = [| "races"; "atomicity"; "deadlock"; "ordering" |] in
+  let workloads =
+    Array.init 8 (fun k ->
+        prepare ~case:cases.(k mod Array.length cases) ~seed:(100 + k) ~max_events)
+  in
+  let total_events =
+    Array.to_seq (Array.init tenants (fun i -> workloads.(i mod 8).p_events))
+    |> Seq.fold_left ( + ) 0
+  in
+  Printf.printf "service bench: %d tenants, %d shards, %d events total\n%!" tenants
+    shards total_events;
+  (* OCEP_SERVICE_ADDR=host:port drives an already-running `ocep serve`
+     instead of an in-process server — the CI smoke uses this *)
+  let srv, host, port =
+    match Sys.getenv_opt "OCEP_SERVICE_ADDR" with
+    | Some addr -> (
+      match String.index_opt addr ':' with
+      | Some i ->
+        ( None,
+          String.sub addr 0 i,
+          int_of_string (String.sub addr (i + 1) (String.length addr - i - 1)) )
+      | None -> failwith "OCEP_SERVICE_ADDR must be HOST:PORT")
+    | None ->
+      let srv =
+        Server.start
+          ~config:{ Server.default_config with Server.shards; max_patterns = 4 }
+          ()
+      in
+      (Some srv, "127.0.0.1", Server.port srv)
+  in
+  Fun.protect ~finally:(fun () -> Option.iter Server.stop srv) @@ fun () ->
+  let t_connect0 = Clock.now_s () in
+  let clients =
+    Array.init tenants (fun i ->
+        let p = workloads.(i mod 8) in
+        match
+          Client.connect ~host ~port
+            ~tenant:(Printf.sprintf "t%05d" i)
+            ~traces:p.p_traces ()
+        with
+        | Result.Ok c -> c
+        | Result.Error e ->
+          Printf.eprintf "tenant %d: connect failed: %s\n" i
+            (Ocep_base.Ocep_error.to_string e);
+          exit 1)
+  in
+  Fun.protect ~finally:(fun () -> Array.iter Client.close clients) @@ fun () ->
+  Array.iteri
+    (fun i c ->
+      match Client.attach c ~name:"p" ~source:workloads.(i mod 8).p_pattern with
+      | Result.Ok _ -> ()
+      | Result.Error e ->
+        Printf.eprintf "tenant %d: attach failed: %s\n" i
+          (Ocep_base.Ocep_error.to_string e);
+        exit 1)
+    clients;
+  let connect_s = Clock.now_s () -. t_connect0 in
+  (* stream: chunk j of every tenant before chunk j+1 of any, so all
+     streams are in flight together *)
+  let t0 = Clock.now_s () in
+  let max_chunks =
+    Array.fold_left (fun acc p -> max acc (List.length p.p_chunks)) 0 workloads
+  in
+  for j = 0 to max_chunks - 1 do
+    Array.iteri
+      (fun i c ->
+        match List.nth_opt workloads.(i mod 8).p_chunks j with
+        | Some bytes ->
+          Client.send_encoded c bytes;
+          Client.flush c
+        | None -> ())
+      clients
+  done;
+  Array.iter Client.flush clients;
+  let mismatches = ref 0 and shed = ref 0 and matches = ref 0 and admitted = ref 0 in
+  Array.iteri
+    (fun i c ->
+      let p = workloads.(i mod 8) in
+      match Client.drain c with
+      | Result.Ok st ->
+        admitted := !admitted + st.Control.admitted;
+        shed := !shed + st.Control.shed;
+        matches := !matches + st.Control.matches;
+        if st.Control.digest <> p.p_oracle then begin
+          Printf.eprintf "tenant %d: digest %s <> dedicated %s\n" i st.Control.digest
+            p.p_oracle;
+          incr mismatches
+        end;
+        if st.Control.admitted <> p.p_events then begin
+          Printf.eprintf "tenant %d: admitted %d of %d\n" i st.Control.admitted p.p_events;
+          incr mismatches
+        end
+      | Result.Error e ->
+        Printf.eprintf "tenant %d: drain failed: %s\n" i
+          (Ocep_base.Ocep_error.to_string e);
+        incr mismatches)
+    clients;
+  let elapsed = Clock.now_s () -. t0 in
+  let ev_s = float_of_int !admitted /. elapsed in
+  Printf.printf
+    "connect+attach %.2fs   stream+drain %.2fs   %.0f ev/s   %d matches   %d shed   digests %s\n%!"
+    connect_s elapsed ev_s !matches !shed
+    (if !mismatches = 0 then "bit-identical" else Printf.sprintf "%d MISMATCH" !mismatches);
+  let oc = open_out "BENCH_service.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"tenants\": %d,\n\
+    \  \"shards\": %d,\n\
+    \  \"total_events\": %d,\n\
+    \  \"admitted\": %d,\n\
+    \  \"shed\": %d,\n\
+    \  \"matches\": %d,\n\
+    \  \"connect_s\": %.3f,\n\
+    \  \"elapsed_s\": %.3f,\n\
+    \  \"events_per_s\": %.0f,\n\
+    \  \"digests_identical\": %b\n\
+     }\n"
+    tenants shards total_events !admitted !shed !matches connect_s elapsed ev_s
+    (!mismatches = 0);
+  close_out oc;
+  Printf.printf "wrote BENCH_service.json\n";
+  if !mismatches > 0 || !shed > 0 then exit 1

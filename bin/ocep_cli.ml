@@ -24,6 +24,8 @@ module Framing = Ocep_ingest.Framing
 module Admission = Ocep_ingest.Admission
 module Bqueue = Ocep_ingest.Bqueue
 module Source = Ocep_ingest.Source
+module Session = Ocep_ingest.Session
+module Server = Ocep_service.Server
 module Explain = Ocep_harness.Explain
 module Serve = Ocep_obs.Serve
 module Snapshot = Ocep_obs.Snapshot
@@ -52,17 +54,50 @@ let load_pattern_files files = List.concat_map load_pattern_file files
 (* telemetry (--listen)                                                *)
 (* ------------------------------------------------------------------ *)
 
+(* The one HOST:PORT parser every listening/connecting flag shares
+   (telemetry --listen, serve --listen, top's address, the bench's
+   --connect): same grammar, same error wording everywhere. *)
 let host_port_conv what =
+  let fail s reason =
+    Error
+      (`Msg
+        (Printf.sprintf
+           "bad %s %S: %s — want HOST:PORT, e.g. 127.0.0.1:7070 (PORT in 0-65535; 0 binds a \
+            free port)"
+           what s reason))
+  in
   let parse s =
     match String.rindex_opt s ':' with
+    | None -> fail s "no ':' separator"
     | Some i -> (
       let host = String.sub s 0 i and p = String.sub s (i + 1) (String.length s - i - 1) in
-      match int_of_string_opt p with
-      | Some port when port >= 0 && port < 65536 && host <> "" -> Ok (host, port)
-      | _ -> Error (`Msg (Printf.sprintf "bad %s %S: want HOST:PORT" what s)))
-    | None -> Error (`Msg (Printf.sprintf "bad %s %S: want HOST:PORT" what s))
+      if host = "" then fail s "empty host"
+      else
+        match int_of_string_opt p with
+        | None -> fail s (Printf.sprintf "port %S is not a number" p)
+        | Some port when port < 0 || port > 65535 ->
+          fail s (Printf.sprintf "port %d out of range" port)
+        | Some port -> Ok (host, port))
   in
   Arg.conv (parse, fun ppf (h, p) -> Format.fprintf ppf "%s:%d" h p)
+
+let gap_policy_conv =
+  let parse s =
+    match String.lowercase_ascii (String.trim s) with
+    | "wait" -> Ok Admission.Wait
+    | "fail" -> Ok Admission.Fail
+    | s when String.length s > 5 && String.sub s 0 5 = "skip:" -> (
+      match int_of_string_opt (String.sub s 5 (String.length s - 5)) with
+      | Some n when n >= 0 -> Ok (Admission.Skip n)
+      | _ -> Error (`Msg (Printf.sprintf "bad skip patience in %S" s)))
+    | _ -> Error (`Msg (Printf.sprintf "gap policy %S: want wait, skip:N or fail" s))
+  in
+  let print ppf = function
+    | Admission.Wait -> Format.pp_print_string ppf "wait"
+    | Admission.Skip n -> Format.fprintf ppf "skip:%d" n
+    | Admission.Fail -> Format.pp_print_string ppf "fail"
+  in
+  Arg.conv (parse, print)
 
 let listen_arg =
   Arg.(
@@ -496,24 +531,9 @@ let replay_cmd =
       & info [ "seed"; "s" ] ~docv:"SEED" ~doc:"PRNG seed for $(b,--faults).")
   in
   let gap_policy =
-    let parse s =
-      match String.lowercase_ascii (String.trim s) with
-      | "wait" -> Ok Admission.Wait
-      | "fail" -> Ok Admission.Fail
-      | s when String.length s > 5 && String.sub s 0 5 = "skip:" -> (
-        match int_of_string_opt (String.sub s 5 (String.length s - 5)) with
-        | Some n when n >= 0 -> Ok (Admission.Skip n)
-        | _ -> Error (`Msg (Printf.sprintf "bad skip patience in %S" s)))
-      | _ -> Error (`Msg (Printf.sprintf "gap policy %S: want wait, skip:N or fail" s))
-    in
-    let print ppf = function
-      | Admission.Wait -> Format.pp_print_string ppf "wait"
-      | Admission.Skip n -> Format.fprintf ppf "skip:%d" n
-      | Admission.Fail -> Format.pp_print_string ppf "fail"
-    in
     Arg.(
       value
-      & opt (conv (parse, print)) Admission.Wait
+      & opt gap_policy_conv Admission.Wait
       & info [ "gap-policy" ] ~docv:"POLICY"
           ~doc:
             "What to do about a missing record id: $(b,wait) (buffer until end of stream), \
@@ -577,39 +597,7 @@ let replay_cmd =
       exit 2);
     let srv = telemetry_start listen in
     let nets = load_pattern_files pattern_files in
-    (* Fault injection degrades the transport, not the log: decode the
-       pristine log, apply the deterministic faults to the frame
-       sequence, re-frame it into a temp file and replay that — so the
-       faulted replay exercises exactly the same reader/admission path
-       as a pristine one. *)
-    let input, cleanup =
-      if faults = Inject.no_faults then (wire_file, fun () -> ())
-      else begin
-        let ic = open_in_bin wire_file in
-        let reader = Framing.create_reader ic in
-        let frames = ref [] in
-        let continue = ref true in
-        while !continue do
-          match Framing.next reader with
-          | Framing.Frame w -> frames := w :: !frames
-          | Framing.Crc_error | Framing.Bad_frame _ -> ()
-          | Framing.Truncated | Framing.Eof -> continue := false
-        done;
-        close_in ic;
-        let faulted = Inject.apply_faults faults ~seed:fault_seed (List.rev !frames) in
-        let tmp = Filename.temp_file "ocep_replay" ".wire" in
-        let oc = open_out_bin tmp in
-        let wr = Framing.create_writer oc ~trace_names:(Framing.reader_trace_names reader) in
-        List.iter (Framing.write wr) faulted;
-        Framing.flush wr;
-        close_out oc;
-        Format.printf "faults: %a (seed %d): %d frames -> %d@." Inject.pp_faults faults
-          fault_seed (List.length !frames) (List.length faulted);
-        (tmp, fun () -> Sys.remove tmp)
-      end
-    in
-    Fun.protect ~finally:cleanup @@ fun () ->
-    let ic = open_in_bin input in
+    let ic = open_in_bin wire_file in
     Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
     let reader =
       try Framing.create_reader ic
@@ -629,20 +617,23 @@ let replay_cmd =
     let handles = List.map (fun (f, net) -> (f, net, Engine.add_pattern engine net)) nets in
     Fun.protect ~finally:(fun () -> Engine.shutdown engine) @@ fun () ->
     telemetry_live srv engine;
-    let source_config =
+    let session_config =
       {
-        Source.admission =
-          { Admission.reorder_window; Admission.gap_policy };
+        Session.gap_policy;
+        reorder_window;
+        pipeline;
         queue_capacity;
         queue_policy;
-        pipeline;
         block_size;
+        faults;
+        fault_seed;
       }
     in
     let st =
       try
-        Source.replay ~config:source_config
+        Session.replay ~config:session_config
           ~tick:(fun () -> telemetry_publish srv engine)
+          ~log:(fun line -> Format.printf "%s@." line)
           ~engine reader
       with Admission.Gap e ->
         Printf.eprintf "ocep replay: unrecoverable gap: %s\n" e;
@@ -716,6 +707,133 @@ let replay_cmd =
       const run $ pattern_files $ wire_file $ faults $ fault_seed $ gap_policy $ reorder_window
       $ queue_capacity $ queue_policy $ pipeline $ block_size $ parallelism $ max_reports
       $ metrics_out $ listen_arg $ linger_arg)
+
+(* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let serve_cmd =
+  let listen =
+    Arg.(
+      value
+      & opt (host_port_conv "listen address") ("127.0.0.1", 7070)
+      & info [ "listen" ] ~docv:"HOST:PORT"
+          ~doc:"Address to accept tenant connections on. PORT 0 binds a free port.")
+  in
+  let shards =
+    Arg.(
+      value & opt int Server.default_config.Server.shards
+      & info [ "shards" ] ~docv:"N"
+          ~doc:"Matching domains; each tenant is pinned to $(i,hash(tenant) mod N).")
+  in
+  let tenant_quota =
+    Arg.(
+      value & opt int Server.default_config.Server.tenant_quota
+      & info [ "tenant-quota" ] ~docv:"N"
+          ~doc:
+            "Per-tenant in-flight event cap (queued toward the tenant's shard but not yet \
+             matched), and the ceiling a HELLO quota override may ask for.")
+  in
+  let quota_policy =
+    Arg.(
+      value
+      & opt (enum [ ("block", Bqueue.Block); ("shed", Bqueue.Shed) ]) Bqueue.Block
+      & info [ "quota-policy" ] ~docv:"POLICY"
+          ~doc:
+            "What a full quota does to the tenant's stream: $(b,block) its connection \
+             (lossless backpressure) or $(b,shed) the overflow (counted, tenant-local).")
+  in
+  let gap_policy =
+    Arg.(
+      value
+      & opt gap_policy_conv Server.default_config.Server.session.Session.gap_policy
+      & info [ "gap-policy" ] ~docv:"POLICY"
+          ~doc:
+            "Per-tenant admission gap policy, as in $(b,ocep replay). The default $(b,skip:64) \
+             lets a quota-shedding tenant keep matching across its own holes.")
+  in
+  let reorder_window =
+    Arg.(
+      value & opt int Server.default_config.Server.session.Session.reorder_window
+      & info [ "reorder-window" ] ~docv:"N"
+          ~doc:"Max out-of-order frames held per tenant before a gap is declared.")
+  in
+  let max_patterns =
+    Arg.(
+      value & opt int Server.default_config.Server.max_patterns
+      & info [ "max-patterns" ] ~docv:"N" ~doc:"ATTACH cap per tenant.")
+  in
+  let metrics_port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "metrics-port" ] ~docv:"PORT"
+          ~doc:
+            "Serve per-tenant service metrics ($(b,ocep_tenant_events_total\\{tenant=...\\}), \
+             queue depths) over HTTP on 127.0.0.1:$(docv). 0 binds a free port.")
+  in
+  let run (host, port) shards tenant_quota quota_policy gap_policy reorder_window max_patterns
+      metrics_port =
+    if shards <= 0 then begin
+      Printf.eprintf "ocep serve: --shards must be > 0, got %d\n" shards;
+      exit 2
+    end;
+    if tenant_quota < 0 then begin
+      Printf.eprintf "ocep serve: --tenant-quota must be >= 0, got %d\n" tenant_quota;
+      exit 2
+    end;
+    let config =
+      {
+        Server.host;
+        port;
+        shards;
+        tenant_quota;
+        quota_policy;
+        session =
+          { Session.default with Session.gap_policy; Session.reorder_window };
+        max_patterns;
+        metrics_port;
+      }
+    in
+    let srv = Server.start ~config () in
+    Printf.printf "ocep serve: listening on %s:%d (%d shard%s, tenant quota %d %s)\n%!" host
+      (Server.port srv) shards
+      (if shards = 1 then "" else "s")
+      tenant_quota
+      (match quota_policy with Bqueue.Block -> "block" | Bqueue.Shed -> "shed");
+    (match Server.metrics_port srv with
+    | Some p -> Printf.printf "ocep serve: metrics on http://127.0.0.1:%d/metrics\n%!" p
+    | None -> ());
+    let stop = Atomic.make false in
+    let on_signal = Sys.Signal_handle (fun _ -> Atomic.set stop true) in
+    Sys.set_signal Sys.sigint on_signal;
+    Sys.set_signal Sys.sigterm on_signal;
+    while not (Atomic.get stop) do
+      Thread.delay 0.2
+    done;
+    Printf.printf "ocep serve: shutting down\n%!";
+    Server.stop srv;
+    0
+  in
+  let info =
+    Cmd.info "serve" ~doc:"Run the sharded multi-tenant matching service"
+      ~man:
+        [
+          `S Manpage.s_description;
+          `P
+            "Accept framed tenant connections (the $(b,ocep record) wire format over TCP). \
+             Each connection names its traces in the stream header, identifies itself with a \
+             HELLO control frame, and then interleaves event frames with control frames: \
+             ATTACH/DETACH edit the tenant's pattern registry at an exact stream position, \
+             STATS and DRAIN return live counters and the tenant's reports digest. Tenants \
+             are pinned to shards (one OCaml domain each) and isolated: per-tenant engines, \
+             per-tenant admission, per-tenant quotas.";
+        ]
+  in
+  Cmd.v info
+    Term.(
+      const run $ listen $ shards $ tenant_quota $ quota_policy $ gap_policy $ reorder_window
+      $ max_patterns $ metrics_port)
 
 (* ------------------------------------------------------------------ *)
 (* explain                                                             *)
@@ -825,7 +943,7 @@ let explain_cmd =
       let engine = Engine.create ~poet () in
       List.iter (fun net -> ignore (Engine.add_pattern engine net)) nets;
       Fun.protect ~finally:(fun () -> Engine.shutdown engine) @@ fun () ->
-      (try ignore (Source.replay ~engine reader)
+      (try ignore (Session.replay ~engine reader)
        with Admission.Gap e ->
          Printf.eprintf "ocep explain: unrecoverable gap: %s\n" e;
          exit 1);
@@ -1219,6 +1337,7 @@ let () =
             record_cmd;
             run_cmd;
             replay_cmd;
+            serve_cmd;
             explain_cmd;
             top_cmd;
             check_cmd;

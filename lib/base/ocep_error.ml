@@ -1,0 +1,90 @@
+type t =
+  | Stale_handle of { pattern : int }
+  | Unknown_pattern of string
+  | Unknown_tenant of string
+  | Quota_exceeded of { tenant : string; what : string; limit : int }
+  | Trace_mismatch of string
+  | Parse_error of string
+  | Compile_error of string
+  | Decode_error of string
+  | Bad_request of string
+  | Drained of string
+
+exception Error of t
+
+let error e = raise (Error e)
+
+let code = function
+  | Stale_handle _ -> "stale-handle"
+  | Unknown_pattern _ -> "unknown-pattern"
+  | Unknown_tenant _ -> "unknown-tenant"
+  | Quota_exceeded _ -> "quota-exceeded"
+  | Trace_mismatch _ -> "trace-mismatch"
+  | Parse_error _ -> "parse-error"
+  | Compile_error _ -> "compile-error"
+  | Decode_error _ -> "decode-error"
+  | Bad_request _ -> "bad-request"
+  | Drained _ -> "drained"
+
+let detail = function
+  | Stale_handle { pattern } -> Printf.sprintf "pattern %d was detached" pattern
+  | Unknown_pattern s -> s
+  | Unknown_tenant s -> s
+  | Quota_exceeded { tenant; what; limit } ->
+    Printf.sprintf "tenant %s: %s limit %d reached" tenant what limit
+  | Trace_mismatch s -> s
+  | Parse_error s -> s
+  | Compile_error s -> s
+  | Decode_error s -> s
+  | Bad_request s -> s
+  | Drained s -> s
+
+let to_string e = Printf.sprintf "%s: %s" (code e) (detail e)
+let pp ppf e = Format.pp_print_string ppf (to_string e)
+
+(* The wire form must survive a NUL-separated control payload, so the
+   separator between code and detail is itself the one byte neither side
+   may contain; strip any stray NULs from the detail on encode. *)
+let strip_nul s =
+  if String.contains s '\x00' then
+    String.concat "." (String.split_on_char '\x00' s)
+  else s
+
+(* [Stale_handle] and [Quota_exceeded] carry structure; flatten it into
+   the detail in a shape [decode] can recover exactly. *)
+let encode e =
+  let d =
+    match e with
+    | Stale_handle { pattern } -> string_of_int pattern
+    | Quota_exceeded { tenant; what; limit } ->
+      Printf.sprintf "%s\x01%s\x01%d" (strip_nul tenant) (strip_nul what) limit
+    | e -> strip_nul (detail e)
+  in
+  code e ^ "\x00" ^ d
+
+let decode s =
+  match String.index_opt s '\x00' with
+  | None -> Decode_error (Printf.sprintf "unseparated error payload %S" s)
+  | Some i -> (
+    let c = String.sub s 0 i and d = String.sub s (i + 1) (String.length s - i - 1) in
+    match c with
+    | "stale-handle" -> (
+      match int_of_string_opt d with
+      | Some p -> Stale_handle { pattern = p }
+      | None -> Decode_error (Printf.sprintf "bad stale-handle payload %S" d))
+    | "unknown-pattern" -> Unknown_pattern d
+    | "unknown-tenant" -> Unknown_tenant d
+    | "quota-exceeded" -> (
+      match String.split_on_char '\x01' d with
+      | [ tenant; what; limit ] -> (
+        match int_of_string_opt limit with
+        | Some limit -> Quota_exceeded { tenant; what; limit }
+        | None -> Decode_error (Printf.sprintf "bad quota-exceeded payload %S" d))
+      | _ -> Decode_error (Printf.sprintf "bad quota-exceeded payload %S" d))
+    | "trace-mismatch" -> Trace_mismatch d
+    | "parse-error" -> Parse_error d
+    | "compile-error" -> Compile_error d
+    | "decode-error" -> Decode_error d
+    | "bad-request" -> Bad_request d
+    | "drained" -> Drained d
+    | c -> Decode_error (Printf.sprintf "unknown error code %S (%s)" c d))

@@ -1,0 +1,58 @@
+(** The one typed error channel of the engine's runtime API and the
+    service control plane.
+
+    Before the service tier, runtime misuse surfaced as an untyped mix
+    of [Invalid_argument] and [Failure] raises — fine for a library
+    whose only caller is the CLI, useless for a control plane that must
+    ship the failure back over a socket and let the client react per
+    case. Every recoverable runtime error now is one {!t} variant,
+    raised as {!Error}, rendered with {!to_string}, and round-tripped
+    over the wire with {!encode}/{!decode} (the service's [err] control
+    responses carry exactly this encoding).
+
+    Static misuse — nonsensical configs, out-of-range arguments,
+    oversized patterns at compile time — intentionally stays
+    [Invalid_argument]: those are programming errors at call sites the
+    caller controls, not runtime conditions a remote client could
+    provoke or handle. *)
+
+type t =
+  | Stale_handle of { pattern : int }
+      (** an operation through a {!Ocep.Engine.Handle.t} whose pattern
+          has been detached *)
+  | Unknown_pattern of string  (** no live pattern under that id or name *)
+  | Unknown_tenant of string
+  | Quota_exceeded of { tenant : string; what : string; limit : int }
+      (** a per-tenant bound was hit: [what] names it
+          (["patterns"], ["events"]) *)
+  | Trace_mismatch of string
+      (** a session's trace table disagrees with the tenant's *)
+  | Parse_error of string  (** pattern source rejected by the parser *)
+  | Compile_error of string  (** pattern rejected by the compiler *)
+  | Decode_error of string  (** malformed wire or control payload *)
+  | Bad_request of string  (** a well-formed control frame used wrongly *)
+  | Drained of string
+      (** the tenant's stream was drained; no further events are accepted *)
+
+exception Error of t
+
+val error : t -> 'a
+(** [error e] raises [Error e]. *)
+
+val to_string : t -> string
+(** Human-readable, one line, starts with the {!code}. *)
+
+val code : t -> string
+(** Stable machine-readable tag, e.g. ["stale-handle"]; what the wire
+    encoding leads with. *)
+
+val encode : t -> string
+(** [code '\x00' detail] — NUL-free on both sides, safe inside a
+    NUL-separated control payload. *)
+
+val decode : string -> t
+(** Inverse of {!encode}; unknown codes come back as [Decode_error]
+    naming the alien code, so an old client degrades readably against a
+    newer server. *)
+
+val pp : Format.formatter -> t -> unit

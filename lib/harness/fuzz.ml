@@ -353,14 +353,14 @@ let check ?mutation case =
          shuffling can produce, so pristine streams always recover and
          lossy ones skip (differing digest) instead of raising *)
       let window = max 16 (4 * faults.Inject.f_reorder) in
-      let source_cfg =
+      let session_cfg =
         {
-          Source.default_config with
-          Source.admission =
-            { Admission.reorder_window = window; gap_policy = Admission.Skip window };
+          Ocep_ingest.Session.default with
+          Ocep_ingest.Session.reorder_window = window;
+          gap_policy = Admission.Skip window;
         }
       in
-      (match Source.replay ~config:source_cfg ~engine:engine_r reader with
+      (match Ocep_ingest.Session.replay ~config:session_cfg ~engine:engine_r reader with
       | (_ : Source.stats) ->
         let digest_replay = Runner.reports_digest engine_r in
         if digest_replay = digest_seq then None

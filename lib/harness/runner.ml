@@ -168,49 +168,12 @@ let run ?(engine_config = Engine.default_config) ?(cutoff_margin = 0.05) (w : Wo
     wall_s = Ocep_base.Clock.now_s () -. t0;
   }
 
-(* FNV-1a over every order-sensitive observable of every live pattern.
-   Two engines agree on this hex string iff their match reports are
-   bit-identical — the record/replay equivalence check, cheap enough to
-   print after every run and grep-compare in CI. *)
-let fnv_seed = 0xcbf29ce484222325L
+(* The digest itself lives in the engine (Engine.reports_digest) since
+   the service tier ships it over the control plane; these aliases keep
+   the harness's historical entry points. *)
+let report_digest = Engine.report_digest
 
-let fnv_int h n =
-  let acc = ref h in
-  for i = 0 to 7 do
-    acc :=
-      Int64.mul (Int64.logxor !acc (Int64.of_int ((n asr (8 * i)) land 0xff))) 0x100000001b3L
-  done;
-  !acc
-
-let mix_report h (r : Subset.report) =
-  let h = ref (fnv_int h r.Subset.seq) in
-  List.iter
-    (fun (a, b) ->
-      h := fnv_int !h a;
-      h := fnv_int !h b)
-    r.Subset.fresh;
-  Array.iter
-    (fun (e : Ocep_base.Event.t) ->
-      h := fnv_int !h e.Ocep_base.Event.trace;
-      h := fnv_int !h e.Ocep_base.Event.index)
-    r.Subset.events;
-  !h
-
-let report_digest ~pattern_id (r : Subset.report) =
-  Printf.sprintf "%016Lx" (mix_report (fnv_int fnv_seed pattern_id) r)
-
-let reports_digest engine =
-  let h = ref fnv_seed in
-  List.iter
-    (fun handle ->
-      let m = Engine.Handle.metrics handle in
-      h := fnv_int !h (Engine.Handle.id handle);
-      h := fnv_int !h m.Engine.Handle.matches;
-      h := fnv_int !h m.Engine.Handle.covered_slots;
-      h := fnv_int !h m.Engine.Handle.seen_slots;
-      List.iter (fun r -> h := mix_report !h r) (Engine.Handle.reports handle))
-    (Engine.handles engine);
-  Printf.sprintf "%016Lx" !h
+let reports_digest = Engine.reports_digest
 
 let pp_outcome ppf o =
   let terminating =

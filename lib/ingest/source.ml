@@ -94,7 +94,7 @@ let tick_every = 1024
    matches an event in ~1.5 us. *)
 let sample_mask = 63
 
-let replay ?(config = default_config) ?(tick = fun () -> ()) ~engine reader =
+let replay_stream ?(config = default_config) ?(tick = fun () -> ()) ~engine reader =
   check_traces engine reader;
   let mt = meters engine in
   let wm = Watermark.create (Engine.metrics engine) in
@@ -364,3 +364,5 @@ let replay ?(config = default_config) ?(tick = fun () -> ()) ~engine reader =
     queue_max_occupancy = queue_max;
     admission = a;
   }
+
+let replay = replay_stream

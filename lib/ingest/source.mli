@@ -73,7 +73,7 @@ type stats = {
   admission : Admission.stats;
 }
 
-val replay :
+val replay_stream :
   ?config:config -> ?tick:(unit -> unit) -> engine:Ocep.Engine.t -> Framing.reader -> stats
 (** Drives the reader to [Eof]/[Truncated], feeding admitted events to
     {!Ocep.Engine.feed_wire}, then finishes admission and syncs the
@@ -82,3 +82,10 @@ val replay :
     under live load. Raises [Invalid_argument] when the stream's trace
     table does not match the engine's POET store (same names, same
     order), and lets {!Admission.Gap} escape. *)
+
+val replay :
+  ?config:config -> ?tick:(unit -> unit) -> engine:Ocep.Engine.t -> Framing.reader -> stats
+[@@deprecated "use Session.replay (typed Session.config) or Source.replay_stream"]
+(** Alias of {!replay_stream}, kept for one release so out-of-tree
+    callers keep compiling; {!Session.replay} is the supported entry
+    point and adds fault degradation. *)

@@ -449,7 +449,8 @@ let live_pattern t pid = List.find_opt (fun (p : pstate) -> p.pid = pid) t.patte
 let get_pattern t pid =
   match live_pattern t pid with
   | Some p -> p
-  | None -> invalid_arg (Printf.sprintf "Engine: no registered pattern %d" pid)
+  | None ->
+    Ocep_error.error (Ocep_error.Unknown_pattern (Printf.sprintf "no registered pattern %d" pid))
 
 let first_pattern t =
   match t.patterns with
@@ -1271,7 +1272,11 @@ module Handle = struct
     pinned_skipped : int;
   }
 
-  let get h = get_pattern h.h_eng h.h_pid
+  let get h =
+    match live_pattern h.h_eng h.h_pid with
+    | Some p -> p
+    | None -> Ocep_error.error (Ocep_error.Stale_handle { pattern = h.h_pid })
+
   let id h = h.h_pid
   let is_live h = Option.is_some (live_pattern h.h_eng h.h_pid)
   let net h = (get h).pnet
@@ -1305,9 +1310,54 @@ module Handle = struct
       pinned_skipped = p.pskipped;
     }
 
-  let detach h = remove_pattern h.h_eng h.h_pid
+  let detach h =
+    match live_pattern h.h_eng h.h_pid with
+    | Some _ -> remove_pattern h.h_eng h.h_pid
+    | None -> Ocep_error.error (Ocep_error.Stale_handle { pattern = h.h_pid })
 end
 
 let add_pattern t net = { Handle.h_eng = t; h_pid = register_pattern t net }
 
 let handles t = List.map (fun (p : pstate) -> { Handle.h_eng = t; h_pid = p.pid }) t.patterns
+
+(* FNV-1a over each pattern's observable state — the stable name the
+   CLI prints and the service control plane ships in STATS/DRAIN
+   replies. Digest equality is bit-identity of the match reports. *)
+let fnv_seed = 0xcbf29ce484222325L
+
+let fnv_int h n =
+  let acc = ref h in
+  for i = 0 to 7 do
+    acc :=
+      Int64.mul (Int64.logxor !acc (Int64.of_int ((n asr (8 * i)) land 0xff))) 0x100000001b3L
+  done;
+  !acc
+
+let mix_report h (r : Subset.report) =
+  let h = ref (fnv_int h r.Subset.seq) in
+  List.iter
+    (fun (a, b) ->
+      h := fnv_int !h a;
+      h := fnv_int !h b)
+    r.Subset.fresh;
+  Array.iter
+    (fun (e : Event.t) ->
+      h := fnv_int !h e.Event.trace;
+      h := fnv_int !h e.Event.index)
+    r.Subset.events;
+  !h
+
+let report_digest ~pattern_id (r : Subset.report) =
+  Printf.sprintf "%016Lx" (mix_report (fnv_int fnv_seed pattern_id) r)
+
+let reports_digest t =
+  let h = ref fnv_seed in
+  List.iter
+    (fun (p : pstate) ->
+      h := fnv_int !h p.pid;
+      h := fnv_int !h p.pmatches;
+      h := fnv_int !h (Subset.covered_count p.psubset);
+      h := fnv_int !h (Subset.seen_count p.psubset);
+      List.iter (fun r -> h := mix_report !h r) (Subset.reports p.psubset))
+    t.patterns;
+  Printf.sprintf "%016Lx" !h

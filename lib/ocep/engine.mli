@@ -169,8 +169,11 @@ type pattern_id = int
     previously asked through an [(engine, pattern_id)] pair ([reports_for]
     and friends) is a function of the handle alone, so call sites cannot
     pair an id with the wrong engine, and detaching is a method of the
-    thing being detached. All accessors raise [Invalid_argument] once the
-    pattern has been detached (check {!is_live} when in doubt). *)
+    thing being detached. All accessors raise
+    [Ocep_error.Error (Stale_handle _)] once the pattern has been
+    detached (check {!is_live} when in doubt) — the typed error channel
+    shared with the service control plane, so a handle misuse carries
+    the same failure shape locally and over the wire. *)
 module Handle : sig
   type t
 
@@ -238,7 +241,7 @@ module Handle : sig
       and each of its classes' refcounts drop; a class with no
       subscribers left releases its history storage. The pattern's
       registry metrics freeze at their last values. Raises
-      [Invalid_argument] when already detached. *)
+      [Ocep_error.Error (Stale_handle _)] when already detached. *)
 end
 
 (** {1 Construction and the pattern registry} *)
@@ -277,8 +280,9 @@ val handles : t -> Handle.t list
 val remove_pattern : t -> pattern_id -> unit
 (** {!Handle.detach} by pattern id: unsubscribe every leaf from its
     automaton node — a node losing its last subscriber leaves the
-    network and releases its history class. Raises [Invalid_argument]
-    on an unknown or removed id. *)
+    network and releases its history class. Raises
+    [Ocep_error.Error (Unknown_pattern _)] on an unknown or removed
+    id. *)
 
 val pattern_ids : t -> pattern_id list
 (** Ids of the live patterns, ascending registration order. *)
@@ -358,6 +362,20 @@ val note_wire_drop : t -> id:int -> verdict:Ocep_obs.Provenance.verdict -> unit
 val reports : t -> Subset.report list
 (** The representative subset(s), grouped by pattern in registration
     order, each group in report order. *)
+
+val report_digest : pattern_id:pattern_id -> Subset.report -> string
+(** 16-hex-digit FNV-1a digest of one report's observables (arrival
+    sequence, freshness, event identities), salted with its pattern id —
+    the stable name [ocep run]/[ocep replay] print next to each report
+    and [ocep explain] resolves. *)
+
+val reports_digest : t -> string
+(** 16-hex-digit FNV-1a digest of every live pattern's observables —
+    matches, coverage, and each report's arrival sequence, freshness and
+    event identities, in registration order. Two engines produce the
+    same digest iff their match reports are bit-identical; the CLI
+    prints it, and the service control plane ships it in STATS/DRAIN
+    replies so per-tenant isolation is a string comparison. *)
 
 val matches_found : t -> int
 (** Successful searches (includes matches that added no new coverage),

@@ -1,0 +1,130 @@
+module Wire = Ocep_ingest.Wire
+module Framing = Ocep_ingest.Framing
+module Bqueue = Ocep_ingest.Bqueue
+module Error = Ocep_base.Ocep_error
+
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  wr : Framing.writer;
+  mutable rd : Framing.reader option;  (* created lazily: the server's header
+                                          arrives only after our HELLO reaches it *)
+  mutable seq : int;
+  mutable t_shard : int;
+  mutable closed : bool;
+}
+
+let next_seq t =
+  let s = t.seq in
+  t.seq <- s + 1;
+  s
+
+let reader t =
+  match t.rd with
+  | Some r -> r
+  | None ->
+    let r = Framing.create_reader t.ic in
+    t.rd <- Some r;
+    r
+
+let protocol_error fmt = Printf.ksprintf (fun m -> Error.Decode_error m) fmt
+
+(* Read the next response frame; data never flows server -> client, so
+   any non-control frame is protocol corruption. *)
+let read_response t =
+  let rec go () =
+    match Framing.next (reader t) with
+    | Framing.Frame w when w.Wire.etype = Control.rsp_etype -> (
+      match Control.parse_response w with
+      | Result.Ok resp -> Result.Ok resp
+      | Result.Error e -> Result.Error e)
+    | Framing.Frame w -> Result.Error (protocol_error "unexpected %s frame from server" w.Wire.etype)
+    | Framing.Crc_error | Framing.Bad_frame _ -> go ()
+    | Framing.Truncated | Framing.Eof ->
+      Result.Error (protocol_error "connection closed mid-response")
+  in
+  go ()
+
+let request t req =
+  Framing.write t.wr (Control.request_frame ~seq:(next_seq t) req);
+  Framing.flush t.wr;
+  match read_response t with
+  | Result.Error _ as e -> e
+  | Result.Ok (Control.Ok fields) -> Result.Ok fields
+  | Result.Ok (Control.Err e) -> Result.Error e
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    (try flush t.oc with Sys_error _ -> ());
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let connect ~host ~port ~tenant ~traces ?quota ?policy () =
+  let addr =
+    match Unix.inet_addr_of_string host with
+    | a -> a
+    | exception _ -> (
+      match Unix.gethostbyname host with
+      | { Unix.h_addr_list = addrs; _ } when Array.length addrs > 0 -> addrs.(0)
+      | _ | (exception Not_found) ->
+        invalid_arg (Printf.sprintf "Client.connect: cannot resolve host %s" host))
+  in
+  let fd = Unix.socket (Unix.domain_of_sockaddr (Unix.ADDR_INET (addr, port))) Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_INET (addr, port)) with
+  | exception e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e
+  | () -> (
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    let wr = Framing.create_writer oc ~trace_names:traces in
+    let t =
+      { fd; ic; oc; wr; rd = None; seq = 0; t_shard = -1; closed = false }
+    in
+    match request t (Control.Hello { tenant; quota; policy }) with
+    | Result.Ok fields ->
+      (match fields with [ s ] -> t.t_shard <- int_of_string s | _ -> ());
+      Result.Ok t
+    | Result.Error e ->
+      close t;
+      Result.Error e)
+
+let shard t = t.t_shard
+let send t w = Framing.write t.wr w
+let send_raw t raw = Framing.write_raw t.wr raw
+
+let send_encoded t bytes =
+  (* the writer and the channel share the buffer; framed bytes spliced
+     between whole frames keep the stream well-formed *)
+  output_string t.oc bytes
+
+let flush t = Framing.flush t.wr
+
+let one_field what = function
+  | Result.Ok [ f ] -> Result.Ok f
+  | Result.Ok fields ->
+    Result.Error (protocol_error "%s: response has %d fields, want 1" what (List.length fields))
+  | Result.Error _ as e -> e
+
+let attach t ~name ~source =
+  match one_field "attach" (request t (Control.Attach { name; source })) with
+  | Result.Ok s -> (
+    match int_of_string_opt s with
+    | Some id -> Result.Ok id
+    | None -> Result.Error (protocol_error "attach: non-numeric pattern id %S" s))
+  | Result.Error _ as e -> e
+
+let detach t ~pattern =
+  match request t (Control.Detach { pattern }) with
+  | Result.Ok _ -> Result.Ok ()
+  | Result.Error _ as e -> e
+
+let stats_request t req =
+  match request t req with
+  | Result.Ok fields -> Control.parse_stats fields
+  | Result.Error _ as e -> e
+
+let stats t = stats_request t Control.Stats
+let drain t = stats_request t Control.Drain

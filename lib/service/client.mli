@@ -1,0 +1,67 @@
+(** The tenant-side session: one framed TCP connection to a
+    {!Server}, speaking data frames and {!Control} requests.
+
+    A session is single-threaded on the caller's side: {!send} streams
+    data frames (buffered; {!flush} or any control call pushes them
+    out), and the control calls ({!attach}, {!detach}, {!stats},
+    {!drain}) are synchronous — each writes one request and blocks until
+    the matching response arrives. Server-side typed errors come back as
+    [Error (e : Ocep_base.Ocep_error.t)] values, never exceptions;
+    transport failures (connection reset, protocol corruption) raise
+    [Sys_error]/[End_of_file] like any channel I/O. *)
+
+module Wire = Ocep_ingest.Wire
+module Bqueue = Ocep_ingest.Bqueue
+
+type t
+
+val connect :
+  host:string ->
+  port:int ->
+  tenant:string ->
+  traces:string array ->
+  ?quota:int ->
+  ?policy:Bqueue.policy ->
+  unit ->
+  (t, Ocep_base.Ocep_error.t) result
+(** Open the connection, write the stream header for [traces], perform
+    the HELLO exchange. [quota]/[policy] are the per-session overrides
+    (see {!Control.request.Hello}). On [Error] the connection has been
+    closed. Raises [Unix.Unix_error] when the server cannot be reached. *)
+
+val shard : t -> int
+(** The shard the server pinned this tenant to. *)
+
+val send : t -> Wire.t -> unit
+(** Stream one data frame (buffered). *)
+
+val send_raw : t -> Ocep_base.Event.raw -> Wire.t
+(** Stamp and stream a raw event ({!Ocep_ingest.Framing.write_raw}):
+    record ids and local clocks are assigned exactly as a recorder
+    would, so a client can stream live events without pre-recording. *)
+
+val send_encoded : t -> string -> unit
+(** Splice pre-framed bytes (everything after the magic + header of a
+    recorded stream, or a slice of it) directly into the connection —
+    the zero-encode fast path the 1000-tenant bench uses to saturate the
+    server without the client-side encode dominating. The caller owes
+    the bytes' integrity; the server's CRC layer catches corruption. *)
+
+val flush : t -> unit
+
+val attach :
+  t -> name:string -> source:string -> (int, Ocep_base.Ocep_error.t) result
+(** Register a pattern from source text; returns its pattern id. *)
+
+val detach : t -> pattern:string -> (unit, Ocep_base.Ocep_error.t) result
+(** [pattern] is a decimal id or an {!attach} name. *)
+
+val stats : t -> (Control.stats, Ocep_base.Ocep_error.t) result
+
+val drain : t -> (Control.stats, Ocep_base.Ocep_error.t) result
+(** Flush the tenant's admission layer server-side and return the final
+    counters + digest. After a successful drain only {!stats} and
+    {!close} are useful. *)
+
+val close : t -> unit
+(** Close the connection (without draining). Idempotent. *)

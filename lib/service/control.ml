@@ -1,0 +1,135 @@
+module Wire = Ocep_ingest.Wire
+module Bqueue = Ocep_ingest.Bqueue
+module Error = Ocep_base.Ocep_error
+
+let ctl_etype = "!ocep:ctl"
+let rsp_etype = "!ocep:rsp"
+
+let is_control (w : Wire.t) = w.Wire.etype = ctl_etype || w.Wire.etype = rsp_etype
+
+type request =
+  | Hello of { tenant : string; quota : int option; policy : Bqueue.policy option }
+  | Attach of { name : string; source : string }
+  | Detach of { pattern : string }
+  | Stats
+  | Drain
+
+type response = Ok of string list | Err of Error.t
+
+type stats = {
+  frames : int;
+  admitted : int;
+  shed : int;
+  matches : int;
+  digest : string;
+}
+
+(* ---------------------------------------------------------------- *)
+(* Payload fields: NUL-joined inside Wire.text                       *)
+(* ---------------------------------------------------------------- *)
+
+let check_field f =
+  if String.contains f '\x00' then
+    invalid_arg "Control: a control field may not contain a NUL byte";
+  f
+
+let join fields = String.concat "\x00" (List.map check_field fields)
+let split text = String.split_on_char '\x00' text
+
+let frame ~etype ~seq text =
+  { Wire.id = seq; trace = 0; seq = 0; etype; text; kind = Ocep_base.Event.Internal }
+
+let policy_name = function Bqueue.Block -> "block" | Bqueue.Shed -> "shed"
+
+let request_fields = function
+  | Hello { tenant; quota; policy } ->
+    [
+      "HELLO";
+      tenant;
+      (match quota with Some q -> string_of_int q | None -> "");
+      (match policy with Some p -> policy_name p | None -> "");
+    ]
+  | Attach { name; source } -> [ "ATTACH"; name; source ]
+  | Detach { pattern } -> [ "DETACH"; pattern ]
+  | Stats -> [ "STATS" ]
+  | Drain -> [ "DRAIN" ]
+
+let request_frame ~seq req = frame ~etype:ctl_etype ~seq (join (request_fields req))
+
+let decode_error fmt = Printf.ksprintf (fun m -> Result.Error (Error.Decode_error m)) fmt
+let bad_request fmt = Printf.ksprintf (fun m -> Result.Error (Error.Bad_request m)) fmt
+
+let parse_request (w : Wire.t) =
+  match split w.Wire.text with
+  | [ "HELLO"; tenant; quota; policy ] -> (
+    if tenant = "" then bad_request "HELLO: empty tenant name"
+    else
+      let quota_r =
+        if quota = "" then Result.Ok None
+        else
+          match int_of_string_opt quota with
+          | Some q when q >= 0 -> Result.Ok (Some q)
+          | _ -> bad_request "HELLO: quota must be a non-negative integer, got %S" quota
+      in
+      match quota_r with
+      | Result.Error _ as e -> e
+      | Result.Ok quota -> (
+        match policy with
+        | "" -> Result.Ok (Hello { tenant; quota; policy = None })
+        | "block" -> Result.Ok (Hello { tenant; quota; policy = Some Bqueue.Block })
+        | "shed" -> Result.Ok (Hello { tenant; quota; policy = Some Bqueue.Shed })
+        | p -> bad_request "HELLO: unknown quota policy %S (want block|shed)" p))
+  | "ATTACH" :: name :: source_head :: source_tail ->
+    (* the source is the last field and may not contain NULs itself, but
+       re-joining guards against a future multi-field tail *)
+    let source = String.concat "\x00" (source_head :: source_tail) in
+    if name = "" then bad_request "ATTACH: empty pattern name"
+    else Result.Ok (Attach { name; source })
+  | [ "DETACH"; pattern ] ->
+    if pattern = "" then bad_request "DETACH: empty pattern"
+    else Result.Ok (Detach { pattern })
+  | [ "STATS" ] -> Result.Ok Stats
+  | [ "DRAIN" ] -> Result.Ok Drain
+  | op :: _ -> decode_error "unknown or malformed control request %S" op
+  | [] -> decode_error "empty control request"
+
+let response_frame ~seq resp =
+  let text =
+    match resp with
+    | Ok fields -> join ("OK" :: fields)
+    | Err e ->
+      (* Error.encode is [code NUL detail] with both sides NUL-free, so
+         it contributes exactly the two trailing fields *)
+      "ERR\x00" ^ Error.encode e
+  in
+  frame ~etype:rsp_etype ~seq text
+
+let parse_response (w : Wire.t) =
+  match split w.Wire.text with
+  | "OK" :: fields -> Result.Ok (Ok fields)
+  | [ "ERR"; code; detail ] -> Result.Ok (Err (Error.decode (code ^ "\x00" ^ detail)))
+  | op :: _ -> decode_error "unknown or malformed control response %S" op
+  | [] -> decode_error "empty control response"
+
+let stats_fields s =
+  [
+    string_of_int s.frames;
+    string_of_int s.admitted;
+    string_of_int s.shed;
+    string_of_int s.matches;
+    s.digest;
+  ]
+
+let parse_stats = function
+  | [ frames; admitted; shed; matches; digest ] -> (
+    match
+      ( int_of_string_opt frames,
+        int_of_string_opt admitted,
+        int_of_string_opt shed,
+        int_of_string_opt matches )
+    with
+    | Some frames, Some admitted, Some shed, Some matches ->
+      Result.Ok { frames; admitted; shed; matches; digest }
+    | _ -> decode_error "malformed stats payload"
+  )
+  | fields -> decode_error "stats payload has %d fields, want 5" (List.length fields)

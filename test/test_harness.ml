@@ -222,7 +222,7 @@ let explain_wire_provenance () =
   Fun.protect ~finally:(fun () -> Engine.shutdown engine) @@ fun () ->
   let ic = open_in_bin path in
   Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
-  ignore (Source.replay ~engine (Framing.create_reader ic));
+  ignore (Ocep_ingest.Session.replay ~engine (Framing.create_reader ic));
   match Engine.reports engine with
   | [] -> Alcotest.fail "no retained report"
   | r :: _ ->

@@ -11,6 +11,7 @@ module Framing = Ocep_ingest.Framing
 module Admission = Ocep_ingest.Admission
 module Bqueue = Ocep_ingest.Bqueue
 module Source = Ocep_ingest.Source
+module Session = Ocep_ingest.Session
 module Poet = Ocep_poet.Poet
 module Parser = Ocep_pattern.Parser
 module Compile = Ocep_pattern.Compile
@@ -624,14 +625,74 @@ let source_replay_pipelined () =
   let engine = Engine.create ~config:sequential_config ~net ~poet () in
   Fun.protect ~finally:(fun () -> Engine.shutdown engine) @@ fun () ->
   let st =
-    Source.replay
-      ~config:{ Source.default_config with Source.pipeline = true; queue_capacity = 64 }
+    Session.replay
+      ~config:{ Session.default with Session.pipeline = true; queue_capacity = 64 }
       ~engine reader
   in
   checki "all frames" direct_events st.Source.admission.Admission.frames;
   checki "nothing shed" 0 st.Source.queue_shed;
   check "queue bounded" true (st.Source.queue_max_occupancy <= 64);
   checks "digest equals direct" direct_digest (Runner.reports_digest engine)
+
+(* The deprecated Source.replay shim and the typed Session API agree:
+   same stream, same knobs, same digest and stats *)
+let session_shim_agreement () =
+  let mk () = Cases.make "atomicity" ~traces:4 ~seed:9 ~max_events:2000 in
+  let w = mk () in
+  let net = Compile.compile (Parser.parse w.Workload.pattern) in
+  let run_with replay =
+    with_temp @@ fun tmp ->
+    record_to ~path:tmp (mk ());
+    let ic = open_in_bin tmp in
+    Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+    let reader = Framing.create_reader ic in
+    let poet = Poet.create ~trace_names:(Framing.reader_trace_names reader) () in
+    let engine = Engine.create ~config:sequential_config ~net ~poet () in
+    Fun.protect ~finally:(fun () -> Engine.shutdown engine) @@ fun () ->
+    let st : Source.stats = replay ~engine reader in
+    (Runner.reports_digest engine, st.Source.admission.Admission.frames)
+  in
+  let new_digest, new_frames = run_with (fun ~engine r -> Session.replay ~engine r) in
+  let old_digest, old_frames =
+    run_with (fun ~engine r -> (Source.replay ~engine r [@warning "-3"]))
+  in
+  checks "shim digest agrees" new_digest old_digest;
+  checki "shim frame count agrees" new_frames old_frames
+
+(* Session's faults field reproduces the manual degrade-then-replay
+   pipeline bit for bit *)
+let session_faults_equal_manual () =
+  let faults = { Inject.f_reorder = 8; f_dup = 0.05; f_drop = 0. } in
+  let fault_seed = 13 in
+  let mk () = Cases.make "races" ~traces:6 ~seed:5 ~max_events:3000 in
+  let w = mk () in
+  let net = Compile.compile (Parser.parse w.Workload.pattern) in
+  with_temp @@ fun tmp ->
+  record_to ~path:tmp (mk ());
+  let trace_names, frames = read_frames tmp in
+  let faulted = Inject.apply_faults faults ~seed:fault_seed frames in
+  check "delivery degraded" true (faulted <> frames);
+  let manual_digest, manual_st =
+    replay_frames ~config:sequential_config ~net ~trace_names faulted
+  in
+  let ic = open_in_bin tmp in
+  Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+  let reader = Framing.create_reader ic in
+  let poet = Poet.create ~trace_names () in
+  let engine = Engine.create ~config:sequential_config ~net ~poet () in
+  Fun.protect ~finally:(fun () -> Engine.shutdown engine) @@ fun () ->
+  let logged = ref [] in
+  let st =
+    Session.replay
+      ~config:{ Session.default with Session.faults; fault_seed }
+      ~log:(fun line -> logged := line :: !logged)
+      ~engine reader
+  in
+  checks "digest equals manual degrade+replay" manual_digest (Runner.reports_digest engine);
+  checki "admitted agrees" manual_st.Admission.admitted st.Source.admission.Admission.admitted;
+  checki "duplicates agree" manual_st.Admission.duplicates
+    st.Source.admission.Admission.duplicates;
+  checki "one degradation log line" 1 (List.length !logged)
 
 let () =
   Alcotest.run "ingest"
@@ -678,5 +739,10 @@ let () =
           Alcotest.test_case "degraded replay parallel" `Quick
             (degraded_replay_is_bit_identical ~config:parallel_config);
           Alcotest.test_case "source replay pipelined" `Quick source_replay_pipelined;
+        ] );
+      ( "session",
+        [
+          Alcotest.test_case "shim agrees with typed config" `Quick session_shim_agreement;
+          Alcotest.test_case "faults equal manual degrade" `Quick session_faults_equal_manual;
         ] );
     ]

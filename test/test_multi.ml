@@ -141,11 +141,15 @@ let add_remove_re_add () =
   check "double detach rejected" true
     (match Engine.Handle.detach p0 with
     | () -> false
-    | exception Invalid_argument _ -> true);
+    | exception Ocep_error.Error (Ocep_error.Stale_handle _) -> true);
   check "accessor on dead handle rejected" true
     (match Engine.Handle.matches_found p0 with
     | _ -> false
-    | exception Invalid_argument _ -> true);
+    | exception Ocep_error.Error (Ocep_error.Stale_handle _) -> true);
+  check "remove by unknown id rejected" true
+    (match Engine.remove_pattern engine 99 with
+    | () -> false
+    | exception Ocep_error.Error (Ocep_error.Unknown_pattern _) -> true);
   (* an empty engine ingests as a no-op *)
   internal poet 0 "A";
   (* hot re-add: a fresh id, and matching works on events arriving after *)
